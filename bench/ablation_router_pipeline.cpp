@@ -1,0 +1,37 @@
+// Ablation: router pipeline depth. The proposal's benefit is link-latency
+// driven, so deeper router pipelines dilute it — the effect Cheng et al. [6]
+// observed when heterogeneous wires gave "insignificant" gains on direct
+// topologies with slow routers. DESIGN.md calls out the single-cycle router
+// as the design point that lets VL-Wires shine; this bench quantifies it.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace tcmp;
+
+int main() {
+  bench::print_header("Ablation: router pipeline depth (single-cycle vs 3-stage)");
+
+  const auto scheme = compression::SchemeConfig::dbrc(4, 2);
+  TextTable t({"Application", "gain 1-cyc router", "gain 3-stage router"});
+  for (const char* name : {"MP3D", "Unstructured", "FFT", "Water-nsq"}) {
+    const auto app = workloads::app(name);
+    double gains[2];
+    for (int deep = 0; deep < 2; ++deep) {
+      cmp::CmpConfig base_cfg = cmp::CmpConfig::baseline();
+      cmp::CmpConfig het_cfg = cmp::CmpConfig::heterogeneous(scheme);
+      base_cfg.single_cycle_router = het_cfg.single_cycle_router = (deep == 0);
+      const auto base = bench::run_app(app, base_cfg);
+      const auto het = bench::run_app(app, het_cfg);
+      gains[deep] = 1.0 - static_cast<double>(het.cycles) /
+                              static_cast<double>(base.cycles);
+    }
+    t.add_row({name, TextTable::pct(gains[0]), TextTable::pct(gains[1])});
+    std::fprintf(stderr, "  %s done\n", name);
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf("Expected: the execution-time gain shrinks with the 3-stage router —\n"
+              "per-hop latency becomes router-dominated, so halving the wire delay\n"
+              "moves a smaller share of the miss path.\n");
+  return 0;
+}

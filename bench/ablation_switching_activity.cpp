@@ -1,0 +1,38 @@
+// Ablation: link switching activity (alpha). Our link energy accounting
+// charges traffic-proportional dynamic energy plus inventory-proportional
+// leakage; at SPLASH-level link utilization leakage dominates, which is why
+// our link ED^2P gains overshoot the paper's 38% (see EXPERIMENTS.md). This
+// bench sweeps alpha to show how the gain would look under
+// dynamic-power-dominated accounting.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace tcmp;
+
+int main() {
+  bench::print_header("Ablation: link ED^2P gain vs switching activity");
+
+  const auto scheme = compression::SchemeConfig::dbrc(4, 2);
+  const auto app = workloads::app("MP3D");
+
+  TextTable t({"alpha", "base link E (mJ)", "dyn share", "het/base link ED2P"});
+  for (double alpha : {0.05, 0.15, 0.5, 1.0, 2.0, 5.0}) {
+    cmp::CmpConfig base_cfg = cmp::CmpConfig::baseline();
+    cmp::CmpConfig het_cfg = cmp::CmpConfig::heterogeneous(scheme);
+    base_cfg.switching_activity = het_cfg.switching_activity = alpha;
+    const auto base = bench::run_app(app, base_cfg);
+    const auto het = bench::run_app(app, het_cfg);
+    const double dyn_share =
+        base.energy.get(power::EnergyAccount::kLinkDynamic) / base.link_energy();
+    t.add_row({TextTable::fmt(alpha, 2), TextTable::fmt(1e3 * base.link_energy(), 2),
+               TextTable::pct(dyn_share), TextTable::fmt(het.link_ed2p() / base.link_ed2p(), 3)});
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf("alpha > 1 is unphysical for real traffic but shows the asymptote: as\n"
+              "dynamic energy dominates, the link energy ratio approaches ~1 (data\n"
+              "bits toggle either way) and the ED^2P gain is carried by the speedup\n"
+              "squared; as leakage dominates it approaches the 0.47x wire-inventory\n"
+              "ratio. The paper's 38%% sits between the two regimes.\n");
+  return 0;
+}

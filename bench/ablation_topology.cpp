@@ -1,0 +1,52 @@
+// Extension: topology sensitivity — 2D mesh vs two-level tree.
+//
+// Cheng et al. [6] evaluated their three-subnet interconnect on a two-level
+// tree (processor-to-L2-bank) and saw good results, but "insignificant
+// performance improvements ... for direct topologies (such as the 2D mesh)".
+// Our tree is a tile-to-tile variant of that organization: 4 cluster routers
+// + 1 root, double-length root links — few routers, wire-dominated hops.
+//
+// Two effects to observe:
+//  * the VL/compression proposal's gain survives the topology change (its
+//    narrow critical-path bundle scales with wire length);
+//  * [6]'s static partition is exposed to the tree root's serialization: its
+//    17-byte B subnet must squeeze all data replies through the root, which
+//    on a *coherence* tree (unlike [6]'s L2-bank tree, where traffic is
+//    processor<->bank only) becomes the bottleneck.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace tcmp;
+
+int main() {
+  bench::print_header("Extension: 2D mesh vs two-level tree topology");
+
+  const auto scheme = compression::SchemeConfig::dbrc(4, 2);
+  TextTable t({"Application", "topology", "base critlat", "exec Cheng'06",
+               "exec proposal", "linkED2P proposal"});
+  for (const char* name : {"MP3D", "Unstructured", "FFT", "Water-nsq"}) {
+    const auto app = workloads::app(name);
+    for (auto topo : {noc::Topology::kMesh2D, noc::Topology::kTree2Level}) {
+      auto with_topo = [&](cmp::CmpConfig cfg) {
+        cfg.topology = topo;
+        return cfg;
+      };
+      const auto base = bench::run_app(app, with_topo(cmp::CmpConfig::baseline()));
+      const auto cheng = bench::run_app(app, with_topo(cmp::CmpConfig::cheng3way()));
+      const auto ours =
+          bench::run_app(app, with_topo(cmp::CmpConfig::heterogeneous(scheme)));
+      t.add_row({name, topo == noc::Topology::kMesh2D ? "mesh 4x4" : "tree 4+1",
+                 TextTable::fmt(base.avg_critical_latency, 1),
+                 TextTable::fmt(static_cast<double>(cheng.cycles) /
+                                    static_cast<double>(base.cycles), 3),
+                 TextTable::fmt(static_cast<double>(ours.cycles) /
+                                    static_cast<double>(base.cycles), 3),
+                 TextTable::fmt(ours.link_ed2p() / base.link_ed2p(), 3)});
+      std::fprintf(stderr, "  %s/%s done\n", name,
+                   topo == noc::Topology::kMesh2D ? "mesh" : "tree");
+    }
+  }
+  std::printf("%s\n", t.str().c_str());
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Shared helpers for the table/figure reproduction benches: the application
+// sweep, scheme lists and consistent normalized printing. TCMP_SCALE scales
+// every workload's operation count (1.0 = the calibrated default used in
+// EXPERIMENTS.md; smaller values give quick smoke runs).
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cmp/report.hpp"
+#include "cmp/system.hpp"
+#include "common/env.hpp"
+#include "common/table.hpp"
+#include "compression/scheme.hpp"
+#include "workloads/app_params.hpp"
+#include "workloads/synthetic_app.hpp"
+
+namespace tcmp::bench {
+
+[[nodiscard]] inline double workload_scale() {
+  return env_double("TCMP_SCALE", 1.0);
+}
+
+/// Run one application under one configuration to completion.
+inline cmp::RunResult run_app(const workloads::AppParams& params,
+                              const cmp::CmpConfig& cfg) {
+  auto workload = std::make_shared<workloads::SyntheticApp>(
+      params.scaled(workload_scale()), cfg.n_tiles);
+  cmp::CmpSystem system(cfg, workload);
+  const bool finished = system.run();
+  TCMP_CHECK_MSG(finished, "simulation did not finish");
+  cmp::RunResult r = cmp::make_result(system);
+  r.workload = params.name;
+  return r;
+}
+
+/// The compression configurations whose coverage Fig. 2 reports.
+[[nodiscard]] inline std::vector<compression::SchemeConfig> fig2_schemes() {
+  using compression::SchemeConfig;
+  return {SchemeConfig::stride(1),  SchemeConfig::stride(2),
+          SchemeConfig::dbrc(4, 1), SchemeConfig::dbrc(4, 2),
+          SchemeConfig::dbrc(16, 1), SchemeConfig::dbrc(16, 2),
+          SchemeConfig::dbrc(64, 1), SchemeConfig::dbrc(64, 2)};
+}
+
+/// The configurations evaluated in Fig. 6/7 (coverage over ~80% in Fig. 2).
+[[nodiscard]] inline std::vector<compression::SchemeConfig> fig6_schemes() {
+  using compression::SchemeConfig;
+  return {SchemeConfig::stride(2),   SchemeConfig::dbrc(4, 2),
+          SchemeConfig::dbrc(16, 1), SchemeConfig::dbrc(16, 2),
+          SchemeConfig::dbrc(64, 1), SchemeConfig::dbrc(64, 2)};
+}
+
+/// The perfect-compression potential lines of Fig. 6 (3/4/5-byte VL).
+[[nodiscard]] inline std::vector<compression::SchemeConfig> potential_schemes() {
+  using compression::SchemeConfig;
+  return {SchemeConfig::perfect(3), SchemeConfig::perfect(4), SchemeConfig::perfect(5)};
+}
+
+inline void print_header(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf("(workload scale %.2f; set TCMP_SCALE to change)\n\n", workload_scale());
+}
+
+}  // namespace tcmp::bench

@@ -1,0 +1,52 @@
+// Comparative baseline: Cheng et al. [6]'s three-subnet heterogeneous
+// interconnect (11B L-Wires + 17B B-Wires + 28B PW-Wires, latency/bandwidth
+// static mapping, no compression) against the paper's proposal
+// (compression + VL-Wires) on the same 600-track budget.
+//
+// The paper motivates itself with [6]'s result that "insignificant
+// performance improvements are reported for direct topologies (such as the
+// 2D mesh typically employed in tiled CMPs)" — this bench reproduces that
+// comparison end to end.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace tcmp;
+
+int main() {
+  bench::print_header(
+      "Comparison: Cheng'06 three-subnet [6] vs compression + VL-Wires");
+
+  const auto scheme = compression::SchemeConfig::dbrc(4, 2);
+  TextTable t({"Application", "exec Cheng'06", "exec proposal", "linkED2P Cheng'06",
+               "linkED2P proposal"});
+  double se_c = 0, se_p = 0, sl_c = 0, sl_p = 0;
+  unsigned n = 0;
+  for (const auto& app : workloads::all_apps()) {
+    const auto base = bench::run_app(app, cmp::CmpConfig::baseline());
+    const auto cheng = bench::run_app(app, cmp::CmpConfig::cheng3way());
+    const auto ours = bench::run_app(app, cmp::CmpConfig::heterogeneous(scheme));
+    const double ec = static_cast<double>(cheng.cycles) / static_cast<double>(base.cycles);
+    const double ep = static_cast<double>(ours.cycles) / static_cast<double>(base.cycles);
+    const double lc = cheng.link_ed2p() / base.link_ed2p();
+    const double lp = ours.link_ed2p() / base.link_ed2p();
+    t.add_row({app.name, TextTable::fmt(ec, 3), TextTable::fmt(ep, 3),
+               TextTable::fmt(lc, 3), TextTable::fmt(lp, 3)});
+    se_c += ec;
+    se_p += ep;
+    sl_c += lc;
+    sl_p += lp;
+    ++n;
+    std::fprintf(stderr, "  %s done\n", app.name.c_str());
+  }
+  t.add_row({"AVERAGE", TextTable::fmt(se_c / n, 3), TextTable::fmt(se_p / n, 3),
+             TextTable::fmt(sl_c / n, 3), TextTable::fmt(sl_p / n, 3)});
+  std::printf("%s\n", t.str().c_str());
+  std::printf(
+      "Expected shape: [6]'s subnets barely move execution time on the 2D mesh\n"
+      "(its L-wires shave 1 cycle/hop while its narrow 17-byte B subnet slows\n"
+      "data replies, and PW writebacks crawl), though its PW subnet does cut\n"
+      "link energy. The proposal converts the same area into latency where it\n"
+      "matters and wins on both axes — the paper's motivating comparison.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Reproduces Fig. 2: address compression coverage per application per scheme
+// for the 16-core tiled CMP.
+//
+// Methodology (same spirit as the paper's: one simulation per application,
+// all schemes measured on identical traffic): each application runs once on
+// the baseline configuration while the remote coherence-message stream
+// (source, destination, class, block address) is captured; the stream is then
+// replayed through every compression scheme's sender state machines.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "compression/compressor.hpp"
+#include "compression/dbrc.hpp"
+#include "compression/stride.hpp"
+
+using namespace tcmp;
+
+namespace {
+
+struct TraceEntry {
+  NodeId src;
+  NodeId dst;
+  compression::MsgClass cls;
+  Addr line;
+};
+
+std::vector<TraceEntry> capture_trace(const workloads::AppParams& params) {
+  std::vector<TraceEntry> trace;
+  auto workload = std::make_shared<workloads::SyntheticApp>(
+      params.scaled(bench::workload_scale()), 16);
+  cmp::CmpSystem system(cmp::CmpConfig::baseline(), workload);
+  system.set_remote_msg_hook([&trace](const protocol::CoherenceMsg& msg) {
+    if (!protocol::carries_address(msg.type) || !protocol::is_critical(msg.type))
+      return;
+    trace.push_back(
+        {msg.src, msg.dst, protocol::compression_class(msg.type), msg.line});
+  });
+  const bool ok = system.run();
+  TCMP_CHECK(ok);
+  return trace;
+}
+
+double coverage_of(const std::vector<TraceEntry>& trace,
+                   const compression::SchemeConfig& scheme) {
+  // One sender compressor per (core, class), as in the real hardware.
+  std::vector<std::unique_ptr<compression::SenderCompressor>> senders(
+      16 * compression::kNumMsgClasses);
+  for (auto& s : senders) s = compression::make_compressor(scheme, 16).sender;
+
+  std::uint64_t hits = 0;
+  for (const auto& e : trace) {
+    auto& sender = *senders[e.src * compression::kNumMsgClasses +
+                           static_cast<unsigned>(e.cls)];
+    if (sender.compress(e.dst, e.line).compressed) ++hits;
+  }
+  return trace.empty() ? 0.0
+                       : static_cast<double>(hits) / static_cast<double>(trace.size());
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 2: address compression coverage (16-core tiled CMP)");
+
+  const auto schemes = bench::fig2_schemes();
+  std::vector<std::string> header{"Application"};
+  for (const auto& s : schemes) header.push_back(s.name());
+  TextTable t(std::move(header));
+
+  std::vector<double> sums(schemes.size(), 0.0);
+  unsigned napps = 0;
+  for (const auto& app : workloads::all_apps()) {
+    const auto trace = capture_trace(app);
+    std::vector<std::string> row{app.name};
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+      const double cov = coverage_of(trace, schemes[i]);
+      sums[i] += cov;
+      row.push_back(TextTable::pct(cov, 1));
+    }
+    t.add_row(std::move(row));
+    ++napps;
+  }
+  std::vector<std::string> avg{"AVERAGE"};
+  for (double s : sums) avg.push_back(TextTable::pct(s / napps, 1));
+  t.add_row(std::move(avg));
+
+  std::printf("%s\n", t.str().c_str());
+  std::printf("Paper shape: 1-byte Stride and 4-entry DBRC (1B) give low coverage;\n"
+              "16-entry DBRC (1B), 2-byte Stride and 4-entry DBRC (2B) exceed ~80%%;\n"
+              "DBRC (2B) reaches ~98%%; Barnes/Radix are the low outliers.\n");
+  return 0;
+}

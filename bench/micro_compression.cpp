@@ -1,0 +1,53 @@
+// Micro-benchmarks (google-benchmark): raw throughput of the compression
+// state machines — these sit on the NIC's injection path of every simulated
+// message, so their speed bounds whole-system simulation rate.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "compression/compressor.hpp"
+#include "compression/dbrc.hpp"
+#include "compression/stride.hpp"
+
+using namespace tcmp;
+using namespace tcmp::compression;
+
+namespace {
+
+void BM_DbrcCompress(benchmark::State& state) {
+  DbrcSender sender(static_cast<unsigned>(state.range(0)), 2, 16);
+  Rng rng(1);
+  for (auto _ : state) {
+    const Addr line = 0x1000000 + rng.next_below(1 << 18);
+    benchmark::DoNotOptimize(
+        sender.compress(static_cast<NodeId>(line % 16), line));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DbrcCompress)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_StrideCompress(benchmark::State& state) {
+  StrideSender sender(2, 16);
+  Rng rng(2);
+  Addr line = 0x1000000;
+  for (auto _ : state) {
+    line += rng.next_below(64);
+    benchmark::DoNotOptimize(sender.compress(static_cast<NodeId>(line % 16), line));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StrideCompress);
+
+void BM_DbrcRoundTrip(benchmark::State& state) {
+  auto pair = make_compressor(SchemeConfig::dbrc(16, 2), 16);
+  Rng rng(3);
+  for (auto _ : state) {
+    const Addr line = 0x2000000 + rng.next_below(1 << 16);
+    const auto dst = static_cast<NodeId>(line % 16);
+    const Encoding enc = pair.sender->compress(dst, line);
+    benchmark::DoNotOptimize(pair.receiver->decode(0, enc, line));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DbrcRoundTrip);
+
+}  // namespace

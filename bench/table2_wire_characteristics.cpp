@@ -1,0 +1,42 @@
+// Reproduces Table 2: relative delay, area and power of B-, L- and PW-Wires,
+// comparing the published values against our first-order RC + repeater model
+// (Eq. 1-4 of the paper).
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "wire/wire_spec.hpp"
+
+using namespace tcmp;
+using wire::WireClass;
+
+int main() {
+  std::printf("=== Table 2: wire implementations at 65 nm (model vs paper) ===\n\n");
+  TextTable t({"Wire type", "RelLat", "(paper)", "RelArea", "(paper)",
+               "Dyn W/m@a=1", "(paper)", "Static W/m", "(paper)", "ps/mm"});
+  for (WireClass cls :
+       {WireClass::kB8X, WireClass::kB4X, WireClass::kL8X, WireClass::kPW4X}) {
+    const wire::WireSpec model = wire::model_spec(cls);
+    const wire::WireSpec paper = wire::paper_spec(cls);
+    t.add_row({paper.name, TextTable::fmt(model.rel_latency, 2),
+               TextTable::fmt(paper.rel_latency, 2), TextTable::fmt(model.rel_area, 1),
+               TextTable::fmt(paper.rel_area, 1),
+               TextTable::fmt(model.dyn_power_w_per_m, 2),
+               TextTable::fmt(paper.dyn_power_w_per_m, 2),
+               TextTable::fmt(model.static_power_w_per_m, 3),
+               TextTable::fmt(paper.static_power_w_per_m, 3),
+               TextTable::fmt(model.ps_per_mm, 1)});
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf("Latency ratios reproduce within ~12%%; PW-Wire dynamic power diverges\n"
+              "(see EXPERIMENTS.md): a first-order RC model cannot remove wire\n"
+              "capacitance, only repeater overheads. The simulator uses the paper\n"
+              "columns for energy accounting.\n\n");
+
+  std::printf("Link latency quantization at 4 GHz over a 5 mm link:\n");
+  for (WireClass cls :
+       {WireClass::kB8X, WireClass::kB4X, WireClass::kL8X, WireClass::kPW4X}) {
+    const wire::WireSpec paper = wire::paper_spec(cls);
+    std::printf("  %-16s %u cycles\n", paper.name.c_str(), paper.link_cycles(5.0, 4e9));
+  }
+  return 0;
+}

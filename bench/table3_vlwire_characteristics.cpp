@@ -1,0 +1,40 @@
+// Reproduces Table 3: VL-Wire characteristics for 3/4/5-byte bundle widths,
+// plus the area-matched link partitions of Sec. 4.3 (24-40 VL-Wires + 272
+// B-Wires inside the original 600-track budget).
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "wire/link_design.hpp"
+
+using namespace tcmp;
+
+int main() {
+  std::printf("=== Table 3: VL-Wire characteristics (model vs paper) ===\n\n");
+  TextTable t({"Width", "RelLat", "(paper)", "RelArea", "Dyn W/m", "(paper)",
+               "Static W/m", "(paper)", "link cyc"});
+  for (unsigned bytes : {3u, 4u, 5u}) {
+    const wire::WireSpec model = wire::model_spec(wire::WireClass::kVL, bytes);
+    const wire::WireSpec paper = wire::paper_spec(wire::WireClass::kVL, bytes);
+    t.add_row({std::to_string(bytes) + " Bytes", TextTable::fmt(model.rel_latency, 2),
+               TextTable::fmt(paper.rel_latency, 2), TextTable::fmt(paper.rel_area, 0),
+               TextTable::fmt(model.dyn_power_w_per_m, 2),
+               TextTable::fmt(paper.dyn_power_w_per_m, 2),
+               TextTable::fmt(model.static_power_w_per_m, 3),
+               TextTable::fmt(paper.static_power_w_per_m, 3),
+               std::to_string(paper.link_cycles(5.0, 4e9))});
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  std::printf("Area-matched heterogeneous link partitions (600-track budget):\n\n");
+  TextTable p({"VL width", "VL wires", "VL tracks", "B bytes", "B wires",
+               "total tracks", "overshoot"});
+  for (unsigned bytes : {3u, 4u, 5u}) {
+    const wire::LinkPartition part = wire::paper_het_link(bytes);
+    p.add_row({std::to_string(bytes) + " B", std::to_string(part.vl_wires),
+               TextTable::fmt(part.vl_tracks, 0), std::to_string(part.b_bytes),
+               std::to_string(part.b_wires), TextTable::fmt(part.total_tracks, 0),
+               TextTable::pct(part.area_overshoot(), 1)});
+  }
+  std::printf("%s\n", p.str().c_str());
+  return 0;
+}

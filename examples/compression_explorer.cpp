@@ -1,0 +1,100 @@
+// Compression explorer: drive the address compression schemes directly with
+// synthetic access patterns and inspect their coverage — the standalone
+// counterpart of Fig. 2 for experimenting with new patterns or scheme
+// parameters without running the full CMP.
+//
+//   ./example_compression_explorer [pattern]
+//
+// Patterns: sequential, strided, clustered, random, pointer-chase (default:
+// all of them).
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "compression/compressor.hpp"
+#include "compression/scheme.hpp"
+
+using namespace tcmp;
+
+namespace {
+
+using Generator = std::function<Addr(Rng&, Addr /*prev*/)>;
+
+struct Pattern {
+  std::string name;
+  Generator next;
+};
+
+std::vector<Pattern> patterns() {
+  return {
+      {"sequential", [](Rng&, Addr prev) { return prev + 1; }},
+      {"strided-17", [](Rng&, Addr prev) { return prev + 17; }},
+      {"clustered",
+       [](Rng& rng, Addr) {
+         // 4 hot 4 MB regions.
+         static constexpr Addr kBases[] = {0x1000000, 0x5000000, 0x9000000, 0xD000000};
+         return kBases[rng.next_below(4)] + rng.next_below(1 << 16);
+       }},
+      {"random", [](Rng& rng, Addr) { return rng.next_below(Addr{1} << 28); }},
+      {"pointer-chase",
+       [](Rng&, Addr prev) {
+         Addr x = prev * 0x9e3779b97f4a7c15ULL + 1;
+         return (x >> 16) % (Addr{1} << 24);
+       }},
+  };
+}
+
+double measure(const Pattern& pattern, const compression::SchemeConfig& scheme,
+               unsigned messages) {
+  auto pair = compression::make_compressor(scheme, 16);
+  Rng rng(42);
+  Addr addr = 0x2000000;
+  unsigned hits = 0;
+  for (unsigned i = 0; i < messages; ++i) {
+    addr = pattern.next(rng, addr);
+    const auto dst = static_cast<NodeId>(addr % 16);  // home interleaving
+    if (pair.sender->compress(dst, addr).compressed) ++hits;
+  }
+  return static_cast<double>(hits) / messages;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const unsigned kMessages = 50000;
+  std::vector<Pattern> selected;
+  for (auto& p : patterns()) {
+    if (argc < 2 || p.name == argv[1]) selected.push_back(p);
+  }
+  if (selected.empty()) {
+    std::fprintf(stderr, "unknown pattern '%s'\n", argv[1]);
+    return 1;
+  }
+
+  std::vector<compression::SchemeConfig> schemes = {
+      compression::SchemeConfig::stride(1),  compression::SchemeConfig::stride(2),
+      compression::SchemeConfig::dbrc(4, 1), compression::SchemeConfig::dbrc(4, 2),
+      compression::SchemeConfig::dbrc(16, 2), compression::SchemeConfig::dbrc(64, 2)};
+
+  std::vector<std::string> header{"Pattern"};
+  for (const auto& s : schemes) header.push_back(s.name());
+  TextTable t(std::move(header));
+  for (const auto& p : selected) {
+    std::vector<std::string> row{p.name};
+    for (const auto& s : schemes) {
+      row.push_back(TextTable::pct(measure(p, s, kMessages), 1));
+    }
+    t.add_row(std::move(row));
+  }
+  std::printf("Compression coverage by access pattern (%u line addresses each):\n\n%s",
+              kMessages, t.str().c_str());
+  std::printf(
+      "\nReading the table: Stride thrives on arithmetic progressions; DBRC\n"
+      "thrives on clustered working sets that fit its region reach\n"
+      "(entries x 2^(8*low_bytes) lines); nothing helps pointer chasing.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// NoC playground: exercise the mesh network standalone with uniform-random
+// traffic and print latency/throughput versus offered load for the baseline
+// 75-byte plane and the heterogeneous VL+B planes — the classic NoC
+// load-latency curve.
+//
+//   ./example_noc_playground [max_rate]
+#include <cstdio>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "noc/network.hpp"
+#include "wire/link_design.hpp"
+
+using namespace tcmp;
+
+namespace {
+
+struct LoadPoint {
+  double offered;   ///< packets / node / cycle
+  double latency;   ///< mean packet latency (cycles)
+  double p99;       ///< not tracked per-packet; 0 here
+  double delivered; ///< packets
+};
+
+LoadPoint run_load(const wire::LinkPartition& part, unsigned channel, double rate,
+                   unsigned wire_bytes, unsigned cycles) {
+  noc::NocConfig cfg;
+  cfg.channels = noc::make_channels(part);
+  StatRegistry stats;
+  noc::Network net(cfg, &stats);
+  unsigned delivered = 0;
+  net.set_deliver([&](NodeId, const protocol::CoherenceMsg&) { ++delivered; });
+
+  Rng rng(7);
+  Cycle now = 0;
+  for (unsigned t = 0; t < cycles; ++t) {
+    for (unsigned n = 0; n < 16; ++n) {
+      if (!rng.chance(rate)) continue;
+      auto dst = static_cast<NodeId>(rng.next_below(16));
+      if (dst == n) continue;
+      protocol::CoherenceMsg msg;
+      msg.type = protocol::MsgType::kGetS;
+      msg.src = static_cast<NodeId>(n);
+      msg.dst = dst;
+      msg.line = t;
+      net.inject(msg, channel, wire_bytes, now);
+    }
+    net.tick(++now);
+  }
+  // Drain.
+  Cycle guard = now + 200000;
+  while (!net.quiescent() && now < guard) net.tick(++now);
+
+  const std::string name = cfg.channels[channel].name;
+  LoadPoint p{};
+  p.offered = rate;
+  p.latency = stats.scalar("noc." + name + ".latency").mean();
+  p.delivered = delivered;
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double max_rate = argc > 1 ? std::atof(argv[1]) : 0.45;
+  const unsigned kCycles = 3000;
+
+  std::printf("Uniform-random traffic on the 4x4 mesh, %u injection cycles.\n\n", kCycles);
+
+  TextTable t({"offered rate", "baseline B-75 lat", "het B-34 lat", "het VL lat"});
+  for (double rate = 0.05; rate <= max_rate + 1e-9; rate += 0.05) {
+    const LoadPoint base =
+        run_load(wire::baseline_link(), noc::kBChannel, rate, 11, kCycles);
+    const LoadPoint hb =
+        run_load(wire::paper_het_link(4), noc::kBChannel, rate, 11, kCycles);
+    const LoadPoint hvl =
+        run_load(wire::paper_het_link(4), noc::kVlChannel, rate, 4, kCycles);
+    t.add_row({TextTable::fmt(rate, 2), TextTable::fmt(base.latency, 1),
+               TextTable::fmt(hb.latency, 1), TextTable::fmt(hvl.latency, 1)});
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf("The VL plane's 1-cycle links beat the 3-cycle B planes at every load;\n"
+              "all planes saturate as offered load approaches the mesh capacity.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Quickstart: simulate one SPLASH-2-style application on the 16-core tiled
+// CMP, first with the homogeneous 75-byte B-Wire baseline and then with the
+// paper's proposal (4-entry DBRC address compression + VL/B heterogeneous
+// links), and compare execution time and interconnect ED^2P.
+//
+//   ./example_quickstart [app-name] [scale]
+//
+// app-name defaults to MP3D; scale (default 0.5) shrinks the workload.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "cmp/report.hpp"
+#include "cmp/system.hpp"
+#include "workloads/synthetic_app.hpp"
+
+using namespace tcmp;
+
+namespace {
+
+cmp::RunResult simulate(const cmp::CmpConfig& cfg, const workloads::AppParams& app) {
+  // A CmpSystem owns the 16 tiles (core + L1 + L2 slice + NIC), the mesh
+  // network(s) and the barrier controller. run() advances the whole machine
+  // cycle by cycle until the workload's parallel phase completes.
+  cmp::CmpSystem system(cfg, std::make_shared<workloads::SyntheticApp>(app, cfg.n_tiles));
+  if (!system.run()) {
+    std::fprintf(stderr, "simulation did not finish\n");
+    std::exit(1);
+  }
+  return cmp::make_result(system);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string app_name = argc > 1 ? argv[1] : "MP3D";
+  const double scale = argc > 2 ? std::atof(argv[2]) : 0.5;
+  const workloads::AppParams app = workloads::app(app_name).scaled(scale);
+
+  std::printf("Application: %s (%llu memory ops/core + %llu warmup)\n\n",
+              app.name.c_str(), static_cast<unsigned long long>(app.ops_per_core),
+              static_cast<unsigned long long>(app.warmup_ops()));
+
+  // The two configurations the paper compares.
+  const cmp::CmpConfig baseline = cmp::CmpConfig::baseline();
+  const cmp::CmpConfig proposal =
+      cmp::CmpConfig::heterogeneous(compression::SchemeConfig::dbrc(4, 2));
+
+  const cmp::RunResult base = simulate(baseline, app);
+  const cmp::RunResult het = simulate(proposal, app);
+
+  auto show = [](const char* title, const cmp::RunResult& r) {
+    std::printf("%s\n", title);
+    std::printf("  cycles                %llu\n", static_cast<unsigned long long>(r.cycles));
+    std::printf("  instructions          %llu\n",
+                static_cast<unsigned long long>(r.instructions));
+    std::printf("  remote messages       %llu\n",
+                static_cast<unsigned long long>(r.remote_messages));
+    std::printf("  avg critical latency  %.1f cycles\n", r.avg_critical_latency);
+    std::printf("  compression coverage  %.1f%%\n", 100.0 * r.compression_coverage);
+    std::printf("  link energy           %.3f mJ\n", 1e3 * r.link_energy());
+    std::printf("  interconnect energy   %.3f mJ (%.0f%% of chip)\n",
+                1e3 * r.interconnect_energy(),
+                100.0 * r.interconnect_energy() / r.total_energy());
+    std::printf("\n");
+  };
+  show("Baseline (75-byte B-Wire links):", base);
+  show(("Proposal (" + proposal.name() + "):").c_str(), het);
+
+  std::printf("Improvements over the baseline:\n");
+  std::printf("  execution time  %5.1f%%\n",
+              100.0 * (1.0 - static_cast<double>(het.cycles) /
+                                 static_cast<double>(base.cycles)));
+  std::printf("  link ED^2P      %5.1f%%\n",
+              100.0 * (1.0 - het.link_ed2p() / base.link_ed2p()));
+  std::printf("  full-CMP ED^2P  %5.1f%%\n",
+              100.0 * (1.0 - het.full_cmp_ed2p() / base.full_cmp_ed2p()));
+  return 0;
+}

@@ -1,0 +1,35 @@
+#include "cmp/config.hpp"
+
+#include "common/check.hpp"
+
+namespace tcmp::cmp {
+
+std::string CmpConfig::name() const {
+  switch (link.style) {
+    case wire::LinkStyle::kBaseline:
+      return "baseline (75B B-Wires)";
+    case wire::LinkStyle::kCheng3Way:
+      return "Cheng'06 3-subnet (11B L + 17B B + 28B PW)";
+    case wire::LinkStyle::kVlHet:
+      break;
+  }
+  return scheme.name() + " + " + std::to_string(link.vl_bytes) + "B VL";
+}
+
+CmpConfig CmpConfig::baseline() { return CmpConfig{}; }
+
+CmpConfig CmpConfig::heterogeneous(const compression::SchemeConfig& scheme) {
+  TCMP_CHECK(scheme.enabled());
+  CmpConfig cfg;
+  cfg.scheme = scheme;
+  cfg.link = wire::paper_het_link(scheme.vl_width_bytes());
+  return cfg;
+}
+
+CmpConfig CmpConfig::cheng3way() {
+  CmpConfig cfg;
+  cfg.link = wire::cheng3way_link();
+  return cfg;
+}
+
+}  // namespace tcmp::cmp

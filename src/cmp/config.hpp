@@ -1,0 +1,61 @@
+// Whole-system configuration (Table 4) and the named configurations the
+// paper evaluates: the homogeneous 75-byte B-Wire baseline, and the
+// heterogeneous VL+B link paired with an address compression scheme.
+#pragma once
+
+#include <string>
+
+#include "compression/scheme.hpp"
+#include "power/chip_power.hpp"
+#include "power/orion_mini.hpp"
+#include "protocol/directory.hpp"
+#include "protocol/l1_cache.hpp"
+#include "noc/network.hpp"
+#include "wire/link_design.hpp"
+
+namespace tcmp::cmp {
+
+struct CmpConfig {
+  unsigned n_tiles = 16;
+  unsigned mesh_width = 4;
+  unsigned mesh_height = 4;
+
+  protocol::L1Cache::Config l1{128, 4};      ///< 32 KB, 4-way
+  protocol::Directory::Config l2{1024, 4, 8, 400};  ///< 256 KB/core, 6+2 cyc, 400-cyc mem
+
+  compression::SchemeConfig scheme = compression::SchemeConfig::none();
+  wire::LinkPartition link = wire::baseline_link();
+
+  noc::Topology topology = noc::Topology::kMesh2D;
+  unsigned vcs_per_vnet = 1;
+  unsigned buffer_flits = 4;
+  /// Single-cycle routers (lookahead routing + speculative allocation), the
+  /// aggressive design point of the paper's era; false = 3-stage pipeline
+  /// (see bench/ablation_router_pipeline).
+  bool single_cycle_router = true;
+  /// Enable the Reply Partitioning extension [9] on top of the current link
+  /// configuration (bench/ablation_reply_partitioning).
+  bool reply_partitioning = false;
+
+  double freq_hz = 4e9;
+  double link_length_mm = 5.0;
+  Cycle local_latency = 1;           ///< tile-internal L1 <-> L2 hop
+  Cycle warmup_memory_latency = 40;  ///< memory latency during cache warmup
+  double switching_activity = 0.5;   ///< alpha for link dynamic energy
+
+  power::RouterEnergyModel router_energy{};
+  power::ChipPowerModel chip_power{};
+
+  [[nodiscard]] bool heterogeneous() const { return link.heterogeneous(); }
+  [[nodiscard]] std::string name() const;
+
+  /// Paper baseline: single 75-byte B-Wire link, no compression.
+  static CmpConfig baseline();
+  /// Paper proposal: VL bundle sized by the scheme (Sec. 4.3) + 34 B B-Wires.
+  static CmpConfig heterogeneous(const compression::SchemeConfig& scheme);
+  /// Cheng et al. [6]'s three-subnet interconnect (L + B + PW), the related
+  /// work the paper compares against; no address compression.
+  static CmpConfig cheng3way();
+};
+
+}  // namespace tcmp::cmp

@@ -1,0 +1,48 @@
+// Post-run result extraction: turns the simulator's raw event counters into
+// the paper's metrics — execution time, the interconnect energy breakdown
+// and ED^2P (Figs. 6/7), message-type shares (Fig. 5) and compression
+// coverage (Fig. 2). All energy is computed post-hoc from counters, keeping
+// the hot simulation path free of floating-point accounting.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "cmp/system.hpp"
+#include "power/energy_ledger.hpp"
+
+namespace tcmp::cmp {
+
+struct RunResult {
+  std::string workload;
+  std::string configuration;
+  Cycle cycles = 0;
+  double seconds = 0.0;
+  std::uint64_t instructions = 0;
+
+  power::EnergyLedger energy;
+
+  double compression_coverage = 0.0;  ///< compressed / compression attempts
+  std::map<std::string, std::uint64_t> msg_counts;  ///< per type, network msgs
+  std::uint64_t remote_messages = 0;
+  std::uint64_t local_messages = 0;
+  double avg_critical_latency = 0.0;  ///< network latency of critical msgs
+
+  [[nodiscard]] double link_energy() const;
+  [[nodiscard]] double interconnect_energy() const {
+    return energy.interconnect_total();
+  }
+  [[nodiscard]] double total_energy() const { return energy.total(); }
+
+  /// ED^2P of the interconnect links (Fig. 6 bottom normalizes this).
+  [[nodiscard]] double link_ed2p() const;
+  /// ED^2P of the whole interconnect (links + routers + compression HW).
+  [[nodiscard]] double interconnect_ed2p() const;
+  /// ED^2P of the full CMP (Fig. 7).
+  [[nodiscard]] double full_cmp_ed2p() const;
+};
+
+/// Harvest a finished system.
+[[nodiscard]] RunResult make_result(const CmpSystem& system);
+
+}  // namespace tcmp::cmp

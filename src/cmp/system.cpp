@@ -1,0 +1,214 @@
+#include "cmp/system.hpp"
+
+#include <ostream>
+
+#include "common/check.hpp"
+#include "noc/channel.hpp"
+
+namespace tcmp::cmp {
+
+using protocol::CoherenceMsg;
+
+CmpSystem::CmpSystem(const CmpConfig& cfg, std::shared_ptr<core::Workload> workload)
+    : cfg_(cfg), workload_(std::move(workload)) {
+  TCMP_CHECK(workload_ != nullptr);
+  TCMP_CHECK(cfg_.n_tiles == cfg_.mesh_width * cfg_.mesh_height);
+
+  noc::NocConfig ncfg;
+  ncfg.width = cfg_.mesh_width;
+  ncfg.height = cfg_.mesh_height;
+  ncfg.topology = cfg_.topology;
+  ncfg.channels = noc::make_channels(cfg_.link, cfg_.link_length_mm, cfg_.freq_hz);
+  ncfg.vcs_per_vnet = cfg_.vcs_per_vnet;
+  ncfg.buffer_flits = cfg_.buffer_flits;
+  ncfg.single_cycle_router = cfg_.single_cycle_router;
+  ncfg.link_length_mm = cfg_.link_length_mm;
+  ncfg.freq_hz = cfg_.freq_hz;
+  network_ = std::make_unique<noc::Network>(ncfg, &stats_);
+
+  at_barrier_.assign(cfg_.n_tiles, false);
+  for (unsigned i = 0; i < protocol::kNumMsgTypes; ++i) {
+    const auto type = static_cast<protocol::MsgType>(i);
+    msg_counters_[i] =
+        &stats_.counter("msg." + std::string(protocol::to_string(type)));
+  }
+  local_count_ = &stats_.counter("msg_local.count");
+  remote_count_ = &stats_.counter("msg_remote.count");
+  remote_bytes_ = &stats_.counter("msg_remote.uncompressed_bytes");
+
+  for (unsigned t = 0; t < cfg_.n_tiles; ++t) {
+    auto tile = std::make_unique<Tile>();
+    const auto id = static_cast<NodeId>(t);
+    auto sink = [this, id](CoherenceMsg msg) { route_outgoing(id, msg); };
+    protocol::L1Cache::Config l1cfg = cfg_.l1;
+    protocol::Directory::Config l2cfg = cfg_.l2;
+    l1cfg.reply_partitioning = l2cfg.reply_partitioning = cfg_.reply_partitioning;
+    tile->l1 = std::make_unique<protocol::L1Cache>(id, l1cfg, cfg_.n_tiles,
+                                                   &stats_, sink);
+    tile->dir = std::make_unique<protocol::Directory>(id, l2cfg, cfg_.n_tiles,
+                                                      &stats_, sink);
+    tile->nic = std::make_unique<het::TileNic>(id, cfg_.scheme, cfg_.link.style,
+                                               cfg_.n_tiles, network_.get(),
+                                               &stats_);
+    tile->l1i = std::make_unique<protocol::ICache>(id, protocol::ICache::Config{},
+                                                   cfg_.n_tiles, &stats_, sink);
+    tile->core = std::make_unique<core::Core>(id, core::Core::Config{},
+                                              workload_.get(), tile->l1.get(),
+                                              &stats_);
+    tile->core->set_icache(tile->l1i.get(), workload_->code_lines());
+    tile->core->set_barrier_handler(
+        [this](unsigned c, std::uint32_t b) { on_barrier(c, b); });
+    tile->l1->set_fill_callback(
+        [core = tile->core.get()](Addr line) { core->on_fill(line); });
+    tile->l1i->set_fill_callback([core = tile->core.get()] { core->on_ifill(); });
+    tiles_.push_back(std::move(tile));
+  }
+
+  network_->set_deliver([this](NodeId node, const CoherenceMsg& msg) {
+    tiles_[node]->nic->receive(
+        msg, now_, [this, node](const CoherenceMsg& m) { deliver_local(node, m); });
+  });
+
+  if (workload_->has_warmup()) {
+    // Functional warmup: fill caches quickly, then measure the steady
+    // parallel phase at the real memory latency.
+    for (auto& t : tiles_) t->dir->set_memory_latency(cfg_.warmup_memory_latency);
+  } else {
+    warmup_done_ = true;
+  }
+}
+
+void CmpSystem::route_outgoing(NodeId tile, CoherenceMsg msg) {
+  ++*msg_counters_[static_cast<unsigned>(msg.type)];
+  if (msg.dst == tile) {
+    // Tile-internal hop (e.g. the local L2 slice is the home): no mesh
+    // traversal, no compression, a fixed short latency.
+    tiles_[tile]->loopback.push(now_ + cfg_.local_latency, msg);
+    ++*local_count_;
+    return;
+  }
+  ++*remote_count_;
+  *remote_bytes_ += protocol::uncompressed_bytes(msg.type);
+  if (remote_hook_) remote_hook_(msg);
+  tiles_[tile]->nic->send(msg, now_);
+}
+
+void CmpSystem::deliver_local(NodeId tile, const CoherenceMsg& msg) {
+  switch (msg.dst_unit) {
+    case protocol::Unit::kDir:
+      tiles_[tile]->dir->deliver(msg, now_);
+      break;
+    case protocol::Unit::kL1I:
+      tiles_[tile]->l1i->deliver(msg);
+      break;
+    case protocol::Unit::kL1:
+      tiles_[tile]->l1->deliver(msg);
+      break;
+  }
+}
+
+void CmpSystem::on_barrier(unsigned core, std::uint32_t id) {
+  TCMP_CHECK(!at_barrier_[core]);
+  at_barrier_[core] = true;
+  pending_barrier_id_ = id;
+  ++waiting_;
+  ++stats_.counter("sync.barrier_arrivals");
+
+  unsigned done = 0;
+  for (const auto& t : tiles_)
+    if (t->core->done()) ++done;
+  if (waiting_ + done == cfg_.n_tiles) release_barrier();
+}
+
+void CmpSystem::release_barrier() {
+  const bool warmup_boundary =
+      pending_barrier_id_ == core::kWarmupBarrierId && !warmup_done_;
+  for (unsigned c = 0; c < cfg_.n_tiles; ++c) {
+    if (at_barrier_[c]) {
+      at_barrier_[c] = false;
+      tiles_[c]->core->barrier_release();
+    }
+  }
+  waiting_ = 0;
+  ++stats_.counter("sync.barriers_completed");
+  if (warmup_boundary) end_warmup();
+}
+
+void CmpSystem::end_warmup() {
+  warmup_done_ = true;
+  measure_start_ = now_;
+  warmup_instructions_ = total_instructions();
+  warmup_compression_accesses_ = compression_accesses();
+  for (auto& t : tiles_) t->dir->set_memory_latency(cfg_.l2.memory_latency);
+  stats_.zero_all();
+}
+
+void CmpSystem::step() {
+  ++now_;
+  network_->tick(now_);
+  for (auto& t : tiles_) {
+    while (auto msg = t->loopback.pop_ready(now_)) {
+      deliver_local(msg->dst, *msg);
+    }
+  }
+  for (auto& t : tiles_) t->dir->tick(now_);
+  for (auto& t : tiles_) t->core->tick(now_);
+
+  // A core finishing can release a barrier everyone else is already in.
+  if (waiting_ > 0) {
+    unsigned done = 0;
+    for (const auto& t : tiles_)
+      if (t->core->done()) ++done;
+    if (waiting_ + done == cfg_.n_tiles) release_barrier();
+  }
+}
+
+bool CmpSystem::finished() const {
+  for (const auto& t : tiles_) {
+    if (!t->core->done()) return false;
+  }
+  for (const auto& t : tiles_) {
+    if (!t->l1->quiescent() || !t->l1i->quiescent() || !t->dir->quiescent() ||
+        !t->loopback.empty())
+      return false;
+  }
+  return network_->quiescent();
+}
+
+bool CmpSystem::run(Cycle max_cycles) {
+  while (now_ < max_cycles) {
+    step();
+    if (finished()) return true;
+  }
+  return finished();
+}
+
+void CmpSystem::dump_state(std::ostream& out) const {
+  out << "=== CmpSystem @ cycle " << now_ << " (" << cfg_.name() << ") ===\n";
+  out << "warmup_done=" << warmup_done_ << " waiting_at_barrier=" << waiting_
+      << " network_quiescent=" << network_->quiescent() << "\n";
+  for (unsigned tidx = 0; tidx < cfg_.n_tiles; ++tidx) {
+    const Tile& t = *tiles_[tidx];
+    out << "tile " << tidx << ": core "
+        << (t.core->done() ? "done" : t.core->blocked() ? "blocked" : "running")
+        << " instr=" << t.core->instructions()
+        << " | l1 " << (t.l1->quiescent() ? "idle" : "busy")
+        << " l1i " << (t.l1i->quiescent() ? "idle" : "busy")
+        << " dir " << (t.dir->quiescent() ? "idle" : "busy")
+        << " loopback=" << t.loopback.size() << "\n";
+  }
+}
+
+std::uint64_t CmpSystem::total_instructions() const {
+  std::uint64_t total = 0;
+  for (const auto& t : tiles_) total += t->core->instructions();
+  return total;
+}
+
+std::uint64_t CmpSystem::compression_accesses() const {
+  std::uint64_t total = 0;
+  for (const auto& t : tiles_) total += t->nic->compression_accesses();
+  return total;
+}
+
+}  // namespace tcmp::cmp

@@ -1,0 +1,117 @@
+// Full-CMP assembly and cycle-driven simulation kernel: 16 tiles (core + L1
+// + L2/directory slice + NIC) over the (possibly heterogeneous) mesh, plus a
+// global barrier controller. Single-threaded and deterministic; parallel
+// parameter sweeps run one CmpSystem per configuration.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "cmp/config.hpp"
+#include "common/stats.hpp"
+#include "core/core_model.hpp"
+#include "core/workload.hpp"
+#include "het/nic.hpp"
+#include "noc/network.hpp"
+#include "protocol/delay_queue.hpp"
+#include "protocol/directory.hpp"
+#include "protocol/icache.hpp"
+#include "protocol/l1_cache.hpp"
+
+namespace tcmp::cmp {
+
+class CmpSystem {
+ public:
+  CmpSystem(const CmpConfig& cfg, std::shared_ptr<core::Workload> workload);
+
+  /// Run until every core finished and the machine drained, or `max_cycles`
+  /// elapsed. Returns true when the workload completed.
+  bool run(Cycle max_cycles = 500'000'000);
+
+  /// Single simulation step (tests).
+  void step();
+
+  /// Measured cycles (excludes the functional-warmup phase, if any).
+  [[nodiscard]] Cycle cycles() const { return now_ - measure_start_; }
+  [[nodiscard]] Cycle total_cycles() const { return now_; }
+  [[nodiscard]] bool warmup_done() const { return warmup_done_; }
+  [[nodiscard]] bool finished() const;
+  [[nodiscard]] std::uint64_t total_instructions() const;
+  [[nodiscard]] std::uint64_t compression_accesses() const;
+  /// Instruction / compression-access counts for the measured phase only.
+  [[nodiscard]] std::uint64_t measured_instructions() const {
+    return total_instructions() - warmup_instructions_;
+  }
+  [[nodiscard]] std::uint64_t measured_compression_accesses() const {
+    return compression_accesses() - warmup_compression_accesses_;
+  }
+
+  [[nodiscard]] const CmpConfig& config() const { return cfg_; }
+  [[nodiscard]] const StatRegistry& stats() const { return stats_; }
+  [[nodiscard]] StatRegistry& stats() { return stats_; }
+  [[nodiscard]] core::Workload& workload() { return *workload_; }
+
+  // Component access for tests and examples.
+  [[nodiscard]] protocol::L1Cache& l1(unsigned tile) { return *tiles_[tile]->l1; }
+  [[nodiscard]] protocol::Directory& directory(unsigned tile) {
+    return *tiles_[tile]->dir;
+  }
+  [[nodiscard]] core::Core& core(unsigned tile) { return *tiles_[tile]->core; }
+  [[nodiscard]] noc::Network& network() { return *network_; }
+  [[nodiscard]] const noc::Network& network() const { return *network_; }
+
+  /// Human-readable machine-state snapshot (deadlock triage, debugging):
+  /// per-core progress and block reasons, outstanding protocol transactions,
+  /// network occupancy.
+  void dump_state(std::ostream& out) const;
+
+  /// Observe every remote (mesh-traversing) message at injection time.
+  /// Used by the compression-coverage bench to capture address streams.
+  using MsgHook = std::function<void(const protocol::CoherenceMsg&)>;
+  void set_remote_msg_hook(MsgHook hook) { remote_hook_ = std::move(hook); }
+
+ private:
+  struct Tile {
+    std::unique_ptr<protocol::L1Cache> l1;
+    std::unique_ptr<protocol::ICache> l1i;
+    std::unique_ptr<protocol::Directory> dir;
+    std::unique_ptr<core::Core> core;
+    std::unique_ptr<het::TileNic> nic;
+    /// Tile-internal messages (L1 <-> local L2 slice) bypass the mesh.
+    protocol::DelayQueue<protocol::CoherenceMsg> loopback;
+  };
+
+  void route_outgoing(NodeId tile, protocol::CoherenceMsg msg);
+  void deliver_local(NodeId tile, const protocol::CoherenceMsg& msg);
+  void on_barrier(unsigned core, std::uint32_t id);
+  void release_barrier();
+  void end_warmup();
+
+  CmpConfig cfg_;
+  StatRegistry stats_;
+  std::array<std::uint64_t*, protocol::kNumMsgTypes> msg_counters_{};
+  std::uint64_t* local_count_ = nullptr;
+  std::uint64_t* remote_count_ = nullptr;
+  std::uint64_t* remote_bytes_ = nullptr;
+  std::shared_ptr<core::Workload> workload_;
+  MsgHook remote_hook_;
+  std::unique_ptr<noc::Network> network_;
+  std::vector<std::unique_ptr<Tile>> tiles_;
+  Cycle now_ = 0;
+
+  // Barrier controller.
+  std::vector<bool> at_barrier_;
+  unsigned waiting_ = 0;
+  std::uint32_t pending_barrier_id_ = 0;
+
+  // Warmup/measurement boundary.
+  Cycle measure_start_ = 0;
+  bool warmup_done_ = false;
+  std::uint64_t warmup_instructions_ = 0;
+  std::uint64_t warmup_compression_accesses_ = 0;
+};
+
+}  // namespace tcmp::cmp

@@ -1,0 +1,69 @@
+#include "common/args.hpp"
+
+#include <cstdlib>
+
+namespace tcmp {
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    if (arg.size() == 2) {
+      error_ = "bare '--' is not supported";
+      return false;
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // "--key value" when the next token is not an option; "--flag" otherwise.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "true";
+    }
+  }
+  return true;
+}
+
+std::string ArgParser::get(const std::string& key, const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it != values_.end() ? it->second : fallback;
+}
+
+double ArgParser::get_double(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  return end != it->second.c_str() ? v : fallback;
+}
+
+long ArgParser::get_long(const std::string& key, long fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(it->second.c_str(), &end, 10);
+  return end != it->second.c_str() ? v : fallback;
+}
+
+bool ArgParser::get_flag(const std::string& key) const {
+  auto it = values_.find(key);
+  return it != values_.end() && it->second != "false" && it->second != "0";
+}
+
+std::vector<std::string> ArgParser::unknown_keys(
+    const std::set<std::string>& known) const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : values_) {
+    if (!known.contains(k)) out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace tcmp

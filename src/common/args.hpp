@@ -1,0 +1,40 @@
+// Minimal command-line argument parser for the tools and examples:
+// supports --key value, --key=value, and boolean --flag forms, with typed
+// accessors and unknown-argument detection.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace tcmp {
+
+class ArgParser {
+ public:
+  /// Parse argv; returns false (and fills error()) on malformed input.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& key) const { return values_.contains(key); }
+  [[nodiscard]] std::string get(const std::string& key, const std::string& fallback) const;
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] long get_long(const std::string& key, long fallback) const;
+  /// --flag with no value (or =true/=false).
+  [[nodiscard]] bool get_flag(const std::string& key) const;
+
+  /// Non-flag positional arguments, in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+  /// Keys that were provided but are not in `known` (for usage errors).
+  [[nodiscard]] std::vector<std::string> unknown_keys(
+      const std::set<std::string>& known) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  std::string error_;
+};
+
+}  // namespace tcmp

@@ -1,0 +1,32 @@
+// Invariant checking. TCMP_CHECK is always on (cheap, used on cold paths such
+// as protocol state transitions where a violation means a simulator bug);
+// TCMP_DCHECK compiles out in release builds for hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tcmp::detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "TCMP_CHECK failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg ? msg : "");
+  std::abort();
+}
+}  // namespace tcmp::detail
+
+#define TCMP_CHECK(expr)                                                      \
+  do {                                                                        \
+    if (!(expr)) ::tcmp::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define TCMP_CHECK_MSG(expr, msg)                                                \
+  do {                                                                           \
+    if (!(expr)) ::tcmp::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define TCMP_DCHECK(expr) ((void)0)
+#else
+#define TCMP_DCHECK(expr) TCMP_CHECK(expr)
+#endif

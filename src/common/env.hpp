@@ -1,0 +1,31 @@
+// Environment-variable helpers used by benches to scale workload sizes
+// (e.g. TCMP_SCALE=0.25 for a quick smoke run) without rebuilding.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace tcmp {
+
+[[nodiscard]] inline double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return end != v ? parsed : fallback;
+}
+
+[[nodiscard]] inline long env_long(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  return end != v ? parsed : fallback;
+}
+
+[[nodiscard]] inline std::string env_string(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' ? std::string(v) : fallback;
+}
+
+}  // namespace tcmp

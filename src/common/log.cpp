@@ -1,0 +1,41 @@
+#include "common/log.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace tcmp {
+namespace {
+
+LogLevel initial_level() {
+  const char* env = std::getenv("TCMP_LOG");
+  if (env == nullptr) return LogLevel::kInfo;
+  if (std::strcmp(env, "trace") == 0) return LogLevel::kTrace;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  return LogLevel::kInfo;
+}
+
+LogLevel& level_ref() {
+  static LogLevel lvl = initial_level();
+  return lvl;
+}
+
+constexpr const char* kNames[] = {"TRACE", "DEBUG", "INFO", "WARN", "ERROR"};
+
+}  // namespace
+
+LogLevel Log::level() { return level_ref(); }
+void Log::set_level(LogLevel lvl) { level_ref() = lvl; }
+
+void Log::write(LogLevel lvl, const char* fmt, ...) {
+  if (!enabled(lvl)) return;
+  std::fprintf(stderr, "[%s] ", kNames[static_cast<int>(lvl)]);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace tcmp

@@ -1,0 +1,30 @@
+// Minimal leveled logger. Benches/examples run at Info; protocol debugging
+// uses Trace (set TCMP_LOG=trace in the environment). Trace calls on hot
+// paths are guarded so formatting cost is only paid when enabled.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace tcmp {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4 };
+
+class Log {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel lvl);
+  static bool enabled(LogLevel lvl) { return static_cast<int>(lvl) >= static_cast<int>(level()); }
+
+  [[gnu::format(printf, 2, 3)]] static void write(LogLevel lvl, const char* fmt, ...);
+};
+
+#define TCMP_LOG_TRACE(...)                                        \
+  do {                                                             \
+    if (::tcmp::Log::enabled(::tcmp::LogLevel::kTrace))            \
+      ::tcmp::Log::write(::tcmp::LogLevel::kTrace, __VA_ARGS__);   \
+  } while (0)
+#define TCMP_LOG_INFO(...) ::tcmp::Log::write(::tcmp::LogLevel::kInfo, __VA_ARGS__)
+#define TCMP_LOG_WARN(...) ::tcmp::Log::write(::tcmp::LogLevel::kWarn, __VA_ARGS__)
+
+}  // namespace tcmp

@@ -1,0 +1,80 @@
+// Deterministic, fast PRNG (xoshiro256**). Every stochastic component takes a
+// seeded Rng so whole-system simulations are bit-reproducible; there is no
+// global random state anywhere in the library.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.hpp"
+
+namespace tcmp {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the 256-bit state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    TCMP_DCHECK(bound > 0);
+    // Lemire's multiply-shift: modulo bias for simulation bounds (<< 2^64)
+    // is negligible and the widening multiply avoids a division.
+    __extension__ using u128 = unsigned __int128;
+    const u128 m = static_cast<u128>(next_u64()) * bound;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_range(std::int64_t lo, std::int64_t hi) {
+    TCMP_DCHECK(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli trial.
+  bool chance(double p) { return next_double() < p; }
+
+  /// Geometric-ish gap: number of trials until success with probability p,
+  /// clamped to [1, cap]. Used for compute-gap generation in workloads.
+  std::uint32_t geometric(double p, std::uint32_t cap = 1u << 20) {
+    if (p >= 1.0) return 1;
+    if (p <= 0.0) return cap;
+    std::uint32_t n = 1;
+    while (n < cap && !chance(p)) ++n;
+    return n;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace tcmp

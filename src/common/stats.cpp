@@ -1,0 +1,42 @@
+#include "common/stats.hpp"
+
+namespace tcmp {
+
+double Histogram::quantile(double q) const {
+  TCMP_CHECK(q >= 0.0 && q <= 1.0);
+  const std::uint64_t total = scalar_.count();
+  if (total == 0) return 0.0;
+  const double target = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    const double next = cum + static_cast<double>(bins_[i]);
+    if (next >= target) {
+      // Linear interpolation within the bin.
+      const double frac = bins_[i] ? (target - cum) / static_cast<double>(bins_[i]) : 0.0;
+      return (static_cast<double>(i) + frac) * static_cast<double>(bin_width_);
+    }
+    cum = next;
+  }
+  return static_cast<double>(bins_.size() * bin_width_);
+}
+
+std::uint64_t StatRegistry::sum_prefix(const std::string& prefix) const {
+  std::uint64_t total = 0;
+  for (auto it = counters_.lower_bound(prefix);
+       it != counters_.end() && it->first.compare(0, prefix.size(), prefix) == 0; ++it) {
+    total += it->second;
+  }
+  return total;
+}
+
+void StatRegistry::reset() {
+  counters_.clear();
+  scalars_.clear();
+}
+
+void StatRegistry::zero_all() {
+  for (auto& [name, value] : counters_) value = 0;
+  for (auto& [name, stat] : scalars_) stat.reset();
+}
+
+}  // namespace tcmp

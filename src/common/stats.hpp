@@ -1,0 +1,108 @@
+// Lightweight statistics primitives: counters, scalar trackers and fixed-bin
+// histograms, plus a registry that modules use to expose their stats for the
+// end-of-run report. No locking: the simulator is single-threaded per system
+// instance (parallel sweeps run one system per thread, each with its own
+// registry).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace tcmp {
+
+/// Running mean/min/max/count of a scalar sample stream.
+class ScalarStat {
+ public:
+  void add(double v) {
+    sum_ += v;
+    sum_sq_ += v * v;
+    min_ = count_ == 0 ? v : std::min(min_, v);
+    max_ = count_ == 0 ? v : std::max(max_, v);
+    ++count_;
+  }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double variance() const {
+    if (count_ < 2) return 0.0;
+    const double n = static_cast<double>(count_);
+    return std::max(0.0, sum_sq_ / n - (sum_ / n) * (sum_ / n));
+  }
+  void reset() { *this = ScalarStat{}; }
+
+ private:
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::uint64_t count_ = 0;
+};
+
+/// Histogram with uniform integer bins [0, bin_width, 2*bin_width, ...); the
+/// last bin is an overflow catch-all.
+class Histogram {
+ public:
+  explicit Histogram(std::size_t bins = 32, std::uint64_t bin_width = 1)
+      : bins_(bins, 0), bin_width_(bin_width) {
+    TCMP_CHECK(bins >= 2 && bin_width >= 1);
+  }
+
+  void add(std::uint64_t v) {
+    scalar_.add(static_cast<double>(v));
+    std::size_t idx = static_cast<std::size_t>(v / bin_width_);
+    if (idx >= bins_.size()) idx = bins_.size() - 1;
+    ++bins_[idx];
+  }
+
+  [[nodiscard]] const std::vector<std::uint64_t>& bins() const { return bins_; }
+  [[nodiscard]] std::uint64_t bin_width() const { return bin_width_; }
+  [[nodiscard]] const ScalarStat& scalar() const { return scalar_; }
+
+  /// Value below which `q` (0..1) of the samples fall, estimated from bins.
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t bin_width_;
+  ScalarStat scalar_;
+};
+
+/// Named stat registry. Components register plain counters / scalars; the CMP
+/// report walks it. Names are hierarchical ("noc.vl.flit_hops").
+class StatRegistry {
+ public:
+  std::uint64_t& counter(const std::string& name) { return counters_[name]; }
+  ScalarStat& scalar(const std::string& name) { return scalars_[name]; }
+
+  [[nodiscard]] std::uint64_t counter_value(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, ScalarStat>& scalars() const { return scalars_; }
+
+  /// Sum of all counters whose name starts with `prefix`.
+  [[nodiscard]] std::uint64_t sum_prefix(const std::string& prefix) const;
+
+  void reset();
+
+  /// Zero every value in place, keeping map nodes (and therefore any cached
+  /// pointers into the registry) valid. Used at the warmup/measurement
+  /// boundary.
+  void zero_all();
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, ScalarStat> scalars_;
+};
+
+}  // namespace tcmp

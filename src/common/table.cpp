@@ -1,0 +1,59 @@
+#include "common/table.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace tcmp {
+
+TextTable& TextTable::add_row(std::vector<std::string> cells) {
+  TCMP_CHECK_MSG(cells.size() == header_.size(), "row width must match header");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string TextTable::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "| " : " ");
+      if (c == 0) {
+        out << row[c] << std::string(widths[c] - row[c].size(), ' ');
+      } else {
+        out << std::string(widths[c] - row[c].size(), ' ') << row[c];
+      }
+      out << " |";
+    }
+    out << '\n';
+  };
+  auto emit_sep = [&] {
+    for (std::size_t c = 0; c < widths.size(); ++c)
+      out << (c == 0 ? "|" : "") << std::string(widths[c] + 2, '-') << "|";
+    out << '\n';
+  };
+  emit_row(header_);
+  emit_sep();
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+}  // namespace tcmp

@@ -1,0 +1,28 @@
+// ASCII table formatter used by the table/figure reproduction benches so all
+// of them print in the same, easily-diffable layout.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tcmp {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  TextTable& add_row(std::vector<std::string> cells);
+  /// Render with column widths fitted to content; first column left-aligned,
+  /// the rest right-aligned (numeric convention).
+  [[nodiscard]] std::string str() const;
+
+  static std::string fmt(double v, int precision = 3);
+  static std::string pct(double fraction, int precision = 1);  // 0.123 -> "12.3%"
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tcmp

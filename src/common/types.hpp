@@ -1,0 +1,29 @@
+// Fundamental scalar types shared by every subsystem.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace tcmp {
+
+/// Simulation time in core clock cycles (4 GHz in the paper's configuration).
+using Cycle = std::uint64_t;
+
+/// Physical byte address. The protocol operates on 64-byte line addresses
+/// (Addr >> 6); compression operates on line addresses as well.
+using Addr = std::uint64_t;
+
+/// Tile / core / router identifier (0..15 for the paper's 16-tile CMP).
+using NodeId = std::uint16_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
+/// Cache line geometry used throughout (Table 4: 64-byte lines).
+inline constexpr unsigned kLineBytes = 64;
+inline constexpr unsigned kLineShift = 6;
+
+[[nodiscard]] constexpr Addr line_of(Addr byte_addr) { return byte_addr >> kLineShift; }
+[[nodiscard]] constexpr Addr byte_of_line(Addr line) { return line << kLineShift; }
+
+}  // namespace tcmp

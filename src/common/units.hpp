@@ -1,0 +1,38 @@
+// Thin physical-unit helpers. Values are carried as doubles in SI units;
+// the suffix constructors and accessors keep intent explicit at call sites
+// (wire lengths in meters, delays in seconds, energies in joules).
+#pragma once
+
+namespace tcmp::units {
+
+// --- time ---
+inline constexpr double kPicosecond = 1e-12;
+inline constexpr double kNanosecond = 1e-9;
+[[nodiscard]] constexpr double ps(double v) { return v * kPicosecond; }
+[[nodiscard]] constexpr double ns(double v) { return v * kNanosecond; }
+[[nodiscard]] constexpr double to_ps(double seconds) { return seconds / kPicosecond; }
+
+// --- length ---
+inline constexpr double kMicrometer = 1e-6;
+inline constexpr double kMillimeter = 1e-3;
+[[nodiscard]] constexpr double um(double v) { return v * kMicrometer; }
+[[nodiscard]] constexpr double mm(double v) { return v * kMillimeter; }
+[[nodiscard]] constexpr double to_mm(double meters) { return meters / kMillimeter; }
+[[nodiscard]] constexpr double to_um(double meters) { return meters / kMicrometer; }
+
+// --- energy / power ---
+inline constexpr double kPicojoule = 1e-12;
+inline constexpr double kNanojoule = 1e-9;
+inline constexpr double kMilliwatt = 1e-3;
+[[nodiscard]] constexpr double pj(double v) { return v * kPicojoule; }
+[[nodiscard]] constexpr double nj(double v) { return v * kNanojoule; }
+[[nodiscard]] constexpr double mw(double v) { return v * kMilliwatt; }
+[[nodiscard]] constexpr double to_pj(double joules) { return joules / kPicojoule; }
+[[nodiscard]] constexpr double to_mw(double watts) { return watts / kMilliwatt; }
+
+// --- area ---
+inline constexpr double kSquareMicrometer = 1e-12;  // in m^2
+[[nodiscard]] constexpr double um2(double v) { return v * kSquareMicrometer; }
+[[nodiscard]] constexpr double to_mm2(double m2) { return m2 / 1e-6; }
+
+}  // namespace tcmp::units

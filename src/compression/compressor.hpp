@@ -1,0 +1,79 @@
+// Sender/receiver compressor interfaces.
+//
+// One SenderCompressor instance lives at each tile's network interface per
+// message class (requests vs. coherence commands); one ReceiverDecompressor
+// per tile per class decodes messages from all 16 possible senders.
+//
+// The simulator carries the true address in every message for functional
+// correctness and *additionally* runs the decompressor, asserting that the
+// reconstructed address matches — any sender/receiver state divergence (e.g.
+// from channel reordering) trips a TCMP_CHECK instead of silently corrupting
+// results.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/types.hpp"
+#include "compression/scheme.hpp"
+
+namespace tcmp::compression {
+
+/// What travels on the wire for the address portion of a message.
+struct Encoding {
+  bool compressed = false;
+  /// DBRC: compression-cache entry this address maps to (valid for both
+  /// compressed sends and uncompressed installs). Unused by Stride/Perfect.
+  std::uint8_t index = 0;
+  /// True when an uncompressed send installs/updates receiver state.
+  bool install = false;
+  /// The uncompressed low-order bytes of the line address (compressed sends).
+  std::uint64_t low_bits = 0;
+};
+
+/// Access counters for energy accounting: each table lookup/update costs one
+/// cacti_mini access.
+struct AccessCounters {
+  std::uint64_t lookups = 0;
+  std::uint64_t updates = 0;
+  [[nodiscard]] std::uint64_t total() const { return lookups + updates; }
+};
+
+class SenderCompressor {
+ public:
+  virtual ~SenderCompressor() = default;
+
+  /// Encode `line` (a line address) for destination `dst`, updating sender
+  /// state.
+  virtual Encoding compress(NodeId dst, Addr line) = 0;
+
+  [[nodiscard]] const AccessCounters& accesses() const { return accesses_; }
+
+ protected:
+  AccessCounters accesses_;
+};
+
+class ReceiverDecompressor {
+ public:
+  virtual ~ReceiverDecompressor() = default;
+
+  /// Decode a message from `src`, updating receiver state. For uncompressed
+  /// messages `full_line` is the address carried on the wire; for compressed
+  /// messages it is ignored and the address is reconstructed from state.
+  virtual Addr decode(NodeId src, const Encoding& enc, Addr full_line) = 0;
+
+  [[nodiscard]] const AccessCounters& accesses() const { return accesses_; }
+
+ protected:
+  AccessCounters accesses_;
+};
+
+struct CompressorPair {
+  std::unique_ptr<SenderCompressor> sender;
+  std::unique_ptr<ReceiverDecompressor> receiver;
+};
+
+/// Build the sender/receiver implementation for a scheme in an `n_nodes` CMP.
+[[nodiscard]] CompressorPair make_compressor(const SchemeConfig& cfg, unsigned n_nodes);
+
+}  // namespace tcmp::compression

@@ -1,0 +1,86 @@
+#include "compression/dbrc.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace tcmp::compression {
+
+DbrcSender::DbrcSender(unsigned entries, unsigned low_bytes, unsigned n_nodes,
+                       bool idealized_mirrors)
+    : entries_(entries),
+      low_bytes_(low_bytes),
+      n_nodes_(n_nodes),
+      idealized_mirrors_(idealized_mirrors) {
+  TCMP_CHECK(entries >= 1 && entries <= 256);
+  TCMP_CHECK(low_bytes == 1 || low_bytes == 2);
+  TCMP_CHECK(n_nodes >= 2 && n_nodes <= 32);
+}
+
+Encoding DbrcSender::compress(NodeId dst, Addr line) {
+  TCMP_DCHECK(dst < n_nodes_);
+  const Addr hi = hi_of(line);
+  const std::uint32_t dst_bit = 1u << dst;
+  ++clock_;
+  ++accesses_.lookups;
+
+  // Content-addressed lookup on the high-order bits.
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    Entry& e = entries_[i];
+    if (!e.valid || e.hi_tag != hi) continue;
+    e.lru_stamp = clock_;
+    Encoding enc;
+    enc.index = static_cast<std::uint8_t>(i);
+    if (idealized_mirrors_ || (e.dest_valid & dst_bit) != 0) {
+      ++hits_;
+      enc.compressed = true;
+      enc.low_bits = lo_of(line);
+    } else {
+      // The entry exists but this destination has never seen it: send the
+      // full address once and mark the mirror as installed.
+      ++misses_;
+      e.dest_valid |= dst_bit;
+      enc.install = true;
+      ++accesses_.updates;
+    }
+    return enc;
+  }
+
+  // Miss: evict the true-LRU entry; only `dst` will hold the new mirror.
+  ++misses_;
+  auto victim = std::min_element(entries_.begin(), entries_.end(),
+                                 [](const Entry& a, const Entry& b) {
+                                   if (a.valid != b.valid) return !a.valid;
+                                   return a.lru_stamp < b.lru_stamp;
+                                 });
+  victim->valid = true;
+  victim->hi_tag = hi;
+  victim->dest_valid = dst_bit;
+  victim->lru_stamp = clock_;
+  ++accesses_.updates;
+
+  Encoding enc;
+  enc.index = static_cast<std::uint8_t>(victim - entries_.begin());
+  enc.install = true;
+  return enc;
+}
+
+DbrcReceiver::DbrcReceiver(unsigned entries, unsigned low_bytes, unsigned n_nodes)
+    : mirror_(n_nodes, std::vector<Addr>(entries, 0)), low_bytes_(low_bytes) {}
+
+Addr DbrcReceiver::decode(NodeId src, const Encoding& enc, Addr full_line) {
+  TCMP_DCHECK(src < mirror_.size());
+  auto& regs = mirror_[src];
+  TCMP_CHECK_MSG(enc.index < regs.size(), "DBRC index out of range");
+  if (enc.compressed) {
+    ++accesses_.lookups;
+    return (regs[enc.index] << (8 * low_bytes_)) | enc.low_bits;
+  }
+  if (enc.install) {
+    ++accesses_.updates;
+    regs[enc.index] = full_line >> (8 * low_bytes_);
+  }
+  return full_line;
+}
+
+}  // namespace tcmp::compression

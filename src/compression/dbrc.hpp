@@ -1,0 +1,68 @@
+// Dynamic Base Register Caching (Farrens & Park [8]), adapted to a tiled CMP
+// as in Fig. 1 (left).
+//
+// The sender keeps ONE compression cache per message class, content-addressed
+// on the high-order bits of the line address, with true-LRU replacement. In a
+// 16-node network the receivers' mirror register files only observe messages
+// addressed to them, so each sender entry carries a per-destination valid
+// bit-vector: a compressed index is sent to a destination only if that
+// destination is known to hold the entry; otherwise the full address travels
+// together with the entry index, installing/updating the receiver's mirror.
+// This keeps sender and all 16 receiver mirrors coherent with exactly the
+// hardware inventory Table 1 charges (1 sending structure + 16 receiving
+// structures per class per core).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "compression/compressor.hpp"
+
+namespace tcmp::compression {
+
+class DbrcSender final : public SenderCompressor {
+ public:
+  DbrcSender(unsigned entries, unsigned low_bytes, unsigned n_nodes,
+             bool idealized_mirrors = true);
+
+  Encoding compress(NodeId dst, Addr line) override;
+
+  /// Fraction of compress() calls that produced a compressed encoding.
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    Addr hi_tag = 0;
+    std::uint32_t dest_valid = 0;  ///< bit i: receiver i's mirror holds this entry
+    std::uint64_t lru_stamp = 0;
+    bool valid = false;
+  };
+
+  [[nodiscard]] Addr hi_of(Addr line) const { return line >> (8 * low_bytes_); }
+  [[nodiscard]] std::uint64_t lo_of(Addr line) const {
+    return line & ((std::uint64_t{1} << (8 * low_bytes_)) - 1);
+  }
+
+  std::vector<Entry> entries_;
+  unsigned low_bytes_;
+  unsigned n_nodes_;
+  bool idealized_mirrors_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+class DbrcReceiver final : public ReceiverDecompressor {
+ public:
+  DbrcReceiver(unsigned entries, unsigned low_bytes, unsigned n_nodes);
+
+  Addr decode(NodeId src, const Encoding& enc, Addr full_line) override;
+
+ private:
+  // mirror_[src][index] = high-order tag of sender src's entry.
+  std::vector<std::vector<Addr>> mirror_;
+  unsigned low_bytes_;
+};
+
+}  // namespace tcmp::compression

@@ -1,0 +1,34 @@
+#include "common/check.hpp"
+#include "compression/compressor.hpp"
+#include "compression/dbrc.hpp"
+#include "compression/stride.hpp"
+#include "compression/trivial.hpp"
+
+namespace tcmp::compression {
+
+CompressorPair make_compressor(const SchemeConfig& cfg, unsigned n_nodes) {
+  switch (cfg.kind) {
+    case SchemeKind::kNone:
+      return {std::make_unique<NullSender>(), std::make_unique<NullReceiver>()};
+    case SchemeKind::kStride:
+      return {std::make_unique<StrideSender>(cfg.low_bytes, n_nodes),
+              std::make_unique<StrideReceiver>(cfg.low_bytes, n_nodes)};
+    case SchemeKind::kDbrc:
+      if (cfg.idealized_mirrors) {
+        // Receiver mirrors are assumed synchronized (the paper's model):
+        // reconstruction always succeeds; the mirror read is still charged.
+        return {std::make_unique<DbrcSender>(cfg.entries, cfg.low_bytes, n_nodes,
+                                             /*idealized_mirrors=*/true),
+                std::make_unique<IdealMirrorReceiver>()};
+      }
+      return {std::make_unique<DbrcSender>(cfg.entries, cfg.low_bytes, n_nodes,
+                                           /*idealized_mirrors=*/false),
+              std::make_unique<DbrcReceiver>(cfg.entries, cfg.low_bytes, n_nodes)};
+    case SchemeKind::kPerfect:
+      return {std::make_unique<PerfectSender>(), std::make_unique<PerfectReceiver>()};
+  }
+  TCMP_CHECK(false);
+  return {};
+}
+
+}  // namespace tcmp::compression

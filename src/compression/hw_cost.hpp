@@ -1,0 +1,29 @@
+// Hardware cost aggregation for a compression scheme in an n-core CMP —
+// the quantities of Table 1 (per-core totals) plus the per-access energies
+// the simulator charges at run time.
+#pragma once
+
+#include "compression/scheme.hpp"
+#include "power/cacti_mini.hpp"
+
+namespace tcmp::compression {
+
+struct SchemeHwCost {
+  unsigned structures_per_core = 0;  ///< arrays counted per core (all classes)
+  unsigned storage_bytes_per_core = 0;
+  double area_mm2_per_core = 0.0;
+  double leakage_w_per_core = 0.0;
+  /// Energy of one table access (lookup or update) of one structure.
+  double access_energy_j = 0.0;
+  /// "Max. Dyn. Power" in the Table 1 sense: every structure of every core...
+  /// accessed each cycle at f — reported per core.
+  double max_dyn_power_w_per_core = 0.0;
+};
+
+/// Cost using the paper's hardware inventory: per message class, 1 sending
+/// structure + n_nodes receiving structures per core, each of
+/// `entries * 8 bytes` (DBRC) or one 8-byte register (Stride).
+[[nodiscard]] SchemeHwCost scheme_hw_cost(const SchemeConfig& cfg, unsigned n_nodes,
+                                          double freq_hz = 4e9);
+
+}  // namespace tcmp::compression

@@ -1,0 +1,36 @@
+#include "compression/scheme.hpp"
+
+#include "common/check.hpp"
+
+namespace tcmp::compression {
+
+std::string SchemeConfig::name() const {
+  switch (kind) {
+    case SchemeKind::kNone:
+      return "none";
+    case SchemeKind::kStride:
+      return std::to_string(low_bytes) + "-byte Stride";
+    case SchemeKind::kDbrc:
+      return std::to_string(entries) + "-entry DBRC (" + std::to_string(low_bytes) +
+             "B LO)";
+    case SchemeKind::kPerfect:
+      return "Perfect (" + std::to_string(vl_width_bytes()) + "B VL)";
+  }
+  return "?";
+}
+
+unsigned SchemeConfig::compressed_addr_bytes() const {
+  switch (kind) {
+    case SchemeKind::kNone:
+      return 8;  // full address, never compressed
+    case SchemeKind::kStride:
+    case SchemeKind::kDbrc:
+      TCMP_CHECK(low_bytes == 1 || low_bytes == 2);
+      return low_bytes;
+    case SchemeKind::kPerfect:
+      return low_bytes;  // 0 for the 3-byte VL configuration
+  }
+  return 8;
+}
+
+}  // namespace tcmp::compression

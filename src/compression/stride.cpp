@@ -1,0 +1,63 @@
+#include "compression/stride.hpp"
+
+#include "common/check.hpp"
+
+namespace tcmp::compression {
+
+StrideSender::StrideSender(unsigned low_bytes, unsigned n_nodes)
+    : base_(n_nodes, 0), valid_(n_nodes, false), low_bytes_(low_bytes) {
+  TCMP_CHECK(low_bytes == 1 || low_bytes == 2);
+}
+
+bool StrideSender::fits(std::int64_t delta, unsigned low_bytes) {
+  const std::int64_t limit = std::int64_t{1} << (8 * low_bytes - 1);
+  return delta >= -limit && delta < limit;
+}
+
+Encoding StrideSender::compress(NodeId dst, Addr line) {
+  TCMP_DCHECK(dst < base_.size());
+  ++accesses_.lookups;
+  Encoding enc;
+  if (valid_[dst]) {
+    const std::int64_t delta =
+        static_cast<std::int64_t>(line) - static_cast<std::int64_t>(base_[dst]);
+    if (fits(delta, low_bytes_)) {
+      ++hits_;
+      enc.compressed = true;
+      // Two's-complement truncation to low_bytes; the receiver sign-extends.
+      enc.low_bits = static_cast<std::uint64_t>(delta) &
+                     ((std::uint64_t{1} << (8 * low_bytes_)) - 1);
+    } else {
+      ++misses_;
+      enc.install = true;
+    }
+  } else {
+    ++misses_;
+    enc.install = true;
+    valid_[dst] = true;
+  }
+  base_[dst] = line;
+  ++accesses_.updates;
+  return enc;
+}
+
+StrideReceiver::StrideReceiver(unsigned low_bytes, unsigned n_nodes)
+    : base_(n_nodes, 0), low_bytes_(low_bytes) {}
+
+Addr StrideReceiver::decode(NodeId src, const Encoding& enc, Addr full_line) {
+  TCMP_DCHECK(src < base_.size());
+  ++accesses_.updates;
+  if (!enc.compressed) {
+    base_[src] = full_line;
+    return full_line;
+  }
+  // Sign-extend the transmitted delta.
+  const unsigned bits = 8 * low_bytes_;
+  std::int64_t delta = static_cast<std::int64_t>(enc.low_bits);
+  if ((enc.low_bits >> (bits - 1)) & 1) delta -= std::int64_t{1} << bits;
+  const Addr line = static_cast<Addr>(static_cast<std::int64_t>(base_[src]) + delta);
+  base_[src] = line;
+  return line;
+}
+
+}  // namespace tcmp::compression

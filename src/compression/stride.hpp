@@ -1,0 +1,47 @@
+// Stride compression (Fig. 1, right): the sender keeps, per destination, the
+// last line address sent; when the signed difference to the next address fits
+// in `low_bytes`, only the difference travels. Both ends update their base
+// register on every message (compressed or not), so no index/install protocol
+// is needed — but the first message to each destination is always
+// uncompressed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "compression/compressor.hpp"
+
+namespace tcmp::compression {
+
+class StrideSender final : public SenderCompressor {
+ public:
+  StrideSender(unsigned low_bytes, unsigned n_nodes);
+
+  Encoding compress(NodeId dst, Addr line) override;
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+  /// True iff `delta` is representable in `low_bytes` signed bytes.
+  static bool fits(std::int64_t delta, unsigned low_bytes);
+
+ private:
+  std::vector<Addr> base_;
+  std::vector<bool> valid_;
+  unsigned low_bytes_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+class StrideReceiver final : public ReceiverDecompressor {
+ public:
+  StrideReceiver(unsigned low_bytes, unsigned n_nodes);
+
+  Addr decode(NodeId src, const Encoding& enc, Addr full_line) override;
+
+ private:
+  std::vector<Addr> base_;
+  unsigned low_bytes_;
+};
+
+}  // namespace tcmp::compression

@@ -1,0 +1,54 @@
+// Degenerate compressors: Perfect (oracle: every address compresses, used for
+// the solid potential-improvement lines of Fig. 6) and Null (nothing
+// compresses; the baseline path).
+#pragma once
+
+#include "compression/compressor.hpp"
+
+namespace tcmp::compression {
+
+class PerfectSender final : public SenderCompressor {
+ public:
+  Encoding compress(NodeId /*dst*/, Addr line) override {
+    Encoding enc;
+    enc.compressed = true;
+    enc.low_bits = line;  // oracle: receiver reconstructs for free
+    return enc;
+  }
+};
+
+class PerfectReceiver final : public ReceiverDecompressor {
+ public:
+  Addr decode(NodeId /*src*/, const Encoding& enc, Addr full_line) override {
+    return enc.compressed ? static_cast<Addr>(enc.low_bits) : full_line;
+  }
+};
+
+/// Receiver for idealized-mirror DBRC: reconstruction is assumed exact (the
+/// message's functional address is authoritative); the register-file access
+/// is still counted for energy.
+class IdealMirrorReceiver final : public ReceiverDecompressor {
+ public:
+  Addr decode(NodeId /*src*/, const Encoding& enc, Addr full_line) override {
+    if (enc.compressed) {
+      ++accesses_.lookups;
+    } else if (enc.install) {
+      ++accesses_.updates;
+    }
+    return full_line;
+  }
+};
+
+class NullSender final : public SenderCompressor {
+ public:
+  Encoding compress(NodeId /*dst*/, Addr /*line*/) override { return Encoding{}; }
+};
+
+class NullReceiver final : public ReceiverDecompressor {
+ public:
+  Addr decode(NodeId /*src*/, const Encoding& /*enc*/, Addr full_line) override {
+    return full_line;
+  }
+};
+
+}  // namespace tcmp::compression

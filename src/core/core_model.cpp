@@ -1,0 +1,137 @@
+#include "core/core_model.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace tcmp::core {
+
+Core::Core(NodeId id, const Config& cfg, Workload* workload, protocol::L1Cache* l1,
+           StatRegistry* stats)
+    : id_(id), cfg_(cfg), workload_(workload), l1_(l1), stats_(stats) {
+  TCMP_CHECK(workload_ != nullptr && l1_ != nullptr && stats_ != nullptr);
+}
+
+void Core::set_icache(protocol::ICache* icache, std::uint64_t code_lines) {
+  icache_ = icache;
+  code_lines_ = std::max<std::uint64_t>(code_lines, 16);
+  pc_rng_.reseed(0xC0DE + id_ * 977u);
+  code_cursor_ = pc_rng_.next_below(code_lines_);
+}
+
+Addr Core::next_code_line() {
+  // SPMD text: execution lives in a hot loop nest that fits the I-cache,
+  // with rare excursions (calls into cold helpers/libraries) across the full
+  // program text. This yields the sub-percent I-miss rates real SPLASH codes
+  // exhibit while still generating occasional instruction-fetch traffic.
+  const std::uint64_t hot_lines = std::min<std::uint64_t>(code_lines_, 96);
+  if (pc_rng_.chance(0.99)) {
+    if (pc_rng_.chance(0.85)) {
+      code_cursor_ = (code_cursor_ + 1) % hot_lines;
+    } else {
+      code_cursor_ = pc_rng_.next_below(hot_lines);
+    }
+  } else {
+    code_cursor_ = pc_rng_.next_below(code_lines_);
+  }
+  return core::kCodeBaseLine + code_cursor_;
+}
+
+void Core::on_ifill() {
+  TCMP_CHECK(wait_ifetch_);
+  wait_ifetch_ = false;
+}
+
+void Core::on_fill(Addr line) {
+  if (wait_fill_ && line == wait_line_) {
+    wait_fill_ = false;
+    if (fill_retires_instr_) {
+      ++instructions_;
+      fill_retires_instr_ = false;
+    }
+  }
+}
+
+void Core::barrier_release() {
+  TCMP_CHECK(wait_barrier_);
+  wait_barrier_ = false;
+}
+
+void Core::tick(Cycle now) {
+  (void)now;
+  if (done_) return;
+  if (wait_fill_ || wait_barrier_ || wait_ifetch_) {
+    ++blocked_cycles_;
+    ++stats_->counter("core.blocked_cycles");
+    return;
+  }
+  // Front-end: fetch the next instruction line when the previous one is
+  // consumed. A miss stalls the whole in-order pipeline; after the fill the
+  // SAME line is re-fetched (now a hit) rather than rolling a new target.
+  if (icache_ != nullptr && ifetch_budget_ == 0) {
+    if (!have_pending_line_) {
+      pending_code_line_ = next_code_line();
+      have_pending_line_ = true;
+    }
+    if (!icache_->fetch(pending_code_line_)) {
+      wait_ifetch_ = true;
+      ++stats_->counter("core.ifetch_stalls");
+      return;
+    }
+    have_pending_line_ = false;
+    ifetch_budget_ = cfg_.ifetch_interval;
+  }
+
+  for (unsigned slot = 0; slot < cfg_.issue_width; ++slot) {
+    if (compute_left_ > 0) {
+      --compute_left_;
+      ++instructions_;
+      if (ifetch_budget_ > 0) --ifetch_budget_;
+      continue;
+    }
+    if (!has_op_) {
+      op_ = workload_->next(id_);
+      has_op_ = true;
+    }
+    switch (op_.kind) {
+      case OpKind::kCompute:
+        compute_left_ = op_.count;
+        has_op_ = false;
+        continue;  // retire from the burst starting this slot next iteration
+      case OpKind::kLoad:
+      case OpKind::kStore: {
+        const auto result = l1_->access(op_.line, op_.kind == OpKind::kStore);
+        if (result == protocol::AccessResult::kHit) {
+          has_op_ = false;
+          ++instructions_;
+          if (ifetch_budget_ > 0) --ifetch_budget_;
+          continue;
+        }
+        wait_fill_ = true;
+        wait_line_ = op_.line;
+        if (result == protocol::AccessResult::kMiss) {
+          has_op_ = false;
+          fill_retires_instr_ = true;
+        } else {
+          // kRetry: keep the op; re-execute the access after the fill.
+          fill_retires_instr_ = false;
+        }
+        ++stats_->counter("core.miss_stalls");
+        return;
+      }
+      case OpKind::kBarrier: {
+        wait_barrier_ = true;
+        has_op_ = false;
+        TCMP_CHECK(on_barrier_ != nullptr);
+        on_barrier_(id_, op_.count);
+        return;
+      }
+      case OpKind::kDone:
+        done_ = true;
+        ++stats_->counter("core.finished");
+        return;
+    }
+  }
+}
+
+}  // namespace tcmp::core

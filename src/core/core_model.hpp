@@ -1,0 +1,85 @@
+// In-order 2-way core timing model (Table 4). The core retires up to
+// `issue_width` instructions per cycle; a memory instruction that misses in
+// the L1 blocks the pipeline until the fill returns (loads and stores both
+// block: in-order issue with no store buffer, the conservative model also
+// used by RSIM's simple-core mode).
+#pragma once
+
+#include <functional>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "core/workload.hpp"
+#include "protocol/icache.hpp"
+#include "protocol/l1_cache.hpp"
+
+namespace tcmp::core {
+
+class Core {
+ public:
+  struct Config {
+    unsigned issue_width = 2;
+    /// Instructions per I-cache line (64 B / ~4 B per instruction).
+    unsigned ifetch_interval = 16;
+  };
+
+  /// `on_barrier(core, id)` must eventually be answered by barrier_release().
+  using BarrierFn = std::function<void(unsigned core, std::uint32_t id)>;
+
+  Core(NodeId id, const Config& cfg, Workload* workload, protocol::L1Cache* l1,
+       StatRegistry* stats);
+
+  void set_barrier_handler(BarrierFn fn) { on_barrier_ = std::move(fn); }
+
+  /// Attach the instruction cache (optional; without one the front-end
+  /// never stalls). `code_lines` is the shared program-text footprint.
+  void set_icache(protocol::ICache* icache, std::uint64_t code_lines);
+
+  /// Called by the L1 fill callback.
+  void on_fill(Addr line);
+  /// Called by the I-cache fill callback.
+  void on_ifill();
+  /// Called by the barrier controller when every core arrived.
+  void barrier_release();
+
+  void tick(Cycle now);
+
+  [[nodiscard]] bool done() const { return done_; }
+  [[nodiscard]] bool blocked() const {
+    return wait_fill_ || wait_barrier_ || wait_ifetch_;
+  }
+  [[nodiscard]] std::uint64_t instructions() const { return instructions_; }
+
+ private:
+  NodeId id_;
+  Config cfg_;
+  Workload* workload_;
+  protocol::L1Cache* l1_;
+  StatRegistry* stats_;
+  BarrierFn on_barrier_;
+
+  [[nodiscard]] Addr next_code_line();
+
+  protocol::ICache* icache_ = nullptr;
+  std::uint64_t code_lines_ = 512;
+  Rng pc_rng_{1};
+  std::uint64_t code_cursor_ = 0;
+  unsigned ifetch_budget_ = 0;
+  Addr pending_code_line_ = 0;   ///< line chosen for the in-progress fetch
+  bool have_pending_line_ = false;
+  bool wait_ifetch_ = false;
+
+  bool done_ = false;
+  bool wait_fill_ = false;
+  bool wait_barrier_ = false;
+  Addr wait_line_ = 0;
+  bool fill_retires_instr_ = false;  ///< the blocked memory op retires on fill
+  std::uint32_t compute_left_ = 0;
+  bool has_op_ = false;
+  Op op_{};
+  std::uint64_t instructions_ = 0;
+  Cycle blocked_cycles_ = 0;
+};
+
+}  // namespace tcmp::core

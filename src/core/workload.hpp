@@ -1,0 +1,62 @@
+// Workload abstraction: each core consumes a deterministic stream of
+// operations (compute bursts, loads, stores, barriers). Workloads are the
+// substitution for the paper's SPLASH/SPLASH-2 binaries — see
+// src/workloads/apps.hpp for the 13 application models.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace tcmp::core {
+
+/// Barrier id reserved for the warmup/measurement boundary: when this
+/// barrier releases, the system zeroes its statistics and restores the full
+/// memory latency (functional cache warmup, the standard methodology for
+/// measuring only the steady parallel phase).
+inline constexpr std::uint32_t kWarmupBarrierId = 0xFFFFFFFFu;
+
+enum class OpKind : std::uint8_t {
+  kCompute,  ///< `count` ALU instructions (no memory)
+  kLoad,     ///< read `line`
+  kStore,    ///< write `line`
+  kBarrier,  ///< global barrier `count`
+  kDone,     ///< this core's parallel phase is finished
+};
+
+struct Op {
+  OpKind kind = OpKind::kDone;
+  Addr line = 0;
+  std::uint32_t count = 0;  ///< compute length or barrier id
+
+  static Op compute(std::uint32_t n) { return {OpKind::kCompute, 0, n}; }
+  static Op load(Addr line) { return {OpKind::kLoad, line, 0}; }
+  static Op store(Addr line) { return {OpKind::kStore, line, 0}; }
+  static Op barrier(std::uint32_t id) { return {OpKind::kBarrier, 0, id}; }
+  static Op done() { return {OpKind::kDone, 0, 0}; }
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// Next operation for `core`. Called once per consumed op; must keep
+  /// returning kDone after the stream ends.
+  virtual Op next(unsigned core) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// True when the stream begins with a warmup phase terminated by a
+  /// kWarmupBarrierId barrier.
+  [[nodiscard]] virtual bool has_warmup() const { return false; }
+
+  /// Size of the program text in cache lines (shared read-only by all cores,
+  /// SPMD-style). Drives the instruction-fetch model.
+  [[nodiscard]] virtual std::uint64_t code_lines() const { return 512; }
+};
+
+/// Line address where the (shared) program text is laid out.
+inline constexpr Addr kCodeBaseLine = 0x8000000;
+
+}  // namespace tcmp::core

@@ -1,0 +1,76 @@
+// Per-tile network interface controller: the glue between the coherence
+// controllers and the (possibly heterogeneous) network.
+//
+// Send side: runs the address compressor for eligible messages, applies the
+// wire-mapping policy, stamps a per-(destination, message-class) sequence
+// number and injects into the chosen channel plane.
+//
+// Receive side: because the VL and B planes can reorder messages between the
+// same pair of tiles, compressor state updates must be applied in send
+// order. The NIC keeps, per (source, class), the next expected sequence
+// number and a small reorder window; decompression (and its state update)
+// happens strictly in sequence, after which messages are released to the
+// protocol immediately (the protocol itself tolerates reordering).
+//
+// The simulator carries the true address in every message; the NIC asserts
+// that the decompressed address matches it, so any sender/receiver state
+// divergence aborts the run instead of silently skewing results.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "compression/compressor.hpp"
+#include "het/wire_policy.hpp"
+#include "noc/network.hpp"
+
+namespace tcmp::het {
+
+class TileNic {
+ public:
+  using DeliverFn = std::function<void(const protocol::CoherenceMsg&)>;
+
+  TileNic(NodeId id, const compression::SchemeConfig& scheme,
+          wire::LinkStyle style, unsigned n_nodes, noc::Network* net,
+          StatRegistry* stats);
+
+  /// Compress/map/inject an outgoing message (dst != id).
+  void send(protocol::CoherenceMsg msg, Cycle now);
+
+  /// Handle a message ejected at this tile; forwards to `deliver` in
+  /// decompression-safe order.
+  void receive(protocol::CoherenceMsg msg, Cycle now, const DeliverFn& deliver);
+
+  /// Table accesses performed by this tile's compression hardware (for the
+  /// energy report).
+  [[nodiscard]] std::uint64_t compression_accesses() const;
+
+  [[nodiscard]] const compression::SchemeConfig& scheme() const { return scheme_; }
+
+ private:
+  struct ClassState {
+    std::unique_ptr<compression::SenderCompressor> sender;
+    std::unique_ptr<compression::ReceiverDecompressor> receiver;
+    std::vector<std::uint32_t> next_send_seq;  ///< per destination
+    std::vector<std::uint32_t> next_recv_seq;  ///< per source
+    /// Per source: out-of-order arrivals waiting for their turn.
+    std::vector<std::map<std::uint32_t, protocol::CoherenceMsg>> reorder;
+  };
+
+  void decode_and_release(ClassState& cs, NodeId src,
+                          const protocol::CoherenceMsg& msg,
+                          const DeliverFn& deliver);
+
+  NodeId id_;
+  compression::SchemeConfig scheme_;
+  wire::LinkStyle style_;
+  noc::Network* net_;
+  StatRegistry* stats_;
+  std::array<ClassState, compression::kNumMsgClasses> classes_;
+};
+
+}  // namespace tcmp::het

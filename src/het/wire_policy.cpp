@@ -1,0 +1,59 @@
+#include "het/wire_policy.hpp"
+
+#include "noc/channel.hpp"
+
+namespace tcmp::het {
+
+using protocol::MsgType;
+
+bool wants_compression(MsgType type, const compression::SchemeConfig& scheme,
+                       wire::LinkStyle style) {
+  // Compression only pays off when a VL channel exists to exploit the slack,
+  // and only critical messages are mapped there (non-critical
+  // address-carriers would gain nothing). [6]'s L-Wires are wide enough for
+  // uncompressed messages, so that style never compresses.
+  return style == wire::LinkStyle::kVlHet && scheme.enabled() &&
+         protocol::carries_address(type) && protocol::is_critical(type);
+}
+
+MappingDecision map_message(MsgType type, bool address_compressed,
+                            const compression::SchemeConfig& scheme,
+                            wire::LinkStyle style) {
+  MappingDecision d;
+  d.channel = noc::kBChannel;
+  d.wire_bytes = protocol::uncompressed_bytes(type);
+  if (style == wire::LinkStyle::kBaseline) return d;
+
+  if (style == wire::LinkStyle::kCheng3Way) {
+    // [6]: latency/bandwidth-aware static mapping, no compression.
+    // Non-critical traffic (including 67-byte writebacks/revisions) is
+    // latency-insensitive and rides the power-optimized subnet.
+    if (!protocol::is_critical(type)) {
+      d.channel = noc::kPwChannel;
+      return d;
+    }
+    if (protocol::carries_data(type)) return d;  // critical long -> B subnet
+    d.channel = noc::kLChannel;  // short critical, one 11-byte flit
+    return d;
+  }
+
+  if (protocol::carries_data(type)) return d;   // long -> B-Wires
+  if (!protocol::is_critical(type)) return d;   // non-critical -> B-Wires
+
+  if (!protocol::carries_address(type)) {
+    // Already-short critical coherence replies (3 B) ride the VL bundle
+    // (partial replies occupy multiple VL flits but stay critical).
+    d.channel = noc::kVlChannel;
+    return d;
+  }
+  if (address_compressed) {
+    d.channel = noc::kVlChannel;
+    d.compressed = true;
+    d.wire_bytes = protocol::kControlBytes + scheme.compressed_addr_bytes();
+    return d;
+  }
+  // Critical but uncompressed: the full 11-byte message takes the B-Wires.
+  return d;
+}
+
+}  // namespace tcmp::het

@@ -1,0 +1,42 @@
+// The paper's message-to-wire mapping (Sec. 4.3):
+//
+//   * VL-Wires carry short critical messages that fit in one VL flit:
+//     data-free coherence replies (3 B) and *compressed* requests /
+//     coherence commands (3 B control + 1-2 B compressed address).
+//   * B-Wires carry everything else: data messages (67 B), non-critical
+//     messages (replacements, revisions, acks on the replacement path) and
+//     short critical messages whose address failed to compress (11 B).
+//
+// In the baseline (homogeneous) configuration every message maps to the
+// single 75-byte B channel at its uncompressed size.
+#pragma once
+
+#include "compression/scheme.hpp"
+#include "protocol/coherence_msg.hpp"
+#include "wire/link_design.hpp"
+
+namespace tcmp::het {
+
+struct MappingDecision {
+  unsigned channel = 0;     ///< index into the link's channel set
+  unsigned wire_bytes = 0;  ///< modelled size on that channel
+  bool compressed = false;
+};
+
+/// Pure mapping rule given the compression outcome and the link style:
+///  * kBaseline  — everything on the single B channel, uncompressed sizes;
+///  * kVlHet     — the paper's policy (compressed/short critical -> VL);
+///  * kCheng3Way — [6]'s policy: short critical -> L (uncompressed, one
+///    flit), non-critical -> PW, data -> B.
+[[nodiscard]] MappingDecision map_message(protocol::MsgType type,
+                                          bool address_compressed,
+                                          const compression::SchemeConfig& scheme,
+                                          wire::LinkStyle style);
+
+/// True when this message type goes through the address compressor at all
+/// (address-carrying, critical, and the style exploits compression).
+[[nodiscard]] bool wants_compression(protocol::MsgType type,
+                                     const compression::SchemeConfig& scheme,
+                                     wire::LinkStyle style);
+
+}  // namespace tcmp::het

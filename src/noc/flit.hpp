@@ -1,0 +1,27 @@
+// Flow-control digits. A packet is serialized into ceil(bytes/width) flits;
+// the head flit drives routing/VC allocation, the tail flit carries the
+// protocol message (wormhole switching keeps a packet's flits in order on a
+// single VC path, so the message payload is available exactly when the
+// packet fully arrives).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "protocol/coherence_msg.hpp"
+
+namespace tcmp::noc {
+
+struct Flit {
+  std::uint64_t packet_id = 0;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  std::uint8_t vnet = 0;
+  bool head = false;
+  bool tail = false;
+  std::uint16_t active_bits = 0;  ///< wires actually toggled by this flit
+  Cycle injected_at = 0;          ///< head: packet injection time (latency stats)
+  protocol::CoherenceMsg msg{};   ///< valid on tail flits only
+};
+
+}  // namespace tcmp::noc

@@ -1,0 +1,250 @@
+#include "noc/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace tcmp::noc {
+
+Network::Network(const NocConfig& cfg, StatRegistry* stats)
+    : cfg_(cfg), stats_(stats) {
+  TCMP_CHECK(stats_ != nullptr);
+  TCMP_CHECK(!cfg_.channels.empty());
+  TCMP_CHECK(cfg_.width >= 2 && cfg_.height >= 1);
+
+  planes_.resize(cfg_.channels.size());
+  for (unsigned c = 0; c < cfg_.channels.size(); ++c) {
+    if (cfg_.topology == Topology::kMesh2D) {
+      build_mesh(c);
+    } else {
+      build_tree(c);
+    }
+    ChannelPlane& plane = planes_[c];
+    for (auto& a : plane.attach) {
+      TCMP_CHECK_MSG(a.router != nullptr, "tile not attached to the plane");
+    }
+    plane.lanes.assign(cfg_.nodes(), std::vector<Lane>(protocol::kNumVnets));
+    const std::string prefix = "noc." + cfg_.channels[c].name;
+    plane.packets = &stats_->counter(prefix + ".packets");
+    plane.payload_bytes = &stats_->counter(prefix + ".payload_bytes");
+    plane.flits_injected = &stats_->counter(prefix + ".flits_injected");
+    plane.latency = &stats_->scalar(prefix + ".latency");
+  }
+  critical_latency_ = &stats_->scalar("noc.critical_latency");
+}
+
+void Network::build_mesh(unsigned ch) {
+  ChannelPlane& plane = planes_[ch];
+  const ChannelSpec& spec = cfg_.channels[ch];
+  Router::Config rcfg;
+  rcfg.vcs_per_vnet = cfg_.vcs_per_vnet;
+  rcfg.vnets = protocol::kNumVnets;
+  rcfg.buffer_flits = cfg_.buffer_flits;
+  rcfg.nodes = cfg_.nodes();
+  rcfg.single_cycle = cfg_.single_cycle_router;
+
+  const std::string prefix = "noc." + spec.name;
+  for (unsigned n = 0; n < cfg_.nodes(); ++n) {
+    plane.routers.push_back(
+        std::make_unique<Router>(static_cast<NodeId>(n), rcfg, stats_, prefix));
+  }
+
+  const unsigned w = cfg_.width;
+  const unsigned link_cycles = spec.link_cycles;
+  const double mm = cfg_.link_length_mm;
+  for (unsigned n = 0; n < cfg_.nodes(); ++n) {
+    const unsigned x = n % w, y = n / w;
+    if (x + 1 < w) {
+      plane.routers[n]->connect(kPortE, plane.routers[n + 1].get(), kPortW,
+                                link_cycles, mm);
+      plane.routers[n + 1]->connect(kPortW, plane.routers[n].get(), kPortE,
+                                    link_cycles, mm);
+      plane.total_link_mm += 2 * mm;
+    }
+    if (y + 1 < cfg_.height) {
+      plane.routers[n]->connect(kPortS, plane.routers[n + w].get(), kPortN,
+                                link_cycles, mm);
+      plane.routers[n + w]->connect(kPortN, plane.routers[n].get(), kPortS,
+                                    link_cycles, mm);
+      plane.total_link_mm += 2 * mm;
+    }
+  }
+
+  // XY routing tables and per-node attach/eject at the Local port.
+  plane.attach.assign(cfg_.nodes(), Attach{});
+  for (unsigned r = 0; r < cfg_.nodes(); ++r) {
+    Router& router = *plane.routers[r];
+    const unsigned x = r % w, y = r / w;
+    for (unsigned d = 0; d < cfg_.nodes(); ++d) {
+      const unsigned dx = d % w, dy = d / w;
+      unsigned port = kPortLocal;
+      if (dx > x) {
+        port = kPortE;
+      } else if (dx < x) {
+        port = kPortW;
+      } else if (dy > y) {
+        port = kPortS;
+      } else if (dy < y) {
+        port = kPortN;
+      }
+      router.set_route(static_cast<NodeId>(d), port);
+    }
+    const auto node = static_cast<NodeId>(r);
+    router.set_eject(kPortLocal, [this, ch, node](Flit&& flit) {
+      on_eject(ch, node, std::move(flit), now_);
+    });
+    plane.attach[r] = Attach{&router, kPortLocal};
+  }
+}
+
+void Network::build_tree(unsigned ch) {
+  // Two-level tree: nodes/4 cluster routers (one port per leaf tile + one
+  // uplink) under a single root. Few routers, long root links: the topology
+  // for which [6] reported its gains.
+  ChannelPlane& plane = planes_[ch];
+  const ChannelSpec& spec = cfg_.channels[ch];
+  const unsigned n_nodes = cfg_.nodes();
+  TCMP_CHECK_MSG(n_nodes % 4 == 0 && n_nodes / 4 <= kNumPorts - 1,
+                 "tree topology supports up to 4 clusters of 4 tiles");
+  const unsigned n_clusters = n_nodes / 4;
+
+  Router::Config rcfg;
+  rcfg.vcs_per_vnet = cfg_.vcs_per_vnet;
+  rcfg.vnets = protocol::kNumVnets;
+  rcfg.buffer_flits = cfg_.buffer_flits;
+  rcfg.nodes = n_nodes;
+  rcfg.single_cycle = cfg_.single_cycle_router;
+
+  const std::string prefix = "noc." + spec.name;
+  for (unsigned r = 0; r < n_clusters + 1; ++r) {
+    plane.routers.push_back(
+        std::make_unique<Router>(static_cast<NodeId>(r), rcfg, stats_, prefix));
+  }
+  Router& root = *plane.routers[n_clusters];
+
+  const double root_mm = cfg_.link_length_mm * cfg_.tree_root_link_factor;
+  const unsigned root_cycles = static_cast<unsigned>(std::max<double>(
+      1.0, std::ceil(static_cast<double>(spec.link_cycles) *
+                     cfg_.tree_root_link_factor)));
+  constexpr unsigned kUpPort = kNumPorts - 1;
+
+  plane.attach.assign(n_nodes, Attach{});
+  for (unsigned c = 0; c < n_clusters; ++c) {
+    Router& cluster = *plane.routers[c];
+    cluster.connect(kUpPort, &root, /*in_port=*/c, root_cycles, root_mm);
+    root.connect(c, &cluster, kUpPort, root_cycles, root_mm);
+    plane.total_link_mm += 2 * root_mm;
+
+    for (unsigned d = 0; d < n_nodes; ++d) {
+      cluster.set_route(static_cast<NodeId>(d), d / 4 == c ? d % 4 : kUpPort);
+      root.set_route(static_cast<NodeId>(d), d / 4);
+    }
+    for (unsigned i = 0; i < 4; ++i) {
+      const auto node = static_cast<NodeId>(c * 4 + i);
+      cluster.set_eject(i, [this, ch, node](Flit&& flit) {
+        on_eject(ch, node, std::move(flit), now_);
+      });
+      plane.attach[node] = Attach{&cluster, i};
+      // The tile-to-cluster stub is part of the plane's metal.
+      plane.total_link_mm += 2 * cfg_.link_length_mm;
+    }
+  }
+}
+
+void Network::inject(const protocol::CoherenceMsg& msg, unsigned channel,
+                     unsigned wire_bytes, Cycle now) {
+  TCMP_CHECK(channel < planes_.size());
+  TCMP_CHECK(msg.src < cfg_.nodes() && msg.dst < cfg_.nodes());
+  TCMP_CHECK_MSG(msg.src != msg.dst, "local messages must not enter the mesh");
+  const unsigned vnet = protocol::vnet_of(msg.type);
+  ChannelPlane& plane = planes_[channel];
+  Lane& lane = plane.lanes[msg.src][vnet];
+  lane.queue.push_back({msg, wire_bytes, now});
+  ++*plane.packets;
+  *plane.payload_bytes += wire_bytes;
+}
+
+void Network::pump_lane(unsigned ch, NodeId node, unsigned vnet, Cycle now) {
+  Lane& lane = planes_[ch].lanes[node][vnet];
+  if (!lane.active) {
+    if (lane.queue.empty()) return;
+    lane.active = true;
+    lane.flits_emitted = 0;
+    lane.total_flits = flits_for(ch, lane.queue.front().wire_bytes);
+    lane.vc = vnet * cfg_.vcs_per_vnet;  // single-VC lanes use the first VC
+    lane.packet_id = next_packet_id_++;
+  }
+  const Attach& at = planes_[ch].attach[node];
+  if (!at.router->can_inject(at.port, lane.vc)) return;
+
+  const Packet& pkt = lane.queue.front();
+  const ChannelSpec& spec = cfg_.channels[ch];
+  const unsigned i = lane.flits_emitted;
+  const unsigned remaining = pkt.wire_bytes - i * spec.width_bytes;
+  Flit flit;
+  flit.packet_id = lane.packet_id;
+  flit.src = pkt.msg.src;
+  flit.dst = pkt.msg.dst;
+  flit.vnet = static_cast<std::uint8_t>(vnet);
+  flit.head = i == 0;
+  flit.tail = i + 1 == lane.total_flits;
+  flit.active_bits =
+      static_cast<std::uint16_t>(8 * std::min(remaining, spec.width_bytes));
+  flit.injected_at = pkt.queued_at;
+  if (flit.tail) flit.msg = pkt.msg;
+
+  const bool ok = at.router->try_inject(at.port, lane.vc, std::move(flit), now);
+  TCMP_CHECK(ok);
+  ++*planes_[ch].flits_injected;
+  if (++lane.flits_emitted == lane.total_flits) {
+    lane.queue.pop_front();
+    lane.active = false;
+  }
+}
+
+void Network::on_eject(unsigned ch, NodeId node, Flit&& flit, Cycle now) {
+  if (!flit.tail) return;  // only the tail completes the packet
+  planes_[ch].latency->add(static_cast<double>(now - flit.injected_at));
+  if (protocol::is_critical(flit.msg.type)) {
+    critical_latency_->add(static_cast<double>(now - flit.injected_at));
+  }
+  TCMP_CHECK(deliver_ != nullptr);
+  deliver_(node, flit.msg);
+}
+
+void Network::tick(Cycle now) {
+  now_ = now;
+  for (auto& plane : planes_) {
+    for (auto& r : plane.routers) r->tick_deliver(now);
+  }
+  for (auto& plane : planes_) {
+    for (auto& r : plane.routers) r->tick_allocate(now);
+  }
+  for (auto& plane : planes_) {
+    for (auto& r : plane.routers) r->tick_switch(now);
+  }
+  for (unsigned c = 0; c < planes_.size(); ++c) {
+    for (unsigned n = 0; n < cfg_.nodes(); ++n) {
+      for (unsigned v = 0; v < protocol::kNumVnets; ++v) {
+        pump_lane(c, static_cast<NodeId>(n), v, now);
+      }
+    }
+  }
+}
+
+bool Network::quiescent() const {
+  for (const auto& plane : planes_) {
+    for (const auto& r : plane.routers) {
+      if (!r->quiescent()) return false;
+    }
+    for (const auto& node_lanes : plane.lanes) {
+      for (const auto& lane : node_lanes) {
+        if (!lane.queue.empty()) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace tcmp::noc

@@ -1,0 +1,126 @@
+// Network facade: per-channel 2D-mesh router planes plus per-tile network
+// interfaces (packetization, injection lanes per virtual network, ejection
+// reassembly). The caller's mapping policy decides which channel and how many
+// wire bytes each message uses; the network handles everything below that.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "noc/channel.hpp"
+#include "noc/router.hpp"
+
+namespace tcmp::noc {
+
+/// Interconnect topology. The 2D mesh is the paper's (and any tiled CMP's)
+/// layout; the two-level tree is the organization for which Cheng et al. [6]
+/// reported their heterogeneous-wire gains — few routers, long wires.
+enum class Topology { kMesh2D, kTree2Level };
+
+struct NocConfig {
+  unsigned width = 4;
+  unsigned height = 4;
+  Topology topology = Topology::kMesh2D;
+  std::vector<ChannelSpec> channels;
+  unsigned vcs_per_vnet = 1;
+  unsigned buffer_flits = 4;
+  bool single_cycle_router = true;  ///< see Router::Config::single_cycle
+  double link_length_mm = 5.0;      ///< mesh hop length (tree: leaf links)
+  /// Tree only: cluster-to-root links are this factor longer than leaf links.
+  double tree_root_link_factor = 2.0;
+  double freq_hz = 4e9;
+
+  [[nodiscard]] unsigned nodes() const { return width * height; }
+};
+
+class Network {
+ public:
+  using DeliverFn = std::function<void(NodeId, const protocol::CoherenceMsg&)>;
+
+  Network(const NocConfig& cfg, StatRegistry* stats);
+
+  void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  /// Queue `msg` for injection at its source tile on `channel`, occupying
+  /// `wire_bytes` on the wire (after compression). Unbounded NI queue; the
+  /// credit protocol applies from the local router inward.
+  void inject(const protocol::CoherenceMsg& msg, unsigned channel,
+              unsigned wire_bytes, Cycle now);
+
+  void tick(Cycle now);
+
+  [[nodiscard]] bool quiescent() const;
+  [[nodiscard]] unsigned num_channels() const {
+    return static_cast<unsigned>(cfg_.channels.size());
+  }
+  [[nodiscard]] const ChannelSpec& channel(unsigned c) const { return cfg_.channels[c]; }
+  [[nodiscard]] const NocConfig& config() const { return cfg_; }
+  /// Total directed wire length of one channel plane (energy accounting).
+  [[nodiscard]] double total_directed_link_mm(unsigned c) const {
+    return planes_[c].total_link_mm;
+  }
+  /// Routers in one channel plane (5 for the tree, nodes() for the mesh).
+  [[nodiscard]] unsigned router_count(unsigned c) const {
+    return static_cast<unsigned>(planes_[c].routers.size());
+  }
+
+  /// Total flits a packet of `wire_bytes` occupies on channel `c`.
+  [[nodiscard]] unsigned flits_for(unsigned c, unsigned wire_bytes) const {
+    return cfg_.channels[c].flits_for(wire_bytes);
+  }
+
+ private:
+  struct Packet {
+    protocol::CoherenceMsg msg;
+    unsigned wire_bytes = 0;
+    Cycle queued_at = 0;
+  };
+
+  /// One injection lane per (node, channel, vnet): serializes packets into
+  /// flits, one flit per cycle, holding a single VC until the tail is in.
+  struct Lane {
+    std::deque<Packet> queue;
+    unsigned flits_emitted = 0;
+    unsigned total_flits = 0;
+    unsigned vc = 0;
+    std::uint64_t packet_id = 0;
+    bool active = false;
+  };
+
+  /// Where a tile attaches to a plane: which router, which port.
+  struct Attach {
+    Router* router = nullptr;
+    unsigned port = 0;
+  };
+
+  struct ChannelPlane {
+    std::vector<std::unique_ptr<Router>> routers;
+    std::vector<Attach> attach;            ///< [node]
+    std::vector<std::vector<Lane>> lanes;  ///< [node][vnet]
+    double total_link_mm = 0.0;
+    // Cached stat slots (hot path).
+    std::uint64_t* packets = nullptr;
+    std::uint64_t* payload_bytes = nullptr;
+    std::uint64_t* flits_injected = nullptr;
+    ScalarStat* latency = nullptr;
+  };
+
+  void build_mesh(unsigned ch);
+  void build_tree(unsigned ch);
+
+  void pump_lane(unsigned ch, NodeId node, unsigned vnet, Cycle now);
+  void on_eject(unsigned ch, NodeId node, Flit&& flit, Cycle now);
+
+  NocConfig cfg_;
+  StatRegistry* stats_;
+  DeliverFn deliver_;
+  std::vector<ChannelPlane> planes_;
+  ScalarStat* critical_latency_ = nullptr;
+  std::uint64_t next_packet_id_ = 1;
+  Cycle now_ = 0;
+};
+
+}  // namespace tcmp::noc

@@ -1,0 +1,180 @@
+#include "noc/router.hpp"
+
+#include "common/check.hpp"
+
+namespace tcmp::noc {
+
+Router::Router(NodeId id, const Config& cfg, StatRegistry* stats,
+               std::string stat_prefix)
+    : id_(id), cfg_(cfg), stats_(stats), prefix_(std::move(stat_prefix)) {
+  TCMP_CHECK(stats_ != nullptr);
+  traversals_ = &stats_->counter(prefix_ + ".router_traversals");
+  flit_hops_ = &stats_->counter(prefix_ + ".flit_hops");
+  bit_hops_ = &stats_->counter(prefix_ + ".bit_hops");
+  bit_dmm_hops_ = &stats_->counter(prefix_ + ".bit_dmm_hops");
+  TCMP_CHECK(cfg_.vcs_per_vnet >= 1 && cfg_.vnets >= 1 && cfg_.buffer_flits >= 1);
+  route_table_.assign(cfg_.nodes, kPortLocal);
+  input_.assign(kNumPorts, std::vector<InputVc>(num_vcs()));
+  output_.resize(kNumPorts);
+  for (auto& out : output_) out.vcs.resize(num_vcs());
+}
+
+void Router::set_route(NodeId dst, unsigned port) {
+  TCMP_CHECK(dst < route_table_.size() && port < kNumPorts);
+  route_table_[dst] = static_cast<std::uint8_t>(port);
+}
+
+void Router::set_eject(unsigned port, EjectFn fn) {
+  TCMP_CHECK(port < kNumPorts);
+  output_[port].eject = std::move(fn);
+  // Ejection sinks always drain: unbounded credit.
+  for (auto& vc : output_[port].vcs) vc.credits = ~0u;
+}
+
+void Router::connect(unsigned out_port, Router* downstream, unsigned in_port,
+                     unsigned link_cycles, double link_mm) {
+  TCMP_CHECK(out_port < kNumPorts);
+  TCMP_CHECK(downstream != nullptr && in_port < kNumPorts);
+  OutputPort& out = output_[out_port];
+  TCMP_CHECK_MSG(!out.eject, "port is already an ejection port");
+  out.downstream = downstream;
+  out.downstream_port = in_port;
+  out.link_cycles = link_cycles;
+  out.link_mm = link_mm;
+  for (auto& vc : out.vcs) vc.credits = downstream->cfg_.buffer_flits;
+  downstream->upstream_of_input_[in_port] = this;
+  downstream->upstream_out_port_[in_port] = out_port;
+}
+
+bool Router::can_inject(unsigned port, unsigned vc) const {
+  TCMP_DCHECK(port < kNumPorts && vc < num_vcs());
+  return input_[port][vc].buffer.size() < cfg_.buffer_flits;
+}
+
+bool Router::try_inject(unsigned port, unsigned vc, Flit&& flit, Cycle now) {
+  if (!can_inject(port, vc)) return false;
+  input_[port][vc].buffer.push_back({std::move(flit), now});
+  ++buffered_;
+  return true;
+}
+
+void Router::tick_deliver(Cycle now) {
+  for (unsigned p = 0; p < kNumPorts; ++p) {
+    if (arrivals_[p].next_ready() > now) continue;
+    while (auto arr = arrivals_[p].pop_ready(now)) {
+      InputVc& vc = input_[p][arr->vc];
+      TCMP_CHECK_MSG(vc.buffer.size() < cfg_.buffer_flits,
+                     "credit protocol violated: buffer overflow");
+      vc.buffer.push_back({std::move(arr->flit), now});
+      ++buffered_;
+    }
+  }
+  while (auto cr = credit_returns_.pop_ready(now)) {
+    output_[cr->first].vcs[cr->second].credits++;
+  }
+}
+
+void Router::tick_allocate(Cycle now) {
+  if (buffered_ == 0) return;
+  for (unsigned p = 0; p < kNumPorts; ++p) {
+    for (unsigned v = 0; v < num_vcs(); ++v) {
+      InputVc& in = input_[p][v];
+      if (in.buffer.empty()) continue;
+      BufferedFlit& head = in.buffer.front();
+      if (!head.flit.head || in.vc_allocated) continue;
+      if (!cfg_.single_cycle && head.buffered_at >= now) continue;  // BW -> VA
+      if (!in.routed) {
+        TCMP_DCHECK(head.flit.dst < route_table_.size());
+        in.out_port = route_table_[head.flit.dst];
+        in.routed = true;
+      }
+      OutputPort& out = output_[in.out_port];
+      const unsigned base = head.flit.vnet * cfg_.vcs_per_vnet;
+      for (unsigned k = 0; k < cfg_.vcs_per_vnet; ++k) {
+        OutputVc& ovc = out.vcs[base + k];
+        if (ovc.held) continue;
+        ovc.held = true;
+        ovc.holder_port = p;
+        ovc.holder_vc = v;
+        in.vc_allocated = true;
+        in.out_vc = base + k;
+        in.allocated_at = now;
+        break;
+      }
+    }
+  }
+}
+
+void Router::send_credit(unsigned in_port, unsigned vc, Cycle now) {
+  Router* up = upstream_of_input_[in_port];
+  if (up == nullptr) return;  // Local port: the NI checks occupancy directly
+  const unsigned up_out = upstream_out_port_[in_port];
+  up->credit_returns_.push(now + up->output_[up_out].link_cycles,
+                           {up_out, vc});
+}
+
+void Router::tick_switch(Cycle now) {
+  if (buffered_ == 0) return;
+  bool input_used[kNumPorts] = {};
+  for (unsigned p = 0; p < kNumPorts; ++p) {
+    OutputPort& out = output_[p];
+    const unsigned slots = kNumPorts * num_vcs();
+    for (unsigned i = 0; i < slots; ++i) {
+      const unsigned idx = (out.sa_rr + i) % slots;
+      const unsigned in_port = idx / num_vcs();
+      const unsigned in_vc = idx % num_vcs();
+      if (input_used[in_port]) continue;
+      InputVc& in = input_[in_port][in_vc];
+      if (!in.vc_allocated || in.out_port != p || in.buffer.empty()) continue;
+      BufferedFlit& head = in.buffer.front();
+      if (!cfg_.single_cycle) {
+        if (head.buffered_at >= now) continue;         // still being written
+        if (head.flit.head && in.allocated_at >= now) continue;  // VA -> SA
+      } else if (head.buffered_at > now) {
+        continue;
+      }
+      OutputVc& ovc = out.vcs[in.out_vc];
+      if (ovc.credits == 0) continue;
+
+      // Winner: traverse the switch.
+      Flit flit = std::move(head.flit);
+      const unsigned out_vc = in.out_vc;
+      in.buffer.pop_front();
+      --buffered_;
+      input_used[in_port] = true;
+      out.sa_rr = (idx + 1) % slots;
+      ++*traversals_;
+      if (flit.tail) {
+        ovc.held = false;
+        in.vc_allocated = false;
+        in.routed = false;
+      }
+      send_credit(in_port, in_vc, now);
+
+      if (out.eject) {
+        out.eject(std::move(flit));
+      } else {
+        TCMP_CHECK_MSG(out.downstream != nullptr, "unwired output port");
+        ovc.credits--;
+        ++*flit_hops_;
+        *bit_hops_ += flit.active_bits;
+        *bit_dmm_hops_ +=
+            flit.active_bits * static_cast<std::uint64_t>(out.link_mm * 10.0 + 0.5);
+        out.downstream->arrivals_[out.downstream_port].push(
+            now + 1 + out.link_cycles, {out_vc, std::move(flit)});
+      }
+      break;  // one flit per output port per cycle
+    }
+  }
+}
+
+bool Router::quiescent() const {
+  for (const auto& port : input_)
+    for (const auto& vc : port)
+      if (!vc.buffer.empty()) return false;
+  for (const auto& q : arrivals_)
+    if (!q.empty()) return false;
+  return true;
+}
+
+}  // namespace tcmp::noc

@@ -1,0 +1,135 @@
+// Input-queued virtual-channel wormhole router with credit-based flow
+// control and a 3-stage pipeline (BW -> VA -> SA/ST) plus link traversal:
+// a flit buffered at cycle t can win VC allocation at t+1, switch allocation
+// at t+2, and is written into the downstream buffer at t+3+link_cycles.
+//
+// Routing is table-driven: the topology builder (2D mesh with XY routes, or
+// the two-level tree) fills a per-router destination->output-port table, so
+// any deadlock-free single-path topology plugs in without touching the
+// router. VCs are partitioned by virtual network: vc = vnet * vcs_per_vnet
+// + k; a packet never changes vnet, so the three protocol classes (requests,
+// forwards, responses) cannot block each other. Any port may be an ejection
+// port (meshes eject at kPortLocal; tree cluster routers eject each leaf
+// tile at its own port).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "noc/flit.hpp"
+#include "protocol/delay_queue.hpp"
+
+namespace tcmp::noc {
+
+inline constexpr unsigned kPortE = 0;
+inline constexpr unsigned kPortW = 1;
+inline constexpr unsigned kPortN = 2;
+inline constexpr unsigned kPortS = 3;
+inline constexpr unsigned kPortLocal = 4;
+inline constexpr unsigned kNumPorts = 5;
+
+class Router {
+ public:
+  struct Config {
+    unsigned vcs_per_vnet = 1;
+    unsigned vnets = 3;
+    unsigned buffer_flits = 4;  ///< per input VC
+    unsigned nodes = 16;        ///< destinations the route table covers
+    /// Single-cycle router (lookahead routing + speculative allocation):
+    /// a flit can be buffered, allocated and switched in the same cycle, so
+    /// per-hop latency is 1 + link_cycles. False models a 3-stage pipeline.
+    bool single_cycle = true;
+  };
+
+  using EjectFn = std::function<void(Flit&&)>;
+
+  Router(NodeId id, const Config& cfg, StatRegistry* stats, std::string stat_prefix);
+
+  /// Wire output `out_port` to `downstream`'s input `in_port` over a link of
+  /// `link_cycles` latency and `link_mm` physical length (energy accounting).
+  void connect(unsigned out_port, Router* downstream, unsigned in_port,
+               unsigned link_cycles, double link_mm);
+  /// Deliver packets for destination tiles ejecting at `port` to `fn`.
+  void set_eject(unsigned port, EjectFn fn);
+  /// Destination `dst` leaves this router through `port`.
+  void set_route(NodeId dst, unsigned port);
+
+  /// Network-interface injection into input port `port`. Returns false when
+  /// the chosen VC has no buffer space (retry next cycle).
+  [[nodiscard]] bool try_inject(unsigned port, unsigned vc, Flit&& flit, Cycle now);
+  /// True if the port's VC can accept a flit this cycle.
+  [[nodiscard]] bool can_inject(unsigned port, unsigned vc) const;
+
+  // The network calls the three phases for every router each cycle, in this
+  // order across the whole mesh: deliver, allocate, swtraverse.
+  void tick_deliver(Cycle now);
+  void tick_allocate(Cycle now);
+  void tick_switch(Cycle now);
+
+  [[nodiscard]] bool quiescent() const;
+  [[nodiscard]] unsigned num_vcs() const { return cfg_.vcs_per_vnet * cfg_.vnets; }
+  [[nodiscard]] NodeId id() const { return id_; }
+
+ private:
+  struct BufferedFlit {
+    Flit flit;
+    Cycle buffered_at = 0;
+  };
+
+  struct InputVc {
+    std::deque<BufferedFlit> buffer;
+    bool routed = false;
+    unsigned out_port = 0;
+    bool vc_allocated = false;
+    unsigned out_vc = 0;
+    Cycle allocated_at = 0;
+  };
+
+  struct OutputVc {
+    bool held = false;
+    unsigned holder_port = 0;
+    unsigned holder_vc = 0;
+    unsigned credits = 0;
+  };
+
+  struct OutputPort {
+    Router* downstream = nullptr;
+    unsigned downstream_port = 0;
+    unsigned link_cycles = 0;
+    double link_mm = 0.0;
+    EjectFn eject;  ///< set on ejection ports instead of a downstream
+    std::vector<OutputVc> vcs;
+    unsigned sa_rr = 0;  ///< round-robin pointer over (in_port, in_vc)
+  };
+
+  struct LinkArrival {
+    unsigned vc;
+    Flit flit;
+  };
+
+  void send_credit(unsigned in_port, unsigned vc, Cycle now);
+
+  NodeId id_;
+  Config cfg_;
+  StatRegistry* stats_;
+  std::string prefix_;
+  std::vector<std::uint8_t> route_table_;  ///< destination -> output port
+  std::uint64_t* traversals_ = nullptr;  ///< cached stat counters (hot path)
+  std::uint64_t* flit_hops_ = nullptr;
+  std::uint64_t* bit_hops_ = nullptr;
+  std::uint64_t* bit_dmm_hops_ = nullptr;  ///< bits x link length (0.1 mm units)
+  unsigned buffered_ = 0;  ///< flits currently buffered (idle fast-path)
+
+  std::vector<std::vector<InputVc>> input_;  ///< [port][vc]
+  std::vector<OutputPort> output_;           ///< [port]
+  protocol::DelayQueue<LinkArrival> arrivals_[kNumPorts];
+  protocol::DelayQueue<std::pair<unsigned, unsigned>> credit_returns_;  ///< (port, vc)
+  std::vector<Router*> upstream_of_input_ = std::vector<Router*>(kNumPorts, nullptr);
+  std::vector<unsigned> upstream_out_port_ = std::vector<unsigned>(kNumPorts, 0);
+};
+
+}  // namespace tcmp::noc

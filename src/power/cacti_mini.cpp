@@ -1,0 +1,45 @@
+#include "power/cacti_mini.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace tcmp::power {
+namespace {
+
+// CAM-array coefficients, fitted to the 4-entry and 64-entry DBRC rows of
+// Table 1 (34 structures of 32 B / 512 B per core). Cell term covers the
+// CAM cell + matchline driver; the sqrt term covers decoder/sense periphery.
+constexpr double kCamAreaUm2PerBit = 5.12;
+constexpr double kCamAreaUm2PerSqrtBit = 51.0;
+constexpr double kCamEnergyPjPerBit = 6.74e-4;
+constexpr double kCamEnergyPjPerSqrtBit = 3.81e-2;
+constexpr double kCamLeakMwPerBit = 8.65e-4;
+constexpr double kCamLeakMwPerSqrtBit = 5.98e-3;
+
+// Flip-flop register rows, fitted to the 2-byte Stride row.
+constexpr double kRegAreaUm2PerBit = 11.8;
+constexpr double kRegEnergyPjPerBit = 6.4e-3;
+constexpr double kRegLeakMwPerBit = 2.36e-3;
+
+}  // namespace
+
+ArrayCosts array_costs(const ArrayParams& p) {
+  TCMP_CHECK(p.entries >= 1 && p.bits_per_entry >= 1);
+  const double bits = static_cast<double>(p.bits());
+  const double root = std::sqrt(bits);
+  ArrayCosts c;
+  if (p.kind == ArrayKind::kCam) {
+    c.area_mm2 = (kCamAreaUm2PerBit * bits + kCamAreaUm2PerSqrtBit * root) * 1e-6;
+    c.access_energy_j =
+        (kCamEnergyPjPerBit * bits + kCamEnergyPjPerSqrtBit * root) * 1e-12;
+    c.leakage_w = (kCamLeakMwPerBit * bits + kCamLeakMwPerSqrtBit * root) * 1e-3;
+  } else {
+    c.area_mm2 = kRegAreaUm2PerBit * bits * 1e-6;
+    c.access_energy_j = kRegEnergyPjPerBit * bits * 1e-12;
+    c.leakage_w = kRegLeakMwPerBit * bits * 1e-3;
+  }
+  return c;
+}
+
+}  // namespace tcmp::power

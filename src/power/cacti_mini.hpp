@@ -1,0 +1,55 @@
+// Analytical area/energy/leakage model for the small storage structures the
+// compression schemes add (paper Table 1, measured there with CACTI 4.1 at
+// 65 nm).
+//
+// Two array kinds are modelled:
+//  * kCam — the DBRC compression cache / receiver register files. Lookup is
+//    content-addressed on the high-order address bits, so cells are CAM-like
+//    (large cells, matchline drivers) with periphery scaling ~sqrt(bits).
+//  * kRegister — the Stride base registers (flip-flop rows, trivial
+//    periphery).
+//
+// The coefficients are calibrated against the four Table 1 rows; endpoints
+// match by construction and mid-sized arrays land within ~±30% (printed by
+// bench/table1_compression_hw and recorded in EXPERIMENTS.md).
+#pragma once
+
+namespace tcmp::power {
+
+enum class ArrayKind { kCam, kRegister };
+
+struct ArrayParams {
+  ArrayKind kind = ArrayKind::kCam;
+  unsigned entries = 4;
+  unsigned bits_per_entry = 64;
+
+  [[nodiscard]] unsigned bits() const { return entries * bits_per_entry; }
+};
+
+struct ArrayCosts {
+  double area_mm2 = 0.0;
+  double access_energy_j = 0.0;  ///< one lookup or one update
+  double leakage_w = 0.0;
+
+  ArrayCosts& operator+=(const ArrayCosts& o) {
+    area_mm2 += o.area_mm2;
+    access_energy_j += o.access_energy_j;
+    leakage_w += o.leakage_w;
+    return *this;
+  }
+};
+
+/// Cost of a single array instance at 65 nm.
+[[nodiscard]] ArrayCosts array_costs(const ArrayParams& p);
+
+/// Reference area of one tile/core (25 mm^2, Table 4) used for the
+/// percentage columns of Table 1.
+inline constexpr double kCoreAreaMm2 = 25.0;
+
+/// Reference per-core max dynamic power and static power used for the
+/// percentage columns of Table 1 (derived from the paper's 0.48% == 0.1065 W
+/// and 0.29% == 10.78 mW anchors).
+inline constexpr double kCoreMaxDynPowerW = 22.2;
+inline constexpr double kCoreStaticPowerW = 3.72;
+
+}  // namespace tcmp::power

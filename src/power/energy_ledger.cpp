@@ -1,0 +1,49 @@
+#include "power/energy_ledger.hpp"
+
+namespace tcmp::power {
+
+const char* to_string(EnergyAccount a) {
+  switch (a) {
+    case EnergyAccount::kLinkDynamic: return "link.dynamic";
+    case EnergyAccount::kLinkStatic: return "link.static";
+    case EnergyAccount::kRouterBuffer: return "router.buffer";
+    case EnergyAccount::kRouterCrossbar: return "router.crossbar";
+    case EnergyAccount::kRouterArbiter: return "router.arbiter";
+    case EnergyAccount::kRouterStatic: return "router.static";
+    case EnergyAccount::kCompressionDynamic: return "compression.dynamic";
+    case EnergyAccount::kCompressionStatic: return "compression.static";
+    case EnergyAccount::kCoreDynamic: return "core.dynamic";
+    case EnergyAccount::kCoreStatic: return "core.static";
+    case EnergyAccount::kL1Dynamic: return "l1.dynamic";
+    case EnergyAccount::kL2Dynamic: return "l2.dynamic";
+    case EnergyAccount::kCacheStatic: return "cache.static";
+    case EnergyAccount::kMemoryDynamic: return "memory.dynamic";
+    case EnergyAccount::kCount: break;
+  }
+  return "?";
+}
+
+double EnergyLedger::interconnect_total() const {
+  double sum = 0.0;
+  for (auto a : {EnergyAccount::kLinkDynamic, EnergyAccount::kLinkStatic,
+                 EnergyAccount::kRouterBuffer, EnergyAccount::kRouterCrossbar,
+                 EnergyAccount::kRouterArbiter, EnergyAccount::kRouterStatic,
+                 EnergyAccount::kCompressionDynamic,
+                 EnergyAccount::kCompressionStatic}) {
+    sum += get(a);
+  }
+  return sum;
+}
+
+double EnergyLedger::total() const {
+  double sum = 0.0;
+  for (double v : accounts_) sum += v;
+  return sum;
+}
+
+EnergyLedger& EnergyLedger::operator+=(const EnergyLedger& other) {
+  for (std::size_t i = 0; i < accounts_.size(); ++i) accounts_[i] += other.accounts_[i];
+  return *this;
+}
+
+}  // namespace tcmp::power

@@ -1,0 +1,57 @@
+// Energy accounting. Every component charges joules to a named account; the
+// report layer aggregates link/router/compression accounts into the
+// "interconnect" energy the paper's Figure 6 (bottom) uses, and all accounts
+// into the full-CMP energy of Figure 7.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace tcmp::power {
+
+enum class EnergyAccount : std::size_t {
+  kLinkDynamic = 0,
+  kLinkStatic,
+  kRouterBuffer,
+  kRouterCrossbar,
+  kRouterArbiter,
+  kRouterStatic,
+  kCompressionDynamic,
+  kCompressionStatic,
+  kCoreDynamic,
+  kCoreStatic,
+  kL1Dynamic,
+  kL2Dynamic,
+  kCacheStatic,
+  kMemoryDynamic,
+  kCount,
+};
+
+[[nodiscard]] const char* to_string(EnergyAccount a);
+
+class EnergyLedger {
+ public:
+  void add(EnergyAccount account, double joules) {
+    accounts_[static_cast<std::size_t>(account)] += joules;
+  }
+
+  [[nodiscard]] double get(EnergyAccount account) const {
+    return accounts_[static_cast<std::size_t>(account)];
+  }
+
+  /// Links + routers + compression hardware: the "interconnect" energy whose
+  /// ED2P Figure 6 (bottom) reports.
+  [[nodiscard]] double interconnect_total() const;
+
+  /// Everything, for the full-CMP ED2P of Figure 7.
+  [[nodiscard]] double total() const;
+
+  void reset() { accounts_.fill(0.0); }
+
+  EnergyLedger& operator+=(const EnergyLedger& other);
+
+ private:
+  std::array<double, static_cast<std::size_t>(EnergyAccount::kCount)> accounts_{};
+};
+
+}  // namespace tcmp::power

@@ -1,0 +1,24 @@
+// Energy-delay metrics (the paper reports ED^2P normalized to the baseline).
+#pragma once
+
+#include "common/check.hpp"
+
+namespace tcmp::power {
+
+/// Energy-delay-squared product: E * T^2. Units cancel in normalized
+/// comparisons; pass energy in joules and delay in seconds (or cycles,
+/// consistently).
+[[nodiscard]] inline double ed2p(double energy, double delay) {
+  return energy * delay * delay;
+}
+
+/// Energy-delay product.
+[[nodiscard]] inline double edp(double energy, double delay) { return energy * delay; }
+
+/// value/baseline with a guard against a degenerate baseline.
+[[nodiscard]] inline double normalized(double value, double baseline) {
+  TCMP_CHECK_MSG(baseline > 0.0, "normalization baseline must be positive");
+  return value / baseline;
+}
+
+}  // namespace tcmp::power

@@ -1,0 +1,45 @@
+// Orion-style router energy model [22]. The NoC charges one buffer write on
+// flit arrival, one buffer read + crossbar traversal + arbitration on flit
+// departure, and per-cycle leakage proportional to router storage/datapath
+// width. Constants are representative 65 nm values at 4 GHz of the level of
+// abstraction Orion provides to architecture simulators.
+#pragma once
+
+namespace tcmp::power {
+
+struct RouterEnergyModel {
+  // Per-flit event energies, linear in flit width.
+  double buffer_write_j_per_bit = 0.020e-12;  ///< 20 fJ/bit
+  double buffer_read_j_per_bit = 0.016e-12;
+  double crossbar_j_per_bit = 0.030e-12;
+  double arbitration_j_per_flit = 0.20e-12;  ///< fixed per traversal
+
+  // Leakage: per bit of buffer storage plus a fixed per-port datapath term.
+  double leakage_w_per_buffer_bit = 18e-9;
+  double leakage_w_per_port = 0.4e-3;
+
+  [[nodiscard]] double buffer_write_j(unsigned flit_bits) const {
+    return buffer_write_j_per_bit * flit_bits;
+  }
+  [[nodiscard]] double buffer_read_j(unsigned flit_bits) const {
+    return buffer_read_j_per_bit * flit_bits;
+  }
+  [[nodiscard]] double crossbar_j(unsigned flit_bits) const {
+    return crossbar_j_per_bit * flit_bits;
+  }
+  [[nodiscard]] double traversal_j(unsigned flit_bits) const {
+    return buffer_read_j(flit_bits) + crossbar_j(flit_bits) + arbitration_j_per_flit;
+  }
+
+  /// Static power of one router: `ports` in/out port pairs, `vcs` virtual
+  /// channels per port of `buffer_flits` flits of `flit_bits` each.
+  [[nodiscard]] double router_leakage_w(unsigned ports, unsigned vcs,
+                                        unsigned buffer_flits,
+                                        unsigned flit_bits) const {
+    const double storage_bits =
+        static_cast<double>(ports) * vcs * buffer_flits * flit_bits;
+    return leakage_w_per_buffer_bit * storage_bits + leakage_w_per_port * ports;
+  }
+};
+
+}  // namespace tcmp::power

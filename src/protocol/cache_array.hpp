@@ -1,0 +1,114 @@
+// Generic set-associative array with true-LRU replacement, parameterized by a
+// per-line payload (L1 stores an L1 state; the L2 slice stores data-presence
+// plus the directory entry). Only metadata is tracked — the simulator models
+// addresses and states, not data values.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace tcmp::protocol {
+
+template <typename Payload>
+class CacheArray {
+ public:
+  struct Line {
+    Addr tag = 0;
+    std::uint64_t lru_stamp = 0;
+    bool valid = false;
+    Payload payload{};
+  };
+
+  CacheArray(unsigned sets, unsigned ways) : sets_(sets), ways_(ways), lines_(sets * ways) {
+    TCMP_CHECK_MSG(std::has_single_bit(sets), "set count must be a power of two");
+    TCMP_CHECK(ways >= 1);
+  }
+
+  /// Geometry helper: total bytes / line size / ways -> sets.
+  static CacheArray from_geometry(std::size_t capacity_bytes, unsigned ways) {
+    const std::size_t lines = capacity_bytes / kLineBytes;
+    return CacheArray(static_cast<unsigned>(lines / ways), ways);
+  }
+
+  [[nodiscard]] unsigned sets() const { return sets_; }
+  [[nodiscard]] unsigned ways() const { return ways_; }
+
+  /// Find the line holding `line_addr`; returns nullptr on miss. Does not
+  /// touch LRU (use `touch` on an actual access).
+  [[nodiscard]] Line* find(Addr line_addr) {
+    const unsigned set = set_of(line_addr);
+    const Addr tag = tag_of(line_addr);
+    for (unsigned w = 0; w < ways_; ++w) {
+      Line& l = lines_[set * ways_ + w];
+      if (l.valid && l.tag == tag) return &l;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] const Line* find(Addr line_addr) const {
+    return const_cast<CacheArray*>(this)->find(line_addr);
+  }
+
+  void touch(Line& line) { line.lru_stamp = ++clock_; }
+
+  /// The line that would be evicted to make room for `line_addr` (invalid
+  /// lines first, then LRU). Never returns nullptr.
+  [[nodiscard]] Line* victim(Addr line_addr) {
+    const unsigned set = set_of(line_addr);
+    Line* best = &lines_[set * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+      Line& l = lines_[set * ways_ + w];
+      if (!l.valid) return &l;
+      if (l.lru_stamp < best->lru_stamp) best = &l;
+    }
+    return best;
+  }
+
+  /// Install `line_addr` into `slot` (which must belong to its set).
+  void fill(Line& slot, Addr line_addr) {
+    TCMP_DCHECK(&slot >= &lines_[set_of(line_addr) * ways_] &&
+                &slot < &lines_[set_of(line_addr) * ways_] + ways_);
+    slot.valid = true;
+    slot.tag = tag_of(line_addr);
+    slot.payload = Payload{};
+    touch(slot);
+  }
+
+  void invalidate(Line& slot) { slot.valid = false; }
+
+  /// Reconstruct the full line address of an (assumed valid) slot.
+  [[nodiscard]] Addr address_of(const Line& slot) const {
+    const std::size_t idx = static_cast<std::size_t>(&slot - lines_.data());
+    const unsigned set = static_cast<unsigned>(idx / ways_);
+    return (slot.tag * sets_) + set;
+  }
+
+  /// All ways of the set `line_addr` maps to (victim policies, tests).
+  [[nodiscard]] std::span<Line> set_lines(Addr line_addr) {
+    return {&lines_[static_cast<std::size_t>(set_of(line_addr)) * ways_], ways_};
+  }
+
+  /// Visit every valid line (tests / invariant checks).
+  template <typename Fn>
+  void for_each_valid(Fn&& fn) {
+    for (auto& l : lines_)
+      if (l.valid) fn(l);
+  }
+
+  [[nodiscard]] unsigned set_of(Addr line_addr) const {
+    return static_cast<unsigned>(line_addr & (sets_ - 1));
+  }
+  [[nodiscard]] Addr tag_of(Addr line_addr) const { return line_addr / sets_; }
+
+ private:
+  unsigned sets_;
+  unsigned ways_;
+  std::vector<Line> lines_;
+  std::uint64_t clock_ = 0;
+};
+
+}  // namespace tcmp::protocol

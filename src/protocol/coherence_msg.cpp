@@ -1,0 +1,117 @@
+#include "protocol/coherence_msg.hpp"
+
+#include "common/check.hpp"
+
+namespace tcmp::protocol {
+
+const char* to_string(MsgType t) {
+  switch (t) {
+    case MsgType::kGetS: return "GetS";
+    case MsgType::kGetX: return "GetX";
+    case MsgType::kUpgrade: return "Upgrade";
+    case MsgType::kGetInstr: return "GetInstr";
+    case MsgType::kPutE: return "PutE";
+    case MsgType::kPutM: return "PutM";
+    case MsgType::kData: return "Data";
+    case MsgType::kDataExcl: return "DataExcl";
+    case MsgType::kUpgradeAck: return "UpgradeAck";
+    case MsgType::kInv: return "Inv";
+    case MsgType::kFwdGetS: return "FwdGetS";
+    case MsgType::kFwdGetX: return "FwdGetX";
+    case MsgType::kRecall: return "Recall";
+    case MsgType::kPartialReply: return "PartialReply";
+    case MsgType::kInvAck: return "InvAck";
+    case MsgType::kRevision: return "Revision";
+    case MsgType::kAckRevision: return "AckRevision";
+    case MsgType::kPutAck: return "PutAck";
+  }
+  return "?";
+}
+
+bool carries_data(MsgType t) {
+  switch (t) {
+    case MsgType::kData:
+    case MsgType::kDataExcl:
+    case MsgType::kPutM:
+    case MsgType::kRevision:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool carries_address(MsgType t) {
+  switch (t) {
+    case MsgType::kGetS:
+    case MsgType::kGetX:
+    case MsgType::kUpgrade:
+    case MsgType::kGetInstr:
+    case MsgType::kInv:
+    case MsgType::kFwdGetS:
+    case MsgType::kFwdGetX:
+    case MsgType::kRecall:
+    case MsgType::kUpgradeAck:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_critical(MsgType t) {
+  switch (t) {
+    case MsgType::kPutE:
+    case MsgType::kPutM:
+    case MsgType::kRevision:
+    case MsgType::kAckRevision:
+    case MsgType::kPutAck:
+      return false;
+    default:
+      return true;
+  }
+}
+
+bool is_short(MsgType t) { return !carries_data(t); }
+
+unsigned uncompressed_bytes(MsgType t) {
+  if (carries_data(t)) return kControlBytes + kLineBytes;  // 67
+  if (carries_address(t)) return kControlBytes + kAddressBytes;  // 11
+  // Partial replies carry the critical word (8 B) plus control; the line
+  // address is implied by the MSHR id in the control header ([9]).
+  if (t == MsgType::kPartialReply) return kControlBytes + 8;  // 11
+  return kControlBytes;  // 3
+}
+
+compression::MsgClass compression_class(MsgType t) {
+  TCMP_DCHECK(carries_address(t));
+  switch (t) {
+    case MsgType::kGetS:
+    case MsgType::kGetX:
+    case MsgType::kUpgrade:
+    case MsgType::kGetInstr:
+      return compression::MsgClass::kRequest;
+    default:
+      // Commands and the data-free UpgradeAck flow home -> L1.
+      return compression::MsgClass::kCommand;
+  }
+}
+
+unsigned vnet_of(MsgType t) {
+  switch (t) {
+    case MsgType::kGetS:
+    case MsgType::kGetX:
+    case MsgType::kUpgrade:
+    case MsgType::kGetInstr:
+    case MsgType::kPutE:
+    case MsgType::kPutM:
+      return 0;
+    case MsgType::kInv:
+    case MsgType::kFwdGetS:
+    case MsgType::kFwdGetX:
+    case MsgType::kRecall:
+      return 1;
+    default:
+      return 2;
+  }
+}
+
+}  // namespace tcmp::protocol

@@ -1,0 +1,116 @@
+// Coherence message vocabulary and the Fig. 4 classification (criticality x
+// size) that drives the heterogeneous-interconnect mapping.
+//
+// Modelled wire sizes (Sec. 4.3 / 5.1):
+//   * every message carries 3 bytes of control;
+//   * requests, coherence commands and data-free responses add an 8-byte
+//     block address (11 bytes total), compressible to 4-5 bytes;
+//   * data-carrying messages add a 64-byte cache line (67 bytes total);
+//   * coherence replies and replacement hints without data are 3 bytes.
+//
+// The simulator always carries the full functional payload (line address,
+// ack counts, ...) regardless of the modelled wire size.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "compression/compressor.hpp"
+#include "compression/scheme.hpp"
+
+namespace tcmp::protocol {
+
+enum class MsgType : std::uint8_t {
+  // Requests: L1 -> home L2.
+  kGetS,     ///< read miss
+  kGetX,     ///< write miss
+  kUpgrade,  ///< S -> M permission request
+  kGetInstr, ///< instruction fetch miss (read-only, outside the directory)
+  // Replacements: L1 -> home L2.
+  kPutE,  ///< replacement hint, exclusive clean line (no data)
+  kPutM,  ///< writeback, modified line (with data)
+  // Responses: home L2 or remote owner -> requesting L1.
+  kData,        ///< shared data reply (with line)
+  kDataExcl,    ///< exclusive data reply (with line, carries inv-ack count)
+  kUpgradeAck,  ///< upgrade granted without data (carries inv-ack count)
+  // Coherence commands: home L2 -> L1s.
+  kInv,      ///< invalidate a sharer
+  kFwdGetS,  ///< intervention: owner must forward data to requester (leg 2)
+  kFwdGetX,  ///< intervention: owner must forward+yield to requester
+  kRecall,   ///< home evicting an L2 line: owner must return data
+  /// Reply Partitioning extension (Flores et al., HiPC'07 [9], which the
+  /// paper notes is orthogonal and combinable): the word the processor
+  /// asked for, sent ahead of the full line as a short critical message so
+  /// the core can resume before the 67-byte Ordinary Reply arrives.
+  kPartialReply,
+  // Coherence responses.
+  kInvAck,       ///< sharer -> requester: invalidation done
+  kRevision,     ///< owner -> home: ownership downgrade with data (leg 3b)
+  kAckRevision,  ///< owner -> home: ownership yielded, no data
+  kPutAck,       ///< home -> L1: replacement acknowledged
+};
+
+inline constexpr unsigned kNumMsgTypes = 18;
+
+[[nodiscard]] const char* to_string(MsgType t);
+
+/// Control bytes present in every message.
+inline constexpr unsigned kControlBytes = 3;
+/// Full (uncompressed) block address bytes.
+inline constexpr unsigned kAddressBytes = 8;
+
+/// Message carries a cache line (64 B) on the wire.
+[[nodiscard]] bool carries_data(MsgType t);
+
+/// Message carries the block address on the wire (and is therefore a
+/// compression candidate).
+[[nodiscard]] bool carries_address(MsgType t);
+
+/// Fig. 4 criticality: true when the message lies on the critical path of an
+/// L1 miss. Everything is critical except replacements, replacement acks and
+/// revision messages (the "3b" leg).
+[[nodiscard]] bool is_critical(MsgType t);
+
+/// Short (<= 11 B uncompressed) vs long (67 B) classification.
+[[nodiscard]] bool is_short(MsgType t);
+
+/// Uncompressed wire size in bytes.
+[[nodiscard]] unsigned uncompressed_bytes(MsgType t);
+
+/// Which compression hardware class handles this message type (requests vs
+/// commands use separate structures, Sec. 3.1). Only meaningful when
+/// carries_address(t).
+[[nodiscard]] compression::MsgClass compression_class(MsgType t);
+
+/// Virtual network assignment for protocol deadlock freedom:
+/// 0 = requests/replacements, 1 = forwarded commands, 2 = responses.
+inline constexpr unsigned kNumVnets = 3;
+[[nodiscard]] unsigned vnet_of(MsgType t);
+
+/// Which controller on the destination tile consumes the message. Needed
+/// because an InvAck may target either the requesting L1 or the home
+/// directory (when the directory collects acks for an L2-eviction recall).
+enum class Unit : std::uint8_t { kL1, kDir, kL1I };
+
+struct CoherenceMsg {
+  MsgType type = MsgType::kGetS;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  Unit dst_unit = Unit::kDir;
+  Unit ack_unit = Unit::kL1;  ///< on Inv: where the InvAck must be sent
+  Addr line = 0;             ///< block (line) address
+  NodeId requester = kInvalidNode;  ///< original requester (for forwards/acks)
+  std::uint16_t ack_count = 0;      ///< inv-acks the requester must collect
+  bool dirty_data = false;          ///< revision/writeback carries dirty line
+  /// Data-flow validation (not modelled on the wire): version of the line
+  /// carried by data messages. Each store bumps the holder's version; every
+  /// transfer must be monotone. Divergence indicates a lost update and
+  /// aborts the simulation.
+  std::uint32_t version = 0;
+
+  // Filled in by the sending network interface:
+  compression::Encoding enc{};  ///< address compression encoding
+  std::uint32_t seq = 0;        ///< per (src,dst,class) sequence number
+};
+
+}  // namespace tcmp::protocol

@@ -1,0 +1,52 @@
+// Timed FIFO used to model fixed access latencies inside tiles (L2 tag/data
+// pipelines, off-chip memory). Items pushed with a ready cycle pop in ready
+// order; ties preserve insertion order, keeping the simulation deterministic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace tcmp::protocol {
+
+template <typename T>
+class DelayQueue {
+ public:
+  void push(Cycle ready_at, T item) {
+    heap_.push(Node{ready_at, next_seq_++, std::move(item)});
+  }
+
+  /// Pop the next item whose ready cycle has arrived, if any.
+  [[nodiscard]] std::optional<T> pop_ready(Cycle now) {
+    if (heap_.empty() || heap_.top().ready_at > now) return std::nullopt;
+    T item = std::move(const_cast<Node&>(heap_.top()).item);
+    heap_.pop();
+    return item;
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Earliest ready cycle of any queued item (kNeverCycle when empty) —
+  /// used by the simulator's idle fast-forwarding.
+  [[nodiscard]] Cycle next_ready() const {
+    return heap_.empty() ? kNeverCycle : heap_.top().ready_at;
+  }
+
+ private:
+  struct Node {
+    Cycle ready_at;
+    std::uint64_t seq;
+    T item;
+    bool operator>(const Node& o) const {
+      return ready_at != o.ready_at ? ready_at > o.ready_at : seq > o.seq;
+    }
+  };
+  std::priority_queue<Node, std::vector<Node>, std::greater<>> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace tcmp::protocol

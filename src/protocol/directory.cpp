@@ -1,0 +1,506 @@
+#include "protocol/directory.hpp"
+
+#include <bit>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace tcmp::protocol {
+
+Directory::Directory(NodeId id, const Config& cfg, unsigned n_nodes,
+                     StatRegistry* stats, MsgSink sink)
+    : id_(id),
+      n_nodes_(n_nodes),
+      cfg_(cfg),
+      array_(cfg.sets, cfg.ways),
+      stats_(stats),
+      sink_(std::move(sink)) {
+  TCMP_CHECK(stats_ != nullptr && sink_ != nullptr);
+  TCMP_CHECK(n_nodes_ <= 32);  // full-map sharer vector is 32 bits
+}
+
+void Directory::send(CoherenceMsg msg) {
+  msg.src = id_;
+  sink_(msg);
+}
+
+// Lines are interleaved across home slices (home = line % n); the slice's
+// array indexes the home-stripped line number so all sets are usable.
+Addr Directory::key_of(Addr line) const {
+  TCMP_DCHECK(line % n_nodes_ == id_);
+  return line / n_nodes_;
+}
+Addr Directory::line_of_key(Addr key) const { return key * n_nodes_ + id_; }
+
+void Directory::deliver(const CoherenceMsg& msg, Cycle now) {
+  now_ = now;
+  access_pipe_.push(now + cfg_.l2_latency, msg);
+}
+
+void Directory::tick(Cycle now) {
+  now_ = now;
+  while (auto msg = access_pipe_.pop_ready(now)) process(*msg);
+  while (auto line = memory_pipe_.pop_ready(now)) {
+    auto it = mem_txns_.find(*line);
+    TCMP_CHECK(it != mem_txns_.end());
+    it->second.fill_arrived = true;
+    try_install_fill(*line);
+  }
+}
+
+Cycle Directory::next_event() const {
+  return std::min(access_pipe_.next_ready(), memory_pipe_.next_ready());
+}
+
+bool Directory::quiescent() const {
+  return access_pipe_.empty() && memory_pipe_.empty() && mem_txns_.empty() &&
+         busy_lines_ == 0 && queued_msgs_ == 0;
+}
+
+std::optional<DirState> Directory::dir_state_of(Addr line) const {
+  const auto* l = array_.find(key_of(line));
+  if (l == nullptr) return std::nullopt;
+  return l->payload.state;
+}
+
+std::uint32_t Directory::sharers_of(Addr line) const {
+  const auto* l = array_.find(key_of(line));
+  return l != nullptr ? l->payload.sharers : 0;
+}
+
+NodeId Directory::owner_of(Addr line) const {
+  const auto* l = array_.find(key_of(line));
+  return l != nullptr ? l->payload.owner : kInvalidNode;
+}
+
+std::uint32_t Directory::version_of(Addr line) const {
+  const auto* l = array_.find(key_of(line));
+  return l != nullptr ? l->payload.version : 0;
+}
+
+void Directory::process(const CoherenceMsg& msg) {
+  ++stats_->counter("l2.accesses");
+  switch (msg.type) {
+    case MsgType::kGetS:
+    case MsgType::kGetX:
+    case MsgType::kUpgrade:
+    case MsgType::kGetInstr:
+      handle_request(msg);
+      break;
+    case MsgType::kPutE:
+    case MsgType::kPutM:
+      handle_put(msg);
+      break;
+    case MsgType::kRevision:
+    case MsgType::kAckRevision:
+      handle_revision(msg);
+      break;
+    case MsgType::kInvAck:
+      handle_inv_ack(msg);
+      break;
+    default:
+      TCMP_CHECK_MSG(false, "message type not handled by directory");
+  }
+}
+
+void Directory::handle_request(const CoherenceMsg& msg) {
+  const Addr line = msg.line;
+  TCMP_DCHECK(line % n_nodes_ == id_);
+
+  if (auto it = mem_txns_.find(line); it != mem_txns_.end()) {
+    it->second.pending.push_back(msg);
+    ++queued_msgs_;
+    ++stats_->counter("dir.queued_on_fill");
+    return;
+  }
+  auto* l = array_.find(key_of(line));
+  if (l == nullptr) {
+    start_fill(line, msg);
+    return;
+  }
+  if (msg.type == MsgType::kGetInstr) {
+    // Instruction lines are read-only and fetched outside the directory:
+    // reply from the L2 copy without touching coherence state (valid even
+    // while the line is busy on the data side).
+    array_.touch(*l);
+    CoherenceMsg rsp;
+    rsp.type = MsgType::kData;
+    rsp.dst = msg.requester;
+    rsp.dst_unit = Unit::kL1I;
+    rsp.line = line;
+    rsp.requester = msg.requester;
+    rsp.version = l->payload.version;
+    send(rsp);
+    ++stats_->counter("dir.instr_fetches");
+    return;
+  }
+  if (is_busy(l->payload.state)) {
+    l->payload.pending.push_back(msg);
+    ++queued_msgs_;
+    ++stats_->counter("dir.queued_on_busy");
+    return;
+  }
+  handle_request_hit(msg, *l);
+}
+
+void Directory::send_partial_reply(NodeId requester, Addr line) {
+  if (!cfg_.reply_partitioning) return;
+  CoherenceMsg partial;
+  partial.type = MsgType::kPartialReply;
+  partial.dst = requester;
+  partial.dst_unit = Unit::kL1;
+  partial.line = line;
+  partial.requester = requester;
+  send(partial);
+}
+
+void Directory::reply_data(const CoherenceMsg& req, MsgType type, std::uint16_t acks,
+                           std::uint32_t version) {
+  CoherenceMsg rsp;
+  rsp.type = type;
+  rsp.dst = req.requester;
+  rsp.dst_unit = Unit::kL1;
+  rsp.line = req.line;
+  rsp.requester = req.requester;
+  rsp.ack_count = acks;
+  rsp.version = version;
+  send(rsp);
+}
+
+void Directory::send_invs(Addr line, std::uint32_t sharers, NodeId collector,
+                          Unit ack_unit) {
+  for (unsigned n = 0; n < n_nodes_; ++n) {
+    if ((sharers >> n) & 1) {
+      CoherenceMsg inv;
+      inv.type = MsgType::kInv;
+      inv.dst = static_cast<NodeId>(n);
+      inv.dst_unit = Unit::kL1;
+      inv.line = line;
+      inv.requester = collector;
+      inv.ack_unit = ack_unit;
+      send(inv);
+      ++stats_->counter("dir.invalidations_sent");
+    }
+  }
+}
+
+void Directory::handle_request_hit(const CoherenceMsg& msg, Array::Line& l) {
+  array_.touch(l);
+  DirEntry& e = l.payload;
+  const Addr line = msg.line;
+  const NodeId req = msg.requester;
+  const std::uint32_t req_bit = 1u << req;
+
+  if (msg.type == MsgType::kGetS) {
+    switch (e.state) {
+      case DirState::kInvalid:
+        // MESI: grant Exclusive when nobody else holds the line.
+        send_partial_reply(req, line);
+        reply_data(msg, MsgType::kDataExcl, 0, e.version);
+        e.state = DirState::kExclusive;
+        e.owner = req;
+        break;
+      case DirState::kShared:
+        send_partial_reply(req, line);
+        reply_data(msg, MsgType::kData, 0, e.version);
+        e.sharers |= req_bit;
+        break;
+      case DirState::kExclusive: {
+        TCMP_CHECK_MSG(e.owner != req, "owner re-requesting its own line");
+        CoherenceMsg fwd;
+        fwd.type = MsgType::kFwdGetS;
+        fwd.dst = e.owner;
+        fwd.dst_unit = Unit::kL1;
+        fwd.line = line;
+        fwd.requester = req;
+        send(fwd);
+        e.state = DirState::kBusyShared;
+        e.fwd_requester = req;
+        ++busy_lines_;
+        ++stats_->counter("dir.cache_to_cache");
+        break;
+      }
+      default:
+        TCMP_CHECK(false);
+    }
+    return;
+  }
+
+  // GetX / Upgrade.
+  switch (e.state) {
+    case DirState::kInvalid:
+      reply_data(msg, MsgType::kDataExcl, 0, e.version);
+      e.state = DirState::kExclusive;
+      e.owner = req;
+      break;
+    case DirState::kShared: {
+      const std::uint32_t others = e.sharers & ~req_bit;
+      const auto acks = static_cast<std::uint16_t>(std::popcount(others));
+      if (msg.type == MsgType::kUpgrade && (e.sharers & req_bit) != 0) {
+        reply_data(msg, MsgType::kUpgradeAck, acks, e.version);
+        ++stats_->counter("dir.upgrades_granted");
+      } else {
+        // GetX, or a stale Upgrade whose sharer copy was invalidated.
+        reply_data(msg, MsgType::kDataExcl, acks, e.version);
+      }
+      send_invs(line, others, req, Unit::kL1);
+      e.state = DirState::kExclusive;
+      e.owner = req;
+      e.sharers = 0;
+      break;
+    }
+    case DirState::kExclusive: {
+      TCMP_CHECK_MSG(e.owner != req, "owner re-requesting exclusivity");
+      CoherenceMsg fwd;
+      fwd.type = MsgType::kFwdGetX;
+      fwd.dst = e.owner;
+      fwd.dst_unit = Unit::kL1;
+      fwd.line = line;
+      fwd.requester = req;
+      send(fwd);
+      e.state = DirState::kBusyExcl;
+      e.fwd_requester = req;
+      ++busy_lines_;
+      ++stats_->counter("dir.cache_to_cache");
+      break;
+    }
+    default:
+      TCMP_CHECK(false);
+  }
+}
+
+void Directory::handle_put(const CoherenceMsg& msg) {
+  const Addr line = msg.line;
+  auto* l = array_.find(key_of(line));
+
+  CoherenceMsg ack;
+  ack.type = MsgType::kPutAck;
+  ack.dst = msg.src;
+  ack.dst_unit = Unit::kL1;
+  ack.line = line;
+
+  if (l == nullptr) {
+    // The line was recalled and evicted while this Put was in flight; the
+    // recall response already carried the data.
+    ++stats_->counter("dir.stale_puts");
+    send(ack);
+    return;
+  }
+  DirEntry& e = l->payload;
+  if (e.state == DirState::kExclusive && e.owner == msg.src) {
+    if (msg.type == MsgType::kPutM) {
+      e.l2_dirty = true;
+      TCMP_CHECK_MSG(msg.version >= e.version, "writeback lost an update");
+      e.version = msg.version;
+    } else {
+      TCMP_CHECK_MSG(msg.version == e.version, "clean PutE version mismatch");
+    }
+    e.state = DirState::kInvalid;
+    e.owner = kInvalidNode;
+    ++stats_->counter("dir.puts_accepted");
+    send(ack);
+    return;
+  }
+  if (is_busy(e.state) && e.owner == msg.src) {
+    // The Put crossed a forward/recall we already sent to this owner. The
+    // owner will service that forward from its eviction buffer and answer
+    // with a (Ack)Revision. Hold the PutAck until then: acknowledging now
+    // would let the ack (response network) overtake the forward (command
+    // network) and tear down the eviction buffer the forward needs.
+    TCMP_CHECK(!e.held_put_ack);
+    e.held_put_ack = true;
+    if (msg.type == MsgType::kPutM) {
+      e.l2_dirty = true;
+      TCMP_CHECK_MSG(msg.version >= e.version, "crossing writeback lost an update");
+      e.version = std::max(e.version, msg.version);
+    }
+    ++stats_->counter("dir.held_put_acks");
+    return;
+  }
+  // Stale Put: the owner already yielded through a forward/recall crossing
+  // whose resolution raced ahead of this Put. Nothing can be in flight
+  // toward the old owner anymore, so acknowledge immediately.
+  ++stats_->counter("dir.stale_puts");
+  send(ack);
+}
+
+void Directory::release_put_ack(Addr line, NodeId owner) {
+  CoherenceMsg ack;
+  ack.type = MsgType::kPutAck;
+  ack.dst = owner;
+  ack.dst_unit = Unit::kL1;
+  ack.line = line;
+  send(ack);
+}
+
+void Directory::handle_revision(const CoherenceMsg& msg) {
+  const Addr line = msg.line;
+  auto* l = array_.find(key_of(line));
+  if (l == nullptr) {
+    // Recall completed via a crossing Put; this Revision is the echo.
+    TCMP_CHECK(msg.type == MsgType::kRevision);
+    ++stats_->counter("dir.dropped_revisions");
+    return;
+  }
+  DirEntry& e = l->payload;
+  const bool release_ack = e.held_put_ack;
+  const NodeId old_owner = e.owner;
+  switch (e.state) {
+    case DirState::kBusyShared: {
+      TCMP_CHECK(msg.type == MsgType::kRevision);
+      TCMP_CHECK_MSG(msg.version >= e.version, "revision lost an update");
+      e.version = std::max(e.version, msg.version);
+      e.l2_dirty = e.l2_dirty || msg.dirty_data;
+      e.state = DirState::kShared;
+      --busy_lines_;
+      // The old owner stays listed; if it yielded from its eviction buffer
+      // the entry is merely a stale sharer (tolerated by the protocol).
+      e.sharers = (1u << e.owner) | (1u << e.fwd_requester);
+      e.owner = kInvalidNode;
+      e.held_put_ack = false;
+      if (release_ack) release_put_ack(line, old_owner);
+      drain_pending(std::move(e.pending));
+      break;
+    }
+    case DirState::kBusyExcl:
+      TCMP_CHECK(msg.type == MsgType::kAckRevision);
+      e.state = DirState::kExclusive;
+      e.owner = e.fwd_requester;
+      --busy_lines_;
+      e.held_put_ack = false;
+      if (release_ack) release_put_ack(line, old_owner);
+      drain_pending(std::move(e.pending));
+      break;
+    case DirState::kBusyRecall:
+      TCMP_CHECK(msg.type == MsgType::kRevision);
+      TCMP_CHECK_MSG(msg.src == e.owner, "recall response from non-owner");
+      TCMP_CHECK_MSG(msg.version >= e.version, "recalled line lost an update");
+      e.version = std::max(e.version, msg.version);
+      e.l2_dirty = e.l2_dirty || msg.dirty_data;
+      e.held_put_ack = false;
+      if (release_ack) release_put_ack(line, old_owner);
+      finish_recall(*l);
+      break;
+    default:
+      TCMP_CHECK_MSG(false, "revision in a non-busy directory state");
+  }
+}
+
+void Directory::handle_inv_ack(const CoherenceMsg& msg) {
+  // Inv-acks reach the directory only as the collector of an eviction recall
+  // of a Shared line.
+  auto* l = array_.find(key_of(msg.line));
+  TCMP_CHECK_MSG(l != nullptr && l->payload.state == DirState::kBusyRecall,
+                 "stray InvAck at directory");
+  DirEntry& e = l->payload;
+  TCMP_CHECK(e.recall_acks_pending > 0);
+  if (--e.recall_acks_pending == 0) finish_recall(*l);
+}
+
+void Directory::start_fill(Addr line, const CoherenceMsg& first) {
+  MemTxn txn;
+  txn.pending.push_back(first);
+  ++queued_msgs_;
+  mem_txns_.emplace(line, std::move(txn));
+  memory_pipe_.push(now_ + cfg_.memory_latency, line);
+  ++stats_->counter("mem.reads");
+}
+
+void Directory::try_install_fill(Addr line) {
+  auto it = mem_txns_.find(line);
+  if (it == mem_txns_.end() || !it->second.fill_arrived) return;
+
+  // Find an evictable way: invalid first, then the LRU non-busy line.
+  const Addr key = key_of(line);
+  Array::Line* victim = nullptr;
+  for (auto& cand : array_.set_lines(key)) {
+    if (!cand.valid) {
+      victim = &cand;
+      break;
+    }
+  }
+  if (victim == nullptr) {
+    for (auto& cand : array_.set_lines(key)) {
+      if (is_busy(cand.payload.state)) continue;
+      if (victim == nullptr || cand.lru_stamp < victim->lru_stamp) victim = &cand;
+    }
+    if (victim == nullptr) return;  // every way busy: retried on completion
+  }
+
+  if (victim->valid) {
+    DirEntry& ve = victim->payload;
+    if (is_busy(ve.state)) return;  // retried when the recall completes
+    if (ve.state == DirState::kShared || ve.state == DirState::kExclusive) {
+      start_recall(*victim);
+      return;  // retried by retry_blocked_fills after the recall completes
+    }
+    TCMP_CHECK(ve.state == DirState::kInvalid);
+    if (ve.l2_dirty) ++stats_->counter("mem.writebacks");
+    memory_versions_[line_of_key(array_.address_of(*victim))] = ve.version;
+    TCMP_CHECK_MSG(ve.pending.empty(), "evicting a line with queued requests");
+    array_.invalidate(*victim);
+    ++stats_->counter("l2.evictions");
+  }
+
+  array_.fill(*victim, key);
+  if (auto mv = memory_versions_.find(line); mv != memory_versions_.end()) {
+    victim->payload.version = mv->second;
+  }
+  MemTxn txn = std::move(it->second);
+  mem_txns_.erase(it);
+  drain_pending(std::move(txn.pending));
+}
+
+void Directory::start_recall(Array::Line& l) {
+  DirEntry& e = l.payload;
+  const Addr line = line_of_key(array_.address_of(l));
+  TCMP_CHECK(e.state == DirState::kShared || e.state == DirState::kExclusive);
+  ++stats_->counter("dir.recalls");
+  if (e.state == DirState::kShared) {
+    e.recall_acks_pending = static_cast<std::uint16_t>(std::popcount(e.sharers));
+    TCMP_CHECK(e.recall_acks_pending > 0);
+    send_invs(line, e.sharers, /*collector=*/id_, Unit::kDir);
+    e.sharers = 0;
+  } else {
+    CoherenceMsg recall;
+    recall.type = MsgType::kRecall;
+    recall.dst = e.owner;
+    recall.dst_unit = Unit::kL1;
+    recall.line = line;
+    recall.requester = id_;
+    send(recall);
+  }
+  e.state = DirState::kBusyRecall;
+  ++busy_lines_;
+}
+
+void Directory::finish_recall(Array::Line& l) {
+  DirEntry& e = l.payload;
+  TCMP_CHECK(e.state == DirState::kBusyRecall);
+  --busy_lines_;
+  if (e.l2_dirty) ++stats_->counter("mem.writebacks");
+  memory_versions_[line_of_key(array_.address_of(l))] = e.version;
+  std::deque<CoherenceMsg> pending = std::move(e.pending);
+  array_.invalidate(l);
+  ++stats_->counter("l2.evictions");
+  drain_pending(std::move(pending));
+  retry_blocked_fills();
+}
+
+void Directory::retry_blocked_fills() {
+  // Snapshot first: try_install_fill erases from (and drain_pending may
+  // insert into) mem_txns_.
+  std::vector<Addr> ready;
+  ready.reserve(mem_txns_.size());
+  for (const auto& [fill_line, txn] : mem_txns_)
+    if (txn.fill_arrived) ready.push_back(fill_line);
+  for (Addr fill_line : ready) try_install_fill(fill_line);
+}
+
+void Directory::drain_pending(std::deque<CoherenceMsg> msgs) {
+  TCMP_CHECK(queued_msgs_ >= msgs.size());
+  queued_msgs_ -= static_cast<unsigned>(msgs.size());
+  for (auto& m : msgs) handle_request(m);
+}
+
+}  // namespace tcmp::protocol

@@ -1,0 +1,144 @@
+// Home L2 slice with in-tags full-map directory (Sec. 4.1): the L2 is shared
+// but physically distributed (NUCA); each line's home tile is
+// line % n_tiles. The directory serializes all transactions on a line;
+// requests that arrive while the line is busy are queued FIFO per line.
+//
+// The L2 is inclusive. Evicting an L2 line with L1 copies first recalls them
+// (Inv to sharers with acks collected at home, or Recall to the owner).
+//
+// Writeback/forward crossings on an unordered network are resolved by
+// *holding the PutAck*: when a Put arrives from the owner of a line that has
+// a forward or recall outstanding (a Busy* state), the home defers the
+// PutAck until the owner's (Ack)Revision resolves the busy state. This keeps
+// the invariant that a forward always finds either the stable line or the
+// eviction buffer at the L1 — a PutAck can never overtake the forward and
+// tear the buffer down. Puts that arrive after resolution (or after the line
+// was recalled away entirely) are stale: acknowledged and ignored.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "protocol/cache_array.hpp"
+#include "protocol/coherence_msg.hpp"
+#include "protocol/delay_queue.hpp"
+
+namespace tcmp::protocol {
+
+enum class DirState : std::uint8_t {
+  kInvalid,    ///< no L1 copies; L2 data valid
+  kShared,     ///< sharers bitmap; L2 data valid
+  kExclusive,  ///< single L1 owner; L2 data possibly stale
+  kBusyShared, ///< FwdGetS outstanding, waiting Revision
+  kBusyExcl,   ///< FwdGetX outstanding, waiting AckRevision
+  kBusyRecall, ///< eviction in progress, waiting InvAcks / owner response
+};
+
+class Directory {
+ public:
+  struct Config {
+    unsigned sets = 1024;      ///< 256 KB slice, 4-way, 64 B lines
+    unsigned ways = 4;
+    Cycle l2_latency = 8;      ///< Table 4: 6+2 cycles
+    Cycle memory_latency = 400;
+    /// Reply Partitioning [9]: send the critical word ahead of read replies.
+    bool reply_partitioning = false;
+  };
+
+  using MsgSink = std::function<void(CoherenceMsg)>;
+
+  Directory(NodeId id, const Config& cfg, unsigned n_nodes, StatRegistry* stats,
+            MsgSink sink);
+
+  /// Network-side delivery; processing happens l2_latency cycles later.
+  void deliver(const CoherenceMsg& msg, Cycle now);
+
+  /// Advance internal pipelines (delayed L2 accesses, memory fills).
+  void tick(Cycle now);
+
+  /// Earliest cycle at which tick() has work to do (for idle fast-forward).
+  [[nodiscard]] Cycle next_event() const;
+
+  [[nodiscard]] bool quiescent() const;
+  [[nodiscard]] NodeId id() const { return id_; }
+
+  /// Functional warmup support: fills already queued keep their latency.
+  void set_memory_latency(Cycle lat) { cfg_.memory_latency = lat; }
+
+  /// Test hooks.
+  [[nodiscard]] std::optional<DirState> dir_state_of(Addr line) const;
+  [[nodiscard]] std::uint32_t sharers_of(Addr line) const;
+  [[nodiscard]] NodeId owner_of(Addr line) const;
+  /// Test hook: validation version of the L2 copy (0 if absent).
+  [[nodiscard]] std::uint32_t version_of(Addr line) const;
+
+ private:
+  struct DirEntry {
+    DirState state = DirState::kInvalid;
+    std::uint32_t sharers = 0;  ///< full-map bit vector (up to 32 tiles)
+    NodeId owner = kInvalidNode;
+    NodeId fwd_requester = kInvalidNode;  ///< requester of an in-flight forward
+    bool l2_dirty = false;      ///< line dirty w.r.t. off-chip memory
+    bool held_put_ack = false;  ///< PutAck deferred until the busy resolves
+    std::uint32_t version = 0;  ///< data-flow validation version
+    std::uint16_t recall_acks_pending = 0;
+    std::deque<CoherenceMsg> pending;  ///< requests queued while busy
+  };
+  using Array = CacheArray<DirEntry>;
+
+  /// Off-chip fetch in flight for a line not present in L2.
+  struct MemTxn {
+    bool fill_arrived = false;
+    std::deque<CoherenceMsg> pending;
+  };
+
+  void send(CoherenceMsg msg);
+  [[nodiscard]] Addr key_of(Addr line) const;
+  [[nodiscard]] Addr line_of_key(Addr key) const;
+  void process(const CoherenceMsg& msg);
+  void handle_request(const CoherenceMsg& msg);
+  void handle_request_hit(const CoherenceMsg& msg, Array::Line& l);
+  void handle_put(const CoherenceMsg& msg);
+  void handle_revision(const CoherenceMsg& msg);
+  void handle_inv_ack(const CoherenceMsg& msg);
+
+  void start_fill(Addr line, const CoherenceMsg& first);
+  void try_install_fill(Addr line);
+  void retry_blocked_fills();
+  void start_recall(Array::Line& l);
+  void finish_recall(Array::Line& l);
+  void drain_pending(std::deque<CoherenceMsg> msgs);
+
+  void reply_data(const CoherenceMsg& req, MsgType type, std::uint16_t acks,
+                  std::uint32_t version);
+  void send_partial_reply(NodeId requester, Addr line);
+  void release_put_ack(Addr line, NodeId owner);
+  void send_invs(Addr line, std::uint32_t sharers, NodeId collector, Unit ack_unit);
+
+  [[nodiscard]] static bool is_busy(DirState s) {
+    return s == DirState::kBusyShared || s == DirState::kBusyExcl ||
+           s == DirState::kBusyRecall;
+  }
+
+  NodeId id_;
+  unsigned n_nodes_;
+  Config cfg_;
+  Array array_;
+  StatRegistry* stats_;
+  MsgSink sink_;
+
+  DelayQueue<CoherenceMsg> access_pipe_;  ///< models the L2 access latency
+  DelayQueue<Addr> memory_pipe_;          ///< off-chip fills in flight
+  std::unordered_map<Addr, MemTxn> mem_txns_;
+  /// Validation versions of lines written back to off-chip memory.
+  std::unordered_map<Addr, std::uint32_t> memory_versions_;
+  unsigned busy_lines_ = 0;    ///< dir entries in a Busy* state
+  unsigned queued_msgs_ = 0;   ///< requests parked on busy lines / fills
+  Cycle now_ = 0;
+};
+
+}  // namespace tcmp::protocol

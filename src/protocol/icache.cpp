@@ -1,0 +1,48 @@
+#include "protocol/icache.hpp"
+
+#include "common/check.hpp"
+
+namespace tcmp::protocol {
+
+ICache::ICache(NodeId id, const Config& cfg, unsigned n_nodes, StatRegistry* stats,
+               MsgSink sink)
+    : id_(id),
+      n_nodes_(n_nodes),
+      array_(cfg.sets, cfg.ways),
+      stats_(stats),
+      sink_(std::move(sink)) {
+  TCMP_CHECK(stats_ != nullptr && sink_ != nullptr);
+}
+
+bool ICache::fetch(Addr line) {
+  ++stats_->counter("l1i.fetches");
+  if (auto* l = array_.find(line)) {
+    array_.touch(*l);
+    return true;
+  }
+  TCMP_CHECK_MSG(!miss_outstanding_, "in-order front-end: one I-miss at a time");
+  ++stats_->counter("l1i.misses");
+  miss_outstanding_ = true;
+  miss_line_ = line;
+
+  CoherenceMsg req;
+  req.type = MsgType::kGetInstr;
+  req.src = id_;
+  req.dst = static_cast<NodeId>(line % n_nodes_);
+  req.line = line;
+  req.requester = id_;
+  sink_(req);
+  return false;
+}
+
+void ICache::deliver(const CoherenceMsg& msg) {
+  TCMP_CHECK(msg.type == MsgType::kData);
+  TCMP_CHECK(miss_outstanding_ && msg.line == miss_line_);
+  miss_outstanding_ = false;
+  auto* slot = array_.victim(msg.line);
+  if (slot->valid) array_.invalidate(*slot);  // read-only: silent eviction
+  array_.fill(*slot, msg.line);
+  if (fill_cb_) fill_cb_();
+}
+
+}  // namespace tcmp::protocol

@@ -1,0 +1,58 @@
+// L1 instruction cache (Table 4: 32 KB 4-way per tile).
+//
+// Instruction lines are read-only for the SPLASH-style workloads (no
+// self-modifying code), so the I-cache is modelled outside the coherence
+// domain — the standard simplification: an I-miss sends a GetInstr request
+// to the line's home L2 slice, which replies with the data without touching
+// directory state, and no invalidations are ever delivered here. I-misses
+// still travel the real network (short critical requests, compressible like
+// any other) and occupy real L2 bandwidth.
+#pragma once
+
+#include <functional>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "protocol/cache_array.hpp"
+#include "protocol/coherence_msg.hpp"
+
+namespace tcmp::protocol {
+
+class ICache {
+ public:
+  struct Config {
+    unsigned sets = 128;  ///< 32 KB, 4-way
+    unsigned ways = 4;
+  };
+
+  using MsgSink = std::function<void(CoherenceMsg)>;
+  using FillCallback = std::function<void()>;
+
+  ICache(NodeId id, const Config& cfg, unsigned n_nodes, StatRegistry* stats,
+         MsgSink sink);
+
+  /// Fetch the line holding the next instructions. Returns true on hit;
+  /// false blocks the core front-end until the fill callback fires.
+  bool fetch(Addr line);
+
+  void set_fill_callback(FillCallback cb) { fill_cb_ = std::move(cb); }
+
+  /// Network-side delivery (only kData replies to our GetInstr).
+  void deliver(const CoherenceMsg& msg);
+
+  [[nodiscard]] bool quiescent() const { return !miss_outstanding_; }
+
+ private:
+  struct Payload {};  // presence only: instruction lines carry no state
+
+  NodeId id_;
+  unsigned n_nodes_;
+  CacheArray<Payload> array_;
+  StatRegistry* stats_;
+  MsgSink sink_;
+  FillCallback fill_cb_;
+  bool miss_outstanding_ = false;
+  Addr miss_line_ = 0;
+};
+
+}  // namespace tcmp::protocol

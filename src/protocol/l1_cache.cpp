@@ -1,0 +1,469 @@
+#include "protocol/l1_cache.hpp"
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace tcmp::protocol {
+
+L1Cache::L1Cache(NodeId id, const Config& cfg, unsigned n_nodes, StatRegistry* stats,
+                 MsgSink sink)
+    : id_(id),
+      n_nodes_(n_nodes),
+      reply_partitioning_(cfg.reply_partitioning),
+      array_(cfg.sets, cfg.ways),
+      stats_(stats),
+      sink_(std::move(sink)) {
+  TCMP_CHECK(stats_ != nullptr);
+  TCMP_CHECK(sink_ != nullptr);
+}
+
+void L1Cache::send(CoherenceMsg msg) {
+  msg.src = id_;
+  sink_(msg);
+}
+
+std::optional<L1State> L1Cache::state_of(Addr line) const {
+  const auto* l = array_.find(line);
+  if (l == nullptr) return std::nullopt;
+  return l->payload.state;
+}
+
+std::uint32_t L1Cache::version_of(Addr line) const {
+  const auto* l = array_.find(line);
+  return l != nullptr ? l->payload.version : 0;
+}
+
+AccessResult L1Cache::access(Addr line, bool is_write) {
+  ++stats_->counter("l1.accesses");
+  auto* l = array_.find(line);
+  if (l != nullptr && !mshrs_.contains(line)) {
+    array_.touch(*l);
+    switch (l->payload.state) {
+      case L1State::kM:
+        if (is_write) ++l->payload.version;
+        return AccessResult::kHit;
+      case L1State::kE:
+        if (is_write) {
+          l->payload.state = L1State::kM;  // silent E->M
+          ++l->payload.version;
+        }
+        return AccessResult::kHit;
+      case L1State::kS:
+        if (!is_write) return AccessResult::kHit;
+        // Write to Shared: upgrade miss. The line stays in the array (S)
+        // while the upgrade is outstanding.
+        ++stats_->counter("l1.upgrade_misses");
+        issue_miss(line, /*is_write=*/true, /*upgrade=*/true);
+        return AccessResult::kMiss;
+    }
+  }
+  if (auto it = mshrs_.find(line); it != mshrs_.end()) {
+    // Open transaction (the core resumed early on a PartialReply and came
+    // back to the line, or a write follows a pending upgrade): block and
+    // re-execute after the fill so permissions are re-checked.
+    it->second.core_notified = false;  // make install fire the callback
+    ++stats_->counter("l1.retried_accesses");
+    return AccessResult::kRetry;
+  }
+  ++stats_->counter(is_write ? "l1.write_misses" : "l1.read_misses");
+  if (evict_buf_.contains(line)) {
+    // Writeback of this very line still in flight: defer the request until
+    // the PutAck drains so the home never sees us as a racing owner.
+    TCMP_CHECK_MSG(!deferred_.contains(line), "one outstanding access per line");
+    deferred_.emplace(line, is_write);
+    ++stats_->counter("l1.deferred_misses");
+    return AccessResult::kMiss;
+  }
+  issue_miss(line, is_write, /*upgrade=*/false);
+  return AccessResult::kMiss;
+}
+
+void L1Cache::issue_miss(Addr line, bool is_write, bool upgrade) {
+  TCMP_CHECK_MSG(!mshrs_.contains(line), "duplicate outstanding miss");
+  Mshr m;
+  m.is_write = is_write;
+  m.upgrade = upgrade;
+  mshrs_.emplace(line, m);
+
+  CoherenceMsg req;
+  req.type = upgrade ? MsgType::kUpgrade : (is_write ? MsgType::kGetX : MsgType::kGetS);
+  req.dst = home_of(line);
+  req.line = line;
+  req.requester = id_;
+  send(req);
+}
+
+void L1Cache::deliver(const CoherenceMsg& msg) {
+  switch (msg.type) {
+    case MsgType::kInv:
+      on_inv(msg);
+      break;
+    case MsgType::kFwdGetS:
+    case MsgType::kFwdGetX:
+    case MsgType::kRecall:
+      on_fwd(msg);
+      break;
+    case MsgType::kData:
+    case MsgType::kDataExcl:
+    case MsgType::kUpgradeAck:
+    case MsgType::kInvAck:
+    case MsgType::kPartialReply:
+      on_reply(msg);
+      break;
+    case MsgType::kPutAck:
+      on_put_ack(msg);
+      break;
+    default:
+      TCMP_CHECK_MSG(false, "message type not handled by L1");
+  }
+}
+
+void L1Cache::on_inv(const CoherenceMsg& msg) {
+  const Addr line = msg.line;
+  CoherenceMsg ack;
+  ack.type = MsgType::kInvAck;
+  ack.dst = msg.requester;
+  ack.dst_unit = msg.ack_unit;
+  ack.line = line;
+  ack.requester = msg.requester;
+
+  if (auto* l = array_.find(line)) {
+    if (auto it = mshrs_.find(line); it != mshrs_.end()) {
+      // Upgrade in flight and the line just got invalidated: the home will
+      // answer our Upgrade with a full DataExcl (we are no longer a sharer).
+      TCMP_CHECK(it->second.upgrade);
+      TCMP_CHECK(l->payload.state == L1State::kS);
+      it->second.upgrade = false;
+      array_.invalidate(*l);
+    } else {
+      TCMP_CHECK_MSG(l->payload.state == L1State::kS,
+                     "Inv must only reach shared copies");
+      array_.invalidate(*l);
+    }
+    ++stats_->counter("l1.invalidations");
+  } else if (auto it = mshrs_.find(line); it != mshrs_.end()) {
+    Mshr& m = it->second;
+    if (!m.is_write) {
+      // IS_D: an Inv overtook our Data reply — use the fill once, then drop.
+      m.drop_after_fill = true;
+    }
+    // IM_AD/IM_A: stale Inv for a silently evicted S copy; ack and continue.
+  } else {
+    // Stale Inv: we silently evicted the shared copy. Still ack.
+    ++stats_->counter("l1.stale_invs");
+  }
+  send(ack);
+}
+
+void L1Cache::service_fwd_from_stable(const CoherenceMsg& msg, Array::Line& l) {
+  const Addr line = msg.line;
+  const bool dirty = l.payload.state == L1State::kM;
+  const std::uint32_t version = l.payload.version;
+  TCMP_CHECK(l.payload.state == L1State::kM || l.payload.state == L1State::kE);
+
+  switch (msg.type) {
+    case MsgType::kFwdGetS: {
+      send_partial_reply(msg.requester, line);
+      CoherenceMsg data;
+      data.type = MsgType::kData;
+      data.dst = msg.requester;
+      data.dst_unit = Unit::kL1;
+      data.line = line;
+      data.requester = msg.requester;
+      data.version = version;
+      send(data);
+      CoherenceMsg rev;
+      rev.type = MsgType::kRevision;
+      rev.dst = home_of(line);
+      rev.line = line;
+      rev.dirty_data = dirty;
+      rev.version = version;
+      send(rev);
+      l.payload.state = L1State::kS;
+      break;
+    }
+    case MsgType::kFwdGetX: {
+      CoherenceMsg data;
+      data.type = MsgType::kDataExcl;
+      data.dst = msg.requester;
+      data.dst_unit = Unit::kL1;
+      data.line = line;
+      data.requester = msg.requester;
+      data.ack_count = 0;
+      data.version = version;
+      send(data);
+      CoherenceMsg rev;
+      rev.type = MsgType::kAckRevision;
+      rev.dst = home_of(line);
+      rev.line = line;
+      send(rev);
+      array_.invalidate(l);
+      break;
+    }
+    case MsgType::kRecall: {
+      CoherenceMsg rev;
+      rev.type = MsgType::kRevision;
+      rev.dst = home_of(line);
+      rev.line = line;
+      rev.dirty_data = dirty;
+      rev.version = version;
+      send(rev);
+      array_.invalidate(l);
+      break;
+    }
+    default:
+      TCMP_CHECK(false);
+  }
+  ++stats_->counter("l1.forwards_serviced");
+}
+
+void L1Cache::service_fwd_from_evict(const CoherenceMsg& msg, EvictEntry& entry) {
+  // A forward crossed our writeback: we still hold the line logically; the
+  // home will treat our Put as stale. Service the forward, then wait for the
+  // stale PutAck.
+  const Addr line = msg.line;
+  TCMP_CHECK_MSG(entry.state != EvictState::kIIA,
+                 "forward after ownership already yielded");
+  const bool dirty = entry.state == EvictState::kMIA;
+  const std::uint32_t version = entry.version;
+
+  switch (msg.type) {
+    case MsgType::kFwdGetS: {
+      send_partial_reply(msg.requester, line);
+      CoherenceMsg data;
+      data.type = MsgType::kData;
+      data.dst = msg.requester;
+      data.dst_unit = Unit::kL1;
+      data.line = line;
+      data.requester = msg.requester;
+      data.version = version;
+      send(data);
+      CoherenceMsg rev;
+      rev.type = MsgType::kRevision;
+      rev.dst = home_of(line);
+      rev.line = line;
+      rev.dirty_data = dirty;
+      rev.version = version;
+      send(rev);
+      break;
+    }
+    case MsgType::kFwdGetX: {
+      CoherenceMsg data;
+      data.type = MsgType::kDataExcl;
+      data.dst = msg.requester;
+      data.dst_unit = Unit::kL1;
+      data.line = line;
+      data.requester = msg.requester;
+      data.version = version;
+      send(data);
+      CoherenceMsg rev;
+      rev.type = MsgType::kAckRevision;
+      rev.dst = home_of(line);
+      rev.line = line;
+      send(rev);
+      break;
+    }
+    case MsgType::kRecall: {
+      CoherenceMsg rev;
+      rev.type = MsgType::kRevision;
+      rev.dst = home_of(line);
+      rev.line = line;
+      rev.dirty_data = dirty;
+      rev.version = version;
+      send(rev);
+      break;
+    }
+    default:
+      TCMP_CHECK(false);
+  }
+  entry.state = EvictState::kIIA;
+  ++stats_->counter("l1.forwards_serviced_in_evict");
+}
+
+void L1Cache::on_fwd(const CoherenceMsg& msg) {
+  const Addr line = msg.line;
+  if (auto* l = array_.find(line)) {
+    if (auto it = mshrs_.find(line); it != mshrs_.end()) {
+      // Upgrade outstanding on a shared line: park until install completes
+      // (the home serialized us as the new owner before this forward).
+      it->second.parked_fwd = msg;
+      return;
+    }
+    service_fwd_from_stable(msg, *l);
+    return;
+  }
+  if (auto it = evict_buf_.find(line); it != evict_buf_.end()) {
+    service_fwd_from_evict(msg, it->second);
+    return;
+  }
+  if (auto it = mshrs_.find(line); it != mshrs_.end()) {
+    // Our GetX/Upgrade was granted at the home, and a later request was
+    // forwarded to us before our fill completed. Service it right after.
+    TCMP_CHECK_MSG(!it->second.parked_fwd.has_value(),
+                   "home must not forward twice to a pending owner");
+    it->second.parked_fwd = msg;
+    return;
+  }
+  TCMP_CHECK_MSG(false, "forward to a non-owner");
+}
+
+void L1Cache::on_reply(const CoherenceMsg& msg) {
+  const Addr line = msg.line;
+  auto it = mshrs_.find(line);
+  if (msg.type == MsgType::kPartialReply) {
+    // Stale partials (full reply already completed the miss) are dropped.
+    if (it == mshrs_.end()) return;
+    Mshr& m = it->second;
+    // Only read misses can consume the word early: a store must wait for
+    // write permission (exclusivity + acks).
+    if (!m.is_write && !m.core_notified) {
+      m.core_notified = true;
+      ++stats_->counter("l1.partial_resumes");
+      if (fill_cb_) fill_cb_(line);
+    }
+    return;
+  }
+  TCMP_CHECK_MSG(it != mshrs_.end(), "reply without an outstanding miss");
+  Mshr& m = it->second;
+
+  switch (msg.type) {
+    case MsgType::kData:
+      TCMP_CHECK(!m.is_write);
+      m.data_received = true;
+      m.grant_exclusive = false;
+      m.version = msg.version;
+      if (m.acks_expected < 0) m.acks_expected = 0;
+      break;
+    case MsgType::kDataExcl:
+      m.data_received = true;
+      m.grant_exclusive = true;
+      m.version = msg.version;
+      m.acks_expected = msg.ack_count;
+      break;
+    case MsgType::kUpgradeAck:
+      TCMP_CHECK(m.is_write);
+      m.data_received = true;  // permission counts as the "data"
+      m.grant_exclusive = true;
+      m.acks_expected = msg.ack_count;
+      break;
+    case MsgType::kInvAck:
+      ++m.acks_received;
+      break;
+    default:
+      TCMP_CHECK(false);
+  }
+  maybe_complete(line, m);
+}
+
+void L1Cache::maybe_complete(Addr line, Mshr& m) {
+  if (!m.data_received) return;
+  if (m.acks_expected < 0 || m.acks_received < m.acks_expected) return;
+  TCMP_CHECK_MSG(m.acks_received == m.acks_expected, "excess invalidation acks");
+  install_fill(line, m);
+}
+
+void L1Cache::install_fill(Addr line, Mshr& m) {
+  const Mshr done = m;  // copy: install may evict and mutate the MSHR map
+  mshrs_.erase(line);
+
+  if (!done.drop_after_fill) {
+    Array::Line* slot = array_.find(line);
+    if (slot == nullptr) {
+      evict_for(line);
+      slot = array_.victim(line);
+      TCMP_CHECK(!slot->valid);
+      array_.fill(*slot, line);
+    } else {
+      array_.touch(*slot);
+    }
+    if (done.is_write) {
+      slot->payload.state = L1State::kM;
+      // The write that caused the miss commits now. Upgrades keep the local
+      // copy's version; fresh exclusivity adopts the transferred version.
+      const std::uint32_t base_version =
+          std::max(slot->payload.version, done.version);
+      slot->payload.version = base_version + 1;
+    } else {
+      slot->payload.state = done.grant_exclusive ? L1State::kE : L1State::kS;
+      TCMP_CHECK_MSG(done.version >= slot->payload.version,
+                     "data transfer lost an update");
+      slot->payload.version = done.version;
+    }
+  } else {
+    ++stats_->counter("l1.use_once_fills");
+  }
+
+  if (fill_cb_ && !done.core_notified) fill_cb_(line);
+
+  if (done.parked_fwd.has_value()) {
+    // Service the forward the home sent while we were completing.
+    auto* slot = array_.find(line);
+    TCMP_CHECK_MSG(slot != nullptr && !done.drop_after_fill,
+                   "parked forward requires an installed line");
+    service_fwd_from_stable(*done.parked_fwd, *slot);
+  }
+}
+
+void L1Cache::send_partial_reply(NodeId requester, Addr line) {
+  if (!reply_partitioning_) return;
+  CoherenceMsg partial;
+  partial.type = MsgType::kPartialReply;
+  partial.dst = requester;
+  partial.dst_unit = Unit::kL1;
+  partial.line = line;
+  partial.requester = requester;
+  send(partial);
+}
+
+void L1Cache::evict_for(Addr incoming_line) {
+  Array::Line* v = array_.victim(incoming_line);
+  if (!v->valid) return;
+  const Addr victim_line = array_.address_of(*v);
+  TCMP_DCHECK(array_.set_of(victim_line) == array_.set_of(incoming_line));
+
+  switch (v->payload.state) {
+    case L1State::kS:
+      // Silent: replacement hints are not sent for shared lines (Sec. 4.2).
+      ++stats_->counter("l1.silent_s_evictions");
+      break;
+    case L1State::kE: {
+      CoherenceMsg put;
+      put.type = MsgType::kPutE;
+      put.dst = home_of(victim_line);
+      put.line = victim_line;
+      put.version = v->payload.version;
+      send(put);
+      TCMP_CHECK(!evict_buf_.contains(victim_line));
+      evict_buf_.emplace(victim_line, EvictEntry{EvictState::kEIA, v->payload.version});
+      break;
+    }
+    case L1State::kM: {
+      CoherenceMsg put;
+      put.type = MsgType::kPutM;
+      put.dst = home_of(victim_line);
+      put.line = victim_line;
+      put.dirty_data = true;
+      put.version = v->payload.version;
+      send(put);
+      TCMP_CHECK(!evict_buf_.contains(victim_line));
+      evict_buf_.emplace(victim_line, EvictEntry{EvictState::kMIA, v->payload.version});
+      break;
+    }
+  }
+  array_.invalidate(*v);
+}
+
+void L1Cache::on_put_ack(const CoherenceMsg& msg) {
+  const Addr line = msg.line;
+  auto it = evict_buf_.find(line);
+  TCMP_CHECK_MSG(it != evict_buf_.end(), "PutAck without an in-flight writeback");
+  evict_buf_.erase(it);
+
+  if (auto d = deferred_.find(line); d != deferred_.end()) {
+    const bool is_write = d->second;
+    deferred_.erase(d);
+    issue_miss(line, is_write, /*upgrade=*/false);
+  }
+}
+
+}  // namespace tcmp::protocol

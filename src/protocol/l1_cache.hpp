@@ -1,0 +1,138 @@
+// L1 data-cache coherence controller: MESI with a full-map directory at the
+// home L2 slice (Sec. 4.1/4.2).
+//
+// Stable states (M/E/S) live in the cache array; transient states live in the
+// MSHR (misses) and the eviction buffer (writebacks in flight). The protocol
+// tolerates an unordered network (the heterogeneous VL/B channels can reorder
+// messages between the same endpoints):
+//   * Inv during IS_D marks the fill use-once (install-then-drop), avoiding
+//     the stale-S hazard when an Inv overtakes the Data reply;
+//   * forwards arriving while the local miss is still collecting data/acks
+//     are parked in the MSHR and serviced right after install;
+//   * forwards arriving while a writeback is in flight are serviced from the
+//     eviction buffer, which then waits for the stale PutAck (II_A);
+//   * a new miss to a line with an in-flight writeback is deferred until the
+//     PutAck drains.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "protocol/cache_array.hpp"
+#include "protocol/coherence_msg.hpp"
+
+namespace tcmp::protocol {
+
+/// Stable L1 line states (I = not present).
+enum class L1State : std::uint8_t { kS, kE, kM };
+
+/// Outcome of a core-side access.
+enum class AccessResult : std::uint8_t {
+  kHit,    ///< completed this cycle
+  kMiss,   ///< miss issued (or deferred); the access retires when the fill
+           ///< callback fires for this line
+  kRetry,  ///< the line has an open transaction (e.g. the core resumed early
+           ///< on a PartialReply): block, then RE-EXECUTE the access after
+           ///< the fill callback
+};
+
+class L1Cache {
+ public:
+  struct Config {
+    unsigned sets = 128;  ///< 32 KB, 4-way, 64 B lines
+    unsigned ways = 4;
+    /// Reply Partitioning [9]: data senders emit a critical PartialReply
+    /// carrying the requested word ahead of the full line; read misses
+    /// unblock the core on its arrival.
+    bool reply_partitioning = false;
+  };
+
+  using MsgSink = std::function<void(CoherenceMsg)>;
+  using FillCallback = std::function<void(Addr line)>;
+
+  L1Cache(NodeId id, const Config& cfg, unsigned n_nodes, StatRegistry* stats,
+          MsgSink sink);
+
+  /// Core-side access; see AccessResult for the blocking contract.
+  AccessResult access(Addr line, bool is_write);
+
+  void set_fill_callback(FillCallback cb) { fill_cb_ = std::move(cb); }
+
+  /// Network-side delivery of a coherence message addressed to this L1.
+  void deliver(const CoherenceMsg& msg);
+
+  /// True when no MSHR / eviction-buffer entries are outstanding.
+  [[nodiscard]] bool quiescent() const {
+    return mshrs_.empty() && evict_buf_.empty() && deferred_.empty();
+  }
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] NodeId home_of(Addr line) const {
+    return static_cast<NodeId>(line % n_nodes_);
+  }
+
+  /// Test hook: stable state of a line (nullopt = I / transient).
+  [[nodiscard]] std::optional<L1State> state_of(Addr line) const;
+  /// Test hook: validation version of a resident line (0 if absent).
+  [[nodiscard]] std::uint32_t version_of(Addr line) const;
+
+ private:
+  struct LinePayload {
+    L1State state = L1State::kS;
+    std::uint32_t version = 0;  ///< bumped on every store (validation)
+  };
+  using Array = CacheArray<LinePayload>;
+
+  struct Mshr {
+    bool is_write = false;   ///< GetX/Upgrade path vs GetS path
+    bool upgrade = false;    ///< original request was an Upgrade
+    bool data_received = false;
+    bool core_notified = false;    ///< partial reply already resumed the core
+    bool grant_exclusive = false;  ///< reply was DataExcl/UpgradeAck
+    bool drop_after_fill = false;  ///< IS_D_I: Inv overtook the Data reply
+    int acks_expected = -1;        ///< -1 until the reply announces the count
+    int acks_received = 0;
+    std::uint32_t version = 0;     ///< version carried by the data reply
+    std::optional<CoherenceMsg> parked_fwd;  ///< forward to service post-fill
+  };
+
+  /// Writeback in flight. kIIA = ownership already yielded to a forward;
+  /// only the stale PutAck is still due.
+  enum class EvictState : std::uint8_t { kMIA, kEIA, kIIA };
+  struct EvictEntry {
+    EvictState state;
+    std::uint32_t version;
+  };
+
+  void send(CoherenceMsg msg);
+  void issue_miss(Addr line, bool is_write, bool upgrade);
+  void maybe_complete(Addr line, Mshr& m);
+  void install_fill(Addr line, Mshr& m);
+  void evict_for(Addr incoming_line);
+  void service_fwd_from_stable(const CoherenceMsg& msg, Array::Line& l);
+  void service_fwd_from_evict(const CoherenceMsg& msg, EvictEntry& entry);
+  void send_partial_reply(NodeId requester, Addr line);
+
+  void on_inv(const CoherenceMsg& msg);
+  void on_fwd(const CoherenceMsg& msg);
+  void on_reply(const CoherenceMsg& msg);
+  void on_put_ack(const CoherenceMsg& msg);
+
+  NodeId id_;
+  unsigned n_nodes_;
+  bool reply_partitioning_;
+  Array array_;
+  StatRegistry* stats_;
+  MsgSink sink_;
+  FillCallback fill_cb_;
+
+  std::unordered_map<Addr, Mshr> mshrs_;
+  std::unordered_map<Addr, EvictEntry> evict_buf_;
+  /// Misses deferred behind an in-flight writeback of the same line.
+  std::unordered_map<Addr, bool /*is_write*/> deferred_;
+};
+
+}  // namespace tcmp::protocol

@@ -1,0 +1,57 @@
+#include "wire/link_design.hpp"
+
+#include "common/check.hpp"
+
+namespace tcmp::wire {
+
+LinkPartition baseline_link() { return LinkPartition{}; }
+
+LinkPartition paper_het_link(unsigned vl_bytes) {
+  TCMP_CHECK_MSG(vl_bytes >= 3 && vl_bytes <= 5, "paper VL widths are 3-5 bytes");
+  const WireSpec vl = paper_spec(WireClass::kVL, vl_bytes);
+  LinkPartition p;
+  p.style = LinkStyle::kVlHet;
+  p.vl_bytes = vl_bytes;
+  p.vl_wires = vl_bytes * 8;
+  p.vl_tracks = p.vl_wires * vl.rel_area;
+  p.b_bytes = 34;  // fixed by the paper for all three widths
+  p.b_wires = p.b_bytes * 8;
+  p.total_tracks = p.vl_tracks + p.b_wires;
+  return p;
+}
+
+LinkPartition computed_het_link(unsigned vl_bytes, double track_budget) {
+  TCMP_CHECK(vl_bytes >= 3 && vl_bytes <= 5);
+  const WireSpec vl = paper_spec(WireClass::kVL, vl_bytes);
+  LinkPartition p;
+  p.style = LinkStyle::kVlHet;
+  p.vl_bytes = vl_bytes;
+  p.vl_wires = vl_bytes * 8;
+  p.vl_tracks = p.vl_wires * vl.rel_area;
+  const double remaining = track_budget - p.vl_tracks;
+  TCMP_CHECK_MSG(remaining >= 8.0, "VL bundle leaves no room for B-Wires");
+  p.b_bytes = static_cast<unsigned>(remaining / 8.0);
+  p.b_wires = p.b_bytes * 8;
+  p.total_tracks = p.vl_tracks + p.b_wires;
+  return p;
+}
+
+LinkPartition cheng3way_link() {
+  const WireSpec l = paper_spec(WireClass::kL8X);
+  const WireSpec pw = paper_spec(WireClass::kPW4X);
+  LinkPartition p;
+  p.style = LinkStyle::kCheng3Way;
+  p.l_bytes = 11;  // one uncompressed short message per flit
+  p.l_wires = p.l_bytes * 8;
+  p.l_tracks = p.l_wires * l.rel_area;  // 352
+  p.pw_bytes = 28;
+  p.pw_wires = p.pw_bytes * 8;
+  p.pw_tracks = p.pw_wires * pw.rel_area;  // 112
+  p.b_bytes = 17;
+  p.b_wires = p.b_bytes * 8;  // 136
+  p.total_tracks = p.l_tracks + p.pw_tracks + p.b_wires;
+  TCMP_CHECK(p.total_tracks <= 600.0 + 1e-9);
+  return p;
+}
+
+}  // namespace tcmp::wire

@@ -1,0 +1,66 @@
+// First-order RC wire model with repeater insertion — the paper's Eq. (1)-(4).
+//
+// A WireGeometry (plane + width/spacing multipliers) determines R_wire and
+// C_wire per meter. A RepeaterDesign (size s, spacing l) determines delay per
+// meter (Eq. 1, applied per segment), switching power (Eq. 3) and leakage
+// (Eq. 4). Two design points are provided: delay-optimal (classic Bakoglu
+// sizing, used by B/L/VL wires) and power-optimal under a delay constraint
+// (Banerjee methodology [2], used by PW wires).
+#pragma once
+
+#include "wire/technology.hpp"
+
+namespace tcmp::wire {
+
+struct WireGeometry {
+  MetalPlane plane = MetalPlane::k8X;
+  double width_mult = 1.0;    ///< wire width as a multiple of the plane minimum
+  double spacing_mult = 1.0;  ///< spacing as a multiple of the plane minimum
+
+  /// Track pitch relative to a 1x wire on the same plane — the "relative
+  /// area" column of Tables 2/3.
+  [[nodiscard]] double area_mult() const { return (width_mult + spacing_mult) / 2.0; }
+};
+
+struct RepeaterDesign {
+  double size = 1.0;       ///< repeater size as a multiple of a min inverter
+  double spacing_m = 1e-3; ///< distance between repeaters (segment length l)
+};
+
+/// Wire resistance per meter for a geometry (rho / (w * t)).
+[[nodiscard]] double r_wire_per_m(const TechParams& tech, const WireGeometry& g);
+
+/// Wire capacitance per meter: ground (prop. to width) + coupling
+/// (inv. prop. to spacing) + fringe.
+[[nodiscard]] double c_wire_per_m(const TechParams& tech, const WireGeometry& g);
+
+/// Delay of one repeated segment of length l driven by a repeater of size s —
+/// paper Eq. (1) scaled by the technology derating factor.
+[[nodiscard]] double segment_delay_s(const TechParams& tech, const WireGeometry& g,
+                                     const RepeaterDesign& d);
+
+/// End-to-end delay per meter for a repeated wire, with the LC propagation
+/// floor applied (very wide wires are transmission-line limited, not RC
+/// limited).
+[[nodiscard]] double delay_per_m(const TechParams& tech, const WireGeometry& g,
+                                 const RepeaterDesign& d);
+
+/// Classic delay-optimal repeater sizing/spacing for the geometry.
+[[nodiscard]] RepeaterDesign delay_optimal_design(const TechParams& tech,
+                                                  const WireGeometry& g);
+
+/// Power-optimal design (Banerjee [2]): minimizes total wire power subject to
+/// delay <= delay_penalty * delay-optimal delay. delay_penalty >= 1.
+[[nodiscard]] RepeaterDesign power_optimal_design(const TechParams& tech,
+                                                  const WireGeometry& g,
+                                                  double delay_penalty);
+
+/// Eq. (3): switching power per meter of one wire at activity factor alpha=1.
+/// Callers scale by the actual per-message activity.
+[[nodiscard]] double switching_power_per_m(const TechParams& tech, const WireGeometry& g,
+                                           const RepeaterDesign& d);
+
+/// Eq. (2)+(4): leakage power per meter of one wire (all repeaters).
+[[nodiscard]] double leakage_power_per_m(const TechParams& tech, const RepeaterDesign& d);
+
+}  // namespace tcmp::wire

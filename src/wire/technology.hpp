@@ -1,0 +1,72 @@
+// 65 nm process/interconnect parameters used by the analytical wire model.
+//
+// The paper (Sec. 3.2) models a wire as a first-order RC circuit driven by a
+// repeater (Eq. 1) and computes repeater power from Eq. 2-4. The constants
+// below describe the two global metal planes the paper considers (4X and 8X,
+// after [14]) plus the repeater device parameters. They are calibrated so the
+// model lands near the published Table 2/3 characteristics; the calibration is
+// validated by bench/table2_wire_characteristics and
+// bench/table3_vlwire_characteristics.
+#pragma once
+
+namespace tcmp::wire {
+
+/// Metal plane for global routing. 8X wires are wide/thick (fast); 4X wires
+/// are half-pitch (dense, slower).
+enum class MetalPlane { k4X, k8X };
+
+struct PlaneParams {
+  double min_width_m;    ///< minimum (1x) wire width for this plane
+  double min_spacing_m;  ///< minimum (1x) spacing for this plane
+  double thickness_m;    ///< metal thickness
+  /// Capacitance-per-meter decomposition at 1x width / 1x spacing.
+  /// c_ground scales with width; c_coupling scales with 1/spacing;
+  /// c_fringe is constant. Global fat wires are coupling-dominated.
+  double c_ground_f_per_m;
+  double c_coupling_f_per_m;
+  double c_fringe_f_per_m;
+};
+
+struct TechParams {
+  double resistivity_ohm_m;  ///< copper, including barrier/scattering derating
+
+  // Repeater (minimum-sized inverter) characteristics.
+  double r_gate_min_ohm;   ///< effective driver resistance of a 1x inverter
+  double c_gate_min_f;     ///< input capacitance of a 1x inverter
+  double c_diff_min_f;     ///< diffusion (output) capacitance of a 1x inverter
+  double i_off_n_a_per_m;  ///< NMOS leakage current per transistor width
+  double i_off_p_a_per_m;  ///< PMOS leakage current per transistor width
+  double w_nmos_min_m;     ///< NMOS width in a 1x inverter
+  double w_pmos_min_m;     ///< PMOS width in a 1x inverter
+
+  double vdd_v;
+  double freq_hz;
+
+  /// Multiplies the raw Elmore delay: lumps the 0.69 ln(2) step-response
+  /// factor, input-slope degradation, via/jog resistance and process
+  /// guard-banding. Calibrated so a delay-optimal 8X B-wire comes out near
+  /// 130 ps/mm at 65 nm.
+  double delay_derating;
+
+  /// Multiplies Eq. (3) switching power to account for repeater
+  /// short-circuit current and clock distribution overheads. Calibrated so a
+  /// B-Wire dissipates ~2.65 W/m at alpha = 1 (Table 2).
+  double short_circuit_factor;
+
+  /// Signal propagation floor for very wide wires (LC / transmission-line
+  /// regime): below this nothing helps. Seconds per meter, including driver
+  /// overhead. Very wide VL-wires operate near this floor.
+  double lc_floor_s_per_m;
+
+  PlaneParams plane_4x;
+  PlaneParams plane_8x;
+
+  [[nodiscard]] const PlaneParams& plane(MetalPlane p) const {
+    return p == MetalPlane::k8X ? plane_8x : plane_4x;
+  }
+
+  /// The 65 nm technology point used throughout the paper.
+  static const TechParams& itrs65();
+};
+
+}  // namespace tcmp::wire

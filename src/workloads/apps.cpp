@@ -1,0 +1,248 @@
+// The 13 application models of Table 4. Parameters encode each original
+// program's documented behaviour (Woo et al. [23] for SPLASH-2; Culler et
+// al. for EM3D; Mukherjee et al. for Unstructured):
+//
+//  * footprint and locality determine L1/L2 miss rates (traffic volume);
+//  * sharing fraction and pattern determine the coherence-message mix
+//    (Fig. 5) and interconnect sensitivity (Fig. 6): Water/LU share little,
+//    MP3D/Unstructured are coherence-bound;
+//  * address layout determines compression coverage (Fig. 2): Barnes' and
+//    Radix' scattered/irregular address streams defeat small compression
+//    caches, dense grid/matrix codes compress almost perfectly.
+#include "workloads/app_params.hpp"
+
+#include "common/check.hpp"
+
+namespace tcmp::workloads {
+
+const std::vector<AppParams>& all_apps() {
+  static const std::vector<AppParams> apps = [] {
+    std::vector<AppParams> v;
+
+    // Barnes-Hut: octree walk over heap-allocated bodies. Irregular pointer
+    // chasing over a scattered heap -> poor coverage; read-mostly tree with
+    // moderate sharing.
+    v.push_back({.name = "Barnes",
+                 .ops_per_core = 40000,
+                 .write_frac = 0.25,
+                 .shared_frac = 0.40,
+                 .private_lines = 512,
+                 .shared_lines = 8192,
+                 .pattern = SharePattern::kIrregularGraph,
+                 .layout = Layout::kScattered,
+                 .spatial_locality = 0.55,
+                 .shared_hot_frac = 0.0,  // tree walks touch the whole octree
+                 .barrier_interval = 5000,
+                 .compute_per_mem = 2.5,
+                 .scatter_lines = 1ULL << 20,  // ~128 MB heap: many regions
+                 .code_lines = 1536,
+                 .seed = 101});
+
+    // EM3D: bipartite graph propagation, 5% remote links -> small shared
+    // fraction but irregular graph edges over scattered nodes.
+    v.push_back({.name = "EM3D",
+                 .ops_per_core = 40000,
+                 .write_frac = 0.35,
+                 .shared_frac = 0.10,
+                 .private_lines = 512,
+                 .shared_lines = 8192,
+                 .pattern = SharePattern::kIrregularGraph,
+                 .layout = Layout::kScattered,
+                 .spatial_locality = 0.70,
+                 .barrier_interval = 5000,
+                 .compute_per_mem = 1.5,
+                 .scatter_lines = 1ULL << 20,
+                 .code_lines = 768,
+                 .seed = 102});
+
+    // FFT: phased all-to-all transpose of contiguous matrices; highly
+    // regular strides, frequent barriers.
+    v.push_back({.name = "FFT",
+                 .ops_per_core = 40000,
+                 .write_frac = 0.40,
+                 .shared_frac = 0.45,
+                 .private_lines = 512,
+                 .shared_lines = 8192,
+                 .pattern = SharePattern::kTranspose,
+                 .layout = Layout::kContiguous,
+                 .spatial_locality = 0.95,
+                 .barrier_interval = 2500,
+                 .compute_per_mem = 1.5,
+                 .code_lines = 512,
+                 .seed = 103});
+
+    // LU (contiguous blocks): dense blocked factorization, pipelined
+    // producer-consumer on block columns; little sharing -> small gains.
+    v.push_back({.name = "LU-cont",
+                 .ops_per_core = 40000,
+                 .write_frac = 0.45,
+                 .shared_frac = 0.12,
+                 .private_lines = 384,
+                 .shared_lines = 8192,
+                 .pattern = SharePattern::kProducerConsumer,
+                 .layout = Layout::kContiguous,
+                 .spatial_locality = 0.95,
+                 .barrier_interval = 4000,
+                 .compute_per_mem = 3.0,
+                 .code_lines = 256,
+                 .seed = 104});
+
+    // LU (non-contiguous): same computation, rows scattered across the VA
+    // space -> worse coverage for small low-order windows.
+    v.push_back({.name = "LU-noncont",
+                 .ops_per_core = 40000,
+                 .write_frac = 0.45,
+                 .shared_frac = 0.12,
+                 .private_lines = 384,
+                 .shared_lines = 8192,
+                 .pattern = SharePattern::kProducerConsumer,
+                 .layout = Layout::kScattered,
+                 .spatial_locality = 0.95,
+                 .barrier_interval = 4000,
+                 .compute_per_mem = 3.0,
+                 .scatter_lines = 1ULL << 18,  // rows moderately spread
+                 .code_lines = 256,
+                 .seed = 105});
+
+    // MP3D: particles migrate between space cells owned by different cores;
+    // the classic migratory-sharing stress test, coherence-dominated.
+    v.push_back({.name = "MP3D",
+                 .ops_per_core = 40000,
+                 .write_frac = 0.45,
+                 .shared_frac = 0.70,
+                 .private_lines = 512,
+                 .shared_lines = 8192,
+                 .pattern = SharePattern::kMigratory,
+                 .layout = Layout::kContiguous,
+                 .spatial_locality = 0.80,
+                 .line_dwell = 3.0,
+                 .barrier_interval = 20000,
+                 .compute_per_mem = 0.3,
+                 .code_lines = 512,
+                 .seed = 106});
+
+    // Ocean (contiguous): red-black grid solver, nearest-neighbour halos.
+    v.push_back({.name = "Ocean-cont",
+                 .ops_per_core = 40000,
+                 .write_frac = 0.40,
+                 .shared_frac = 0.25,
+                 .private_lines = 640,
+                 .shared_lines = 8192,
+                 .pattern = SharePattern::kNeighbor,
+                 .layout = Layout::kContiguous,
+                 .spatial_locality = 0.92,
+                 .barrier_interval = 2500,
+                 .compute_per_mem = 1.8,
+                 .code_lines = 768,
+                 .seed = 107});
+
+    // Ocean (non-contiguous): 2D-array allocation scatters grid rows.
+    v.push_back({.name = "Ocean-noncont",
+                 .ops_per_core = 40000,
+                 .write_frac = 0.40,
+                 .shared_frac = 0.25,
+                 .private_lines = 640,
+                 .shared_lines = 8192,
+                 .pattern = SharePattern::kNeighbor,
+                 .layout = Layout::kScattered,
+                 .spatial_locality = 0.92,
+                 .barrier_interval = 2500,
+                 .compute_per_mem = 1.8,
+                 .scatter_lines = 1ULL << 18,
+                 .code_lines = 768,
+                 .seed = 108});
+
+    // Radix: histogram ranking then permutation writes scattered uniformly
+    // over the destination array -> low locality, low coverage.
+    v.push_back({.name = "Radix",
+                 .ops_per_core = 40000,
+                 .write_frac = 0.50,
+                 .shared_frac = 0.45,
+                 .private_lines = 512,
+                 .shared_lines = 16384,
+                 .pattern = SharePattern::kUniformRandom,
+                 .layout = Layout::kScattered,  // key array in scattered chunks
+                 .spatial_locality = 0.30,
+                 .shared_hot_frac = 0.0,  // permutation writes are uniform
+                 .barrier_interval = 5000,
+                 .compute_per_mem = 1.0,
+                 .scatter_lines = 1ULL << 19,
+                 .code_lines = 384,
+                 .seed = 109});
+
+    // Raytrace: large read-mostly scene (BVH + primitives), private rays.
+    v.push_back({.name = "Raytrace",
+                 .ops_per_core = 40000,
+                 .write_frac = 0.10,
+                 .shared_frac = 0.50,
+                 .private_lines = 512,
+                 .shared_lines = 12288,
+                 .pattern = SharePattern::kReadMostly,
+                 .layout = Layout::kContiguous,
+                 .spatial_locality = 0.60,
+                 .compute_per_mem = 2.5,
+                 .code_lines = 2048,
+                 .seed = 110});
+
+    // Unstructured: CFD over an irregular mesh with heavy neighbour updates;
+    // coherence-intensive like MP3D but graph-structured.
+    v.push_back({.name = "Unstructured",
+                 .ops_per_core = 40000,
+                 .write_frac = 0.45,
+                 .shared_frac = 0.60,
+                 .private_lines = 512,
+                 .shared_lines = 8192,
+                 .pattern = SharePattern::kIrregularGraph,
+                 .layout = Layout::kContiguous,
+                 .spatial_locality = 0.60,
+                 .line_dwell = 3.0,
+                 .barrier_interval = 10000,
+                 .compute_per_mem = 0.4,
+                 .code_lines = 1024,
+                 .seed = 111});
+
+    // Water-nsq: O(n^2) molecular dynamics; large compute phases, tiny
+    // sharing -> the interconnect barely matters.
+    v.push_back({.name = "Water-nsq",
+                 .ops_per_core = 40000,
+                 .write_frac = 0.30,
+                 .shared_frac = 0.08,
+                 .private_lines = 384,
+                 .shared_lines = 4096,
+                 .pattern = SharePattern::kReadMostly,
+                 .layout = Layout::kContiguous,
+                 .spatial_locality = 0.93,
+                 .barrier_interval = 6000,
+                 .compute_per_mem = 4.0,
+                 .code_lines = 384,
+                 .seed = 112});
+
+    // Water-spa: spatial-decomposition variant; even less sharing.
+    v.push_back({.name = "Water-spa",
+                 .ops_per_core = 40000,
+                 .write_frac = 0.30,
+                 .shared_frac = 0.06,
+                 .private_lines = 384,
+                 .shared_lines = 4096,
+                 .pattern = SharePattern::kNeighbor,
+                 .layout = Layout::kContiguous,
+                 .spatial_locality = 0.93,
+                 .barrier_interval = 6000,
+                 .compute_per_mem = 4.0,
+                 .code_lines = 448,
+                 .seed = 113});
+
+    return v;
+  }();
+  return apps;
+}
+
+const AppParams& app(const std::string& name) {
+  for (const auto& a : all_apps()) {
+    if (a.name == name) return a;
+  }
+  TCMP_CHECK_MSG(false, "unknown application name");
+  return all_apps().front();
+}
+
+}  // namespace tcmp::workloads

@@ -1,0 +1,235 @@
+#include "workloads/synthetic_app.hpp"
+
+#include "common/check.hpp"
+
+namespace tcmp::workloads {
+namespace {
+
+/// SplitMix64 — used as a stateless scatter hash for non-contiguous layouts.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Scattered layouts keep 4 KB chunks intact.
+constexpr std::uint64_t kChunkLines = 64;
+/// Separation between a core's private arrays: distinct 1-byte-LO regions
+/// (256 lines each) but a single 2-byte-LO region (64K lines) per core.
+constexpr std::uint64_t kStreamGapLines = 512;
+
+}  // namespace
+
+SyntheticApp::SyntheticApp(const AppParams& params, unsigned n_cores)
+    : params_(params), n_cores_(n_cores), cores_(n_cores) {
+  TCMP_CHECK(n_cores >= 1);
+  TCMP_CHECK(params_.shared_lines >= n_cores * 4);
+  TCMP_CHECK(params_.num_streams >= 1);
+  for (unsigned c = 0; c < n_cores; ++c) {
+    cores_[c].rng.reseed(params_.seed * 1000003 + c * 7919 + 17);
+    cores_[c].stream_cursor.assign(params_.num_streams, 0);
+  }
+  // Layout: per-core private arrays live in separate regions (kStreamGapLines
+  // apart); the shared region follows all of them.
+  shared_base_ = params_.base_line +
+                 n_cores_ * params_.num_streams * kStreamGapLines;
+}
+
+Addr SyntheticApp::apply_layout(Addr region_base, std::uint64_t offset,
+                                std::uint64_t salt) const {
+  if (params_.layout == Layout::kContiguous) return region_base + offset;
+  // Scattered: keep 4 KB chunks intact (cache/page locality survives) but
+  // place chunks pseudo-randomly across a large VA window, as heap-allocated
+  // and non-contiguous grid data behave.
+  const std::uint64_t chunk = offset / kChunkLines;
+  const std::uint64_t within = offset % kChunkLines;
+  const std::uint64_t placed = mix64(chunk * 0x10001 + salt * 0x9e37 + params_.seed) %
+                               (params_.scatter_lines / kChunkLines);
+  return params_.base_line + params_.scatter_lines + placed * kChunkLines + within;
+}
+
+Addr SyntheticApp::private_line(unsigned core, CoreState& st) {
+  // Bursty interleaving over the core's arrays: inner loops process one
+  // array for a stretch, then move to the next.
+  if (!st.rng.chance(0.85)) st.next_stream = (st.next_stream + 1) % params_.num_streams;
+  const unsigned k = st.next_stream;
+  const std::uint64_t stream_lines =
+      std::max<std::uint64_t>(64, params_.private_lines / params_.num_streams);
+  std::uint64_t& cursor = st.stream_cursor[k];
+  if (st.rng.chance(params_.spatial_locality)) {
+    cursor = (cursor + 1) % stream_lines;
+  } else {
+    cursor = st.rng.next_below(stream_lines);
+  }
+  const Addr base = params_.base_line +
+                    (core * params_.num_streams + k) * kStreamGapLines;
+  return apply_layout(base, cursor, /*salt=*/core * 16 + k + 1);
+}
+
+Addr SyntheticApp::shared_line(unsigned core, CoreState& st) {
+  const std::uint64_t lines = params_.shared_lines;
+  const std::uint64_t segment = lines / n_cores_;
+  std::uint64_t offset = 0;
+
+  // Programs stream sequentially through shared records; with probability
+  // spatial_locality the access continues the current run instead of
+  // re-targeting by pattern. Epoch changes (migratory handoffs, transpose
+  // phases) break the run.
+  const std::uint64_t epoch = [&]() -> std::uint64_t {
+    switch (params_.pattern) {
+      case SharePattern::kMigratory:
+        return st.ops_done / 24;
+      case SharePattern::kTranspose:
+        return params_.barrier_interval != 0 ? st.ops_done / params_.barrier_interval
+                                             : st.ops_done / 2000;
+      default:
+        return 0;
+    }
+  }();
+  if (st.shared_cursor_valid && st.shared_epoch == epoch &&
+      params_.pattern != SharePattern::kIrregularGraph &&
+      st.rng.chance(params_.spatial_locality)) {
+    st.shared_cursor = (st.shared_cursor + 1) % lines;
+    return apply_layout(shared_base_, st.shared_cursor, /*salt=*/0);
+  }
+  st.shared_epoch = epoch;
+
+  switch (params_.pattern) {
+    case SharePattern::kNeighbor: {
+      // 2D stencil on a 4x4 tile grid: mostly own block, sometimes an edge
+      // row of a mesh neighbour.
+      unsigned target = core;
+      if (st.rng.chance(0.25)) {
+        const unsigned w = n_cores_ <= 16 ? 4 : 8;  // mesh aspect assumption
+        const unsigned x = core % w, y = core / w;
+        unsigned nbr[4];
+        unsigned n = 0;
+        if (x + 1 < w) nbr[n++] = core + 1;
+        if (x > 0) nbr[n++] = core - 1;
+        if (y + 1 < n_cores_ / w) nbr[n++] = core + w;
+        if (y > 0) nbr[n++] = core - w;
+        target = nbr[st.rng.next_below(n)];
+      }
+      {
+        const std::uint64_t hot = std::max<std::uint64_t>(32, segment / 4);
+        offset = target * segment + (st.rng.chance(params_.shared_hot_frac)
+                                         ? st.rng.next_below(hot)
+                                         : st.rng.next_below(segment));
+      }
+      break;
+    }
+    case SharePattern::kMigratory: {
+      // Objects hopscotch between cores as they advance through their work.
+      const std::uint64_t n_objects = 32;
+      const std::uint64_t obj_lines = std::max<std::uint64_t>(1, lines / n_objects);
+      const std::uint64_t obj = (epoch + core) % n_objects;
+      offset = obj * obj_lines + st.rng.next_below(obj_lines);
+      break;
+    }
+    case SharePattern::kProducerConsumer: {
+      const unsigned producer = (core + n_cores_ - 1) % n_cores_;
+      const unsigned target = st.rng.chance(0.7) ? producer : core;
+      offset = target * segment + st.rng.next_below(segment);
+      break;
+    }
+    case SharePattern::kReadMostly:
+    case SharePattern::kUniformRandom: {
+      const std::uint64_t hot = std::max<std::uint64_t>(64, lines / 8);
+      offset = st.rng.chance(params_.shared_hot_frac) ? st.rng.next_below(hot)
+                                                      : st.rng.next_below(lines);
+      break;
+    }
+    case SharePattern::kTranspose: {
+      // Phased all-to-all: in phase p, core c consumes segment (c+p) mod N.
+      const unsigned target = static_cast<unsigned>((core + epoch) % n_cores_);
+      offset = target * segment + st.rng.next_below(segment);
+      break;
+    }
+    case SharePattern::kIrregularGraph: {
+      // Pointer chase: mostly follow the hash chain, occasionally restart.
+      if (st.rng.chance(0.15)) st.chase_cursor = st.rng.next_below(lines);
+      st.chase_cursor = mix64(st.chase_cursor + params_.seed) % lines;
+      offset = st.chase_cursor;
+      break;
+    }
+  }
+  st.shared_cursor = offset;
+  st.shared_cursor_valid = true;
+  return apply_layout(shared_base_, offset, /*salt=*/0);
+}
+
+core::Op SyntheticApp::memory_op(unsigned core, CoreState& st) {
+  ++st.ops_done;
+  // Read-modify-write completion takes priority (migratory objects).
+  if (st.pending_store) {
+    st.pending_store = false;
+    return core::Op::store(st.pending_store_line);
+  }
+  // Word-granularity dwell: programs touch several words of a line before
+  // moving on; repeated touches hit in the L1 and generate no traffic.
+  if (st.dwell_left > 0) {
+    --st.dwell_left;
+    const bool w = st.rng.chance(params_.write_frac);
+    return w ? core::Op::store(st.last_line) : core::Op::load(st.last_line);
+  }
+  const bool shared = st.rng.chance(params_.shared_frac);
+  const Addr line = shared ? shared_line(core, st) : private_line(core, st);
+  st.last_line = line;
+  if (params_.line_dwell > 1.0) {
+    st.dwell_left = static_cast<std::uint32_t>(
+        st.rng.next_below(static_cast<std::uint64_t>(2.0 * params_.line_dwell)));
+  }
+  bool write = st.rng.chance(params_.write_frac);
+  if (shared && params_.pattern == SharePattern::kMigratory) {
+    // Migratory sharing reads then writes the object.
+    st.pending_store = true;
+    st.pending_store_line = line;
+    write = false;
+  }
+  if (shared && params_.pattern == SharePattern::kProducerConsumer) {
+    // Writes go to the own segment only; reads prefer the producer's.
+    write = st.rng.chance(params_.write_frac * 0.5);
+  }
+  return write ? core::Op::store(line) : core::Op::load(line);
+}
+
+core::Op SyntheticApp::next(unsigned core) {
+  TCMP_CHECK(core < n_cores_);
+  CoreState& st = cores_[core];
+  if (st.finished) return core::Op::done();
+
+  if (st.emit_compute) {
+    st.emit_compute = false;
+    if (params_.compute_per_mem > 0.0) {
+      const auto mean = static_cast<std::uint64_t>(2.0 * params_.compute_per_mem);
+      const auto n = static_cast<std::uint32_t>(st.rng.next_below(mean + 1));
+      if (n > 0) return core::Op::compute(n);
+    }
+  }
+
+  const std::uint64_t warmup = params_.warmup_ops();
+  if (st.ops_done >= params_.ops_per_core + warmup) {
+    st.finished = true;
+    return core::Op::done();
+  }
+
+  // Warmup/measurement boundary.
+  if (warmup != 0 && st.ops_done == warmup && !st.warmup_barrier_emitted) {
+    st.warmup_barrier_emitted = true;
+    return core::Op::barrier(core::kWarmupBarrierId);
+  }
+
+  // Barrier synchronization between phases.
+  if (params_.barrier_interval != 0 && st.ops_done > 0 &&
+      st.ops_done % params_.barrier_interval == 0 &&
+      st.barriers_hit < st.ops_done / params_.barrier_interval) {
+    ++st.barriers_hit;
+    return core::Op::barrier(st.barriers_hit);
+  }
+
+  st.emit_compute = true;
+  return memory_op(core, st);
+}
+
+}  // namespace tcmp::workloads

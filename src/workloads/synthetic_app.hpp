@@ -1,0 +1,57 @@
+// Deterministic synthetic application generator. One instance serves all 16
+// cores; each core gets an independent seeded RNG and phase state, so the
+// stream is reproducible regardless of simulator interleaving.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/workload.hpp"
+#include "workloads/app_params.hpp"
+
+namespace tcmp::workloads {
+
+class SyntheticApp final : public core::Workload {
+ public:
+  SyntheticApp(const AppParams& params, unsigned n_cores);
+
+  core::Op next(unsigned core) override;
+  [[nodiscard]] std::string name() const override { return params_.name; }
+  [[nodiscard]] bool has_warmup() const override { return params_.warmup_ops() != 0; }
+  [[nodiscard]] std::uint64_t code_lines() const override { return params_.code_lines; }
+
+  [[nodiscard]] const AppParams& params() const { return params_; }
+
+ private:
+  struct CoreState {
+    Rng rng{1};
+    std::uint64_t ops_done = 0;
+    std::vector<std::uint64_t> stream_cursor;  ///< per private array
+    unsigned next_stream = 0;
+    std::uint64_t chase_cursor = 0;   ///< irregular-graph walk position
+    std::uint32_t barriers_hit = 0;
+    bool pending_store = false;       ///< second half of a read-modify-write
+    Addr pending_store_line = 0;
+    Addr last_line = 0;               ///< dwell: repeated word accesses per line
+    std::uint32_t dwell_left = 0;
+    std::uint64_t shared_cursor = 0;  ///< sequential run position (shared region)
+    bool shared_cursor_valid = false;
+    std::uint64_t shared_epoch = 0;   ///< invalidates runs on phase/object change
+    bool emit_compute = false;        ///< interleave compute after each mem op
+    bool warmup_barrier_emitted = false;
+    bool finished = false;
+  };
+
+  [[nodiscard]] Addr private_line(unsigned core, CoreState& st);
+  [[nodiscard]] Addr shared_line(unsigned core, CoreState& st);
+  [[nodiscard]] Addr apply_layout(Addr region_base, std::uint64_t offset,
+                                  std::uint64_t salt) const;
+  core::Op memory_op(unsigned core, CoreState& st);
+
+  AppParams params_;
+  unsigned n_cores_;
+  std::vector<CoreState> cores_;
+  Addr shared_base_;
+};
+
+}  // namespace tcmp::workloads

@@ -1,0 +1,93 @@
+#include "workloads/trace_workload.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace tcmp::workloads {
+
+TraceWorkload::TraceWorkload(std::istream& in, unsigned n_cores, std::string name)
+    : streams_(n_cores), name_(std::move(name)) {
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    unsigned core;
+    std::string op;
+    if (!(ls >> core >> op)) continue;  // blank/comment line
+    TCMP_CHECK_MSG(core < n_cores, "trace: core id out of range");
+    auto& stream = streams_[core];
+    if (op == "L" || op == "S") {
+      Addr addr = 0;
+      ls >> std::hex >> addr;
+      TCMP_CHECK_MSG(!ls.fail(), "trace: bad address");
+      stream.push_back(op == "L" ? core::Op::load(addr) : core::Op::store(addr));
+    } else if (op == "C") {
+      std::uint32_t n = 0;
+      ls >> std::dec >> n;
+      TCMP_CHECK_MSG(!ls.fail(), "trace: bad compute count");
+      stream.push_back(core::Op::compute(n));
+    } else if (op == "B") {
+      std::uint32_t id = 0;
+      ls >> std::dec >> id;
+      TCMP_CHECK_MSG(!ls.fail(), "trace: bad barrier id");
+      stream.push_back(core::Op::barrier(id));
+    } else {
+      TCMP_CHECK_MSG(false, "trace: unknown op");
+    }
+  }
+}
+
+TraceWorkload TraceWorkload::from_file(const std::string& path, unsigned n_cores) {
+  std::ifstream in(path);
+  TCMP_CHECK_MSG(in.good(), "trace: cannot open file");
+  return TraceWorkload(in, n_cores, path);
+}
+
+core::Op TraceWorkload::next(unsigned core) {
+  TCMP_CHECK(core < streams_.size());
+  auto& stream = streams_[core];
+  if (stream.empty()) return core::Op::done();
+  core::Op op = stream.front();
+  stream.pop_front();
+  return op;
+}
+
+std::size_t TraceWorkload::total_events() const {
+  std::size_t n = 0;
+  for (const auto& s : streams_) n += s.size();
+  return n;
+}
+
+void write_trace(std::ostream& out, core::Workload& workload, unsigned n_cores,
+                 std::size_t max_events_per_core) {
+  out << "# tcmpsim trace: " << workload.name() << "\n";
+  for (unsigned c = 0; c < n_cores; ++c) {
+    for (std::size_t i = 0; i < max_events_per_core; ++i) {
+      const core::Op op = workload.next(c);
+      switch (op.kind) {
+        case core::OpKind::kLoad:
+          out << c << " L 0x" << std::hex << op.line << std::dec << "\n";
+          break;
+        case core::OpKind::kStore:
+          out << c << " S 0x" << std::hex << op.line << std::dec << "\n";
+          break;
+        case core::OpKind::kCompute:
+          out << c << " C " << op.count << "\n";
+          break;
+        case core::OpKind::kBarrier:
+          out << c << " B " << op.count << "\n";
+          break;
+        case core::OpKind::kDone:
+          i = max_events_per_core;  // stop this core
+          break;
+      }
+    }
+  }
+}
+
+}  // namespace tcmp::workloads

@@ -1,0 +1,44 @@
+// Trace-file workloads: run the simulator on externally produced per-core
+// memory traces instead of the synthetic application models, and dump any
+// workload's stream to the same format.
+//
+// Format: one event per line, `<core> <op> [arg]`, '#' comments allowed.
+//   4 L 0x1a2b          load of line 0x1a2b by core 4
+//   4 S 0x1a2c          store
+//   4 C 12              12 compute instructions
+//   4 B 1               barrier 1 (all cores must emit the same barriers)
+// Events for a core are consumed in file order; cores interleave freely.
+#pragma once
+
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/workload.hpp"
+
+namespace tcmp::workloads {
+
+class TraceWorkload final : public core::Workload {
+ public:
+  /// Parse a trace from a stream. Aborts (TCMP_CHECK) on malformed lines.
+  TraceWorkload(std::istream& in, unsigned n_cores, std::string name = "trace");
+  /// Convenience: parse from a file path.
+  static TraceWorkload from_file(const std::string& path, unsigned n_cores);
+
+  core::Op next(unsigned core) override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  [[nodiscard]] std::size_t total_events() const;
+
+ private:
+  std::vector<std::deque<core::Op>> streams_;
+  std::string name_;
+};
+
+/// Dump `ops` events per core of any workload to the trace format (testing,
+/// interchange, replaying synthetic apps elsewhere).
+void write_trace(std::ostream& out, core::Workload& workload, unsigned n_cores,
+                 std::size_t max_events_per_core);
+
+}  // namespace tcmp::workloads

@@ -1,0 +1,115 @@
+// Tests for the CLI argument parser and the trace-file workload (read and
+// write round-trips).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/args.hpp"
+#include "workloads/synthetic_app.hpp"
+#include "workloads/trace_workload.hpp"
+
+namespace tcmp {
+namespace {
+
+ArgParser parse(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v{"prog"};
+  v.insert(v.end(), argv.begin(), argv.end());
+  ArgParser p;
+  EXPECT_TRUE(p.parse(static_cast<int>(v.size()), v.data()));
+  return p;
+}
+
+TEST(ArgParser, KeyValueForms) {
+  const auto p = parse({"--app", "MP3D", "--scale=0.5", "--tiles", "32"});
+  EXPECT_EQ(p.get("app", ""), "MP3D");
+  EXPECT_DOUBLE_EQ(p.get_double("scale", 0), 0.5);
+  EXPECT_EQ(p.get_long("tiles", 0), 32);
+  EXPECT_EQ(p.get("missing", "dflt"), "dflt");
+}
+
+TEST(ArgParser, Flags) {
+  const auto p = parse({"--verbose", "--fast=false", "--app", "FFT"});
+  EXPECT_TRUE(p.get_flag("verbose"));
+  EXPECT_FALSE(p.get_flag("fast"));
+  EXPECT_FALSE(p.get_flag("absent"));
+  EXPECT_EQ(p.get("app", ""), "FFT");
+}
+
+TEST(ArgParser, PositionalArguments) {
+  const auto p = parse({"first", "--k", "v", "second"});
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "first");
+  EXPECT_EQ(p.positional()[1], "second");
+}
+
+TEST(ArgParser, UnknownKeyDetection) {
+  const auto p = parse({"--app", "X", "--bogus", "1"});
+  const auto unknown = p.unknown_keys({"app"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "bogus");
+}
+
+TEST(ArgParser, TypedFallbacksOnGarbage) {
+  const auto p = parse({"--n=abc"});
+  EXPECT_EQ(p.get_long("n", 7), 7);
+  EXPECT_DOUBLE_EQ(p.get_double("n", 1.5), 1.5);
+}
+
+// --- trace workload ---
+
+TEST(TraceWorkload, ParsesAllOpKinds) {
+  std::istringstream in(
+      "# comment\n"
+      "0 L 0x10\n"
+      "0 S 0x11\n"
+      "0 C 5\n"
+      "0 B 1  # trailing comment\n"
+      "1 L 0x20\n");
+  workloads::TraceWorkload w(in, 2);
+  EXPECT_EQ(w.total_events(), 5u);
+
+  auto op = w.next(0);
+  EXPECT_EQ(static_cast<int>(op.kind), static_cast<int>(core::OpKind::kLoad));
+  EXPECT_EQ(op.line, 0x10u);
+  op = w.next(0);
+  EXPECT_EQ(static_cast<int>(op.kind), static_cast<int>(core::OpKind::kStore));
+  op = w.next(0);
+  EXPECT_EQ(op.count, 5u);
+  op = w.next(0);
+  EXPECT_EQ(static_cast<int>(op.kind), static_cast<int>(core::OpKind::kBarrier));
+  // Exhausted stream returns kDone forever.
+  EXPECT_EQ(static_cast<int>(w.next(0).kind), static_cast<int>(core::OpKind::kDone));
+  EXPECT_EQ(static_cast<int>(w.next(0).kind), static_cast<int>(core::OpKind::kDone));
+  EXPECT_EQ(w.next(1).line, 0x20u);
+}
+
+TEST(TraceWorkloadDeathTest, RejectsMalformedLines) {
+  std::istringstream bad_core("9 L 0x10\n");
+  EXPECT_DEATH(workloads::TraceWorkload(bad_core, 2), "core id");
+  std::istringstream bad_op("0 Q 0x10\n");
+  EXPECT_DEATH(workloads::TraceWorkload(bad_op, 2), "unknown op");
+}
+
+TEST(TraceWorkload, RoundTripsThroughWriter) {
+  workloads::AppParams params = workloads::app("FFT").scaled(0.02);
+  params.warmup_frac = 0.0;
+  workloads::SyntheticApp original(params, 4);
+  std::stringstream buffer;
+  workloads::write_trace(buffer, original, 4, 2000);
+
+  workloads::TraceWorkload replay(buffer, 4);
+  workloads::SyntheticApp reference(params, 4);
+  for (unsigned core = 0; core < 4; ++core) {
+    for (int i = 0; i < 1500; ++i) {
+      const auto a = reference.next(core);
+      const auto b = replay.next(core);
+      if (a.kind == core::OpKind::kDone || b.kind == core::OpKind::kDone) break;
+      ASSERT_EQ(static_cast<int>(a.kind), static_cast<int>(b.kind));
+      ASSERT_EQ(a.line, b.line);
+      ASSERT_EQ(a.count, b.count);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tcmp

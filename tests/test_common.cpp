@@ -1,0 +1,193 @@
+// Unit tests for the common kernel: RNG determinism, stats, histograms,
+// tables and unit helpers.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/env.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/types.hpp"
+#include "common/units.hpp"
+
+namespace tcmp {
+namespace {
+
+TEST(Types, LineAddressing) {
+  EXPECT_EQ(line_of(0), 0u);
+  EXPECT_EQ(line_of(63), 0u);
+  EXPECT_EQ(line_of(64), 1u);
+  EXPECT_EQ(byte_of_line(line_of(0x12345678)), 0x12345640u);
+  EXPECT_EQ(byte_of_line(5), 320u);
+}
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(units::ps(250.0), 250e-12);
+  EXPECT_DOUBLE_EQ(units::to_ps(units::ps(130.0)), 130.0);
+  EXPECT_DOUBLE_EQ(units::mm(5.0), 5e-3);
+  EXPECT_DOUBLE_EQ(units::to_mm2(1e-6), 1.0);
+  EXPECT_DOUBLE_EQ(units::to_pj(units::pj(3.5)), 3.5);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next_u64() == b.next_u64();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextRangeInclusiveBounds) {
+  Rng rng(9);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.next_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    hit_lo |= v == -3;
+    hit_hi |= v == 3;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.chance(0.25);
+  EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(Rng, GeometricMeanApproximatesInverseP) {
+  Rng rng(17);
+  double sum = 0.0;
+  for (int i = 0; i < 5000; ++i) sum += rng.geometric(0.2);
+  EXPECT_NEAR(sum / 5000.0, 5.0, 0.4);
+}
+
+TEST(ScalarStat, BasicMoments) {
+  ScalarStat s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.variance(), 1.25, 1e-12);
+}
+
+TEST(ScalarStat, EmptyIsZero) {
+  ScalarStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Histogram, BinningAndOverflow) {
+  Histogram h(4, 10);  // bins: [0,10) [10,20) [20,30) [30,inf)
+  h.add(0);
+  h.add(9);
+  h.add(10);
+  h.add(25);
+  h.add(1000);
+  EXPECT_EQ(h.bins()[0], 2u);
+  EXPECT_EQ(h.bins()[1], 1u);
+  EXPECT_EQ(h.bins()[2], 1u);
+  EXPECT_EQ(h.bins()[3], 1u);
+  EXPECT_EQ(h.scalar().count(), 5u);
+}
+
+TEST(Histogram, QuantileMonotone) {
+  Histogram h(64, 1);
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) h.add(rng.next_below(50));
+  const double q10 = h.quantile(0.10);
+  const double q50 = h.quantile(0.50);
+  const double q90 = h.quantile(0.90);
+  EXPECT_LE(q10, q50);
+  EXPECT_LE(q50, q90);
+  EXPECT_NEAR(q50, 25.0, 3.0);
+}
+
+TEST(StatRegistry, CountersAndPrefixSums) {
+  StatRegistry reg;
+  reg.counter("noc.vl.flits") += 10;
+  reg.counter("noc.b.flits") += 5;
+  reg.counter("protocol.gets") += 7;
+  EXPECT_EQ(reg.counter_value("noc.vl.flits"), 10u);
+  EXPECT_EQ(reg.counter_value("missing"), 0u);
+  EXPECT_EQ(reg.sum_prefix("noc."), 15u);
+  EXPECT_EQ(reg.sum_prefix("protocol."), 7u);
+  EXPECT_EQ(reg.sum_prefix(""), 22u);
+  reg.reset();
+  EXPECT_EQ(reg.sum_prefix(""), 0u);
+}
+
+TEST(StatRegistry, ZeroAllPreservesPointers) {
+  StatRegistry reg;
+  std::uint64_t* counter = &reg.counter("a.b");
+  ScalarStat* scalar = &reg.scalar("c.d");
+  *counter = 42;
+  scalar->add(3.0);
+  reg.zero_all();
+  // Same storage, zeroed values: cached pointers stay valid across the
+  // warmup/measurement boundary.
+  EXPECT_EQ(counter, &reg.counter("a.b"));
+  EXPECT_EQ(*counter, 0u);
+  EXPECT_EQ(scalar->count(), 0u);
+  *counter = 7;
+  EXPECT_EQ(reg.counter_value("a.b"), 7u);
+}
+
+TEST(TextTable, RendersAlignedRows) {
+  TextTable t({"Scheme", "Coverage"});
+  t.add_row({"DBRC-4", TextTable::pct(0.981)});
+  t.add_row({"Stride", "80.0%"});
+  const std::string out = t.str();
+  EXPECT_NE(out.find("Scheme"), std::string::npos);
+  EXPECT_NE(out.find("98.1%"), std::string::npos);
+  EXPECT_NE(out.find("DBRC-4"), std::string::npos);
+}
+
+TEST(TextTable, FmtPrecision) {
+  EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::fmt(10.0, 0), "10");
+  EXPECT_EQ(TextTable::pct(0.5, 0), "50%");
+}
+
+TEST(Env, FallbacksWhenUnset) {
+  EXPECT_DOUBLE_EQ(env_double("TCMP_SURELY_UNSET_VAR", 1.5), 1.5);
+  EXPECT_EQ(env_long("TCMP_SURELY_UNSET_VAR", 42), 42);
+  EXPECT_EQ(env_string("TCMP_SURELY_UNSET_VAR", "x"), "x");
+}
+
+}  // namespace
+}  // namespace tcmp

@@ -1,0 +1,409 @@
+// NoC tests: XY routing, pipeline latency, serialization, credit
+// backpressure, virtual-network isolation, heterogeneous channel planes and
+// delivery guarantees under load.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "noc/channel.hpp"
+#include "noc/network.hpp"
+#include "wire/link_design.hpp"
+
+namespace tcmp::noc {
+namespace {
+
+using protocol::CoherenceMsg;
+using protocol::MsgType;
+
+CoherenceMsg make_msg(NodeId src, NodeId dst, MsgType type = MsgType::kGetS,
+                      Addr line = 0x100) {
+  CoherenceMsg m;
+  m.type = type;
+  m.src = src;
+  m.dst = dst;
+  m.line = line;
+  m.requester = src;
+  return m;
+}
+
+struct Harness {
+  explicit Harness(const wire::LinkPartition& part = wire::baseline_link(),
+                   unsigned width = 4, unsigned height = 4) {
+    cfg.width = width;
+    cfg.height = height;
+    cfg.channels = make_channels(part);
+    net = std::make_unique<Network>(cfg, &stats);
+    net->set_deliver([this](NodeId node, const CoherenceMsg& msg) {
+      delivered.push_back({node, msg});
+    });
+  }
+
+  void run(Cycle cycles) {
+    for (Cycle i = 0; i < cycles; ++i) net->tick(++now);
+  }
+
+  Cycle run_until_quiescent(Cycle limit = 100000) {
+    const Cycle start = now;
+    while (!net->quiescent()) {
+      net->tick(++now);
+      TCMP_CHECK(now - start < limit);
+    }
+    return now - start;
+  }
+
+  NocConfig cfg;
+  StatRegistry stats;
+  std::unique_ptr<Network> net;
+  std::vector<std::pair<NodeId, CoherenceMsg>> delivered;
+  Cycle now = 0;
+};
+
+TEST(Channels, BaselineIsSingle75BytePlane) {
+  const auto chans = make_channels(wire::baseline_link());
+  ASSERT_EQ(chans.size(), 1u);
+  EXPECT_EQ(chans[0].width_bytes, 75u);
+  EXPECT_EQ(chans[0].link_cycles, 3u);  // 130 ps/mm * 5 mm at 4 GHz
+}
+
+TEST(Channels, HeterogeneousAddsFastNarrowPlane) {
+  for (unsigned vl : {3u, 4u, 5u}) {
+    const auto chans = make_channels(wire::paper_het_link(vl));
+    ASSERT_EQ(chans.size(), 2u);
+    EXPECT_EQ(chans[kBChannel].width_bytes, 34u);
+    EXPECT_EQ(chans[kVlChannel].width_bytes, vl);
+    EXPECT_EQ(chans[kVlChannel].link_cycles, 1u);
+    EXPECT_LT(chans[kVlChannel].link_cycles, chans[kBChannel].link_cycles);
+  }
+}
+
+TEST(Channels, FlitSerialization) {
+  const auto chans = make_channels(wire::paper_het_link(5));
+  EXPECT_EQ(chans[kBChannel].flits_for(67), 2u);  // data reply on 34B plane
+  EXPECT_EQ(chans[kBChannel].flits_for(11), 1u);
+  EXPECT_EQ(chans[kVlChannel].flits_for(5), 1u);
+  EXPECT_EQ(make_channels(wire::baseline_link())[0].flits_for(67), 1u);
+}
+
+TEST(Channels, Cheng3WayHasThreeSubnets) {
+  const auto chans = make_channels(wire::cheng3way_link());
+  ASSERT_EQ(chans.size(), 3u);
+  EXPECT_EQ(chans[kBChannel].width_bytes, 17u);
+  EXPECT_EQ(chans[kLChannel].width_bytes, 11u);
+  EXPECT_EQ(chans[kPwChannel].width_bytes, 28u);
+  // L is faster, PW slower than B (Table 2 latencies at 5 mm / 4 GHz).
+  EXPECT_LT(chans[kLChannel].link_cycles, chans[kBChannel].link_cycles);
+  EXPECT_GT(chans[kPwChannel].link_cycles, chans[kBChannel].link_cycles);
+  // A data reply serializes heavily on the narrow B subnet.
+  EXPECT_EQ(chans[kBChannel].flits_for(67), 4u);
+  EXPECT_EQ(chans[kLChannel].flits_for(11), 1u);
+}
+
+TEST(Channels, Cheng3WayFitsTrackBudget) {
+  const auto part = wire::cheng3way_link();
+  EXPECT_EQ(part.style, wire::LinkStyle::kCheng3Way);
+  EXPECT_LE(part.total_tracks, 600.0);
+  EXPECT_GE(part.total_tracks, 580.0);  // no large waste either
+  EXPECT_FALSE(part.heterogeneous());   // not the paper's VL style
+}
+
+TEST(Network, DeliversSingleMessage) {
+  Harness h;
+  h.net->inject(make_msg(0, 15), kBChannel, 11, h.now);
+  h.run_until_quiescent();
+  ASSERT_EQ(h.delivered.size(), 1u);
+  EXPECT_EQ(h.delivered[0].first, 15);
+  EXPECT_EQ(h.delivered[0].second.type, MsgType::kGetS);
+}
+
+TEST(Network, LatencyScalesWithHops) {
+  // 0 -> 1 (1 hop) vs 0 -> 15 (6 hops) on the baseline plane.
+  Harness near_h;
+  near_h.net->inject(make_msg(0, 1), kBChannel, 11, near_h.now);
+  const Cycle t_near = near_h.run_until_quiescent();
+
+  Harness far_h;
+  far_h.net->inject(make_msg(0, 15), kBChannel, 11, far_h.now);
+  const Cycle t_far = far_h.run_until_quiescent();
+
+  EXPECT_GT(t_far, t_near);
+  // Each extra hop costs ~3 (pipeline) + 3 (B link) cycles; 5 extra hops.
+  EXPECT_NEAR(static_cast<double>(t_far - t_near), 5 * 6.0, 12.0);
+}
+
+TEST(Network, VlPlaneIsFasterThanBPlane) {
+  Harness h(wire::paper_het_link(5));
+  h.net->inject(make_msg(0, 15), kBChannel, 11, h.now);
+  const Cycle t_b = h.run_until_quiescent();
+  h.delivered.clear();
+  h.net->inject(make_msg(0, 15), kVlChannel, 5, h.now);
+  const Cycle t_vl = h.run_until_quiescent();
+  EXPECT_LT(t_vl, t_b);
+  // 6 hops saving 2 cycles of link latency each.
+  EXPECT_GE(t_b - t_vl, 10u);
+}
+
+TEST(Network, MultiFlitPacketArrivesIntact) {
+  Harness h(wire::paper_het_link(4));
+  h.net->inject(make_msg(2, 9, MsgType::kData, 0xBEEF), kBChannel, 67, h.now);
+  h.run_until_quiescent();
+  ASSERT_EQ(h.delivered.size(), 1u);
+  EXPECT_EQ(h.delivered[0].second.line, 0xBEEFu);
+  EXPECT_EQ(h.stats.counter_value("noc.B.flits_injected"), 2u);
+}
+
+TEST(Network, ActiveBitsMatchPayload) {
+  Harness h;  // 75-byte plane
+  h.net->inject(make_msg(0, 1, MsgType::kData), kBChannel, 67, h.now);
+  h.run_until_quiescent();
+  // One flit, one hop: 67 bytes of toggled wires.
+  EXPECT_EQ(h.stats.counter_value("noc.B.bit_hops"), 67u * 8u);
+}
+
+TEST(Network, XYRoutingTakesMinimalHops) {
+  Harness h;
+  // 5 -> 10: (1,1) -> (2,2): 2 hops. flit_hops counts link crossings.
+  h.net->inject(make_msg(5, 10), kBChannel, 11, h.now);
+  h.run_until_quiescent();
+  EXPECT_EQ(h.stats.counter_value("noc.B.flit_hops"), 2u);
+  // Router traversals = hops + 1 (ejection router).
+  EXPECT_EQ(h.stats.counter_value("noc.B.router_traversals"), 3u);
+}
+
+TEST(Network, AllPairsDelivery) {
+  Harness h;
+  unsigned sent = 0;
+  for (unsigned s = 0; s < 16; ++s) {
+    for (unsigned d = 0; d < 16; ++d) {
+      if (s == d) continue;
+      h.net->inject(make_msg(static_cast<NodeId>(s), static_cast<NodeId>(d),
+                             MsgType::kGetS, s * 100 + d),
+                    kBChannel, 11, h.now);
+      ++sent;
+    }
+  }
+  h.run_until_quiescent();
+  ASSERT_EQ(h.delivered.size(), sent);
+  std::set<std::pair<NodeId, Addr>> seen;
+  for (const auto& [node, msg] : h.delivered) seen.insert({node, msg.line});
+  EXPECT_EQ(seen.size(), sent);  // no duplicates, all distinct
+}
+
+TEST(Network, PerSourceDestinationOrderPreservedWithinChannel) {
+  Harness h;
+  for (unsigned i = 0; i < 20; ++i) {
+    h.net->inject(make_msg(3, 12, MsgType::kGetS, 1000 + i), kBChannel, 11, h.now);
+  }
+  h.run_until_quiescent();
+  ASSERT_EQ(h.delivered.size(), 20u);
+  for (unsigned i = 0; i < 20; ++i) EXPECT_EQ(h.delivered[i].second.line, 1000 + i);
+}
+
+TEST(Network, ChannelsCanReorderBetweenThemselves) {
+  // A long message on the slow B plane injected first can be overtaken by a
+  // short VL message — the reordering the NI sequence numbers must handle.
+  Harness h(wire::paper_het_link(4));
+  h.net->inject(make_msg(0, 15, MsgType::kData, 1), kBChannel, 67, h.now);
+  h.net->inject(make_msg(0, 15, MsgType::kGetS, 2), kVlChannel, 4, h.now);
+  h.run_until_quiescent();
+  ASSERT_EQ(h.delivered.size(), 2u);
+  EXPECT_EQ(h.delivered[0].second.line, 2u);  // VL message wins
+  EXPECT_EQ(h.delivered[1].second.line, 1u);
+}
+
+TEST(Network, BackpressureDoesNotDropUnderBurst) {
+  Harness h;
+  // Everyone floods node 0 at once: far more flits than total buffering.
+  unsigned sent = 0;
+  for (unsigned s = 1; s < 16; ++s) {
+    for (unsigned i = 0; i < 50; ++i) {
+      h.net->inject(make_msg(static_cast<NodeId>(s), 0, MsgType::kData, s * 1000 + i),
+                    kBChannel, 67, h.now);
+      ++sent;
+    }
+  }
+  h.run_until_quiescent(1000000);
+  EXPECT_EQ(h.delivered.size(), sent);
+}
+
+TEST(Network, VnetsDoNotBlockEachOther) {
+  Harness h;
+  // Saturate vnet 0 toward node 0, then send one vnet-2 message along the
+  // same path; it must not wait for the vnet-0 backlog to drain.
+  for (unsigned i = 0; i < 200; ++i)
+    h.net->inject(make_msg(3, 0, MsgType::kGetS, i), kBChannel, 11, h.now);
+  h.net->inject(make_msg(3, 0, MsgType::kInvAck, 9999), kBChannel, 3, h.now);
+  Cycle invack_at = 0;
+  h.net->set_deliver([&](NodeId, const CoherenceMsg& msg) {
+    if (msg.type == MsgType::kInvAck) invack_at = h.now;
+    h.delivered.push_back({0, msg});
+  });
+  h.run_until_quiescent();
+  ASSERT_GT(invack_at, 0u);
+  // The InvAck (vnet 2) should arrive long before the 200-message backlog
+  // drains (~200+ cycles at 1 flit/cycle ejection).
+  EXPECT_LT(invack_at, 80u);
+}
+
+TEST(Network, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Harness h;
+    Rng rng(1234);
+    for (unsigned i = 0; i < 300; ++i) {
+      const auto s = static_cast<NodeId>(rng.next_below(16));
+      auto d = static_cast<NodeId>(rng.next_below(16));
+      if (d == s) d = static_cast<NodeId>((d + 1) % 16);
+      h.net->inject(make_msg(s, d, MsgType::kGetS, i), kBChannel, 11, h.now);
+      h.net->tick(++h.now);
+    }
+    h.run_until_quiescent();
+    std::vector<std::pair<NodeId, Addr>> order;
+    order.reserve(h.delivered.size());
+    for (const auto& [n, m] : h.delivered) order.emplace_back(n, m.line);
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+struct LoadPoint {
+  double injection_rate;  ///< packets per node per cycle
+  unsigned cycles;
+};
+
+class NetworkLoad : public ::testing::TestWithParam<LoadPoint> {};
+
+TEST_P(NetworkLoad, UniformRandomTrafficAllDelivered) {
+  const auto [rate, cycles] = GetParam();
+  Harness h;
+  Rng rng(99);
+  unsigned sent = 0;
+  for (unsigned t = 0; t < cycles; ++t) {
+    for (unsigned n = 0; n < 16; ++n) {
+      if (rng.chance(rate)) {
+        auto d = static_cast<NodeId>(rng.next_below(16));
+        if (d == n) continue;
+        h.net->inject(make_msg(static_cast<NodeId>(n), d, MsgType::kGetS, sent),
+                      kBChannel, 11, h.now);
+        ++sent;
+      }
+    }
+    h.net->tick(++h.now);
+  }
+  h.run_until_quiescent(2000000);
+  EXPECT_EQ(h.delivered.size(), sent);
+  EXPECT_GT(h.stats.scalar("noc.B.latency").mean(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, NetworkLoad,
+                         ::testing::Values(LoadPoint{0.02, 2000},
+                                           LoadPoint{0.10, 1500},
+                                           LoadPoint{0.30, 800},
+                                           LoadPoint{0.60, 400}));
+
+// --- two-level tree topology ---
+
+struct TreeHarness {
+  TreeHarness() {
+    cfg.topology = Topology::kTree2Level;
+    cfg.channels = make_channels(wire::baseline_link());
+    net = std::make_unique<Network>(cfg, &stats);
+    net->set_deliver([this](NodeId node, const CoherenceMsg& msg) {
+      delivered.push_back({node, msg});
+    });
+  }
+  Cycle run_until_quiescent(Cycle limit = 200000) {
+    const Cycle start = now;
+    while (!net->quiescent()) {
+      net->tick(++now);
+      TCMP_CHECK(now - start < limit);
+    }
+    return now - start;
+  }
+  NocConfig cfg;
+  StatRegistry stats;
+  std::unique_ptr<Network> net;
+  std::vector<std::pair<NodeId, CoherenceMsg>> delivered;
+  Cycle now = 0;
+};
+
+TEST(TreeTopology, FiveRoutersAndFullWiring) {
+  TreeHarness h;
+  EXPECT_EQ(h.net->router_count(0), 5u);  // 4 clusters + root
+  // 8 directed root links x 10 mm + 32 directed leaf stubs x 5 mm = 240 mm,
+  // the same metal budget as the 4x4 mesh.
+  EXPECT_DOUBLE_EQ(h.net->total_directed_link_mm(0), 240.0);
+}
+
+TEST(TreeTopology, IntraClusterStaysLocal) {
+  TreeHarness h;
+  h.net->inject(make_msg(0, 3), kBChannel, 11, h.now);  // same cluster
+  h.run_until_quiescent();
+  ASSERT_EQ(h.delivered.size(), 1u);
+  EXPECT_EQ(h.delivered[0].first, 3);
+  EXPECT_EQ(h.stats.counter_value("noc.B.flit_hops"), 0u);  // no link crossed
+}
+
+TEST(TreeTopology, CrossClusterGoesThroughRoot) {
+  TreeHarness h;
+  h.net->inject(make_msg(0, 15), kBChannel, 11, h.now);  // cluster 0 -> 3
+  h.run_until_quiescent();
+  ASSERT_EQ(h.delivered.size(), 1u);
+  EXPECT_EQ(h.delivered[0].first, 15);
+  EXPECT_EQ(h.stats.counter_value("noc.B.flit_hops"), 2u);  // up + down
+}
+
+TEST(TreeTopology, AllPairsDeliver) {
+  TreeHarness h;
+  unsigned sent = 0;
+  for (unsigned s = 0; s < 16; ++s) {
+    for (unsigned d = 0; d < 16; ++d) {
+      if (s == d) continue;
+      h.net->inject(make_msg(static_cast<NodeId>(s), static_cast<NodeId>(d),
+                             MsgType::kGetS, s * 100 + d),
+                    kBChannel, 11, h.now);
+      ++sent;
+    }
+  }
+  h.run_until_quiescent();
+  EXPECT_EQ(h.delivered.size(), sent);
+}
+
+TEST(TreeTopology, RootLinksAreLonger) {
+  // Cross-cluster latency must exceed intra-cluster latency by the two long
+  // root-link traversals.
+  TreeHarness near_h;
+  near_h.net->inject(make_msg(0, 1), kBChannel, 11, near_h.now);
+  const Cycle t_near = near_h.run_until_quiescent();
+  TreeHarness far_h;
+  far_h.net->inject(make_msg(0, 15), kBChannel, 11, far_h.now);
+  const Cycle t_far = far_h.run_until_quiescent();
+  EXPECT_GE(t_far, t_near + 10);  // 2 x (1 + 6-cycle root link)
+}
+
+TEST(Network, LatencyGrowsWithLoad) {
+  auto mean_latency = [](double rate) {
+    Harness h;
+    Rng rng(7);
+    for (unsigned t = 0; t < 1500; ++t) {
+      for (unsigned n = 0; n < 16; ++n) {
+        if (rng.chance(rate)) {
+          auto d = static_cast<NodeId>(rng.next_below(16));
+          if (d == n) continue;
+          h.net->inject(make_msg(static_cast<NodeId>(n), d), kBChannel, 11, h.now);
+        }
+      }
+      h.net->tick(++h.now);
+    }
+    h.run_until_quiescent(2000000);
+    return h.stats.scalar("noc.B.latency").mean();
+  };
+  const double low = mean_latency(0.01);
+  const double high = mean_latency(0.4);
+  EXPECT_GT(high, low * 1.3);
+}
+
+}  // namespace
+}  // namespace tcmp::noc

@@ -1,0 +1,207 @@
+// Workload generator tests: determinism, stream structure, per-application
+// pattern properties (the behaviours Fig. 2/5/6 shapes rest on).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "workloads/app_params.hpp"
+#include "workloads/synthetic_app.hpp"
+
+namespace tcmp::workloads {
+namespace {
+
+using core::Op;
+using core::OpKind;
+
+/// Drain one core's stream (memory ops only) up to `limit` ops.
+std::vector<Op> memory_stream(SyntheticApp& app, unsigned core, std::size_t limit) {
+  std::vector<Op> ops;
+  while (ops.size() < limit) {
+    const Op op = app.next(core);
+    if (op.kind == OpKind::kDone) break;
+    if (op.kind == OpKind::kLoad || op.kind == OpKind::kStore) ops.push_back(op);
+  }
+  return ops;
+}
+
+TEST(Apps, ThirteenApplicationsInPaperOrder) {
+  const auto& apps = all_apps();
+  ASSERT_EQ(apps.size(), 13u);
+  EXPECT_EQ(apps.front().name, "Barnes");
+  EXPECT_EQ(apps.back().name, "Water-spa");
+  std::set<std::string> names;
+  for (const auto& a : apps) names.insert(a.name);
+  EXPECT_EQ(names.size(), 13u);
+  EXPECT_TRUE(names.contains("MP3D"));
+  EXPECT_TRUE(names.contains("Unstructured"));
+}
+
+TEST(Apps, LookupByNameAndScaling) {
+  const AppParams& mp3d = app("MP3D");
+  EXPECT_EQ(mp3d.name, "MP3D");
+  const AppParams half = mp3d.scaled(0.5);
+  EXPECT_EQ(half.ops_per_core, mp3d.ops_per_core / 2);
+  EXPECT_GE(mp3d.scaled(0.0001).ops_per_core, 200u);  // floor
+}
+
+TEST(AppsDeathTest, UnknownNameAborts) { EXPECT_DEATH(app("NoSuchApp"), "unknown"); }
+
+TEST(SyntheticApp, DeterministicStreams) {
+  SyntheticApp a(app("FFT"), 16);
+  SyntheticApp b(app("FFT"), 16);
+  for (int i = 0; i < 5000; ++i) {
+    const Op x = a.next(3), y = b.next(3);
+    ASSERT_EQ(static_cast<int>(x.kind), static_cast<int>(y.kind));
+    ASSERT_EQ(x.line, y.line);
+    ASSERT_EQ(x.count, y.count);
+  }
+}
+
+TEST(SyntheticApp, CoresProduceDistinctStreams) {
+  SyntheticApp a(app("FFT"), 16);
+  const auto s0 = memory_stream(a, 0, 200);
+  const auto s1 = memory_stream(a, 1, 200);
+  unsigned same = 0;
+  for (std::size_t i = 0; i < 200; ++i) same += s0[i].line == s1[i].line;
+  EXPECT_LT(same, 60u);  // some shared lines may coincide, most must not
+}
+
+TEST(SyntheticApp, StreamTerminatesWithDone) {
+  AppParams p = app("Water-nsq").scaled(0.01);  // ~400 ops
+  SyntheticApp a(p, 16);
+  std::size_t ops = 0;
+  while (a.next(2).kind != OpKind::kDone) {
+    ASSERT_LT(++ops, 20000u);
+  }
+  // After done, it stays done.
+  EXPECT_EQ(static_cast<int>(a.next(2).kind), static_cast<int>(OpKind::kDone));
+}
+
+TEST(SyntheticApp, WarmupBarrierEmittedOnce) {
+  const AppParams p = app("LU-cont");
+  SyntheticApp a(p, 16);
+  ASSERT_TRUE(a.has_warmup());
+  unsigned warmup_barriers = 0;
+  std::size_t total = 0;
+  while (true) {
+    const Op op = a.next(5);
+    if (op.kind == OpKind::kDone) break;
+    if (op.kind == OpKind::kBarrier && op.count == core::kWarmupBarrierId)
+      ++warmup_barriers;
+    ASSERT_LT(++total, 500000u);
+  }
+  EXPECT_EQ(warmup_barriers, 1u);
+}
+
+TEST(SyntheticApp, BarriersAppearAtConfiguredInterval) {
+  AppParams p = app("FFT");
+  p.warmup_frac = 0.0;
+  SyntheticApp a(p, 16);
+  std::uint64_t mem_ops = 0;
+  unsigned barriers = 0;
+  while (true) {
+    const Op op = a.next(0);
+    if (op.kind == OpKind::kDone) break;
+    if (op.kind == OpKind::kLoad || op.kind == OpKind::kStore) ++mem_ops;
+    if (op.kind == OpKind::kBarrier) ++barriers;
+  }
+  EXPECT_EQ(mem_ops, p.ops_per_core);
+  EXPECT_EQ(barriers, p.ops_per_core / p.barrier_interval -
+                          (p.ops_per_core % p.barrier_interval == 0 ? 1 : 0));
+}
+
+TEST(SyntheticApp, WriteFractionApproximatelyRespected) {
+  AppParams p = app("Raytrace");  // write_frac 0.10
+  p.warmup_frac = 0.0;
+  SyntheticApp a(p, 16);
+  const auto ops = memory_stream(a, 4, 20000);
+  unsigned writes = 0;
+  for (const auto& op : ops) writes += op.kind == OpKind::kStore;
+  const double frac = static_cast<double>(writes) / static_cast<double>(ops.size());
+  EXPECT_NEAR(frac, 0.10, 0.04);
+}
+
+TEST(SyntheticApp, MigratoryPatternIssuesReadModifyWrite) {
+  AppParams p = app("MP3D");
+  p.warmup_frac = 0.0;
+  SyntheticApp a(p, 16);
+  const auto ops = memory_stream(a, 7, 20000);
+  // RMW pairs: a store immediately following a load of the same line.
+  unsigned rmw = 0;
+  for (std::size_t i = 1; i < ops.size(); ++i) {
+    if (ops[i].kind == OpKind::kStore && ops[i - 1].kind == OpKind::kLoad &&
+        ops[i].line == ops[i - 1].line) {
+      ++rmw;
+    }
+  }
+  EXPECT_GT(rmw, ops.size() / 20);
+}
+
+TEST(SyntheticApp, ScatteredLayoutSpreadsAddressRegions) {
+  // Regions (64K-line windows, i.e. 2-byte-LO reach) touched by scattered vs
+  // contiguous variants: the scattered one must touch many more.
+  auto regions_of = [](const AppParams& params) {
+    AppParams p = params;
+    p.warmup_frac = 0.0;
+    SyntheticApp a(p, 16);
+    std::set<Addr> regions;
+    for (const auto& op : memory_stream(a, 0, 10000)) regions.insert(op.line >> 16);
+    return regions.size();
+  };
+  EXPECT_GT(regions_of(app("Ocean-noncont")), 2 * regions_of(app("Ocean-cont")));
+}
+
+TEST(SyntheticApp, DwellRepeatsLines) {
+  AppParams p = app("LU-cont");
+  p.warmup_frac = 0.0;
+  SyntheticApp a(p, 16);
+  const auto ops = memory_stream(a, 2, 5000);
+  unsigned repeats = 0;
+  for (std::size_t i = 1; i < ops.size(); ++i) repeats += ops[i].line == ops[i - 1].line;
+  // line_dwell 6 => most consecutive accesses stay on the same line.
+  EXPECT_GT(static_cast<double>(repeats) / static_cast<double>(ops.size()), 0.5);
+}
+
+TEST(SyntheticApp, SharedFractionControlsCrossCoreOverlap) {
+  auto overlap = [](const char* name) {
+    AppParams p = app(name);
+    p.warmup_frac = 0.0;
+    SyntheticApp a(p, 16);
+    std::set<Addr> c0, c1;
+    for (const auto& op : memory_stream(a, 0, 8000)) c0.insert(op.line);
+    for (const auto& op : memory_stream(a, 1, 8000)) c1.insert(op.line);
+    std::size_t common = 0;
+    for (Addr l : c0) common += c1.contains(l);
+    return static_cast<double>(common) / static_cast<double>(c0.size());
+  };
+  EXPECT_GT(overlap("MP3D"), 2.5 * overlap("Water-nsq"));
+}
+
+class EveryApp : public ::testing::TestWithParam<int> {};
+
+TEST_P(EveryApp, StreamIsWellFormed) {
+  const AppParams& params = all_apps()[static_cast<std::size_t>(GetParam())];
+  AppParams p = params.scaled(0.05);
+  SyntheticApp a(p, 16);
+  for (unsigned core : {0u, 15u}) {
+    std::size_t n = 0;
+    std::uint64_t mem = 0;
+    while (true) {
+      const Op op = a.next(core);
+      if (op.kind == OpKind::kDone) break;
+      if (op.kind == OpKind::kLoad || op.kind == OpKind::kStore) {
+        ++mem;
+        ASSERT_GT(op.line, 0u);
+      }
+      ASSERT_LT(++n, 1000000u);
+    }
+    EXPECT_EQ(mem, p.ops_per_core + p.warmup_ops());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, EveryApp, ::testing::Range(0, 13));
+
+}  // namespace
+}  // namespace tcmp::workloads

@@ -1,0 +1,188 @@
+// tcmpsim — command-line driver: run any (workload, configuration) pair and
+// print the result as text, CSV or JSON.
+//
+//   tcmpsim --app MP3D --config het --scheme dbrc --entries 4 --low 2
+//   tcmpsim --app all --config baseline --format csv
+//   tcmpsim --trace mytrace.txt --config cheng
+//
+// Options:
+//   --app NAME|all        application model (Table 4 names), default MP3D
+//   --trace FILE          run a trace file instead of an application model
+//   --config KIND         baseline | het | cheng        (default het)
+//   --scheme KIND         dbrc | stride | perfect | none (default dbrc)
+//   --entries N           DBRC entries (4/16/64, default 4)
+//   --low N               low-order bytes (1/2, default 2)
+//   --vl N                perfect-compression VL width (3/4/5, default 3)
+//   --tiles N             16 or 32 (default 16)
+//   --scale F             workload scale (default 1.0)
+//   --reply-partitioning  enable the Reply Partitioning extension
+//   --three-stage-router  use the 3-stage router pipeline
+//   --format F            text | csv | json (default text)
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cmp/report.hpp"
+#include "cmp/system.hpp"
+#include "common/args.hpp"
+#include "workloads/synthetic_app.hpp"
+#include "workloads/trace_workload.hpp"
+
+using namespace tcmp;
+
+namespace {
+
+struct Options {
+  std::string app = "MP3D";
+  std::string trace;
+  std::string config = "het";
+  std::string scheme = "dbrc";
+  unsigned entries = 4;
+  unsigned low = 2;
+  unsigned vl = 3;
+  unsigned tiles = 16;
+  double scale = 1.0;
+  bool reply_partitioning = false;
+  bool three_stage_router = false;
+  std::string format = "text";
+};
+
+compression::SchemeConfig make_scheme(const Options& o) {
+  if (o.scheme == "dbrc") return compression::SchemeConfig::dbrc(o.entries, o.low);
+  if (o.scheme == "stride") return compression::SchemeConfig::stride(o.low);
+  if (o.scheme == "perfect") return compression::SchemeConfig::perfect(o.vl);
+  if (o.scheme == "none") return compression::SchemeConfig::none();
+  std::fprintf(stderr, "unknown --scheme '%s'\n", o.scheme.c_str());
+  std::exit(2);
+}
+
+cmp::CmpConfig make_config(const Options& o) {
+  cmp::CmpConfig cfg;
+  if (o.config == "baseline") {
+    cfg = cmp::CmpConfig::baseline();
+  } else if (o.config == "het") {
+    cfg = cmp::CmpConfig::heterogeneous(make_scheme(o));
+  } else if (o.config == "cheng") {
+    cfg = cmp::CmpConfig::cheng3way();
+  } else {
+    std::fprintf(stderr, "unknown --config '%s'\n", o.config.c_str());
+    std::exit(2);
+  }
+  cfg.n_tiles = o.tiles;
+  cfg.mesh_width = o.tiles <= 16 ? 4 : 8;
+  cfg.mesh_height = 4;
+  cfg.reply_partitioning = o.reply_partitioning;
+  cfg.single_cycle_router = !o.three_stage_router;
+  return cfg;
+}
+
+void emit(const Options& o, const cmp::RunResult& r, bool header) {
+  if (o.format == "csv") {
+    if (header) {
+      std::printf("workload,configuration,cycles,instructions,remote_msgs,"
+                  "coverage,crit_latency,link_energy_j,interconnect_energy_j,"
+                  "total_energy_j,link_ed2p,full_ed2p\n");
+    }
+    std::printf("%s,\"%s\",%llu,%llu,%llu,%.4f,%.2f,%.6g,%.6g,%.6g,%.6g,%.6g\n",
+                r.workload.c_str(), r.configuration.c_str(),
+                static_cast<unsigned long long>(r.cycles),
+                static_cast<unsigned long long>(r.instructions),
+                static_cast<unsigned long long>(r.remote_messages),
+                r.compression_coverage, r.avg_critical_latency, r.link_energy(),
+                r.interconnect_energy(), r.total_energy(), r.link_ed2p(),
+                r.full_cmp_ed2p());
+    return;
+  }
+  if (o.format == "json") {
+    std::printf("{\"workload\":\"%s\",\"configuration\":\"%s\",\"cycles\":%llu,"
+                "\"instructions\":%llu,\"remote_messages\":%llu,"
+                "\"coverage\":%.4f,\"critical_latency\":%.2f,"
+                "\"link_energy_j\":%.6g,\"interconnect_energy_j\":%.6g,"
+                "\"total_energy_j\":%.6g,\"link_ed2p\":%.6g,\"full_ed2p\":%.6g}\n",
+                r.workload.c_str(), r.configuration.c_str(),
+                static_cast<unsigned long long>(r.cycles),
+                static_cast<unsigned long long>(r.instructions),
+                static_cast<unsigned long long>(r.remote_messages),
+                r.compression_coverage, r.avg_critical_latency, r.link_energy(),
+                r.interconnect_energy(), r.total_energy(), r.link_ed2p(),
+                r.full_cmp_ed2p());
+    return;
+  }
+  std::printf("%-14s %-40s cycles=%-9llu coverage=%5.1f%% critlat=%5.1f "
+              "icE=%.3gJ linkED2P=%.4g\n",
+              r.workload.c_str(), r.configuration.c_str(),
+              static_cast<unsigned long long>(r.cycles),
+              100.0 * r.compression_coverage, r.avg_critical_latency,
+              r.interconnect_energy(), r.link_ed2p());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args;
+  if (!args.parse(argc, argv)) {
+    std::fprintf(stderr, "argument error: %s\n", args.error().c_str());
+    return 2;
+  }
+  const std::set<std::string> known{
+      "app",   "trace", "config",             "scheme",             "entries",
+      "low",   "vl",    "tiles",              "scale",              "format",
+      "help",  "reply-partitioning",          "three-stage-router"};
+  for (const auto& k : args.unknown_keys(known)) {
+    std::fprintf(stderr, "unknown option --%s (see the header of tools/tcmpsim.cpp)\n",
+                 k.c_str());
+    return 2;
+  }
+  if (args.get_flag("help")) {
+    std::printf("see the header comment of tools/tcmpsim.cpp for usage\n");
+    return 0;
+  }
+
+  Options o;
+  o.app = args.get("app", o.app);
+  o.trace = args.get("trace", o.trace);
+  o.config = args.get("config", o.config);
+  o.scheme = args.get("scheme", o.scheme);
+  o.entries = static_cast<unsigned>(args.get_long("entries", o.entries));
+  o.low = static_cast<unsigned>(args.get_long("low", o.low));
+  o.vl = static_cast<unsigned>(args.get_long("vl", o.vl));
+  o.tiles = static_cast<unsigned>(args.get_long("tiles", o.tiles));
+  o.scale = args.get_double("scale", o.scale);
+  o.reply_partitioning = args.get_flag("reply-partitioning");
+  o.three_stage_router = args.get_flag("three-stage-router");
+  o.format = args.get("format", o.format);
+
+  const cmp::CmpConfig cfg = make_config(o);
+
+  std::vector<std::string> apps;
+  if (!o.trace.empty()) {
+    apps.push_back(o.trace);
+  } else if (o.app == "all") {
+    for (const auto& a : workloads::all_apps()) apps.push_back(a.name);
+  } else {
+    apps.push_back(o.app);
+  }
+
+  bool first = true;
+  for (const auto& name : apps) {
+    std::shared_ptr<core::Workload> workload;
+    if (!o.trace.empty()) {
+      workload = std::make_shared<workloads::TraceWorkload>(
+          workloads::TraceWorkload::from_file(name, cfg.n_tiles));
+    } else {
+      workload = std::make_shared<workloads::SyntheticApp>(
+          workloads::app(name).scaled(o.scale), cfg.n_tiles);
+    }
+    cmp::CmpSystem system(cfg, std::move(workload));
+    if (!system.run()) {
+      std::fprintf(stderr, "%s: simulation did not finish\n", name.c_str());
+      return 1;
+    }
+    cmp::RunResult r = cmp::make_result(system);
+    r.workload = name;
+    emit(o, r, first);
+    first = false;
+  }
+  return 0;
+}
