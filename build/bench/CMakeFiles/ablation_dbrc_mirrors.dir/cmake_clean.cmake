@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dbrc_mirrors.dir/ablation_dbrc_mirrors.cpp.o"
+  "CMakeFiles/ablation_dbrc_mirrors.dir/ablation_dbrc_mirrors.cpp.o.d"
+  "ablation_dbrc_mirrors"
+  "ablation_dbrc_mirrors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dbrc_mirrors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

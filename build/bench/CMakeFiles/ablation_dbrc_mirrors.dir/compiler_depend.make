@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_dbrc_mirrors.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_dbrc_mirrors.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_reply_partitioning.cpp" "bench/CMakeFiles/ablation_reply_partitioning.dir/ablation_reply_partitioning.cpp.o" "gcc" "bench/CMakeFiles/ablation_reply_partitioning.dir/ablation_reply_partitioning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tcmp_cmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcmp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcmp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcmp_het.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcmp_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcmp_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcmp_compression.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcmp_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcmp_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcmp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reply_partitioning.dir/ablation_reply_partitioning.cpp.o"
+  "CMakeFiles/ablation_reply_partitioning.dir/ablation_reply_partitioning.cpp.o.d"
+  "ablation_reply_partitioning"
+  "ablation_reply_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reply_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

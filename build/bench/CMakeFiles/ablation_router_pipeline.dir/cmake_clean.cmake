@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_router_pipeline.dir/ablation_router_pipeline.cpp.o"
+  "CMakeFiles/ablation_router_pipeline.dir/ablation_router_pipeline.cpp.o.d"
+  "ablation_router_pipeline"
+  "ablation_router_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_router_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_seed_sensitivity.dir/ablation_seed_sensitivity.cpp.o"
+  "CMakeFiles/ablation_seed_sensitivity.dir/ablation_seed_sensitivity.cpp.o.d"
+  "ablation_seed_sensitivity"
+  "ablation_seed_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_seed_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_switching_activity.dir/ablation_switching_activity.cpp.o"
+  "CMakeFiles/ablation_switching_activity.dir/ablation_switching_activity.cpp.o.d"
+  "ablation_switching_activity"
+  "ablation_switching_activity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_switching_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

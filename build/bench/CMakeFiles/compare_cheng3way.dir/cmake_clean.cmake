@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_cheng3way.dir/compare_cheng3way.cpp.o"
+  "CMakeFiles/compare_cheng3way.dir/compare_cheng3way.cpp.o.d"
+  "compare_cheng3way"
+  "compare_cheng3way.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_cheng3way.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

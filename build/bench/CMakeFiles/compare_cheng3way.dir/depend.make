@@ -1,0 +1,2 @@
+# Empty dependencies file for compare_cheng3way.
+# This may be replaced when dependencies are built.

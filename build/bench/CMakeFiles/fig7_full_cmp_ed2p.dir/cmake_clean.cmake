@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_full_cmp_ed2p.dir/fig7_full_cmp_ed2p.cpp.o"
+  "CMakeFiles/fig7_full_cmp_ed2p.dir/fig7_full_cmp_ed2p.cpp.o.d"
+  "fig7_full_cmp_ed2p"
+  "fig7_full_cmp_ed2p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_full_cmp_ed2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_compression_hw.dir/table1_compression_hw.cpp.o"
+  "CMakeFiles/table1_compression_hw.dir/table1_compression_hw.cpp.o.d"
+  "table1_compression_hw"
+  "table1_compression_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_compression_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

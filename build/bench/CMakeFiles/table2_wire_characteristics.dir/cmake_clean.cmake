@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_wire_characteristics.dir/table2_wire_characteristics.cpp.o"
+  "CMakeFiles/table2_wire_characteristics.dir/table2_wire_characteristics.cpp.o.d"
+  "table2_wire_characteristics"
+  "table2_wire_characteristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_wire_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_coherence_walkthrough.dir/coherence_walkthrough.cpp.o"
+  "CMakeFiles/example_coherence_walkthrough.dir/coherence_walkthrough.cpp.o.d"
+  "example_coherence_walkthrough"
+  "example_coherence_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_coherence_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_compression_explorer.dir/compression_explorer.cpp.o"
+  "CMakeFiles/example_compression_explorer.dir/compression_explorer.cpp.o.d"
+  "example_compression_explorer"
+  "example_compression_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_compression_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_link_designer.dir/link_designer.cpp.o"
+  "CMakeFiles/example_link_designer.dir/link_designer.cpp.o.d"
+  "example_link_designer"
+  "example_link_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_link_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_trace_roundtrip.dir/trace_roundtrip.cpp.o"
+  "CMakeFiles/example_trace_roundtrip.dir/trace_roundtrip.cpp.o.d"
+  "example_trace_roundtrip"
+  "example_trace_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_trace_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

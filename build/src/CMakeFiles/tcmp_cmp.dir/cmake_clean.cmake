@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcmp_cmp.dir/cmp/config.cpp.o"
+  "CMakeFiles/tcmp_cmp.dir/cmp/config.cpp.o.d"
+  "CMakeFiles/tcmp_cmp.dir/cmp/report.cpp.o"
+  "CMakeFiles/tcmp_cmp.dir/cmp/report.cpp.o.d"
+  "CMakeFiles/tcmp_cmp.dir/cmp/system.cpp.o"
+  "CMakeFiles/tcmp_cmp.dir/cmp/system.cpp.o.d"
+  "libtcmp_cmp.a"
+  "libtcmp_cmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcmp_cmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcmp_common.dir/common/args.cpp.o"
+  "CMakeFiles/tcmp_common.dir/common/args.cpp.o.d"
+  "CMakeFiles/tcmp_common.dir/common/log.cpp.o"
+  "CMakeFiles/tcmp_common.dir/common/log.cpp.o.d"
+  "CMakeFiles/tcmp_common.dir/common/stats.cpp.o"
+  "CMakeFiles/tcmp_common.dir/common/stats.cpp.o.d"
+  "CMakeFiles/tcmp_common.dir/common/table.cpp.o"
+  "CMakeFiles/tcmp_common.dir/common/table.cpp.o.d"
+  "libtcmp_common.a"
+  "libtcmp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcmp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtcmp_common.a"
+)

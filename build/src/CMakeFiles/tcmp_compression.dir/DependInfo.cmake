@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compression/dbrc.cpp" "src/CMakeFiles/tcmp_compression.dir/compression/dbrc.cpp.o" "gcc" "src/CMakeFiles/tcmp_compression.dir/compression/dbrc.cpp.o.d"
+  "/root/repo/src/compression/factory.cpp" "src/CMakeFiles/tcmp_compression.dir/compression/factory.cpp.o" "gcc" "src/CMakeFiles/tcmp_compression.dir/compression/factory.cpp.o.d"
+  "/root/repo/src/compression/hw_cost.cpp" "src/CMakeFiles/tcmp_compression.dir/compression/hw_cost.cpp.o" "gcc" "src/CMakeFiles/tcmp_compression.dir/compression/hw_cost.cpp.o.d"
+  "/root/repo/src/compression/scheme.cpp" "src/CMakeFiles/tcmp_compression.dir/compression/scheme.cpp.o" "gcc" "src/CMakeFiles/tcmp_compression.dir/compression/scheme.cpp.o.d"
+  "/root/repo/src/compression/stride.cpp" "src/CMakeFiles/tcmp_compression.dir/compression/stride.cpp.o" "gcc" "src/CMakeFiles/tcmp_compression.dir/compression/stride.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tcmp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcmp_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcmp_wire.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcmp_compression.dir/compression/dbrc.cpp.o"
+  "CMakeFiles/tcmp_compression.dir/compression/dbrc.cpp.o.d"
+  "CMakeFiles/tcmp_compression.dir/compression/factory.cpp.o"
+  "CMakeFiles/tcmp_compression.dir/compression/factory.cpp.o.d"
+  "CMakeFiles/tcmp_compression.dir/compression/hw_cost.cpp.o"
+  "CMakeFiles/tcmp_compression.dir/compression/hw_cost.cpp.o.d"
+  "CMakeFiles/tcmp_compression.dir/compression/scheme.cpp.o"
+  "CMakeFiles/tcmp_compression.dir/compression/scheme.cpp.o.d"
+  "CMakeFiles/tcmp_compression.dir/compression/stride.cpp.o"
+  "CMakeFiles/tcmp_compression.dir/compression/stride.cpp.o.d"
+  "libtcmp_compression.a"
+  "libtcmp_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcmp_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcmp_core.dir/core/core_model.cpp.o"
+  "CMakeFiles/tcmp_core.dir/core/core_model.cpp.o.d"
+  "libtcmp_core.a"
+  "libtcmp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcmp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

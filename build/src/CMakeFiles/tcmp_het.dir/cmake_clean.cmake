@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcmp_het.dir/het/nic.cpp.o"
+  "CMakeFiles/tcmp_het.dir/het/nic.cpp.o.d"
+  "CMakeFiles/tcmp_het.dir/het/wire_policy.cpp.o"
+  "CMakeFiles/tcmp_het.dir/het/wire_policy.cpp.o.d"
+  "libtcmp_het.a"
+  "libtcmp_het.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcmp_het.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/noc/channel.cpp" "src/CMakeFiles/tcmp_noc.dir/noc/channel.cpp.o" "gcc" "src/CMakeFiles/tcmp_noc.dir/noc/channel.cpp.o.d"
+  "/root/repo/src/noc/network.cpp" "src/CMakeFiles/tcmp_noc.dir/noc/network.cpp.o" "gcc" "src/CMakeFiles/tcmp_noc.dir/noc/network.cpp.o.d"
+  "/root/repo/src/noc/router.cpp" "src/CMakeFiles/tcmp_noc.dir/noc/router.cpp.o" "gcc" "src/CMakeFiles/tcmp_noc.dir/noc/router.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tcmp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcmp_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcmp_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcmp_protocol.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcmp_noc.dir/noc/channel.cpp.o"
+  "CMakeFiles/tcmp_noc.dir/noc/channel.cpp.o.d"
+  "CMakeFiles/tcmp_noc.dir/noc/network.cpp.o"
+  "CMakeFiles/tcmp_noc.dir/noc/network.cpp.o.d"
+  "CMakeFiles/tcmp_noc.dir/noc/router.cpp.o"
+  "CMakeFiles/tcmp_noc.dir/noc/router.cpp.o.d"
+  "libtcmp_noc.a"
+  "libtcmp_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcmp_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcmp_power.dir/power/cacti_mini.cpp.o"
+  "CMakeFiles/tcmp_power.dir/power/cacti_mini.cpp.o.d"
+  "CMakeFiles/tcmp_power.dir/power/energy_ledger.cpp.o"
+  "CMakeFiles/tcmp_power.dir/power/energy_ledger.cpp.o.d"
+  "libtcmp_power.a"
+  "libtcmp_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcmp_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocol/coherence_msg.cpp" "src/CMakeFiles/tcmp_protocol.dir/protocol/coherence_msg.cpp.o" "gcc" "src/CMakeFiles/tcmp_protocol.dir/protocol/coherence_msg.cpp.o.d"
+  "/root/repo/src/protocol/directory.cpp" "src/CMakeFiles/tcmp_protocol.dir/protocol/directory.cpp.o" "gcc" "src/CMakeFiles/tcmp_protocol.dir/protocol/directory.cpp.o.d"
+  "/root/repo/src/protocol/icache.cpp" "src/CMakeFiles/tcmp_protocol.dir/protocol/icache.cpp.o" "gcc" "src/CMakeFiles/tcmp_protocol.dir/protocol/icache.cpp.o.d"
+  "/root/repo/src/protocol/l1_cache.cpp" "src/CMakeFiles/tcmp_protocol.dir/protocol/l1_cache.cpp.o" "gcc" "src/CMakeFiles/tcmp_protocol.dir/protocol/l1_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tcmp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcmp_protocol.dir/protocol/coherence_msg.cpp.o"
+  "CMakeFiles/tcmp_protocol.dir/protocol/coherence_msg.cpp.o.d"
+  "CMakeFiles/tcmp_protocol.dir/protocol/directory.cpp.o"
+  "CMakeFiles/tcmp_protocol.dir/protocol/directory.cpp.o.d"
+  "CMakeFiles/tcmp_protocol.dir/protocol/icache.cpp.o"
+  "CMakeFiles/tcmp_protocol.dir/protocol/icache.cpp.o.d"
+  "CMakeFiles/tcmp_protocol.dir/protocol/l1_cache.cpp.o"
+  "CMakeFiles/tcmp_protocol.dir/protocol/l1_cache.cpp.o.d"
+  "libtcmp_protocol.a"
+  "libtcmp_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcmp_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

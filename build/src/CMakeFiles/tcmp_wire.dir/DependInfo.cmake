@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wire/link_design.cpp" "src/CMakeFiles/tcmp_wire.dir/wire/link_design.cpp.o" "gcc" "src/CMakeFiles/tcmp_wire.dir/wire/link_design.cpp.o.d"
+  "/root/repo/src/wire/rc_model.cpp" "src/CMakeFiles/tcmp_wire.dir/wire/rc_model.cpp.o" "gcc" "src/CMakeFiles/tcmp_wire.dir/wire/rc_model.cpp.o.d"
+  "/root/repo/src/wire/technology.cpp" "src/CMakeFiles/tcmp_wire.dir/wire/technology.cpp.o" "gcc" "src/CMakeFiles/tcmp_wire.dir/wire/technology.cpp.o.d"
+  "/root/repo/src/wire/wire_spec.cpp" "src/CMakeFiles/tcmp_wire.dir/wire/wire_spec.cpp.o" "gcc" "src/CMakeFiles/tcmp_wire.dir/wire/wire_spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tcmp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

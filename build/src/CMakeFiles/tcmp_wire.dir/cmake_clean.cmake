@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcmp_wire.dir/wire/link_design.cpp.o"
+  "CMakeFiles/tcmp_wire.dir/wire/link_design.cpp.o.d"
+  "CMakeFiles/tcmp_wire.dir/wire/rc_model.cpp.o"
+  "CMakeFiles/tcmp_wire.dir/wire/rc_model.cpp.o.d"
+  "CMakeFiles/tcmp_wire.dir/wire/technology.cpp.o"
+  "CMakeFiles/tcmp_wire.dir/wire/technology.cpp.o.d"
+  "CMakeFiles/tcmp_wire.dir/wire/wire_spec.cpp.o"
+  "CMakeFiles/tcmp_wire.dir/wire/wire_spec.cpp.o.d"
+  "libtcmp_wire.a"
+  "libtcmp_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcmp_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/CMakeFiles/tcmp_wire.dir/wire/technology.cpp.o: \
+ /root/repo/src/wire/technology.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/wire/technology.hpp

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/apps.cpp" "src/CMakeFiles/tcmp_workloads.dir/workloads/apps.cpp.o" "gcc" "src/CMakeFiles/tcmp_workloads.dir/workloads/apps.cpp.o.d"
+  "/root/repo/src/workloads/synthetic_app.cpp" "src/CMakeFiles/tcmp_workloads.dir/workloads/synthetic_app.cpp.o" "gcc" "src/CMakeFiles/tcmp_workloads.dir/workloads/synthetic_app.cpp.o.d"
+  "/root/repo/src/workloads/trace_workload.cpp" "src/CMakeFiles/tcmp_workloads.dir/workloads/trace_workload.cpp.o" "gcc" "src/CMakeFiles/tcmp_workloads.dir/workloads/trace_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tcmp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcmp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcmp_protocol.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

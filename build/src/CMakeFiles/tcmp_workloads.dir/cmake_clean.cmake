@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcmp_workloads.dir/workloads/apps.cpp.o"
+  "CMakeFiles/tcmp_workloads.dir/workloads/apps.cpp.o.d"
+  "CMakeFiles/tcmp_workloads.dir/workloads/synthetic_app.cpp.o"
+  "CMakeFiles/tcmp_workloads.dir/workloads/synthetic_app.cpp.o.d"
+  "CMakeFiles/tcmp_workloads.dir/workloads/trace_workload.cpp.o"
+  "CMakeFiles/tcmp_workloads.dir/workloads/trace_workload.cpp.o.d"
+  "libtcmp_workloads.a"
+  "libtcmp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcmp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_args_and_trace.cpp" "tests/CMakeFiles/tcmp_tests.dir/test_args_and_trace.cpp.o" "gcc" "tests/CMakeFiles/tcmp_tests.dir/test_args_and_trace.cpp.o.d"
+  "/root/repo/tests/test_cache_array.cpp" "tests/CMakeFiles/tcmp_tests.dir/test_cache_array.cpp.o" "gcc" "tests/CMakeFiles/tcmp_tests.dir/test_cache_array.cpp.o.d"
+  "/root/repo/tests/test_cmp.cpp" "tests/CMakeFiles/tcmp_tests.dir/test_cmp.cpp.o" "gcc" "tests/CMakeFiles/tcmp_tests.dir/test_cmp.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/tcmp_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/tcmp_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_compression.cpp" "tests/CMakeFiles/tcmp_tests.dir/test_compression.cpp.o" "gcc" "tests/CMakeFiles/tcmp_tests.dir/test_compression.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/tcmp_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/tcmp_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_delay_queue.cpp" "tests/CMakeFiles/tcmp_tests.dir/test_delay_queue.cpp.o" "gcc" "tests/CMakeFiles/tcmp_tests.dir/test_delay_queue.cpp.o.d"
+  "/root/repo/tests/test_het.cpp" "tests/CMakeFiles/tcmp_tests.dir/test_het.cpp.o" "gcc" "tests/CMakeFiles/tcmp_tests.dir/test_het.cpp.o.d"
+  "/root/repo/tests/test_icache.cpp" "tests/CMakeFiles/tcmp_tests.dir/test_icache.cpp.o" "gcc" "tests/CMakeFiles/tcmp_tests.dir/test_icache.cpp.o.d"
+  "/root/repo/tests/test_noc.cpp" "tests/CMakeFiles/tcmp_tests.dir/test_noc.cpp.o" "gcc" "tests/CMakeFiles/tcmp_tests.dir/test_noc.cpp.o.d"
+  "/root/repo/tests/test_power.cpp" "tests/CMakeFiles/tcmp_tests.dir/test_power.cpp.o" "gcc" "tests/CMakeFiles/tcmp_tests.dir/test_power.cpp.o.d"
+  "/root/repo/tests/test_protocol.cpp" "tests/CMakeFiles/tcmp_tests.dir/test_protocol.cpp.o" "gcc" "tests/CMakeFiles/tcmp_tests.dir/test_protocol.cpp.o.d"
+  "/root/repo/tests/test_protocol_races.cpp" "tests/CMakeFiles/tcmp_tests.dir/test_protocol_races.cpp.o" "gcc" "tests/CMakeFiles/tcmp_tests.dir/test_protocol_races.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/tcmp_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/tcmp_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_wire.cpp" "tests/CMakeFiles/tcmp_tests.dir/test_wire.cpp.o" "gcc" "tests/CMakeFiles/tcmp_tests.dir/test_wire.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/tcmp_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/tcmp_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tcmp_cmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcmp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcmp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcmp_het.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcmp_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcmp_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcmp_compression.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcmp_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcmp_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcmp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

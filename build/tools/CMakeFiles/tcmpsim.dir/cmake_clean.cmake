@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcmpsim.dir/tcmpsim.cpp.o"
+  "CMakeFiles/tcmpsim.dir/tcmpsim.cpp.o.d"
+  "tcmpsim"
+  "tcmpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcmpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
