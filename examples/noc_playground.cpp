@@ -20,7 +20,7 @@ namespace {
 struct LoadPoint {
   double offered;   ///< packets / node / cycle
   double latency;   ///< mean packet latency (cycles)
-  double p99;       ///< not tracked per-packet; 0 here
+  double p99;       ///< tail latency from the registry histogram
   double delivered; ///< packets
 };
 
@@ -56,7 +56,9 @@ LoadPoint run_load(const wire::LinkPartition& part, unsigned channel, double rat
   const std::string name = cfg.channels[channel].name;
   LoadPoint p{};
   p.offered = rate;
-  p.latency = stats.scalar("noc." + name + ".latency").mean();
+  const Histogram& lat = stats.histogram("noc." + name + ".latency");
+  p.latency = lat.scalar().mean();
+  p.p99 = lat.quantile(0.99);
   p.delivered = delivered;
   return p;
 }

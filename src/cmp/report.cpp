@@ -108,8 +108,19 @@ RunResult make_result(const CmpSystem& system) {
     const auto count = stats.counter_value(key);
     if (count != 0) r.msg_counts[protocol::to_string(type)] = count;
   }
-  auto it = stats.scalars().find("noc.critical_latency");
-  if (it != stats.scalars().end()) r.avg_critical_latency = it->second.mean();
+  if (const Histogram* h = stats.find_histogram("noc.critical_latency")) {
+    r.avg_critical_latency = h->scalar().mean();
+  }
+  for (const auto& [name, hist] : stats.histograms()) {
+    if (name.rfind("noc.", 0) != 0 || hist.scalar().count() == 0) continue;
+    RunResult::Quantiles q;
+    q.mean = hist.scalar().mean();
+    q.p50 = hist.quantile(0.50);
+    q.p95 = hist.quantile(0.95);
+    q.p99 = hist.quantile(0.99);
+    q.count = hist.scalar().count();
+    r.latency.emplace(name.substr(4), q);
+  }
   return r;
 }
 

@@ -28,6 +28,18 @@ struct RunResult {
   std::uint64_t local_messages = 0;
   double avg_critical_latency = 0.0;  ///< network latency of critical msgs
 
+  /// Latency distribution summary harvested from a registry histogram.
+  struct Quantiles {
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    std::uint64_t count = 0;
+  };
+  /// Network latency quantiles, keyed by histogram name with the "noc."
+  /// prefix stripped ("lat.req.total", "critical_latency", "VL.latency"...).
+  std::map<std::string, Quantiles> latency;
+
   [[nodiscard]] double link_energy() const;
   [[nodiscard]] double interconnect_energy() const {
     return energy.interconnect_total();

@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "noc/channel.hpp"
+#include "obs/observer.hpp"
 
 namespace tcmp::cmp {
 
@@ -78,6 +79,29 @@ CmpSystem::CmpSystem(const CmpConfig& cfg, std::shared_ptr<core::Workload> workl
   }
 }
 
+void CmpSystem::attach_observer(obs::Observer* obs) {
+  obs_ = obs;
+  network_->set_observer(obs);
+  for (auto& t : tiles_) {
+    t->nic->set_observer(obs);
+    t->l1->set_hooks(obs);
+    t->dir->set_hooks(obs);
+  }
+  if (obs == nullptr) return;
+  obs->label_tiles(cfg_.n_tiles);
+  if (!warmup_done_) obs->set_warmup_pending();
+  obs->add_gauge("dir_busy_lines", [this] {
+    double total = 0;
+    for (const auto& t : tiles_) total += t->dir->busy_lines();
+    return total;
+  });
+  obs->add_gauge("dir_queued_msgs", [this] {
+    double total = 0;
+    for (const auto& t : tiles_) total += t->dir->queued_msgs();
+    return total;
+  });
+}
+
 void CmpSystem::route_outgoing(NodeId tile, CoherenceMsg msg) {
   ++*msg_counters_[static_cast<unsigned>(msg.type)];
   if (msg.dst == tile) {
@@ -104,6 +128,11 @@ void CmpSystem::deliver_local(NodeId tile, const CoherenceMsg& msg) {
     case protocol::Unit::kL1:
       tiles_[tile]->l1->deliver(msg);
       break;
+  }
+  // Close the lifecycle span at protocol-handler completion, not ejection:
+  // the gap between the two is delivery/handler time.
+  if (obs_ != nullptr && msg.trace_id != 0) [[unlikely]] {
+    obs_->msg_completed(msg, tile, now_);
   }
 }
 
@@ -140,11 +169,15 @@ void CmpSystem::end_warmup() {
   warmup_instructions_ = total_instructions();
   warmup_compression_accesses_ = compression_accesses();
   for (auto& t : tiles_) t->dir->set_memory_latency(cfg_.l2.memory_latency);
+  // Flush the warmup telemetry window before the counters it snapshots are
+  // zeroed, so measured-phase window deltas sum exactly to the final report.
+  if (obs_ != nullptr) obs_->on_registry_zeroed(now_);
   stats_.zero_all();
 }
 
 void CmpSystem::step() {
   ++now_;
+  if (obs_ != nullptr) [[unlikely]] obs_->tick(now_);
   network_->tick(now_);
   for (auto& t : tiles_) {
     while (auto msg = t->loopback.pop_ready(now_)) {

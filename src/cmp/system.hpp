@@ -21,6 +21,10 @@
 #include "protocol/icache.hpp"
 #include "protocol/l1_cache.hpp"
 
+namespace tcmp::obs {
+class Observer;
+}
+
 namespace tcmp::cmp {
 
 class CmpSystem {
@@ -73,6 +77,12 @@ class CmpSystem {
   using MsgHook = std::function<void(const protocol::CoherenceMsg&)>;
   void set_remote_msg_hook(MsgHook hook) { remote_hook_ = std::move(hook); }
 
+  /// Wire a message-lifecycle / telemetry observer into every component
+  /// (network, routers, NICs, L1s, directories) and register the directory
+  /// occupancy gauges. Null detaches. The observer must outlive the system
+  /// (or be detached first).
+  void attach_observer(obs::Observer* obs);
+
  private:
   struct Tile {
     std::unique_ptr<protocol::L1Cache> l1;
@@ -98,6 +108,7 @@ class CmpSystem {
   std::uint64_t* remote_bytes_ = nullptr;
   std::shared_ptr<core::Workload> workload_;
   MsgHook remote_hook_;
+  obs::Observer* obs_ = nullptr;
   std::unique_ptr<noc::Network> network_;
   std::vector<std::unique_ptr<Tile>> tiles_;
   Cycle now_ = 0;

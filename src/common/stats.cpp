@@ -32,11 +32,13 @@ std::uint64_t StatRegistry::sum_prefix(const std::string& prefix) const {
 void StatRegistry::reset() {
   counters_.clear();
   scalars_.clear();
+  histograms_.clear();
 }
 
 void StatRegistry::zero_all() {
   for (auto& [name, value] : counters_) value = 0;
   for (auto& [name, stat] : scalars_) stat.reset();
+  for (auto& [name, hist] : histograms_) hist.clear_values();
 }
 
 }  // namespace tcmp

@@ -68,6 +68,13 @@ class Histogram {
   /// Value below which `q` (0..1) of the samples fall, estimated from bins.
   [[nodiscard]] double quantile(double q) const;
 
+  /// Zero every bin and the running moments, keeping the bin geometry (and
+  /// therefore any cached pointers to this histogram) intact.
+  void clear_values() {
+    std::fill(bins_.begin(), bins_.end(), 0);
+    scalar_.reset();
+  }
+
  private:
   std::vector<std::uint64_t> bins_;
   std::uint64_t bin_width_;
@@ -80,6 +87,16 @@ class StatRegistry {
  public:
   std::uint64_t& counter(const std::string& name) { return counters_[name]; }
   ScalarStat& scalar(const std::string& name) { return scalars_[name]; }
+  /// Named histogram; the bin geometry is fixed by whoever registers it
+  /// first (later callers get the existing histogram unchanged).
+  Histogram& histogram(const std::string& name, std::size_t bins = 64,
+                       std::uint64_t bin_width = 1) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      it = histograms_.try_emplace(name, Histogram(bins, bin_width)).first;
+    }
+    return it->second;
+  }
 
   [[nodiscard]] std::uint64_t counter_value(const std::string& name) const {
     auto it = counters_.find(name);
@@ -89,6 +106,14 @@ class StatRegistry {
     return counters_;
   }
   [[nodiscard]] const std::map<std::string, ScalarStat>& scalars() const { return scalars_; }
+  [[nodiscard]] const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+  /// nullptr when no histogram of that name was registered.
+  [[nodiscard]] const Histogram* find_histogram(const std::string& name) const {
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : &it->second;
+  }
 
   /// Sum of all counters whose name starts with `prefix`.
   [[nodiscard]] std::uint64_t sum_prefix(const std::string& prefix) const;
@@ -103,6 +128,7 @@ class StatRegistry {
  private:
   std::map<std::string, std::uint64_t> counters_;
   std::map<std::string, ScalarStat> scalars_;
+  std::map<std::string, Histogram> histograms_;
 };
 
 }  // namespace tcmp

@@ -1,6 +1,7 @@
 #include "het/nic.hpp"
 
 #include "common/check.hpp"
+#include "obs/observer.hpp"
 
 namespace tcmp::het {
 
@@ -37,6 +38,9 @@ void TileNic::send(CoherenceMsg msg, Cycle now) {
   const MappingDecision d = map_message(msg.type, compressed, scheme_, style_);
   ++stats_->counter(d.channel == noc::kBChannel ? "het.b_messages"
                                                 : "het.vl_messages");
+  if (obs_ != nullptr) [[unlikely]] {
+    obs_->nic_send(msg, compressed, d.channel, d.wire_bytes);
+  }
   net_->inject(msg, d.channel, d.wire_bytes, now);
 }
 
@@ -54,6 +58,9 @@ void TileNic::receive(CoherenceMsg msg, Cycle now, const DeliverFn& deliver) {
     TCMP_CHECK_MSG(msg.seq > cs.next_recv_seq[src], "duplicate sequence number");
     cs.reorder[src].emplace(msg.seq, msg);
     ++stats_->counter("het.reordered_messages");
+    if (obs_ != nullptr) [[unlikely]] {
+      obs_->nic_reorder_hold(msg);
+    }
     return;
   }
   decode_and_release(cs, src, msg, deliver);

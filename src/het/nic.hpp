@@ -28,6 +28,10 @@
 #include "het/wire_policy.hpp"
 #include "noc/network.hpp"
 
+namespace tcmp::obs {
+class Observer;
+}
+
 namespace tcmp::het {
 
 class TileNic {
@@ -44,6 +48,9 @@ class TileNic {
   /// Handle a message ejected at this tile; forwards to `deliver` in
   /// decompression-safe order.
   void receive(protocol::CoherenceMsg msg, Cycle now, const DeliverFn& deliver);
+
+  /// Attach a lifecycle observer (send/reorder trace events); null detaches.
+  void set_observer(obs::Observer* obs) { obs_ = obs; }
 
   /// Table accesses performed by this tile's compression hardware (for the
   /// energy report).
@@ -70,6 +77,7 @@ class TileNic {
   wire::LinkStyle style_;
   noc::Network* net_;
   StatRegistry* stats_;
+  obs::Observer* obs_ = nullptr;
   std::array<ClassState, compression::kNumMsgClasses> classes_;
 };
 

@@ -20,6 +20,15 @@ struct Flit {
   bool head = false;
   bool tail = false;
   std::uint16_t active_bits = 0;  ///< wires actually toggled by this flit
+  // Latency-breakdown bookkeeping, maintained on tail flits only: when the
+  // tail leaves the NI lane the packet has fully cleared injection queuing +
+  // serialization; every link traversal afterwards adds wire-flight cycles.
+  // The remainder of the end-to-end latency is router pipeline time. Both
+  // are saturating uint16 so they slot into the struct's padding (the
+  // breakdown degrades gracefully on >65k-cycle pathologies; the total stays
+  // exact).
+  std::uint16_t queue_cycles = 0;  ///< tail: NI wait + serialization cycles
+  std::uint16_t wire_cycles = 0;   ///< tail: accumulated link-traversal cycles
   Cycle injected_at = 0;          ///< head: packet injection time (latency stats)
   protocol::CoherenceMsg msg{};   ///< valid on tail flits only
 };

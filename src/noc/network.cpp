@@ -4,8 +4,17 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "obs/observer.hpp"
 
 namespace tcmp::noc {
+
+namespace {
+// Latency histograms: 128 bins of 4 cycles resolve quantiles up to 512
+// cycles; the overflow bin catches pathological outliers.
+constexpr std::size_t kLatBins = 128;
+constexpr std::uint64_t kLatBinWidth = 4;
+constexpr const char* kVnetName[protocol::kNumVnets] = {"req", "fwd", "resp"};
+}  // namespace
 
 Network::Network(const NocConfig& cfg, StatRegistry* stats)
     : cfg_(cfg), stats_(stats) {
@@ -29,9 +38,28 @@ Network::Network(const NocConfig& cfg, StatRegistry* stats)
     plane.packets = &stats_->counter(prefix + ".packets");
     plane.payload_bytes = &stats_->counter(prefix + ".payload_bytes");
     plane.flits_injected = &stats_->counter(prefix + ".flits_injected");
-    plane.latency = &stats_->scalar(prefix + ".latency");
+    plane.latency = &stats_->histogram(prefix + ".latency", kLatBins, kLatBinWidth);
   }
-  critical_latency_ = &stats_->scalar("noc.critical_latency");
+  critical_latency_ =
+      &stats_->histogram("noc.critical_latency", kLatBins, kLatBinWidth);
+  for (unsigned v = 0; v < protocol::kNumVnets; ++v) {
+    const std::string base = std::string("noc.lat.") + kVnetName[v];
+    vnet_lat_[v].total =
+        &stats_->histogram(base + ".total", kLatBins, kLatBinWidth);
+    vnet_lat_[v].queue =
+        &stats_->histogram(base + ".queue", kLatBins, kLatBinWidth);
+    vnet_lat_[v].router =
+        &stats_->histogram(base + ".router", kLatBins, kLatBinWidth);
+    vnet_lat_[v].wire =
+        &stats_->histogram(base + ".wire", kLatBins, kLatBinWidth);
+  }
+}
+
+void Network::set_observer(obs::Observer* obs) {
+  obs_ = obs;
+  for (auto& plane : planes_) {
+    for (auto& r : plane.routers) r->set_observer(obs);
+  }
 }
 
 void Network::build_mesh(unsigned ch) {
@@ -161,6 +189,10 @@ void Network::inject(const protocol::CoherenceMsg& msg, unsigned channel,
   ChannelPlane& plane = planes_[channel];
   Lane& lane = plane.lanes[msg.src][vnet];
   lane.queue.push_back({msg, wire_bytes, now});
+  if (obs_ != nullptr) [[unlikely]] {
+    lane.queue.back().msg.trace_id =
+        obs_->msg_injected(msg, cfg_.channels[channel].name, wire_bytes, now);
+  }
   ++*plane.packets;
   *plane.payload_bytes += wire_bytes;
 }
@@ -192,7 +224,11 @@ void Network::pump_lane(unsigned ch, NodeId node, unsigned vnet, Cycle now) {
   flit.active_bits =
       static_cast<std::uint16_t>(8 * std::min(remaining, spec.width_bytes));
   flit.injected_at = pkt.queued_at;
-  if (flit.tail) flit.msg = pkt.msg;
+  if (flit.tail) {
+    flit.msg = pkt.msg;
+    flit.queue_cycles = static_cast<std::uint16_t>(
+        std::min<Cycle>(now - pkt.queued_at, 0xFFFF));
+  }
 
   const bool ok = at.router->try_inject(at.port, lane.vc, std::move(flit), now);
   TCMP_CHECK(ok);
@@ -205,9 +241,24 @@ void Network::pump_lane(unsigned ch, NodeId node, unsigned vnet, Cycle now) {
 
 void Network::on_eject(unsigned ch, NodeId node, Flit&& flit, Cycle now) {
   if (!flit.tail) return;  // only the tail completes the packet
-  planes_[ch].latency->add(static_cast<double>(now - flit.injected_at));
+  const Cycle total = now - flit.injected_at;
+  planes_[ch].latency->add(total);
   if (protocol::is_critical(flit.msg.type)) {
-    critical_latency_->add(static_cast<double>(now - flit.injected_at));
+    critical_latency_->add(total);
+  }
+  // Decompose: queue covers NI lane wait plus serialization (inject ->
+  // tail leaves the NI); wire is accumulated link flight; the remainder is
+  // router pipeline and contention time.
+  const Cycle queue = flit.queue_cycles;
+  const Cycle wire = flit.wire_cycles;
+  const Cycle router = total - queue - wire;
+  VnetLatency& vl = vnet_lat_[flit.vnet];
+  vl.total->add(total);
+  vl.queue->add(queue);
+  vl.router->add(router);
+  vl.wire->add(wire);
+  if (obs_ != nullptr) [[unlikely]] {
+    obs_->msg_ejected(flit.msg, now, total, queue, wire);
   }
   TCMP_CHECK(deliver_ != nullptr);
   deliver_(node, flit.msg);
@@ -225,8 +276,14 @@ void Network::tick(Cycle now) {
     for (auto& r : plane.routers) r->tick_switch(now);
   }
   for (unsigned c = 0; c < planes_.size(); ++c) {
+    auto& lanes = planes_[c].lanes;
     for (unsigned n = 0; n < cfg_.nodes(); ++n) {
       for (unsigned v = 0; v < protocol::kNumVnets; ++v) {
+        // Guard here rather than inside pump_lane: an idle network ticks
+        // every lane every cycle, and this keeps that case a couple of loads
+        // instead of a function call when the compiler declines to inline.
+        Lane& lane = lanes[n][v];
+        if (!lane.active && lane.queue.empty()) continue;
         pump_lane(c, static_cast<NodeId>(n), v, now);
       }
     }

@@ -13,6 +13,10 @@
 #include "noc/channel.hpp"
 #include "noc/router.hpp"
 
+namespace tcmp::obs {
+class Observer;
+}
+
 namespace tcmp::noc {
 
 /// Interconnect topology. The 2D mesh is the paper's (and any tiled CMP's)
@@ -43,6 +47,11 @@ class Network {
   Network(const NocConfig& cfg, StatRegistry* stats);
 
   void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  /// Attach a message-lifecycle observer: assigns trace ids at injection,
+  /// reports per-hop traversals (via the routers) and the latency breakdown
+  /// at ejection. Null detaches.
+  void set_observer(obs::Observer* obs);
 
   /// Queue `msg` for injection at its source tile on `channel`, occupying
   /// `wire_bytes` on the wire (after compression). Unbounded NI queue; the
@@ -105,7 +114,7 @@ class Network {
     std::uint64_t* packets = nullptr;
     std::uint64_t* payload_bytes = nullptr;
     std::uint64_t* flits_injected = nullptr;
-    ScalarStat* latency = nullptr;
+    Histogram* latency = nullptr;
   };
 
   void build_mesh(unsigned ch);
@@ -117,8 +126,19 @@ class Network {
   NocConfig cfg_;
   StatRegistry* stats_;
   DeliverFn deliver_;
+  obs::Observer* obs_ = nullptr;
   std::vector<ChannelPlane> planes_;
-  ScalarStat* critical_latency_ = nullptr;
+  Histogram* critical_latency_ = nullptr;
+  /// Per-vnet end-to-end latency decomposition ("noc.lat.<class>.<part>"):
+  /// total = queue (NI wait + serialization) + router (pipeline/contention)
+  /// + wire (link flight).
+  struct VnetLatency {
+    Histogram* total = nullptr;
+    Histogram* queue = nullptr;
+    Histogram* router = nullptr;
+    Histogram* wire = nullptr;
+  };
+  VnetLatency vnet_lat_[protocol::kNumVnets];
   std::uint64_t next_packet_id_ = 1;
   Cycle now_ = 0;
 };

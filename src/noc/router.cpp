@@ -1,6 +1,7 @@
 #include "noc/router.hpp"
 
 #include "common/check.hpp"
+#include "obs/observer.hpp"
 
 namespace tcmp::noc {
 
@@ -58,7 +59,7 @@ bool Router::try_inject(unsigned port, unsigned vc, Flit&& flit, Cycle now) {
   return true;
 }
 
-void Router::tick_deliver(Cycle now) {
+void Router::deliver_busy(Cycle now) {
   for (unsigned p = 0; p < kNumPorts; ++p) {
     if (arrivals_[p].next_ready() > now) continue;
     while (auto arr = arrivals_[p].pop_ready(now)) {
@@ -67,6 +68,7 @@ void Router::tick_deliver(Cycle now) {
                      "credit protocol violated: buffer overflow");
       vc.buffer.push_back({std::move(arr->flit), now});
       ++buffered_;
+      --arrivals_pending_;
     }
   }
   while (auto cr = credit_returns_.pop_ready(now)) {
@@ -74,8 +76,7 @@ void Router::tick_deliver(Cycle now) {
   }
 }
 
-void Router::tick_allocate(Cycle now) {
-  if (buffered_ == 0) return;
+void Router::allocate_busy(Cycle now) {
   for (unsigned p = 0; p < kNumPorts; ++p) {
     for (unsigned v = 0; v < num_vcs(); ++v) {
       InputVc& in = input_[p][v];
@@ -113,8 +114,7 @@ void Router::send_credit(unsigned in_port, unsigned vc, Cycle now) {
                            {up_out, vc});
 }
 
-void Router::tick_switch(Cycle now) {
-  if (buffered_ == 0) return;
+void Router::switch_busy(Cycle now) {
   bool input_used[kNumPorts] = {};
   for (unsigned p = 0; p < kNumPorts; ++p) {
     OutputPort& out = output_[p];
@@ -148,6 +148,9 @@ void Router::tick_switch(Cycle now) {
         ovc.held = false;
         in.vc_allocated = false;
         in.routed = false;
+        if (obs_ != nullptr) [[unlikely]] {
+          obs_->msg_hop(flit.msg, id_, now);
+        }
       }
       send_credit(in_port, in_vc, now);
 
@@ -160,8 +163,13 @@ void Router::tick_switch(Cycle now) {
         *bit_hops_ += flit.active_bits;
         *bit_dmm_hops_ +=
             flit.active_bits * static_cast<std::uint64_t>(out.link_mm * 10.0 + 0.5);
+        if (flit.tail) {
+          flit.wire_cycles = static_cast<std::uint16_t>(flit.wire_cycles +
+                                                        out.link_cycles);
+        }
         out.downstream->arrivals_[out.downstream_port].push(
             now + 1 + out.link_cycles, {out_vc, std::move(flit)});
+        ++out.downstream->arrivals_pending_;
       }
       break;  // one flit per output port per cycle
     }

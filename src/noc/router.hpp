@@ -23,6 +23,10 @@
 #include "noc/flit.hpp"
 #include "protocol/delay_queue.hpp"
 
+namespace tcmp::obs {
+class Observer;
+}
+
 namespace tcmp::noc {
 
 inline constexpr unsigned kPortE = 0;
@@ -58,6 +62,9 @@ class Router {
   /// Destination `dst` leaves this router through `port`.
   void set_route(NodeId dst, unsigned port);
 
+  /// Attach a lifecycle observer (per-hop trace events); null detaches.
+  void set_observer(obs::Observer* obs) { obs_ = obs; }
+
   /// Network-interface injection into input port `port`. Returns false when
   /// the chosen VC has no buffer space (retry next cycle).
   [[nodiscard]] bool try_inject(unsigned port, unsigned vc, Flit&& flit, Cycle now);
@@ -65,10 +72,19 @@ class Router {
   [[nodiscard]] bool can_inject(unsigned port, unsigned vc) const;
 
   // The network calls the three phases for every router each cycle, in this
-  // order across the whole mesh: deliver, allocate, swtraverse.
-  void tick_deliver(Cycle now);
-  void tick_allocate(Cycle now);
-  void tick_switch(Cycle now);
+  // order across the whole mesh: deliver, allocate, swtraverse. The idle
+  // early-outs live here in the header so a quiet router costs one or two
+  // flag loads per phase instead of an out-of-line call (an idle mesh ticks
+  // every router every cycle, so this is the simulator's hottest no-op).
+  void tick_deliver(Cycle now) {
+    if (arrivals_pending_ != 0 || !credit_returns_.empty()) deliver_busy(now);
+  }
+  void tick_allocate(Cycle now) {
+    if (buffered_ != 0) allocate_busy(now);
+  }
+  void tick_switch(Cycle now) {
+    if (buffered_ != 0) switch_busy(now);
+  }
 
   [[nodiscard]] bool quiescent() const;
   [[nodiscard]] unsigned num_vcs() const { return cfg_.vcs_per_vnet * cfg_.vnets; }
@@ -113,6 +129,11 @@ class Router {
 
   void send_credit(unsigned in_port, unsigned vc, Cycle now);
 
+  // Busy-path bodies of the three tick phases (see the inline wrappers).
+  void deliver_busy(Cycle now);
+  void allocate_busy(Cycle now);
+  void switch_busy(Cycle now);
+
   NodeId id_;
   Config cfg_;
   StatRegistry* stats_;
@@ -123,6 +144,7 @@ class Router {
   std::uint64_t* bit_hops_ = nullptr;
   std::uint64_t* bit_dmm_hops_ = nullptr;  ///< bits x link length (0.1 mm units)
   unsigned buffered_ = 0;  ///< flits currently buffered (idle fast-path)
+  unsigned arrivals_pending_ = 0;  ///< flits in flight on any input link
 
   std::vector<std::vector<InputVc>> input_;  ///< [port][vc]
   std::vector<OutputPort> output_;           ///< [port]
@@ -130,6 +152,9 @@ class Router {
   protocol::DelayQueue<std::pair<unsigned, unsigned>> credit_returns_;  ///< (port, vc)
   std::vector<Router*> upstream_of_input_ = std::vector<Router*>(kNumPorts, nullptr);
   std::vector<unsigned> upstream_out_port_ = std::vector<unsigned>(kNumPorts, 0);
+  // Cold: only read on tail-flit switch traversals. Kept last so the hot
+  // members above stay in the same cache lines as without observability.
+  obs::Observer* obs_ = nullptr;
 };
 
 }  // namespace tcmp::noc

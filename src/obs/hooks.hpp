@@ -1,0 +1,29 @@
+// Abstract sink for protocol-layer lifecycle events. Kept as a pure virtual
+// interface over common/protocol types only, so tcmp_protocol components can
+// report into an attached observer through a header-only dependency without
+// linking the obs library. Components hold a raw pointer that defaults to
+// null; every call site is branch-guarded, so a detached observer costs one
+// predictable branch on the hot path.
+#pragma once
+
+#include "common/types.hpp"
+#include "protocol/coherence_msg.hpp"
+
+namespace tcmp::obs {
+
+class ProtocolHooks {
+ public:
+  virtual ~ProtocolHooks() = default;
+
+  /// L1 miss lifetime: a request left the MSHR allocation path
+  /// (issue_miss) ...
+  virtual void l1_miss_begin(NodeId tile, Addr line, bool is_write) = 0;
+  /// ... and the fill installed (or was consumed use-once).
+  virtual void l1_miss_end(NodeId tile, Addr line) = 0;
+
+  /// The home directory finished the L2 access pipeline for a message and
+  /// ran the protocol handler for it.
+  virtual void dir_msg_processed(NodeId tile, const protocol::CoherenceMsg& msg) = 0;
+};
+
+}  // namespace tcmp::obs

@@ -1,0 +1,114 @@
+#include "obs/timeseries.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace tcmp::obs {
+
+TimeSeries::TimeSeries(const StatRegistry* stats, Cycle interval)
+    : stats_(stats), interval_(interval), next_boundary_(interval) {
+  TCMP_CHECK(stats_ != nullptr && interval_ >= 1);
+}
+
+void TimeSeries::add_counter(std::string column, std::string counter) {
+  TCMP_CHECK_MSG(windows_.empty(), "register columns before sampling starts");
+  counter_columns_.push_back(std::move(column));
+  counters_.push_back({std::move(counter), 0});
+}
+
+void TimeSeries::add_ratio(std::string column, std::vector<std::string> numer,
+                           std::vector<std::string> denom) {
+  TCMP_CHECK_MSG(windows_.empty(), "register columns before sampling starts");
+  ratios_.push_back({std::move(column), std::move(numer), std::move(denom), 0, 0});
+}
+
+void TimeSeries::add_gauge(std::string column, std::function<double()> fn) {
+  TCMP_CHECK_MSG(windows_.empty(), "register columns before sampling starts");
+  gauges_.push_back({std::move(column), std::move(fn)});
+}
+
+void TimeSeries::add_windowed_histogram(const std::string& column_prefix,
+                                        Histogram* hist) {
+  TCMP_CHECK_MSG(windows_.empty(), "register columns before sampling starts");
+  TCMP_CHECK(hist != nullptr);
+  hists_.push_back({column_prefix, hist});
+}
+
+void TimeSeries::sample(Cycle now) {
+  if (now <= window_start_) {
+    next_boundary_ = window_start_ + interval_;
+    return;
+  }
+  Window w;
+  w.index = windows_.size();
+  w.phase = phase_;
+  w.start = window_start_;
+  w.end = now;
+
+  w.counter_deltas.reserve(counters_.size());
+  for (auto& c : counters_) {
+    const std::uint64_t cur = stats_->counter_value(c.name);
+    TCMP_DCHECK(cur >= c.last);
+    w.counter_deltas.push_back(cur - c.last);
+    c.last = cur;
+  }
+  for (auto& rt : ratios_) {
+    std::uint64_t n = 0, d = 0;
+    for (const auto& c : rt.numer) n += stats_->counter_value(c);
+    for (const auto& c : rt.denom) d += stats_->counter_value(c);
+    const std::uint64_t dn = n - rt.last_n, dd = d - rt.last_d;
+    w.values.push_back(dd != 0 ? static_cast<double>(dn) / static_cast<double>(dd)
+                               : 0.0);
+    rt.last_n = n;
+    rt.last_d = d;
+  }
+  for (auto& g : gauges_) w.values.push_back(g.fn());
+  for (auto& h : hists_) {
+    w.values.push_back(h.hist->quantile(0.50));
+    w.values.push_back(h.hist->quantile(0.95));
+    w.values.push_back(h.hist->quantile(0.99));
+    h.hist->clear_values();
+  }
+
+  windows_.push_back(std::move(w));
+  window_start_ = now;
+  next_boundary_ = now + interval_;
+}
+
+void TimeSeries::phase_boundary(Cycle now) {
+  sample(now);  // flush the warmup partial window (no-op when empty)
+  // The caller zeroes the registry right after this returns; every snapshot
+  // restarts from zero so measured-phase deltas sum to the final counters.
+  for (auto& c : counters_) c.last = 0;
+  for (auto& rt : ratios_) rt.last_n = rt.last_d = 0;
+  for (auto& h : hists_) h.hist->clear_values();
+  phase_ = 'm';
+  window_start_ = now;
+  next_boundary_ = now + interval_;
+}
+
+void TimeSeries::finalize(Cycle now) { sample(now); }
+
+void TimeSeries::write_csv(std::ostream& out) const {
+  out << "window,phase,cycle_start,cycle_end";
+  for (const auto& c : counter_columns_) out << ',' << c;
+  for (const auto& rt : ratios_) out << ',' << rt.column;
+  for (const auto& g : gauges_) out << ',' << g.column;
+  for (const auto& h : hists_)
+    out << ',' << h.prefix << "_p50," << h.prefix << "_p95," << h.prefix << "_p99";
+  out << '\n';
+  for (const auto& w : windows_) {
+    out << w.index << ',' << w.phase << ',' << w.start << ',' << w.end;
+    for (const auto d : w.counter_deltas) out << ',' << d;
+    char buf[32];
+    for (const auto v : w.values) {
+      std::snprintf(buf, sizeof buf, "%.6g", v);
+      out << ',' << buf;
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace tcmp::obs

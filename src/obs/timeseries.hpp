@@ -1,0 +1,108 @@
+// Periodic time-series sampler: every `interval` cycles it snapshots the
+// registered StatRegistry counters, records the per-window deltas (plus
+// derived ratios, instantaneous gauges and windowed latency quantiles) and
+// buffers one row per window. Rows are written as CSV at finalize.
+//
+// Invariant the tests rely on: for every counter column, the sum of the
+// deltas over the measured-phase ('m') windows equals the counter's
+// end-of-run value — the warmup boundary (where the registry is zeroed in
+// place) rebases the snapshots via phase_boundary(), and finalize() flushes
+// the last partial window.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace tcmp::obs {
+
+class TimeSeries {
+ public:
+  struct Window {
+    std::uint64_t index = 0;
+    char phase = 'm';  ///< 'w' = functional warmup, 'm' = measured
+    Cycle start = 0;
+    Cycle end = 0;
+    std::vector<std::uint64_t> counter_deltas;  ///< one per counter column
+    std::vector<double> values;  ///< ratios, gauges, histogram quantiles
+  };
+
+  TimeSeries(const StatRegistry* stats, Cycle interval);
+
+  // --- column registration (before the first sample) ---
+  /// Windowed delta of a registry counter (missing counters read as 0).
+  void add_counter(std::string column, std::string counter);
+  /// sum(delta(numer)) / sum(delta(denom)) over the window (0 when the
+  /// window is idle). Multiple counters per side support derived rates like
+  /// miss rate = (read+write+upgrade misses) / accesses.
+  void add_ratio(std::string column, std::vector<std::string> numer,
+                 std::vector<std::string> denom);
+  /// Instantaneous value sampled at each window boundary.
+  void add_gauge(std::string column, std::function<double()> fn);
+  /// p50/p95/p99 of a histogram the caller fills during the window; the
+  /// histogram is cleared after every sample so each window stands alone.
+  void add_windowed_histogram(const std::string& column_prefix, Histogram* hist);
+
+  /// Cheap per-cycle check; samples when a window boundary is reached.
+  void maybe_sample(Cycle now) {
+    if (now >= next_boundary_) sample(now);
+  }
+
+  /// The registry is about to be zeroed in place (warmup/measurement
+  /// boundary): flush the partial warmup window, rebase every snapshot to
+  /// zero and switch to the measured phase.
+  void phase_boundary(Cycle now);
+  void set_phase(char phase) { phase_ = phase; }
+
+  /// Flush the final partial window.
+  void finalize(Cycle now);
+
+  [[nodiscard]] const std::vector<Window>& windows() const { return windows_; }
+  /// Column names, in CSV order (counters, ratios, gauges, histograms).
+  [[nodiscard]] const std::vector<std::string>& counter_columns() const {
+    return counter_columns_;
+  }
+  [[nodiscard]] Cycle interval() const { return interval_; }
+
+  void write_csv(std::ostream& out) const;
+
+ private:
+  void sample(Cycle now);
+
+  struct TrackedCounter {
+    std::string name;
+    std::uint64_t last = 0;
+  };
+  struct TrackedRatio {
+    std::string column;
+    std::vector<std::string> numer, denom;
+    std::uint64_t last_n = 0, last_d = 0;
+  };
+  struct TrackedGauge {
+    std::string column;
+    std::function<double()> fn;
+  };
+  struct TrackedHist {
+    std::string prefix;
+    Histogram* hist;
+  };
+
+  const StatRegistry* stats_;
+  Cycle interval_;
+  Cycle window_start_ = 0;
+  Cycle next_boundary_;
+  char phase_ = 'm';
+
+  std::vector<std::string> counter_columns_;
+  std::vector<TrackedCounter> counters_;
+  std::vector<TrackedRatio> ratios_;
+  std::vector<TrackedGauge> gauges_;
+  std::vector<TrackedHist> hists_;
+  std::vector<Window> windows_;
+};
+
+}  // namespace tcmp::obs

@@ -111,6 +111,9 @@ struct CoherenceMsg {
   // Filled in by the sending network interface:
   compression::Encoding enc{};  ///< address compression encoding
   std::uint32_t seq = 0;        ///< per (src,dst,class) sequence number
+  /// Lifecycle-trace span id assigned at network injection when an observer
+  /// is tracing; 0 = untraced. Not modelled on the wire.
+  std::uint32_t trace_id = 0;
 };
 
 }  // namespace tcmp::protocol

@@ -80,6 +80,9 @@ std::uint32_t Directory::version_of(Addr line) const {
 
 void Directory::process(const CoherenceMsg& msg) {
   ++stats_->counter("l2.accesses");
+  if (hooks_ != nullptr) [[unlikely]] {
+    hooks_->dir_msg_processed(id_, msg);
+  }
   switch (msg.type) {
     case MsgType::kGetS:
     case MsgType::kGetX:

@@ -23,6 +23,7 @@
 
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "obs/hooks.hpp"
 #include "protocol/cache_array.hpp"
 #include "protocol/coherence_msg.hpp"
 #include "protocol/delay_queue.hpp"
@@ -68,6 +69,13 @@ class Directory {
 
   /// Functional warmup support: fills already queued keep their latency.
   void set_memory_latency(Cycle lat) { cfg_.memory_latency = lat; }
+
+  /// Attach observability hooks (per-message processing events); null detaches.
+  void set_hooks(obs::ProtocolHooks* hooks) { hooks_ = hooks; }
+
+  /// Occupancy gauges for telemetry sampling.
+  [[nodiscard]] unsigned busy_lines() const { return busy_lines_; }
+  [[nodiscard]] unsigned queued_msgs() const { return queued_msgs_; }
 
   /// Test hooks.
   [[nodiscard]] std::optional<DirState> dir_state_of(Addr line) const;
@@ -130,6 +138,7 @@ class Directory {
   Array array_;
   StatRegistry* stats_;
   MsgSink sink_;
+  obs::ProtocolHooks* hooks_ = nullptr;
 
   DelayQueue<CoherenceMsg> access_pipe_;  ///< models the L2 access latency
   DelayQueue<Addr> memory_pipe_;          ///< off-chip fills in flight

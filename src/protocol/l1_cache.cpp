@@ -84,6 +84,9 @@ void L1Cache::issue_miss(Addr line, bool is_write, bool upgrade) {
   m.is_write = is_write;
   m.upgrade = upgrade;
   mshrs_.emplace(line, m);
+  if (hooks_ != nullptr) [[unlikely]] {
+    hooks_->l1_miss_begin(id_, line, is_write);
+  }
 
   CoherenceMsg req;
   req.type = upgrade ? MsgType::kUpgrade : (is_write ? MsgType::kGetX : MsgType::kGetS);
@@ -365,6 +368,9 @@ void L1Cache::maybe_complete(Addr line, Mshr& m) {
 void L1Cache::install_fill(Addr line, Mshr& m) {
   const Mshr done = m;  // copy: install may evict and mutate the MSHR map
   mshrs_.erase(line);
+  if (hooks_ != nullptr) [[unlikely]] {
+    hooks_->l1_miss_end(id_, line);
+  }
 
   if (!done.drop_after_fill) {
     Array::Line* slot = array_.find(line);

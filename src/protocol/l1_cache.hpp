@@ -21,6 +21,7 @@
 
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "obs/hooks.hpp"
 #include "protocol/cache_array.hpp"
 #include "protocol/coherence_msg.hpp"
 
@@ -60,6 +61,9 @@ class L1Cache {
   AccessResult access(Addr line, bool is_write);
 
   void set_fill_callback(FillCallback cb) { fill_cb_ = std::move(cb); }
+
+  /// Attach observability hooks (miss begin/end lifecycle); null detaches.
+  void set_hooks(obs::ProtocolHooks* hooks) { hooks_ = hooks; }
 
   /// Network-side delivery of a coherence message addressed to this L1.
   void deliver(const CoherenceMsg& msg);
@@ -128,6 +132,7 @@ class L1Cache {
   StatRegistry* stats_;
   MsgSink sink_;
   FillCallback fill_cb_;
+  obs::ProtocolHooks* hooks_ = nullptr;
 
   std::unordered_map<Addr, Mshr> mshrs_;
   std::unordered_map<Addr, EvictEntry> evict_buf_;

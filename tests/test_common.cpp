@@ -137,6 +137,50 @@ TEST(Histogram, QuantileMonotone) {
   EXPECT_NEAR(q50, 25.0, 3.0);
 }
 
+TEST(Histogram, QuantileEdgeCases) {
+  Histogram h(4, 10);
+  // Empty: every quantile is 0.
+  EXPECT_EQ(h.quantile(0.0), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.quantile(1.0), 0.0);
+
+  // Single sample: q=0 is the distribution's lower bound; every positive
+  // quantile lands inside the sample's bin.
+  h.add(15);
+  EXPECT_EQ(h.quantile(0.0), 0.0);
+  for (double q : {0.5, 1.0}) {
+    EXPECT_GE(h.quantile(q), 10.0);
+    EXPECT_LE(h.quantile(q), 20.0);
+  }
+
+  // Samples past the last bin edge land in the overflow bin; quantiles are
+  // clamped to the histogram's total span.
+  Histogram ov(4, 10);
+  for (int i = 0; i < 100; ++i) ov.add(1'000'000);
+  EXPECT_EQ(ov.bins().back(), 100u);
+  EXPECT_GE(ov.quantile(0.5), 30.0);
+  EXPECT_LE(ov.quantile(1.0), 40.0);
+
+  // q=0 is a lower bound of the distribution, q=1 an upper bound.
+  Histogram u(8, 1);
+  for (std::uint64_t v = 0; v < 8; ++v) u.add(v);
+  EXPECT_LE(u.quantile(0.0), u.quantile(1.0));
+  EXPECT_EQ(u.quantile(1.0), 8.0);
+}
+
+TEST(Histogram, ClearValuesKeepsGeometry) {
+  Histogram h(4, 10);
+  h.add(5);
+  h.add(35);
+  h.clear_values();
+  EXPECT_EQ(h.scalar().count(), 0u);
+  EXPECT_EQ(h.bins().size(), 4u);
+  EXPECT_EQ(h.bin_width(), 10u);
+  for (auto b : h.bins()) EXPECT_EQ(b, 0u);
+  h.add(15);
+  EXPECT_EQ(h.bins()[1], 1u);
+}
+
 TEST(StatRegistry, CountersAndPrefixSums) {
   StatRegistry reg;
   reg.counter("noc.vl.flits") += 10;
@@ -165,6 +209,31 @@ TEST(StatRegistry, ZeroAllPreservesPointers) {
   EXPECT_EQ(scalar->count(), 0u);
   *counter = 7;
   EXPECT_EQ(reg.counter_value("a.b"), 7u);
+}
+
+TEST(StatRegistry, HistogramsRegisterAndSurviveZeroAll) {
+  StatRegistry reg;
+  Histogram* h = &reg.histogram("noc.lat", 8, 4);
+  // Re-registration with different geometry returns the existing histogram
+  // unchanged: first registration wins.
+  EXPECT_EQ(h, &reg.histogram("noc.lat", 64, 1));
+  EXPECT_EQ(h->bins().size(), 8u);
+  EXPECT_EQ(h->bin_width(), 4u);
+
+  h->add(6);
+  h->add(9);
+  EXPECT_EQ(reg.find_histogram("noc.lat"), h);
+  EXPECT_EQ(reg.find_histogram("missing"), nullptr);
+
+  reg.zero_all();
+  // Cached pointer still valid, counts zeroed, geometry preserved.
+  EXPECT_EQ(h, &reg.histogram("noc.lat"));
+  EXPECT_EQ(h->scalar().count(), 0u);
+  EXPECT_EQ(h->bins().size(), 8u);
+  EXPECT_EQ(h->bin_width(), 4u);
+  h->add(5);
+  EXPECT_EQ(h->bins()[1], 1u);
+  EXPECT_EQ(reg.histograms().size(), 1u);
 }
 
 TEST(TextTable, RendersAlignedRows) {

@@ -294,7 +294,7 @@ TEST_P(NetworkLoad, UniformRandomTrafficAllDelivered) {
   }
   h.run_until_quiescent(2000000);
   EXPECT_EQ(h.delivered.size(), sent);
-  EXPECT_GT(h.stats.scalar("noc.B.latency").mean(), 0.0);
+  EXPECT_GT(h.stats.histogram("noc.B.latency").scalar().mean(), 0.0);
 }
 
 INSTANTIATE_TEST_SUITE_P(Rates, NetworkLoad,
@@ -398,7 +398,7 @@ TEST(Network, LatencyGrowsWithLoad) {
       h.net->tick(++h.now);
     }
     h.run_until_quiescent(2000000);
-    return h.stats.scalar("noc.B.latency").mean();
+    return h.stats.histogram("noc.B.latency").scalar().mean();
   };
   const double low = mean_latency(0.01);
   const double high = mean_latency(0.4);

@@ -1,0 +1,298 @@
+// Observability subsystem: trace-writer invariants, end-to-end Chrome-trace
+// structural validity, and the time-series accounting invariant (measured
+// window deltas sum to the final counters).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cmp/report.hpp"
+#include "cmp/system.hpp"
+#include "obs/observer.hpp"
+#include "obs/timeseries.hpp"
+#include "obs/trace.hpp"
+#include "workloads/synthetic_app.hpp"
+
+using namespace tcmp;
+
+namespace {
+
+// --- minimal line-oriented parser for the writer's one-event-per-line JSON ---
+
+struct ParsedEvent {
+  char ph = '?';
+  std::string cat;
+  std::string name;
+  std::uint64_t id = 0;
+  long long ts = -1;  ///< -1 when the event carries no timestamp
+};
+
+std::string field(const std::string& line, const std::string& key) {
+  const std::string probe = "\"" + key + "\":";
+  const auto pos = line.find(probe);
+  if (pos == std::string::npos) return {};
+  auto start = pos + probe.size();
+  if (line[start] == '"') {
+    ++start;
+    return line.substr(start, line.find('"', start) - start);
+  }
+  auto end = start;
+  while (end < line.size() && (std::isdigit(line[end]) || line[end] == '-')) ++end;
+  return line.substr(start, end - start);
+}
+
+std::vector<ParsedEvent> parse_trace(const std::string& json,
+                                     std::string* first_line) {
+  std::istringstream in(json);
+  std::string line;
+  std::vector<ParsedEvent> events;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (first) {
+      *first_line = line;
+      first = false;
+      continue;
+    }
+    if (line.empty() || line[0] != '{') continue;
+    ParsedEvent e;
+    const std::string ph = field(line, "ph");
+    e.ph = ph.empty() ? '?' : ph[0];
+    e.cat = field(line, "cat");
+    e.name = field(line, "name");
+    const std::string id = field(line, "id");
+    if (!id.empty()) e.id = std::stoull(id);
+    const std::string ts = field(line, "ts");
+    if (!ts.empty()) e.ts = std::stoll(ts);
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+std::shared_ptr<core::Workload> small_app(const std::string& name,
+                                          unsigned tiles, double scale) {
+  return std::make_shared<workloads::SyntheticApp>(
+      workloads::app(name).scaled(scale), tiles);
+}
+
+}  // namespace
+
+TEST(TraceWriter, CapCountsDropsButForceBypasses) {
+  obs::TraceWriter w(/*max_events=*/2);
+  obs::TraceEvent open;
+  open.ph = 'b';
+  open.cat = "c";
+  open.id = 1;
+  EXPECT_TRUE(w.add(open));
+  EXPECT_TRUE(w.add(open));
+  EXPECT_FALSE(w.add(open));  // cap hit
+  EXPECT_EQ(w.dropped(), 1u);
+  obs::TraceEvent close = open;
+  close.ph = 'e';
+  EXPECT_TRUE(w.add(close, /*force=*/true));  // close events always land
+  EXPECT_EQ(w.size(), 3u);
+}
+
+TEST(TraceWriter, WritesWellFormedDocument) {
+  obs::TraceWriter w;
+  w.set_process_name(1, "chip");
+  w.set_track_name(1, 3, "tile 3");
+  obs::TraceEvent e;
+  e.name = "GetS";
+  e.cat = "net.req";
+  e.ph = 'b';
+  e.tid = 3;
+  e.ts = 17;
+  e.id = 42;
+  e.args = "\"k\":1";
+  w.add(e);
+  e.ph = 'e';
+  e.ts = 20;
+  w.add(e);
+
+  std::ostringstream out;
+  w.write(out);
+  const std::string doc = out.str();
+  EXPECT_EQ(doc.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(doc.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(doc.find("\"tile 3\""), std::string::npos);
+  EXPECT_NE(doc.find("\"id\":42"), std::string::npos);
+  EXPECT_EQ(doc.substr(doc.size() - 3), "]}\n");
+}
+
+namespace {
+
+/// One traced run shared by the structural checks below.
+struct TracedRun {
+  cmp::CmpConfig cfg;
+  std::unique_ptr<cmp::CmpSystem> system;
+  std::unique_ptr<obs::Observer> observer;
+
+  TracedRun() {
+    cfg = cmp::CmpConfig::heterogeneous(compression::SchemeConfig::dbrc(4, 2));
+    obs::ObsConfig ocfg;
+    ocfg.level = obs::Level::kTrace;
+    ocfg.sample_interval = 2000;
+    system = std::make_unique<cmp::CmpSystem>(cfg, small_app("FFT", cfg.n_tiles, 0.05));
+    observer = std::make_unique<obs::Observer>(ocfg, &system->stats());
+    system->attach_observer(observer.get());
+    EXPECT_TRUE(system->run(5'000'000));
+    observer->finalize(system->total_cycles());
+  }
+};
+
+}  // namespace
+
+TEST(ObserverIntegration, TraceIsStructurallyValidChromeJson) {
+  TracedRun run;
+  std::ostringstream out;
+  run.observer->write_trace(out);
+
+  std::string first_line;
+  const auto events = parse_trace(out.str(), &first_line);
+  EXPECT_EQ(first_line, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+  ASSERT_GT(events.size(), 100u);
+
+  // Async spans balance: per (cat, id), begins == ends and no end-before-
+  // begin in file order.
+  std::map<std::pair<std::string, std::uint64_t>, int> open;
+  long long last_ts = 0;
+  std::uint64_t hops = 0, ejects = 0, dir_handles = 0, miss_spans = 0;
+  for (const auto& e : events) {
+    if (e.ph == 'M') continue;  // metadata carries no timestamp
+    ASSERT_GE(e.ts, 0) << "event without a timestamp: " << e.name;
+    EXPECT_GE(e.ts, last_ts) << "timestamps must be non-decreasing";
+    last_ts = e.ts;
+    if (e.ph == 'b') {
+      ++open[{e.cat, e.id}];
+      if (e.cat == "l1miss") ++miss_spans;
+    } else if (e.ph == 'e') {
+      auto it = open.find({e.cat, e.id});
+      ASSERT_NE(it, open.end()) << "end without begin, id " << e.id;
+      if (--it->second == 0) open.erase(it);
+    } else if (e.ph == 'i') {
+      hops += e.name == "hop";
+      ejects += e.name == "eject";
+      dir_handles += e.name == "dir.handle";
+    }
+  }
+  EXPECT_TRUE(open.empty()) << open.size() << " spans never closed";
+  // The lifecycle stages all show up: per-hop traversals, ejections,
+  // directory handling and L1 miss spans.
+  EXPECT_GT(hops, 0u);
+  EXPECT_GT(ejects, 0u);
+  EXPECT_GT(dir_handles, 0u);
+  EXPECT_GT(miss_spans, 0u);
+  EXPECT_EQ(run.observer->trace().dropped(), 0u);
+}
+
+TEST(ObserverIntegration, MeasuredWindowDeltasSumToFinalCounters) {
+  TracedRun run;
+  const obs::TimeSeries& ts = run.observer->timeseries();
+  ASSERT_GE(ts.windows().size(), 3u);
+
+  // The warmup boundary must have produced both phases.
+  bool saw_warmup = false, saw_measured = false;
+  for (const auto& w : ts.windows()) {
+    saw_warmup |= w.phase == 'w';
+    saw_measured |= w.phase == 'm';
+    EXPECT_LT(w.start, w.end);
+  }
+  EXPECT_TRUE(saw_warmup);
+  EXPECT_TRUE(saw_measured);
+
+  // Column -> registry counter for the observer's default columns.
+  const std::map<std::string, std::string> column_counter{
+      {"vl_flits", "noc.VL.flits_injected"},
+      {"b_flits", "noc.B.flits_injected"},
+      {"vl_packets", "noc.VL.packets"},
+      {"b_packets", "noc.B.packets"},
+      {"compressed", "compression.compressed"},
+      {"uncompressed", "compression.uncompressed"},
+      {"remote_msgs", "msg_remote.count"},
+      {"local_msgs", "msg_local.count"},
+      {"l1_accesses", "l1.accesses"},
+      {"l1_read_misses", "l1.read_misses"},
+      {"l1_write_misses", "l1.write_misses"},
+      {"mem_reads", "mem.reads"},
+  };
+  const auto& columns = ts.counter_columns();
+  ASSERT_EQ(columns.size(), column_counter.size());
+  const StatRegistry& stats = run.system->stats();
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    std::uint64_t sum = 0;
+    for (const auto& w : ts.windows()) {
+      if (w.phase == 'm') sum += w.counter_deltas[i];
+    }
+    const auto& counter = column_counter.at(columns[i]);
+    EXPECT_EQ(sum, stats.counter_value(counter))
+        << "window deltas for '" << columns[i]
+        << "' must sum to the final value of " << counter;
+  }
+
+  // The CSV serialization round-trips the window count.
+  std::ostringstream csv;
+  run.observer->write_timeseries(csv);
+  std::istringstream in(csv.str());
+  std::string line;
+  std::size_t rows = 0;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, ts.windows().size() + 1);  // header + one row per window
+}
+
+TEST(ObserverIntegration, LatencyBreakdownHistogramsAreConsistent) {
+  TracedRun run;
+  const StatRegistry& stats = run.system->stats();
+  std::uint64_t ejected = 0;
+  for (const char* cls : {"req", "fwd", "resp"}) {
+    const std::string base = std::string("noc.lat.") + cls;
+    const Histogram* total = stats.find_histogram(base + ".total");
+    const Histogram* queue = stats.find_histogram(base + ".queue");
+    const Histogram* router = stats.find_histogram(base + ".router");
+    const Histogram* wire = stats.find_histogram(base + ".wire");
+    ASSERT_NE(total, nullptr);
+    ASSERT_NE(queue, nullptr);
+    ASSERT_NE(router, nullptr);
+    ASSERT_NE(wire, nullptr);
+    // Every ejected packet contributes one sample to each component.
+    EXPECT_EQ(total->scalar().count(), queue->scalar().count());
+    EXPECT_EQ(total->scalar().count(), router->scalar().count());
+    EXPECT_EQ(total->scalar().count(), wire->scalar().count());
+    ejected += total->scalar().count();
+    if (total->scalar().count() == 0) continue;
+    // The decomposition is exact per packet, so it is exact in the mean.
+    EXPECT_NEAR(total->scalar().mean(),
+                queue->scalar().mean() + router->scalar().mean() +
+                    wire->scalar().mean(),
+                1e-9);
+    EXPECT_LE(total->quantile(0.50), total->quantile(0.95));
+    EXPECT_LE(total->quantile(0.95), total->quantile(0.99));
+  }
+  EXPECT_GT(ejected, 0u);
+
+  // The report harvests the same histograms into quantile tables.
+  const cmp::RunResult r = cmp::make_result(*run.system);
+  EXPECT_TRUE(r.latency.contains("lat.req.total"));
+  EXPECT_TRUE(r.latency.contains("critical_latency"));
+  EXPECT_GT(r.latency.at("lat.req.total").count, 0u);
+  EXPECT_GT(r.avg_critical_latency, 0.0);
+}
+
+TEST(ObserverIntegration, DisabledLevelsEmitNothingExtra) {
+  cmp::CmpConfig cfg =
+      cmp::CmpConfig::heterogeneous(compression::SchemeConfig::dbrc(4, 2));
+  obs::ObsConfig ocfg;
+  ocfg.level = obs::Level::kTimeseries;
+  ocfg.sample_interval = 2000;
+  cmp::CmpSystem system(cfg, small_app("FFT", cfg.n_tiles, 0.02));
+  obs::Observer observer(ocfg, &system.stats());
+  system.attach_observer(&observer);
+  ASSERT_TRUE(system.run(5'000'000));
+  observer.finalize(system.total_cycles());
+  // Timeseries level: windows recorded, but no per-message trace events.
+  EXPECT_FALSE(observer.tracing());
+  EXPECT_GT(observer.timeseries().windows().size(), 0u);
+  EXPECT_EQ(observer.trace().size(), 0u);
+}

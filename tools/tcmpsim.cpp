@@ -18,6 +18,16 @@
 //   --reply-partitioning  enable the Reply Partitioning extension
 //   --three-stage-router  use the 3-stage router pipeline
 //   --format F            text | csv | json (default text)
+//
+// Observability (docs/observability.md):
+//   --trace-out FILE      write a Chrome trace-event JSON (load in Perfetto)
+//   --timeseries-out FILE write per-window telemetry CSV
+//   --obs-level N         0=off 1=timeseries 2=trace (default: inferred from
+//                         the output options above)
+//   --sample-interval N   telemetry window length in cycles (default 10000)
+//
+// With --app all, per-app output files get a ".<app>" suffix before the
+// extension.
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -26,6 +36,7 @@
 #include "cmp/report.hpp"
 #include "cmp/system.hpp"
 #include "common/args.hpp"
+#include "obs/observer.hpp"
 #include "workloads/synthetic_app.hpp"
 #include "workloads/trace_workload.hpp"
 
@@ -46,7 +57,38 @@ struct Options {
   bool reply_partitioning = false;
   bool three_stage_router = false;
   std::string format = "text";
+  std::string trace_out;
+  std::string timeseries_out;
+  long obs_level = -1;  ///< -1 = infer from the output options
+  long sample_interval = 10'000;
 };
+
+/// "out.json" -> "out.MP3D.json" when several apps share one run.
+std::string suffixed(const std::string& path, const std::string& app,
+                     bool multi) {
+  if (!multi || path.empty()) return path;
+  const auto dot = path.rfind('.');
+  if (dot == std::string::npos || path.find('/', dot) != std::string::npos) {
+    return path + "." + app;
+  }
+  return path.substr(0, dot) + "." + app + path.substr(dot);
+}
+
+obs::ObsConfig make_obs_config(const Options& o, const std::string& app,
+                               bool multi) {
+  obs::ObsConfig oc;
+  if (o.obs_level >= 0) {
+    oc.level = static_cast<obs::Level>(o.obs_level);
+  } else if (!o.trace_out.empty()) {
+    oc.level = obs::Level::kTrace;
+  } else {
+    oc.level = obs::Level::kTimeseries;
+  }
+  oc.sample_interval = static_cast<Cycle>(o.sample_interval);
+  oc.trace_path = suffixed(o.trace_out, app, multi);
+  oc.timeseries_path = suffixed(o.timeseries_out, app, multi);
+  return oc;
+}
 
 compression::SchemeConfig make_scheme(const Options& o) {
   if (o.scheme == "dbrc") return compression::SchemeConfig::dbrc(o.entries, o.low);
@@ -117,6 +159,19 @@ void emit(const Options& o, const cmp::RunResult& r, bool header) {
               r.interconnect_energy(), r.link_ed2p());
 }
 
+/// Text-mode network-latency quantile table (per message class and
+/// queue/router/wire breakdown).
+void emit_latency_table(const cmp::RunResult& r) {
+  if (r.latency.empty()) return;
+  std::printf("  %-22s %10s %8s %8s %8s %10s\n", "latency [cycles]", "mean",
+              "p50", "p95", "p99", "count");
+  for (const auto& [name, q] : r.latency) {
+    std::printf("  %-22s %10.2f %8.1f %8.1f %8.1f %10llu\n", name.c_str(),
+                q.mean, q.p50, q.p95, q.p99,
+                static_cast<unsigned long long>(q.count));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -128,7 +183,8 @@ int main(int argc, char** argv) {
   const std::set<std::string> known{
       "app",   "trace", "config",             "scheme",             "entries",
       "low",   "vl",    "tiles",              "scale",              "format",
-      "help",  "reply-partitioning",          "three-stage-router"};
+      "help",  "reply-partitioning",          "three-stage-router",
+      "trace-out", "timeseries-out", "obs-level", "sample-interval"};
   for (const auto& k : args.unknown_keys(known)) {
     std::fprintf(stderr, "unknown option --%s (see the header of tools/tcmpsim.cpp)\n",
                  k.c_str());
@@ -152,6 +208,25 @@ int main(int argc, char** argv) {
   o.reply_partitioning = args.get_flag("reply-partitioning");
   o.three_stage_router = args.get_flag("three-stage-router");
   o.format = args.get("format", o.format);
+  o.trace_out = args.get("trace-out", o.trace_out);
+  o.timeseries_out = args.get("timeseries-out", o.timeseries_out);
+  o.obs_level = args.get_long("obs-level", o.obs_level);
+  o.sample_interval = args.get_long("sample-interval", o.sample_interval);
+  if (o.obs_level > 2 || o.sample_interval < 1) {
+    std::fprintf(stderr, "--obs-level must be 0..2, --sample-interval >= 1\n");
+    return 2;
+  }
+  // An explicit --obs-level below what an output file needs would silently
+  // produce no file; reject the contradiction instead.
+  if (o.obs_level >= 0 && !o.trace_out.empty() && o.obs_level < 2) {
+    std::fprintf(stderr, "--trace-out requires --obs-level 2 (got %ld)\n",
+                 o.obs_level);
+    return 2;
+  }
+  if (o.obs_level == 0 && !o.timeseries_out.empty()) {
+    std::fprintf(stderr, "--timeseries-out requires --obs-level >= 1\n");
+    return 2;
+  }
 
   const cmp::CmpConfig cfg = make_config(o);
 
@@ -164,6 +239,8 @@ int main(int argc, char** argv) {
     apps.push_back(o.app);
   }
 
+  const bool want_obs = !o.trace_out.empty() || !o.timeseries_out.empty() ||
+                        o.obs_level > 0;
   bool first = true;
   for (const auto& name : apps) {
     std::shared_ptr<core::Workload> workload;
@@ -175,13 +252,25 @@ int main(int argc, char** argv) {
           workloads::app(name).scaled(o.scale), cfg.n_tiles);
     }
     cmp::CmpSystem system(cfg, std::move(workload));
+    std::unique_ptr<obs::Observer> observer;
+    if (want_obs) {
+      observer = std::make_unique<obs::Observer>(
+          make_obs_config(o, name, apps.size() > 1), &system.stats());
+      system.attach_observer(observer.get());
+    }
     if (!system.run()) {
       std::fprintf(stderr, "%s: simulation did not finish\n", name.c_str());
+      return 1;
+    }
+    if (observer && !observer->finalize_to_files(system.total_cycles())) {
+      std::fprintf(stderr, "%s: could not write observability output\n",
+                   name.c_str());
       return 1;
     }
     cmp::RunResult r = cmp::make_result(system);
     r.workload = name;
     emit(o, r, first);
+    if (o.format == "text") emit_latency_table(r);
     first = false;
   }
   return 0;
