@@ -175,6 +175,16 @@ void CmpSystem::end_warmup() {
   stats_.zero_all();
 }
 
+void CmpSystem::set_periodic_check(Cycle interval, PeriodicCheck check) {
+  if (interval == 0 || !check) {
+    check_interval_ = 0;
+    periodic_check_ = nullptr;
+    return;
+  }
+  check_interval_ = interval;
+  periodic_check_ = std::move(check);
+}
+
 void CmpSystem::step() {
   ++now_;
   if (obs_ != nullptr) [[unlikely]] obs_->tick(now_);
@@ -194,6 +204,10 @@ void CmpSystem::step() {
       if (t->core->done()) ++done;
     if (waiting_ + done == cfg_.n_tiles) release_barrier();
   }
+
+  if (check_interval_ != 0 && now_ % check_interval_ == 0) [[unlikely]] {
+    if (!periodic_check_(now_)) aborted_ = true;
+  }
 }
 
 bool CmpSystem::finished() const {
@@ -209,11 +223,11 @@ bool CmpSystem::finished() const {
 }
 
 bool CmpSystem::run(Cycle max_cycles) {
-  while (now_ < max_cycles) {
+  while (now_ < max_cycles && !aborted_) {
     step();
-    if (finished()) return true;
+    if (finished()) return !aborted_;
   }
-  return finished();
+  return finished() && !aborted_;
 }
 
 void CmpSystem::dump_state(std::ostream& out) const {

@@ -64,6 +64,7 @@ class CmpSystem {
     return *tiles_[tile]->dir;
   }
   [[nodiscard]] core::Core& core(unsigned tile) { return *tiles_[tile]->core; }
+  [[nodiscard]] het::TileNic& nic(unsigned tile) { return *tiles_[tile]->nic; }
   [[nodiscard]] noc::Network& network() { return *network_; }
   [[nodiscard]] const noc::Network& network() const { return *network_; }
 
@@ -76,6 +77,15 @@ class CmpSystem {
   /// Used by the compression-coverage bench to capture address streams.
   using MsgHook = std::function<void(const protocol::CoherenceMsg&)>;
   void set_remote_msg_hook(MsgHook hook) { remote_hook_ = std::move(hook); }
+
+  /// Install a periodic global check (the coherence-lint scanner): `check`
+  /// runs every `interval` cycles at the end of step(); returning false
+  /// aborts the run (aborted() turns true and run() stops). Interval 0 or a
+  /// null function uninstalls.
+  using PeriodicCheck = std::function<bool(Cycle)>;
+  void set_periodic_check(Cycle interval, PeriodicCheck check);
+  /// True when a periodic check failed; run() returns false from then on.
+  [[nodiscard]] bool aborted() const { return aborted_; }
 
   /// Wire a message-lifecycle / telemetry observer into every component
   /// (network, routers, NICs, L1s, directories) and register the directory
@@ -102,6 +112,9 @@ class CmpSystem {
 
   CmpConfig cfg_;
   StatRegistry stats_;
+  Cycle check_interval_ = 0;
+  PeriodicCheck periodic_check_;
+  bool aborted_ = false;
   std::array<std::uint64_t*, protocol::kNumMsgTypes> msg_counters_{};
   std::uint64_t* local_count_ = nullptr;
   std::uint64_t* remote_count_ = nullptr;

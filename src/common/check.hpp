@@ -26,7 +26,9 @@ namespace tcmp::detail {
   } while (0)
 
 #ifdef NDEBUG
-#define TCMP_DCHECK(expr) ((void)0)
+// No-eval form: the expression stays type-checked (so it cannot rot and its
+// operands are not "unused") but sizeof guarantees it is never evaluated.
+#define TCMP_DCHECK(expr) ((void)sizeof(static_cast<bool>(expr)))
 #else
 #define TCMP_DCHECK(expr) TCMP_CHECK(expr)
 #endif

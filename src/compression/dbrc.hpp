@@ -31,6 +31,22 @@ class DbrcSender final : public SenderCompressor {
   [[nodiscard]] std::uint64_t hits() const { return hits_; }
   [[nodiscard]] std::uint64_t misses() const { return misses_; }
 
+  /// Read-only view of one compression-cache entry (verify lint: the
+  /// runtime mirror-consistency scan compares these against receiver state).
+  struct EntrySnapshot {
+    Addr hi_tag = 0;
+    std::uint32_t dest_valid = 0;
+    bool valid = false;
+  };
+  [[nodiscard]] unsigned num_entries() const {
+    return static_cast<unsigned>(entries_.size());
+  }
+  [[nodiscard]] EntrySnapshot entry_snapshot(unsigned index) const {
+    const Entry& e = entries_[index];
+    return EntrySnapshot{e.hi_tag, e.dest_valid, e.valid};
+  }
+  [[nodiscard]] bool idealized_mirrors() const { return idealized_mirrors_; }
+
  private:
   struct Entry {
     Addr hi_tag = 0;
@@ -58,6 +74,11 @@ class DbrcReceiver final : public ReceiverDecompressor {
   DbrcReceiver(unsigned entries, unsigned low_bytes, unsigned n_nodes);
 
   Addr decode(NodeId src, const Encoding& enc, Addr full_line) override;
+
+  /// Mirror register content (verify lint).
+  [[nodiscard]] Addr mirror_tag(NodeId src, unsigned index) const {
+    return mirror_[src][index];
+  }
 
  private:
   // mirror_[src][index] = high-order tag of sender src's entry.

@@ -58,6 +58,25 @@ class TileNic {
 
   [[nodiscard]] const compression::SchemeConfig& scheme() const { return scheme_; }
 
+  // --- invariant-scan hooks (verify lint) ---
+  [[nodiscard]] const compression::SenderCompressor& sender(
+      compression::MsgClass c) const {
+    return *classes_[static_cast<unsigned>(c)].sender;
+  }
+  [[nodiscard]] const compression::ReceiverDecompressor& receiver(
+      compression::MsgClass c) const {
+    return *classes_[static_cast<unsigned>(c)].receiver;
+  }
+  [[nodiscard]] std::uint32_t send_seq(compression::MsgClass c, NodeId dst) const {
+    return classes_[static_cast<unsigned>(c)].next_send_seq[dst];
+  }
+  [[nodiscard]] std::uint32_t recv_seq(compression::MsgClass c, NodeId src) const {
+    return classes_[static_cast<unsigned>(c)].next_recv_seq[src];
+  }
+  [[nodiscard]] bool reorder_empty(compression::MsgClass c, NodeId src) const {
+    return classes_[static_cast<unsigned>(c)].reorder[src].empty();
+  }
+
  private:
   struct ClassState {
     std::unique_ptr<compression::SenderCompressor> sender;

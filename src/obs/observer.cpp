@@ -169,6 +169,23 @@ void Observer::nic_send(const protocol::CoherenceMsg& msg, bool compressed,
   trace_.add(std::move(e));
 }
 
+void Observer::lint_violation(Cycle cycle, Addr line,
+                              const std::string& invariant,
+                              const std::string& detail) {
+  if (!tracing()) return;
+  TraceEvent e;
+  e.name = "lint.violation";
+  e.cat = "verify";
+  e.ph = 'i';
+  e.ts = cycle;
+  e.cname = "terrible";
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "\"invariant\":\"%s\",\"line\":\"0x%" PRIx64 "\"",
+                invariant.c_str(), static_cast<std::uint64_t>(line));
+  e.args = std::string(buf) + ",\"detail\":\"" + detail + "\"";
+  trace_.add(std::move(e), /*force=*/true);
+}
+
 void Observer::nic_reorder_hold(const protocol::CoherenceMsg& msg) {
   if (!tracing()) return;
   TraceEvent e;

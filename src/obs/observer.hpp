@@ -76,6 +76,13 @@ class Observer final : public ProtocolHooks {
                 unsigned channel, unsigned wire_bytes);
   void nic_reorder_hold(const protocol::CoherenceMsg& msg);
 
+  // --- verify hooks ---
+  /// A runtime coherence-lint scan found an invariant violation. Emitted as
+  /// a forced instant event so it survives the trace-capacity cap and lands
+  /// next to the message-lifecycle spans that led up to it.
+  void lint_violation(Cycle cycle, Addr line, const std::string& invariant,
+                      const std::string& detail);
+
   // --- ProtocolHooks (protocol layer; use the observer clock) ---
   void l1_miss_begin(NodeId tile, Addr line, bool is_write) override;
   void l1_miss_end(NodeId tile, Addr line) override;

@@ -98,6 +98,11 @@ class CacheArray {
     for (auto& l : lines_)
       if (l.valid) fn(l);
   }
+  template <typename Fn>
+  void for_each_valid(Fn&& fn) const {
+    for (const auto& l : lines_)
+      if (l.valid) fn(l);
+  }
 
   [[nodiscard]] unsigned set_of(Addr line_addr) const {
     return static_cast<unsigned>(line_addr & (sets_ - 1));

@@ -57,6 +57,13 @@ bool Directory::quiescent() const {
          busy_lines_ == 0 && queued_msgs_ == 0;
 }
 
+std::optional<Directory::EntryView> Directory::entry_of(Addr line) const {
+  const auto* l = array_.find(key_of(line));
+  if (l == nullptr) return std::nullopt;
+  return EntryView{l->payload.state, l->payload.sharers, l->payload.owner,
+                   l->payload.fwd_requester};
+}
+
 std::optional<DirState> Directory::dir_state_of(Addr line) const {
   const auto* l = array_.find(key_of(line));
   if (l == nullptr) return std::nullopt;
@@ -320,6 +327,23 @@ void Directory::handle_put(const CoherenceMsg& msg) {
     ++stats_->counter("dir.held_put_acks");
     return;
   }
+  if (e.state == DirState::kBusyExcl && e.fwd_requester == msg.src) {
+    // The NEW owner installed M through the in-flight FwdGetX, evicted, and
+    // its writeback beat the old owner's AckRevision home (three tiles,
+    // three independent network paths). Nothing is in flight toward the new
+    // owner, so acknowledge now — but remember that ownership already
+    // returned, so the AckRevision resolves this entry to Invalid instead of
+    // installing a tile that no longer holds the line.
+    TCMP_CHECK(!e.fwd_put);
+    TCMP_CHECK_MSG(msg.type == MsgType::kPutM, "FwdGetX target evicted clean");
+    e.fwd_put = true;
+    e.l2_dirty = true;
+    TCMP_CHECK_MSG(msg.version >= e.version, "forward-put lost an update");
+    e.version = msg.version;
+    ++stats_->counter("dir.fwd_owner_puts");
+    send(ack);
+    return;
+  }
   // Stale Put: the owner already yielded through a forward/recall crossing
   // whose resolution raced ahead of this Put. Nothing can be in flight
   // toward the old owner anymore, so acknowledge immediately.
@@ -367,8 +391,16 @@ void Directory::handle_revision(const CoherenceMsg& msg) {
     }
     case DirState::kBusyExcl:
       TCMP_CHECK(msg.type == MsgType::kAckRevision);
-      e.state = DirState::kExclusive;
-      e.owner = e.fwd_requester;
+      if (e.fwd_put) {
+        // The forward requester already wrote the line back (handle_put):
+        // ownership is home again, nobody holds a copy.
+        e.fwd_put = false;
+        e.state = DirState::kInvalid;
+        e.owner = kInvalidNode;
+      } else {
+        e.state = DirState::kExclusive;
+        e.owner = e.fwd_requester;
+      }
       --busy_lines_;
       e.held_put_ack = false;
       if (release_ack) release_put_ack(line, old_owner);

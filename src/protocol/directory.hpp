@@ -77,6 +77,15 @@ class Directory {
   [[nodiscard]] unsigned busy_lines() const { return busy_lines_; }
   [[nodiscard]] unsigned queued_msgs() const { return queued_msgs_; }
 
+  /// Read-only directory-entry snapshot for invariant scans (verify lint).
+  struct EntryView {
+    DirState state = DirState::kInvalid;
+    std::uint32_t sharers = 0;
+    NodeId owner = kInvalidNode;
+    NodeId fwd_requester = kInvalidNode;
+  };
+  [[nodiscard]] std::optional<EntryView> entry_of(Addr line) const;
+
   /// Test hooks.
   [[nodiscard]] std::optional<DirState> dir_state_of(Addr line) const;
   [[nodiscard]] std::uint32_t sharers_of(Addr line) const;
@@ -92,6 +101,10 @@ class Directory {
     NodeId fwd_requester = kInvalidNode;  ///< requester of an in-flight forward
     bool l2_dirty = false;      ///< line dirty w.r.t. off-chip memory
     bool held_put_ack = false;  ///< PutAck deferred until the busy resolves
+    /// BusyExcl only: the forward requester (new owner) wrote the line back
+    /// before the old owner's AckRevision arrived, so the AckRevision must
+    /// resolve the entry to Invalid instead of installing the requester.
+    bool fwd_put = false;
     std::uint32_t version = 0;  ///< data-flow validation version
     std::uint16_t recall_acks_pending = 0;
     std::deque<CoherenceMsg> pending;  ///< requests queued while busy

@@ -33,6 +33,25 @@ std::uint32_t L1Cache::version_of(Addr line) const {
   return l != nullptr ? l->payload.version : 0;
 }
 
+void L1Cache::collect_stable_lines(Addr stripe_mask, Addr stripe,
+                                   std::vector<StableLine>& out) const {
+  array_.for_each_valid([&](const Array::Line& l) {
+    const Addr line = array_.address_of(l);
+    if ((line & stripe_mask) == stripe) {
+      out.push_back(StableLine{line, l.payload.state, id_});
+    }
+  });
+}
+
+void L1Cache::debug_force_state(Addr line, L1State st) {
+  auto* l = array_.find(line);
+  if (l == nullptr) {
+    l = array_.victim(line);
+    array_.fill(*l, line);
+  }
+  l->payload.state = st;
+}
+
 AccessResult L1Cache::access(Addr line, bool is_write) {
   ++stats_->counter("l1.accesses");
   auto* l = array_.find(line);
@@ -372,7 +391,14 @@ void L1Cache::install_fill(Addr line, Mshr& m) {
     hooks_->l1_miss_end(id_, line);
   }
 
-  if (!done.drop_after_fill) {
+  // The use-once drop applies only to shared grants. An Inv can never target
+  // the pending owner of an exclusive grant (the directory invalidates
+  // sharers and *forwards* to owners), so a drop flag pending a
+  // DataExcl/UpgradeAck was set by an older epoch — e.g. a recall this
+  // request was queued behind — and must not discard the grant: the
+  // directory has already made this tile the owner.
+  const bool use_once = done.drop_after_fill && !done.grant_exclusive;
+  if (!use_once) {
     Array::Line* slot = array_.find(line);
     if (slot == nullptr) {
       evict_for(line);
@@ -404,7 +430,7 @@ void L1Cache::install_fill(Addr line, Mshr& m) {
   if (done.parked_fwd.has_value()) {
     // Service the forward the home sent while we were completing.
     auto* slot = array_.find(line);
-    TCMP_CHECK_MSG(slot != nullptr && !done.drop_after_fill,
+    TCMP_CHECK_MSG(slot != nullptr && !use_once,
                    "parked forward requires an installed line");
     service_fwd_from_stable(*done.parked_fwd, *slot);
   }

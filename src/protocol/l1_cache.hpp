@@ -18,6 +18,7 @@
 #include <functional>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "common/stats.hpp"
 #include "common/types.hpp"
@@ -82,6 +83,22 @@ class L1Cache {
   [[nodiscard]] std::optional<L1State> state_of(Addr line) const;
   /// Test hook: validation version of a resident line (0 if absent).
   [[nodiscard]] std::uint32_t version_of(Addr line) const;
+
+  /// One resident stable line, as reported to the verify lint.
+  struct StableLine {
+    Addr line;
+    L1State state;
+    NodeId tile;
+  };
+  /// Invariant-scan hook (verify lint): append every resident stable line
+  /// whose address satisfies (line & stripe_mask) == stripe to `out`
+  /// (stripe_mask 0 selects everything). Appending plain records to a
+  /// caller-reused buffer keeps the periodic scan allocation-free.
+  void collect_stable_lines(Addr stripe_mask, Addr stripe,
+                            std::vector<StableLine>& out) const;
+  /// Fault-injection hook (verify tests only): force a line's stable state,
+  /// installing it if absent. Deliberately bypasses the protocol.
+  void debug_force_state(Addr line, L1State st);
 
  private:
   struct LinePayload {

@@ -1,0 +1,169 @@
+#include "verify/checker.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+namespace tcmp::verify {
+
+namespace {
+
+/// Exploration bookkeeping for one canonical state.
+struct NodeMeta {
+  std::uint32_t parent = 0;
+  Action via;        ///< action that produced this state from `parent`
+  unsigned depth = 0;
+};
+
+constexpr std::uint32_t kRoot = 0xffffffffu;
+
+std::vector<TraceStep> build_trace(const ProtocolModel& model,
+                                   const std::vector<NodeMeta>& meta,
+                                   std::uint32_t leaf) {
+  // Walk parent pointers to the root, then replay forward so each step can
+  // carry the post-action state summary. Replay must canonicalize after every
+  // apply: recorded actions are relative to canonical parent states.
+  std::vector<Action> actions;
+  for (std::uint32_t id = leaf; meta[id].parent != kRoot; id = meta[id].parent) {
+    actions.push_back(meta[id].via);
+  }
+  std::reverse(actions.begin(), actions.end());
+
+  std::vector<TraceStep> trace;
+  ModelState s = model.initial();
+  model.canonicalize(s);
+  for (const Action& a : actions) {
+    TraceStep step;
+    step.action = a;
+    step.action_text = model.describe(a);
+    (void)model.apply(s, a);  // violation (if any) fires on the last step
+    model.canonicalize(s);
+    step.state_text = model.summarize(s);
+    trace.push_back(std::move(step));
+  }
+  return trace;
+}
+
+}  // namespace
+
+CheckResult run_model_check(const ProtocolModel::Config& cfg,
+                            const CheckerOptions& opts) {
+  const ProtocolModel model(cfg);
+  CheckResult result;
+
+  ModelState root = model.initial();
+  model.canonicalize(root);
+
+  std::unordered_map<std::string, std::uint32_t> visited;
+  std::vector<NodeMeta> meta;
+  std::deque<std::pair<std::uint32_t, ModelState>> frontier;
+
+  visited.emplace(model.serialize(root), 0);
+  meta.push_back(NodeMeta{kRoot, {}, 0});
+  frontier.emplace_back(0, std::move(root));
+  result.states = 1;
+
+  auto fail = [&](std::uint32_t id, const Violation& v) {
+    result.ok = false;
+    result.violation = v;
+    result.violation_depth = meta[id].depth;
+    result.trace = build_trace(model, meta, id);
+  };
+
+  // The root itself must satisfy the invariants.
+  if (auto v = model.check_invariants(frontier.front().second)) {
+    fail(0, *v);
+    return result;
+  }
+
+  std::vector<Action> actions;
+  while (!frontier.empty()) {
+    auto [id, state] = std::move(frontier.front());
+    frontier.pop_front();
+    const unsigned depth = meta[id].depth;
+
+    model.enabled_actions(state, actions);
+    if (actions.empty()) {
+      if (auto v = model.check_deadlock(state)) {
+        fail(id, *v);
+        return result;
+      }
+      continue;
+    }
+
+    for (const Action& a : actions) {
+      ++result.transitions;
+      ModelState next = state;
+      if (auto v = model.apply(next, a)) {
+        // A protocol assertion fired while applying the action: the trace is
+        // the path to `state` plus this action.
+        meta.push_back(NodeMeta{id, a, depth + 1});
+        const auto child = static_cast<std::uint32_t>(meta.size() - 1);
+        result.violation_depth = depth + 1;
+        result.ok = false;
+        result.violation = v;
+        result.trace = build_trace(model, meta, child);
+        return result;
+      }
+      model.canonicalize(next);
+      std::string key = model.serialize(next);
+      auto [it, inserted] = visited.emplace(std::move(key),
+                                            static_cast<std::uint32_t>(meta.size()));
+      if (!inserted) continue;
+
+      meta.push_back(NodeMeta{id, a, depth + 1});
+      const std::uint32_t child = it->second;
+      ++result.states;
+
+      if (auto v = model.check_invariants(next)) {
+        fail(child, *v);
+        return result;
+      }
+      if (auto v = model.check_deadlock(next)) {
+        fail(child, *v);
+        return result;
+      }
+      if (result.states >= opts.max_states) {
+        result.truncated = true;
+        result.ok = false;
+        result.violation =
+            Violation{"TRUNCATED", "state cap reached before exhausting the "
+                                   "reachable space"};
+        return result;
+      }
+      if (opts.progress_every != 0 && result.states % opts.progress_every == 0) {
+        std::fprintf(stderr, "  ... %llu states, %llu transitions, depth %u\n",
+                     static_cast<unsigned long long>(result.states),
+                     static_cast<unsigned long long>(result.transitions),
+                     depth + 1);
+      }
+      frontier.emplace_back(child, std::move(next));
+    }
+  }
+
+  result.ok = true;
+  return result;
+}
+
+std::string format_trace(const ProtocolModel& model, const CheckResult& result) {
+  std::ostringstream os;
+  ModelState s = model.initial();
+  model.canonicalize(s);
+  os << "     initial: " << model.summarize(s) << "\n";
+  unsigned step = 1;
+  for (const auto& t : result.trace) {
+    os << "  " << (step < 10 ? " " : "") << step << ". " << t.action_text << "\n";
+    os << "     " << (step < 10 ? " " : "") << "   -> " << t.state_text << "\n";
+    ++step;
+  }
+  if (result.violation) {
+    os << "  VIOLATION [" << result.violation->invariant << "] "
+       << result.violation->detail << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace tcmp::verify

@@ -1,0 +1,48 @@
+// Exhaustive explicit-state exploration of ProtocolModel: BFS over the
+// reachable state space with tile-permutation symmetry reduction, checking
+// every safety invariant at every state and reporting the shortest
+// counterexample trace on a violation (shortest by BFS construction).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "verify/model.hpp"
+
+namespace tcmp::verify {
+
+struct TraceStep {
+  Action action;
+  std::string action_text;  ///< human-readable action
+  std::string state_text;   ///< state summary after the action
+};
+
+struct CheckResult {
+  bool ok = false;
+  std::uint64_t states = 0;       ///< distinct canonical states visited
+  std::uint64_t transitions = 0;  ///< transitions explored
+  bool truncated = false;         ///< hit the state cap before exhausting
+  std::optional<Violation> violation;
+  unsigned violation_depth = 0;   ///< BFS depth of the violating state
+  std::vector<TraceStep> trace;   ///< initial state -> violating state
+};
+
+struct CheckerOptions {
+  /// Abort the exploration (truncated=true) past this many distinct states.
+  std::uint64_t max_states = 20'000'000;
+  /// Report progress to stderr every this many states (0 = quiet).
+  std::uint64_t progress_every = 0;
+};
+
+/// Run the exhaustive check. Exhausts the reachable space (under the model's
+/// stimulus bounds) unless a violation is found or `max_states` is hit.
+[[nodiscard]] CheckResult run_model_check(const ProtocolModel::Config& cfg,
+                                          const CheckerOptions& opts = {});
+
+/// Render a counterexample trace (numbered actions + state summaries).
+[[nodiscard]] std::string format_trace(const ProtocolModel& model,
+                                       const CheckResult& result);
+
+}  // namespace tcmp::verify

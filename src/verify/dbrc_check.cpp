@@ -1,0 +1,113 @@
+#include "verify/dbrc_check.hpp"
+
+#include <sstream>
+
+#include "common/types.hpp"
+#include "compression/dbrc.hpp"
+
+namespace tcmp::verify {
+
+namespace {
+
+using compression::DbrcReceiver;
+using compression::DbrcSender;
+using compression::Encoding;
+
+struct World {
+  DbrcSender sender;
+  std::vector<DbrcReceiver> receivers;  ///< one per destination
+};
+
+struct Step {
+  unsigned dst;
+  Addr line;
+};
+
+class Dfs {
+ public:
+  Dfs(const DbrcCheckConfig& cfg, DbrcCheckResult& result)
+      : cfg_(cfg), result_(result) {
+    for (unsigned hi = 1; hi <= cfg_.n_hi; ++hi) {
+      for (unsigned lo = 0; lo < cfg_.n_lo; ++lo) {
+        alphabet_.push_back((Addr{hi} << (8 * cfg_.low_bytes)) | lo);
+      }
+    }
+  }
+
+  void run(const World& w, unsigned depth) {
+    if (!result_.ok) return;
+    if (depth == cfg_.depth) {
+      ++result_.sequences;
+      return;
+    }
+    for (unsigned dst = 0; dst < cfg_.n_dsts; ++dst) {
+      for (const Addr line : alphabet_) {
+        if (!result_.ok) return;
+        World next = w;  // real compressor objects are value types
+        trace_.push_back(Step{dst, line});
+        step(next, dst, line);
+        if (result_.ok) run(next, depth + 1);
+        trace_.pop_back();
+      }
+    }
+  }
+
+ private:
+  void step(World& w, unsigned dst, Addr line) {
+    Encoding enc =
+        w.sender.compress(static_cast<NodeId>(dst), line);
+    if (cfg_.mutation == MutationId::kDbrcFalseHit && enc.install) {
+      // Planted bug: the sender trusts the tag hit and claims compression
+      // without consulting the per-destination valid bit.
+      enc.install = false;
+      enc.compressed = true;
+      enc.low_bits = line & ((Addr{1} << (8 * cfg_.low_bytes)) - 1);
+    }
+    if (cfg_.mutation == MutationId::kDbrcReceiverNoInstall) {
+      enc.install = false;  // planted bug: mirror updates are dropped
+    }
+    ++result_.decodes;
+    const Addr decoded =
+        w.receivers[dst].decode(/*src=*/0, enc, line);
+    if (decoded != line) {
+      result_.ok = false;
+      std::ostringstream os;
+      os << "mirror divergence: dst " << dst << " decoded 0x" << std::hex
+         << decoded << " for line 0x" << line << std::dec << " ("
+         << (enc.compressed ? "compressed" : "uncompressed")
+         << " index " << unsigned{enc.index} << ") after "
+         << trace_.size() << " sends";
+      result_.findings.push_back(os.str());
+      for (const Step& s : trace_) {
+        std::ostringstream step_os;
+        step_os << "dst=" << s.dst << " line=0x" << std::hex << s.line;
+        result_.counterexample.push_back(step_os.str());
+      }
+    }
+  }
+
+  const DbrcCheckConfig& cfg_;
+  DbrcCheckResult& result_;
+  std::vector<Addr> alphabet_;
+  std::vector<Step> trace_;
+};
+
+}  // namespace
+
+DbrcCheckResult run_dbrc_check(const DbrcCheckConfig& cfg) {
+  DbrcCheckResult result;
+  const unsigned n_nodes = cfg.n_dsts < 2 ? 2 : cfg.n_dsts;
+  World root{
+      DbrcSender(cfg.entries, cfg.low_bytes, n_nodes,
+                 /*idealized_mirrors=*/false),
+      {},
+  };
+  for (unsigned d = 0; d < cfg.n_dsts; ++d) {
+    root.receivers.emplace_back(cfg.entries, cfg.low_bytes, n_nodes);
+  }
+  Dfs dfs(cfg, result);
+  dfs.run(root, 0);
+  return result;
+}
+
+}  // namespace tcmp::verify

@@ -1,0 +1,195 @@
+#include "verify/lint.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "cmp/system.hpp"
+#include "common/check.hpp"
+#include "compression/dbrc.hpp"
+#include "obs/observer.hpp"
+
+namespace tcmp::verify {
+
+using protocol::DirState;
+using protocol::L1State;
+
+CoherenceLinter::CoherenceLinter(cmp::CmpSystem* system, obs::Observer* observer)
+    : sys_(system), obs_(observer) {
+  TCMP_CHECK(sys_ != nullptr);
+}
+
+void CoherenceLinter::report(const LintViolation& v) {
+  ++violations_;
+  ++sys_->stats().counter("verify.violations");
+  if (obs_ != nullptr) {
+    obs_->lint_violation(v.cycle, v.line, v.invariant, v.detail);
+  }
+}
+
+std::vector<LintViolation> CoherenceLinter::scan(Cycle now) {
+  return scan_impl(now, 0, 0, /*with_dbrc=*/true);
+}
+
+std::vector<LintViolation> CoherenceLinter::scan_slice(Cycle now) {
+  const Addr stripe = next_stripe_;
+  next_stripe_ = (next_stripe_ + 1) % kStripes;
+  // The DBRC mirror pass has no address dimension to stripe; once per
+  // rotation keeps it as periodic as a full sweep.
+  return scan_impl(now, kStripes - 1, stripe, /*with_dbrc=*/stripe == 0);
+}
+
+std::vector<LintViolation> CoherenceLinter::scan_impl(Cycle now,
+                                                      Addr stripe_mask,
+                                                      Addr stripe,
+                                                      bool with_dbrc) {
+  ++scans_;
+  ++sys_->stats().counter("verify.scans");
+  std::vector<LintViolation> out;
+  coherence_scan(now, stripe_mask, stripe, out);
+  if (with_dbrc) dbrc_scan(now, out);
+  for (const auto& v : out) report(v);
+  return out;
+}
+
+void CoherenceLinter::coherence_scan(Cycle now, Addr stripe_mask, Addr stripe,
+                                     std::vector<LintViolation>& out) {
+  const unsigned n = sys_->config().n_tiles;
+
+  // One pass over every L1 array collects the stripe's resident stable lines
+  // into a flat reused buffer; sorting groups the copies of each line so the
+  // sweep below sees all holders together. This runs every --verify-interval
+  // cycles, so it must not allocate or chase per-line indirections.
+  lines_buf_.clear();
+  for (unsigned t = 0; t < n; ++t) {
+    sys_->l1(t).collect_stable_lines(stripe_mask, stripe, lines_buf_);
+  }
+  std::sort(lines_buf_.begin(), lines_buf_.end(),
+            [](const protocol::L1Cache::StableLine& a,
+               const protocol::L1Cache::StableLine& b) {
+              return a.line < b.line;
+            });
+
+  for (std::size_t i = 0; i < lines_buf_.size();) {
+    const Addr line = lines_buf_[i].line;
+    unsigned owner_count = 0;   // stable M/E copies
+    unsigned sharer_count = 0;  // stable S copies
+    NodeId owner_tile = kInvalidNode;
+    bool owner_modified = false;
+    for (; i < lines_buf_.size() && lines_buf_[i].line == line; ++i) {
+      const auto& rec = lines_buf_[i];
+      if (rec.state == L1State::kM || rec.state == L1State::kE) {
+        ++owner_count;
+        owner_tile = rec.tile;
+        owner_modified = rec.state == L1State::kM;
+      } else {
+        ++sharer_count;
+      }
+    }
+
+    // R1: single writer, and no writer/reader coexistence. Stable S copies
+    // can be stale only while their Inv is in flight, and the new owner
+    // cannot have installed before that Inv was acked — so a stable M/E
+    // copy next to a stable S copy is a real protocol bug, not a race.
+    if (owner_count > 1) {
+      std::ostringstream os;
+      os << owner_count << " tiles hold an M/E copy simultaneously";
+      out.push_back(LintViolation{now, "R1-SWMR", line, os.str()});
+      continue;  // the directory cannot agree with two owners anyway
+    }
+    if (owner_count == 1 && sharer_count > 0) {
+      std::ostringstream os;
+      os << "tile " << owner_tile << " holds "
+         << (owner_modified ? "M" : "E") << " while " << sharer_count
+         << " stable S cop" << (sharer_count == 1 ? "y" : "ies") << " exist";
+      out.push_back(LintViolation{now, "R1-SWMR", line, os.str()});
+    }
+
+    const auto home = static_cast<unsigned>(line % n);
+    const auto e = sys_->directory(home).entry_of(line);
+
+    // R2: the home knows the current owner. The one legal transient: the
+    // requester of an in-flight FwdGetX installs M as soon as the data
+    // arrives, possibly before the home processed the AckRevision.
+    if (owner_count == 1) {
+      const bool known =
+          e.has_value() &&
+          ((e->owner == owner_tile &&
+            (e->state == DirState::kExclusive ||
+             e->state == DirState::kBusyShared ||
+             e->state == DirState::kBusyExcl ||
+             e->state == DirState::kBusyRecall)) ||
+           (e->state == DirState::kBusyExcl &&
+            e->fwd_requester == owner_tile));
+      if (!known) {
+        std::ostringstream os;
+        os << "tile " << owner_tile << " holds "
+           << (owner_modified ? "M" : "E")
+           << " but the home directory does not name it";
+        out.push_back(LintViolation{now, "R2-DIR-OWNER", line, os.str()});
+      }
+    }
+
+    // R3: directory well-formedness for the entries backing held lines (the
+    // busy-entry bookkeeping is already covered by TCMP_CHECKs inline).
+    if (e.has_value()) {
+      if (e->state == DirState::kShared && e->sharers == 0) {
+        out.push_back(LintViolation{now, "R3-DIR-WELLFORMED", line,
+                                    "Shared entry with an empty sharer set"});
+      }
+      if ((e->state == DirState::kExclusive ||
+           e->state == DirState::kBusyShared ||
+           e->state == DirState::kBusyExcl) &&
+          e->owner == kInvalidNode) {
+        out.push_back(LintViolation{now, "R3-DIR-WELLFORMED", line,
+                                    "owner-tracking entry without an owner"});
+      }
+    }
+  }
+}
+
+void CoherenceLinter::dbrc_scan(Cycle now, std::vector<LintViolation>& out) {
+  const auto& scheme = sys_->config().scheme;
+  if (scheme.kind != compression::SchemeKind::kDbrc || scheme.idealized_mirrors) {
+    return;  // only the conservative design has receiver state to diverge
+  }
+  const unsigned n = sys_->config().n_tiles;
+  for (unsigned src = 0; src < n; ++src) {
+    for (unsigned c = 0; c < compression::kNumMsgClasses; ++c) {
+      const auto cls = static_cast<compression::MsgClass>(c);
+      const auto* sender = dynamic_cast<const compression::DbrcSender*>(
+          &sys_->nic(src).sender(cls));
+      if (sender == nullptr) continue;
+      for (unsigned dst = 0; dst < n; ++dst) {
+        if (dst == src) continue;
+        // Only compare a pair whose stream is idle: every stamped message
+        // decoded, nothing parked in the reorder window. Otherwise an
+        // install may legitimately still be in flight.
+        if (sys_->nic(src).send_seq(cls, static_cast<NodeId>(dst)) !=
+            sys_->nic(dst).recv_seq(cls, static_cast<NodeId>(src))) {
+          continue;
+        }
+        if (!sys_->nic(dst).reorder_empty(cls, static_cast<NodeId>(src))) {
+          continue;
+        }
+        const auto* receiver = dynamic_cast<const compression::DbrcReceiver*>(
+            &sys_->nic(dst).receiver(cls));
+        if (receiver == nullptr) continue;
+        for (unsigned i = 0; i < sender->num_entries(); ++i) {
+          const auto e = sender->entry_snapshot(i);
+          if (!e.valid || ((e.dest_valid >> dst) & 1u) == 0) continue;
+          const Addr mirrored =
+              receiver->mirror_tag(static_cast<NodeId>(src), i);
+          if (mirrored != e.hi_tag) {
+            std::ostringstream os;
+            os << "class " << c << " entry " << i << ": tile " << src
+               << " believes tile " << dst << " mirrors tag 0x" << std::hex
+               << e.hi_tag << " but the mirror holds 0x" << mirrored;
+            out.push_back(LintViolation{now, "R4-DBRC-MIRROR", 0, os.str()});
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace tcmp::verify

@@ -1,0 +1,1338 @@
+#include "verify/model.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <numeric>
+#include <sstream>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace tcmp::verify {
+
+using protocol::MsgType;
+using protocol::Unit;
+
+namespace {
+
+[[nodiscard]] const char* st_name(L1St s) {
+  switch (s) {
+    case L1St::kI: return "I";
+    case L1St::kS: return "S";
+    case L1St::kE: return "E";
+    case L1St::kM: return "M";
+  }
+  return "?";
+}
+
+[[nodiscard]] const char* dir_name(DirSt s) {
+  switch (s) {
+    case DirSt::kInvalid: return "I";
+    case DirSt::kShared: return "S";
+    case DirSt::kExclusive: return "E";
+    case DirSt::kBusyShared: return "BS";
+    case DirSt::kBusyExcl: return "BX";
+    case DirSt::kBusyRecall: return "BR";
+  }
+  return "?";
+}
+
+[[nodiscard]] bool dir_busy(DirSt s) {
+  return s == DirSt::kBusyShared || s == DirSt::kBusyExcl ||
+         s == DirSt::kBusyRecall;
+}
+
+[[nodiscard]] Violation violation(std::string invariant, std::string detail) {
+  return Violation{std::move(invariant), std::move(detail)};
+}
+
+}  // namespace
+
+ProtocolModel::ProtocolModel(const Config& cfg) : cfg_(cfg) {
+  TCMP_CHECK(cfg_.n_tiles >= 2 && cfg_.n_tiles <= 8);
+  TCMP_CHECK(cfg_.n_lines >= 1 && cfg_.n_lines <= 4);
+}
+
+ModelState ProtocolModel::initial() const {
+  ModelState s;
+  s.l1.resize(static_cast<std::size_t>(cfg_.n_tiles) * cfg_.n_lines);
+  s.dir.resize(cfg_.n_lines);
+  return s;
+}
+
+unsigned ProtocolModel::outstanding(const ModelState& s) const {
+  unsigned n = 0;
+  for (const auto& l : s.l1) {
+    if (l.mshr.valid) ++n;
+    if (l.evict != EvictSt::kNone) ++n;
+  }
+  return n;
+}
+
+void ProtocolModel::push_msg(ModelState& s, ModelMsg m) const {
+  // Keep the multiset sorted so equal states serialize identically.
+  s.net.insert(std::upper_bound(s.net.begin(), s.net.end(), m), m);
+}
+
+void ProtocolModel::issue_miss(ModelState& s, std::uint8_t tile,
+                               std::uint8_t line, bool is_write,
+                               bool upgrade) const {
+  L1LineM& l = l1_at(s, tile, line);
+  l.mshr = MshrM{};
+  l.mshr.valid = true;
+  l.mshr.is_write = is_write;
+  l.mshr.upgrade = upgrade;
+  ModelMsg req;
+  req.type = upgrade ? MsgType::kUpgrade
+                     : (is_write ? MsgType::kGetX : MsgType::kGetS);
+  req.src = tile;
+  req.dst = home_of(line);
+  req.dst_unit = Unit::kDir;
+  req.line = line;
+  req.requester = tile;
+  push_msg(s, req);
+}
+
+void ProtocolModel::enabled_actions(const ModelState& s,
+                                    std::vector<Action>& out) const {
+  out.clear();
+  // Deliveries: any in-flight message, in any order (unordered network).
+  // Identical messages produce identical successors; emit one action per
+  // distinct message.
+  for (std::size_t i = 0; i < s.net.size(); ++i) {
+    if (i > 0 && s.net[i] == s.net[i - 1]) continue;
+    Action a;
+    a.kind = ActionKind::kDeliver;
+    a.msg = s.net[i];
+    out.push_back(a);
+  }
+  for (std::uint8_t line = 0; line < cfg_.n_lines; ++line) {
+    if (s.dir[line].fill_outstanding) {
+      out.push_back(Action{ActionKind::kMemFill, 0, line, {}});
+    }
+  }
+
+  const bool budget = s.net.size() < cfg_.max_msgs &&
+                      outstanding(s) < cfg_.max_outstanding;
+  if (!budget) return;
+
+  for (std::uint8_t t = 0; t < cfg_.n_tiles; ++t) {
+    for (std::uint8_t line = 0; line < cfg_.n_lines; ++line) {
+      const L1LineM& l = l1_at(s, t, line);
+      if (!l.mshr.valid && l.deferred == DeferSt::kNone) {
+        // Read: only state-changing when the line is not readable locally.
+        if (l.st == L1St::kI) {
+          out.push_back(Action{ActionKind::kRead, t, line, {}});
+        }
+        // Write: miss (I), upgrade (S) or silent E->M transition.
+        if (l.st != L1St::kM) {
+          out.push_back(Action{ActionKind::kWrite, t, line, {}});
+        }
+        if (cfg_.enable_evictions && l.st != L1St::kI &&
+            l.evict == EvictSt::kNone) {
+          out.push_back(Action{ActionKind::kEvict, t, line, {}});
+        }
+      }
+    }
+  }
+  if (cfg_.enable_recalls) {
+    for (std::uint8_t line = 0; line < cfg_.n_lines; ++line) {
+      const DirLineM& d = s.dir[line];
+      if (d.present && (d.st == DirSt::kShared || d.st == DirSt::kExclusive)) {
+        out.push_back(Action{ActionKind::kRecall, 0, line, {}});
+      }
+    }
+  }
+}
+
+std::optional<Violation> ProtocolModel::apply(ModelState& s,
+                                              const Action& a) const {
+  switch (a.kind) {
+    case ActionKind::kRead: {
+      L1LineM& l = l1_at(s, a.tile, a.line);
+      if (l.st != L1St::kI || l.mshr.valid || l.deferred != DeferSt::kNone) {
+        return violation("model", "read action on an ineligible line");
+      }
+      if (l.evict != EvictSt::kNone) {
+        l.deferred = DeferSt::kRead;  // wait for the PutAck, then reissue
+      } else {
+        issue_miss(s, a.tile, a.line, /*is_write=*/false, /*upgrade=*/false);
+      }
+      return std::nullopt;
+    }
+    case ActionKind::kWrite: {
+      L1LineM& l = l1_at(s, a.tile, a.line);
+      if (l.mshr.valid || l.deferred != DeferSt::kNone) {
+        return violation("model", "write action on an ineligible line");
+      }
+      switch (l.st) {
+        case L1St::kM:
+          return violation("model", "write hit modelled as an action");
+        case L1St::kE:
+          l.st = L1St::kM;  // silent E->M
+          return std::nullopt;
+        case L1St::kS:
+          issue_miss(s, a.tile, a.line, /*is_write=*/true, /*upgrade=*/true);
+          return std::nullopt;
+        case L1St::kI:
+          if (l.evict != EvictSt::kNone) {
+            l.deferred = DeferSt::kWrite;
+          } else {
+            issue_miss(s, a.tile, a.line, /*is_write=*/true, /*upgrade=*/false);
+          }
+          return std::nullopt;
+      }
+      return std::nullopt;
+    }
+    case ActionKind::kEvict: {
+      L1LineM& l = l1_at(s, a.tile, a.line);
+      if (l.st == L1St::kI || l.mshr.valid || l.evict != EvictSt::kNone) {
+        return violation("model", "evict action on an ineligible line");
+      }
+      if (l.st == L1St::kS) {
+        l.st = L1St::kI;  // silent: no replacement hint for shared lines
+        return std::nullopt;
+      }
+      ModelMsg put;
+      put.type = l.st == L1St::kM ? MsgType::kPutM : MsgType::kPutE;
+      put.src = a.tile;
+      put.dst = home_of(a.line);
+      put.dst_unit = Unit::kDir;
+      put.line = a.line;
+      push_msg(s, put);
+      l.evict = l.st == L1St::kM ? EvictSt::kMIA : EvictSt::kEIA;
+      l.st = L1St::kI;
+      return std::nullopt;
+    }
+    case ActionKind::kRecall: {
+      DirLineM& d = s.dir[a.line];
+      if (!d.present || (d.st != DirSt::kShared && d.st != DirSt::kExclusive)) {
+        return violation("model", "recall action on an ineligible line");
+      }
+      if (d.st == DirSt::kShared) {
+        const auto acks =
+            static_cast<std::uint8_t>(std::popcount(std::uint32_t{d.sharers}));
+        if (acks == 0) {
+          return violation("INV-SHARED-NONEMPTY",
+                           "recall of a Shared line with an empty sharer set");
+        }
+        d.recall_acks = acks;
+        if (mutated(MutationId::kDirRecallLostAck) && d.recall_acks > 1) {
+          --d.recall_acks;
+        }
+        dir_send_invs(s, a.line, d.sharers, home_of(a.line), Unit::kDir);
+        d.sharers = 0;
+      } else {
+        ModelMsg recall;
+        recall.type = MsgType::kRecall;
+        recall.src = home_of(a.line);
+        recall.dst = d.owner;
+        recall.dst_unit = Unit::kL1;
+        recall.line = a.line;
+        recall.requester = home_of(a.line);
+        push_msg(s, recall);
+      }
+      d.st = DirSt::kBusyRecall;
+      return std::nullopt;
+    }
+    case ActionKind::kMemFill: {
+      DirLineM& d = s.dir[a.line];
+      if (!d.fill_outstanding) {
+        return violation("model", "fill action without an outstanding fill");
+      }
+      d.fill_outstanding = false;
+      d.present = true;
+      d.st = DirSt::kInvalid;
+      d.sharers = 0;
+      d.owner = kNoTile;
+      d.fwd_req = kNoTile;
+      return dir_drain_pending(s, a.line, std::exchange(d.fill_pending, {}));
+    }
+    case ActionKind::kDeliver: {
+      auto it = std::find(s.net.begin(), s.net.end(), a.msg);
+      if (it == s.net.end()) {
+        return violation("model", "delivering a message not in flight");
+      }
+      const ModelMsg m = *it;
+      s.net.erase(it);
+      if (m.dst_unit == Unit::kDir) {
+        switch (m.type) {
+          case MsgType::kGetS:
+          case MsgType::kGetX:
+          case MsgType::kUpgrade:
+            return dir_handle_request(s, m);
+          case MsgType::kPutE:
+          case MsgType::kPutM:
+            return dir_handle_put(s, m);
+          case MsgType::kRevision:
+          case MsgType::kAckRevision:
+            return dir_handle_revision(s, m);
+          case MsgType::kInvAck:
+            return dir_handle_inv_ack(s, m);
+          default:
+            return violation("PROTO-ASSERT",
+                             "message type not handled by directory");
+        }
+      }
+      switch (m.type) {
+        case MsgType::kInv:
+          return l1_on_inv(s, m);
+        case MsgType::kFwdGetS:
+        case MsgType::kFwdGetX:
+        case MsgType::kRecall:
+          return l1_on_fwd(s, m);
+        case MsgType::kData:
+        case MsgType::kDataExcl:
+        case MsgType::kUpgradeAck:
+        case MsgType::kInvAck:
+          return l1_on_reply(s, m);
+        case MsgType::kPutAck:
+          return l1_on_put_ack(s, m);
+        default:
+          return violation("PROTO-ASSERT", "message type not handled by L1");
+      }
+    }
+  }
+  return violation("model", "unknown action");
+}
+
+// --- directory handlers ----------------------------------------------------
+
+void ProtocolModel::dir_send_invs(ModelState& s, std::uint8_t line,
+                                  std::uint32_t sharers, std::uint8_t collector,
+                                  Unit ack_unit) const {
+  for (unsigned n = 0; n < cfg_.n_tiles; ++n) {
+    if (((sharers >> n) & 1u) == 0) continue;
+    ModelMsg inv;
+    inv.type = MsgType::kInv;
+    inv.src = home_of(line);
+    inv.dst = static_cast<std::uint8_t>(n);
+    inv.dst_unit = Unit::kL1;
+    inv.line = line;
+    inv.requester = collector;
+    inv.ack_unit = ack_unit;
+    push_msg(s, inv);
+  }
+}
+
+std::optional<Violation> ProtocolModel::dir_handle_request(
+    ModelState& s, const ModelMsg& m) const {
+  DirLineM& d = s.dir[m.line];
+  const PendingReq pending{m.type, m.requester, m.src};
+  if (d.fill_outstanding) {
+    d.fill_pending.push_back(pending);
+    return std::nullopt;
+  }
+  if (!d.present) {
+    d.fill_outstanding = true;  // start_fill
+    d.fill_pending.push_back(pending);
+    return std::nullopt;
+  }
+  if (dir_busy(d.st)) {
+    d.pending.push_back(pending);
+    return std::nullopt;
+  }
+  return dir_request_hit(s, m);
+}
+
+std::optional<Violation> ProtocolModel::dir_request_hit(ModelState& s,
+                                                        const ModelMsg& m) const {
+  DirLineM& d = s.dir[m.line];
+  const std::uint8_t req = m.requester;
+  const auto req_bit = static_cast<std::uint16_t>(1u << req);
+
+  auto reply = [&](MsgType type, std::uint8_t acks) {
+    ModelMsg rsp;
+    rsp.type = type;
+    rsp.src = home_of(m.line);
+    rsp.dst = req;
+    rsp.dst_unit = Unit::kL1;
+    rsp.line = m.line;
+    rsp.requester = req;
+    rsp.ack_count = acks;
+    push_msg(s, rsp);
+  };
+  auto forward = [&](MsgType type) {
+    ModelMsg fwd;
+    fwd.type = type;
+    fwd.src = home_of(m.line);
+    fwd.dst = d.owner;
+    fwd.dst_unit = Unit::kL1;
+    fwd.line = m.line;
+    fwd.requester = req;
+    push_msg(s, fwd);
+  };
+
+  if (m.type == MsgType::kGetS) {
+    switch (d.st) {
+      case DirSt::kInvalid:
+        reply(MsgType::kDataExcl, 0);  // MESI: nobody else holds it
+        d.st = DirSt::kExclusive;
+        d.owner = req;
+        return std::nullopt;
+      case DirSt::kShared:
+        reply(MsgType::kData, 0);
+        d.sharers |= req_bit;
+        return std::nullopt;
+      case DirSt::kExclusive:
+        if (d.owner == req) {
+          return violation("PROTO-ASSERT", "owner re-requesting its own line");
+        }
+        forward(MsgType::kFwdGetS);
+        if (!mutated(MutationId::kDirNoBusyOnFwd)) {
+          d.st = DirSt::kBusyShared;
+        }
+        d.fwd_req = req;
+        return std::nullopt;
+      default:
+        return violation("PROTO-ASSERT", "GetS hit a busy entry");
+    }
+  }
+
+  // GetX / Upgrade.
+  switch (d.st) {
+    case DirSt::kInvalid:
+      reply(MsgType::kDataExcl, 0);
+      d.st = DirSt::kExclusive;
+      d.owner = req;
+      return std::nullopt;
+    case DirSt::kShared: {
+      std::uint32_t others = d.sharers & ~req_bit;
+      auto acks = static_cast<std::uint8_t>(std::popcount(others));
+      if (mutated(MutationId::kDirSkipLastInv) && others != 0) {
+        // Forget the highest-numbered sharer entirely: no Inv, no ack slot.
+        others &= ~std::bit_floor(others);
+        --acks;
+      }
+      std::uint8_t reported = acks;
+      if (mutated(MutationId::kDirWrongAckCount) && acks > 0) --reported;
+      if (m.type == MsgType::kUpgrade && (d.sharers & req_bit) != 0) {
+        reply(MsgType::kUpgradeAck, reported);
+      } else {
+        reply(MsgType::kDataExcl, reported);
+      }
+      dir_send_invs(s, m.line, others, req, Unit::kL1);
+      d.st = DirSt::kExclusive;
+      d.owner = req;
+      d.sharers = 0;
+      return std::nullopt;
+    }
+    case DirSt::kExclusive:
+      if (d.owner == req) {
+        return violation("PROTO-ASSERT", "owner re-requesting exclusivity");
+      }
+      forward(MsgType::kFwdGetX);
+      d.st = DirSt::kBusyExcl;
+      d.fwd_req = req;
+      return std::nullopt;
+    default:
+      return violation("PROTO-ASSERT", "GetX/Upgrade hit a busy entry");
+  }
+}
+
+std::optional<Violation> ProtocolModel::dir_handle_put(ModelState& s,
+                                                       const ModelMsg& m) const {
+  DirLineM& d = s.dir[m.line];
+  auto send_ack = [&] {
+    ModelMsg ack;
+    ack.type = MsgType::kPutAck;
+    ack.src = home_of(m.line);
+    ack.dst = m.src;
+    ack.dst_unit = Unit::kL1;
+    ack.line = m.line;
+    push_msg(s, ack);
+  };
+
+  if (!d.present) {
+    send_ack();  // stale: the line was recalled away while the Put flew
+    return std::nullopt;
+  }
+  if (d.st == DirSt::kExclusive && d.owner == m.src) {
+    d.st = DirSt::kInvalid;
+    d.owner = kNoTile;
+    send_ack();
+    return std::nullopt;
+  }
+  if (dir_busy(d.st) && d.owner == m.src) {
+    // Put crossed an in-flight forward/recall: hold the ack until the
+    // owner's (Ack)Revision resolves the busy state.
+    if (d.held_put_ack) {
+      return violation("PROTO-ASSERT", "second held PutAck on one line");
+    }
+    if (mutated(MutationId::kDirPutAckNotHeld)) {
+      send_ack();
+    } else {
+      d.held_put_ack = true;
+    }
+    return std::nullopt;
+  }
+  if (d.st == DirSt::kBusyExcl && d.fwd_req == m.src) {
+    // The new owner's writeback beat the old owner's AckRevision home
+    // (mirrors Directory::handle_put): ack now, resolve to Invalid later.
+    if (d.fwd_put) {
+      return violation("PROTO-ASSERT", "second forward-put on one line");
+    }
+    if (m.type != MsgType::kPutM) {
+      return violation("PROTO-ASSERT", "FwdGetX target evicted clean");
+    }
+    d.fwd_put = true;
+    send_ack();
+    return std::nullopt;
+  }
+  send_ack();  // stale put
+  return std::nullopt;
+}
+
+std::optional<Violation> ProtocolModel::dir_handle_revision(
+    ModelState& s, const ModelMsg& m) const {
+  DirLineM& d = s.dir[m.line];
+  if (!d.present) {
+    if (m.type != MsgType::kRevision) {
+      return violation("PROTO-ASSERT", "AckRevision echo for an absent line");
+    }
+    return std::nullopt;  // echo of a recall resolved by a crossing Put
+  }
+  const bool release_ack = d.held_put_ack;
+  const std::uint8_t old_owner = d.owner;
+  auto release = [&] {
+    if (!release_ack) return;
+    ModelMsg ack;
+    ack.type = MsgType::kPutAck;
+    ack.src = home_of(m.line);
+    ack.dst = old_owner;
+    ack.dst_unit = Unit::kL1;
+    ack.line = m.line;
+    push_msg(s, ack);
+  };
+
+  switch (d.st) {
+    case DirSt::kBusyShared: {
+      if (m.type != MsgType::kRevision) {
+        return violation("PROTO-ASSERT", "AckRevision in BusyShared");
+      }
+      d.st = DirSt::kShared;
+      d.sharers = static_cast<std::uint16_t>((1u << d.owner) | (1u << d.fwd_req));
+      d.owner = kNoTile;
+      d.held_put_ack = false;
+      release();
+      return dir_drain_pending(s, m.line, std::exchange(d.pending, {}));
+    }
+    case DirSt::kBusyExcl:
+      if (m.type != MsgType::kAckRevision) {
+        return violation("PROTO-ASSERT", "Revision in BusyExcl");
+      }
+      if (d.fwd_put) {
+        // The forward requester already wrote the line back; nobody holds it.
+        d.fwd_put = false;
+        d.st = DirSt::kInvalid;
+        d.owner = kNoTile;
+        d.fwd_req = kNoTile;
+      } else {
+        d.st = DirSt::kExclusive;
+        d.owner = d.fwd_req;
+      }
+      d.held_put_ack = false;
+      release();
+      return dir_drain_pending(s, m.line, std::exchange(d.pending, {}));
+    case DirSt::kBusyRecall:
+      if (m.type != MsgType::kRevision) {
+        return violation("PROTO-ASSERT", "AckRevision in BusyRecall");
+      }
+      if (m.src != d.owner) {
+        return violation("PROTO-ASSERT", "recall response from a non-owner");
+      }
+      d.held_put_ack = false;
+      release();
+      return dir_finish_recall(s, m.line);
+    default:
+      return violation("PROTO-ASSERT", "revision in a non-busy directory state");
+  }
+}
+
+std::optional<Violation> ProtocolModel::dir_handle_inv_ack(
+    ModelState& s, const ModelMsg& m) const {
+  DirLineM& d = s.dir[m.line];
+  if (!d.present || d.st != DirSt::kBusyRecall) {
+    return violation("PROTO-ASSERT", "stray InvAck at directory");
+  }
+  if (d.recall_acks == 0) {
+    return violation("PROTO-ASSERT", "InvAck with no recall acks pending");
+  }
+  if (--d.recall_acks == 0) return dir_finish_recall(s, m.line);
+  return std::nullopt;
+}
+
+std::optional<Violation> ProtocolModel::dir_finish_recall(
+    ModelState& s, std::uint8_t line) const {
+  DirLineM& d = s.dir[line];
+  if (d.st != DirSt::kBusyRecall) {
+    return violation("PROTO-ASSERT", "finish_recall outside BusyRecall");
+  }
+  d.present = false;
+  d.st = DirSt::kInvalid;
+  d.sharers = 0;
+  d.owner = kNoTile;
+  d.fwd_req = kNoTile;
+  d.recall_acks = 0;
+  return dir_drain_pending(s, line, std::exchange(d.pending, {}));
+}
+
+std::optional<Violation> ProtocolModel::dir_drain_pending(
+    ModelState& s, std::uint8_t line, std::vector<PendingReq> msgs) const {
+  for (const auto& p : msgs) {
+    ModelMsg m;
+    m.type = p.type;
+    m.src = p.src;
+    m.dst = home_of(line);
+    m.dst_unit = Unit::kDir;
+    m.line = line;
+    m.requester = p.requester;
+    if (auto v = dir_handle_request(s, m)) return v;
+  }
+  return std::nullopt;
+}
+
+// --- L1 handlers -----------------------------------------------------------
+
+std::optional<Violation> ProtocolModel::l1_on_inv(ModelState& s,
+                                                  const ModelMsg& m) const {
+  L1LineM& l = l1_at(s, m.dst, m.line);
+  ModelMsg ack;
+  ack.type = MsgType::kInvAck;
+  ack.src = m.dst;
+  ack.dst = m.requester;
+  ack.dst_unit = m.ack_unit;
+  ack.line = m.line;
+  ack.requester = m.requester;
+
+  if (l.st != L1St::kI) {
+    if (l.mshr.valid) {
+      // Upgrade in flight and the line just got invalidated.
+      if (!l.mshr.upgrade || l.st != L1St::kS) {
+        return violation("PROTO-ASSERT",
+                         "Inv hit a non-upgrade transaction on a held line");
+      }
+      l.mshr.upgrade = false;
+      l.st = L1St::kI;
+    } else {
+      if (l.st != L1St::kS) {
+        return violation("PROTO-ASSERT", "Inv must only reach shared copies");
+      }
+      l.st = L1St::kI;
+    }
+  } else if (l.mshr.valid) {
+    if (!l.mshr.is_write && !mutated(MutationId::kL1NoDropAfterFill)) {
+      l.mshr.drop_after_fill = true;  // IS_D: Inv overtook the Data reply
+    }
+  } else {
+    // Stale Inv for a silently evicted shared copy: still ack.
+    if (mutated(MutationId::kL1SkipStaleInvAck)) return std::nullopt;
+  }
+  push_msg(s, ack);
+  return std::nullopt;
+}
+
+std::optional<Violation> ProtocolModel::l1_service_fwd_stable(
+    ModelState& s, std::uint8_t tile, std::uint8_t line, MsgType fwd_type,
+    std::uint8_t requester) const {
+  L1LineM& l = l1_at(s, tile, line);
+  if (l.st != L1St::kM && l.st != L1St::kE) {
+    return violation("PROTO-ASSERT", "forward serviced from a non-owner state");
+  }
+  const std::uint8_t home = home_of(line);
+  switch (fwd_type) {
+    case MsgType::kFwdGetS: {
+      ModelMsg data;
+      data.type = MsgType::kData;
+      data.src = tile;
+      data.dst = requester;
+      data.dst_unit = Unit::kL1;
+      data.line = line;
+      data.requester = requester;
+      push_msg(s, data);
+      if (!mutated(MutationId::kL1DropRevision)) {
+        ModelMsg rev;
+        rev.type = MsgType::kRevision;
+        rev.src = tile;
+        rev.dst = home;
+        rev.dst_unit = Unit::kDir;
+        rev.line = line;
+        push_msg(s, rev);
+      }
+      l.st = L1St::kS;
+      return std::nullopt;
+    }
+    case MsgType::kFwdGetX: {
+      ModelMsg data;
+      data.type = MsgType::kDataExcl;
+      data.src = tile;
+      data.dst = requester;
+      data.dst_unit = Unit::kL1;
+      data.line = line;
+      data.requester = requester;
+      data.ack_count = 0;
+      push_msg(s, data);
+      ModelMsg rev;
+      rev.type = MsgType::kAckRevision;
+      rev.src = tile;
+      rev.dst = home;
+      rev.dst_unit = Unit::kDir;
+      rev.line = line;
+      push_msg(s, rev);
+      l.st = L1St::kI;
+      return std::nullopt;
+    }
+    case MsgType::kRecall: {
+      ModelMsg rev;
+      rev.type = MsgType::kRevision;
+      rev.src = tile;
+      rev.dst = home;
+      rev.dst_unit = Unit::kDir;
+      rev.line = line;
+      push_msg(s, rev);
+      l.st = L1St::kI;
+      return std::nullopt;
+    }
+    default:
+      return violation("PROTO-ASSERT", "unknown forward type");
+  }
+}
+
+void ProtocolModel::l1_service_fwd_evict(ModelState& s, std::uint8_t tile,
+                                         std::uint8_t line, MsgType fwd_type,
+                                         std::uint8_t requester) const {
+  L1LineM& l = l1_at(s, tile, line);
+  const std::uint8_t home = home_of(line);
+  if (fwd_type == MsgType::kFwdGetS) {
+    ModelMsg data;
+    data.type = MsgType::kData;
+    data.src = tile;
+    data.dst = requester;
+    data.dst_unit = Unit::kL1;
+    data.line = line;
+    data.requester = requester;
+    push_msg(s, data);
+    if (!mutated(MutationId::kL1DropRevision)) {
+      ModelMsg rev;
+      rev.type = MsgType::kRevision;
+      rev.src = tile;
+      rev.dst = home;
+      rev.dst_unit = Unit::kDir;
+      rev.line = line;
+      push_msg(s, rev);
+    }
+  } else if (fwd_type == MsgType::kFwdGetX) {
+    ModelMsg data;
+    data.type = MsgType::kDataExcl;
+    data.src = tile;
+    data.dst = requester;
+    data.dst_unit = Unit::kL1;
+    data.line = line;
+    data.requester = requester;
+    push_msg(s, data);
+    ModelMsg rev;
+    rev.type = MsgType::kAckRevision;
+    rev.src = tile;
+    rev.dst = home;
+    rev.dst_unit = Unit::kDir;
+    rev.line = line;
+    push_msg(s, rev);
+  } else {  // Recall
+    ModelMsg rev;
+    rev.type = MsgType::kRevision;
+    rev.src = tile;
+    rev.dst = home;
+    rev.dst_unit = Unit::kDir;
+    rev.line = line;
+    push_msg(s, rev);
+  }
+  l.evict = EvictSt::kIIA;
+}
+
+std::optional<Violation> ProtocolModel::l1_on_fwd(ModelState& s,
+                                                  const ModelMsg& m) const {
+  L1LineM& l = l1_at(s, m.dst, m.line);
+  if (l.st != L1St::kI) {
+    if (l.mshr.valid) {
+      // Upgrade outstanding on a shared line: park until install.
+      l.mshr.has_parked = true;
+      l.mshr.parked_type = m.type;
+      l.mshr.parked_requester = m.requester;
+      return std::nullopt;
+    }
+    return l1_service_fwd_stable(s, m.dst, m.line, m.type, m.requester);
+  }
+  if (l.evict != EvictSt::kNone) {
+    if (l.evict == EvictSt::kIIA) {
+      return violation("PROTO-ASSERT",
+                       "forward after ownership already yielded (II_A)");
+    }
+    l1_service_fwd_evict(s, m.dst, m.line, m.type, m.requester);
+    return std::nullopt;
+  }
+  if (l.mshr.valid) {
+    if (l.mshr.has_parked) {
+      return violation("PROTO-ASSERT",
+                       "home forwarded twice to a pending owner");
+    }
+    l.mshr.has_parked = true;
+    l.mshr.parked_type = m.type;
+    l.mshr.parked_requester = m.requester;
+    return std::nullopt;
+  }
+  return violation("PROTO-ASSERT", "forward to a non-owner");
+}
+
+std::optional<Violation> ProtocolModel::l1_on_reply(ModelState& s,
+                                                    const ModelMsg& m) const {
+  L1LineM& l = l1_at(s, m.dst, m.line);
+  if (!l.mshr.valid) {
+    return violation("PROTO-ASSERT", "reply without an outstanding miss");
+  }
+  MshrM& mshr = l.mshr;
+  switch (m.type) {
+    case MsgType::kData:
+      if (mshr.is_write) {
+        return violation("PROTO-ASSERT", "shared Data reply to a write miss");
+      }
+      mshr.data_received = true;
+      mshr.grant_exclusive = false;
+      if (mshr.acks_expected < 0) mshr.acks_expected = 0;
+      break;
+    case MsgType::kDataExcl:
+      mshr.data_received = true;
+      mshr.grant_exclusive = true;
+      mshr.acks_expected = static_cast<std::int8_t>(m.ack_count);
+      break;
+    case MsgType::kUpgradeAck:
+      if (!mshr.is_write) {
+        return violation("PROTO-ASSERT", "UpgradeAck to a read miss");
+      }
+      mshr.data_received = true;
+      mshr.grant_exclusive = true;
+      mshr.acks_expected = static_cast<std::int8_t>(m.ack_count);
+      break;
+    case MsgType::kInvAck:
+      ++mshr.acks_received;
+      break;
+    default:
+      return violation("PROTO-ASSERT", "unexpected reply type");
+  }
+  return l1_maybe_complete(s, m.dst, m.line);
+}
+
+std::optional<Violation> ProtocolModel::l1_maybe_complete(ModelState& s,
+                                                          std::uint8_t tile,
+                                                          std::uint8_t line) const {
+  L1LineM& l = l1_at(s, tile, line);
+  MshrM& m = l.mshr;
+  if (!m.data_received) return std::nullopt;
+  if (m.acks_expected < 0 || m.acks_received < m.acks_expected) return std::nullopt;
+  if (m.acks_received > m.acks_expected) {
+    return violation("PROTO-ASSERT", "excess invalidation acks");
+  }
+
+  const MshrM done = m;  // install may recurse through a parked forward
+  l.mshr = MshrM{};
+  // Use-once drops apply only to shared grants (mirrors install_fill): an
+  // exclusive grant can never be stale, so a pending drop flag came from an
+  // older epoch and must not discard the grant.
+  if (!done.drop_after_fill || done.grant_exclusive) {
+    l.st = done.is_write ? L1St::kM
+                         : (done.grant_exclusive ? L1St::kE : L1St::kS);
+  } else {
+    l.st = L1St::kI;  // IS_D_I: used once and dropped
+  }
+  if (done.has_parked) {
+    if (l.st == L1St::kI) {
+      return violation("PROTO-ASSERT",
+                       "parked forward requires an installed line");
+    }
+    return l1_service_fwd_stable(s, tile, line, done.parked_type,
+                                 done.parked_requester);
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> ProtocolModel::l1_on_put_ack(ModelState& s,
+                                                      const ModelMsg& m) const {
+  L1LineM& l = l1_at(s, m.dst, m.line);
+  if (l.evict == EvictSt::kNone) {
+    return violation("PROTO-ASSERT", "PutAck without an in-flight writeback");
+  }
+  l.evict = EvictSt::kNone;
+  if (l.deferred != DeferSt::kNone) {
+    const bool is_write = l.deferred == DeferSt::kWrite;
+    l.deferred = DeferSt::kNone;
+    issue_miss(s, m.dst, m.line, is_write, /*upgrade=*/false);
+  }
+  return std::nullopt;
+}
+
+// --- invariants ------------------------------------------------------------
+
+bool ProtocolModel::quiescent(const ModelState& s) const {
+  if (!s.net.empty()) return false;
+  for (const auto& l : s.l1) {
+    if (l.mshr.valid || l.evict != EvictSt::kNone || l.deferred != DeferSt::kNone)
+      return false;
+  }
+  for (const auto& d : s.dir) {
+    if (dir_busy(d.st) || !d.pending.empty() || d.fill_outstanding ||
+        !d.fill_pending.empty() || d.held_put_ack)
+      return false;
+  }
+  return true;
+}
+
+std::optional<Violation> ProtocolModel::check_deadlock(const ModelState& s) const {
+  if (quiescent(s)) return std::nullopt;
+  if (!s.net.empty()) return std::nullopt;  // a delivery can still make progress
+  for (const auto& d : s.dir) {
+    if (d.fill_outstanding) return std::nullopt;  // a fill can still arrive
+  }
+  return violation("DEADLOCK",
+                   "open transactions with no message or fill left to deliver");
+}
+
+std::optional<Violation> ProtocolModel::check_invariants(const ModelState& s) const {
+  for (std::uint8_t line = 0; line < cfg_.n_lines; ++line) {
+    const DirLineM& d = s.dir[line];
+
+    // Per-line message tallies used by several invariants.
+    unsigned invs_to_dir = 0, invacks_to_dir = 0;
+    unsigned fwd_gets = 0, fwd_getx = 0, recalls = 0, revisions = 0,
+             ack_revisions = 0;
+    for (const auto& m : s.net) {
+      if (m.line != line) continue;
+      switch (m.type) {
+        case MsgType::kInv:
+          if (m.ack_unit == Unit::kDir) ++invs_to_dir;
+          break;
+        case MsgType::kInvAck:
+          if (m.dst_unit == Unit::kDir) ++invacks_to_dir;
+          break;
+        case MsgType::kFwdGetS: ++fwd_gets; break;
+        case MsgType::kFwdGetX: ++fwd_getx; break;
+        case MsgType::kRecall: ++recalls; break;
+        case MsgType::kRevision: ++revisions; break;
+        case MsgType::kAckRevision: ++ack_revisions; break;
+        default: break;
+      }
+    }
+    auto parked_somewhere = [&](MsgType t) {
+      for (unsigned tile = 0; tile < cfg_.n_tiles; ++tile) {
+        const MshrM& m = l1_at(s, tile, line).mshr;
+        if (m.valid && m.has_parked && m.parked_type == t) return true;
+      }
+      return false;
+    };
+
+    // INV-SWMR: at most one stable M/E copy, never alongside stable S.
+    unsigned owners = 0, sharers_held = 0;
+    std::uint8_t owner_tile = kNoTile;
+    for (std::uint8_t t = 0; t < cfg_.n_tiles; ++t) {
+      const L1St st = l1_at(s, t, line).st;
+      if (st == L1St::kM || st == L1St::kE) {
+        ++owners;
+        owner_tile = t;
+      } else if (st == L1St::kS) {
+        ++sharers_held;
+      }
+    }
+    if (owners > 1) {
+      return violation("INV-SWMR", "two stable M/E copies of line " +
+                                       std::to_string(line));
+    }
+    if (owners == 1 && sharers_held > 0) {
+      return violation("INV-SWMR", "stable M/E copy alongside stable S on line " +
+                                       std::to_string(line));
+    }
+
+    // INV-DIR-OWNER: a stable M/E holder is known to the directory.
+    if (owners == 1) {
+      const bool known =
+          d.present &&
+          ((d.st == DirSt::kExclusive && d.owner == owner_tile) ||
+           (d.st == DirSt::kBusyShared && d.owner == owner_tile) ||
+           (d.st == DirSt::kBusyRecall && d.owner == owner_tile) ||
+           (d.st == DirSt::kBusyExcl &&
+            (d.owner == owner_tile || d.fwd_req == owner_tile)));
+      if (!known) {
+        return violation("INV-DIR-OWNER",
+                         "tile " + std::to_string(owner_tile) +
+                             " holds M/E of line " + std::to_string(line) +
+                             " unknown to the directory");
+      }
+    }
+
+    // INV-SHARER-LISTED: every stable S holder is listed, is an in-flight
+    // invalidation target, is a party of the BusyShared handoff, or holds a
+    // granted-but-uninstalled upgrade (the line stays S until the UpgradeAck
+    // and every InvAck arrive, while the directory already names it owner).
+    for (std::uint8_t t = 0; t < cfg_.n_tiles; ++t) {
+      const L1LineM& holder = l1_at(s, t, line);
+      if (holder.st != L1St::kS) continue;
+      bool inv_in_flight = false;
+      for (const auto& m : s.net) {
+        if (m.type == MsgType::kInv && m.line == line && m.dst == t) {
+          inv_in_flight = true;
+          break;
+        }
+      }
+      const bool upgrading = holder.mshr.valid && holder.mshr.is_write;
+      const bool listed =
+          d.present && (((d.sharers >> t) & 1u) != 0 ||
+                        (d.st == DirSt::kBusyShared &&
+                         (d.owner == t || d.fwd_req == t)));
+      if (!listed && !inv_in_flight && !upgrading) {
+        return violation("INV-SHARER-LISTED",
+                         "tile " + std::to_string(t) + " holds S of line " +
+                             std::to_string(line) +
+                             " unknown to the directory");
+      }
+    }
+
+    // INV-SHARED-NONEMPTY: a Shared entry always lists at least one sharer.
+    if (d.present && d.st == DirSt::kShared && d.sharers == 0) {
+      return violation("INV-SHARED-NONEMPTY",
+                       "Shared entry with empty sharer set on line " +
+                           std::to_string(line));
+    }
+
+    // INV-BUSY-COMPLETION: every busy entry has a completion in flight.
+    if (d.present) {
+      switch (d.st) {
+        case DirSt::kBusyShared:
+          if (fwd_gets == 0 && revisions == 0 &&
+              !parked_somewhere(MsgType::kFwdGetS)) {
+            return violation("INV-BUSY-COMPLETION",
+                             "BusyShared with no FwdGetS/Revision pending on "
+                             "line " + std::to_string(line));
+          }
+          break;
+        case DirSt::kBusyExcl:
+          if (fwd_getx == 0 && ack_revisions == 0 &&
+              !parked_somewhere(MsgType::kFwdGetX)) {
+            return violation("INV-BUSY-COMPLETION",
+                             "BusyExcl with no FwdGetX/AckRevision pending on "
+                             "line " + std::to_string(line));
+          }
+          break;
+        case DirSt::kBusyRecall:
+          if (d.recall_acks > 0) {
+            if (invs_to_dir + invacks_to_dir != d.recall_acks) {
+              return violation(
+                  "INV-BUSY-COMPLETION",
+                  "BusyRecall expects " + std::to_string(d.recall_acks) +
+                      " acks but " +
+                      std::to_string(invs_to_dir + invacks_to_dir) +
+                      " invalidations are in flight on line " +
+                      std::to_string(line));
+            }
+          } else if (recalls == 0 && revisions == 0 &&
+                     !parked_somewhere(MsgType::kRecall)) {
+            return violation("INV-BUSY-COMPLETION",
+                             "BusyRecall with no Recall/Revision pending on "
+                             "line " + std::to_string(line));
+          }
+          break;
+        default:
+          break;
+      }
+    }
+
+    // INV-MSHR-ACKS: invalidation-ack accounting per collecting requester.
+    for (std::uint8_t t = 0; t < cfg_.n_tiles; ++t) {
+      const MshrM& m = l1_at(s, t, line).mshr;
+      if (!m.valid) continue;
+      unsigned acks_in_flight = 0, invs_for_t = 0;
+      int reply_acks = -1;
+      for (const auto& msg : s.net) {
+        if (msg.line != line) continue;
+        if (msg.type == MsgType::kInvAck && msg.dst_unit == Unit::kL1 &&
+            msg.dst == t) {
+          ++acks_in_flight;
+        } else if (msg.type == MsgType::kInv && msg.ack_unit == Unit::kL1 &&
+                   msg.requester == t) {
+          ++invs_for_t;
+        } else if ((msg.type == MsgType::kDataExcl ||
+                    msg.type == MsgType::kUpgradeAck) &&
+                   msg.dst == t) {
+          reply_acks = msg.ack_count;
+        }
+      }
+      const unsigned have = m.acks_received + acks_in_flight + invs_for_t;
+      const int expected = m.acks_expected >= 0 ? m.acks_expected
+                           : reply_acks >= 0    ? reply_acks
+                                                : 0;
+      if (have != static_cast<unsigned>(expected)) {
+        return violation("INV-MSHR-ACKS",
+                         "tile " + std::to_string(t) + " line " +
+                             std::to_string(line) + ": " +
+                             std::to_string(have) +
+                             " invalidation acks accounted, " +
+                             std::to_string(expected) + " expected");
+      }
+    }
+
+    // INV-EVICT-PUT: an eviction-buffer entry always has its Put, the held
+    // ack at the home, or the PutAck in flight.
+    for (std::uint8_t t = 0; t < cfg_.n_tiles; ++t) {
+      if (l1_at(s, t, line).evict == EvictSt::kNone) continue;
+      bool put_or_ack = d.present && d.held_put_ack && d.owner == t;
+      for (const auto& msg : s.net) {
+        if (msg.line != line) continue;
+        if ((msg.type == MsgType::kPutE || msg.type == MsgType::kPutM) &&
+            msg.src == t) {
+          put_or_ack = true;
+        }
+        if (msg.type == MsgType::kPutAck && msg.dst == t) put_or_ack = true;
+      }
+      if (!put_or_ack) {
+        return violation("INV-EVICT-PUT",
+                         "tile " + std::to_string(t) +
+                             " has a writeback of line " +
+                             std::to_string(line) +
+                             " with no Put/PutAck in flight");
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+// --- canonicalization ------------------------------------------------------
+
+namespace {
+void put8(std::string& out, std::uint8_t v) { out.push_back(static_cast<char>(v)); }
+void put16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>(v >> 8));
+}
+}  // namespace
+
+std::string ProtocolModel::serialize_permuted(
+    const ModelState& s, const std::vector<std::uint8_t>& perm) const {
+  // perm maps old tile id -> new tile id.
+  auto p = [&](std::uint8_t t) { return t == kNoTile ? kNoTile : perm[t]; };
+  auto p_sharers = [&](std::uint16_t bits) {
+    std::uint16_t out = 0;
+    for (unsigned t = 0; t < cfg_.n_tiles; ++t) {
+      if ((bits >> t) & 1u) out |= static_cast<std::uint16_t>(1u << perm[t]);
+    }
+    return out;
+  };
+  std::string out;
+  out.reserve(16 * s.l1.size() + 32 * s.dir.size() + 8 * s.net.size() + 8);
+
+  // L1 rows in NEW tile order.
+  std::vector<std::uint8_t> inv(cfg_.n_tiles);
+  for (unsigned t = 0; t < cfg_.n_tiles; ++t) inv[perm[t]] = static_cast<std::uint8_t>(t);
+  for (unsigned nt = 0; nt < cfg_.n_tiles; ++nt) {
+    const unsigned old_t = inv[nt];
+    for (unsigned line = 0; line < cfg_.n_lines; ++line) {
+      const L1LineM& l = l1_at(s, old_t, line);
+      put8(out, static_cast<std::uint8_t>(l.st));
+      put8(out, static_cast<std::uint8_t>(l.evict));
+      put8(out, static_cast<std::uint8_t>(l.deferred));
+      const MshrM& m = l.mshr;
+      put8(out, static_cast<std::uint8_t>(
+                    (m.valid ? 1 : 0) | (m.is_write ? 2 : 0) |
+                    (m.upgrade ? 4 : 0) | (m.data_received ? 8 : 0) |
+                    (m.grant_exclusive ? 16 : 0) |
+                    (m.drop_after_fill ? 32 : 0) | (m.has_parked ? 64 : 0)));
+      put8(out, static_cast<std::uint8_t>(m.acks_expected + 1));
+      put8(out, m.acks_received);
+      put8(out, static_cast<std::uint8_t>(m.parked_type));
+      put8(out, m.valid && m.has_parked ? p(m.parked_requester) : kNoTile);
+    }
+  }
+  for (const auto& d : s.dir) {
+    put8(out, static_cast<std::uint8_t>((d.present ? 1 : 0) |
+                                        (d.held_put_ack ? 2 : 0) |
+                                        (d.fill_outstanding ? 4 : 0) |
+                                        (d.fwd_put ? 8 : 0)));
+    put8(out, static_cast<std::uint8_t>(d.st));
+    put16(out, p_sharers(d.sharers));
+    put8(out, p(d.owner));
+    put8(out, p(d.fwd_req));
+    put8(out, d.recall_acks);
+    put8(out, static_cast<std::uint8_t>(d.pending.size()));
+    for (const auto& q : d.pending) {
+      put8(out, static_cast<std::uint8_t>(q.type));
+      put8(out, p(q.requester));
+      put8(out, p(q.src));
+    }
+    put8(out, static_cast<std::uint8_t>(d.fill_pending.size()));
+    for (const auto& q : d.fill_pending) {
+      put8(out, static_cast<std::uint8_t>(q.type));
+      put8(out, p(q.requester));
+      put8(out, p(q.src));
+    }
+  }
+  // Messages: permute endpoints, then sort for multiset canonical order.
+  std::vector<std::array<std::uint8_t, 8>> msgs;
+  msgs.reserve(s.net.size());
+  for (const auto& m : s.net) {
+    msgs.push_back({static_cast<std::uint8_t>(m.type), p(m.src), p(m.dst),
+                    static_cast<std::uint8_t>(m.dst_unit),
+                    static_cast<std::uint8_t>(m.ack_unit), m.line,
+                    p(m.requester), m.ack_count});
+  }
+  std::sort(msgs.begin(), msgs.end());
+  put8(out, static_cast<std::uint8_t>(msgs.size()));
+  for (const auto& m : msgs) out.append(m.begin(), m.end());
+  return out;
+}
+
+void ProtocolModel::permutations(std::vector<std::vector<std::uint8_t>>& out) const {
+  // Permute only tiles that are not the home of any line: homes are pinned
+  // by the address-interleaving function, free tiles are interchangeable.
+  std::vector<bool> is_home(cfg_.n_tiles, false);
+  for (unsigned line = 0; line < cfg_.n_lines; ++line) is_home[home_of(static_cast<std::uint8_t>(line))] = true;
+  std::vector<std::uint8_t> free_tiles;
+  for (unsigned t = 0; t < cfg_.n_tiles; ++t) {
+    if (!is_home[t]) free_tiles.push_back(static_cast<std::uint8_t>(t));
+  }
+  std::vector<std::uint8_t> target = free_tiles;
+  out.clear();
+  do {
+    std::vector<std::uint8_t> perm(cfg_.n_tiles);
+    std::iota(perm.begin(), perm.end(), 0);
+    for (std::size_t i = 0; i < free_tiles.size(); ++i) {
+      perm[free_tiles[i]] = target[i];
+    }
+    out.push_back(std::move(perm));
+  } while (std::next_permutation(target.begin(), target.end()));
+}
+
+std::string ProtocolModel::serialize(const ModelState& s) const {
+  std::vector<std::uint8_t> identity(cfg_.n_tiles);
+  std::iota(identity.begin(), identity.end(), 0);
+  return serialize_permuted(s, identity);
+}
+
+std::string ProtocolModel::canonical_key(const ModelState& s) const {
+  std::vector<std::vector<std::uint8_t>> perms;
+  permutations(perms);
+  std::string best = serialize_permuted(s, perms[0]);
+  for (std::size_t i = 1; i < perms.size(); ++i) {
+    std::string cand = serialize_permuted(s, perms[i]);
+    if (cand < best) best = std::move(cand);
+  }
+  return best;
+}
+
+void ProtocolModel::canonicalize(ModelState& s) const {
+  std::vector<std::vector<std::uint8_t>> perms;
+  permutations(perms);
+  if (perms.size() == 1) return;
+  std::size_t best_idx = 0;
+  std::string best = serialize_permuted(s, perms[0]);
+  for (std::size_t i = 1; i < perms.size(); ++i) {
+    std::string cand = serialize_permuted(s, perms[i]);
+    if (cand < best) {
+      best = std::move(cand);
+      best_idx = i;
+    }
+  }
+  const auto& perm = perms[best_idx];
+  auto p = [&](std::uint8_t t) { return t == kNoTile ? kNoTile : perm[t]; };
+
+  ModelState ns = s;
+  for (unsigned t = 0; t < cfg_.n_tiles; ++t) {
+    for (unsigned line = 0; line < cfg_.n_lines; ++line) {
+      L1LineM l = l1_at(s, t, line);
+      if (l.mshr.has_parked) l.mshr.parked_requester = p(l.mshr.parked_requester);
+      l1_at(ns, perm[t], line) = l;
+    }
+  }
+  for (auto& d : ns.dir) {
+    std::uint16_t bits = 0;
+    for (unsigned t = 0; t < cfg_.n_tiles; ++t) {
+      if ((d.sharers >> t) & 1u) bits |= static_cast<std::uint16_t>(1u << perm[t]);
+    }
+    d.sharers = bits;
+    d.owner = p(d.owner);
+    d.fwd_req = p(d.fwd_req);
+    for (auto& q : d.pending) {
+      q.requester = p(q.requester);
+      q.src = p(q.src);
+    }
+    for (auto& q : d.fill_pending) {
+      q.requester = p(q.requester);
+      q.src = p(q.src);
+    }
+  }
+  for (auto& m : ns.net) {
+    m.src = p(m.src);
+    m.dst = p(m.dst);
+    m.requester = p(m.requester);
+  }
+  std::sort(ns.net.begin(), ns.net.end());
+  s = std::move(ns);
+}
+
+// --- pretty printing -------------------------------------------------------
+
+std::string ProtocolModel::describe(const Action& a) const {
+  std::ostringstream os;
+  switch (a.kind) {
+    case ActionKind::kRead:
+      os << "core T" << unsigned{a.tile} << " reads line " << unsigned{a.line};
+      break;
+    case ActionKind::kWrite:
+      os << "core T" << unsigned{a.tile} << " writes line " << unsigned{a.line};
+      break;
+    case ActionKind::kEvict:
+      os << "L1 T" << unsigned{a.tile} << " evicts line " << unsigned{a.line};
+      break;
+    case ActionKind::kRecall:
+      os << "L2 home T" << unsigned{home_of(a.line)} << " recalls line "
+         << unsigned{a.line};
+      break;
+    case ActionKind::kMemFill:
+      os << "memory fill for line " << unsigned{a.line} << " arrives";
+      break;
+    case ActionKind::kDeliver: {
+      const ModelMsg& m = a.msg;
+      os << "deliver " << protocol::to_string(m.type) << " T" << unsigned{m.src}
+         << "->T" << unsigned{m.dst}
+         << (m.dst_unit == Unit::kDir ? "(dir)" : "(L1)") << " line "
+         << unsigned{m.line};
+      if (m.type == MsgType::kDataExcl || m.type == MsgType::kUpgradeAck) {
+        os << " acks=" << unsigned{m.ack_count};
+      }
+      break;
+    }
+  }
+  return os.str();
+}
+
+std::string ProtocolModel::summarize(const ModelState& s) const {
+  std::ostringstream os;
+  for (unsigned line = 0; line < cfg_.n_lines; ++line) {
+    os << "line " << line << ": L1[";
+    for (unsigned t = 0; t < cfg_.n_tiles; ++t) {
+      const L1LineM& l = l1_at(s, t, line);
+      if (t != 0) os << ' ';
+      os << st_name(l.st);
+      if (l.mshr.valid) os << '*';
+      if (l.evict != EvictSt::kNone) os << '~';
+    }
+    const DirLineM& d = s.dir[line];
+    os << "] dir=" << (d.present ? dir_name(d.st) : "-");
+    if (d.present && d.sharers != 0) {
+      os << " sharers=0x" << std::hex << d.sharers << std::dec;
+    }
+    if (d.present && d.owner != kNoTile) os << " owner=T" << unsigned{d.owner};
+    if (!d.pending.empty()) os << " pending=" << d.pending.size();
+    if (d.fill_outstanding) os << " fill";
+    os << "  ";
+  }
+  os << "| " << s.net.size() << " msg in flight";
+  return os.str();
+}
+
+}  // namespace tcmp::verify

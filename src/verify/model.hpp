@@ -1,0 +1,267 @@
+// Value-semantic model of the directory MESI protocol for exhaustive model
+// checking. The model mirrors the transition logic of protocol::L1Cache and
+// protocol::Directory (same message vocabulary, same transient states, same
+// race resolutions: parked forwards, eviction-buffer interventions, held
+// PutAcks, recall/fill interleavings) but collapses all latencies: the
+// network is a multiset of in-flight messages delivered in arbitrary order,
+// which over-approximates every ordering the mesh + per-class reorder logic
+// can produce, so any safety property proven here holds for the simulator's
+// orderings too.
+//
+// Deliberate simplifications (documented in docs/verification.md):
+//   * no data versions (SWMR + the ack/completion accounting invariants are
+//     the data-safety proxies);
+//   * L1/L2 capacity conflicts are modelled as spontaneous actions
+//     (Evict / Recall) instead of set-indexed arrays, which covers the same
+//     protocol paths for any workload;
+//   * GetInstr and PartialReply are outside the directory protocol and are
+//     excluded.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "protocol/coherence_msg.hpp"
+#include "verify/mutation.hpp"
+
+namespace tcmp::verify {
+
+inline constexpr std::uint8_t kNoTile = 0xff;
+
+/// Stable L1 states (the model adds I explicitly; the simulator encodes I as
+/// absence from the array).
+enum class L1St : std::uint8_t { kI = 0, kS, kE, kM };
+
+/// Writeback in flight, mirroring L1Cache::EvictState (+ none).
+enum class EvictSt : std::uint8_t { kNone = 0, kMIA, kEIA, kIIA };
+
+/// Miss deferred behind an in-flight writeback of the same line.
+enum class DeferSt : std::uint8_t { kNone = 0, kRead, kWrite };
+
+/// Directory entry state, mirroring protocol::DirState.
+enum class DirSt : std::uint8_t {
+  kInvalid = 0,
+  kShared,
+  kExclusive,
+  kBusyShared,
+  kBusyExcl,
+  kBusyRecall,
+};
+
+/// In-flight message. The network is an unordered multiset of these.
+struct ModelMsg {
+  protocol::MsgType type = protocol::MsgType::kGetS;
+  std::uint8_t src = kNoTile;
+  std::uint8_t dst = kNoTile;
+  protocol::Unit dst_unit = protocol::Unit::kDir;
+  protocol::Unit ack_unit = protocol::Unit::kL1;  ///< on Inv: InvAck target
+  std::uint8_t line = 0;
+  std::uint8_t requester = kNoTile;
+  std::uint8_t ack_count = 0;
+
+  friend bool operator==(const ModelMsg&, const ModelMsg&) = default;
+  friend auto operator<=>(const ModelMsg&, const ModelMsg&) = default;
+};
+
+/// MSHR, mirroring L1Cache::Mshr (minus versions / partial replies).
+struct MshrM {
+  bool valid = false;
+  bool is_write = false;
+  bool upgrade = false;
+  bool data_received = false;
+  bool grant_exclusive = false;
+  bool drop_after_fill = false;
+  std::int8_t acks_expected = -1;
+  std::uint8_t acks_received = 0;
+  bool has_parked = false;
+  protocol::MsgType parked_type = protocol::MsgType::kFwdGetS;
+  std::uint8_t parked_requester = kNoTile;
+
+  friend bool operator==(const MshrM&, const MshrM&) = default;
+};
+
+struct L1LineM {
+  L1St st = L1St::kI;
+  MshrM mshr;
+  EvictSt evict = EvictSt::kNone;
+  DeferSt deferred = DeferSt::kNone;
+
+  friend bool operator==(const L1LineM&, const L1LineM&) = default;
+};
+
+/// Request parked at the home (busy-line queue or outstanding-fill queue).
+struct PendingReq {
+  protocol::MsgType type = protocol::MsgType::kGetS;
+  std::uint8_t requester = kNoTile;
+  std::uint8_t src = kNoTile;  ///< sender (PutE/PutM identify the owner by src)
+
+  friend bool operator==(const PendingReq&, const PendingReq&) = default;
+};
+
+struct DirLineM {
+  bool present = true;  ///< false after a completed recall (line only in memory)
+  DirSt st = DirSt::kInvalid;
+  std::uint16_t sharers = 0;
+  std::uint8_t owner = kNoTile;
+  std::uint8_t fwd_req = kNoTile;
+  bool held_put_ack = false;
+  /// BusyExcl: the forward requester's writeback already arrived, so the
+  /// AckRevision resolves the entry to Invalid (mirrors DirEntry::fwd_put).
+  bool fwd_put = false;
+  std::uint8_t recall_acks = 0;
+  std::vector<PendingReq> pending;  ///< FIFO while the line is busy
+  bool fill_outstanding = false;
+  std::vector<PendingReq> fill_pending;  ///< FIFO while the fill is in flight
+
+  friend bool operator==(const DirLineM&, const DirLineM&) = default;
+};
+
+struct ModelState {
+  std::vector<L1LineM> l1;   ///< [tile * n_lines + line]
+  std::vector<DirLineM> dir; ///< [line]
+  std::vector<ModelMsg> net; ///< kept sorted (canonical multiset order)
+
+  friend bool operator==(const ModelState&, const ModelState&) = default;
+};
+
+enum class ActionKind : std::uint8_t {
+  kRead,     ///< core read miss at (tile, line)
+  kWrite,    ///< core write (miss, upgrade, or silent E->M) at (tile, line)
+  kEvict,    ///< L1 capacity eviction of a stable line at (tile, line)
+  kRecall,   ///< L2 capacity eviction of (line) at its home
+  kMemFill,  ///< off-chip fill for (line) arrives at its home
+  kDeliver,  ///< deliver one in-flight message
+};
+
+struct Action {
+  ActionKind kind = ActionKind::kRead;
+  std::uint8_t tile = 0;
+  std::uint8_t line = 0;
+  ModelMsg msg;  ///< kDeliver only
+};
+
+struct Violation {
+  std::string invariant;  ///< short invariant / assertion identifier
+  std::string detail;
+};
+
+class ProtocolModel {
+ public:
+  struct Config {
+    unsigned n_tiles = 2;
+    unsigned n_lines = 1;
+    /// Stimulus actions (reads/writes/evictions/recalls) are disabled once
+    /// this many messages are in flight; protocol-internal sends may exceed
+    /// it transiently. Bounds the exploration, not the protocol.
+    unsigned max_msgs = 8;
+    /// Global cap on concurrent open transactions (MSHRs + eviction-buffer
+    /// entries); stimulus actions are disabled at the cap.
+    unsigned max_outstanding = 4;
+    bool enable_evictions = true;
+    bool enable_recalls = true;
+    MutationId mutation = MutationId::kNone;
+  };
+
+  explicit ProtocolModel(const Config& cfg);
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
+  [[nodiscard]] ModelState initial() const;
+  [[nodiscard]] std::uint8_t home_of(std::uint8_t line) const {
+    return static_cast<std::uint8_t>(line % cfg_.n_tiles);
+  }
+
+  /// All enabled actions in `s` (stimuli respect the exploration bounds;
+  /// deliveries and fills are always enabled when their trigger exists).
+  void enabled_actions(const ModelState& s, std::vector<Action>& out) const;
+
+  /// Apply `a` to `s` in place. Returns a violation when a protocol
+  /// assertion (the model twin of a TCMP_CHECK in the simulator) fires.
+  [[nodiscard]] std::optional<Violation> apply(ModelState& s, const Action& a) const;
+
+  /// Global safety invariants, checked on every reachable state.
+  [[nodiscard]] std::optional<Violation> check_invariants(const ModelState& s) const;
+
+  /// Nothing in flight, no open transactions anywhere.
+  [[nodiscard]] bool quiescent(const ModelState& s) const;
+
+  /// Deadlock: open transactions exist but no message / fill can ever
+  /// resolve them (a completion was lost).
+  [[nodiscard]] std::optional<Violation> check_deadlock(const ModelState& s) const;
+
+  [[nodiscard]] std::string describe(const Action& a) const;
+  [[nodiscard]] std::string summarize(const ModelState& s) const;
+
+  // --- canonicalization (tile-permutation symmetry reduction) ---
+
+  /// Serialized state under the identity permutation.
+  [[nodiscard]] std::string serialize(const ModelState& s) const;
+  /// Lexicographically smallest serialization over all tile permutations
+  /// that fix every line's home tile. Two states that differ only by a
+  /// renaming of non-home tiles share a canonical key.
+  [[nodiscard]] std::string canonical_key(const ModelState& s) const;
+  /// Rewrite `s` into its canonical representative (the permutation whose
+  /// serialization is the canonical key).
+  void canonicalize(ModelState& s) const;
+
+ private:
+  [[nodiscard]] L1LineM& l1_at(ModelState& s, unsigned tile, unsigned line) const {
+    return s.l1[tile * cfg_.n_lines + line];
+  }
+  [[nodiscard]] const L1LineM& l1_at(const ModelState& s, unsigned tile,
+                                     unsigned line) const {
+    return s.l1[tile * cfg_.n_lines + line];
+  }
+  [[nodiscard]] bool mutated(MutationId id) const { return cfg_.mutation == id; }
+  [[nodiscard]] unsigned outstanding(const ModelState& s) const;
+
+  void push_msg(ModelState& s, ModelMsg m) const;
+  void issue_miss(ModelState& s, std::uint8_t tile, std::uint8_t line,
+                  bool is_write, bool upgrade) const;
+
+  // Directory-side handlers (mirror directory.cpp).
+  [[nodiscard]] std::optional<Violation> dir_handle_request(ModelState& s,
+                                                            const ModelMsg& m) const;
+  [[nodiscard]] std::optional<Violation> dir_request_hit(ModelState& s,
+                                                          const ModelMsg& m) const;
+  [[nodiscard]] std::optional<Violation> dir_handle_put(ModelState& s,
+                                                         const ModelMsg& m) const;
+  [[nodiscard]] std::optional<Violation> dir_handle_revision(ModelState& s,
+                                                              const ModelMsg& m) const;
+  [[nodiscard]] std::optional<Violation> dir_handle_inv_ack(ModelState& s,
+                                                             const ModelMsg& m) const;
+  [[nodiscard]] std::optional<Violation> dir_finish_recall(ModelState& s,
+                                                            std::uint8_t line) const;
+  [[nodiscard]] std::optional<Violation> dir_drain_pending(
+      ModelState& s, std::uint8_t line, std::vector<PendingReq> msgs) const;
+  void dir_send_invs(ModelState& s, std::uint8_t line, std::uint32_t sharers,
+                     std::uint8_t collector, protocol::Unit ack_unit) const;
+
+  // L1-side handlers (mirror l1_cache.cpp).
+  [[nodiscard]] std::optional<Violation> l1_on_inv(ModelState& s,
+                                                    const ModelMsg& m) const;
+  [[nodiscard]] std::optional<Violation> l1_on_fwd(ModelState& s,
+                                                    const ModelMsg& m) const;
+  [[nodiscard]] std::optional<Violation> l1_on_reply(ModelState& s,
+                                                      const ModelMsg& m) const;
+  [[nodiscard]] std::optional<Violation> l1_on_put_ack(ModelState& s,
+                                                        const ModelMsg& m) const;
+  [[nodiscard]] std::optional<Violation> l1_service_fwd_stable(
+      ModelState& s, std::uint8_t tile, std::uint8_t line,
+      protocol::MsgType fwd_type, std::uint8_t requester) const;
+  void l1_service_fwd_evict(ModelState& s, std::uint8_t tile, std::uint8_t line,
+                            protocol::MsgType fwd_type,
+                            std::uint8_t requester) const;
+  [[nodiscard]] std::optional<Violation> l1_maybe_complete(ModelState& s,
+                                                            std::uint8_t tile,
+                                                            std::uint8_t line) const;
+
+  void permutations(std::vector<std::vector<std::uint8_t>>& out) const;
+  [[nodiscard]] std::string serialize_permuted(
+      const ModelState& s, const std::vector<std::uint8_t>& perm) const;
+
+  Config cfg_;
+};
+
+}  // namespace tcmp::verify

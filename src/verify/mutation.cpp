@@ -1,0 +1,66 @@
+#include "verify/mutation.hpp"
+
+#include <cstdlib>
+
+namespace tcmp::verify {
+
+const std::vector<MutationInfo>& all_mutations() {
+  static const std::vector<MutationInfo> table = {
+      {MutationId::kL1SkipStaleInvAck, "l1-skip-stale-inv-ack",
+       MutationTarget::kModel,
+       "L1 drops the InvAck when an Inv arrives for a line it no longer holds"},
+      {MutationId::kL1NoDropAfterFill, "l1-no-drop-after-fill",
+       MutationTarget::kModel,
+       "Inv overtaking a Data reply (IS_D) does not mark the fill use-once"},
+      {MutationId::kL1DropRevision, "l1-drop-revision", MutationTarget::kModel,
+       "owner services a FwdGetS but never sends the Revision to the home"},
+      {MutationId::kDirSkipLastInv, "dir-skip-last-inv", MutationTarget::kModel,
+       "GetX grant from Shared skips the Inv to the highest-numbered sharer"},
+      {MutationId::kDirWrongAckCount, "dir-wrong-ack-count",
+       MutationTarget::kModel,
+       "exclusive grant reports one inv-ack fewer than the Invs actually sent"},
+      {MutationId::kDirNoBusyOnFwd, "dir-no-busy-on-fwd", MutationTarget::kModel,
+       "GetS intervention leaves the entry Exclusive instead of BusyShared"},
+      {MutationId::kDirPutAckNotHeld, "dir-putack-not-held",
+       MutationTarget::kModel,
+       "a Put crossing an in-flight forward is acked immediately, not held"},
+      {MutationId::kDirRecallLostAck, "dir-recall-lost-ack",
+       MutationTarget::kModel,
+       "recall of a Shared line expects one InvAck fewer than sharers exist"},
+      {MutationId::kDbrcReceiverNoInstall, "dbrc-receiver-no-install",
+       MutationTarget::kDbrc,
+       "DBRC receiver mirror ignores install/update messages"},
+      {MutationId::kDbrcFalseHit, "dbrc-false-hit", MutationTarget::kDbrc,
+       "DBRC sender emits a compressed index to a destination whose mirror "
+       "was never installed"},
+      {MutationId::kWireSizeWrongEntry, "wire-size-wrong-entry",
+       MutationTarget::kWire,
+       "UpgradeAck modelled at 3 bytes on the wire instead of 11"},
+  };
+  return table;
+}
+
+std::optional<MutationInfo> find_mutation(const std::string& key) {
+  for (const auto& m : all_mutations()) {
+    if (key == m.name) return m;
+  }
+  // Numeric form: the MutationId value as printed by --list-mutations.
+  char* end = nullptr;
+  const long v = std::strtol(key.c_str(), &end, 10);
+  if (end != nullptr && *end == '\0' && !key.empty()) {
+    for (const auto& m : all_mutations()) {
+      if (static_cast<long>(m.id) == v) return m;
+    }
+  }
+  return std::nullopt;
+}
+
+const char* to_string(MutationId id) {
+  if (id == MutationId::kNone) return "none";
+  for (const auto& m : all_mutations()) {
+    if (m.id == id) return m.name;
+  }
+  return "?";
+}
+
+}  // namespace tcmp::verify

@@ -1,0 +1,51 @@
+// Mutation registry for the protocol-verification harness: each entry is a
+// deliberately introduced protocol bug, switchable at runtime, that one of
+// the checkers (model checker, DBRC conformance check, wire-size check) must
+// catch. A mutation the suite does NOT catch means the safety net has a hole
+// — `tcmpcheck --mutate all` fails CI in that case.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tcmp::verify {
+
+enum class MutationId : std::uint8_t {
+  kNone = 0,
+  // --- model-checker mutations (protocol state machines) ---
+  kL1SkipStaleInvAck,   ///< L1 drops the InvAck when an Inv finds no copy
+  kL1NoDropAfterFill,   ///< Inv during IS_D does not mark the fill use-once
+  kL1DropRevision,      ///< FwdGetS serviced without sending the Revision
+  kDirSkipLastInv,      ///< GetX grant forgets the Inv to the highest sharer
+  kDirWrongAckCount,    ///< grant reports one inv-ack fewer than Invs sent
+  kDirNoBusyOnFwd,      ///< GetS forward leaves the entry Exclusive (no Busy)
+  kDirPutAckNotHeld,    ///< PutAck released while a forward is still crossing
+  kDirRecallLostAck,    ///< recall of a Shared line under-counts its invs
+  // --- DBRC mirror-consistency mutations ---
+  kDbrcReceiverNoInstall,  ///< receiver ignores mirror installs/updates
+  kDbrcFalseHit,           ///< sender claims a hit for an uninstalled mirror
+  // --- wire-size table mutation ---
+  kWireSizeWrongEntry,  ///< UpgradeAck modelled as 3 B instead of 11 B
+};
+
+/// Which checker is responsible for catching a mutation.
+enum class MutationTarget : std::uint8_t { kModel, kDbrc, kWire };
+
+struct MutationInfo {
+  MutationId id;
+  const char* name;         ///< stable CLI name (tcmpcheck --mutate <name>)
+  MutationTarget target;
+  const char* description;  ///< the bug the mutation plants
+};
+
+/// All mutations, in id order (kNone excluded).
+[[nodiscard]] const std::vector<MutationInfo>& all_mutations();
+
+/// Lookup by CLI name or numeric id string; nullopt when unknown.
+[[nodiscard]] std::optional<MutationInfo> find_mutation(const std::string& key);
+
+[[nodiscard]] const char* to_string(MutationId id);
+
+}  // namespace tcmp::verify

@@ -1,0 +1,189 @@
+#include "verify/wire_check.hpp"
+
+#include <array>
+#include <sstream>
+
+#include "compression/scheme.hpp"
+#include "het/wire_policy.hpp"
+#include "noc/channel.hpp"
+#include "protocol/coherence_msg.hpp"
+#include "wire/link_design.hpp"
+
+namespace tcmp::verify {
+
+namespace {
+
+using compression::MsgClass;
+using compression::SchemeConfig;
+using protocol::MsgType;
+using wire::LinkStyle;
+
+/// One row of the independent specification, transcribed from the paper
+/// (NOT derived from the protocol:: helpers it checks).
+struct SpecRow {
+  MsgType type;
+  unsigned bytes;     ///< uncompressed wire size
+  bool data;          ///< carries a 64 B line
+  bool address;       ///< carries the 8 B block address (compressible)
+  bool critical;      ///< on the L1-miss critical path (Fig. 4)
+  unsigned vnet;      ///< 0 requests/replacements, 1 commands, 2 responses
+  MsgClass cls;       ///< compression structure (address carriers only)
+};
+
+constexpr std::array<SpecRow, protocol::kNumMsgTypes> kSpec = {{
+    {MsgType::kGetS, 11, false, true, true, 0, MsgClass::kRequest},
+    {MsgType::kGetX, 11, false, true, true, 0, MsgClass::kRequest},
+    {MsgType::kUpgrade, 11, false, true, true, 0, MsgClass::kRequest},
+    {MsgType::kGetInstr, 11, false, true, true, 0, MsgClass::kRequest},
+    {MsgType::kPutE, 3, false, false, false, 0, MsgClass::kRequest},
+    {MsgType::kPutM, 67, true, false, false, 0, MsgClass::kRequest},
+    {MsgType::kData, 67, true, false, true, 2, MsgClass::kRequest},
+    {MsgType::kDataExcl, 67, true, false, true, 2, MsgClass::kRequest},
+    {MsgType::kUpgradeAck, 11, false, true, true, 2, MsgClass::kCommand},
+    {MsgType::kInv, 11, false, true, true, 1, MsgClass::kCommand},
+    {MsgType::kFwdGetS, 11, false, true, true, 1, MsgClass::kCommand},
+    {MsgType::kFwdGetX, 11, false, true, true, 1, MsgClass::kCommand},
+    {MsgType::kRecall, 11, false, true, true, 1, MsgClass::kCommand},
+    {MsgType::kPartialReply, 11, false, false, true, 2, MsgClass::kRequest},
+    {MsgType::kInvAck, 3, false, false, true, 2, MsgClass::kRequest},
+    {MsgType::kRevision, 67, true, false, false, 2, MsgClass::kRequest},
+    {MsgType::kAckRevision, 3, false, false, false, 2, MsgClass::kRequest},
+    {MsgType::kPutAck, 3, false, false, false, 2, MsgClass::kRequest},
+}};
+
+}  // namespace
+
+WireCheckResult run_wire_check(MutationId mutation) {
+  WireCheckResult r;
+  auto fail = [&](const std::string& what) {
+    r.ok = false;
+    r.findings.push_back(what);
+  };
+  // The system-under-test size function; the mutation plants the classic
+  // table bug (one stale entry) to prove this check catches it.
+  auto sut_bytes = [&](MsgType t) {
+    if (mutation == MutationId::kWireSizeWrongEntry && t == MsgType::kUpgradeAck) {
+      return 3u;
+    }
+    return protocol::uncompressed_bytes(t);
+  };
+
+  for (const SpecRow& row : kSpec) {
+    const char* name = protocol::to_string(row.type);
+    ++r.checks;
+    if (sut_bytes(row.type) != row.bytes) {
+      std::ostringstream os;
+      os << name << ": uncompressed_bytes()=" << sut_bytes(row.type)
+         << " but the paper's size table says " << row.bytes;
+      fail(os.str());
+    }
+    ++r.checks;
+    if (protocol::carries_data(row.type) != row.data) {
+      fail(std::string(name) + ": carries_data() disagrees with the spec");
+    }
+    ++r.checks;
+    if (protocol::carries_address(row.type) != row.address) {
+      fail(std::string(name) + ": carries_address() disagrees with the spec");
+    }
+    ++r.checks;
+    if (protocol::is_critical(row.type) != row.critical) {
+      fail(std::string(name) + ": is_critical() disagrees with Fig. 4");
+    }
+    ++r.checks;
+    if (protocol::vnet_of(row.type) != row.vnet) {
+      fail(std::string(name) + ": vnet_of() disagrees with the spec");
+    }
+    if (row.address) {
+      ++r.checks;
+      if (protocol::compression_class(row.type) != row.cls) {
+        fail(std::string(name) + ": compression_class() disagrees with the spec");
+      }
+    }
+    ++r.checks;
+    if (protocol::is_short(row.type) != !row.data) {
+      fail(std::string(name) + ": is_short() must be the complement of data");
+    }
+  }
+
+  // The mapping policy must be consistent with the (mutation-shimmed) size
+  // table and the channel roles for every style x compression outcome.
+  const std::array<SchemeConfig, 3> schemes = {
+      SchemeConfig::dbrc(16, 2), SchemeConfig::dbrc(16, 1),
+      SchemeConfig::perfect(3)};
+  const std::array<LinkStyle, 3> styles = {
+      LinkStyle::kBaseline, LinkStyle::kVlHet, LinkStyle::kCheng3Way};
+
+  for (const SpecRow& row : kSpec) {
+    const char* name = protocol::to_string(row.type);
+    for (const SchemeConfig& scheme : schemes) {
+      for (LinkStyle style : styles) {
+        const bool can_compress =
+            het::wants_compression(row.type, scheme, style);
+        for (bool compressed : {false, true}) {
+          if (compressed && !can_compress) continue;
+          const het::MappingDecision d =
+              het::map_message(row.type, compressed, scheme, style);
+          ++r.checks;
+          auto mapfail = [&](const std::string& what) {
+            std::ostringstream os;
+            os << name << " (" << scheme.name() << ", style "
+               << static_cast<int>(style) << (compressed ? ", compressed" : "")
+               << "): " << what;
+            fail(os.str());
+          };
+          switch (style) {
+            case LinkStyle::kBaseline:
+              if (d.channel != noc::kBChannel || d.compressed ||
+                  d.wire_bytes != sut_bytes(row.type)) {
+                mapfail("baseline must use the B channel at full size");
+              }
+              break;
+            case LinkStyle::kCheng3Way:
+              if (!row.critical) {
+                if (d.channel != noc::kPwChannel ||
+                    d.wire_bytes != sut_bytes(row.type)) {
+                  mapfail("non-critical traffic must ride PW-Wires at full size");
+                }
+              } else if (row.data) {
+                if (d.channel != noc::kBChannel ||
+                    d.wire_bytes != sut_bytes(row.type)) {
+                  mapfail("critical data must ride B-Wires at full size");
+                }
+              } else if (d.channel != noc::kLChannel ||
+                         d.wire_bytes != sut_bytes(row.type)) {
+                mapfail("short critical traffic must ride L-Wires at full size");
+              }
+              if (d.compressed) mapfail("[6]'s mapping never compresses");
+              break;
+            case LinkStyle::kVlHet:
+              if (row.data || !row.critical) {
+                if (d.channel != noc::kBChannel || d.compressed ||
+                    d.wire_bytes != sut_bytes(row.type)) {
+                  mapfail("data / non-critical traffic must ride B-Wires at "
+                          "full size");
+                }
+              } else if (compressed) {
+                if (d.channel != noc::kVlChannel || !d.compressed ||
+                    d.wire_bytes != scheme.vl_width_bytes()) {
+                  mapfail("compressed critical traffic must fill one VL bundle");
+                }
+              } else if (!row.address) {
+                if (d.channel != noc::kVlChannel ||
+                    d.wire_bytes != sut_bytes(row.type)) {
+                  mapfail("address-free critical traffic must ride VL-Wires");
+                }
+              } else if (d.channel != noc::kBChannel ||
+                         d.wire_bytes != sut_bytes(row.type)) {
+                mapfail("uncompressed critical requests must fall back to "
+                        "B-Wires at full size");
+              }
+              break;
+          }
+        }
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace tcmp::verify

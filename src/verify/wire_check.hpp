@@ -1,0 +1,27 @@
+// Wire-size / message-classification conformance check: an independent
+// specification table (transcribed from the paper, Sec. 4.3 / 5.1 and Fig. 4)
+// is cross-checked against the live protocol::* classification functions and
+// every het::map_message decision, so a regression in either side is caught
+// even though both ultimately implement "the same" table.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "verify/mutation.hpp"
+
+namespace tcmp::verify {
+
+struct WireCheckResult {
+  bool ok = true;
+  std::uint64_t checks = 0;             ///< individual comparisons performed
+  std::vector<std::string> findings;    ///< empty when ok
+};
+
+/// Cross-check message classification, uncompressed sizes, vnet assignment,
+/// compression classes, and the wire-mapping policy for every message type x
+/// link style x compression outcome x representative scheme.
+[[nodiscard]] WireCheckResult run_wire_check(MutationId mutation = MutationId::kNone);
+
+}  // namespace tcmp::verify

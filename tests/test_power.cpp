@@ -153,7 +153,7 @@ TEST(Metrics, NormalizedRatio) {
 }
 
 TEST(MetricsDeathTest, NormalizedRejectsZeroBaseline) {
-  EXPECT_DEATH(normalized(1.0, 0.0), "baseline");
+  EXPECT_DEATH((void)normalized(1.0, 0.0), "baseline");
 }
 
 }  // namespace

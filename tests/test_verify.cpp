@@ -1,0 +1,267 @@
+// Verification subsystem: state-hash canonicalization (tile-permutation
+// symmetry), counterexample traces on seeded mutations (found, minimal,
+// replayable), wire/DBRC conformance checks, and the runtime coherence lint
+// catching injected mid-run corruption through the periodic-check hook.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cmp/system.hpp"
+#include "verify/checker.hpp"
+#include "verify/dbrc_check.hpp"
+#include "verify/lint.hpp"
+#include "verify/model.hpp"
+#include "verify/mutation.hpp"
+#include "verify/wire_check.hpp"
+#include "workloads/synthetic_app.hpp"
+
+namespace tcmp::verify {
+namespace {
+
+ProtocolModel::Config small_cfg(unsigned tiles = 3, unsigned lines = 1) {
+  ProtocolModel::Config cfg;
+  cfg.n_tiles = tiles;
+  cfg.n_lines = lines;
+  cfg.max_msgs = 6;
+  cfg.max_outstanding = 3;
+  return cfg;
+}
+
+// --- canonicalization ------------------------------------------------------
+
+TEST(Canonicalization, PermutedStatesShareOneKey) {
+  // Three tiles, one line homed at tile 0: tiles 1 and 2 are free
+  // (non-home), so a state where tile 1 plays a role must canonicalize to
+  // the same key as the state where tile 2 plays that role.
+  const ProtocolModel model(small_cfg());
+  ModelState a = model.initial();
+  ModelState b = model.initial();
+
+  auto stage = [&model](ModelState& s, std::uint8_t actor) {
+    Action read;
+    read.kind = ActionKind::kRead;
+    read.tile = actor;
+    read.line = 0;
+    ASSERT_FALSE(model.apply(s, read).has_value());
+  };
+  stage(a, 1);
+  stage(b, 2);
+
+  EXPECT_NE(model.serialize(a), model.serialize(b));
+  EXPECT_EQ(model.canonical_key(a), model.canonical_key(b));
+}
+
+TEST(Canonicalization, HomeTilesArePinned) {
+  // The home tile is fixed by address interleaving, so a state where the
+  // HOME tile acts is genuinely different from one where a free tile acts.
+  const ProtocolModel model(small_cfg());
+  ModelState a = model.initial();
+  ModelState b = model.initial();
+
+  Action read;
+  read.kind = ActionKind::kRead;
+  read.line = 0;
+  read.tile = 0;  // home of line 0
+  ASSERT_FALSE(model.apply(a, read).has_value());
+  read.tile = 1;
+  ASSERT_FALSE(model.apply(b, read).has_value());
+
+  EXPECT_NE(model.canonical_key(a), model.canonical_key(b));
+}
+
+TEST(Canonicalization, CanonicalizeIsIdempotentAndKeyPreserving) {
+  const ProtocolModel model(small_cfg());
+  ModelState s = model.initial();
+  Action read;
+  read.kind = ActionKind::kRead;
+  read.tile = 2;
+  read.line = 0;
+  ASSERT_FALSE(model.apply(s, read).has_value());
+
+  const std::string key = model.canonical_key(s);
+  ModelState c = s;
+  model.canonicalize(c);
+  EXPECT_EQ(model.serialize(c), key);
+  ModelState cc = c;
+  model.canonicalize(cc);
+  EXPECT_EQ(model.serialize(cc), key);
+}
+
+// --- exhaustive check and counterexamples ----------------------------------
+
+TEST(ModelCheck, TwoTilesOneLineExhaustsClean) {
+  ProtocolModel::Config cfg;
+  cfg.n_tiles = 2;
+  cfg.n_lines = 1;
+  const CheckResult r = run_model_check(cfg);
+  EXPECT_TRUE(r.ok);
+  EXPECT_FALSE(r.truncated);
+  EXPECT_FALSE(r.violation.has_value());
+  EXPECT_GT(r.states, 1000u);
+}
+
+TEST(ModelCheck, SeededMutationYieldsMinimalReplayableTrace) {
+  // kDirWrongAckCount under-reports the invalidation-ack count; the ack
+  // accounting invariant must catch it, and the BFS counterexample must be
+  // (a) as long as its reported depth, (b) replayable step by step from the
+  // initial state, and (c) minimal in the BFS sense: every proper prefix of
+  // the action sequence reaches a violation-free state.
+  ProtocolModel::Config cfg;
+  cfg.n_tiles = 2;
+  cfg.n_lines = 1;
+  cfg.max_msgs = 6;
+  cfg.max_outstanding = 3;
+  cfg.mutation = MutationId::kDirWrongAckCount;
+
+  const CheckResult r = run_model_check(cfg);
+  ASSERT_FALSE(r.ok);
+  ASSERT_TRUE(r.violation.has_value());
+  ASSERT_FALSE(r.trace.empty());
+  EXPECT_EQ(r.trace.size(), r.violation_depth);
+
+  const ProtocolModel model(cfg);
+  ModelState s = model.initial();
+  for (std::size_t i = 0; i < r.trace.size(); ++i) {
+    // Prefix states must be clean: the violation fires exactly at the end.
+    EXPECT_FALSE(model.check_invariants(s).has_value())
+        << "invariant violated before step " << i;
+    const auto apply_violation = model.apply(s, r.trace[i].action);
+    model.canonicalize(s);
+    if (i + 1 < r.trace.size()) {
+      ASSERT_FALSE(apply_violation.has_value()) << "replay died at step " << i;
+    } else {
+      // The final step either trips a protocol assertion in apply() or
+      // lands in a state whose invariant check fails.
+      const bool caught = apply_violation.has_value() ||
+                          model.check_invariants(s).has_value();
+      EXPECT_TRUE(caught);
+    }
+  }
+  EXPECT_FALSE(format_trace(model, r).empty());
+}
+
+TEST(ModelCheck, EveryModelMutationIsCaught) {
+  for (const auto& m : all_mutations()) {
+    if (m.target != MutationTarget::kModel) continue;
+    ProtocolModel::Config cfg;
+    cfg.n_tiles = 2;
+    cfg.n_lines = 1;
+    cfg.max_msgs = 6;
+    cfg.max_outstanding = 3;
+    cfg.mutation = m.id;
+    CheckResult r = run_model_check(cfg);
+    if (r.ok) {
+      // A few bugs need two sharers besides the requester: escalate.
+      cfg.n_tiles = 3;
+      r = run_model_check(cfg);
+    }
+    EXPECT_FALSE(r.ok) << "mutation not caught: " << m.name;
+    EXPECT_TRUE(r.truncated || r.violation.has_value()) << m.name;
+  }
+}
+
+// --- wire / DBRC conformance ----------------------------------------------
+
+TEST(WireCheck, CleanTableMatchesSpec) {
+  const WireCheckResult r = run_wire_check();
+  EXPECT_TRUE(r.ok) << (r.findings.empty() ? "" : r.findings.front());
+  EXPECT_GT(r.checks, 100u);
+}
+
+TEST(WireCheck, WrongSizeEntryIsCaught) {
+  const WireCheckResult r = run_wire_check(MutationId::kWireSizeWrongEntry);
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.findings.empty());
+}
+
+TEST(DbrcCheck, CleanDesignDecodesEverySequence) {
+  const DbrcCheckResult r = run_dbrc_check();
+  EXPECT_TRUE(r.ok) << (r.findings.empty() ? "" : r.findings.front());
+  EXPECT_GT(r.sequences, 0u);
+  EXPECT_GT(r.decodes, r.sequences);
+}
+
+TEST(DbrcCheck, MirrorMutationsAreCaughtWithCounterexample) {
+  for (const auto id :
+       {MutationId::kDbrcReceiverNoInstall, MutationId::kDbrcFalseHit}) {
+    DbrcCheckConfig cfg;
+    cfg.mutation = id;
+    const DbrcCheckResult r = run_dbrc_check(cfg);
+    EXPECT_FALSE(r.ok) << to_string(id);
+    EXPECT_FALSE(r.counterexample.empty()) << to_string(id);
+  }
+}
+
+// --- runtime coherence lint -------------------------------------------------
+
+std::unique_ptr<cmp::CmpSystem> small_system() {
+  const auto cfg =
+      cmp::CmpConfig::heterogeneous(compression::SchemeConfig::dbrc(4, 2));
+  return std::make_unique<cmp::CmpSystem>(
+      cfg, std::make_shared<workloads::SyntheticApp>(
+               workloads::app("MP3D").scaled(0.05), cfg.n_tiles));
+}
+
+TEST(CoherenceLint, CleanRunStaysSilent) {
+  auto system = small_system();
+  CoherenceLinter linter(system.get());
+  system->set_periodic_check(500,
+                             [&](Cycle now) { return linter.scan(now).empty(); });
+  EXPECT_TRUE(system->run(50'000'000));
+  EXPECT_FALSE(system->aborted());
+  EXPECT_GT(linter.scans(), 0u);
+  EXPECT_EQ(linter.violations(), 0u);
+}
+
+TEST(CoherenceLint, InjectedDoubleOwnerAbortsTheRun) {
+  auto system = small_system();
+  CoherenceLinter linter(system.get());
+  // The production wiring (tcmpsim --verify-interval) uses the rotating
+  // stripe mode; the corrupted line sits on a non-zero stripe, so catching
+  // it proves the rotation reaches every stripe.
+  system->set_periodic_check(
+      100, [&](Cycle now) { return linter.scan_slice(now).empty(); });
+  // Let the machine get going, then corrupt it: force the same line into M
+  // in two different L1s, bypassing the protocol (debug hook).
+  for (int i = 0; i < 150; ++i) system->step();
+  const Addr line = 0x45;  // stripe 5 of CoherenceLinter::kStripes
+  system->l1(1).debug_force_state(line, protocol::L1State::kM);
+  system->l1(2).debug_force_state(line, protocol::L1State::kM);
+
+  EXPECT_FALSE(system->run(10'000));
+  EXPECT_TRUE(system->aborted());
+  EXPECT_GT(linter.violations(), 0u);
+  EXPECT_GE(system->stats().counter("verify.violations"), 1u);
+}
+
+TEST(CoherenceLint, SliceRotationCoversEveryStripe) {
+  auto system = small_system();
+  CoherenceLinter linter(system.get());
+  for (int i = 0; i < 150; ++i) system->step();
+  system->l1(2).debug_force_state(0x83, protocol::L1State::kM);
+  // One full rotation must flag the corrupted line exactly once: in the
+  // slice for stripe 0x83 % kStripes and no other.
+  unsigned flagged = 0;
+  for (unsigned s = 0; s < CoherenceLinter::kStripes; ++s) {
+    if (!linter.scan_slice(system->total_cycles()).empty()) ++flagged;
+  }
+  EXPECT_EQ(flagged, 1u);
+}
+
+TEST(CoherenceLint, DirectoryDisagreementIsNamed) {
+  auto system = small_system();
+  CoherenceLinter linter(system.get());
+  for (int i = 0; i < 150; ++i) system->step();
+  // A single stable M copy the home directory knows nothing about: R2.
+  system->l1(3).debug_force_state(0x80, protocol::L1State::kM);
+  const auto violations = linter.scan(system->total_cycles());
+  ASSERT_FALSE(violations.empty());
+  bool saw_r2 = false;
+  for (const auto& v : violations) saw_r2 |= v.invariant == "R2-DIR-OWNER";
+  EXPECT_TRUE(saw_r2);
+}
+
+}  // namespace
+}  // namespace tcmp::verify

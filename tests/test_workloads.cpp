@@ -46,7 +46,7 @@ TEST(Apps, LookupByNameAndScaling) {
   EXPECT_GE(mp3d.scaled(0.0001).ops_per_core, 200u);  // floor
 }
 
-TEST(AppsDeathTest, UnknownNameAborts) { EXPECT_DEATH(app("NoSuchApp"), "unknown"); }
+TEST(AppsDeathTest, UnknownNameAborts) { EXPECT_DEATH((void)app("NoSuchApp"), "unknown"); }
 
 TEST(SyntheticApp, DeterministicStreams) {
   SyntheticApp a(app("FFT"), 16);

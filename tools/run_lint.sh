@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Static-analysis gate for CI (and local use): clang-tidy with the repo's
+# .clang-tidy profile over every library source, plus cppcheck on src/.
+# Any finding fails the run.
+#
+#   tools/run_lint.sh [build-dir]
+#
+# The build dir must have been configured with CMAKE_EXPORT_COMPILE_COMMANDS=ON
+# (the script configures one if missing).
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-"$repo/build-lint"}"
+
+if [[ ! -f "$build/compile_commands.json" ]]; then
+  cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+mapfile -t sources < <(find "$repo/src" "$repo/tools" -name '*.cpp' | sort)
+
+echo "clang-tidy: ${#sources[@]} files"
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  run-clang-tidy -p "$build" -quiet "${sources[@]}"
+else
+  clang-tidy -p "$build" --quiet "${sources[@]}"
+fi
+
+echo "cppcheck: src/"
+cppcheck --enable=warning,performance,portability --inline-suppr \
+  --error-exitcode=1 --quiet \
+  --suppress=uninitMemberVar --suppress=useStlAlgorithm \
+  -I "$repo/src" --std=c++20 "$repo/src"
+
+echo "lint clean"

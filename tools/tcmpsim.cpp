@@ -26,6 +26,12 @@
 //                         the output options above)
 //   --sample-interval N   telemetry window length in cycles (default 10000)
 //
+// Verification (docs/verification.md):
+//   --verify-interval N   run the coherence lint every N cycles (each tick
+//                         checks one of 8 rotating address stripes, so every
+//                         line is checked within 8N cycles); a violation
+//                         aborts the run with exit code 1
+//
 // With --app all, per-app output files get a ".<app>" suffix before the
 // extension.
 #include <cstdio>
@@ -37,6 +43,7 @@
 #include "cmp/system.hpp"
 #include "common/args.hpp"
 #include "obs/observer.hpp"
+#include "verify/lint.hpp"
 #include "workloads/synthetic_app.hpp"
 #include "workloads/trace_workload.hpp"
 
@@ -61,6 +68,7 @@ struct Options {
   std::string timeseries_out;
   long obs_level = -1;  ///< -1 = infer from the output options
   long sample_interval = 10'000;
+  long verify_interval = 0;  ///< 0 = coherence lint off
 };
 
 /// "out.json" -> "out.MP3D.json" when several apps share one run.
@@ -184,7 +192,8 @@ int main(int argc, char** argv) {
       "app",   "trace", "config",             "scheme",             "entries",
       "low",   "vl",    "tiles",              "scale",              "format",
       "help",  "reply-partitioning",          "three-stage-router",
-      "trace-out", "timeseries-out", "obs-level", "sample-interval"};
+      "trace-out", "timeseries-out", "obs-level", "sample-interval",
+      "verify-interval"};
   for (const auto& k : args.unknown_keys(known)) {
     std::fprintf(stderr, "unknown option --%s (see the header of tools/tcmpsim.cpp)\n",
                  k.c_str());
@@ -212,6 +221,11 @@ int main(int argc, char** argv) {
   o.timeseries_out = args.get("timeseries-out", o.timeseries_out);
   o.obs_level = args.get_long("obs-level", o.obs_level);
   o.sample_interval = args.get_long("sample-interval", o.sample_interval);
+  o.verify_interval = args.get_long("verify-interval", o.verify_interval);
+  if (o.verify_interval < 0) {
+    std::fprintf(stderr, "--verify-interval must be >= 0\n");
+    return 2;
+  }
   if (o.obs_level > 2 || o.sample_interval < 1) {
     std::fprintf(stderr, "--obs-level must be 0..2, --sample-interval >= 1\n");
     return 2;
@@ -258,8 +272,37 @@ int main(int argc, char** argv) {
           make_obs_config(o, name, apps.size() > 1), &system.stats());
       system.attach_observer(observer.get());
     }
+    std::unique_ptr<verify::CoherenceLinter> linter;
+    if (o.verify_interval > 0) {
+      linter = std::make_unique<verify::CoherenceLinter>(&system,
+                                                         observer.get());
+      // scan_slice rotates over address stripes: full coverage every
+      // CoherenceLinter::kStripes ticks at a fraction of a full scan's cost.
+      system.set_periodic_check(
+          static_cast<Cycle>(o.verify_interval), [&linter](Cycle now) {
+            const auto violations = linter->scan_slice(now);
+            for (const auto& v : violations) {
+              std::fprintf(stderr,
+                           "coherence lint @ cycle %llu: [%s] line 0x%llx %s\n",
+                           static_cast<unsigned long long>(v.cycle),
+                           v.invariant.c_str(),
+                           static_cast<unsigned long long>(v.line),
+                           v.detail.c_str());
+            }
+            return violations.empty();
+          });
+    }
     if (!system.run()) {
-      std::fprintf(stderr, "%s: simulation did not finish\n", name.c_str());
+      if (system.aborted()) {
+        std::fprintf(stderr,
+                     "%s: aborted by the coherence lint (%llu violations in "
+                     "%llu scans)\n",
+                     name.c_str(),
+                     static_cast<unsigned long long>(linter->violations()),
+                     static_cast<unsigned long long>(linter->scans()));
+      } else {
+        std::fprintf(stderr, "%s: simulation did not finish\n", name.c_str());
+      }
       return 1;
     }
     if (observer && !observer->finalize_to_files(system.total_cycles())) {
