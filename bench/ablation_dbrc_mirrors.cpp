@@ -30,10 +30,10 @@ int main() {
 
     t.add_row({name, TextTable::pct(ideal.compression_coverage),
                TextTable::pct(cons.compression_coverage),
-               TextTable::fmt(static_cast<double>(ideal.cycles) /
-                                  static_cast<double>(base.cycles), 3),
-               TextTable::fmt(static_cast<double>(cons.cycles) /
-                                  static_cast<double>(base.cycles), 3)});
+               TextTable::fmt(static_cast<double>(ideal.cycles.value()) /
+                                  static_cast<double>(base.cycles.value()), 3),
+               TextTable::fmt(static_cast<double>(cons.cycles.value()) /
+                                  static_cast<double>(base.cycles.value()), 3)});
     std::fprintf(stderr, "  %s done\n", name);
   }
   std::printf("%s\n", t.str().c_str());

@@ -27,8 +27,8 @@ int main() {
     het_cfg.reply_partitioning = true;
     const auto rp = bench::run_app(app, het_cfg);
 
-    const double nh = static_cast<double>(het.cycles) / static_cast<double>(base.cycles);
-    const double nr = static_cast<double>(rp.cycles) / static_cast<double>(base.cycles);
+    const double nh = static_cast<double>(het.cycles.value()) / static_cast<double>(base.cycles.value());
+    const double nr = static_cast<double>(rp.cycles.value()) / static_cast<double>(base.cycles.value());
     t.add_row({name, TextTable::fmt(nh, 3), TextTable::fmt(nr, 3),
                TextTable::pct(nh - nr)});
     sum_het += nh;

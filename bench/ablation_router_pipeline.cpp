@@ -23,8 +23,8 @@ int main() {
       base_cfg.single_cycle_router = het_cfg.single_cycle_router = (deep == 0);
       const auto base = bench::run_app(app, base_cfg);
       const auto het = bench::run_app(app, het_cfg);
-      gains[deep] = 1.0 - static_cast<double>(het.cycles) /
-                              static_cast<double>(base.cycles);
+      gains[deep] = 1.0 - static_cast<double>(het.cycles.value()) /
+                              static_cast<double>(base.cycles.value());
     }
     t.add_row({name, TextTable::pct(gains[0]), TextTable::pct(gains[1])});
     std::fprintf(stderr, "  %s done\n", name);

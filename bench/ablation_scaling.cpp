@@ -32,8 +32,8 @@ int main() {
       const auto het =
           bench::run_app(app, sized(cmp::CmpConfig::heterogeneous(scheme), tiles));
       t.add_row({name, std::to_string(tiles),
-                 TextTable::fmt(static_cast<double>(het.cycles) /
-                                    static_cast<double>(base.cycles), 3),
+                 TextTable::fmt(static_cast<double>(het.cycles.value()) /
+                                    static_cast<double>(base.cycles.value()), 3),
                  TextTable::fmt(het.link_ed2p() / base.link_ed2p(), 3),
                  TextTable::fmt(base.avg_critical_latency, 1),
                  TextTable::fmt(het.avg_critical_latency, 1)});

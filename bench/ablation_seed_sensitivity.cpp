@@ -21,8 +21,8 @@ int main() {
       app.seed += seed_offset;
       const auto base = bench::run_app(app, cmp::CmpConfig::baseline());
       const auto het = bench::run_app(app, cmp::CmpConfig::heterogeneous(scheme));
-      gains.push_back(1.0 - static_cast<double>(het.cycles) /
-                                static_cast<double>(base.cycles));
+      gains.push_back(1.0 - static_cast<double>(het.cycles.value()) /
+                                static_cast<double>(base.cycles.value()));
     }
     double sum = 0, min = 1e9, max = -1e9;
     for (double g : gains) {

@@ -25,7 +25,7 @@ int main() {
     const auto het = bench::run_app(app, het_cfg);
     const double dyn_share =
         base.energy.get(power::EnergyAccount::kLinkDynamic) / base.link_energy();
-    t.add_row({TextTable::fmt(alpha, 2), TextTable::fmt(1e3 * base.link_energy(), 2),
+    t.add_row({TextTable::fmt(alpha, 2), TextTable::fmt(1e3 * base.link_energy().value(), 2),
                TextTable::pct(dyn_share), TextTable::fmt(het.link_ed2p() / base.link_ed2p(), 3)});
   }
   std::printf("%s\n", t.str().c_str());

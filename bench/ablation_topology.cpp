@@ -38,10 +38,10 @@ int main() {
           bench::run_app(app, with_topo(cmp::CmpConfig::heterogeneous(scheme)));
       t.add_row({name, topo == noc::Topology::kMesh2D ? "mesh 4x4" : "tree 4+1",
                  TextTable::fmt(base.avg_critical_latency, 1),
-                 TextTable::fmt(static_cast<double>(cheng.cycles) /
-                                    static_cast<double>(base.cycles), 3),
-                 TextTable::fmt(static_cast<double>(ours.cycles) /
-                                    static_cast<double>(base.cycles), 3),
+                 TextTable::fmt(static_cast<double>(cheng.cycles.value()) /
+                                    static_cast<double>(base.cycles.value()), 3),
+                 TextTable::fmt(static_cast<double>(ours.cycles.value()) /
+                                    static_cast<double>(base.cycles.value()), 3),
                  TextTable::fmt(ours.link_ed2p() / base.link_ed2p(), 3)});
       std::fprintf(stderr, "  %s/%s done\n", name,
                    topo == noc::Topology::kMesh2D ? "mesh" : "tree");

@@ -26,8 +26,8 @@ int main() {
     const auto base = bench::run_app(app, cmp::CmpConfig::baseline());
     const auto cheng = bench::run_app(app, cmp::CmpConfig::cheng3way());
     const auto ours = bench::run_app(app, cmp::CmpConfig::heterogeneous(scheme));
-    const double ec = static_cast<double>(cheng.cycles) / static_cast<double>(base.cycles);
-    const double ep = static_cast<double>(ours.cycles) / static_cast<double>(base.cycles);
+    const double ec = static_cast<double>(cheng.cycles.value()) / static_cast<double>(base.cycles.value());
+    const double ep = static_cast<double>(ours.cycles.value()) / static_cast<double>(base.cycles.value());
     const double lc = cheng.link_ed2p() / base.link_ed2p();
     const double lp = ours.link_ed2p() / base.link_ed2p();
     t.add_row({app.name, TextTable::fmt(ec, 3), TextTable::fmt(ep, 3),

@@ -22,7 +22,7 @@ struct TraceEntry {
   NodeId src;
   NodeId dst;
   compression::MsgClass cls;
-  Addr line;
+  LineAddr line;
 };
 
 std::vector<TraceEntry> capture_trace(const workloads::AppParams& params) {

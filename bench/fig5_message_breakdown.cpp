@@ -68,7 +68,7 @@ int main() {
   bench::print_header("Fig. 5: message-type breakdown on the interconnect (baseline)");
 
   TextTable t({"Application", "Requests", "Responses", "CohCmds", "CohReplies",
-               "Replacemts", "Short+Addr", "Critical", "Long"});
+               "Replacemts", "Short+LineAddr", "Critical", "Long"});
   Shares avg;
   unsigned n = 0;
   for (const auto& app : workloads::all_apps()) {

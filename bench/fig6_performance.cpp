@@ -31,7 +31,7 @@ int main() {
     std::size_t col = 0;
     auto eval = [&](const compression::SchemeConfig& scheme) {
       const auto r = bench::run_app(app, cmp::CmpConfig::heterogeneous(scheme));
-      const double nt = static_cast<double>(r.cycles) / static_cast<double>(base.cycles);
+      const double nt = static_cast<double>(r.cycles.value()) / static_cast<double>(base.cycles.value());
       const double ne = r.link_ed2p() / base.link_ed2p();
       exec_row.push_back(TextTable::fmt(nt, 3));
       ed2p_row.push_back(TextTable::fmt(ne, 3));

@@ -17,9 +17,9 @@ void BM_DbrcCompress(benchmark::State& state) {
   DbrcSender sender(static_cast<unsigned>(state.range(0)), 2, 16);
   Rng rng(1);
   for (auto _ : state) {
-    const Addr line = 0x1000000 + rng.next_below(1 << 18);
+    const LineAddr line{0x1000000 + rng.next_below(1 << 18)};
     benchmark::DoNotOptimize(
-        sender.compress(static_cast<NodeId>(line % 16), line));
+        sender.compress(static_cast<NodeId>(line.value() % 16), line));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
@@ -28,10 +28,12 @@ BENCHMARK(BM_DbrcCompress)->Arg(4)->Arg(16)->Arg(64);
 void BM_StrideCompress(benchmark::State& state) {
   StrideSender sender(2, 16);
   Rng rng(2);
-  Addr line = 0x1000000;
+  std::uint64_t addr = 0x1000000;
   for (auto _ : state) {
-    line += rng.next_below(64);
-    benchmark::DoNotOptimize(sender.compress(static_cast<NodeId>(line % 16), line));
+    addr += rng.next_below(64);
+    const LineAddr line{addr};
+    benchmark::DoNotOptimize(
+        sender.compress(static_cast<NodeId>(line.value() % 16), line));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
@@ -41,10 +43,10 @@ void BM_DbrcRoundTrip(benchmark::State& state) {
   auto pair = make_compressor(SchemeConfig::dbrc(16, 2), 16);
   Rng rng(3);
   for (auto _ : state) {
-    const Addr line = 0x2000000 + rng.next_below(1 << 16);
-    const auto dst = static_cast<NodeId>(line % 16);
+    const LineAddr line{0x2000000 + rng.next_below(1 << 16)};
+    const auto dst = static_cast<NodeId>(line.value() % 16);
     const Encoding enc = pair.sender->compress(dst, line);
-    benchmark::DoNotOptimize(pair.receiver->decode(0, enc, line));
+    benchmark::DoNotOptimize(pair.receiver->decode(NodeId{0}, enc, line));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }

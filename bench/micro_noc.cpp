@@ -21,7 +21,7 @@ void BM_NetworkTickIdle(benchmark::State& state) {
   StatRegistry stats;
   noc::Network net(cfg, &stats);
   net.set_deliver([](NodeId, const protocol::CoherenceMsg&) {});
-  Cycle now = 0;
+  Cycle now{0};
   for (auto _ : state) net.tick(++now);
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
@@ -34,7 +34,7 @@ void BM_NetworkTickLoaded(benchmark::State& state) {
   noc::Network net(cfg, &stats);
   net.set_deliver([](NodeId, const protocol::CoherenceMsg&) {});
   Rng rng(5);
-  Cycle now = 0;
+  Cycle now{0};
   for (auto _ : state) {
     for (unsigned n = 0; n < 16; ++n) {
       if (!rng.chance(0.2)) continue;
@@ -44,7 +44,7 @@ void BM_NetworkTickLoaded(benchmark::State& state) {
       msg.type = protocol::MsgType::kGetS;
       msg.src = static_cast<NodeId>(n);
       msg.dst = dst;
-      net.inject(msg, noc::kBChannel, 11, now);
+      net.inject(msg, noc::kBChannel, Bytes{11}, now);
     }
     net.tick(++now);
   }

@@ -34,13 +34,14 @@ int main() {
   for (const auto& row : rows) {
     const auto cost = compression::scheme_hw_cost(row.cfg, 16);
     t.add_row({row.cfg.name(), std::to_string(cost.storage_bytes_per_core),
-               TextTable::fmt(cost.area_mm2_per_core, 4), TextTable::fmt(row.area_mm2, 4),
-               TextTable::pct(cost.area_mm2_per_core / power::kCoreAreaMm2, 2),
-               TextTable::fmt(cost.max_dyn_power_w_per_core, 4),
+               TextTable::fmt(units::to_mm2(cost.area_per_core), 4),
+               TextTable::fmt(row.area_mm2, 4),
+               TextTable::pct(cost.area_per_core / power::kCoreArea, 2),
+               TextTable::fmt(cost.max_dyn_power_per_core.value(), 4),
                TextTable::fmt(row.dyn_w, 4),
-               TextTable::fmt(cost.leakage_w_per_core * 1e3, 2),
+               TextTable::fmt(units::to_mw(cost.leakage_per_core), 2),
                TextTable::fmt(row.static_mw, 2),
-               TextTable::pct(cost.leakage_w_per_core / power::kCoreStaticPowerW, 2)});
+               TextTable::pct(cost.leakage_per_core / power::kCoreStaticPower, 2)});
   }
   std::printf("%s\n", t.str().c_str());
   std::printf("Size column must match the paper exactly; area/power columns come from\n"

@@ -20,10 +20,10 @@ int main() {
     t.add_row({paper.name, TextTable::fmt(model.rel_latency, 2),
                TextTable::fmt(paper.rel_latency, 2), TextTable::fmt(model.rel_area, 1),
                TextTable::fmt(paper.rel_area, 1),
-               TextTable::fmt(model.dyn_power_w_per_m, 2),
-               TextTable::fmt(paper.dyn_power_w_per_m, 2),
-               TextTable::fmt(model.static_power_w_per_m, 3),
-               TextTable::fmt(paper.static_power_w_per_m, 3),
+               TextTable::fmt(model.dyn_power.value(), 2),
+               TextTable::fmt(paper.dyn_power.value(), 2),
+               TextTable::fmt(model.static_power.value(), 3),
+               TextTable::fmt(paper.static_power.value(), 3),
                TextTable::fmt(model.ps_per_mm, 1)});
   }
   std::printf("%s\n", t.str().c_str());
@@ -36,7 +36,8 @@ int main() {
   for (WireClass cls :
        {WireClass::kB8X, WireClass::kB4X, WireClass::kL8X, WireClass::kPW4X}) {
     const wire::WireSpec paper = wire::paper_spec(cls);
-    std::printf("  %-16s %u cycles\n", paper.name.c_str(), paper.link_cycles(5.0, 4e9));
+    std::printf("  %-16s %u cycles\n", paper.name.c_str(),
+                paper.link_cycles(5.0, units::hertz(4e9)));
   }
   return 0;
 }

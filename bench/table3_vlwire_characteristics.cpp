@@ -17,11 +17,11 @@ int main() {
     const wire::WireSpec paper = wire::paper_spec(wire::WireClass::kVL, bytes);
     t.add_row({std::to_string(bytes) + " Bytes", TextTable::fmt(model.rel_latency, 2),
                TextTable::fmt(paper.rel_latency, 2), TextTable::fmt(paper.rel_area, 0),
-               TextTable::fmt(model.dyn_power_w_per_m, 2),
-               TextTable::fmt(paper.dyn_power_w_per_m, 2),
-               TextTable::fmt(model.static_power_w_per_m, 3),
-               TextTable::fmt(paper.static_power_w_per_m, 3),
-               std::to_string(paper.link_cycles(5.0, 4e9))});
+               TextTable::fmt(model.dyn_power.value(), 2),
+               TextTable::fmt(paper.dyn_power.value(), 2),
+               TextTable::fmt(model.static_power.value(), 3),
+               TextTable::fmt(paper.static_power.value(), 3),
+               std::to_string(paper.link_cycles(5.0, units::hertz(4e9)))});
   }
   std::printf("%s\n", t.str().c_str());
 

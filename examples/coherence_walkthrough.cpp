@@ -39,7 +39,7 @@ class TwoCoreScript final : public core::Workload {
   }
   [[nodiscard]] std::string name() const override { return "walkthrough"; }
 
-  static constexpr Addr kLine = 0x1002;  // home = 0x1002 % 16 = tile 2
+  static constexpr LineAddr kLine{0x1002};  // home = 0x1002 % 16 = tile 2
 
  private:
   std::uint64_t step_[16] = {};
@@ -53,8 +53,8 @@ int main() {
   cmp::CmpSystem system(cfg, std::make_shared<TwoCoreScript>());
 
   std::printf("Line 0x%llx, home tile %llu. Core 0 writes (M), core 1 then reads.\n\n",
-              static_cast<unsigned long long>(TwoCoreScript::kLine),
-              static_cast<unsigned long long>(TwoCoreScript::kLine % 16));
+              static_cast<unsigned long long>(TwoCoreScript::kLine.value()),
+              static_cast<unsigned long long>(TwoCoreScript::kLine.value() % 16));
   std::printf("%-6s %-12s %-5s %-5s %-9s %-12s %-8s %s\n", "cycle", "message", "src",
               "dst", "size", "criticality", "plane", "leg");
 
@@ -74,15 +74,16 @@ int main() {
       default: break;
     }
     std::printf("%-6llu %-12s %-5u %-5u %2u B      %-12s %-8s %s\n",
-                static_cast<unsigned long long>(system.cycles()),
-                protocol::to_string(msg.type), msg.src, msg.dst, d.wire_bytes,
+                static_cast<unsigned long long>(system.cycles().value()),
+                protocol::to_string(msg.type), static_cast<unsigned>(msg.src),
+                static_cast<unsigned>(msg.dst), static_cast<unsigned>(d.wire_bytes),
                 critical ? "critical" : "non-critical",
                 d.channel == noc::kVlChannel ? "VL" : "B", leg);
   });
 
-  const bool ok = system.run(100000);
+  const bool ok = system.run(Cycle{100000});
   std::printf("\n%s after %llu cycles.\n", ok ? "Quiesced" : "Did not finish",
-              static_cast<unsigned long long>(system.total_cycles()));
+              static_cast<unsigned long long>(system.total_cycles().value()));
   std::printf("\nNote how legs (1), (2) and (3a) are critical — (1) and (2) ride the\n"
               "VL plane once compressed — while leg (3b) is non-critical and long,\n"
               "so it stays on the B-Wires, exactly as Sec. 4.2 classifies them.\n");

@@ -22,7 +22,7 @@ using namespace tcmp;
 
 namespace {
 
-using Generator = std::function<Addr(Rng&, Addr /*prev*/)>;
+using Generator = std::function<LineAddr(Rng&, LineAddr /*prev*/)>;
 
 struct Pattern {
   std::string name;
@@ -31,19 +31,23 @@ struct Pattern {
 
 std::vector<Pattern> patterns() {
   return {
-      {"sequential", [](Rng&, Addr prev) { return prev + 1; }},
-      {"strided-17", [](Rng&, Addr prev) { return prev + 17; }},
+      {"sequential", [](Rng&, LineAddr prev) { return LineAddr{prev.value() + 1}; }},
+      {"strided-17", [](Rng&, LineAddr prev) { return LineAddr{prev.value() + 17}; }},
       {"clustered",
-       [](Rng& rng, Addr) {
+       [](Rng& rng, LineAddr) {
          // 4 hot 4 MB regions.
-         static constexpr Addr kBases[] = {0x1000000, 0x5000000, 0x9000000, 0xD000000};
-         return kBases[rng.next_below(4)] + rng.next_below(1 << 16);
+         static constexpr std::uint64_t kBases[] = {0x1000000, 0x5000000, 0x9000000,
+                                                    0xD000000};
+         return LineAddr{kBases[rng.next_below(4)] + rng.next_below(1 << 16)};
        }},
-      {"random", [](Rng& rng, Addr) { return rng.next_below(Addr{1} << 28); }},
+      {"random",
+       [](Rng& rng, LineAddr) {
+         return LineAddr{rng.next_below(std::uint64_t{1} << 28)};
+       }},
       {"pointer-chase",
-       [](Rng&, Addr prev) {
-         Addr x = prev * 0x9e3779b97f4a7c15ULL + 1;
-         return (x >> 16) % (Addr{1} << 24);
+       [](Rng&, LineAddr prev) {
+         const std::uint64_t x = prev.value() * 0x9e3779b97f4a7c15ULL + 1;
+         return LineAddr{(x >> 16) % (std::uint64_t{1} << 24)};
        }},
   };
 }
@@ -52,11 +56,11 @@ double measure(const Pattern& pattern, const compression::SchemeConfig& scheme,
                unsigned messages) {
   auto pair = compression::make_compressor(scheme, 16);
   Rng rng(42);
-  Addr addr = 0x2000000;
+  LineAddr addr{0x2000000};
   unsigned hits = 0;
   for (unsigned i = 0; i < messages; ++i) {
     addr = pattern.next(rng, addr);
-    const auto dst = static_cast<NodeId>(addr % 16);  // home interleaving
+    const auto dst = static_cast<NodeId>(addr.value() % 16);  // home interleaving
     if (pair.sender->compress(dst, addr).compressed) ++hits;
   }
   return static_cast<double>(hits) / messages;

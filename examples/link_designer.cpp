@@ -26,13 +26,16 @@ int main(int argc, char** argv) {
 
   std::printf("Custom 8X wire: width %.1fx, spacing %.1fx (area %.1fx)\n\n", w, s,
               geo.area_mult());
-  std::printf("  R = %.1f kOhm/m, C = %.1f pF/m\n", r_wire_per_m(tech, geo) / 1e3,
-              c_wire_per_m(tech, geo) * 1e12);
+  std::printf("  R = %.1f kOhm/m, C = %.1f pF/m\n",
+              r_wire_per_m(tech, geo).value() / 1e3,
+              c_wire_per_m(tech, geo).value() * 1e12);
   auto describe = [&](const char* name, const RepeaterDesign& d) {
     std::printf("  %-22s repeaters %4.0fx every %.2f mm -> %6.1f ps/mm, "
                 "%.2f W/m dyn (a=1), %.3f W/m leak\n",
-                name, d.size, d.spacing_m * 1e3, delay_per_m(tech, geo, d) * 1e12 * 1e-3,
-                switching_power_per_m(tech, geo, d), leakage_power_per_m(tech, d));
+                name, d.size, units::to_mm(d.spacing),
+                delay_per_m(tech, geo, d).value() * 1e12 * 1e-3,
+                switching_power_per_m(tech, geo, d).value(),
+                leakage_power_per_m(tech, d).value());
   };
   describe("delay-optimal:", opt);
   describe("power-optimal (2x):", pw);
@@ -43,7 +46,7 @@ int main(int argc, char** argv) {
     const WireSpec spec = paper_spec(cls);
     std::printf("  %-18s %.2fx latency, %4.1fx area, %.2f/%.3f W/m dyn/static\n",
                 spec.name.c_str(), spec.rel_latency, spec.rel_area,
-                spec.dyn_power_w_per_m, spec.static_power_w_per_m);
+                spec.dyn_power.value(), spec.static_power.value());
   }
 
   // 3. Heterogeneous partitions for a range of track budgets.

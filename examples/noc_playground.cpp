@@ -34,7 +34,7 @@ LoadPoint run_load(const wire::LinkPartition& part, unsigned channel, double rat
   net.set_deliver([&](NodeId, const protocol::CoherenceMsg&) { ++delivered; });
 
   Rng rng(7);
-  Cycle now = 0;
+  Cycle now{0};
   for (unsigned t = 0; t < cycles; ++t) {
     for (unsigned n = 0; n < 16; ++n) {
       if (!rng.chance(rate)) continue;
@@ -44,8 +44,8 @@ LoadPoint run_load(const wire::LinkPartition& part, unsigned channel, double rat
       msg.type = protocol::MsgType::kGetS;
       msg.src = static_cast<NodeId>(n);
       msg.dst = dst;
-      msg.line = t;
-      net.inject(msg, channel, wire_bytes, now);
+      msg.line = LineAddr{t};
+      net.inject(msg, channel, Bytes{wire_bytes}, now);
     }
     net.tick(++now);
   }

@@ -51,17 +51,18 @@ int main(int argc, char** argv) {
 
   auto show = [](const char* title, const cmp::RunResult& r) {
     std::printf("%s\n", title);
-    std::printf("  cycles                %llu\n", static_cast<unsigned long long>(r.cycles));
+    std::printf("  cycles                %llu\n",
+                static_cast<unsigned long long>(r.cycles.value()));
     std::printf("  instructions          %llu\n",
                 static_cast<unsigned long long>(r.instructions));
     std::printf("  remote messages       %llu\n",
                 static_cast<unsigned long long>(r.remote_messages));
     std::printf("  avg critical latency  %.1f cycles\n", r.avg_critical_latency);
     std::printf("  compression coverage  %.1f%%\n", 100.0 * r.compression_coverage);
-    std::printf("  link energy           %.3f mJ\n", 1e3 * r.link_energy());
+    std::printf("  link energy           %.3f mJ\n", 1e3 * r.link_energy().value());
     std::printf("  interconnect energy   %.3f mJ (%.0f%% of chip)\n",
-                1e3 * r.interconnect_energy(),
-                100.0 * r.interconnect_energy() / r.total_energy());
+                1e3 * r.interconnect_energy().value(),
+                100.0 * (r.interconnect_energy() / r.total_energy()));
     std::printf("\n");
   };
   show("Baseline (75-byte B-Wire links):", base);
@@ -69,8 +70,8 @@ int main(int argc, char** argv) {
 
   std::printf("Improvements over the baseline:\n");
   std::printf("  execution time  %5.1f%%\n",
-              100.0 * (1.0 - static_cast<double>(het.cycles) /
-                                 static_cast<double>(base.cycles)));
+              100.0 * (1.0 - static_cast<double>(het.cycles.value()) /
+                                 static_cast<double>(base.cycles.value())));
   std::printf("  link ED^2P      %5.1f%%\n",
               100.0 * (1.0 - het.link_ed2p() / base.link_ed2p()));
   std::printf("  full-CMP ED^2P  %5.1f%%\n",

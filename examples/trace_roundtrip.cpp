@@ -47,9 +47,9 @@ int main(int argc, char** argv) {
   if (!replay.run()) return 1;
 
   std::printf("original (synthetic): %llu cycles\n",
-              static_cast<unsigned long long>(original.cycles()));
+              static_cast<unsigned long long>(original.cycles().value()));
   std::printf("replayed (trace):     %llu cycles\n",
-              static_cast<unsigned long long>(replay.cycles()));
+              static_cast<unsigned long long>(replay.cycles().value()));
   std::printf("%s\n", original.cycles() == replay.cycles()
                           ? "Identical — the trace captures the stream exactly."
                           : "MISMATCH — trace round-trip lost information!");

@@ -5,6 +5,7 @@
 
 #include <string>
 
+#include "common/units.hpp"
 #include "compression/scheme.hpp"
 #include "power/chip_power.hpp"
 #include "power/orion_mini.hpp"
@@ -20,8 +21,9 @@ struct CmpConfig {
   unsigned mesh_width = 4;
   unsigned mesh_height = 4;
 
-  protocol::L1Cache::Config l1{128, 4};      ///< 32 KB, 4-way
-  protocol::Directory::Config l2{1024, 4, 8, 400};  ///< 256 KB/core, 6+2 cyc, 400-cyc mem
+  protocol::L1Cache::Config l1{128, 4};  ///< 32 KB, 4-way
+  /// 256 KB/core, 6+2 cycles, 400-cycle memory.
+  protocol::Directory::Config l2{1024, 4, Cycle{8}, Cycle{400}};
 
   compression::SchemeConfig scheme = compression::SchemeConfig::none();
   wire::LinkPartition link = wire::baseline_link();
@@ -37,10 +39,10 @@ struct CmpConfig {
   /// configuration (bench/ablation_reply_partitioning).
   bool reply_partitioning = false;
 
-  double freq_hz = 4e9;
-  double link_length_mm = 5.0;
-  Cycle local_latency = 1;           ///< tile-internal L1 <-> L2 hop
-  Cycle warmup_memory_latency = 40;  ///< memory latency during cache warmup
+  units::Hertz freq = units::hertz(4e9);
+  double link_length_mm = 5.0;  // tcmplint: allow-raw-unit (paper config units)
+  Cycle local_latency{1};           ///< tile-internal L1 <-> L2 hop
+  Cycle warmup_memory_latency{40};  ///< memory latency during cache warmup
   double switching_activity = 0.5;   ///< alpha for link dynamic energy
 
   power::RouterEnergyModel router_energy{};

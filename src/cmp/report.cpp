@@ -8,7 +8,7 @@ namespace tcmp::cmp {
 
 using power::EnergyAccount;
 
-double RunResult::link_energy() const {
+units::Joules RunResult::link_energy() const {
   return energy.get(EnergyAccount::kLinkDynamic) + energy.get(EnergyAccount::kLinkStatic);
 }
 
@@ -26,28 +26,28 @@ RunResult make_result(const CmpSystem& system) {
   RunResult r;
   r.configuration = cfg.name();
   r.cycles = system.cycles();
-  r.seconds = static_cast<double>(r.cycles) / cfg.freq_hz;
+  r.seconds = static_cast<double>(r.cycles.value()) / cfg.freq;
   r.instructions = system.measured_instructions();
 
   // --- links: dynamic from toggled wire-length, static from geometry x time.
   // Wire lengths and router counts come from the network itself so both the
   // mesh and tree topologies account correctly.
   const noc::Network& net = system.network();
-  const auto channels = noc::make_channels(cfg.link, cfg.link_length_mm, cfg.freq_hz);
+  const auto channels = noc::make_channels(cfg.link, cfg.link_length_mm, cfg.freq);
   for (unsigned c = 0; c < channels.size(); ++c) {
     const auto& ch = channels[c];
     // bit_dmm_hops: toggled bits x traversed link length, in 0.1 mm units.
     const auto bit_dmm = static_cast<double>(
         stats.counter_value("noc." + ch.name + ".bit_dmm_hops"));
-    const double e_dyn = bit_dmm * 1e-4 /*m per dmm*/ *
-                         ch.wires.dyn_power_w_per_m / cfg.freq_hz *
-                         cfg.switching_activity;
+    const units::Meters toggled{bit_dmm * 1e-4 /*m per dmm*/};
+    const units::Joules e_dyn =
+        toggled * ch.wires.dyn_power / cfg.freq * cfg.switching_activity;
     r.energy.add(EnergyAccount::kLinkDynamic, e_dyn);
 
     const double wires = static_cast<double>(ch.width_bits());
-    const double plane_m = net.total_directed_link_mm(c) * 1e-3;
+    const units::Meters plane_m{net.total_directed_link_mm(c) * 1e-3};
     r.energy.add(EnergyAccount::kLinkStatic,
-                 wires * ch.wires.static_power_w_per_m * plane_m * r.seconds);
+                 wires * ch.wires.static_power * plane_m * r.seconds);
   }
 
   // --- routers: Orion-mini per-traversal events + leakage ---
@@ -57,13 +57,13 @@ RunResult make_result(const CmpSystem& system) {
         stats.counter_value("noc." + ch.name + ".router_traversals"));
     const unsigned bits = ch.width_bits();
     r.energy.add(EnergyAccount::kRouterBuffer,
-                 traversals * (cfg.router_energy.buffer_write_j(bits) +
-                               cfg.router_energy.buffer_read_j(bits)));
+                 traversals * (cfg.router_energy.buffer_write_energy(bits) +
+                               cfg.router_energy.buffer_read_energy(bits)));
     r.energy.add(EnergyAccount::kRouterCrossbar,
-                 traversals * cfg.router_energy.crossbar_j(bits));
+                 traversals * cfg.router_energy.crossbar_energy(bits));
     r.energy.add(EnergyAccount::kRouterArbiter,
-                 traversals * cfg.router_energy.arbitration_j_per_flit);
-    const double leak = cfg.router_energy.router_leakage_w(
+                 traversals * cfg.router_energy.arbitration_per_flit);
+    const units::Watts leak = cfg.router_energy.router_leakage(
         noc::kNumPorts, protocol::kNumVnets * cfg.vcs_per_vnet, cfg.buffer_flits,
         bits);
     r.energy.add(EnergyAccount::kRouterStatic,
@@ -71,27 +71,28 @@ RunResult make_result(const CmpSystem& system) {
   }
 
   // --- compression hardware ---
-  const auto hw = compression::scheme_hw_cost(cfg.scheme, cfg.n_tiles, cfg.freq_hz);
+  const auto hw = compression::scheme_hw_cost(cfg.scheme, cfg.n_tiles, cfg.freq);
   r.energy.add(EnergyAccount::kCompressionDynamic,
-               static_cast<double>(system.measured_compression_accesses()) * hw.access_energy_j);
+               static_cast<double>(system.measured_compression_accesses()) *
+                   hw.access_energy);
   r.energy.add(EnergyAccount::kCompressionStatic,
-               hw.leakage_w_per_core * cfg.n_tiles * r.seconds);
+               hw.leakage_per_core * cfg.n_tiles * r.seconds);
 
   // --- cores, caches, memory (Fig. 7 denominator) ---
   const auto& cp = cfg.chip_power;
   r.energy.add(EnergyAccount::kCoreDynamic,
-               static_cast<double>(r.instructions) * cp.core_energy_per_instr_j);
+               static_cast<double>(r.instructions) * cp.core_energy_per_instr);
   r.energy.add(EnergyAccount::kCoreStatic,
-               cp.core_leakage_w * cfg.n_tiles * r.seconds);
+               cp.core_leakage * cfg.n_tiles * r.seconds);
   r.energy.add(EnergyAccount::kL1Dynamic,
-               static_cast<double>(stats.counter_value("l1.accesses")) * cp.l1_access_j);
+               static_cast<double>(stats.counter_value("l1.accesses")) * cp.l1_access);
   r.energy.add(EnergyAccount::kL2Dynamic,
-               static_cast<double>(stats.counter_value("l2.accesses")) * cp.l2_access_j);
+               static_cast<double>(stats.counter_value("l2.accesses")) * cp.l2_access);
   r.energy.add(EnergyAccount::kCacheStatic,
-               cp.cache_leakage_w * cfg.n_tiles * r.seconds);
+               cp.cache_leakage * cfg.n_tiles * r.seconds);
   const double mem_events = static_cast<double>(stats.counter_value("mem.reads") +
                                                 stats.counter_value("mem.writebacks"));
-  r.energy.add(EnergyAccount::kMemoryDynamic, mem_events * cp.mem_access_j);
+  r.energy.add(EnergyAccount::kMemoryDynamic, mem_events * cp.mem_access);
 
   // --- coverage, message mix, latency ---
   const auto compressed = stats.counter_value("compression.compressed");

@@ -16,8 +16,8 @@ namespace tcmp::cmp {
 struct RunResult {
   std::string workload;
   std::string configuration;
-  Cycle cycles = 0;
-  double seconds = 0.0;
+  Cycle cycles{0};
+  units::Seconds seconds{};
   std::uint64_t instructions = 0;
 
   power::EnergyLedger energy;
@@ -40,11 +40,11 @@ struct RunResult {
   /// prefix stripped ("lat.req.total", "critical_latency", "VL.latency"...).
   std::map<std::string, Quantiles> latency;
 
-  [[nodiscard]] double link_energy() const;
-  [[nodiscard]] double interconnect_energy() const {
+  [[nodiscard]] units::Joules link_energy() const;
+  [[nodiscard]] units::Joules interconnect_energy() const {
     return energy.interconnect_total();
   }
-  [[nodiscard]] double total_energy() const { return energy.total(); }
+  [[nodiscard]] units::Joules total_energy() const { return energy.total(); }
 
   /// ED^2P of the interconnect links (Fig. 6 bottom normalizes this).
   [[nodiscard]] double link_ed2p() const;

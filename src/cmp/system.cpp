@@ -19,12 +19,12 @@ CmpSystem::CmpSystem(const CmpConfig& cfg, std::shared_ptr<core::Workload> workl
   ncfg.width = cfg_.mesh_width;
   ncfg.height = cfg_.mesh_height;
   ncfg.topology = cfg_.topology;
-  ncfg.channels = noc::make_channels(cfg_.link, cfg_.link_length_mm, cfg_.freq_hz);
+  ncfg.channels = noc::make_channels(cfg_.link, cfg_.link_length_mm, cfg_.freq);
   ncfg.vcs_per_vnet = cfg_.vcs_per_vnet;
   ncfg.buffer_flits = cfg_.buffer_flits;
   ncfg.single_cycle_router = cfg_.single_cycle_router;
   ncfg.link_length_mm = cfg_.link_length_mm;
-  ncfg.freq_hz = cfg_.freq_hz;
+  ncfg.freq = cfg_.freq;
   network_ = std::make_unique<noc::Network>(ncfg, &stats_);
 
   at_barrier_.assign(cfg_.n_tiles, false);
@@ -60,7 +60,7 @@ CmpSystem::CmpSystem(const CmpConfig& cfg, std::shared_ptr<core::Workload> workl
     tile->core->set_barrier_handler(
         [this](unsigned c, std::uint32_t b) { on_barrier(c, b); });
     tile->l1->set_fill_callback(
-        [core = tile->core.get()](Addr line) { core->on_fill(line); });
+        [core = tile->core.get()](LineAddr line) { core->on_fill(line); });
     tile->l1i->set_fill_callback([core = tile->core.get()] { core->on_ifill(); });
     tiles_.push_back(std::move(tile));
   }
@@ -176,8 +176,8 @@ void CmpSystem::end_warmup() {
 }
 
 void CmpSystem::set_periodic_check(Cycle interval, PeriodicCheck check) {
-  if (interval == 0 || !check) {
-    check_interval_ = 0;
+  if (interval == Cycle{0} || !check) {
+    check_interval_ = Cycle{0};
     periodic_check_ = nullptr;
     return;
   }
@@ -205,7 +205,7 @@ void CmpSystem::step() {
     if (waiting_ + done == cfg_.n_tiles) release_barrier();
   }
 
-  if (check_interval_ != 0 && now_ % check_interval_ == 0) [[unlikely]] {
+  if (check_interval_ != Cycle{0} && now_ % check_interval_ == 0) [[unlikely]] {
     if (!periodic_check_(now_)) aborted_ = true;
   }
 }
@@ -231,7 +231,8 @@ bool CmpSystem::run(Cycle max_cycles) {
 }
 
 void CmpSystem::dump_state(std::ostream& out) const {
-  out << "=== CmpSystem @ cycle " << now_ << " (" << cfg_.name() << ") ===\n";
+  out << "=== CmpSystem @ cycle " << now_.value() << " (" << cfg_.name()
+      << ") ===\n";
   out << "warmup_done=" << warmup_done_ << " waiting_at_barrier=" << waiting_
       << " network_quiescent=" << network_->quiescent() << "\n";
   for (unsigned tidx = 0; tidx < cfg_.n_tiles; ++tidx) {

@@ -33,7 +33,7 @@ class CmpSystem {
 
   /// Run until every core finished and the machine drained, or `max_cycles`
   /// elapsed. Returns true when the workload completed.
-  bool run(Cycle max_cycles = 500'000'000);
+  bool run(Cycle max_cycles = Cycle{500'000'000});
 
   /// Single simulation step (tests).
   void step();
@@ -112,7 +112,7 @@ class CmpSystem {
 
   CmpConfig cfg_;
   StatRegistry stats_;
-  Cycle check_interval_ = 0;
+  Cycle check_interval_{0};
   PeriodicCheck periodic_check_;
   bool aborted_ = false;
   std::array<std::uint64_t*, protocol::kNumMsgTypes> msg_counters_{};
@@ -124,7 +124,7 @@ class CmpSystem {
   obs::Observer* obs_ = nullptr;
   std::unique_ptr<noc::Network> network_;
   std::vector<std::unique_ptr<Tile>> tiles_;
-  Cycle now_ = 0;
+  Cycle now_{0};
 
   // Barrier controller.
   std::vector<bool> at_barrier_;
@@ -132,7 +132,7 @@ class CmpSystem {
   std::uint32_t pending_barrier_id_ = 0;
 
   // Warmup/measurement boundary.
-  Cycle measure_start_ = 0;
+  Cycle measure_start_{0};
   bool warmup_done_ = false;
   std::uint64_t warmup_instructions_ = 0;
   std::uint64_t warmup_compression_accesses_ = 0;

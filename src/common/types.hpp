@@ -1,29 +1,191 @@
-// Fundamental scalar types shared by every subsystem.
+// Strong scalar types shared by every subsystem.
+//
+// Identity quantities (cycles, addresses, node ids, byte/flit counts) are
+// tagged wrapper types rather than bare integer aliases, so that passing a
+// byte address where a line address is expected — or multiplying two
+// timestamps — is a compile error instead of a silently corrupted result.
+//
+// Two strength tiers are used deliberately:
+//   * opaque  (explicit in, explicit `.value()` out): Cycle, ByteAddr,
+//     LineAddr. These are the types whose confusion corrupts simulations;
+//     only dimensionally meaningful arithmetic is defined (Cycle+Cycle is a
+//     cycle, Cycle*Cycle is ill-formed, addresses admit no arithmetic).
+//   * semi-strong (explicit in, implicit out): NodeId, Bytes, Flits. These
+//     index arrays and size buffers, so they decay to their representation
+//     on read; construction still requires an explicit cast, which is where
+//     the mixups happen.
+//
+// The ONLY byte<->line conversions are line_of() and byte_of_line().
+// Physical quantities (seconds, joules, ...) live in common/units.hpp.
 #pragma once
 
+#include <compare>
+#include <concepts>
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <limits>
 
 namespace tcmp {
 
-/// Simulation time in core clock cycles (4 GHz in the paper's configuration).
-using Cycle = std::uint64_t;
+/// Simulation time, in core clock cycles (4 GHz in the paper's
+/// configuration). Covers both timestamps and durations: additive
+/// arithmetic only (sums, differences, phase within a period); products of
+/// times are dimensionally meaningless and do not compile.
+class Cycle {
+ public:
+  using Rep = std::uint64_t;
 
-/// Physical byte address. The protocol operates on 64-byte line addresses
-/// (Addr >> 6); compression operates on line addresses as well.
-using Addr = std::uint64_t;
+  constexpr Cycle() = default;
+  constexpr explicit Cycle(Rep v) : v_(v) {}
+
+  [[nodiscard]] constexpr Rep value() const { return v_; }
+
+  friend constexpr bool operator==(Cycle, Cycle) = default;
+  friend constexpr auto operator<=>(Cycle, Cycle) = default;
+
+  constexpr Cycle& operator+=(Cycle d) {
+    v_ += d.v_;
+    return *this;
+  }
+  constexpr Cycle& operator-=(Cycle d) {
+    v_ -= d.v_;
+    return *this;
+  }
+  constexpr Cycle& operator++() {
+    ++v_;
+    return *this;
+  }
+
+  friend constexpr Cycle operator+(Cycle a, Cycle b) { return Cycle{a.v_ + b.v_}; }
+  friend constexpr Cycle operator-(Cycle a, Cycle b) { return Cycle{a.v_ - b.v_}; }
+  /// A raw integer on one side is a cycle *count* (delta); allowing it keeps
+  /// the ubiquitous `now + 1` timing arithmetic readable.
+  friend constexpr Cycle operator+(Cycle a, std::uint64_t n) { return Cycle{a.v_ + n}; }
+  friend constexpr Cycle operator+(std::uint64_t n, Cycle a) { return Cycle{n + a.v_}; }
+  friend constexpr Cycle operator-(Cycle a, std::uint64_t n) { return Cycle{a.v_ - n}; }
+  /// Phase within a period (periodic checks / telemetry sampling).
+  friend constexpr Rep operator%(Cycle a, Cycle period) { return a.v_ % period.v_; }
+
+ private:
+  Rep v_ = 0;
+};
+
+/// "Never happens" timestamp sentinel (used by idle fast-forward paths).
+inline constexpr Cycle kNeverCycle{std::numeric_limits<std::uint64_t>::max()};
+
+/// A byte-granular physical address. No arithmetic: the simulator only ever
+/// derives the cache line (line_of) or checks identity.
+class ByteAddr {
+ public:
+  using Rep = std::uint64_t;
+
+  constexpr ByteAddr() = default;
+  constexpr explicit ByteAddr(Rep v) : v_(v) {}
+
+  [[nodiscard]] constexpr Rep value() const { return v_; }
+
+  friend constexpr bool operator==(ByteAddr, ByteAddr) = default;
+  friend constexpr auto operator<=>(ByteAddr, ByteAddr) = default;
+
+ private:
+  Rep v_ = 0;
+};
+
+/// A cache-line-granular address (byte address >> kLineShift). The protocol,
+/// compression and workload layers traffic exclusively in line addresses.
+/// Deliberately not interconvertible with ByteAddr except through line_of /
+/// byte_of_line below.
+class LineAddr {
+ public:
+  using Rep = std::uint64_t;
+
+  constexpr LineAddr() = default;
+  constexpr explicit LineAddr(Rep v) : v_(v) {}
+
+  [[nodiscard]] constexpr Rep value() const { return v_; }
+
+  friend constexpr bool operator==(LineAddr, LineAddr) = default;
+  friend constexpr auto operator<=>(LineAddr, LineAddr) = default;
+
+ private:
+  Rep v_ = 0;
+};
+
+namespace detail {
+
+/// Shared shape of the semi-strong index-like types: explicit construction
+/// from any integer (truncating to the representation, exactly as the
+/// previous bare aliases did), implicit read-out so values keep working as
+/// array indices, shift counts and size operands.
+template <typename Tag, typename RepT>
+class IndexLike {
+ public:
+  using Rep = RepT;
+
+  constexpr IndexLike() = default;
+  template <std::integral I>
+  constexpr explicit IndexLike(I v) : v_(static_cast<Rep>(v)) {}
+
+  constexpr operator Rep() const { return v_; }  // NOLINT(google-explicit-constructor)
+  [[nodiscard]] constexpr Rep value() const { return v_; }
+
+ private:
+  Rep v_ = 0;
+};
+
+}  // namespace detail
 
 /// Tile / core / router identifier (0..15 for the paper's 16-tile CMP).
-using NodeId = std::uint16_t;
+class NodeId : public detail::IndexLike<NodeId, std::uint16_t> {
+  using IndexLike::IndexLike;
+};
 
-inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
-inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+/// A payload size in bytes (message or link-width granularity).
+class Bytes : public detail::IndexLike<Bytes, unsigned> {
+  using IndexLike::IndexLike;
+};
+
+/// A payload size in flits of some channel.
+class Flits : public detail::IndexLike<Flits, unsigned> {
+  using IndexLike::IndexLike;
+};
+
+inline constexpr NodeId kInvalidNode{std::numeric_limits<std::uint16_t>::max()};
 
 /// Cache line geometry used throughout (Table 4: 64-byte lines).
 inline constexpr unsigned kLineBytes = 64;
-inline constexpr unsigned kLineShift = 6;
+inline constexpr unsigned kLineShift = 6;  // log2(kLineBytes)
 
-[[nodiscard]] constexpr Addr line_of(Addr byte_addr) { return byte_addr >> kLineShift; }
-[[nodiscard]] constexpr Addr byte_of_line(Addr line) { return line << kLineShift; }
+/// The only ByteAddr -> LineAddr conversion.
+[[nodiscard]] constexpr LineAddr line_of(ByteAddr addr) {
+  return LineAddr{addr.value() >> kLineShift};
+}
+
+/// The only LineAddr -> ByteAddr conversion (first byte of the line).
+[[nodiscard]] constexpr ByteAddr byte_of_line(LineAddr line) {
+  return ByteAddr{line.value() << kLineShift};
+}
 
 }  // namespace tcmp
+
+template <>
+struct std::hash<tcmp::Cycle> {
+  [[nodiscard]] std::size_t operator()(tcmp::Cycle c) const noexcept {
+    return std::hash<std::uint64_t>{}(c.value());
+  }
+};
+
+template <>
+struct std::hash<tcmp::ByteAddr> {
+  [[nodiscard]] std::size_t operator()(tcmp::ByteAddr a) const noexcept {
+    return std::hash<std::uint64_t>{}(a.value());
+  }
+};
+
+template <>
+struct std::hash<tcmp::LineAddr> {
+  [[nodiscard]] std::size_t operator()(tcmp::LineAddr a) const noexcept {
+    return std::hash<std::uint64_t>{}(a.value());
+  }
+};

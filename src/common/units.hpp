@@ -1,38 +1,178 @@
-// Thin physical-unit helpers. Values are carried as doubles in SI units;
-// the suffix constructors and accessors keep intent explicit at call sites
-// (wire lengths in meters, delays in seconds, energies in joules).
+// Compile-time dimensional analysis for physical quantities.
+//
+// Quantity<M,L,T,I> carries a double in SI base units together with its
+// dimension as kg^M · m^L · s^T · A^I template exponents. Addition and
+// subtraction require identical dimensions; multiplication and division do
+// exponent arithmetic at compile time (Joules / Seconds -> Watts), and a
+// product whose exponents all cancel collapses back to a plain double. The
+// wrappers forward to the identical IEEE double operations, so replacing a
+// raw-double computation with Quantity arithmetic of the same expression
+// structure is bit-identical.
+//
+// The suffix constructors (ps, mm, pj, ...) and accessors (to_ps, to_mm,
+// ...) keep intent explicit at call sites while storing SI canonically.
 #pragma once
 
+#include <cmath>
+
 namespace tcmp::units {
+
+/// A physical quantity of dimension kg^M · m^L · s^T · A^I, stored as a
+/// double in SI base units.
+template <int M, int L, int T, int I = 0>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double v) : v_(v) {}
+
+  /// Magnitude in SI base units.
+  [[nodiscard]] constexpr double value() const { return v_; }
+
+  friend constexpr bool operator==(Quantity, Quantity) = default;
+  friend constexpr auto operator<=>(Quantity, Quantity) = default;
+
+  constexpr Quantity operator-() const { return Quantity{-v_}; }
+
+  constexpr Quantity& operator+=(Quantity o) {
+    v_ += o.v_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity o) {
+    v_ -= o.v_;
+    return *this;
+  }
+  constexpr Quantity& operator*=(double s) {
+    v_ *= s;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double s) {
+    v_ /= s;
+    return *this;
+  }
+
+  // Same-dimension sums; mixed-dimension sums do not compile.
+  friend constexpr Quantity operator+(Quantity a, Quantity b) {
+    return Quantity{a.v_ + b.v_};
+  }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) {
+    return Quantity{a.v_ - b.v_};
+  }
+
+  // Dimensionless scale factors.
+  friend constexpr Quantity operator*(Quantity a, double s) { return Quantity{a.v_ * s}; }
+  friend constexpr Quantity operator*(double s, Quantity a) { return Quantity{s * a.v_}; }
+  friend constexpr Quantity operator/(Quantity a, double s) { return Quantity{a.v_ / s}; }
+
+ private:
+  double v_ = 0.0;
+};
+
+namespace detail {
+/// Wrap a raw double as Quantity<M,L,T,I>, collapsing the dimensionless
+/// case to plain double so ratios read naturally at call sites.
+template <int M, int L, int T, int I>
+[[nodiscard]] constexpr auto make(double v) {
+  if constexpr (M == 0 && L == 0 && T == 0 && I == 0) {
+    return v;
+  } else {
+    return Quantity<M, L, T, I>{v};
+  }
+}
+}  // namespace detail
+
+/// Products and quotients combine dimensions (checked at compile time).
+template <int M1, int L1, int T1, int I1, int M2, int L2, int T2, int I2>
+[[nodiscard]] constexpr auto operator*(Quantity<M1, L1, T1, I1> a,
+                                       Quantity<M2, L2, T2, I2> b) {
+  return detail::make<M1 + M2, L1 + L2, T1 + T2, I1 + I2>(a.value() * b.value());
+}
+
+template <int M1, int L1, int T1, int I1, int M2, int L2, int T2, int I2>
+[[nodiscard]] constexpr auto operator/(Quantity<M1, L1, T1, I1> a,
+                                       Quantity<M2, L2, T2, I2> b) {
+  return detail::make<M1 - M2, L1 - L2, T1 - T2, I1 - I2>(a.value() / b.value());
+}
+
+template <int M, int L, int T, int I>
+[[nodiscard]] constexpr auto operator/(double s, Quantity<M, L, T, I> q) {
+  return detail::make<-M, -L, -T, -I>(s / q.value());
+}
+
+/// Square root halves every exponent; only defined for even dimensions
+/// (exactly what the Bakoglu repeater-sizing closed forms need).
+template <int M, int L, int T, int I>
+  requires(M % 2 == 0 && L % 2 == 0 && T % 2 == 0 && I % 2 == 0)
+[[nodiscard]] inline Quantity<M / 2, L / 2, T / 2, I / 2> sqrt(Quantity<M, L, T, I> q) {
+  return Quantity<M / 2, L / 2, T / 2, I / 2>{std::sqrt(q.value())};
+}
+
+// --- SI dimension aliases used by the wire/power models ---
+using Seconds = Quantity<0, 0, 1>;
+using Hertz = Quantity<0, 0, -1>;
+using Meters = Quantity<0, 1, 0>;
+using SquareMeters = Quantity<0, 2, 0>;
+using Joules = Quantity<1, 2, -2>;
+using Watts = Quantity<1, 2, -3>;
+using Volts = Quantity<1, 2, -3, -1>;
+using Amperes = Quantity<0, 0, 0, 1>;
+using Ohms = Quantity<1, 2, -3, -2>;
+using Farads = Quantity<-1, -2, 4, 2>;
+// Per-length densities of the distributed RC wire model (Sec. 3, Eq. 1-4).
+using OhmMeters = Quantity<1, 3, -3, -2>;        ///< resistivity
+using OhmsPerMeter = Quantity<1, 1, -3, -2>;     ///< wire resistance / m
+using FaradsPerMeter = Quantity<-1, -3, 4, 2>;   ///< wire capacitance / m
+using SecondsPerMeter = Quantity<0, -1, 1>;      ///< wire delay / m
+using WattsPerMeter = Quantity<1, 1, -3>;        ///< wire power / m
+using AmperesPerMeter = Quantity<0, -1, 0, 1>;   ///< leakage / device width
 
 // --- time ---
 inline constexpr double kPicosecond = 1e-12;
 inline constexpr double kNanosecond = 1e-9;
-[[nodiscard]] constexpr double ps(double v) { return v * kPicosecond; }
-[[nodiscard]] constexpr double ns(double v) { return v * kNanosecond; }
-[[nodiscard]] constexpr double to_ps(double seconds) { return seconds / kPicosecond; }
+[[nodiscard]] constexpr Seconds seconds(double v) { return Seconds{v}; }
+[[nodiscard]] constexpr Seconds ps(double v) { return Seconds{v * kPicosecond}; }
+[[nodiscard]] constexpr Seconds ns(double v) { return Seconds{v * kNanosecond}; }
+[[nodiscard]] constexpr double to_ps(Seconds s) { return s.value() / kPicosecond; }
+[[nodiscard]] constexpr double to_ns(Seconds s) { return s.value() / kNanosecond; }
+
+// --- frequency ---
+[[nodiscard]] constexpr Hertz hertz(double v) { return Hertz{v}; }
+[[nodiscard]] constexpr Hertz ghz(double v) { return Hertz{v * 1e9}; }
 
 // --- length ---
 inline constexpr double kMicrometer = 1e-6;
 inline constexpr double kMillimeter = 1e-3;
-[[nodiscard]] constexpr double um(double v) { return v * kMicrometer; }
-[[nodiscard]] constexpr double mm(double v) { return v * kMillimeter; }
-[[nodiscard]] constexpr double to_mm(double meters) { return meters / kMillimeter; }
-[[nodiscard]] constexpr double to_um(double meters) { return meters / kMicrometer; }
+[[nodiscard]] constexpr Meters meters(double v) { return Meters{v}; }
+[[nodiscard]] constexpr Meters um(double v) { return Meters{v * kMicrometer}; }
+[[nodiscard]] constexpr Meters mm(double v) { return Meters{v * kMillimeter}; }
+[[nodiscard]] constexpr double to_mm(Meters m) { return m.value() / kMillimeter; }
+[[nodiscard]] constexpr double to_um(Meters m) { return m.value() / kMicrometer; }
 
 // --- energy / power ---
 inline constexpr double kPicojoule = 1e-12;
 inline constexpr double kNanojoule = 1e-9;
 inline constexpr double kMilliwatt = 1e-3;
-[[nodiscard]] constexpr double pj(double v) { return v * kPicojoule; }
-[[nodiscard]] constexpr double nj(double v) { return v * kNanojoule; }
-[[nodiscard]] constexpr double mw(double v) { return v * kMilliwatt; }
-[[nodiscard]] constexpr double to_pj(double joules) { return joules / kPicojoule; }
-[[nodiscard]] constexpr double to_mw(double watts) { return watts / kMilliwatt; }
+[[nodiscard]] constexpr Joules joules(double v) { return Joules{v}; }
+[[nodiscard]] constexpr Joules pj(double v) { return Joules{v * kPicojoule}; }
+[[nodiscard]] constexpr Joules nj(double v) { return Joules{v * kNanojoule}; }
+[[nodiscard]] constexpr Watts watts(double v) { return Watts{v}; }
+[[nodiscard]] constexpr Watts mw(double v) { return Watts{v * kMilliwatt}; }
+[[nodiscard]] constexpr double to_pj(Joules j) { return j.value() / kPicojoule; }
+[[nodiscard]] constexpr double to_mw(Watts w) { return w.value() / kMilliwatt; }
+
+// --- electrical ---
+[[nodiscard]] constexpr Volts volts(double v) { return Volts{v}; }
+[[nodiscard]] constexpr Ohms ohms(double v) { return Ohms{v}; }
+[[nodiscard]] constexpr Farads farads(double v) { return Farads{v}; }
 
 // --- area ---
 inline constexpr double kSquareMicrometer = 1e-12;  // in m^2
-[[nodiscard]] constexpr double um2(double v) { return v * kSquareMicrometer; }
-[[nodiscard]] constexpr double to_mm2(double m2) { return m2 / 1e-6; }
+inline constexpr double kSquareMillimeter = 1e-6;   // in m^2
+[[nodiscard]] constexpr SquareMeters um2(double v) {
+  return SquareMeters{v * kSquareMicrometer};
+}
+[[nodiscard]] constexpr SquareMeters mm2(double v) {
+  return SquareMeters{v * kSquareMillimeter};
+}
+[[nodiscard]] constexpr double to_mm2(SquareMeters a) { return a.value() / 1e-6; }
 
 }  // namespace tcmp::units

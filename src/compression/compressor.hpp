@@ -45,7 +45,7 @@ class SenderCompressor {
 
   /// Encode `line` (a line address) for destination `dst`, updating sender
   /// state.
-  virtual Encoding compress(NodeId dst, Addr line) = 0;
+  virtual Encoding compress(NodeId dst, LineAddr line) = 0;
 
   [[nodiscard]] const AccessCounters& accesses() const { return accesses_; }
 
@@ -60,7 +60,7 @@ class ReceiverDecompressor {
   /// Decode a message from `src`, updating receiver state. For uncompressed
   /// messages `full_line` is the address carried on the wire; for compressed
   /// messages it is ignored and the address is reconstructed from state.
-  virtual Addr decode(NodeId src, const Encoding& enc, Addr full_line) = 0;
+  virtual LineAddr decode(NodeId src, const Encoding& enc, LineAddr full_line) = 0;
 
   [[nodiscard]] const AccessCounters& accesses() const { return accesses_; }
 

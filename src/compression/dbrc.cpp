@@ -17,9 +17,9 @@ DbrcSender::DbrcSender(unsigned entries, unsigned low_bytes, unsigned n_nodes,
   TCMP_CHECK(n_nodes >= 2 && n_nodes <= 32);
 }
 
-Encoding DbrcSender::compress(NodeId dst, Addr line) {
+Encoding DbrcSender::compress(NodeId dst, LineAddr line) {
   TCMP_DCHECK(dst < n_nodes_);
-  const Addr hi = hi_of(line);
+  const std::uint64_t hi = hi_of(line);
   const std::uint32_t dst_bit = 1u << dst;
   ++clock_;
   ++accesses_.lookups;
@@ -66,19 +66,19 @@ Encoding DbrcSender::compress(NodeId dst, Addr line) {
 }
 
 DbrcReceiver::DbrcReceiver(unsigned entries, unsigned low_bytes, unsigned n_nodes)
-    : mirror_(n_nodes, std::vector<Addr>(entries, 0)), low_bytes_(low_bytes) {}
+    : mirror_(n_nodes, std::vector<std::uint64_t>(entries, 0)), low_bytes_(low_bytes) {}
 
-Addr DbrcReceiver::decode(NodeId src, const Encoding& enc, Addr full_line) {
+LineAddr DbrcReceiver::decode(NodeId src, const Encoding& enc, LineAddr full_line) {
   TCMP_DCHECK(src < mirror_.size());
   auto& regs = mirror_[src];
   TCMP_CHECK_MSG(enc.index < regs.size(), "DBRC index out of range");
   if (enc.compressed) {
     ++accesses_.lookups;
-    return (regs[enc.index] << (8 * low_bytes_)) | enc.low_bits;
+    return LineAddr{(regs[enc.index] << (8 * low_bytes_)) | enc.low_bits};
   }
   if (enc.install) {
     ++accesses_.updates;
-    regs[enc.index] = full_line >> (8 * low_bytes_);
+    regs[enc.index] = full_line.value() >> (8 * low_bytes_);
   }
   return full_line;
 }

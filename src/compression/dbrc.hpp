@@ -25,7 +25,7 @@ class DbrcSender final : public SenderCompressor {
   DbrcSender(unsigned entries, unsigned low_bytes, unsigned n_nodes,
              bool idealized_mirrors = true);
 
-  Encoding compress(NodeId dst, Addr line) override;
+  Encoding compress(NodeId dst, LineAddr line) override;
 
   /// Fraction of compress() calls that produced a compressed encoding.
   [[nodiscard]] std::uint64_t hits() const { return hits_; }
@@ -33,8 +33,10 @@ class DbrcSender final : public SenderCompressor {
 
   /// Read-only view of one compression-cache entry (verify lint: the
   /// runtime mirror-consistency scan compares these against receiver state).
+  /// `hi_tag` is the raw high-order bit pattern of a line address, not a
+  /// full LineAddr — hence the plain representation type.
   struct EntrySnapshot {
-    Addr hi_tag = 0;
+    std::uint64_t hi_tag = 0;
     std::uint32_t dest_valid = 0;
     bool valid = false;
   };
@@ -49,15 +51,17 @@ class DbrcSender final : public SenderCompressor {
 
  private:
   struct Entry {
-    Addr hi_tag = 0;
+    std::uint64_t hi_tag = 0;
     std::uint32_t dest_valid = 0;  ///< bit i: receiver i's mirror holds this entry
     std::uint64_t lru_stamp = 0;
     bool valid = false;
   };
 
-  [[nodiscard]] Addr hi_of(Addr line) const { return line >> (8 * low_bytes_); }
-  [[nodiscard]] std::uint64_t lo_of(Addr line) const {
-    return line & ((std::uint64_t{1} << (8 * low_bytes_)) - 1);
+  [[nodiscard]] std::uint64_t hi_of(LineAddr line) const {
+    return line.value() >> (8 * low_bytes_);
+  }
+  [[nodiscard]] std::uint64_t lo_of(LineAddr line) const {
+    return line.value() & ((std::uint64_t{1} << (8 * low_bytes_)) - 1);
   }
 
   std::vector<Entry> entries_;
@@ -73,16 +77,16 @@ class DbrcReceiver final : public ReceiverDecompressor {
  public:
   DbrcReceiver(unsigned entries, unsigned low_bytes, unsigned n_nodes);
 
-  Addr decode(NodeId src, const Encoding& enc, Addr full_line) override;
+  LineAddr decode(NodeId src, const Encoding& enc, LineAddr full_line) override;
 
-  /// Mirror register content (verify lint).
-  [[nodiscard]] Addr mirror_tag(NodeId src, unsigned index) const {
+  /// Mirror register content (verify lint): raw high-order tag bits.
+  [[nodiscard]] std::uint64_t mirror_tag(NodeId src, unsigned index) const {
     return mirror_[src][index];
   }
 
  private:
   // mirror_[src][index] = high-order tag of sender src's entry.
-  std::vector<std::vector<Addr>> mirror_;
+  std::vector<std::vector<std::uint64_t>> mirror_;
   unsigned low_bytes_;
 };
 

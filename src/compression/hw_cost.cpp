@@ -4,7 +4,8 @@
 
 namespace tcmp::compression {
 
-SchemeHwCost scheme_hw_cost(const SchemeConfig& cfg, unsigned n_nodes, double freq_hz) {
+SchemeHwCost scheme_hw_cost(const SchemeConfig& cfg, unsigned n_nodes,
+                            units::Hertz freq) {
   SchemeHwCost cost;
   if (cfg.kind == SchemeKind::kNone || cfg.kind == SchemeKind::kPerfect) {
     return cost;  // no hardware (Perfect is an oracle bound)
@@ -26,11 +27,11 @@ SchemeHwCost scheme_hw_cost(const SchemeConfig& cfg, unsigned n_nodes, double fr
   // Per core: (1 sender + n receivers) per message class.
   cost.structures_per_core = kNumMsgClasses * (1 + n_nodes);
   cost.storage_bytes_per_core = cost.structures_per_core * params.bits() / 8;
-  cost.area_mm2_per_core = cost.structures_per_core * one.area_mm2;
-  cost.leakage_w_per_core = cost.structures_per_core * one.leakage_w;
-  cost.access_energy_j = one.access_energy_j;
-  cost.max_dyn_power_w_per_core =
-      cost.structures_per_core * one.access_energy_j * freq_hz;
+  cost.area_per_core = cost.structures_per_core * one.area;
+  cost.leakage_per_core = cost.structures_per_core * one.leakage;
+  cost.access_energy = one.access_energy;
+  cost.max_dyn_power_per_core =
+      cost.structures_per_core * one.access_energy * freq;
   return cost;
 }
 

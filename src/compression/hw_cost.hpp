@@ -3,6 +3,7 @@
 // the simulator charges at run time.
 #pragma once
 
+#include "common/units.hpp"
 #include "compression/scheme.hpp"
 #include "power/cacti_mini.hpp"
 
@@ -11,19 +12,19 @@ namespace tcmp::compression {
 struct SchemeHwCost {
   unsigned structures_per_core = 0;  ///< arrays counted per core (all classes)
   unsigned storage_bytes_per_core = 0;
-  double area_mm2_per_core = 0.0;
-  double leakage_w_per_core = 0.0;
+  units::SquareMeters area_per_core;
+  units::Watts leakage_per_core;
   /// Energy of one table access (lookup or update) of one structure.
-  double access_energy_j = 0.0;
+  units::Joules access_energy;
   /// "Max. Dyn. Power" in the Table 1 sense: every structure of every core...
   /// accessed each cycle at f — reported per core.
-  double max_dyn_power_w_per_core = 0.0;
+  units::Watts max_dyn_power_per_core;
 };
 
 /// Cost using the paper's hardware inventory: per message class, 1 sending
 /// structure + n_nodes receiving structures per core, each of
 /// `entries * 8 bytes` (DBRC) or one 8-byte register (Stride).
 [[nodiscard]] SchemeHwCost scheme_hw_cost(const SchemeConfig& cfg, unsigned n_nodes,
-                                          double freq_hz = 4e9);
+                                          units::Hertz freq = units::hertz(4e9));
 
 }  // namespace tcmp::compression

@@ -5,7 +5,7 @@
 namespace tcmp::compression {
 
 StrideSender::StrideSender(unsigned low_bytes, unsigned n_nodes)
-    : base_(n_nodes, 0), valid_(n_nodes, false), low_bytes_(low_bytes) {
+    : base_(n_nodes, LineAddr{}), valid_(n_nodes, false), low_bytes_(low_bytes) {
   TCMP_CHECK(low_bytes == 1 || low_bytes == 2);
 }
 
@@ -14,13 +14,13 @@ bool StrideSender::fits(std::int64_t delta, unsigned low_bytes) {
   return delta >= -limit && delta < limit;
 }
 
-Encoding StrideSender::compress(NodeId dst, Addr line) {
+Encoding StrideSender::compress(NodeId dst, LineAddr line) {
   TCMP_DCHECK(dst < base_.size());
   ++accesses_.lookups;
   Encoding enc;
   if (valid_[dst]) {
-    const std::int64_t delta =
-        static_cast<std::int64_t>(line) - static_cast<std::int64_t>(base_[dst]);
+    const std::int64_t delta = static_cast<std::int64_t>(line.value()) -
+                               static_cast<std::int64_t>(base_[dst].value());
     if (fits(delta, low_bytes_)) {
       ++hits_;
       enc.compressed = true;
@@ -42,9 +42,9 @@ Encoding StrideSender::compress(NodeId dst, Addr line) {
 }
 
 StrideReceiver::StrideReceiver(unsigned low_bytes, unsigned n_nodes)
-    : base_(n_nodes, 0), low_bytes_(low_bytes) {}
+    : base_(n_nodes, LineAddr{}), low_bytes_(low_bytes) {}
 
-Addr StrideReceiver::decode(NodeId src, const Encoding& enc, Addr full_line) {
+LineAddr StrideReceiver::decode(NodeId src, const Encoding& enc, LineAddr full_line) {
   TCMP_DCHECK(src < base_.size());
   ++accesses_.updates;
   if (!enc.compressed) {
@@ -55,7 +55,8 @@ Addr StrideReceiver::decode(NodeId src, const Encoding& enc, Addr full_line) {
   const unsigned bits = 8 * low_bytes_;
   std::int64_t delta = static_cast<std::int64_t>(enc.low_bits);
   if ((enc.low_bits >> (bits - 1)) & 1) delta -= std::int64_t{1} << bits;
-  const Addr line = static_cast<Addr>(static_cast<std::int64_t>(base_[src]) + delta);
+  const LineAddr line{static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(base_[src].value()) + delta)};
   base_[src] = line;
   return line;
 }

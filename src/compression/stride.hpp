@@ -17,7 +17,7 @@ class StrideSender final : public SenderCompressor {
  public:
   StrideSender(unsigned low_bytes, unsigned n_nodes);
 
-  Encoding compress(NodeId dst, Addr line) override;
+  Encoding compress(NodeId dst, LineAddr line) override;
 
   [[nodiscard]] std::uint64_t hits() const { return hits_; }
   [[nodiscard]] std::uint64_t misses() const { return misses_; }
@@ -26,7 +26,7 @@ class StrideSender final : public SenderCompressor {
   static bool fits(std::int64_t delta, unsigned low_bytes);
 
  private:
-  std::vector<Addr> base_;
+  std::vector<LineAddr> base_;
   std::vector<bool> valid_;
   unsigned low_bytes_;
   std::uint64_t hits_ = 0;
@@ -37,10 +37,10 @@ class StrideReceiver final : public ReceiverDecompressor {
  public:
   StrideReceiver(unsigned low_bytes, unsigned n_nodes);
 
-  Addr decode(NodeId src, const Encoding& enc, Addr full_line) override;
+  LineAddr decode(NodeId src, const Encoding& enc, LineAddr full_line) override;
 
  private:
-  std::vector<Addr> base_;
+  std::vector<LineAddr> base_;
   unsigned low_bytes_;
 };
 

@@ -9,18 +9,18 @@ namespace tcmp::compression {
 
 class PerfectSender final : public SenderCompressor {
  public:
-  Encoding compress(NodeId /*dst*/, Addr line) override {
+  Encoding compress(NodeId /*dst*/, LineAddr line) override {
     Encoding enc;
     enc.compressed = true;
-    enc.low_bits = line;  // oracle: receiver reconstructs for free
+    enc.low_bits = line.value();  // oracle: receiver reconstructs for free
     return enc;
   }
 };
 
 class PerfectReceiver final : public ReceiverDecompressor {
  public:
-  Addr decode(NodeId /*src*/, const Encoding& enc, Addr full_line) override {
-    return enc.compressed ? static_cast<Addr>(enc.low_bits) : full_line;
+  LineAddr decode(NodeId /*src*/, const Encoding& enc, LineAddr full_line) override {
+    return enc.compressed ? LineAddr{enc.low_bits} : full_line;
   }
 };
 
@@ -29,7 +29,7 @@ class PerfectReceiver final : public ReceiverDecompressor {
 /// is still counted for energy.
 class IdealMirrorReceiver final : public ReceiverDecompressor {
  public:
-  Addr decode(NodeId /*src*/, const Encoding& enc, Addr full_line) override {
+  LineAddr decode(NodeId /*src*/, const Encoding& enc, LineAddr full_line) override {
     if (enc.compressed) {
       ++accesses_.lookups;
     } else if (enc.install) {
@@ -41,12 +41,12 @@ class IdealMirrorReceiver final : public ReceiverDecompressor {
 
 class NullSender final : public SenderCompressor {
  public:
-  Encoding compress(NodeId /*dst*/, Addr /*line*/) override { return Encoding{}; }
+  Encoding compress(NodeId /*dst*/, LineAddr /*line*/) override { return Encoding{}; }
 };
 
 class NullReceiver final : public ReceiverDecompressor {
  public:
-  Addr decode(NodeId /*src*/, const Encoding& /*enc*/, Addr full_line) override {
+  LineAddr decode(NodeId /*src*/, const Encoding& /*enc*/, LineAddr full_line) override {
     return full_line;
   }
 };

@@ -19,7 +19,7 @@ void Core::set_icache(protocol::ICache* icache, std::uint64_t code_lines) {
   code_cursor_ = pc_rng_.next_below(code_lines_);
 }
 
-Addr Core::next_code_line() {
+LineAddr Core::next_code_line() {
   // SPMD text: execution lives in a hot loop nest that fits the I-cache,
   // with rare excursions (calls into cold helpers/libraries) across the full
   // program text. This yields the sub-percent I-miss rates real SPLASH codes
@@ -34,7 +34,7 @@ Addr Core::next_code_line() {
   } else {
     code_cursor_ = pc_rng_.next_below(code_lines_);
   }
-  return core::kCodeBaseLine + code_cursor_;
+  return LineAddr{core::kCodeBaseLine.value() + code_cursor_};
 }
 
 void Core::on_ifill() {
@@ -42,7 +42,7 @@ void Core::on_ifill() {
   wait_ifetch_ = false;
 }
 
-void Core::on_fill(Addr line) {
+void Core::on_fill(LineAddr line) {
   if (wait_fill_ && line == wait_line_) {
     wait_fill_ = false;
     if (fill_retires_instr_) {

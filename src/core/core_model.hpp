@@ -37,7 +37,7 @@ class Core {
   void set_icache(protocol::ICache* icache, std::uint64_t code_lines);
 
   /// Called by the L1 fill callback.
-  void on_fill(Addr line);
+  void on_fill(LineAddr line);
   /// Called by the I-cache fill callback.
   void on_ifill();
   /// Called by the barrier controller when every core arrived.
@@ -59,27 +59,27 @@ class Core {
   StatRegistry* stats_;
   BarrierFn on_barrier_;
 
-  [[nodiscard]] Addr next_code_line();
+  [[nodiscard]] LineAddr next_code_line();
 
   protocol::ICache* icache_ = nullptr;
   std::uint64_t code_lines_ = 512;
   Rng pc_rng_{1};
   std::uint64_t code_cursor_ = 0;
   unsigned ifetch_budget_ = 0;
-  Addr pending_code_line_ = 0;   ///< line chosen for the in-progress fetch
+  LineAddr pending_code_line_{};     ///< line chosen for the in-progress fetch
   bool have_pending_line_ = false;
   bool wait_ifetch_ = false;
 
   bool done_ = false;
   bool wait_fill_ = false;
   bool wait_barrier_ = false;
-  Addr wait_line_ = 0;
+  LineAddr wait_line_{};
   bool fill_retires_instr_ = false;  ///< the blocked memory op retires on fill
   std::uint32_t compute_left_ = 0;
   bool has_op_ = false;
   Op op_{};
   std::uint64_t instructions_ = 0;
-  Cycle blocked_cycles_ = 0;
+  Cycle blocked_cycles_{0};
 };
 
 }  // namespace tcmp::core

@@ -27,14 +27,14 @@ enum class OpKind : std::uint8_t {
 
 struct Op {
   OpKind kind = OpKind::kDone;
-  Addr line = 0;
+  LineAddr line{};
   std::uint32_t count = 0;  ///< compute length or barrier id
 
-  static Op compute(std::uint32_t n) { return {OpKind::kCompute, 0, n}; }
-  static Op load(Addr line) { return {OpKind::kLoad, line, 0}; }
-  static Op store(Addr line) { return {OpKind::kStore, line, 0}; }
-  static Op barrier(std::uint32_t id) { return {OpKind::kBarrier, 0, id}; }
-  static Op done() { return {OpKind::kDone, 0, 0}; }
+  static Op compute(std::uint32_t n) { return {OpKind::kCompute, LineAddr{}, n}; }
+  static Op load(LineAddr line) { return {OpKind::kLoad, line, 0}; }
+  static Op store(LineAddr line) { return {OpKind::kStore, line, 0}; }
+  static Op barrier(std::uint32_t id) { return {OpKind::kBarrier, LineAddr{}, id}; }
+  static Op done() { return {OpKind::kDone, LineAddr{}, 0}; }
 };
 
 class Workload {
@@ -57,6 +57,6 @@ class Workload {
 };
 
 /// Line address where the (shared) program text is laid out.
-inline constexpr Addr kCodeBaseLine = 0x8000000;
+inline constexpr LineAddr kCodeBaseLine{0x8000000};
 
 }  // namespace tcmp::core

@@ -75,7 +75,7 @@ void TileNic::receive(CoherenceMsg msg, Cycle now, const DeliverFn& deliver) {
 
 void TileNic::decode_and_release(ClassState& cs, NodeId src, const CoherenceMsg& msg,
                                  const DeliverFn& deliver) {
-  const Addr decoded = cs.receiver->decode(src, msg.enc, msg.line);
+  const LineAddr decoded = cs.receiver->decode(src, msg.enc, msg.line);
   TCMP_CHECK_MSG(decoded == msg.line,
                  "compressor state diverged between sender and receiver");
   cs.next_recv_seq[src] = msg.seq + 1;

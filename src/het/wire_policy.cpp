@@ -49,7 +49,7 @@ MappingDecision map_message(MsgType type, bool address_compressed,
   if (address_compressed) {
     d.channel = noc::kVlChannel;
     d.compressed = true;
-    d.wire_bytes = protocol::kControlBytes + scheme.compressed_addr_bytes();
+    d.wire_bytes = Bytes{protocol::kControlBytes + scheme.compressed_addr_bytes()};
     return d;
   }
   // Critical but uncompressed: the full 11-byte message takes the B-Wires.

@@ -11,6 +11,7 @@
 // single 75-byte B channel at its uncompressed size.
 #pragma once
 
+#include "common/types.hpp"
 #include "compression/scheme.hpp"
 #include "protocol/coherence_msg.hpp"
 #include "wire/link_design.hpp"
@@ -18,8 +19,8 @@
 namespace tcmp::het {
 
 struct MappingDecision {
-  unsigned channel = 0;     ///< index into the link's channel set
-  unsigned wire_bytes = 0;  ///< modelled size on that channel
+  unsigned channel = 0;   ///< index into the link's channel set
+  Bytes wire_bytes{0};    ///< modelled size on that channel
   bool compressed = false;
 };
 

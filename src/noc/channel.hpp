@@ -9,28 +9,30 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "common/units.hpp"
 #include "wire/link_design.hpp"
 #include "wire/wire_spec.hpp"
 
 namespace tcmp::noc {
 
 struct ChannelSpec {
-  std::string name;           ///< "B" or "VL"
-  unsigned width_bytes = 75;  ///< flit width
-  unsigned link_cycles = 3;   ///< link traversal latency
-  wire::WireSpec wires;       ///< per-wire energy characteristics
+  std::string name;       ///< "B" or "VL"
+  Bytes width_bytes{75};  ///< flit width
+  unsigned link_cycles = 3;  ///< link traversal latency (cycles per hop)
+  wire::WireSpec wires;      ///< per-wire energy characteristics
 
   [[nodiscard]] unsigned width_bits() const { return width_bytes * 8; }
-  [[nodiscard]] unsigned flits_for(unsigned bytes) const {
-    return (bytes + width_bytes - 1) / width_bytes;
+  [[nodiscard]] Flits flits_for(Bytes bytes) const {
+    return Flits{(bytes + width_bytes - 1) / width_bytes};
   }
 };
 
-/// Channel set for a link partition at a given clock and link length.
-/// partition.heterogeneous() selects {VL, B-34} vs the single B-75 baseline.
+/// Channel set for a link partition at a given clock and link length
+/// (`link_length_mm` in the paper's mm units — the config boundary).
 [[nodiscard]] std::vector<ChannelSpec> make_channels(
-    const wire::LinkPartition& partition, double link_length_mm = 5.0,
-    double freq_hz = 4e9);
+    const wire::LinkPartition& partition,
+    double link_length_mm = 5.0,  // tcmplint: allow-raw-unit
+    units::Hertz freq = units::hertz(4e9));
 
 /// Channel index conventions. Channel 0 is always the B channel. For the
 /// paper's VL+B style, channel 1 is the VL bundle. For the Cheng [6]

@@ -29,7 +29,7 @@ struct Flit {
   // exact).
   std::uint16_t queue_cycles = 0;  ///< tail: NI wait + serialization cycles
   std::uint16_t wire_cycles = 0;   ///< tail: accumulated link-traversal cycles
-  Cycle injected_at = 0;          ///< head: packet injection time (latency stats)
+  Cycle injected_at{0};          ///< head: packet injection time (latency stats)
   protocol::CoherenceMsg msg{};   ///< valid on tail flits only
 };
 

@@ -181,7 +181,7 @@ void Network::build_tree(unsigned ch) {
 }
 
 void Network::inject(const protocol::CoherenceMsg& msg, unsigned channel,
-                     unsigned wire_bytes, Cycle now) {
+                     Bytes wire_bytes, Cycle now) {
   TCMP_CHECK(channel < planes_.size());
   TCMP_CHECK(msg.src < cfg_.nodes() && msg.dst < cfg_.nodes());
   TCMP_CHECK_MSG(msg.src != msg.dst, "local messages must not enter the mesh");
@@ -222,12 +222,12 @@ void Network::pump_lane(unsigned ch, NodeId node, unsigned vnet, Cycle now) {
   flit.head = i == 0;
   flit.tail = i + 1 == lane.total_flits;
   flit.active_bits =
-      static_cast<std::uint16_t>(8 * std::min(remaining, spec.width_bytes));
+      static_cast<std::uint16_t>(8 * std::min(remaining, spec.width_bytes.value()));
   flit.injected_at = pkt.queued_at;
   if (flit.tail) {
     flit.msg = pkt.msg;
     flit.queue_cycles = static_cast<std::uint16_t>(
-        std::min<Cycle>(now - pkt.queued_at, 0xFFFF));
+        std::min<std::uint64_t>((now - pkt.queued_at).value(), 0xFFFF));
   }
 
   const bool ok = at.router->try_inject(at.port, lane.vc, std::move(flit), now);
@@ -242,21 +242,21 @@ void Network::pump_lane(unsigned ch, NodeId node, unsigned vnet, Cycle now) {
 void Network::on_eject(unsigned ch, NodeId node, Flit&& flit, Cycle now) {
   if (!flit.tail) return;  // only the tail completes the packet
   const Cycle total = now - flit.injected_at;
-  planes_[ch].latency->add(total);
+  planes_[ch].latency->add(total.value());
   if (protocol::is_critical(flit.msg.type)) {
-    critical_latency_->add(total);
+    critical_latency_->add(total.value());
   }
   // Decompose: queue covers NI lane wait plus serialization (inject ->
   // tail leaves the NI); wire is accumulated link flight; the remainder is
   // router pipeline and contention time.
-  const Cycle queue = flit.queue_cycles;
-  const Cycle wire = flit.wire_cycles;
+  const Cycle queue{flit.queue_cycles};
+  const Cycle wire{flit.wire_cycles};
   const Cycle router = total - queue - wire;
   VnetLatency& vl = vnet_lat_[flit.vnet];
-  vl.total->add(total);
-  vl.queue->add(queue);
-  vl.router->add(router);
-  vl.wire->add(wire);
+  vl.total->add(total.value());
+  vl.queue->add(queue.value());
+  vl.router->add(router.value());
+  vl.wire->add(wire.value());
   if (obs_ != nullptr) [[unlikely]] {
     obs_->msg_ejected(flit.msg, now, total, queue, wire);
   }

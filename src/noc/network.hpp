@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "common/types.hpp"
+#include "common/units.hpp"
 #include "noc/channel.hpp"
 #include "noc/router.hpp"
 
@@ -32,10 +34,11 @@ struct NocConfig {
   unsigned vcs_per_vnet = 1;
   unsigned buffer_flits = 4;
   bool single_cycle_router = true;  ///< see Router::Config::single_cycle
-  double link_length_mm = 5.0;      ///< mesh hop length (tree: leaf links)
+  double link_length_mm = 5.0;  // tcmplint: allow-raw-unit (config boundary)
+                                ///< mesh hop length (tree: leaf links)
   /// Tree only: cluster-to-root links are this factor longer than leaf links.
   double tree_root_link_factor = 2.0;
-  double freq_hz = 4e9;
+  units::Hertz freq = units::hertz(4e9);
 
   [[nodiscard]] unsigned nodes() const { return width * height; }
 };
@@ -57,7 +60,7 @@ class Network {
   /// `wire_bytes` on the wire (after compression). Unbounded NI queue; the
   /// credit protocol applies from the local router inward.
   void inject(const protocol::CoherenceMsg& msg, unsigned channel,
-              unsigned wire_bytes, Cycle now);
+              Bytes wire_bytes, Cycle now);
 
   void tick(Cycle now);
 
@@ -68,7 +71,7 @@ class Network {
   [[nodiscard]] const ChannelSpec& channel(unsigned c) const { return cfg_.channels[c]; }
   [[nodiscard]] const NocConfig& config() const { return cfg_; }
   /// Total directed wire length of one channel plane (energy accounting).
-  [[nodiscard]] double total_directed_link_mm(unsigned c) const {
+  [[nodiscard]] double total_directed_link_mm(unsigned c) const {  // tcmplint: allow-raw-unit
     return planes_[c].total_link_mm;
   }
   /// Routers in one channel plane (5 for the tree, nodes() for the mesh).
@@ -77,15 +80,15 @@ class Network {
   }
 
   /// Total flits a packet of `wire_bytes` occupies on channel `c`.
-  [[nodiscard]] unsigned flits_for(unsigned c, unsigned wire_bytes) const {
+  [[nodiscard]] Flits flits_for(unsigned c, Bytes wire_bytes) const {
     return cfg_.channels[c].flits_for(wire_bytes);
   }
 
  private:
   struct Packet {
     protocol::CoherenceMsg msg;
-    unsigned wire_bytes = 0;
-    Cycle queued_at = 0;
+    Bytes wire_bytes{0};
+    Cycle queued_at{};
   };
 
   /// One injection lane per (node, channel, vnet): serializes packets into
@@ -109,7 +112,7 @@ class Network {
     std::vector<std::unique_ptr<Router>> routers;
     std::vector<Attach> attach;            ///< [node]
     std::vector<std::vector<Lane>> lanes;  ///< [node][vnet]
-    double total_link_mm = 0.0;
+    double total_link_mm = 0.0;  // tcmplint: allow-raw-unit (energy accounting, mm)
     // Cached stat slots (hot path).
     std::uint64_t* packets = nullptr;
     std::uint64_t* payload_bytes = nullptr;
@@ -140,7 +143,7 @@ class Network {
   };
   VnetLatency vnet_lat_[protocol::kNumVnets];
   std::uint64_t next_packet_id_ = 1;
-  Cycle now_ = 0;
+  Cycle now_{0};
 };
 
 }  // namespace tcmp::noc

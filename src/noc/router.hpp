@@ -56,7 +56,7 @@ class Router {
   /// Wire output `out_port` to `downstream`'s input `in_port` over a link of
   /// `link_cycles` latency and `link_mm` physical length (energy accounting).
   void connect(unsigned out_port, Router* downstream, unsigned in_port,
-               unsigned link_cycles, double link_mm);
+               unsigned link_cycles, double link_mm);  // tcmplint: allow-raw-unit (config boundary, mm)
   /// Deliver packets for destination tiles ejecting at `port` to `fn`.
   void set_eject(unsigned port, EjectFn fn);
   /// Destination `dst` leaves this router through `port`.
@@ -93,7 +93,7 @@ class Router {
  private:
   struct BufferedFlit {
     Flit flit;
-    Cycle buffered_at = 0;
+    Cycle buffered_at{0};
   };
 
   struct InputVc {
@@ -102,7 +102,7 @@ class Router {
     unsigned out_port = 0;
     bool vc_allocated = false;
     unsigned out_vc = 0;
-    Cycle allocated_at = 0;
+    Cycle allocated_at{0};
   };
 
   struct OutputVc {
@@ -116,7 +116,7 @@ class Router {
     Router* downstream = nullptr;
     unsigned downstream_port = 0;
     unsigned link_cycles = 0;
-    double link_mm = 0.0;
+    double link_mm = 0.0;  // tcmplint: allow-raw-unit (energy accounting, mm)
     EjectFn eject;  ///< set on ejection ports instead of a downstream
     std::vector<OutputVc> vcs;
     unsigned sa_rr = 0;  ///< round-robin pointer over (in_port, in_vc)

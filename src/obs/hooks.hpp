@@ -17,9 +17,9 @@ class ProtocolHooks {
 
   /// L1 miss lifetime: a request left the MSHR allocation path
   /// (issue_miss) ...
-  virtual void l1_miss_begin(NodeId tile, Addr line, bool is_write) = 0;
+  virtual void l1_miss_begin(NodeId tile, LineAddr line, bool is_write) = 0;
   /// ... and the fill installed (or was consumed use-once).
-  virtual void l1_miss_end(NodeId tile, Addr line) = 0;
+  virtual void l1_miss_end(NodeId tile, LineAddr line) = 0;
 
   /// The home directory finished the L2 access pipeline for a message and
   /// ran the protocol handler for it.

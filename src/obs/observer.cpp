@@ -18,10 +18,10 @@ constexpr const char* kNetCat[protocol::kNumVnets] = {"net.req", "net.fwd",
 constexpr const char* kNetColor[protocol::kNumVnets] = {
     "thread_state_running", "thread_state_iowait", "thread_state_runnable"};
 
-std::uint64_t miss_span_id(NodeId tile, Addr line) {
+std::uint64_t miss_span_id(NodeId tile, LineAddr line) {
   // (tile, line) is unique among open misses (one MSHR per line per tile);
   // fold the tile into the high bits well above any realistic line address.
-  return (static_cast<std::uint64_t>(tile) + 1) << 48 ^ line;
+  return (static_cast<std::uint64_t>(tile) + 1) << 48 ^ line.value();
 }
 
 std::string msg_args(const protocol::CoherenceMsg& msg) {
@@ -29,8 +29,8 @@ std::string msg_args(const protocol::CoherenceMsg& msg) {
   std::snprintf(buf, sizeof buf,
                 "\"type\":\"%s\",\"src\":%u,\"dst\":%u,\"line\":\"0x%" PRIx64
                 "\",\"critical\":%d",
-                protocol::to_string(msg.type), msg.src, msg.dst,
-                static_cast<std::uint64_t>(msg.line),
+                protocol::to_string(msg.type), static_cast<unsigned>(msg.src),
+                static_cast<unsigned>(msg.dst), msg.line.value(),
                 protocol::is_critical(msg.type) ? 1 : 0);
   return buf;
 }
@@ -114,7 +114,7 @@ void Observer::msg_hop(const protocol::CoherenceMsg& msg, NodeId router,
 
 void Observer::msg_ejected(const protocol::CoherenceMsg& msg, Cycle now,
                            Cycle total, Cycle queue, Cycle wire) {
-  window_latency_.add(total);
+  window_latency_.add(total.value());
   if (msg.trace_id == 0) return;
   TraceEvent e;
   e.name = "eject";
@@ -126,10 +126,10 @@ void Observer::msg_ejected(const protocol::CoherenceMsg& msg, Cycle now,
   std::snprintf(buf, sizeof buf,
                 "\"msg\":%u,\"lat\":%llu,\"queue\":%llu,\"router\":%llu,"
                 "\"wire\":%llu",
-                msg.trace_id, static_cast<unsigned long long>(total),
-                static_cast<unsigned long long>(queue),
-                static_cast<unsigned long long>(total - queue - wire),
-                static_cast<unsigned long long>(wire));
+                msg.trace_id, static_cast<unsigned long long>(total.value()),
+                static_cast<unsigned long long>(queue.value()),
+                static_cast<unsigned long long>((total - queue - wire).value()),
+                static_cast<unsigned long long>(wire.value()));
   e.args = buf;
   trace_.add(std::move(e));
 }
@@ -169,7 +169,7 @@ void Observer::nic_send(const protocol::CoherenceMsg& msg, bool compressed,
   trace_.add(std::move(e));
 }
 
-void Observer::lint_violation(Cycle cycle, Addr line,
+void Observer::lint_violation(Cycle cycle, LineAddr line,
                               const std::string& invariant,
                               const std::string& detail) {
   if (!tracing()) return;
@@ -181,7 +181,7 @@ void Observer::lint_violation(Cycle cycle, Addr line,
   e.cname = "terrible";
   char buf[96];
   std::snprintf(buf, sizeof buf, "\"invariant\":\"%s\",\"line\":\"0x%" PRIx64 "\"",
-                invariant.c_str(), static_cast<std::uint64_t>(line));
+                invariant.c_str(), line.value());
   e.args = std::string(buf) + ",\"detail\":\"" + detail + "\"";
   trace_.add(std::move(e), /*force=*/true);
 }
@@ -195,12 +195,13 @@ void Observer::nic_reorder_hold(const protocol::CoherenceMsg& msg) {
   e.tid = msg.dst;
   e.ts = now_;
   char buf[64];
-  std::snprintf(buf, sizeof buf, "\"src\":%u,\"seq\":%u", msg.src, msg.seq);
+  std::snprintf(buf, sizeof buf, "\"src\":%u,\"seq\":%u",
+                static_cast<unsigned>(msg.src), msg.seq);
   e.args = buf;
   trace_.add(std::move(e));
 }
 
-void Observer::l1_miss_begin(NodeId tile, Addr line, bool is_write) {
+void Observer::l1_miss_begin(NodeId tile, LineAddr line, bool is_write) {
   if (!tracing() || at_capacity()) return;
   const std::uint64_t id = miss_span_id(tile, line);
   TraceEvent e;
@@ -212,13 +213,12 @@ void Observer::l1_miss_begin(NodeId tile, Addr line, bool is_write) {
   e.id = id;
   e.cname = "rail_load";
   char buf[48];
-  std::snprintf(buf, sizeof buf, "\"line\":\"0x%" PRIx64 "\"",
-                static_cast<std::uint64_t>(line));
+  std::snprintf(buf, sizeof buf, "\"line\":\"0x%" PRIx64 "\"", line.value());
   e.args = buf;
   if (trace_.add(std::move(e))) open_misses_.emplace(id, "l1miss");
 }
 
-void Observer::l1_miss_end(NodeId tile, Addr line) {
+void Observer::l1_miss_end(NodeId tile, LineAddr line) {
   if (!tracing()) return;
   const std::uint64_t id = miss_span_id(tile, line);
   auto it = open_misses_.find(id);
@@ -244,7 +244,7 @@ void Observer::dir_msg_processed(NodeId tile, const protocol::CoherenceMsg& msg)
   e.ts = now_;
   char buf[48];
   std::snprintf(buf, sizeof buf, "\"type\":\"%s\",\"src\":%u",
-                protocol::to_string(msg.type), msg.src);
+                protocol::to_string(msg.type), static_cast<unsigned>(msg.src));
   e.args = buf;
   trace_.add(std::move(e));
 }

@@ -33,7 +33,7 @@ enum class Level { kOff = 0, kTimeseries = 1, kTrace = 2 };
 
 struct ObsConfig {
   Level level = Level::kTimeseries;
-  Cycle sample_interval = 10'000;
+  Cycle sample_interval{10'000};
   std::uint64_t max_trace_events = 4'000'000;
   std::string trace_path;       ///< written by finalize_to_files; empty = skip
   std::string timeseries_path;  ///< written by finalize_to_files; empty = skip
@@ -80,12 +80,12 @@ class Observer final : public ProtocolHooks {
   /// A runtime coherence-lint scan found an invariant violation. Emitted as
   /// a forced instant event so it survives the trace-capacity cap and lands
   /// next to the message-lifecycle spans that led up to it.
-  void lint_violation(Cycle cycle, Addr line, const std::string& invariant,
+  void lint_violation(Cycle cycle, LineAddr line, const std::string& invariant,
                       const std::string& detail);
 
   // --- ProtocolHooks (protocol layer; use the observer clock) ---
-  void l1_miss_begin(NodeId tile, Addr line, bool is_write) override;
-  void l1_miss_end(NodeId tile, Addr line) override;
+  void l1_miss_begin(NodeId tile, LineAddr line, bool is_write) override;
+  void l1_miss_end(NodeId tile, LineAddr line) override;
   void dir_msg_processed(NodeId tile, const protocol::CoherenceMsg& msg) override;
 
   // --- time-series wiring ---
@@ -114,7 +114,7 @@ class Observer final : public ProtocolHooks {
 
   ObsConfig cfg_;
   const StatRegistry* stats_;
-  Cycle now_ = 0;
+  Cycle now_{0};
   TimeSeries ts_;
   TraceWriter trace_;
   std::uint32_t next_trace_id_ = 1;
@@ -123,7 +123,7 @@ class Observer final : public ProtocolHooks {
   std::unordered_map<std::uint64_t, const char*> open_misses_;
   /// Windowed network latency (all classes) feeding the time-series
   /// quantile columns; cleared at every window boundary.
-  Histogram window_latency_{96, 2};
+  Histogram window_latency_{96, 2};  // tcmplint: allow-local-stat (windowed, not a report stat)
   bool finalized_ = false;
 };
 

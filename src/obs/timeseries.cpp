@@ -9,7 +9,7 @@ namespace tcmp::obs {
 
 TimeSeries::TimeSeries(const StatRegistry* stats, Cycle interval)
     : stats_(stats), interval_(interval), next_boundary_(interval) {
-  TCMP_CHECK(stats_ != nullptr && interval_ >= 1);
+  TCMP_CHECK(stats_ != nullptr && interval_ >= Cycle{1});
 }
 
 void TimeSeries::add_counter(std::string column, std::string counter) {
@@ -100,7 +100,8 @@ void TimeSeries::write_csv(std::ostream& out) const {
     out << ',' << h.prefix << "_p50," << h.prefix << "_p95," << h.prefix << "_p99";
   out << '\n';
   for (const auto& w : windows_) {
-    out << w.index << ',' << w.phase << ',' << w.start << ',' << w.end;
+    out << w.index << ',' << w.phase << ',' << w.start.value() << ','
+        << w.end.value();
     for (const auto d : w.counter_deltas) out << ',' << d;
     char buf[32];
     for (const auto v : w.values) {

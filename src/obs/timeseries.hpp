@@ -25,8 +25,8 @@ class TimeSeries {
   struct Window {
     std::uint64_t index = 0;
     char phase = 'm';  ///< 'w' = functional warmup, 'm' = measured
-    Cycle start = 0;
-    Cycle end = 0;
+    Cycle start{0};
+    Cycle end{0};
     std::vector<std::uint64_t> counter_deltas;  ///< one per counter column
     std::vector<double> values;  ///< ratios, gauges, histogram quantiles
   };
@@ -93,7 +93,7 @@ class TimeSeries {
 
   const StatRegistry* stats_;
   Cycle interval_;
-  Cycle window_start_ = 0;
+  Cycle window_start_{0};
   Cycle next_boundary_;
   char phase_ = 'm';
 

@@ -40,7 +40,7 @@ void TraceWriter::write(std::ostream& out) const {
     sep();
     out << "{\"name\":\"" << e.name << "\",\"cat\":\"" << e.cat
         << "\",\"ph\":\"" << e.ph << "\",\"pid\":" << e.pid
-        << ",\"tid\":" << e.tid << ",\"ts\":" << e.ts;
+        << ",\"tid\":" << e.tid << ",\"ts\":" << e.ts.value();
     if (e.ph == 'b' || e.ph == 'e') out << ",\"id\":" << e.id;
     if (e.ph == 'i') out << ",\"s\":\"t\"";
     if (e.cname != nullptr) out << ",\"cname\":\"" << e.cname << "\"";
@@ -50,7 +50,7 @@ void TraceWriter::write(std::ostream& out) const {
   sep();
   out << "{\"name\":\"trace_done\",\"cat\":\"meta\",\"ph\":\"i\",\"pid\":1,"
          "\"tid\":0,\"ts\":"
-      << (events_.empty() ? 0 : events_.back().ts)
+      << (events_.empty() ? 0 : events_.back().ts.value())
       << ",\"s\":\"g\",\"args\":{\"events\":" << events_.size()
       << ",\"dropped\":" << dropped_ << "}}";
   out << "\n]}\n";

@@ -28,7 +28,7 @@ struct TraceEvent {
   char ph = 'i';           ///< 'b'/'e' async span, 'i' instant, 'C' counter
   std::uint32_t pid = 1;
   std::uint32_t tid = 0;
-  Cycle ts = 0;
+  Cycle ts{0};
   std::uint64_t id = 0;    ///< async span id (b/e only)
   const char* cname = nullptr;  ///< optional chrome color name
   std::string args;        ///< preformatted JSON object body, may be empty

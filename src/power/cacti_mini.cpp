@@ -30,14 +30,14 @@ ArrayCosts array_costs(const ArrayParams& p) {
   const double root = std::sqrt(bits);
   ArrayCosts c;
   if (p.kind == ArrayKind::kCam) {
-    c.area_mm2 = (kCamAreaUm2PerBit * bits + kCamAreaUm2PerSqrtBit * root) * 1e-6;
-    c.access_energy_j =
-        (kCamEnergyPjPerBit * bits + kCamEnergyPjPerSqrtBit * root) * 1e-12;
-    c.leakage_w = (kCamLeakMwPerBit * bits + kCamLeakMwPerSqrtBit * root) * 1e-3;
+    c.area = units::mm2((kCamAreaUm2PerBit * bits + kCamAreaUm2PerSqrtBit * root) * 1e-6);
+    c.access_energy =
+        units::joules((kCamEnergyPjPerBit * bits + kCamEnergyPjPerSqrtBit * root) * 1e-12);
+    c.leakage = units::watts((kCamLeakMwPerBit * bits + kCamLeakMwPerSqrtBit * root) * 1e-3);
   } else {
-    c.area_mm2 = kRegAreaUm2PerBit * bits * 1e-6;
-    c.access_energy_j = kRegEnergyPjPerBit * bits * 1e-12;
-    c.leakage_w = kRegLeakMwPerBit * bits * 1e-3;
+    c.area = units::mm2(kRegAreaUm2PerBit * bits * 1e-6);
+    c.access_energy = units::joules(kRegEnergyPjPerBit * bits * 1e-12);
+    c.leakage = units::watts(kRegLeakMwPerBit * bits * 1e-3);
   }
   return c;
 }

@@ -14,6 +14,8 @@
 // bench/table1_compression_hw and recorded in EXPERIMENTS.md).
 #pragma once
 
+#include "common/units.hpp"
+
 namespace tcmp::power {
 
 enum class ArrayKind { kCam, kRegister };
@@ -27,14 +29,14 @@ struct ArrayParams {
 };
 
 struct ArrayCosts {
-  double area_mm2 = 0.0;
-  double access_energy_j = 0.0;  ///< one lookup or one update
-  double leakage_w = 0.0;
+  units::SquareMeters area;
+  units::Joules access_energy;  ///< one lookup or one update
+  units::Watts leakage;
 
   ArrayCosts& operator+=(const ArrayCosts& o) {
-    area_mm2 += o.area_mm2;
-    access_energy_j += o.access_energy_j;
-    leakage_w += o.leakage_w;
+    area += o.area;
+    access_energy += o.access_energy;
+    leakage += o.leakage;
     return *this;
   }
 };
@@ -44,12 +46,12 @@ struct ArrayCosts {
 
 /// Reference area of one tile/core (25 mm^2, Table 4) used for the
 /// percentage columns of Table 1.
-inline constexpr double kCoreAreaMm2 = 25.0;
+inline constexpr units::SquareMeters kCoreArea = units::mm2(25.0);
 
 /// Reference per-core max dynamic power and static power used for the
 /// percentage columns of Table 1 (derived from the paper's 0.48% == 0.1065 W
 /// and 0.29% == 10.78 mW anchors).
-inline constexpr double kCoreMaxDynPowerW = 22.2;
-inline constexpr double kCoreStaticPowerW = 3.72;
+inline constexpr units::Watts kCoreMaxDynPower = units::watts(22.2);
+inline constexpr units::Watts kCoreStaticPower = units::watts(3.72);
 
 }  // namespace tcmp::power

@@ -6,6 +6,8 @@
 // cites: 36% / 50% of chip power in the interconnect).
 #pragma once
 
+#include "common/units.hpp"
+
 namespace tcmp::power {
 
 struct ChipPowerModel {
@@ -14,16 +16,18 @@ struct ChipPowerModel {
   // leakage assumptions as the paper's Table 2 wire numbers, so that the
   // interconnect's share of full-chip energy lands in the ~35-40% range the
   // paper's Fig. 6/7 relationship implies (and Wang'02/Magen'04 report).
-  double core_energy_per_instr_j = 1.2e-9;  ///< pipeline + RF + bypass
-  double l1_access_j = 0.1e-9;              ///< 32 KB 4-way read/write
-  double l2_access_j = 0.5e-9;              ///< 256 KB bank access
-  double mem_access_j = 10e-9;              ///< off-chip DRAM access (per line)
+  units::Joules core_energy_per_instr = units::joules(1.2e-9);  ///< pipeline + RF
+  units::Joules l1_access = units::joules(0.1e-9);   ///< 32 KB 4-way read/write
+  units::Joules l2_access = units::joules(0.5e-9);   ///< 256 KB bank access
+  units::Joules mem_access = units::joules(10e-9);   ///< off-chip DRAM (per line)
 
   // Leakage per tile (core + L1 + L2 slice), drawn every cycle.
-  double core_leakage_w = 8.0;
-  double cache_leakage_w = 4.0;
+  units::Watts core_leakage = units::watts(8.0);
+  units::Watts cache_leakage = units::watts(4.0);
 
-  [[nodiscard]] double tile_leakage_w() const { return core_leakage_w + cache_leakage_w; }
+  [[nodiscard]] units::Watts tile_leakage() const {
+    return core_leakage + cache_leakage;
+  }
 };
 
 }  // namespace tcmp::power

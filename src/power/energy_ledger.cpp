@@ -23,8 +23,8 @@ const char* to_string(EnergyAccount a) {
   return "?";
 }
 
-double EnergyLedger::interconnect_total() const {
-  double sum = 0.0;
+units::Joules EnergyLedger::interconnect_total() const {
+  units::Joules sum;
   for (auto a : {EnergyAccount::kLinkDynamic, EnergyAccount::kLinkStatic,
                  EnergyAccount::kRouterBuffer, EnergyAccount::kRouterCrossbar,
                  EnergyAccount::kRouterArbiter, EnergyAccount::kRouterStatic,
@@ -35,9 +35,9 @@ double EnergyLedger::interconnect_total() const {
   return sum;
 }
 
-double EnergyLedger::total() const {
-  double sum = 0.0;
-  for (double v : accounts_) sum += v;
+units::Joules EnergyLedger::total() const {
+  units::Joules sum;
+  for (units::Joules v : accounts_) sum += v;
   return sum;
 }
 

@@ -1,11 +1,14 @@
 // Energy accounting. Every component charges joules to a named account; the
 // report layer aggregates link/router/compression accounts into the
 // "interconnect" energy the paper's Figure 6 (bottom) uses, and all accounts
-// into the full-CMP energy of Figure 7.
+// into the full-CMP energy of Figure 7. Accounts are dimension-checked:
+// only units::Joules can be charged.
 #pragma once
 
 #include <array>
 #include <cstddef>
+
+#include "common/units.hpp"
 
 namespace tcmp::power {
 
@@ -31,27 +34,27 @@ enum class EnergyAccount : std::size_t {
 
 class EnergyLedger {
  public:
-  void add(EnergyAccount account, double joules) {
-    accounts_[static_cast<std::size_t>(account)] += joules;
+  void add(EnergyAccount account, units::Joules amount) {
+    accounts_[static_cast<std::size_t>(account)] += amount;
   }
 
-  [[nodiscard]] double get(EnergyAccount account) const {
+  [[nodiscard]] units::Joules get(EnergyAccount account) const {
     return accounts_[static_cast<std::size_t>(account)];
   }
 
   /// Links + routers + compression hardware: the "interconnect" energy whose
   /// ED2P Figure 6 (bottom) reports.
-  [[nodiscard]] double interconnect_total() const;
+  [[nodiscard]] units::Joules interconnect_total() const;
 
   /// Everything, for the full-CMP ED2P of Figure 7.
-  [[nodiscard]] double total() const;
+  [[nodiscard]] units::Joules total() const;
 
-  void reset() { accounts_.fill(0.0); }
+  void reset() { accounts_.fill(units::Joules{}); }
 
   EnergyLedger& operator+=(const EnergyLedger& other);
 
  private:
-  std::array<double, static_cast<std::size_t>(EnergyAccount::kCount)> accounts_{};
+  std::array<units::Joules, static_cast<std::size_t>(EnergyAccount::kCount)> accounts_{};
 };
 
 }  // namespace tcmp::power

@@ -2,6 +2,7 @@
 #pragma once
 
 #include "common/check.hpp"
+#include "common/units.hpp"
 
 namespace tcmp::power {
 
@@ -12,8 +13,18 @@ namespace tcmp::power {
   return energy * delay * delay;
 }
 
+/// Dimension-checked overload: joules in, seconds in — anything else is a
+/// compile error.
+[[nodiscard]] inline double ed2p(units::Joules energy, units::Seconds delay) {
+  return energy.value() * delay.value() * delay.value();
+}
+
 /// Energy-delay product.
 [[nodiscard]] inline double edp(double energy, double delay) { return energy * delay; }
+
+[[nodiscard]] inline double edp(units::Joules energy, units::Seconds delay) {
+  return energy.value() * delay.value();
+}
 
 /// value/baseline with a guard against a degenerate baseline.
 [[nodiscard]] inline double normalized(double value, double baseline) {

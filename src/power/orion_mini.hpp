@@ -5,40 +5,43 @@
 // abstraction Orion provides to architecture simulators.
 #pragma once
 
+#include "common/units.hpp"
+
 namespace tcmp::power {
 
 struct RouterEnergyModel {
   // Per-flit event energies, linear in flit width.
-  double buffer_write_j_per_bit = 0.020e-12;  ///< 20 fJ/bit
-  double buffer_read_j_per_bit = 0.016e-12;
-  double crossbar_j_per_bit = 0.030e-12;
-  double arbitration_j_per_flit = 0.20e-12;  ///< fixed per traversal
+  units::Joules buffer_write_per_bit = units::joules(0.020e-12);  ///< 20 fJ/bit
+  units::Joules buffer_read_per_bit = units::joules(0.016e-12);
+  units::Joules crossbar_per_bit = units::joules(0.030e-12);
+  units::Joules arbitration_per_flit = units::joules(0.20e-12);  ///< per traversal
 
   // Leakage: per bit of buffer storage plus a fixed per-port datapath term.
-  double leakage_w_per_buffer_bit = 18e-9;
-  double leakage_w_per_port = 0.4e-3;
+  units::Watts leakage_per_buffer_bit = units::watts(18e-9);
+  units::Watts leakage_per_port = units::watts(0.4e-3);
 
-  [[nodiscard]] double buffer_write_j(unsigned flit_bits) const {
-    return buffer_write_j_per_bit * flit_bits;
+  [[nodiscard]] units::Joules buffer_write_energy(unsigned flit_bits) const {
+    return buffer_write_per_bit * flit_bits;
   }
-  [[nodiscard]] double buffer_read_j(unsigned flit_bits) const {
-    return buffer_read_j_per_bit * flit_bits;
+  [[nodiscard]] units::Joules buffer_read_energy(unsigned flit_bits) const {
+    return buffer_read_per_bit * flit_bits;
   }
-  [[nodiscard]] double crossbar_j(unsigned flit_bits) const {
-    return crossbar_j_per_bit * flit_bits;
+  [[nodiscard]] units::Joules crossbar_energy(unsigned flit_bits) const {
+    return crossbar_per_bit * flit_bits;
   }
-  [[nodiscard]] double traversal_j(unsigned flit_bits) const {
-    return buffer_read_j(flit_bits) + crossbar_j(flit_bits) + arbitration_j_per_flit;
+  [[nodiscard]] units::Joules traversal_energy(unsigned flit_bits) const {
+    return buffer_read_energy(flit_bits) + crossbar_energy(flit_bits) +
+           arbitration_per_flit;
   }
 
   /// Static power of one router: `ports` in/out port pairs, `vcs` virtual
   /// channels per port of `buffer_flits` flits of `flit_bits` each.
-  [[nodiscard]] double router_leakage_w(unsigned ports, unsigned vcs,
-                                        unsigned buffer_flits,
-                                        unsigned flit_bits) const {
+  [[nodiscard]] units::Watts router_leakage(unsigned ports, unsigned vcs,
+                                            unsigned buffer_flits,
+                                            unsigned flit_bits) const {
     const double storage_bits =
         static_cast<double>(ports) * vcs * buffer_flits * flit_bits;
-    return leakage_w_per_buffer_bit * storage_bits + leakage_w_per_port * ports;
+    return leakage_per_buffer_bit * storage_bits + leakage_per_port * ports;
   }
 };
 

@@ -1,7 +1,9 @@
 // Generic set-associative array with true-LRU replacement, parameterized by a
 // per-line payload (L1 stores an L1 state; the L2 slice stores data-presence
-// plus the directory entry). Only metadata is tracked — the simulator models
-// addresses and states, not data values.
+// plus the directory entry) and by the strong key type it is indexed with
+// (LineAddr for caches, DirKey for the home-stripped directory array). Only
+// metadata is tracked — the simulator models addresses and states, not data
+// values.
 #pragma once
 
 #include <bit>
@@ -14,11 +16,19 @@
 
 namespace tcmp::protocol {
 
-template <typename Payload>
+/// A strong integer key: explicit construction from its representation and
+/// explicit `.value()` read-out (LineAddr, DirKey, ...).
+template <typename K>
+concept StrongKey = requires(K k, std::uint64_t v) {
+  K{v};
+  { k.value() } -> std::convertible_to<std::uint64_t>;
+};
+
+template <typename Payload, StrongKey Key = LineAddr>
 class CacheArray {
  public:
   struct Line {
-    Addr tag = 0;
+    std::uint64_t tag = 0;
     std::uint64_t lru_stamp = 0;
     bool valid = false;
     Payload payload{};
@@ -38,27 +48,27 @@ class CacheArray {
   [[nodiscard]] unsigned sets() const { return sets_; }
   [[nodiscard]] unsigned ways() const { return ways_; }
 
-  /// Find the line holding `line_addr`; returns nullptr on miss. Does not
-  /// touch LRU (use `touch` on an actual access).
-  [[nodiscard]] Line* find(Addr line_addr) {
-    const unsigned set = set_of(line_addr);
-    const Addr tag = tag_of(line_addr);
+  /// Find the line holding `key`; returns nullptr on miss. Does not touch
+  /// LRU (use `touch` on an actual access).
+  [[nodiscard]] Line* find(Key key) {
+    const unsigned set = set_of(key);
+    const std::uint64_t tag = tag_of(key);
     for (unsigned w = 0; w < ways_; ++w) {
       Line& l = lines_[set * ways_ + w];
       if (l.valid && l.tag == tag) return &l;
     }
     return nullptr;
   }
-  [[nodiscard]] const Line* find(Addr line_addr) const {
-    return const_cast<CacheArray*>(this)->find(line_addr);
+  [[nodiscard]] const Line* find(Key key) const {
+    return const_cast<CacheArray*>(this)->find(key);
   }
 
   void touch(Line& line) { line.lru_stamp = ++clock_; }
 
-  /// The line that would be evicted to make room for `line_addr` (invalid
-  /// lines first, then LRU). Never returns nullptr.
-  [[nodiscard]] Line* victim(Addr line_addr) {
-    const unsigned set = set_of(line_addr);
+  /// The line that would be evicted to make room for `key` (invalid lines
+  /// first, then LRU). Never returns nullptr.
+  [[nodiscard]] Line* victim(Key key) {
+    const unsigned set = set_of(key);
     Line* best = &lines_[set * ways_];
     for (unsigned w = 0; w < ways_; ++w) {
       Line& l = lines_[set * ways_ + w];
@@ -68,28 +78,28 @@ class CacheArray {
     return best;
   }
 
-  /// Install `line_addr` into `slot` (which must belong to its set).
-  void fill(Line& slot, Addr line_addr) {
-    TCMP_DCHECK(&slot >= &lines_[set_of(line_addr) * ways_] &&
-                &slot < &lines_[set_of(line_addr) * ways_] + ways_);
+  /// Install `key` into `slot` (which must belong to its set).
+  void fill(Line& slot, Key key) {
+    TCMP_DCHECK(&slot >= &lines_[set_of(key) * ways_] &&
+                &slot < &lines_[set_of(key) * ways_] + ways_);
     slot.valid = true;
-    slot.tag = tag_of(line_addr);
+    slot.tag = tag_of(key);
     slot.payload = Payload{};
     touch(slot);
   }
 
   void invalidate(Line& slot) { slot.valid = false; }
 
-  /// Reconstruct the full line address of an (assumed valid) slot.
-  [[nodiscard]] Addr address_of(const Line& slot) const {
+  /// Reconstruct the full key of an (assumed valid) slot.
+  [[nodiscard]] Key address_of(const Line& slot) const {
     const std::size_t idx = static_cast<std::size_t>(&slot - lines_.data());
     const unsigned set = static_cast<unsigned>(idx / ways_);
-    return (slot.tag * sets_) + set;
+    return Key{(slot.tag * sets_) + set};
   }
 
-  /// All ways of the set `line_addr` maps to (victim policies, tests).
-  [[nodiscard]] std::span<Line> set_lines(Addr line_addr) {
-    return {&lines_[static_cast<std::size_t>(set_of(line_addr)) * ways_], ways_};
+  /// All ways of the set `key` maps to (victim policies, tests).
+  [[nodiscard]] std::span<Line> set_lines(Key key) {
+    return {&lines_[static_cast<std::size_t>(set_of(key)) * ways_], ways_};
   }
 
   /// Visit every valid line (tests / invariant checks).
@@ -104,10 +114,10 @@ class CacheArray {
       if (l.valid) fn(l);
   }
 
-  [[nodiscard]] unsigned set_of(Addr line_addr) const {
-    return static_cast<unsigned>(line_addr & (sets_ - 1));
+  [[nodiscard]] unsigned set_of(Key key) const {
+    return static_cast<unsigned>(key.value() & (sets_ - 1));
   }
-  [[nodiscard]] Addr tag_of(Addr line_addr) const { return line_addr / sets_; }
+  [[nodiscard]] std::uint64_t tag_of(Key key) const { return key.value() / sets_; }
 
  private:
   unsigned sets_;

@@ -72,13 +72,13 @@ bool is_critical(MsgType t) {
 
 bool is_short(MsgType t) { return !carries_data(t); }
 
-unsigned uncompressed_bytes(MsgType t) {
-  if (carries_data(t)) return kControlBytes + kLineBytes;  // 67
-  if (carries_address(t)) return kControlBytes + kAddressBytes;  // 11
+Bytes uncompressed_bytes(MsgType t) {
+  if (carries_data(t)) return Bytes{kControlBytes + kLineBytes};  // 67
+  if (carries_address(t)) return Bytes{kControlBytes + kAddressBytes};  // 11
   // Partial replies carry the critical word (8 B) plus control; the line
   // address is implied by the MSHR id in the control header ([9]).
-  if (t == MsgType::kPartialReply) return kControlBytes + 8;  // 11
-  return kControlBytes;  // 3
+  if (t == MsgType::kPartialReply) return Bytes{kControlBytes + 8};  // 11
+  return Bytes{kControlBytes};  // 3
 }
 
 compression::MsgClass compression_class(MsgType t) {

@@ -75,7 +75,7 @@ inline constexpr unsigned kAddressBytes = 8;
 [[nodiscard]] bool is_short(MsgType t);
 
 /// Uncompressed wire size in bytes.
-[[nodiscard]] unsigned uncompressed_bytes(MsgType t);
+[[nodiscard]] Bytes uncompressed_bytes(MsgType t);
 
 /// Which compression hardware class handles this message type (requests vs
 /// commands use separate structures, Sec. 3.1). Only meaningful when
@@ -98,7 +98,7 @@ struct CoherenceMsg {
   NodeId dst = kInvalidNode;
   Unit dst_unit = Unit::kDir;
   Unit ack_unit = Unit::kL1;  ///< on Inv: where the InvAck must be sent
-  Addr line = 0;             ///< block (line) address
+  LineAddr line{};                  ///< block (line) address
   NodeId requester = kInvalidNode;  ///< original requester (for forwards/acks)
   std::uint16_t ack_count = 0;      ///< inv-acks the requester must collect
   bool dirty_data = false;          ///< revision/writeback carries dirty line

@@ -26,11 +26,13 @@ void Directory::send(CoherenceMsg msg) {
 
 // Lines are interleaved across home slices (home = line % n); the slice's
 // array indexes the home-stripped line number so all sets are usable.
-Addr Directory::key_of(Addr line) const {
-  TCMP_DCHECK(line % n_nodes_ == id_);
-  return line / n_nodes_;
+DirKey Directory::key_of(LineAddr line) const {
+  TCMP_DCHECK(line.value() % n_nodes_ == id_);
+  return DirKey{line.value() / n_nodes_};
 }
-Addr Directory::line_of_key(Addr key) const { return key * n_nodes_ + id_; }
+LineAddr Directory::line_of_key(DirKey key) const {
+  return LineAddr{key.value() * n_nodes_ + id_};
+}
 
 void Directory::deliver(const CoherenceMsg& msg, Cycle now) {
   now_ = now;
@@ -57,30 +59,30 @@ bool Directory::quiescent() const {
          busy_lines_ == 0 && queued_msgs_ == 0;
 }
 
-std::optional<Directory::EntryView> Directory::entry_of(Addr line) const {
+std::optional<Directory::EntryView> Directory::entry_of(LineAddr line) const {
   const auto* l = array_.find(key_of(line));
   if (l == nullptr) return std::nullopt;
   return EntryView{l->payload.state, l->payload.sharers, l->payload.owner,
                    l->payload.fwd_requester};
 }
 
-std::optional<DirState> Directory::dir_state_of(Addr line) const {
+std::optional<DirState> Directory::dir_state_of(LineAddr line) const {
   const auto* l = array_.find(key_of(line));
   if (l == nullptr) return std::nullopt;
   return l->payload.state;
 }
 
-std::uint32_t Directory::sharers_of(Addr line) const {
+std::uint32_t Directory::sharers_of(LineAddr line) const {
   const auto* l = array_.find(key_of(line));
   return l != nullptr ? l->payload.sharers : 0;
 }
 
-NodeId Directory::owner_of(Addr line) const {
+NodeId Directory::owner_of(LineAddr line) const {
   const auto* l = array_.find(key_of(line));
   return l != nullptr ? l->payload.owner : kInvalidNode;
 }
 
-std::uint32_t Directory::version_of(Addr line) const {
+std::uint32_t Directory::version_of(LineAddr line) const {
   const auto* l = array_.find(key_of(line));
   return l != nullptr ? l->payload.version : 0;
 }
@@ -114,8 +116,8 @@ void Directory::process(const CoherenceMsg& msg) {
 }
 
 void Directory::handle_request(const CoherenceMsg& msg) {
-  const Addr line = msg.line;
-  TCMP_DCHECK(line % n_nodes_ == id_);
+  const LineAddr line = msg.line;
+  TCMP_DCHECK(line.value() % n_nodes_ == id_);
 
   if (auto it = mem_txns_.find(line); it != mem_txns_.end()) {
     it->second.pending.push_back(msg);
@@ -153,7 +155,7 @@ void Directory::handle_request(const CoherenceMsg& msg) {
   handle_request_hit(msg, *l);
 }
 
-void Directory::send_partial_reply(NodeId requester, Addr line) {
+void Directory::send_partial_reply(NodeId requester, LineAddr line) {
   if (!cfg_.reply_partitioning) return;
   CoherenceMsg partial;
   partial.type = MsgType::kPartialReply;
@@ -177,7 +179,7 @@ void Directory::reply_data(const CoherenceMsg& req, MsgType type, std::uint16_t 
   send(rsp);
 }
 
-void Directory::send_invs(Addr line, std::uint32_t sharers, NodeId collector,
+void Directory::send_invs(LineAddr line, std::uint32_t sharers, NodeId collector,
                           Unit ack_unit) {
   for (unsigned n = 0; n < n_nodes_; ++n) {
     if ((sharers >> n) & 1) {
@@ -197,7 +199,7 @@ void Directory::send_invs(Addr line, std::uint32_t sharers, NodeId collector,
 void Directory::handle_request_hit(const CoherenceMsg& msg, Array::Line& l) {
   array_.touch(l);
   DirEntry& e = l.payload;
-  const Addr line = msg.line;
+  const LineAddr line = msg.line;
   const NodeId req = msg.requester;
   const std::uint32_t req_bit = 1u << req;
 
@@ -280,7 +282,7 @@ void Directory::handle_request_hit(const CoherenceMsg& msg, Array::Line& l) {
 }
 
 void Directory::handle_put(const CoherenceMsg& msg) {
-  const Addr line = msg.line;
+  const LineAddr line = msg.line;
   auto* l = array_.find(key_of(line));
 
   CoherenceMsg ack;
@@ -351,7 +353,7 @@ void Directory::handle_put(const CoherenceMsg& msg) {
   send(ack);
 }
 
-void Directory::release_put_ack(Addr line, NodeId owner) {
+void Directory::release_put_ack(LineAddr line, NodeId owner) {
   CoherenceMsg ack;
   ack.type = MsgType::kPutAck;
   ack.dst = owner;
@@ -361,7 +363,7 @@ void Directory::release_put_ack(Addr line, NodeId owner) {
 }
 
 void Directory::handle_revision(const CoherenceMsg& msg) {
-  const Addr line = msg.line;
+  const LineAddr line = msg.line;
   auto* l = array_.find(key_of(line));
   if (l == nullptr) {
     // Recall completed via a crossing Put; this Revision is the echo.
@@ -432,7 +434,7 @@ void Directory::handle_inv_ack(const CoherenceMsg& msg) {
   if (--e.recall_acks_pending == 0) finish_recall(*l);
 }
 
-void Directory::start_fill(Addr line, const CoherenceMsg& first) {
+void Directory::start_fill(LineAddr line, const CoherenceMsg& first) {
   MemTxn txn;
   txn.pending.push_back(first);
   ++queued_msgs_;
@@ -441,12 +443,12 @@ void Directory::start_fill(Addr line, const CoherenceMsg& first) {
   ++stats_->counter("mem.reads");
 }
 
-void Directory::try_install_fill(Addr line) {
+void Directory::try_install_fill(LineAddr line) {
   auto it = mem_txns_.find(line);
   if (it == mem_txns_.end() || !it->second.fill_arrived) return;
 
   // Find an evictable way: invalid first, then the LRU non-busy line.
-  const Addr key = key_of(line);
+  const DirKey key = key_of(line);
   Array::Line* victim = nullptr;
   for (auto& cand : array_.set_lines(key)) {
     if (!cand.valid) {
@@ -488,7 +490,7 @@ void Directory::try_install_fill(Addr line) {
 
 void Directory::start_recall(Array::Line& l) {
   DirEntry& e = l.payload;
-  const Addr line = line_of_key(array_.address_of(l));
+  const LineAddr line = line_of_key(array_.address_of(l));
   TCMP_CHECK(e.state == DirState::kShared || e.state == DirState::kExclusive);
   ++stats_->counter("dir.recalls");
   if (e.state == DirState::kShared) {
@@ -525,11 +527,11 @@ void Directory::finish_recall(Array::Line& l) {
 void Directory::retry_blocked_fills() {
   // Snapshot first: try_install_fill erases from (and drain_pending may
   // insert into) mem_txns_.
-  std::vector<Addr> ready;
+  std::vector<LineAddr> ready;
   ready.reserve(mem_txns_.size());
   for (const auto& [fill_line, txn] : mem_txns_)
     if (txn.fill_arrived) ready.push_back(fill_line);
-  for (Addr fill_line : ready) try_install_fill(fill_line);
+  for (LineAddr fill_line : ready) try_install_fill(fill_line);
 }
 
 void Directory::drain_pending(std::deque<CoherenceMsg> msgs) {

@@ -30,6 +30,20 @@
 
 namespace tcmp::protocol {
 
+/// Home-stripped directory index (line = key * n_nodes + home). A distinct
+/// strong type: a DirKey indexes one slice's array and is meaningless as a
+/// global line address, so the two cannot be interchanged.
+class DirKey {
+ public:
+  constexpr DirKey() = default;
+  constexpr explicit DirKey(std::uint64_t v) : v_(v) {}
+  [[nodiscard]] constexpr std::uint64_t value() const { return v_; }
+  friend constexpr bool operator==(DirKey, DirKey) = default;
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
 enum class DirState : std::uint8_t {
   kInvalid,    ///< no L1 copies; L2 data valid
   kShared,     ///< sharers bitmap; L2 data valid
@@ -44,8 +58,8 @@ class Directory {
   struct Config {
     unsigned sets = 1024;      ///< 256 KB slice, 4-way, 64 B lines
     unsigned ways = 4;
-    Cycle l2_latency = 8;      ///< Table 4: 6+2 cycles
-    Cycle memory_latency = 400;
+    Cycle l2_latency{8};      ///< Table 4: 6+2 cycles
+    Cycle memory_latency{400};
     /// Reply Partitioning [9]: send the critical word ahead of read replies.
     bool reply_partitioning = false;
   };
@@ -84,14 +98,14 @@ class Directory {
     NodeId owner = kInvalidNode;
     NodeId fwd_requester = kInvalidNode;
   };
-  [[nodiscard]] std::optional<EntryView> entry_of(Addr line) const;
+  [[nodiscard]] std::optional<EntryView> entry_of(LineAddr line) const;
 
   /// Test hooks.
-  [[nodiscard]] std::optional<DirState> dir_state_of(Addr line) const;
-  [[nodiscard]] std::uint32_t sharers_of(Addr line) const;
-  [[nodiscard]] NodeId owner_of(Addr line) const;
+  [[nodiscard]] std::optional<DirState> dir_state_of(LineAddr line) const;
+  [[nodiscard]] std::uint32_t sharers_of(LineAddr line) const;
+  [[nodiscard]] NodeId owner_of(LineAddr line) const;
   /// Test hook: validation version of the L2 copy (0 if absent).
-  [[nodiscard]] std::uint32_t version_of(Addr line) const;
+  [[nodiscard]] std::uint32_t version_of(LineAddr line) const;
 
  private:
   struct DirEntry {
@@ -109,7 +123,7 @@ class Directory {
     std::uint16_t recall_acks_pending = 0;
     std::deque<CoherenceMsg> pending;  ///< requests queued while busy
   };
-  using Array = CacheArray<DirEntry>;
+  using Array = CacheArray<DirEntry, DirKey>;
 
   /// Off-chip fetch in flight for a line not present in L2.
   struct MemTxn {
@@ -118,8 +132,8 @@ class Directory {
   };
 
   void send(CoherenceMsg msg);
-  [[nodiscard]] Addr key_of(Addr line) const;
-  [[nodiscard]] Addr line_of_key(Addr key) const;
+  [[nodiscard]] DirKey key_of(LineAddr line) const;
+  [[nodiscard]] LineAddr line_of_key(DirKey key) const;
   void process(const CoherenceMsg& msg);
   void handle_request(const CoherenceMsg& msg);
   void handle_request_hit(const CoherenceMsg& msg, Array::Line& l);
@@ -127,8 +141,8 @@ class Directory {
   void handle_revision(const CoherenceMsg& msg);
   void handle_inv_ack(const CoherenceMsg& msg);
 
-  void start_fill(Addr line, const CoherenceMsg& first);
-  void try_install_fill(Addr line);
+  void start_fill(LineAddr line, const CoherenceMsg& first);
+  void try_install_fill(LineAddr line);
   void retry_blocked_fills();
   void start_recall(Array::Line& l);
   void finish_recall(Array::Line& l);
@@ -136,9 +150,9 @@ class Directory {
 
   void reply_data(const CoherenceMsg& req, MsgType type, std::uint16_t acks,
                   std::uint32_t version);
-  void send_partial_reply(NodeId requester, Addr line);
-  void release_put_ack(Addr line, NodeId owner);
-  void send_invs(Addr line, std::uint32_t sharers, NodeId collector, Unit ack_unit);
+  void send_partial_reply(NodeId requester, LineAddr line);
+  void release_put_ack(LineAddr line, NodeId owner);
+  void send_invs(LineAddr line, std::uint32_t sharers, NodeId collector, Unit ack_unit);
 
   [[nodiscard]] static bool is_busy(DirState s) {
     return s == DirState::kBusyShared || s == DirState::kBusyExcl ||
@@ -154,13 +168,13 @@ class Directory {
   obs::ProtocolHooks* hooks_ = nullptr;
 
   DelayQueue<CoherenceMsg> access_pipe_;  ///< models the L2 access latency
-  DelayQueue<Addr> memory_pipe_;          ///< off-chip fills in flight
-  std::unordered_map<Addr, MemTxn> mem_txns_;
+  DelayQueue<LineAddr> memory_pipe_;          ///< off-chip fills in flight
+  std::unordered_map<LineAddr, MemTxn> mem_txns_;
   /// Validation versions of lines written back to off-chip memory.
-  std::unordered_map<Addr, std::uint32_t> memory_versions_;
+  std::unordered_map<LineAddr, std::uint32_t> memory_versions_;
   unsigned busy_lines_ = 0;    ///< dir entries in a Busy* state
   unsigned queued_msgs_ = 0;   ///< requests parked on busy lines / fills
-  Cycle now_ = 0;
+  Cycle now_{0};
 };
 
 }  // namespace tcmp::protocol

@@ -14,7 +14,7 @@ ICache::ICache(NodeId id, const Config& cfg, unsigned n_nodes, StatRegistry* sta
   TCMP_CHECK(stats_ != nullptr && sink_ != nullptr);
 }
 
-bool ICache::fetch(Addr line) {
+bool ICache::fetch(LineAddr line) {
   ++stats_->counter("l1i.fetches");
   if (auto* l = array_.find(line)) {
     array_.touch(*l);
@@ -28,7 +28,7 @@ bool ICache::fetch(Addr line) {
   CoherenceMsg req;
   req.type = MsgType::kGetInstr;
   req.src = id_;
-  req.dst = static_cast<NodeId>(line % n_nodes_);
+  req.dst = NodeId{line.value() % n_nodes_};
   req.line = line;
   req.requester = id_;
   sink_(req);

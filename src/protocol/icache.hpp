@@ -33,7 +33,7 @@ class ICache {
 
   /// Fetch the line holding the next instructions. Returns true on hit;
   /// false blocks the core front-end until the fill callback fires.
-  bool fetch(Addr line);
+  bool fetch(LineAddr line);
 
   void set_fill_callback(FillCallback cb) { fill_cb_ = std::move(cb); }
 
@@ -52,7 +52,7 @@ class ICache {
   MsgSink sink_;
   FillCallback fill_cb_;
   bool miss_outstanding_ = false;
-  Addr miss_line_ = 0;
+  LineAddr miss_line_{};
 };
 
 }  // namespace tcmp::protocol

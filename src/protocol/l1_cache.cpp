@@ -22,28 +22,28 @@ void L1Cache::send(CoherenceMsg msg) {
   sink_(msg);
 }
 
-std::optional<L1State> L1Cache::state_of(Addr line) const {
+std::optional<L1State> L1Cache::state_of(LineAddr line) const {
   const auto* l = array_.find(line);
   if (l == nullptr) return std::nullopt;
   return l->payload.state;
 }
 
-std::uint32_t L1Cache::version_of(Addr line) const {
+std::uint32_t L1Cache::version_of(LineAddr line) const {
   const auto* l = array_.find(line);
   return l != nullptr ? l->payload.version : 0;
 }
 
-void L1Cache::collect_stable_lines(Addr stripe_mask, Addr stripe,
+void L1Cache::collect_stable_lines(std::uint64_t stripe_mask, std::uint64_t stripe,
                                    std::vector<StableLine>& out) const {
   array_.for_each_valid([&](const Array::Line& l) {
-    const Addr line = array_.address_of(l);
-    if ((line & stripe_mask) == stripe) {
+    const LineAddr line = array_.address_of(l);
+    if ((line.value() & stripe_mask) == stripe) {
       out.push_back(StableLine{line, l.payload.state, id_});
     }
   });
 }
 
-void L1Cache::debug_force_state(Addr line, L1State st) {
+void L1Cache::debug_force_state(LineAddr line, L1State st) {
   auto* l = array_.find(line);
   if (l == nullptr) {
     l = array_.victim(line);
@@ -52,7 +52,7 @@ void L1Cache::debug_force_state(Addr line, L1State st) {
   l->payload.state = st;
 }
 
-AccessResult L1Cache::access(Addr line, bool is_write) {
+AccessResult L1Cache::access(LineAddr line, bool is_write) {
   ++stats_->counter("l1.accesses");
   auto* l = array_.find(line);
   if (l != nullptr && !mshrs_.contains(line)) {
@@ -97,7 +97,7 @@ AccessResult L1Cache::access(Addr line, bool is_write) {
   return AccessResult::kMiss;
 }
 
-void L1Cache::issue_miss(Addr line, bool is_write, bool upgrade) {
+void L1Cache::issue_miss(LineAddr line, bool is_write, bool upgrade) {
   TCMP_CHECK_MSG(!mshrs_.contains(line), "duplicate outstanding miss");
   Mshr m;
   m.is_write = is_write;
@@ -141,7 +141,7 @@ void L1Cache::deliver(const CoherenceMsg& msg) {
 }
 
 void L1Cache::on_inv(const CoherenceMsg& msg) {
-  const Addr line = msg.line;
+  const LineAddr line = msg.line;
   CoherenceMsg ack;
   ack.type = MsgType::kInvAck;
   ack.dst = msg.requester;
@@ -178,7 +178,7 @@ void L1Cache::on_inv(const CoherenceMsg& msg) {
 }
 
 void L1Cache::service_fwd_from_stable(const CoherenceMsg& msg, Array::Line& l) {
-  const Addr line = msg.line;
+  const LineAddr line = msg.line;
   const bool dirty = l.payload.state == L1State::kM;
   const std::uint32_t version = l.payload.version;
   TCMP_CHECK(l.payload.state == L1State::kM || l.payload.state == L1State::kE);
@@ -243,7 +243,7 @@ void L1Cache::service_fwd_from_evict(const CoherenceMsg& msg, EvictEntry& entry)
   // A forward crossed our writeback: we still hold the line logically; the
   // home will treat our Put as stale. Service the forward, then wait for the
   // stale PutAck.
-  const Addr line = msg.line;
+  const LineAddr line = msg.line;
   TCMP_CHECK_MSG(entry.state != EvictState::kIIA,
                  "forward after ownership already yielded");
   const bool dirty = entry.state == EvictState::kMIA;
@@ -303,7 +303,7 @@ void L1Cache::service_fwd_from_evict(const CoherenceMsg& msg, EvictEntry& entry)
 }
 
 void L1Cache::on_fwd(const CoherenceMsg& msg) {
-  const Addr line = msg.line;
+  const LineAddr line = msg.line;
   if (auto* l = array_.find(line)) {
     if (auto it = mshrs_.find(line); it != mshrs_.end()) {
       // Upgrade outstanding on a shared line: park until install completes
@@ -330,7 +330,7 @@ void L1Cache::on_fwd(const CoherenceMsg& msg) {
 }
 
 void L1Cache::on_reply(const CoherenceMsg& msg) {
-  const Addr line = msg.line;
+  const LineAddr line = msg.line;
   auto it = mshrs_.find(line);
   if (msg.type == MsgType::kPartialReply) {
     // Stale partials (full reply already completed the miss) are dropped.
@@ -377,14 +377,14 @@ void L1Cache::on_reply(const CoherenceMsg& msg) {
   maybe_complete(line, m);
 }
 
-void L1Cache::maybe_complete(Addr line, Mshr& m) {
+void L1Cache::maybe_complete(LineAddr line, Mshr& m) {
   if (!m.data_received) return;
   if (m.acks_expected < 0 || m.acks_received < m.acks_expected) return;
   TCMP_CHECK_MSG(m.acks_received == m.acks_expected, "excess invalidation acks");
   install_fill(line, m);
 }
 
-void L1Cache::install_fill(Addr line, Mshr& m) {
+void L1Cache::install_fill(LineAddr line, Mshr& m) {
   const Mshr done = m;  // copy: install may evict and mutate the MSHR map
   mshrs_.erase(line);
   if (hooks_ != nullptr) [[unlikely]] {
@@ -436,7 +436,7 @@ void L1Cache::install_fill(Addr line, Mshr& m) {
   }
 }
 
-void L1Cache::send_partial_reply(NodeId requester, Addr line) {
+void L1Cache::send_partial_reply(NodeId requester, LineAddr line) {
   if (!reply_partitioning_) return;
   CoherenceMsg partial;
   partial.type = MsgType::kPartialReply;
@@ -447,10 +447,10 @@ void L1Cache::send_partial_reply(NodeId requester, Addr line) {
   send(partial);
 }
 
-void L1Cache::evict_for(Addr incoming_line) {
+void L1Cache::evict_for(LineAddr incoming_line) {
   Array::Line* v = array_.victim(incoming_line);
   if (!v->valid) return;
-  const Addr victim_line = array_.address_of(*v);
+  const LineAddr victim_line = array_.address_of(*v);
   TCMP_DCHECK(array_.set_of(victim_line) == array_.set_of(incoming_line));
 
   switch (v->payload.state) {
@@ -486,7 +486,7 @@ void L1Cache::evict_for(Addr incoming_line) {
 }
 
 void L1Cache::on_put_ack(const CoherenceMsg& msg) {
-  const Addr line = msg.line;
+  const LineAddr line = msg.line;
   auto it = evict_buf_.find(line);
   TCMP_CHECK_MSG(it != evict_buf_.end(), "PutAck without an in-flight writeback");
   evict_buf_.erase(it);

@@ -53,13 +53,13 @@ class L1Cache {
   };
 
   using MsgSink = std::function<void(CoherenceMsg)>;
-  using FillCallback = std::function<void(Addr line)>;
+  using FillCallback = std::function<void(LineAddr line)>;
 
   L1Cache(NodeId id, const Config& cfg, unsigned n_nodes, StatRegistry* stats,
           MsgSink sink);
 
   /// Core-side access; see AccessResult for the blocking contract.
-  AccessResult access(Addr line, bool is_write);
+  AccessResult access(LineAddr line, bool is_write);
 
   void set_fill_callback(FillCallback cb) { fill_cb_ = std::move(cb); }
 
@@ -75,30 +75,32 @@ class L1Cache {
   }
 
   [[nodiscard]] NodeId id() const { return id_; }
-  [[nodiscard]] NodeId home_of(Addr line) const {
-    return static_cast<NodeId>(line % n_nodes_);
+  [[nodiscard]] NodeId home_of(LineAddr line) const {
+    return NodeId{line.value() % n_nodes_};
   }
 
   /// Test hook: stable state of a line (nullopt = I / transient).
-  [[nodiscard]] std::optional<L1State> state_of(Addr line) const;
+  [[nodiscard]] std::optional<L1State> state_of(LineAddr line) const;
   /// Test hook: validation version of a resident line (0 if absent).
-  [[nodiscard]] std::uint32_t version_of(Addr line) const;
+  [[nodiscard]] std::uint32_t version_of(LineAddr line) const;
 
   /// One resident stable line, as reported to the verify lint.
   struct StableLine {
-    Addr line;
+    LineAddr line;
     L1State state;
     NodeId tile;
   };
   /// Invariant-scan hook (verify lint): append every resident stable line
   /// whose address satisfies (line & stripe_mask) == stripe to `out`
-  /// (stripe_mask 0 selects everything). Appending plain records to a
-  /// caller-reused buffer keeps the periodic scan allocation-free.
-  void collect_stable_lines(Addr stripe_mask, Addr stripe,
+  /// (stripe_mask 0 selects everything). The mask/stripe are raw bit
+  /// patterns over the line-address representation, not addresses.
+  /// Appending plain records to a caller-reused buffer keeps the periodic
+  /// scan allocation-free.
+  void collect_stable_lines(std::uint64_t stripe_mask, std::uint64_t stripe,
                             std::vector<StableLine>& out) const;
   /// Fault-injection hook (verify tests only): force a line's stable state,
   /// installing it if absent. Deliberately bypasses the protocol.
-  void debug_force_state(Addr line, L1State st);
+  void debug_force_state(LineAddr line, L1State st);
 
  private:
   struct LinePayload {
@@ -129,13 +131,13 @@ class L1Cache {
   };
 
   void send(CoherenceMsg msg);
-  void issue_miss(Addr line, bool is_write, bool upgrade);
-  void maybe_complete(Addr line, Mshr& m);
-  void install_fill(Addr line, Mshr& m);
-  void evict_for(Addr incoming_line);
+  void issue_miss(LineAddr line, bool is_write, bool upgrade);
+  void maybe_complete(LineAddr line, Mshr& m);
+  void install_fill(LineAddr line, Mshr& m);
+  void evict_for(LineAddr incoming_line);
   void service_fwd_from_stable(const CoherenceMsg& msg, Array::Line& l);
   void service_fwd_from_evict(const CoherenceMsg& msg, EvictEntry& entry);
-  void send_partial_reply(NodeId requester, Addr line);
+  void send_partial_reply(NodeId requester, LineAddr line);
 
   void on_inv(const CoherenceMsg& msg);
   void on_fwd(const CoherenceMsg& msg);
@@ -151,10 +153,10 @@ class L1Cache {
   FillCallback fill_cb_;
   obs::ProtocolHooks* hooks_ = nullptr;
 
-  std::unordered_map<Addr, Mshr> mshrs_;
-  std::unordered_map<Addr, EvictEntry> evict_buf_;
+  std::unordered_map<LineAddr, Mshr> mshrs_;
+  std::unordered_map<LineAddr, EvictEntry> evict_buf_;
   /// Misses deferred behind an in-flight writeback of the same line.
-  std::unordered_map<Addr, bool /*is_write*/> deferred_;
+  std::unordered_map<LineAddr, bool /*is_write*/> deferred_;
 };
 
 }  // namespace tcmp::protocol

@@ -20,7 +20,7 @@ struct World {
 
 struct Step {
   unsigned dst;
-  Addr line;
+  LineAddr line;
 };
 
 class Dfs {
@@ -29,7 +29,8 @@ class Dfs {
       : cfg_(cfg), result_(result) {
     for (unsigned hi = 1; hi <= cfg_.n_hi; ++hi) {
       for (unsigned lo = 0; lo < cfg_.n_lo; ++lo) {
-        alphabet_.push_back((Addr{hi} << (8 * cfg_.low_bytes)) | lo);
+        alphabet_.push_back(
+            LineAddr{(std::uint64_t{hi} << (8 * cfg_.low_bytes)) | lo});
       }
     }
   }
@@ -41,7 +42,7 @@ class Dfs {
       return;
     }
     for (unsigned dst = 0; dst < cfg_.n_dsts; ++dst) {
-      for (const Addr line : alphabet_) {
+      for (const LineAddr line : alphabet_) {
         if (!result_.ok) return;
         World next = w;  // real compressor objects are value types
         trace_.push_back(Step{dst, line});
@@ -53,7 +54,7 @@ class Dfs {
   }
 
  private:
-  void step(World& w, unsigned dst, Addr line) {
+  void step(World& w, unsigned dst, LineAddr line) {
     Encoding enc =
         w.sender.compress(static_cast<NodeId>(dst), line);
     if (cfg_.mutation == MutationId::kDbrcFalseHit && enc.install) {
@@ -61,26 +62,26 @@ class Dfs {
       // without consulting the per-destination valid bit.
       enc.install = false;
       enc.compressed = true;
-      enc.low_bits = line & ((Addr{1} << (8 * cfg_.low_bytes)) - 1);
+      enc.low_bits = line.value() & ((std::uint64_t{1} << (8 * cfg_.low_bytes)) - 1);
     }
     if (cfg_.mutation == MutationId::kDbrcReceiverNoInstall) {
       enc.install = false;  // planted bug: mirror updates are dropped
     }
     ++result_.decodes;
-    const Addr decoded =
-        w.receivers[dst].decode(/*src=*/0, enc, line);
+    const LineAddr decoded =
+        w.receivers[dst].decode(/*src=*/NodeId{0}, enc, line);
     if (decoded != line) {
       result_.ok = false;
       std::ostringstream os;
       os << "mirror divergence: dst " << dst << " decoded 0x" << std::hex
-         << decoded << " for line 0x" << line << std::dec << " ("
+         << decoded.value() << " for line 0x" << line.value() << std::dec << " ("
          << (enc.compressed ? "compressed" : "uncompressed")
          << " index " << unsigned{enc.index} << ") after "
          << trace_.size() << " sends";
       result_.findings.push_back(os.str());
       for (const Step& s : trace_) {
         std::ostringstream step_os;
-        step_os << "dst=" << s.dst << " line=0x" << std::hex << s.line;
+        step_os << "dst=" << s.dst << " line=0x" << std::hex << s.line.value();
         result_.counterexample.push_back(step_os.str());
       }
     }
@@ -88,7 +89,7 @@ class Dfs {
 
   const DbrcCheckConfig& cfg_;
   DbrcCheckResult& result_;
-  std::vector<Addr> alphabet_;
+  std::vector<LineAddr> alphabet_;
   std::vector<Step> trace_;
 };
 

@@ -31,7 +31,7 @@ std::vector<LintViolation> CoherenceLinter::scan(Cycle now) {
 }
 
 std::vector<LintViolation> CoherenceLinter::scan_slice(Cycle now) {
-  const Addr stripe = next_stripe_;
+  const std::uint64_t stripe = next_stripe_;
   next_stripe_ = (next_stripe_ + 1) % kStripes;
   // The DBRC mirror pass has no address dimension to stripe; once per
   // rotation keeps it as periodic as a full sweep.
@@ -39,8 +39,8 @@ std::vector<LintViolation> CoherenceLinter::scan_slice(Cycle now) {
 }
 
 std::vector<LintViolation> CoherenceLinter::scan_impl(Cycle now,
-                                                      Addr stripe_mask,
-                                                      Addr stripe,
+                                                      std::uint64_t stripe_mask,
+                                                      std::uint64_t stripe,
                                                       bool with_dbrc) {
   ++scans_;
   ++sys_->stats().counter("verify.scans");
@@ -51,7 +51,8 @@ std::vector<LintViolation> CoherenceLinter::scan_impl(Cycle now,
   return out;
 }
 
-void CoherenceLinter::coherence_scan(Cycle now, Addr stripe_mask, Addr stripe,
+void CoherenceLinter::coherence_scan(Cycle now, std::uint64_t stripe_mask,
+                                     std::uint64_t stripe,
                                      std::vector<LintViolation>& out) {
   const unsigned n = sys_->config().n_tiles;
 
@@ -70,7 +71,7 @@ void CoherenceLinter::coherence_scan(Cycle now, Addr stripe_mask, Addr stripe,
             });
 
   for (std::size_t i = 0; i < lines_buf_.size();) {
-    const Addr line = lines_buf_[i].line;
+    const LineAddr line = lines_buf_[i].line;
     unsigned owner_count = 0;   // stable M/E copies
     unsigned sharer_count = 0;  // stable S copies
     NodeId owner_tile = kInvalidNode;
@@ -104,7 +105,7 @@ void CoherenceLinter::coherence_scan(Cycle now, Addr stripe_mask, Addr stripe,
       out.push_back(LintViolation{now, "R1-SWMR", line, os.str()});
     }
 
-    const auto home = static_cast<unsigned>(line % n);
+    const auto home = static_cast<unsigned>(line.value() % n);
     const auto e = sys_->directory(home).entry_of(line);
 
     // R2: the home knows the current owner. The one legal transient: the
@@ -177,14 +178,14 @@ void CoherenceLinter::dbrc_scan(Cycle now, std::vector<LintViolation>& out) {
         for (unsigned i = 0; i < sender->num_entries(); ++i) {
           const auto e = sender->entry_snapshot(i);
           if (!e.valid || ((e.dest_valid >> dst) & 1u) == 0) continue;
-          const Addr mirrored =
+          const std::uint64_t mirrored =
               receiver->mirror_tag(static_cast<NodeId>(src), i);
           if (mirrored != e.hi_tag) {
             std::ostringstream os;
             os << "class " << c << " entry " << i << ": tile " << src
                << " believes tile " << dst << " mirrors tag 0x" << std::hex
                << e.hi_tag << " but the mirror holds 0x" << mirrored;
-            out.push_back(LintViolation{now, "R4-DBRC-MIRROR", 0, os.str()});
+            out.push_back(LintViolation{now, "R4-DBRC-MIRROR", LineAddr{}, os.str()});
           }
         }
       }

@@ -45,9 +45,9 @@ class Observer;
 namespace tcmp::verify {
 
 struct LintViolation {
-  Cycle cycle = 0;
+  Cycle cycle{0};
   std::string invariant;  ///< R1-SWMR / R2-DIR-OWNER / ...
-  Addr line = 0;
+  LineAddr line{};
   std::string detail;
 };
 
@@ -76,9 +76,10 @@ class CoherenceLinter {
   [[nodiscard]] std::uint64_t violations() const { return violations_; }
 
  private:
-  std::vector<LintViolation> scan_impl(Cycle now, Addr stripe_mask,
-                                       Addr stripe, bool with_dbrc);
-  void coherence_scan(Cycle now, Addr stripe_mask, Addr stripe,
+  // Stripe masks/selectors are raw address bit patterns, not line addresses.
+  std::vector<LintViolation> scan_impl(Cycle now, std::uint64_t stripe_mask,
+                                       std::uint64_t stripe, bool with_dbrc);
+  void coherence_scan(Cycle now, std::uint64_t stripe_mask, std::uint64_t stripe,
                       std::vector<LintViolation>& out);
   void dbrc_scan(Cycle now, std::vector<LintViolation>& out);
   void report(const LintViolation& v);

@@ -63,7 +63,7 @@ WireCheckResult run_wire_check(MutationId mutation) {
   // table bug (one stale entry) to prove this check catches it.
   auto sut_bytes = [&](MsgType t) {
     if (mutation == MutationId::kWireSizeWrongEntry && t == MsgType::kUpgradeAck) {
-      return 3u;
+      return Bytes{3};
     }
     return protocol::uncompressed_bytes(t);
   };

@@ -11,10 +11,10 @@ LinkPartition paper_het_link(unsigned vl_bytes) {
   const WireSpec vl = paper_spec(WireClass::kVL, vl_bytes);
   LinkPartition p;
   p.style = LinkStyle::kVlHet;
-  p.vl_bytes = vl_bytes;
+  p.vl_bytes = Bytes{vl_bytes};
   p.vl_wires = vl_bytes * 8;
   p.vl_tracks = p.vl_wires * vl.rel_area;
-  p.b_bytes = 34;  // fixed by the paper for all three widths
+  p.b_bytes = Bytes{34};  // fixed by the paper for all three widths
   p.b_wires = p.b_bytes * 8;
   p.total_tracks = p.vl_tracks + p.b_wires;
   return p;
@@ -25,12 +25,12 @@ LinkPartition computed_het_link(unsigned vl_bytes, double track_budget) {
   const WireSpec vl = paper_spec(WireClass::kVL, vl_bytes);
   LinkPartition p;
   p.style = LinkStyle::kVlHet;
-  p.vl_bytes = vl_bytes;
+  p.vl_bytes = Bytes{vl_bytes};
   p.vl_wires = vl_bytes * 8;
   p.vl_tracks = p.vl_wires * vl.rel_area;
   const double remaining = track_budget - p.vl_tracks;
   TCMP_CHECK_MSG(remaining >= 8.0, "VL bundle leaves no room for B-Wires");
-  p.b_bytes = static_cast<unsigned>(remaining / 8.0);
+  p.b_bytes = Bytes{static_cast<unsigned>(remaining / 8.0)};
   p.b_wires = p.b_bytes * 8;
   p.total_tracks = p.vl_tracks + p.b_wires;
   return p;
@@ -41,13 +41,13 @@ LinkPartition cheng3way_link() {
   const WireSpec pw = paper_spec(WireClass::kPW4X);
   LinkPartition p;
   p.style = LinkStyle::kCheng3Way;
-  p.l_bytes = 11;  // one uncompressed short message per flit
+  p.l_bytes = Bytes{11};  // one uncompressed short message per flit
   p.l_wires = p.l_bytes * 8;
   p.l_tracks = p.l_wires * l.rel_area;  // 352
-  p.pw_bytes = 28;
+  p.pw_bytes = Bytes{28};
   p.pw_wires = p.pw_bytes * 8;
   p.pw_tracks = p.pw_wires * pw.rel_area;  // 112
-  p.b_bytes = 17;
+  p.b_bytes = Bytes{17};
   p.b_wires = p.b_bytes * 8;  // 136
   p.total_tracks = p.l_tracks + p.pw_tracks + p.b_wires;
   TCMP_CHECK(p.total_tracks <= 600.0 + 1e-9);

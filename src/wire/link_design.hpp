@@ -7,6 +7,7 @@
 // within ~1.3% of the 600-track budget, as in the paper.
 #pragma once
 
+#include "common/types.hpp"
 #include "wire/wire_spec.hpp"
 
 namespace tcmp::wire {
@@ -22,19 +23,19 @@ struct LinkPartition {
   LinkStyle style = LinkStyle::kBaseline;
 
   // VL bundle (kVlHet only).
-  unsigned vl_bytes = 0;
+  Bytes vl_bytes{0};
   unsigned vl_wires = 0;
   double vl_tracks = 0.0;  ///< B-wire-equivalent tracks used by the bundle
 
   // L / PW subnets (kCheng3Way only).
-  unsigned l_bytes = 0;
+  Bytes l_bytes{0};
   unsigned l_wires = 0;
   double l_tracks = 0.0;
-  unsigned pw_bytes = 0;
+  Bytes pw_bytes{0};
   unsigned pw_wires = 0;
   double pw_tracks = 0.0;
 
-  unsigned b_bytes = 75;
+  Bytes b_bytes{75};
   unsigned b_wires = 600;
   double total_tracks = 600.0;
 

@@ -7,55 +7,57 @@
 
 namespace tcmp::wire {
 
-double r_wire_per_m(const TechParams& tech, const WireGeometry& g) {
+namespace u = units;
+
+u::OhmsPerMeter r_wire_per_m(const TechParams& tech, const WireGeometry& g) {
   const PlaneParams& p = tech.plane(g.plane);
-  const double width = p.min_width_m * g.width_mult;
-  return tech.resistivity_ohm_m / (width * p.thickness_m);
+  const u::Meters width = p.min_width * g.width_mult;
+  return tech.resistivity / (width * p.thickness);
 }
 
-double c_wire_per_m(const TechParams& tech, const WireGeometry& g) {
+u::FaradsPerMeter c_wire_per_m(const TechParams& tech, const WireGeometry& g) {
   const PlaneParams& p = tech.plane(g.plane);
-  return p.c_ground_f_per_m * g.width_mult +
-         p.c_coupling_f_per_m / g.spacing_mult +
-         p.c_fringe_f_per_m;
+  return p.c_ground * g.width_mult +
+         p.c_coupling / g.spacing_mult +
+         p.c_fringe;
 }
 
-double segment_delay_s(const TechParams& tech, const WireGeometry& g,
-                       const RepeaterDesign& d) {
-  TCMP_DCHECK(d.size > 0.0 && d.spacing_m > 0.0);
-  const double r_gate = tech.r_gate_min_ohm / d.size;
-  const double c_gate = tech.c_gate_min_f * d.size;
-  const double c_diff = tech.c_diff_min_f * d.size;
-  const double c_wire = c_wire_per_m(tech, g) * d.spacing_m;
-  const double r_wire = r_wire_per_m(tech, g) * d.spacing_m;
+u::Seconds segment_delay(const TechParams& tech, const WireGeometry& g,
+                         const RepeaterDesign& d) {
+  TCMP_DCHECK(d.size > 0.0 && d.spacing.value() > 0.0);
+  const u::Ohms r_gate = tech.r_gate_min / d.size;
+  const u::Farads c_gate = tech.c_gate_min * d.size;
+  const u::Farads c_diff = tech.c_diff_min * d.size;
+  const u::Farads c_wire = c_wire_per_m(tech, g) * d.spacing;
+  const u::Ohms r_wire = r_wire_per_m(tech, g) * d.spacing;
   // Paper Eq. (1).
-  const double elmore = r_gate * (c_diff + c_wire + c_gate) +
-                        r_wire * (0.5 * c_wire + c_gate);
+  const u::Seconds elmore = r_gate * (c_diff + c_wire + c_gate) +
+                            r_wire * (0.5 * c_wire + c_gate);
   return tech.delay_derating * elmore;
 }
 
-double delay_per_m(const TechParams& tech, const WireGeometry& g,
-                   const RepeaterDesign& d) {
-  const double rc = segment_delay_s(tech, g, d) / d.spacing_m;
-  return std::max(rc, tech.lc_floor_s_per_m);
+u::SecondsPerMeter delay_per_m(const TechParams& tech, const WireGeometry& g,
+                               const RepeaterDesign& d) {
+  const u::SecondsPerMeter rc = segment_delay(tech, g, d) / d.spacing;
+  return std::max(rc, tech.lc_floor);
 }
 
 RepeaterDesign delay_optimal_design(const TechParams& tech, const WireGeometry& g) {
-  const double r_w = r_wire_per_m(tech, g);
-  const double c_w = c_wire_per_m(tech, g);
+  const u::OhmsPerMeter r_w = r_wire_per_m(tech, g);
+  const u::FaradsPerMeter c_w = c_wire_per_m(tech, g);
   // Closed-form Bakoglu optimum as the starting point...
   RepeaterDesign d;
-  d.spacing_m = std::sqrt(2.0 * tech.r_gate_min_ohm *
-                          (tech.c_diff_min_f + tech.c_gate_min_f) / (r_w * c_w));
-  d.size = std::sqrt(tech.r_gate_min_ohm * c_w / (r_w * tech.c_gate_min_f));
+  d.spacing = u::sqrt(2.0 * tech.r_gate_min *
+                      (tech.c_diff_min + tech.c_gate_min) / (r_w * c_w));
+  d.size = std::sqrt(tech.r_gate_min * c_w / (r_w * tech.c_gate_min));
   // ...then a local numeric refinement (the closed form ignores the
   // c_diff term in the drive load).
-  double best = segment_delay_s(tech, g, d) / d.spacing_m;
+  u::SecondsPerMeter best = segment_delay(tech, g, d) / d.spacing;
   for (int iter = 0; iter < 3; ++iter) {
     for (double fs : {0.8, 0.9, 1.0, 1.1, 1.25}) {
       for (double fl : {0.8, 0.9, 1.0, 1.1, 1.25}) {
-        RepeaterDesign cand{d.size * fs, d.spacing_m * fl};
-        const double delay = segment_delay_s(tech, g, cand) / cand.spacing_m;
+        RepeaterDesign cand{d.size * fs, d.spacing * fl};
+        const u::SecondsPerMeter delay = segment_delay(tech, g, cand) / cand.spacing;
         if (delay < best) {
           best = delay;
           d = cand;
@@ -70,21 +72,21 @@ RepeaterDesign power_optimal_design(const TechParams& tech, const WireGeometry& 
                                     double delay_penalty) {
   TCMP_CHECK(delay_penalty >= 1.0);
   const RepeaterDesign opt = delay_optimal_design(tech, g);
-  const double budget =
-      delay_penalty * segment_delay_s(tech, g, opt) / opt.spacing_m;
+  const u::SecondsPerMeter budget =
+      delay_penalty * segment_delay(tech, g, opt) / opt.spacing;
 
   // Grid search over smaller repeaters / wider spacing (both monotonically
   // cut power and add delay), keeping the cheapest design inside the budget.
   RepeaterDesign best = opt;
-  double best_power = switching_power_per_m(tech, g, opt) +
-                      leakage_power_per_m(tech, opt);
+  u::WattsPerMeter best_power = switching_power_per_m(tech, g, opt) +
+                                leakage_power_per_m(tech, opt);
   for (int si = 0; si <= 40; ++si) {
     const double size = opt.size * std::pow(10.0, -si / 20.0);  // down to /100
     for (int li = 0; li <= 40; ++li) {
-      const RepeaterDesign cand{size, opt.spacing_m * std::pow(10.0, li / 40.0)};
-      if (segment_delay_s(tech, g, cand) / cand.spacing_m > budget) break;
-      const double power = switching_power_per_m(tech, g, cand) +
-                           leakage_power_per_m(tech, cand);
+      const RepeaterDesign cand{size, opt.spacing * std::pow(10.0, li / 40.0)};
+      if (segment_delay(tech, g, cand) / cand.spacing > budget) break;
+      const u::WattsPerMeter power = switching_power_per_m(tech, g, cand) +
+                                     leakage_power_per_m(tech, cand);
       if (power < best_power) {
         best_power = power;
         best = cand;
@@ -94,21 +96,21 @@ RepeaterDesign power_optimal_design(const TechParams& tech, const WireGeometry& 
   return best;
 }
 
-double switching_power_per_m(const TechParams& tech, const WireGeometry& g,
-                             const RepeaterDesign& d) {
+u::WattsPerMeter switching_power_per_m(const TechParams& tech, const WireGeometry& g,
+                                       const RepeaterDesign& d) {
   // Eq. (3) per segment, times segments per meter (1/l).
-  const double c_rep = d.size * (tech.c_gate_min_f + tech.c_diff_min_f);
-  const double c_seg = c_rep + d.spacing_m * c_wire_per_m(tech, g);
-  const double p_seg = c_seg * tech.freq_hz * tech.vdd_v * tech.vdd_v;
-  return tech.short_circuit_factor * p_seg / d.spacing_m;
+  const u::Farads c_rep = d.size * (tech.c_gate_min + tech.c_diff_min);
+  const u::Farads c_seg = c_rep + d.spacing * c_wire_per_m(tech, g);
+  const u::Watts p_seg = c_seg * tech.freq * tech.vdd * tech.vdd;
+  return tech.short_circuit_factor * p_seg / d.spacing;
 }
 
-double leakage_power_per_m(const TechParams& tech, const RepeaterDesign& d) {
+u::WattsPerMeter leakage_power_per_m(const TechParams& tech, const RepeaterDesign& d) {
   // Eq. (4) per repeater, times repeaters per meter.
-  const double i_leak = 0.5 * (tech.i_off_n_a_per_m * tech.w_nmos_min_m +
-                               tech.i_off_p_a_per_m * tech.w_pmos_min_m) *
-                        d.size;
-  return tech.vdd_v * i_leak / d.spacing_m;
+  const u::Amperes i_leak = 0.5 * (tech.i_off_n * tech.w_nmos_min +
+                                   tech.i_off_p * tech.w_pmos_min) *
+                            d.size;
+  return tech.vdd * i_leak / d.spacing;
 }
 
 }  // namespace tcmp::wire

@@ -6,8 +6,12 @@
 // (Eq. 4). Two design points are provided: delay-optimal (classic Bakoglu
 // sizing, used by B/L/VL wires) and power-optimal under a delay constraint
 // (Banerjee methodology [2], used by PW wires).
+//
+// Every signature is dimension-checked: mixing up e.g. a per-meter delay
+// with a per-segment delay no longer type-checks.
 #pragma once
 
+#include "common/units.hpp"
 #include "wire/technology.hpp"
 
 namespace tcmp::wire {
@@ -23,27 +27,31 @@ struct WireGeometry {
 };
 
 struct RepeaterDesign {
-  double size = 1.0;       ///< repeater size as a multiple of a min inverter
-  double spacing_m = 1e-3; ///< distance between repeaters (segment length l)
+  double size = 1.0;  ///< repeater size as a multiple of a min inverter
+  units::Meters spacing = units::Meters{1e-3};  ///< distance between repeaters
 };
 
 /// Wire resistance per meter for a geometry (rho / (w * t)).
-[[nodiscard]] double r_wire_per_m(const TechParams& tech, const WireGeometry& g);
+[[nodiscard]] units::OhmsPerMeter r_wire_per_m(const TechParams& tech,
+                                               const WireGeometry& g);
 
 /// Wire capacitance per meter: ground (prop. to width) + coupling
 /// (inv. prop. to spacing) + fringe.
-[[nodiscard]] double c_wire_per_m(const TechParams& tech, const WireGeometry& g);
+[[nodiscard]] units::FaradsPerMeter c_wire_per_m(const TechParams& tech,
+                                                 const WireGeometry& g);
 
 /// Delay of one repeated segment of length l driven by a repeater of size s —
 /// paper Eq. (1) scaled by the technology derating factor.
-[[nodiscard]] double segment_delay_s(const TechParams& tech, const WireGeometry& g,
-                                     const RepeaterDesign& d);
+[[nodiscard]] units::Seconds segment_delay(const TechParams& tech,
+                                           const WireGeometry& g,
+                                           const RepeaterDesign& d);
 
 /// End-to-end delay per meter for a repeated wire, with the LC propagation
 /// floor applied (very wide wires are transmission-line limited, not RC
 /// limited).
-[[nodiscard]] double delay_per_m(const TechParams& tech, const WireGeometry& g,
-                                 const RepeaterDesign& d);
+[[nodiscard]] units::SecondsPerMeter delay_per_m(const TechParams& tech,
+                                                 const WireGeometry& g,
+                                                 const RepeaterDesign& d);
 
 /// Classic delay-optimal repeater sizing/spacing for the geometry.
 [[nodiscard]] RepeaterDesign delay_optimal_design(const TechParams& tech,
@@ -57,10 +65,12 @@ struct RepeaterDesign {
 
 /// Eq. (3): switching power per meter of one wire at activity factor alpha=1.
 /// Callers scale by the actual per-message activity.
-[[nodiscard]] double switching_power_per_m(const TechParams& tech, const WireGeometry& g,
-                                           const RepeaterDesign& d);
+[[nodiscard]] units::WattsPerMeter switching_power_per_m(const TechParams& tech,
+                                                         const WireGeometry& g,
+                                                         const RepeaterDesign& d);
 
 /// Eq. (2)+(4): leakage power per meter of one wire (all repeaters).
-[[nodiscard]] double leakage_power_per_m(const TechParams& tech, const RepeaterDesign& d);
+[[nodiscard]] units::WattsPerMeter leakage_power_per_m(const TechParams& tech,
+                                                       const RepeaterDesign& d);
 
 }  // namespace tcmp::wire

@@ -2,45 +2,47 @@
 
 namespace tcmp::wire {
 
+namespace u = units;
+
 const TechParams& TechParams::itrs65() {
   static const TechParams tech = [] {
     TechParams t{};
-    t.resistivity_ohm_m = 2.2e-8;  // Cu with barrier at 65 nm
+    t.resistivity = u::OhmMeters{2.2e-8};  // Cu with barrier at 65 nm
 
-    t.r_gate_min_ohm = 15e3;
-    t.c_gate_min_f = 0.15e-15;
-    t.c_diff_min_f = 0.10e-15;
+    t.r_gate_min = u::ohms(15e3);
+    t.c_gate_min = u::farads(0.15e-15);
+    t.c_diff_min = u::farads(0.10e-15);
     // Worst-case (100 C) leakage for 65 nm HP devices; calibrated so a
     // delay-optimal B-Wire leaks ~1 W/m as in Table 2.
-    t.i_off_n_a_per_m = 12.8;  // 12.8 uA/um
-    t.i_off_p_a_per_m = 6.4;
-    t.w_nmos_min_m = 0.10e-6;
-    t.w_pmos_min_m = 0.20e-6;
+    t.i_off_n = u::AmperesPerMeter{12.8};  // 12.8 uA/um
+    t.i_off_p = u::AmperesPerMeter{6.4};
+    t.w_nmos_min = u::meters(0.10e-6);
+    t.w_pmos_min = u::meters(0.20e-6);
 
-    t.vdd_v = 1.1;
-    t.freq_hz = 4e9;  // Table 4: 4 GHz cores
+    t.vdd = u::volts(1.1);
+    t.freq = u::hertz(4e9);  // Table 4: 4 GHz cores
 
     t.delay_derating = 11.0;
     t.short_circuit_factor = 1.55;
-    t.lc_floor_s_per_m = 28e-9;  // 28 ps/mm
+    t.lc_floor = u::SecondsPerMeter{28e-9};  // 28 ps/mm
 
     // 8X plane: ~0.8 um width/spacing, 1.2 um thick. Coupling-dominated.
     t.plane_8x = PlaneParams{
-        .min_width_m = 0.8e-6,
-        .min_spacing_m = 0.8e-6,
-        .thickness_m = 1.2e-6,
-        .c_ground_f_per_m = 0.015e-9,    // 15 aF/um
-        .c_coupling_f_per_m = 0.140e-9,  // 140 aF/um
-        .c_fringe_f_per_m = 0.030e-9,    // 30 aF/um
+        .min_width = u::meters(0.8e-6),
+        .min_spacing = u::meters(0.8e-6),
+        .thickness = u::meters(1.2e-6),
+        .c_ground = u::FaradsPerMeter{0.015e-9},    // 15 aF/um
+        .c_coupling = u::FaradsPerMeter{0.140e-9},  // 140 aF/um
+        .c_fringe = u::FaradsPerMeter{0.030e-9},    // 30 aF/um
     };
     // 4X plane: half pitch, thinner metal -> ~2.8x resistance, similar C.
     t.plane_4x = PlaneParams{
-        .min_width_m = 0.4e-6,
-        .min_spacing_m = 0.4e-6,
-        .thickness_m = 0.85e-6,
-        .c_ground_f_per_m = 0.020e-9,
-        .c_coupling_f_per_m = 0.160e-9,
-        .c_fringe_f_per_m = 0.030e-9,
+        .min_width = u::meters(0.4e-6),
+        .min_spacing = u::meters(0.4e-6),
+        .thickness = u::meters(0.85e-6),
+        .c_ground = u::FaradsPerMeter{0.020e-9},
+        .c_coupling = u::FaradsPerMeter{0.160e-9},
+        .c_fringe = u::FaradsPerMeter{0.030e-9},
     };
     return t;
   }();

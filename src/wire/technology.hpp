@@ -7,7 +7,11 @@
 // model lands near the published Table 2/3 characteristics; the calibration is
 // validated by bench/table2_wire_characteristics and
 // bench/table3_vlwire_characteristics.
+//
+// All quantities are dimension-checked units::Quantity values (SI).
 #pragma once
+
+#include "common/units.hpp"
 
 namespace tcmp::wire {
 
@@ -16,31 +20,31 @@ namespace tcmp::wire {
 enum class MetalPlane { k4X, k8X };
 
 struct PlaneParams {
-  double min_width_m;    ///< minimum (1x) wire width for this plane
-  double min_spacing_m;  ///< minimum (1x) spacing for this plane
-  double thickness_m;    ///< metal thickness
+  units::Meters min_width;    ///< minimum (1x) wire width for this plane
+  units::Meters min_spacing;  ///< minimum (1x) spacing for this plane
+  units::Meters thickness;    ///< metal thickness
   /// Capacitance-per-meter decomposition at 1x width / 1x spacing.
   /// c_ground scales with width; c_coupling scales with 1/spacing;
   /// c_fringe is constant. Global fat wires are coupling-dominated.
-  double c_ground_f_per_m;
-  double c_coupling_f_per_m;
-  double c_fringe_f_per_m;
+  units::FaradsPerMeter c_ground;
+  units::FaradsPerMeter c_coupling;
+  units::FaradsPerMeter c_fringe;
 };
 
 struct TechParams {
-  double resistivity_ohm_m;  ///< copper, including barrier/scattering derating
+  units::OhmMeters resistivity;  ///< copper, incl. barrier/scattering derating
 
   // Repeater (minimum-sized inverter) characteristics.
-  double r_gate_min_ohm;   ///< effective driver resistance of a 1x inverter
-  double c_gate_min_f;     ///< input capacitance of a 1x inverter
-  double c_diff_min_f;     ///< diffusion (output) capacitance of a 1x inverter
-  double i_off_n_a_per_m;  ///< NMOS leakage current per transistor width
-  double i_off_p_a_per_m;  ///< PMOS leakage current per transistor width
-  double w_nmos_min_m;     ///< NMOS width in a 1x inverter
-  double w_pmos_min_m;     ///< PMOS width in a 1x inverter
+  units::Ohms r_gate_min;    ///< effective driver resistance of a 1x inverter
+  units::Farads c_gate_min;  ///< input capacitance of a 1x inverter
+  units::Farads c_diff_min;  ///< diffusion (output) capacitance of a 1x inverter
+  units::AmperesPerMeter i_off_n;  ///< NMOS leakage current per transistor width
+  units::AmperesPerMeter i_off_p;  ///< PMOS leakage current per transistor width
+  units::Meters w_nmos_min;        ///< NMOS width in a 1x inverter
+  units::Meters w_pmos_min;        ///< PMOS width in a 1x inverter
 
-  double vdd_v;
-  double freq_hz;
+  units::Volts vdd;
+  units::Hertz freq;
 
   /// Multiplies the raw Elmore delay: lumps the 0.69 ln(2) step-response
   /// factor, input-slope degradation, via/jog resistance and process
@@ -54,9 +58,9 @@ struct TechParams {
   double short_circuit_factor;
 
   /// Signal propagation floor for very wide wires (LC / transmission-line
-  /// regime): below this nothing helps. Seconds per meter, including driver
-  /// overhead. Very wide VL-wires operate near this floor.
-  double lc_floor_s_per_m;
+  /// regime): below this nothing helps. Includes driver overhead. Very wide
+  /// VL-wires operate near this floor.
+  units::SecondsPerMeter lc_floor;
 
   PlaneParams plane_4x;
   PlaneParams plane_8x;

@@ -6,6 +6,8 @@
 
 namespace tcmp::wire {
 
+namespace u = units;
+
 const char* to_string(WireClass w) {
   switch (w) {
     case WireClass::kB8X: return "B-Wire (8X)";
@@ -17,34 +19,41 @@ const char* to_string(WireClass w) {
   return "?";
 }
 
-unsigned WireSpec::link_cycles(double link_length_mm, double freq_hz) const {
+unsigned WireSpec::link_cycles(double link_length_mm, u::Hertz freq) const {
   const double delay_s = ps_per_mm * 1e-12 * link_length_mm;
-  const double cycles = delay_s * freq_hz;
+  const double cycles = delay_s * freq.value();
   return static_cast<unsigned>(std::max(1.0, std::ceil(cycles - 1e-9)));
 }
 
 WireSpec paper_spec(WireClass w, unsigned vl_bytes) {
   WireSpec s;
   s.name = to_string(w);
+  const auto row = [&s](double rel_lat, double rel_area, double dyn_w_per_m,
+                        double static_w_per_m) {
+    s.rel_latency = rel_lat;
+    s.rel_area = rel_area;
+    s.dyn_power = u::WattsPerMeter{dyn_w_per_m};
+    s.static_power = u::WattsPerMeter{static_w_per_m};
+  };
   switch (w) {
     case WireClass::kB8X:
-      s = {s.name, 1.0, 1.0, 2.65, 1.0246, 0.0};
+      row(1.0, 1.0, 2.65, 1.0246);
       break;
     case WireClass::kB4X:
-      s = {s.name, 1.6, 0.5, 2.90, 1.1578, 0.0};
+      row(1.6, 0.5, 2.90, 1.1578);
       break;
     case WireClass::kL8X:
-      s = {s.name, 0.5, 4.0, 1.46, 0.5670, 0.0};
+      row(0.5, 4.0, 1.46, 0.5670);
       break;
     case WireClass::kPW4X:
-      s = {s.name, 3.2, 0.5, 0.87, 0.3074, 0.0};
+      row(3.2, 0.5, 0.87, 0.3074);
       break;
     case WireClass::kVL:
       // Table 3 rows, keyed by the VL bundle width.
       switch (vl_bytes) {
-        case 3: s = {"VL-Wire 3B (8X)", 0.27, 14.0, 0.87, 0.3065, 0.0}; break;
-        case 4: s = {"VL-Wire 4B (8X)", 0.31, 10.0, 1.00, 0.3910, 0.0}; break;
-        case 5: s = {"VL-Wire 5B (8X)", 0.35, 8.0, 1.13, 0.4395, 0.0}; break;
+        case 3: s.name = "VL-Wire 3B (8X)"; row(0.27, 14.0, 0.87, 0.3065); break;
+        case 4: s.name = "VL-Wire 4B (8X)"; row(0.31, 10.0, 1.00, 0.3910); break;
+        case 5: s.name = "VL-Wire 5B (8X)"; row(0.35, 8.0, 1.13, 0.4395); break;
         default:
           TCMP_CHECK_MSG(false, "VL-Wire width must be 3, 4 or 5 bytes");
       }
@@ -87,7 +96,7 @@ WireSpec model_spec(WireClass w, unsigned vl_bytes) {
 
   const WireGeometry base_geo = geometry_of(WireClass::kB8X);
   const RepeaterDesign base_design = delay_optimal_design(tech, base_geo);
-  const double base_delay = delay_per_m(tech, base_geo, base_design);
+  const u::SecondsPerMeter base_delay = delay_per_m(tech, base_geo, base_design);
 
   WireSpec s;
   s.name = to_string(w);
@@ -95,13 +104,13 @@ WireSpec model_spec(WireClass w, unsigned vl_bytes) {
   s.rel_latency = delay_per_m(tech, geo, design) / base_delay;
   // Track pitch in absolute terms: a 1x 4X-plane wire occupies half the
   // pitch of a 1x 8X-plane wire (Table 2's 0.5x relative area).
-  const auto pitch_m = [&tech](const WireGeometry& g) {
+  const auto pitch = [&tech](const WireGeometry& g) {
     const PlaneParams& p = tech.plane(g.plane);
-    return p.min_width_m * g.width_mult + p.min_spacing_m * g.spacing_mult;
+    return p.min_width * g.width_mult + p.min_spacing * g.spacing_mult;
   };
-  s.rel_area = pitch_m(geo) / pitch_m(base_geo);
-  s.dyn_power_w_per_m = switching_power_per_m(tech, geo, design);
-  s.static_power_w_per_m = leakage_power_per_m(tech, design);
+  s.rel_area = pitch(geo) / pitch(base_geo);
+  s.dyn_power = switching_power_per_m(tech, geo, design);
+  s.static_power = leakage_power_per_m(tech, design);
   s.ps_per_mm = kBWirePsPerMm * s.rel_latency;
   return s;
 }

@@ -14,6 +14,7 @@
 
 #include <string>
 
+#include "common/units.hpp"
 #include "wire/rc_model.hpp"
 
 namespace tcmp::wire {
@@ -27,15 +28,24 @@ enum class WireClass { kB8X, kB4X, kL8X, kPW4X, kVL };
 
 struct WireSpec {
   std::string name;
-  double rel_latency = 1.0;       ///< delay per meter relative to B-8X
-  double rel_area = 1.0;          ///< track pitch per wire relative to B-8X
-  double dyn_power_w_per_m = 0.0; ///< per wire, at switching factor alpha = 1
-  double static_power_w_per_m = 0.0;  ///< per wire
-  double ps_per_mm = 0.0;             ///< absolute latency
+  double rel_latency = 1.0;  ///< delay per meter relative to B-8X
+  double rel_area = 1.0;     ///< track pitch per wire relative to B-8X
+  units::WattsPerMeter dyn_power;     ///< per wire, at switching factor alpha = 1
+  units::WattsPerMeter static_power;  ///< per wire
+  /// Absolute latency in the paper's ps/mm units. Kept as a raw double on
+  /// purpose: it anchors the ceil-quantized link_cycles() computation, whose
+  /// bit-exact value is part of the published calibration.
+  double ps_per_mm = 0.0;  // tcmplint: allow-raw-unit
+
+  /// Absolute latency as a dimension-checked quantity.
+  [[nodiscard]] units::SecondsPerMeter latency_per_m() const {
+    return units::SecondsPerMeter{ps_per_mm * 1e-9};
+  }
 
   /// Link traversal latency in whole clock cycles for a link of
-  /// `link_length_mm` at `freq_hz` (at least 1 cycle).
-  [[nodiscard]] unsigned link_cycles(double link_length_mm, double freq_hz) const;
+  /// `link_length_mm` (paper units, config boundary) at `freq` (at least 1).
+  [[nodiscard]] unsigned link_cycles(double link_length_mm,  // tcmplint: allow-raw-unit
+                                     units::Hertz freq) const;
 };
 
 inline constexpr double kBWirePsPerMm = 130.0;

@@ -53,7 +53,7 @@ struct AppParams {
   unsigned num_streams = 4;
   unsigned barrier_interval = 0;   ///< memory ops between barriers (0 = none)
   double compute_per_mem = 2.0;    ///< mean ALU instructions between mem ops
-  std::uint64_t base_line = 0x10000000;  ///< region base (line address)
+  std::uint64_t base_line = 0x10000000;  ///< region base (line address)  // tcmplint: allow-raw-unit (layout arithmetic seed)
   double warmup_frac = 0.3;        ///< warmup ops (fraction of ops_per_core)
   /// VA window (in lines) that scattered layouts spread chunks over; larger
   /// windows mean more distinct high-order address regions and therefore

@@ -32,13 +32,15 @@ SyntheticApp::SyntheticApp(const AppParams& params, unsigned n_cores)
   }
   // Layout: per-core private arrays live in separate regions (kStreamGapLines
   // apart); the shared region follows all of them.
-  shared_base_ = params_.base_line +
-                 n_cores_ * params_.num_streams * kStreamGapLines;
+  shared_base_ = LineAddr{params_.base_line +
+                          n_cores_ * params_.num_streams * kStreamGapLines};
 }
 
-Addr SyntheticApp::apply_layout(Addr region_base, std::uint64_t offset,
+LineAddr SyntheticApp::apply_layout(LineAddr region_base, std::uint64_t offset,
                                 std::uint64_t salt) const {
-  if (params_.layout == Layout::kContiguous) return region_base + offset;
+  if (params_.layout == Layout::kContiguous) {
+    return LineAddr{region_base.value() + offset};
+  }
   // Scattered: keep 4 KB chunks intact (cache/page locality survives) but
   // place chunks pseudo-randomly across a large VA window, as heap-allocated
   // and non-contiguous grid data behave.
@@ -46,10 +48,11 @@ Addr SyntheticApp::apply_layout(Addr region_base, std::uint64_t offset,
   const std::uint64_t within = offset % kChunkLines;
   const std::uint64_t placed = mix64(chunk * 0x10001 + salt * 0x9e37 + params_.seed) %
                                (params_.scatter_lines / kChunkLines);
-  return params_.base_line + params_.scatter_lines + placed * kChunkLines + within;
+  return LineAddr{params_.base_line + params_.scatter_lines +
+                  placed * kChunkLines + within};
 }
 
-Addr SyntheticApp::private_line(unsigned core, CoreState& st) {
+LineAddr SyntheticApp::private_line(unsigned core, CoreState& st) {
   // Bursty interleaving over the core's arrays: inner loops process one
   // array for a stretch, then move to the next.
   if (!st.rng.chance(0.85)) st.next_stream = (st.next_stream + 1) % params_.num_streams;
@@ -62,12 +65,12 @@ Addr SyntheticApp::private_line(unsigned core, CoreState& st) {
   } else {
     cursor = st.rng.next_below(stream_lines);
   }
-  const Addr base = params_.base_line +
-                    (core * params_.num_streams + k) * kStreamGapLines;
+  const LineAddr base{params_.base_line +
+                      (core * params_.num_streams + k) * kStreamGapLines};
   return apply_layout(base, cursor, /*salt=*/core * 16 + k + 1);
 }
 
-Addr SyntheticApp::shared_line(unsigned core, CoreState& st) {
+LineAddr SyntheticApp::shared_line(unsigned core, CoreState& st) {
   const std::uint64_t lines = params_.shared_lines;
   const std::uint64_t segment = lines / n_cores_;
   std::uint64_t offset = 0;
@@ -174,7 +177,7 @@ core::Op SyntheticApp::memory_op(unsigned core, CoreState& st) {
     return w ? core::Op::store(st.last_line) : core::Op::load(st.last_line);
   }
   const bool shared = st.rng.chance(params_.shared_frac);
-  const Addr line = shared ? shared_line(core, st) : private_line(core, st);
+  const LineAddr line = shared ? shared_line(core, st) : private_line(core, st);
   st.last_line = line;
   if (params_.line_dwell > 1.0) {
     st.dwell_left = static_cast<std::uint32_t>(

@@ -31,8 +31,8 @@ class SyntheticApp final : public core::Workload {
     std::uint64_t chase_cursor = 0;   ///< irregular-graph walk position
     std::uint32_t barriers_hit = 0;
     bool pending_store = false;       ///< second half of a read-modify-write
-    Addr pending_store_line = 0;
-    Addr last_line = 0;               ///< dwell: repeated word accesses per line
+    LineAddr pending_store_line{};
+    LineAddr last_line{};             ///< dwell: repeated word accesses per line
     std::uint32_t dwell_left = 0;
     std::uint64_t shared_cursor = 0;  ///< sequential run position (shared region)
     bool shared_cursor_valid = false;
@@ -42,16 +42,16 @@ class SyntheticApp final : public core::Workload {
     bool finished = false;
   };
 
-  [[nodiscard]] Addr private_line(unsigned core, CoreState& st);
-  [[nodiscard]] Addr shared_line(unsigned core, CoreState& st);
-  [[nodiscard]] Addr apply_layout(Addr region_base, std::uint64_t offset,
+  [[nodiscard]] LineAddr private_line(unsigned core, CoreState& st);
+  [[nodiscard]] LineAddr shared_line(unsigned core, CoreState& st);
+  [[nodiscard]] LineAddr apply_layout(LineAddr region_base, std::uint64_t offset,
                                   std::uint64_t salt) const;
   core::Op memory_op(unsigned core, CoreState& st);
 
   AppParams params_;
   unsigned n_cores_;
   std::vector<CoreState> cores_;
-  Addr shared_base_;
+  LineAddr shared_base_;
 };
 
 }  // namespace tcmp::workloads

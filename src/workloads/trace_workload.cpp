@@ -22,10 +22,12 @@ TraceWorkload::TraceWorkload(std::istream& in, unsigned n_cores, std::string nam
     TCMP_CHECK_MSG(core < n_cores, "trace: core id out of range");
     auto& stream = streams_[core];
     if (op == "L" || op == "S") {
-      Addr addr = 0;
+      std::uint64_t addr = 0;
       ls >> std::hex >> addr;
       TCMP_CHECK_MSG(!ls.fail(), "trace: bad address");
-      stream.push_back(op == "L" ? core::Op::load(addr) : core::Op::store(addr));
+      const LineAddr line_addr{addr};
+      stream.push_back(op == "L" ? core::Op::load(line_addr)
+                                 : core::Op::store(line_addr));
     } else if (op == "C") {
       std::uint32_t n = 0;
       ls >> std::dec >> n;
@@ -71,10 +73,10 @@ void write_trace(std::ostream& out, core::Workload& workload, unsigned n_cores,
       const core::Op op = workload.next(c);
       switch (op.kind) {
         case core::OpKind::kLoad:
-          out << c << " L 0x" << std::hex << op.line << std::dec << "\n";
+          out << c << " L 0x" << std::hex << op.line.value() << std::dec << "\n";
           break;
         case core::OpKind::kStore:
-          out << c << " S 0x" << std::hex << op.line << std::dec << "\n";
+          out << c << " S 0x" << std::hex << op.line.value() << std::dec << "\n";
           break;
         case core::OpKind::kCompute:
           out << c << " C " << op.count << "\n";

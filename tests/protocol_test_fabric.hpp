@@ -29,8 +29,8 @@ class TestFabric {
     unsigned l1_ways = 2;
     unsigned l2_sets = 64;
     unsigned l2_ways = 4;
-    Cycle min_delay = 3;
-    Cycle max_delay = 3;  ///< > min_delay enables randomized reordering
+    Cycle min_delay{3};
+    Cycle max_delay{3};  ///< > min_delay enables randomized reordering
     std::uint64_t seed = 1;
   };
 
@@ -55,7 +55,7 @@ class TestFabric {
                                                   opt_.nodes, &stats_, sink));
       const unsigned core = n;
       l1s_[n]->set_fill_callback(
-          [this, core](Addr line) { fills_[core].insert(line); });
+          [this, core](LineAddr line) { fills_[core].insert(line); });
     }
   }
 
@@ -65,8 +65,8 @@ class TestFabric {
   Directory& dir(unsigned n) { return *dirs_[n]; }
   StatRegistry& stats() { return stats_; }
   [[nodiscard]] Cycle now() const { return now_; }
-  [[nodiscard]] NodeId home_of(Addr line) const {
-    return static_cast<NodeId>(line % opt_.nodes);
+  [[nodiscard]] NodeId home_of(LineAddr line) const {
+    return static_cast<NodeId>(line.value() % opt_.nodes);
   }
 
   void step() {
@@ -83,24 +83,24 @@ class TestFabric {
 
   /// Blocking access: issue and run until the fill callback fires (or the
   /// access hits). Returns the cycles the access took to complete.
-  Cycle access(unsigned core, Addr line, bool write) {
+  Cycle access(unsigned core, LineAddr line, bool write) {
     const Cycle start = now_;
     fills_[core].erase(line);
-    if (l1s_[core]->access(line, write) == AccessResult::kHit) return 0;
+    if (l1s_[core]->access(line, write) == AccessResult::kHit) return Cycle{0};
     while (!fills_[core].contains(line)) {
       step();
-      TCMP_CHECK_MSG(now_ - start < 1000000, "access did not complete");
+      TCMP_CHECK_MSG(now_ - start < Cycle{1000000}, "access did not complete");
     }
     return now_ - start;
   }
 
   /// Issue without blocking (race construction); pair with run_until_quiescent.
-  void access_async(unsigned core, Addr line, bool write) {
+  void access_async(unsigned core, LineAddr line, bool write) {
     fills_[core].erase(line);
     (void)l1s_[core]->access(line, write);
   }
 
-  void run_until_quiescent(Cycle limit = 1000000) {
+  void run_until_quiescent(Cycle limit = Cycle{1000000}) {
     const Cycle start = now_;
     while (!quiescent()) {
       step();
@@ -118,8 +118,8 @@ class TestFabric {
   }
 
   /// Coherence + data-version invariants over `lines` (call when quiescent).
-  void check_invariants(const std::set<Addr>& lines) {
-    for (Addr line : lines) {
+  void check_invariants(const std::set<LineAddr>& lines) {
+    for (LineAddr line : lines) {
       std::vector<unsigned> m_or_e, s_holders;
       for (unsigned n = 0; n < opt_.nodes; ++n) {
         const auto st = l1s_[n]->state_of(line);
@@ -130,15 +130,16 @@ class TestFabric {
           m_or_e.push_back(n);
         }
       }
-      ASSERT_LE(m_or_e.size(), 1u) << "multiple owners of line " << line;
+      ASSERT_LE(m_or_e.size(), 1u) << "multiple owners of line " << line.value();
       if (!m_or_e.empty()) {
-        ASSERT_TRUE(s_holders.empty()) << "owner plus sharers on line " << line;
+        ASSERT_TRUE(s_holders.empty())
+            << "owner plus sharers on line " << line.value();
       }
       const Directory& home = *dirs_[home_of(line)];
       const auto dstate = home.dir_state_of(line);
       if (!dstate.has_value()) {
         ASSERT_TRUE(m_or_e.empty() && s_holders.empty())
-            << "L1 copy of line " << line << " not backed by L2";
+            << "L1 copy of line " << line.value() << " not backed by L2";
         continue;
       }
       switch (*dstate) {
@@ -151,7 +152,7 @@ class TestFabric {
           for (unsigned n : s_holders) ASSERT_TRUE((sharers >> n) & 1);
           for (unsigned n : s_holders) {
             ASSERT_EQ(l1s_[n]->version_of(line), home.version_of(line))
-                << "stale shared copy of line " << line << " at L1 " << n;
+                << "stale shared copy of line " << line.value() << " at L1 " << n;
           }
           break;
         }
@@ -172,7 +173,7 @@ class TestFabric {
     Cycle delay = opt_.min_delay;
     if (opt_.max_delay > opt_.min_delay) {
       delay = opt_.min_delay +
-              rng_.next_below(opt_.max_delay - opt_.min_delay + 1);
+              rng_.next_below((opt_.max_delay - opt_.min_delay).value() + 1);
     }
     if (delay_fn_) {
       if (const auto forced = delay_fn_(msg)) delay = *forced;
@@ -186,9 +187,9 @@ class TestFabric {
   DelayFn delay_fn_;
   std::vector<std::unique_ptr<L1Cache>> l1s_;
   std::vector<std::unique_ptr<Directory>> dirs_;
-  std::vector<std::set<Addr>> fills_;
+  std::vector<std::set<LineAddr>> fills_;
   DelayQueue<CoherenceMsg> wire_;
-  Cycle now_ = 0;
+  Cycle now_{0};
 };
 
 }  // namespace tcmp::protocol

@@ -70,7 +70,7 @@ TEST(TraceWorkload, ParsesAllOpKinds) {
 
   auto op = w.next(0);
   EXPECT_EQ(static_cast<int>(op.kind), static_cast<int>(core::OpKind::kLoad));
-  EXPECT_EQ(op.line, 0x10u);
+  EXPECT_EQ(op.line.value(), 0x10u);
   op = w.next(0);
   EXPECT_EQ(static_cast<int>(op.kind), static_cast<int>(core::OpKind::kStore));
   op = w.next(0);
@@ -80,7 +80,7 @@ TEST(TraceWorkload, ParsesAllOpKinds) {
   // Exhausted stream returns kDone forever.
   EXPECT_EQ(static_cast<int>(w.next(0).kind), static_cast<int>(core::OpKind::kDone));
   EXPECT_EQ(static_cast<int>(w.next(0).kind), static_cast<int>(core::OpKind::kDone));
-  EXPECT_EQ(w.next(1).line, 0x20u);
+  EXPECT_EQ(w.next(1).line.value(), 0x20u);
 }
 
 TEST(TraceWorkloadDeathTest, RejectsMalformedLines) {

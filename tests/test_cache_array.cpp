@@ -27,23 +27,23 @@ TEST(CacheArrayDeathTest, RejectsNonPowerOfTwoSets) {
 
 TEST(CacheArray, FindMissesOnEmpty) {
   Array a(16, 2);
-  EXPECT_EQ(a.find(0x123), nullptr);
+  EXPECT_EQ(a.find(LineAddr{0x123}), nullptr);
 }
 
 TEST(CacheArray, FillThenFind) {
   Array a(16, 2);
-  auto* slot = a.victim(0x123);
-  a.fill(*slot, 0x123);
+  auto* slot = a.victim(LineAddr{0x123});
+  a.fill(*slot, LineAddr{0x123});
   slot->payload.value = 42;
-  auto* found = a.find(0x123);
+  auto* found = a.find(LineAddr{0x123});
   ASSERT_NE(found, nullptr);
   EXPECT_EQ(found->payload.value, 42);
-  EXPECT_EQ(a.find(0x124), nullptr);  // different line, same... different set
+  EXPECT_EQ(a.find(LineAddr{0x124}), nullptr);  // different line, different set
 }
 
 TEST(CacheArray, AddressReconstruction) {
   Array a(16, 4);
-  for (Addr line : {Addr{0x5}, Addr{0x15}, Addr{0x25}, Addr{0xFFF5}}) {
+  for (LineAddr line : {LineAddr{0x5}, LineAddr{0x15}, LineAddr{0x25}, LineAddr{0xFFF5}}) {
     auto* slot = a.victim(line);
     a.fill(*slot, line);
     EXPECT_EQ(a.address_of(*slot), line);
@@ -52,28 +52,28 @@ TEST(CacheArray, AddressReconstruction) {
 
 TEST(CacheArray, LruVictimSelection) {
   Array a(1, 4);  // single set
-  for (Addr line : {Addr{0}, Addr{1}, Addr{2}, Addr{3}}) {
+  for (LineAddr line : {LineAddr{0}, LineAddr{1}, LineAddr{2}, LineAddr{3}}) {
     a.fill(*a.victim(line), line);
   }
   // Touch 0 so 1 becomes LRU.
-  a.touch(*a.find(0));
-  auto* v = a.victim(99);
-  EXPECT_EQ(a.address_of(*v), 1u);
+  a.touch(*a.find(LineAddr{0}));
+  auto* v = a.victim(LineAddr{99});
+  EXPECT_EQ(a.address_of(*v), LineAddr{1});
 }
 
 TEST(CacheArray, InvalidWaysPreferredOverLru) {
   Array a(1, 2);
-  a.fill(*a.victim(0), 0);
-  a.fill(*a.victim(1), 1);
-  a.invalidate(*a.find(0));
-  auto* v = a.victim(2);
+  a.fill(*a.victim(LineAddr{0}), LineAddr{0});
+  a.fill(*a.victim(LineAddr{1}), LineAddr{1});
+  a.invalidate(*a.find(LineAddr{0}));
+  auto* v = a.victim(LineAddr{2});
   EXPECT_FALSE(v->valid);  // the invalidated way, not LRU line 1
-  EXPECT_NE(a.find(1), nullptr);
+  EXPECT_NE(a.find(LineAddr{1}), nullptr);
 }
 
 TEST(CacheArray, SetLinesSpansExactlyTheWays) {
   Array a(8, 4);
-  auto span = a.set_lines(0x10);  // set = 0x10 & 7 = 0
+  auto span = a.set_lines(LineAddr{0x10});  // set = 0x10 & 7 = 0
   EXPECT_EQ(span.size(), 4u);
   for (auto& l : span) EXPECT_FALSE(l.valid);
 }
@@ -81,19 +81,20 @@ TEST(CacheArray, SetLinesSpansExactlyTheWays) {
 TEST(CacheArray, ConflictingTagsCoexistAcrossWays) {
   Array a(4, 2);
   // Lines 0x3, 0x7, 0xB map to set 3; only two fit.
-  a.fill(*a.victim(0x3), 0x3);
-  a.fill(*a.victim(0x7), 0x7);
-  EXPECT_NE(a.find(0x3), nullptr);
-  EXPECT_NE(a.find(0x7), nullptr);
-  auto* v = a.victim(0xB);
+  a.fill(*a.victim(LineAddr{0x3}), LineAddr{0x3});
+  a.fill(*a.victim(LineAddr{0x7}), LineAddr{0x7});
+  EXPECT_NE(a.find(LineAddr{0x3}), nullptr);
+  EXPECT_NE(a.find(LineAddr{0x7}), nullptr);
+  auto* v = a.victim(LineAddr{0xB});
   EXPECT_TRUE(v->valid);  // must evict one of them
 }
 
 TEST(CacheArray, ForEachValidVisitsAll) {
   Array a(8, 2);
-  std::set<Addr> filled{0x1, 0x9, 0x12, 0x33};
-  for (Addr l : filled) a.fill(*a.victim(l), l);
-  std::set<Addr> seen;
+  std::set<LineAddr> filled{LineAddr{0x1}, LineAddr{0x9}, LineAddr{0x12},
+                            LineAddr{0x33}};
+  for (LineAddr l : filled) a.fill(*a.victim(l), l);
+  std::set<LineAddr> seen;
   a.for_each_valid([&](Array::Line& l) { seen.insert(a.address_of(l)); });
   EXPECT_EQ(seen, filled);
 }

@@ -16,7 +16,7 @@ workloads::AppParams small_app(const char* name, double scale = 0.1) {
 
 RunResult run_one(const CmpConfig& cfg, const workloads::AppParams& params) {
   CmpSystem system(cfg, std::make_shared<workloads::SyntheticApp>(params, cfg.n_tiles));
-  const bool finished = system.run(200'000'000);
+  const bool finished = system.run(Cycle{200'000'000});
   EXPECT_TRUE(finished);
   return make_result(system);
 }
@@ -33,9 +33,9 @@ TEST(CmpConfig, NamedConfigurations) {
 TEST(CmpSystem, BaselineRunsToCompletion) {
   CmpSystem system(CmpConfig::baseline(),
                    std::make_shared<workloads::SyntheticApp>(small_app("FFT"), 16));
-  EXPECT_TRUE(system.run(200'000'000));
+  EXPECT_TRUE(system.run(Cycle{200'000'000}));
   EXPECT_TRUE(system.finished());
-  EXPECT_GT(system.cycles(), 0u);
+  EXPECT_GT(system.cycles().value(), 0u);
   EXPECT_GT(system.total_instructions(), 0u);
 }
 
@@ -43,7 +43,7 @@ TEST(CmpSystem, WarmupBoundaryResetsMeasurement) {
   CmpSystem system(CmpConfig::baseline(),
                    std::make_shared<workloads::SyntheticApp>(small_app("LU-cont"), 16));
   EXPECT_FALSE(system.warmup_done());
-  ASSERT_TRUE(system.run(200'000'000));
+  ASSERT_TRUE(system.run(Cycle{200'000'000}));
   EXPECT_TRUE(system.warmup_done());
   EXPECT_LT(system.cycles(), system.total_cycles());
   EXPECT_LT(system.measured_instructions(), system.total_instructions());
@@ -53,7 +53,7 @@ TEST(CmpSystem, DeterministicAcrossRuns) {
   auto once = [] {
     CmpSystem system(CmpConfig::heterogeneous(compression::SchemeConfig::stride(2)),
                      std::make_shared<workloads::SyntheticApp>(small_app("MP3D"), 16));
-    EXPECT_TRUE(system.run(200'000'000));
+    EXPECT_TRUE(system.run(Cycle{200'000'000}));
     return system.cycles();
   };
   EXPECT_EQ(once(), once());
@@ -67,15 +67,15 @@ TEST(CmpSystem, LocalMessagesBypassTheMesh) {
 
 TEST(RunResult, EnergyBreakdownIsPopulated) {
   const auto r = run_one(CmpConfig::baseline(), small_app("FFT"));
-  EXPECT_GT(r.energy.get(power::EnergyAccount::kLinkDynamic), 0.0);
-  EXPECT_GT(r.energy.get(power::EnergyAccount::kLinkStatic), 0.0);
-  EXPECT_GT(r.energy.get(power::EnergyAccount::kRouterBuffer), 0.0);
-  EXPECT_GT(r.energy.get(power::EnergyAccount::kCoreDynamic), 0.0);
-  EXPECT_GT(r.total_energy(), r.interconnect_energy());
-  EXPECT_GT(r.interconnect_energy(), r.link_energy() * 0.99);
-  EXPECT_GT(r.seconds, 0.0);
+  EXPECT_GT(r.energy.get(power::EnergyAccount::kLinkDynamic).value(), 0.0);
+  EXPECT_GT(r.energy.get(power::EnergyAccount::kLinkStatic).value(), 0.0);
+  EXPECT_GT(r.energy.get(power::EnergyAccount::kRouterBuffer).value(), 0.0);
+  EXPECT_GT(r.energy.get(power::EnergyAccount::kCoreDynamic).value(), 0.0);
+  EXPECT_GT(r.total_energy().value(), r.interconnect_energy().value());
+  EXPECT_GT(r.interconnect_energy().value(), r.link_energy().value() * 0.99);
+  EXPECT_GT(r.seconds.value(), 0.0);
   // Baseline has no compression hardware.
-  EXPECT_EQ(r.energy.get(power::EnergyAccount::kCompressionDynamic), 0.0);
+  EXPECT_EQ(r.energy.get(power::EnergyAccount::kCompressionDynamic).value(), 0.0);
   EXPECT_EQ(r.compression_coverage, 0.0);
 }
 
@@ -111,7 +111,7 @@ TEST_P(HetEndToEnd, HetImprovesExecutionAndLinkEd2p) {
   const auto base = run_one(CmpConfig::baseline(), params);
   const auto het = run_one(CmpConfig::heterogeneous(scheme), params);
   // Execution must not regress (and generally improves).
-  EXPECT_LE(het.cycles, base.cycles * 101 / 100);
+  EXPECT_LE(het.cycles.value(), base.cycles.value() * 101 / 100);
   // Link ED2P improves substantially (the headline result).
   EXPECT_LT(het.link_ed2p(), 0.8 * base.link_ed2p());
   // Full-chip ED2P improves too.
@@ -133,11 +133,11 @@ TEST(HetEndToEnd, CoherenceBoundAppsGainMoreThanComputeBound) {
   const auto scheme = compression::SchemeConfig::dbrc(4, 2);
 
   const double mp3d_gain =
-      static_cast<double>(run_one(CmpConfig::baseline(), mp3d).cycles) /
-      static_cast<double>(run_one(CmpConfig::heterogeneous(scheme), mp3d).cycles);
+      static_cast<double>(run_one(CmpConfig::baseline(), mp3d).cycles.value()) /
+      static_cast<double>(run_one(CmpConfig::heterogeneous(scheme), mp3d).cycles.value());
   const double water_gain =
-      static_cast<double>(run_one(CmpConfig::baseline(), water).cycles) /
-      static_cast<double>(run_one(CmpConfig::heterogeneous(scheme), water).cycles);
+      static_cast<double>(run_one(CmpConfig::baseline(), water).cycles.value()) /
+      static_cast<double>(run_one(CmpConfig::heterogeneous(scheme), water).cycles.value());
   EXPECT_GT(mp3d_gain, water_gain);
   EXPECT_GT(mp3d_gain, 1.08);  // the paper's high-variability end
 }
@@ -150,8 +150,8 @@ TEST(HetEndToEnd, HighCoverageSchemesTrackPerfect) {
       CmpConfig::heterogeneous(compression::SchemeConfig::perfect(5)), params);
   EXPECT_GT(dbrc.compression_coverage, 0.9);
   // With >90% coverage the realized time is within ~3% of the oracle.
-  EXPECT_LT(static_cast<double>(dbrc.cycles),
-            static_cast<double>(perfect.cycles) * 1.03);
+  EXPECT_LT(static_cast<double>(dbrc.cycles.value()),
+            static_cast<double>(perfect.cycles.value()) * 1.03);
 }
 
 TEST(HetEndToEnd, LargerDbrcWorsensFullChipEd2p) {
@@ -178,7 +178,7 @@ TEST(HetEndToEnd, ReplyPartitioningImprovesReadBoundApps) {
   // Partial replies must appear on the network and not regress performance.
   EXPECT_GT(rp.msg_counts.at("PartialReply"), 0u);
   EXPECT_EQ(het.msg_counts.count("PartialReply"), 0u);
-  EXPECT_LE(rp.cycles, het.cycles);
+  EXPECT_LE(rp.cycles.value(), het.cycles.value());
 }
 
 TEST(HetEndToEnd, ReplyPartitioningIsCoherent) {
@@ -190,7 +190,7 @@ TEST(HetEndToEnd, ReplyPartitioningIsCoherent) {
   cfg.reply_partitioning = true;
   cmp::CmpSystem system(cfg,
                         std::make_shared<workloads::SyntheticApp>(params, 16));
-  ASSERT_TRUE(system.run(200'000'000));
+  ASSERT_TRUE(system.run(Cycle{200'000'000}));
   EXPECT_GT(system.stats().counter_value("l1.partial_resumes"), 0u);
   EXPECT_GT(system.stats().counter_value("l1.retried_accesses"), 0u);
 }
@@ -199,7 +199,7 @@ TEST(HetEndToEnd, Cheng3WayRunsAndUsesAllThreeSubnets) {
   const auto params = workloads::app("MP3D").scaled(0.2);
   CmpSystem system(CmpConfig::cheng3way(),
                    std::make_shared<workloads::SyntheticApp>(params, 16));
-  ASSERT_TRUE(system.run(200'000'000));
+  ASSERT_TRUE(system.run(Cycle{200'000'000}));
   const auto& st = system.stats();
   EXPECT_GT(st.counter_value("noc.L.packets"), 0u);   // short critical
   EXPECT_GT(st.counter_value("noc.B.packets"), 0u);   // data replies
@@ -216,9 +216,9 @@ TEST(HetEndToEnd, ChengGainsLessThanProposalOnTheMesh) {
   const auto cheng = run_one(CmpConfig::cheng3way(), params);
   const auto ours = run_one(
       CmpConfig::heterogeneous(compression::SchemeConfig::dbrc(4, 2)), params);
-  EXPECT_LT(ours.cycles, cheng.cycles);
+  EXPECT_LT(ours.cycles.value(), cheng.cycles.value());
   // [6] on the mesh: within a few percent of baseline either way.
-  EXPECT_NEAR(static_cast<double>(cheng.cycles) / static_cast<double>(base.cycles),
+  EXPECT_NEAR(static_cast<double>(cheng.cycles.value()) / static_cast<double>(base.cycles.value()),
               1.0, 0.06);
 }
 
@@ -227,11 +227,11 @@ TEST(HetEndToEnd, TreeTopologyRunsCoherently) {
   CmpConfig cfg = CmpConfig::heterogeneous(compression::SchemeConfig::dbrc(4, 2));
   cfg.topology = noc::Topology::kTree2Level;
   CmpSystem system(cfg, std::make_shared<workloads::SyntheticApp>(params, 16));
-  ASSERT_TRUE(system.run(200'000'000));
-  EXPECT_GT(system.cycles(), 0u);
+  ASSERT_TRUE(system.run(Cycle{200'000'000}));
+  EXPECT_GT(system.cycles().value(), 0u);
   // Deterministic too.
   CmpSystem again(cfg, std::make_shared<workloads::SyntheticApp>(params, 16));
-  ASSERT_TRUE(again.run(200'000'000));
+  ASSERT_TRUE(again.run(Cycle{200'000'000}));
   EXPECT_EQ(system.cycles(), again.cycles());
 }
 
@@ -242,7 +242,7 @@ TEST(HetEndToEnd, ThirtyTwoTileSystemRuns) {
   cfg.mesh_width = 8;
   cfg.mesh_height = 4;
   CmpSystem system(cfg, std::make_shared<workloads::SyntheticApp>(params, 32));
-  ASSERT_TRUE(system.run(400'000'000));
+  ASSERT_TRUE(system.run(Cycle{400'000'000}));
   EXPECT_GT(system.measured_instructions(), 0u);
 }
 

@@ -2,7 +2,9 @@
 // tables and unit helpers.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <set>
+#include <type_traits>
 
 #include "common/env.hpp"
 #include "common/rng.hpp"
@@ -14,20 +16,106 @@
 namespace tcmp {
 namespace {
 
+// ===== Compile-time probe suite for the strong-type layer. ================
+//
+// Legal operations are pinned with static_assert; illegal operations are
+// proved ill-formed via requires-expressions (the negative-compilation
+// probes the acceptance criteria ask for: if someone adds the forbidden
+// overload, the probe flips to true and the static_assert fails).
+
+template <typename A, typename B>
+concept Addable = requires(A a, B b) { a + b; };
+template <typename A, typename B>
+concept Subtractable = requires(A a, B b) { a - b; };
+template <typename A, typename B>
+concept Multipliable = requires(A a, B b) { a * b; };
+
+// Cycle: additive clock arithmetic only.
+static_assert(Addable<Cycle, Cycle>);
+static_assert(Subtractable<Cycle, Cycle>);
+static_assert(Addable<Cycle, std::uint64_t>);  // `now + 1` delta form
+static_assert(!Multipliable<Cycle, Cycle>);    // time*time is meaningless
+static_assert(Cycle{3} + Cycle{4} == Cycle{7});
+static_assert(Cycle{10} % Cycle{4} == 2);
+static_assert(Cycle{1} < kNeverCycle);
+
+// Addresses admit no arithmetic at all, and the byte/line granularities are
+// distinct types whose only bridges are line_of / byte_of_line.
+static_assert(!Addable<LineAddr, LineAddr>);
+static_assert(!Addable<ByteAddr, ByteAddr>);
+static_assert(!Multipliable<LineAddr, std::uint64_t>);
+static_assert(!std::is_convertible_v<ByteAddr, LineAddr>);
+static_assert(!std::is_convertible_v<LineAddr, ByteAddr>);
+static_assert(!std::is_constructible_v<LineAddr, ByteAddr>);
+
+// A ByteAddr cannot be passed where a LineAddr is expected.
+constexpr LineAddr takes_line(LineAddr l) { return l; }
+template <typename T>
+concept UsableAsLineAddr = requires(T t) { takes_line(t); };
+static_assert(UsableAsLineAddr<LineAddr>);
+static_assert(!UsableAsLineAddr<ByteAddr>);
+static_assert(!UsableAsLineAddr<std::uint64_t>);  // no implicit raw-int entry
+static_assert(takes_line(line_of(ByteAddr{0x12345678})) == LineAddr{0x48D159});
+
+// Semi-strong index types: explicit in, implicit out.
+static_assert(!std::is_convertible_v<int, NodeId>);
+static_assert(std::is_convertible_v<NodeId, std::uint16_t>);
+static_assert(NodeId{7} == 7u);
+static_assert(Bytes{67} == 67u);
+
+// Quantity dimensional algebra: same-dimension sums only; products and
+// quotients recombine exponents at compile time.
+static_assert(Addable<units::Joules, units::Joules>);
+static_assert(!Addable<units::Joules, units::Watts>);   // J + W ill-formed
+static_assert(!Addable<units::Seconds, units::Meters>);
+static_assert(std::is_same_v<decltype(units::Joules{1.0} / units::Seconds{1.0}),
+                             units::Watts>);
+static_assert(std::is_same_v<decltype(units::Watts{1.0} * units::Seconds{1.0}),
+                             units::Joules>);
+static_assert(std::is_same_v<decltype(units::Meters{1.0} * units::Meters{1.0}),
+                             units::SquareMeters>);
+static_assert(std::is_same_v<decltype(units::Ohms{1.0} * units::Farads{1.0}),
+                             units::Seconds>);  // RC time constant
+static_assert(std::is_same_v<decltype(units::Seconds{1.0} / units::Meters{1.0}),
+                             units::SecondsPerMeter>);
+// A fully cancelled dimension collapses to plain double (ratios read naturally).
+static_assert(std::is_same_v<decltype(units::Joules{2.0} / units::Joules{1.0}),
+                             double>);
+static_assert(units::Joules{6.0} / units::Seconds{2.0} == units::watts(3.0));
+
 TEST(Types, LineAddressing) {
-  EXPECT_EQ(line_of(0), 0u);
-  EXPECT_EQ(line_of(63), 0u);
-  EXPECT_EQ(line_of(64), 1u);
-  EXPECT_EQ(byte_of_line(line_of(0x12345678)), 0x12345640u);
-  EXPECT_EQ(byte_of_line(5), 320u);
+  EXPECT_EQ(line_of(ByteAddr{0}), LineAddr{0});
+  EXPECT_EQ(line_of(ByteAddr{63}), LineAddr{0});
+  EXPECT_EQ(line_of(ByteAddr{64}), LineAddr{1});
+  EXPECT_EQ(byte_of_line(line_of(ByteAddr{0x12345678})), ByteAddr{0x12345640});
+  EXPECT_EQ(byte_of_line(LineAddr{5}), ByteAddr{320});
 }
 
 TEST(Units, Conversions) {
-  EXPECT_DOUBLE_EQ(units::ps(250.0), 250e-12);
+  EXPECT_DOUBLE_EQ(units::ps(250.0).value(), 250e-12);
   EXPECT_DOUBLE_EQ(units::to_ps(units::ps(130.0)), 130.0);
-  EXPECT_DOUBLE_EQ(units::mm(5.0), 5e-3);
-  EXPECT_DOUBLE_EQ(units::to_mm2(1e-6), 1.0);
+  EXPECT_DOUBLE_EQ(units::mm(5.0).value(), 5e-3);
+  EXPECT_DOUBLE_EQ(units::to_mm2(units::SquareMeters{1e-6}), 1.0);
   EXPECT_DOUBLE_EQ(units::to_pj(units::pj(3.5)), 3.5);
+}
+
+TEST(Units, RoundTrips) {
+  // Suffix-constructor -> SI storage -> accessor must return the input
+  // exactly for values representable without rounding.
+  EXPECT_DOUBLE_EQ(units::to_ps(units::ps(512.0)), 512.0);
+  EXPECT_DOUBLE_EQ(units::to_ns(units::ns(0.25)), 0.25);
+  EXPECT_DOUBLE_EQ(units::to_pj(units::pj(0.375)), 0.375);
+  EXPECT_DOUBLE_EQ(units::to_mm(units::mm(5.0)), 5.0);
+  EXPECT_DOUBLE_EQ(units::to_um(units::um(128.0)), 128.0);
+  EXPECT_DOUBLE_EQ(units::to_mw(units::mw(2.5)), 2.5);
+  // Cross-scale consistency: 1 ns == 1000 ps, 1 mm == 1000 um.
+  EXPECT_DOUBLE_EQ(units::to_ps(units::ns(1.0)), 1000.0);
+  EXPECT_DOUBLE_EQ(units::to_um(units::mm(1.0)), 1000.0);
+  EXPECT_EQ(units::ns(1.0), units::ps(1000.0));
+  // Dimensional identities evaluated at runtime.
+  EXPECT_EQ(units::ghz(4.0).value(), 4e9);
+  EXPECT_DOUBLE_EQ((1.0 / units::ghz(4.0)).value(), 250e-12);  // period
+  EXPECT_EQ(units::mm(2.0) * units::mm(3.0), units::mm2(6.0));
 }
 
 TEST(Rng, DeterministicForSameSeed) {

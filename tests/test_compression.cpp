@@ -40,15 +40,15 @@ TEST(SchemeConfig, VlWidthMatchesPaperSection43) {
 
 TEST(Stride, FirstMessageIsUncompressed) {
   StrideSender s(2, kNodes);
-  const Encoding e = s.compress(3, 0x1000);
+  const Encoding e = s.compress(NodeId{3}, LineAddr{0x1000});
   EXPECT_FALSE(e.compressed);
   EXPECT_TRUE(e.install);
 }
 
 TEST(Stride, SmallDeltaCompresses) {
   StrideSender s(2, kNodes);
-  s.compress(3, 0x1000);
-  const Encoding e = s.compress(3, 0x1010);
+  s.compress(NodeId{3}, LineAddr{0x1000});
+  const Encoding e = s.compress(NodeId{3}, LineAddr{0x1010});
   EXPECT_TRUE(e.compressed);
   EXPECT_EQ(s.hits(), 1u);
 }
@@ -56,25 +56,26 @@ TEST(Stride, SmallDeltaCompresses) {
 TEST(Stride, NegativeDeltaCompresses) {
   StrideSender s(2, kNodes);
   StrideReceiver r(2, kNodes);
-  r.decode(0, s.compress(0, 0x1000), 0x1000);
-  const Encoding e = s.compress(0, 0x0FF0);
+  r.decode(NodeId{0}, s.compress(NodeId{0}, LineAddr{0x1000}), LineAddr{0x1000});
+  const Encoding e = s.compress(NodeId{0}, LineAddr{0x0FF0});
   ASSERT_TRUE(e.compressed);
-  EXPECT_EQ(r.decode(0, e, 0), 0x0FF0u);
+  EXPECT_EQ(r.decode(NodeId{0}, e, LineAddr{}), LineAddr{0x0FF0});
 }
 
 TEST(Stride, LargeDeltaFallsBack) {
   StrideSender s(1, kNodes);
-  s.compress(0, 0x1000);
-  const Encoding e = s.compress(0, 0x1000 + 200);  // > 127: misses 1-byte window
+  s.compress(NodeId{0}, LineAddr{0x1000});
+  // > 127: misses the 1-byte window
+  const Encoding e = s.compress(NodeId{0}, LineAddr{0x1000 + 200});
   EXPECT_FALSE(e.compressed);
 }
 
 TEST(Stride, BaseIsPerDestination) {
   StrideSender s(2, kNodes);
-  s.compress(0, 0x1000);
-  s.compress(1, 0x900000);
+  s.compress(NodeId{0}, LineAddr{0x1000});
+  s.compress(NodeId{1}, LineAddr{0x900000});
   // Destination 0's base is still 0x1000.
-  EXPECT_TRUE(s.compress(0, 0x1001).compressed);
+  EXPECT_TRUE(s.compress(NodeId{0}, LineAddr{0x1001}).compressed);
 }
 
 TEST(Stride, FitsBoundaries) {
@@ -92,53 +93,57 @@ TEST(Stride, FitsBoundaries) {
 
 TEST(Dbrc, FirstAccessInstallsThenHits) {
   DbrcSender s(4, 2, kNodes);
-  const Encoding first = s.compress(5, 0xABCD1234);
+  const Encoding first = s.compress(NodeId{5}, LineAddr{0xABCD1234});
   EXPECT_FALSE(first.compressed);
   EXPECT_TRUE(first.install);
-  const Encoding second = s.compress(5, 0xABCD1235);  // same high-order region
+  // Same high-order region:
+  const Encoding second = s.compress(NodeId{5}, LineAddr{0xABCD1235});
   EXPECT_TRUE(second.compressed);
   EXPECT_EQ(second.index, first.index);
 }
 
 TEST(Dbrc, IdealizedMirrorsCompressAcrossDestinations) {
   DbrcSender s(4, 2, kNodes, /*idealized_mirrors=*/true);
-  s.compress(5, 0xABCD1234);
+  s.compress(NodeId{5}, LineAddr{0xABCD1234});
   // Same region, new destination: with synchronized mirrors the hit
   // compresses immediately.
-  EXPECT_TRUE(s.compress(6, 0xABCD1234).compressed);
+  EXPECT_TRUE(s.compress(NodeId{6}, LineAddr{0xABCD1234}).compressed);
 }
 
 TEST(Dbrc, EntryIsSharedButDestValidIsNot) {
   DbrcSender s(4, 2, kNodes, /*idealized_mirrors=*/false);
-  s.compress(5, 0xABCD1234);
+  s.compress(NodeId{5}, LineAddr{0xABCD1234});
   // Same region, new destination: entry exists but dest 6 must be installed.
-  const Encoding e = s.compress(6, 0xABCD1234);
+  const Encoding e = s.compress(NodeId{6}, LineAddr{0xABCD1234});
   EXPECT_FALSE(e.compressed);
   EXPECT_TRUE(e.install);
   // Now both destinations hit.
-  EXPECT_TRUE(s.compress(5, 0xABCD0001).compressed);
-  EXPECT_TRUE(s.compress(6, 0xABCD0002).compressed);
+  EXPECT_TRUE(s.compress(NodeId{5}, LineAddr{0xABCD0001}).compressed);
+  EXPECT_TRUE(s.compress(NodeId{6}, LineAddr{0xABCD0002}).compressed);
 }
 
 TEST(Dbrc, LruEviction) {
   DbrcSender s(2, 2, kNodes);
-  s.compress(0, 0x0A0000);          // region A -> entry 0
-  s.compress(0, 0x0B0000);          // region B -> entry 1
-  s.compress(0, 0x0A0001);          // touch A (B becomes LRU)
-  s.compress(0, 0x0C0000);          // region C evicts B
-  EXPECT_TRUE(s.compress(0, 0x0A0002).compressed);   // A still resident
-  EXPECT_FALSE(s.compress(0, 0x0B0001).compressed);  // B was evicted
+  s.compress(NodeId{0}, LineAddr{0x0A0000});  // region A -> entry 0
+  s.compress(NodeId{0}, LineAddr{0x0B0000});  // region B -> entry 1
+  s.compress(NodeId{0}, LineAddr{0x0A0001});  // touch A (B becomes LRU)
+  s.compress(NodeId{0}, LineAddr{0x0C0000});  // region C evicts B
+  // A still resident:
+  EXPECT_TRUE(s.compress(NodeId{0}, LineAddr{0x0A0002}).compressed);
+  // B was evicted:
+  EXPECT_FALSE(s.compress(NodeId{0}, LineAddr{0x0B0001}).compressed);
 }
 
 TEST(Dbrc, ReceiverReconstructsCompressedAddress) {
   DbrcSender s(4, 1, kNodes);
   DbrcReceiver r(4, 1, kNodes);
-  const Addr a1 = 0x123456;
-  const Addr a2 = 0x123478;
-  r.decode(2, s.compress(7, a1), a1);  // install (sender node 2 -> receiver 7)
-  const Encoding e = s.compress(7, a2);
+  const LineAddr a1{0x123456};
+  const LineAddr a2{0x123478};
+  // Install (sender node 2 -> receiver 7):
+  r.decode(NodeId{2}, s.compress(NodeId{7}, a1), a1);
+  const Encoding e = s.compress(NodeId{7}, a2);
   ASSERT_TRUE(e.compressed);
-  EXPECT_EQ(r.decode(2, e, 0), a2);
+  EXPECT_EQ(r.decode(NodeId{2}, e, LineAddr{}), a2);
 }
 
 TEST(Dbrc, CoverageIsHighForClusteredStream) {
@@ -147,8 +152,9 @@ TEST(Dbrc, CoverageIsHighForClusteredStream) {
   // Addresses clustered in 2 regions of 64K lines each: near-perfect coverage
   // after warmup with 4 entries.
   for (int i = 0; i < 10000; ++i) {
-    const Addr base = rng.chance(0.5) ? 0x10000000 : 0x20000000;
-    s.compress(static_cast<NodeId>(rng.next_below(kNodes)), base + rng.next_below(65536));
+    const std::uint64_t base = rng.chance(0.5) ? 0x10000000 : 0x20000000;
+    s.compress(static_cast<NodeId>(rng.next_below(kNodes)),
+               LineAddr{base + rng.next_below(65536)});
   }
   const double coverage =
       static_cast<double>(s.hits()) / static_cast<double>(s.hits() + s.misses());
@@ -160,7 +166,8 @@ TEST(Dbrc, CoverageIsLowForScatteredStreamWithSmallCache) {
   Rng rng(2);
   // Addresses scattered over 1M lines: 4 entries x 256-line regions can't keep up.
   for (int i = 0; i < 10000; ++i) {
-    s.compress(static_cast<NodeId>(rng.next_below(kNodes)), rng.next_below(1 << 20));
+    s.compress(static_cast<NodeId>(rng.next_below(kNodes)),
+               LineAddr{rng.next_below(1 << 20)});
   }
   const double coverage =
       static_cast<double>(s.hits()) / static_cast<double>(s.hits() + s.misses());
@@ -188,19 +195,19 @@ TEST_P(RoundTrip, ReceiverAlwaysReconstructsSenderAddress) {
     receivers.push_back(make_compressor(cfg, kNodes).receiver);
 
   Rng rng(seed);
-  const NodeId self = 3;  // sender identity as seen by receivers
+  const NodeId self{3};  // sender identity as seen by receivers
   for (int i = 0; i < 20000; ++i) {
     const auto dst = static_cast<NodeId>(rng.next_below(kNodes));
     // Mix clustered and scattered addresses, plus occasional extremes.
-    Addr line;
+    LineAddr line;
     switch (rng.next_below(4)) {
-      case 0: line = 0x40000000 + rng.next_below(4096); break;
-      case 1: line = rng.next_below(std::uint64_t{1} << 32); break;
-      case 2: line = 0x7FFFFFFFFFFFFFull - rng.next_below(128); break;
-      default: line = rng.next_below(256); break;
+      case 0: line = LineAddr{0x40000000 + rng.next_below(4096)}; break;
+      case 1: line = LineAddr{rng.next_below(std::uint64_t{1} << 32)}; break;
+      case 2: line = LineAddr{0x7FFFFFFFFFFFFFull - rng.next_below(128)}; break;
+      default: line = LineAddr{rng.next_below(256)}; break;
     }
     const Encoding enc = sender.compress(dst, line);
-    const Addr decoded = receivers[dst]->decode(self, enc, line);
+    const LineAddr decoded = receivers[dst]->decode(self, enc, line);
     ASSERT_EQ(decoded, line) << cfg.name() << " iteration " << i;
   }
 }
@@ -248,8 +255,8 @@ TEST(RoundTrip, MultipleSendersThroughOneReceiver) {
   Rng rng(99);
   for (int i = 0; i < 30000; ++i) {
     const auto src = static_cast<NodeId>(rng.next_below(kNodes));
-    const Addr line = (static_cast<Addr>(src) << 24) + rng.next_below(1 << 18);
-    const Encoding enc = senders[src]->compress(/*dst=*/0, line);
+    const LineAddr line{(std::uint64_t{src} << 24) + rng.next_below(1 << 18)};
+    const Encoding enc = senders[src]->compress(/*dst=*/NodeId{0}, line);
     ASSERT_EQ(receiver.decode(src, enc, line), line);
   }
 }
@@ -269,20 +276,21 @@ TEST(HwCost, StorageMatchesTable1SizeColumn) {
 
 TEST(HwCost, AreaMatchesTable1) {
   const auto dbrc4 = scheme_hw_cost(SchemeConfig::dbrc(4, 2), kNodes);
-  EXPECT_NEAR(dbrc4.area_mm2_per_core, 0.0723, 0.0723 * 0.05);
+  EXPECT_NEAR(units::to_mm2(dbrc4.area_per_core), 0.0723, 0.0723 * 0.05);
   const auto stride = scheme_hw_cost(SchemeConfig::stride(2), kNodes);
-  EXPECT_NEAR(stride.area_mm2_per_core, 0.0257, 0.0257 * 0.05);
+  EXPECT_NEAR(units::to_mm2(stride.area_per_core), 0.0257, 0.0257 * 0.05);
 }
 
 TEST(HwCost, PerfectAndNoneAreFree) {
-  EXPECT_EQ(scheme_hw_cost(SchemeConfig::perfect(3), kNodes).area_mm2_per_core, 0.0);
-  EXPECT_EQ(scheme_hw_cost(SchemeConfig::none(), kNodes).area_mm2_per_core, 0.0);
+  EXPECT_EQ(scheme_hw_cost(SchemeConfig::perfect(3), kNodes).area_per_core.value(),
+            0.0);
+  EXPECT_EQ(scheme_hw_cost(SchemeConfig::none(), kNodes).area_per_core.value(), 0.0);
 }
 
 TEST(HwCost, AccessCountersAdvance) {
   auto pair = make_compressor(SchemeConfig::dbrc(4, 2), kNodes);
-  pair.sender->compress(0, 0x100);
-  pair.sender->compress(0, 0x101);
+  pair.sender->compress(NodeId{0}, LineAddr{0x100});
+  pair.sender->compress(NodeId{0}, LineAddr{0x101});
   EXPECT_EQ(pair.sender->accesses().lookups, 2u);
   EXPECT_GE(pair.sender->accesses().updates, 1u);
 }

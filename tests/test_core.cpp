@@ -30,15 +30,15 @@ class ScriptWorkload final : public Workload {
 struct CoreHarness {
   explicit CoreHarness(std::deque<Op> ops)
       : workload(std::move(ops)),
-        l1(0, protocol::L1Cache::Config{16, 2}, 16, &stats,
+        l1(NodeId{0}, protocol::L1Cache::Config{16, 2}, 16, &stats,
            [this](protocol::CoherenceMsg msg) { sent.push_back(msg); }),
-        core(0, Core::Config{}, &workload, &l1, &stats) {
-    l1.set_fill_callback([this](Addr line) { core.on_fill(line); });
+        core(NodeId{0}, Core::Config{}, &workload, &l1, &stats) {
+    l1.set_fill_callback([this](LineAddr line) { core.on_fill(line); });
     core.set_barrier_handler([this](unsigned, std::uint32_t id) { barrier_id = id; });
   }
 
-  void run(Cycle n) {
-    for (Cycle i = 0; i < n; ++i) core.tick(++now);
+  void run(std::uint64_t n) {
+    for (std::uint64_t i = 0; i < n; ++i) core.tick(++now);
   }
 
   StatRegistry stats;
@@ -47,7 +47,7 @@ struct CoreHarness {
   Core core;
   std::vector<protocol::CoherenceMsg> sent;
   std::uint32_t barrier_id = 0;
-  Cycle now = 0;
+  Cycle now{0};
 };
 
 TEST(Core, RetiresTwoComputeInstructionsPerCycle) {
@@ -69,7 +69,7 @@ TEST(Core, FinishesAfterDone) {
 }
 
 TEST(Core, MissBlocksUntilFill) {
-  CoreHarness h({Op::load(0x100), Op::compute(4)});
+  CoreHarness h({Op::load(LineAddr{0x100}), Op::compute(4)});
   h.run(1);
   EXPECT_TRUE(h.core.blocked());
   ASSERT_EQ(h.sent.size(), 1u);  // GetS went out
@@ -81,9 +81,9 @@ TEST(Core, MissBlocksUntilFill) {
   // Deliver the fill.
   protocol::CoherenceMsg data;
   data.type = protocol::MsgType::kDataExcl;
-  data.dst = 0;
+  data.dst = NodeId{0};
   data.dst_unit = protocol::Unit::kL1;
-  data.line = 0x100;
+  data.line = LineAddr{0x100};
   data.ack_count = 0;
   h.l1.deliver(data);
   EXPECT_FALSE(h.core.blocked());
@@ -94,14 +94,15 @@ TEST(Core, MissBlocksUntilFill) {
 }
 
 TEST(Core, HitsDoNotBlock) {
-  CoreHarness h({Op::load(0x40), Op::load(0x40), Op::store(0x40), Op::load(0x40)});
+  CoreHarness h({Op::load(LineAddr{0x40}), Op::load(LineAddr{0x40}),
+                 Op::store(LineAddr{0x40}), Op::load(LineAddr{0x40})});
   // First load misses.
   h.run(1);
   protocol::CoherenceMsg data;
   data.type = protocol::MsgType::kDataExcl;
-  data.dst = 0;
+  data.dst = NodeId{0};
   data.dst_unit = protocol::Unit::kL1;
-  data.line = 0x40;
+  data.line = LineAddr{0x40};
   h.l1.deliver(data);
   // Remaining 3 accesses are hits (E then silent E->M): 2 per cycle.
   h.run(3);
@@ -123,7 +124,7 @@ TEST(Core, BarrierBlocksUntilRelease) {
 
 TEST(Core, InstructionFetchStallsTheFrontEnd) {
   CoreHarness h({Op::compute(64)});
-  protocol::ICache icache(0, protocol::ICache::Config{16, 2}, 16, &h.stats,
+  protocol::ICache icache(NodeId{0}, protocol::ICache::Config{16, 2}, 16, &h.stats,
                           [&](protocol::CoherenceMsg msg) { h.sent.push_back(msg); });
   icache.set_fill_callback([&] { h.core.on_ifill(); });
   h.core.set_icache(&icache, 64);
@@ -138,7 +139,7 @@ TEST(Core, InstructionFetchStallsTheFrontEnd) {
   // Fill it; the core resumes and retires until the next I-line boundary.
   protocol::CoherenceMsg data;
   data.type = protocol::MsgType::kData;
-  data.dst = 0;
+  data.dst = NodeId{0};
   data.dst_unit = protocol::Unit::kL1I;
   data.line = h.sent.back().line;
   icache.deliver(data);
@@ -148,7 +149,7 @@ TEST(Core, InstructionFetchStallsTheFrontEnd) {
 }
 
 TEST(Core, BlockedCyclesAreCounted) {
-  CoreHarness h({Op::load(0x200)});
+  CoreHarness h({Op::load(LineAddr{0x200})});
   h.run(20);
   EXPECT_GE(h.stats.counter_value("core.blocked_cycles"), 15u);
   EXPECT_EQ(h.stats.counter_value("core.miss_stalls"), 1u);

@@ -12,15 +12,15 @@ TEST(DelayQueue, EmptyBehaviour) {
   EXPECT_TRUE(q.empty());
   EXPECT_EQ(q.size(), 0u);
   EXPECT_EQ(q.next_ready(), kNeverCycle);
-  EXPECT_FALSE(q.pop_ready(100).has_value());
+  EXPECT_FALSE(q.pop_ready(Cycle{100}).has_value());
 }
 
 TEST(DelayQueue, NotReadyUntilCycle) {
   DelayQueue<int> q;
-  q.push(10, 1);
-  EXPECT_FALSE(q.pop_ready(9).has_value());
-  EXPECT_EQ(q.next_ready(), 10u);
-  auto v = q.pop_ready(10);
+  q.push(Cycle{10}, 1);
+  EXPECT_FALSE(q.pop_ready(Cycle{9}).has_value());
+  EXPECT_EQ(q.next_ready(), Cycle{10});
+  auto v = q.pop_ready(Cycle{10});
   ASSERT_TRUE(v.has_value());
   EXPECT_EQ(*v, 1);
   EXPECT_TRUE(q.empty());
@@ -28,34 +28,34 @@ TEST(DelayQueue, NotReadyUntilCycle) {
 
 TEST(DelayQueue, ReadyOrderByCycle) {
   DelayQueue<int> q;
-  q.push(30, 3);
-  q.push(10, 1);
-  q.push(20, 2);
-  EXPECT_EQ(*q.pop_ready(100), 1);
-  EXPECT_EQ(*q.pop_ready(100), 2);
-  EXPECT_EQ(*q.pop_ready(100), 3);
+  q.push(Cycle{30}, 3);
+  q.push(Cycle{10}, 1);
+  q.push(Cycle{20}, 2);
+  EXPECT_EQ(*q.pop_ready(Cycle{100}), 1);
+  EXPECT_EQ(*q.pop_ready(Cycle{100}), 2);
+  EXPECT_EQ(*q.pop_ready(Cycle{100}), 3);
 }
 
 TEST(DelayQueue, FifoOnTies) {
   DelayQueue<int> q;
-  for (int i = 0; i < 50; ++i) q.push(5, i);
-  for (int i = 0; i < 50; ++i) EXPECT_EQ(*q.pop_ready(5), i);
+  for (int i = 0; i < 50; ++i) q.push(Cycle{5}, i);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(*q.pop_ready(Cycle{5}), i);
 }
 
 TEST(DelayQueue, InterleavedPushPop) {
   DelayQueue<int> q;
-  q.push(1, 10);
-  q.push(3, 30);
-  EXPECT_EQ(*q.pop_ready(2), 10);
-  q.push(2, 20);  // earlier than the remaining item
-  EXPECT_EQ(*q.pop_ready(5), 20);
-  EXPECT_EQ(*q.pop_ready(5), 30);
+  q.push(Cycle{1}, 10);
+  q.push(Cycle{3}, 30);
+  EXPECT_EQ(*q.pop_ready(Cycle{2}), 10);
+  q.push(Cycle{2}, 20);  // earlier than the remaining item
+  EXPECT_EQ(*q.pop_ready(Cycle{5}), 20);
+  EXPECT_EQ(*q.pop_ready(Cycle{5}), 30);
 }
 
 TEST(DelayQueue, MoveOnlyPayload) {
   DelayQueue<std::unique_ptr<int>> q;
-  q.push(1, std::make_unique<int>(7));
-  auto v = q.pop_ready(1);
+  q.push(Cycle{1}, std::make_unique<int>(7));
+  auto v = q.pop_ready(Cycle{1});
   ASSERT_TRUE(v.has_value());
   EXPECT_EQ(**v, 7);
 }

@@ -161,16 +161,16 @@ struct NicHarness {
   std::unique_ptr<noc::Network> net;
   std::vector<std::unique_ptr<TileNic>> nics;
   std::vector<CoherenceMsg> delivered;
-  Cycle now = 0;
+  Cycle now{0};
 };
 
-CoherenceMsg request(NodeId src, NodeId dst, Addr line) {
+CoherenceMsg request(unsigned src, unsigned dst, std::uint64_t line) {
   CoherenceMsg m;
   m.type = MsgType::kGetS;
-  m.src = src;
-  m.dst = dst;
-  m.line = line;
-  m.requester = src;
+  m.src = NodeId{src};
+  m.dst = NodeId{dst};
+  m.line = LineAddr{line};
+  m.requester = NodeId{src};
   return m;
 }
 
@@ -196,9 +196,10 @@ TEST(TileNic, ReorderingIsResolvedInSequenceOrder) {
   ASSERT_EQ(h.delivered.size(), 3u);
   // Reordering happened (VL overtook B) but decode applied in seq order.
   EXPECT_GE(h.stats.counter_value("het.reordered_messages"), 1u);
-  std::set<Addr> lines;
+  std::set<LineAddr> lines;
   for (const auto& m : h.delivered) lines.insert(m.line);
-  EXPECT_EQ(lines, (std::set<Addr>{0x555000, 0x555001, 0x555002}));
+  EXPECT_EQ(lines, (std::set<LineAddr>{LineAddr{0x555000}, LineAddr{0x555001},
+                                       LineAddr{0x555002}}));
 }
 
 TEST(TileNic, RandomizedStreamsDecodeExactly) {

@@ -13,7 +13,7 @@ namespace {
 
 struct IcHarness {
   IcHarness()
-      : icache(3, ICache::Config{16, 2}, 16, &stats,
+      : icache(NodeId{3}, ICache::Config{16, 2}, 16, &stats,
                [this](CoherenceMsg msg) { sent.push_back(msg); }) {
     icache.set_fill_callback([this] { ++fills; });
   }
@@ -25,7 +25,7 @@ struct IcHarness {
 
 TEST(ICache, MissSendsGetInstrToHome) {
   IcHarness h;
-  EXPECT_FALSE(h.icache.fetch(0x8000005));
+  EXPECT_FALSE(h.icache.fetch(LineAddr{0x8000005}));
   ASSERT_EQ(h.sent.size(), 1u);
   EXPECT_EQ(h.sent[0].type, MsgType::kGetInstr);
   EXPECT_EQ(h.sent[0].dst, 0x8000005 % 16);
@@ -34,16 +34,16 @@ TEST(ICache, MissSendsGetInstrToHome) {
 
 TEST(ICache, FillInstallsAndHits) {
   IcHarness h;
-  h.icache.fetch(0x8000005);
+  h.icache.fetch(LineAddr{0x8000005});
   CoherenceMsg data;
   data.type = MsgType::kData;
-  data.dst = 3;
+  data.dst = NodeId{3};
   data.dst_unit = Unit::kL1I;
-  data.line = 0x8000005;
+  data.line = LineAddr{0x8000005};
   h.icache.deliver(data);
   EXPECT_EQ(h.fills, 1u);
   EXPECT_TRUE(h.icache.quiescent());
-  EXPECT_TRUE(h.icache.fetch(0x8000005));  // now a hit
+  EXPECT_TRUE(h.icache.fetch(LineAddr{0x8000005}));  // now a hit
   EXPECT_EQ(h.sent.size(), 1u);            // no new request
 }
 
@@ -53,7 +53,7 @@ TEST(ICache, GetInstrClassification) {
   EXPECT_TRUE(is_critical(MsgType::kGetInstr));
   EXPECT_TRUE(carries_address(MsgType::kGetInstr));
   EXPECT_FALSE(carries_data(MsgType::kGetInstr));
-  EXPECT_EQ(uncompressed_bytes(MsgType::kGetInstr), 11u);
+  EXPECT_EQ(uncompressed_bytes(MsgType::kGetInstr).value(), 11u);
   EXPECT_EQ(compression_class(MsgType::kGetInstr), compression::MsgClass::kRequest);
   EXPECT_EQ(vnet_of(MsgType::kGetInstr), 0u);
 }
@@ -62,7 +62,7 @@ TEST(ICache, FullSystemInstructionMissRateIsRealistic) {
   const auto params = workloads::app("Raytrace").scaled(0.1);  // largest text
   cmp::CmpSystem system(cmp::CmpConfig::baseline(),
                         std::make_shared<workloads::SyntheticApp>(params, 16));
-  ASSERT_TRUE(system.run(200'000'000));
+  ASSERT_TRUE(system.run(Cycle{200'000'000}));
   const auto& st = system.stats();
   const auto fetches = st.counter_value("l1i.fetches");
   const auto misses = st.counter_value("l1i.misses");
@@ -81,7 +81,7 @@ TEST(ICache, InstructionFetchesDoNotDisturbCoherence) {
   cmp::CmpSystem system(cmp::CmpConfig::heterogeneous(
                             compression::SchemeConfig::dbrc(4, 2)),
                         std::make_shared<workloads::SyntheticApp>(params, 16));
-  ASSERT_TRUE(system.run(200'000'000));
+  ASSERT_TRUE(system.run(Cycle{200'000'000}));
   // No invalidations or forwards can ever target an I-cache; reaching
   // quiescence with all 230-test invariants intact is the check, plus:
   EXPECT_GT(system.stats().counter_value("dir.instr_fetches"), 0u);

@@ -6,6 +6,7 @@
 #include <map>
 #include <set>
 #include <vector>
+#include <cstdint>
 
 #include "common/rng.hpp"
 #include "common/stats.hpp"
@@ -19,14 +20,14 @@ namespace {
 using protocol::CoherenceMsg;
 using protocol::MsgType;
 
-CoherenceMsg make_msg(NodeId src, NodeId dst, MsgType type = MsgType::kGetS,
-                      Addr line = 0x100) {
+CoherenceMsg make_msg(unsigned src, unsigned dst, MsgType type = MsgType::kGetS,
+                      std::uint64_t line = 0x100) {
   CoherenceMsg m;
   m.type = type;
-  m.src = src;
-  m.dst = dst;
-  m.line = line;
-  m.requester = src;
+  m.src = NodeId{src};
+  m.dst = NodeId{dst};
+  m.line = LineAddr{line};
+  m.requester = NodeId{src};
   return m;
 }
 
@@ -43,10 +44,10 @@ struct Harness {
   }
 
   void run(Cycle cycles) {
-    for (Cycle i = 0; i < cycles; ++i) net->tick(++now);
+    for (Cycle i{0}; i < cycles; ++i) net->tick(++now);
   }
 
-  Cycle run_until_quiescent(Cycle limit = 100000) {
+  Cycle run_until_quiescent(Cycle limit = Cycle{100000}) {
     const Cycle start = now;
     while (!net->quiescent()) {
       net->tick(++now);
@@ -59,7 +60,7 @@ struct Harness {
   StatRegistry stats;
   std::unique_ptr<Network> net;
   std::vector<std::pair<NodeId, CoherenceMsg>> delivered;
-  Cycle now = 0;
+  Cycle now{0};
 };
 
 TEST(Channels, BaselineIsSingle75BytePlane) {
@@ -82,10 +83,10 @@ TEST(Channels, HeterogeneousAddsFastNarrowPlane) {
 
 TEST(Channels, FlitSerialization) {
   const auto chans = make_channels(wire::paper_het_link(5));
-  EXPECT_EQ(chans[kBChannel].flits_for(67), 2u);  // data reply on 34B plane
-  EXPECT_EQ(chans[kBChannel].flits_for(11), 1u);
-  EXPECT_EQ(chans[kVlChannel].flits_for(5), 1u);
-  EXPECT_EQ(make_channels(wire::baseline_link())[0].flits_for(67), 1u);
+  EXPECT_EQ(chans[kBChannel].flits_for(Bytes{67}), 2u);  // data reply on 34B plane
+  EXPECT_EQ(chans[kBChannel].flits_for(Bytes{11}), 1u);
+  EXPECT_EQ(chans[kVlChannel].flits_for(Bytes{5}), 1u);
+  EXPECT_EQ(make_channels(wire::baseline_link())[0].flits_for(Bytes{67}), 1u);
 }
 
 TEST(Channels, Cheng3WayHasThreeSubnets) {
@@ -98,8 +99,8 @@ TEST(Channels, Cheng3WayHasThreeSubnets) {
   EXPECT_LT(chans[kLChannel].link_cycles, chans[kBChannel].link_cycles);
   EXPECT_GT(chans[kPwChannel].link_cycles, chans[kBChannel].link_cycles);
   // A data reply serializes heavily on the narrow B subnet.
-  EXPECT_EQ(chans[kBChannel].flits_for(67), 4u);
-  EXPECT_EQ(chans[kLChannel].flits_for(11), 1u);
+  EXPECT_EQ(chans[kBChannel].flits_for(Bytes{67}), 4u);
+  EXPECT_EQ(chans[kLChannel].flits_for(Bytes{11}), 1u);
 }
 
 TEST(Channels, Cheng3WayFitsTrackBudget) {
@@ -112,7 +113,7 @@ TEST(Channels, Cheng3WayFitsTrackBudget) {
 
 TEST(Network, DeliversSingleMessage) {
   Harness h;
-  h.net->inject(make_msg(0, 15), kBChannel, 11, h.now);
+  h.net->inject(make_msg(0, 15), kBChannel, Bytes{11}, h.now);
   h.run_until_quiescent();
   ASSERT_EQ(h.delivered.size(), 1u);
   EXPECT_EQ(h.delivered[0].first, 15);
@@ -122,42 +123,42 @@ TEST(Network, DeliversSingleMessage) {
 TEST(Network, LatencyScalesWithHops) {
   // 0 -> 1 (1 hop) vs 0 -> 15 (6 hops) on the baseline plane.
   Harness near_h;
-  near_h.net->inject(make_msg(0, 1), kBChannel, 11, near_h.now);
+  near_h.net->inject(make_msg(0, 1), kBChannel, Bytes{11}, near_h.now);
   const Cycle t_near = near_h.run_until_quiescent();
 
   Harness far_h;
-  far_h.net->inject(make_msg(0, 15), kBChannel, 11, far_h.now);
+  far_h.net->inject(make_msg(0, 15), kBChannel, Bytes{11}, far_h.now);
   const Cycle t_far = far_h.run_until_quiescent();
 
   EXPECT_GT(t_far, t_near);
   // Each extra hop costs ~3 (pipeline) + 3 (B link) cycles; 5 extra hops.
-  EXPECT_NEAR(static_cast<double>(t_far - t_near), 5 * 6.0, 12.0);
+  EXPECT_NEAR(static_cast<double>((t_far - t_near).value()), 5 * 6.0, 12.0);
 }
 
 TEST(Network, VlPlaneIsFasterThanBPlane) {
   Harness h(wire::paper_het_link(5));
-  h.net->inject(make_msg(0, 15), kBChannel, 11, h.now);
+  h.net->inject(make_msg(0, 15), kBChannel, Bytes{11}, h.now);
   const Cycle t_b = h.run_until_quiescent();
   h.delivered.clear();
-  h.net->inject(make_msg(0, 15), kVlChannel, 5, h.now);
+  h.net->inject(make_msg(0, 15), kVlChannel, Bytes{5}, h.now);
   const Cycle t_vl = h.run_until_quiescent();
   EXPECT_LT(t_vl, t_b);
   // 6 hops saving 2 cycles of link latency each.
-  EXPECT_GE(t_b - t_vl, 10u);
+  EXPECT_GE((t_b - t_vl).value(), 10u);
 }
 
 TEST(Network, MultiFlitPacketArrivesIntact) {
   Harness h(wire::paper_het_link(4));
-  h.net->inject(make_msg(2, 9, MsgType::kData, 0xBEEF), kBChannel, 67, h.now);
+  h.net->inject(make_msg(2, 9, MsgType::kData, 0xBEEF), kBChannel, Bytes{67}, h.now);
   h.run_until_quiescent();
   ASSERT_EQ(h.delivered.size(), 1u);
-  EXPECT_EQ(h.delivered[0].second.line, 0xBEEFu);
+  EXPECT_EQ(h.delivered[0].second.line.value(), 0xBEEFu);
   EXPECT_EQ(h.stats.counter_value("noc.B.flits_injected"), 2u);
 }
 
 TEST(Network, ActiveBitsMatchPayload) {
   Harness h;  // 75-byte plane
-  h.net->inject(make_msg(0, 1, MsgType::kData), kBChannel, 67, h.now);
+  h.net->inject(make_msg(0, 1, MsgType::kData), kBChannel, Bytes{67}, h.now);
   h.run_until_quiescent();
   // One flit, one hop: 67 bytes of toggled wires.
   EXPECT_EQ(h.stats.counter_value("noc.B.bit_hops"), 67u * 8u);
@@ -166,7 +167,7 @@ TEST(Network, ActiveBitsMatchPayload) {
 TEST(Network, XYRoutingTakesMinimalHops) {
   Harness h;
   // 5 -> 10: (1,1) -> (2,2): 2 hops. flit_hops counts link crossings.
-  h.net->inject(make_msg(5, 10), kBChannel, 11, h.now);
+  h.net->inject(make_msg(5, 10), kBChannel, Bytes{11}, h.now);
   h.run_until_quiescent();
   EXPECT_EQ(h.stats.counter_value("noc.B.flit_hops"), 2u);
   // Router traversals = hops + 1 (ejection router).
@@ -181,13 +182,13 @@ TEST(Network, AllPairsDelivery) {
       if (s == d) continue;
       h.net->inject(make_msg(static_cast<NodeId>(s), static_cast<NodeId>(d),
                              MsgType::kGetS, s * 100 + d),
-                    kBChannel, 11, h.now);
+                    kBChannel, Bytes{11}, h.now);
       ++sent;
     }
   }
   h.run_until_quiescent();
   ASSERT_EQ(h.delivered.size(), sent);
-  std::set<std::pair<NodeId, Addr>> seen;
+  std::set<std::pair<NodeId, LineAddr>> seen;
   for (const auto& [node, msg] : h.delivered) seen.insert({node, msg.line});
   EXPECT_EQ(seen.size(), sent);  // no duplicates, all distinct
 }
@@ -195,23 +196,23 @@ TEST(Network, AllPairsDelivery) {
 TEST(Network, PerSourceDestinationOrderPreservedWithinChannel) {
   Harness h;
   for (unsigned i = 0; i < 20; ++i) {
-    h.net->inject(make_msg(3, 12, MsgType::kGetS, 1000 + i), kBChannel, 11, h.now);
+    h.net->inject(make_msg(3, 12, MsgType::kGetS, 1000 + i), kBChannel, Bytes{11}, h.now);
   }
   h.run_until_quiescent();
   ASSERT_EQ(h.delivered.size(), 20u);
-  for (unsigned i = 0; i < 20; ++i) EXPECT_EQ(h.delivered[i].second.line, 1000 + i);
+  for (unsigned i = 0; i < 20; ++i) EXPECT_EQ(h.delivered[i].second.line.value(), 1000 + i);
 }
 
 TEST(Network, ChannelsCanReorderBetweenThemselves) {
   // A long message on the slow B plane injected first can be overtaken by a
   // short VL message — the reordering the NI sequence numbers must handle.
   Harness h(wire::paper_het_link(4));
-  h.net->inject(make_msg(0, 15, MsgType::kData, 1), kBChannel, 67, h.now);
-  h.net->inject(make_msg(0, 15, MsgType::kGetS, 2), kVlChannel, 4, h.now);
+  h.net->inject(make_msg(0, 15, MsgType::kData, 1), kBChannel, Bytes{67}, h.now);
+  h.net->inject(make_msg(0, 15, MsgType::kGetS, 2), kVlChannel, Bytes{4}, h.now);
   h.run_until_quiescent();
   ASSERT_EQ(h.delivered.size(), 2u);
-  EXPECT_EQ(h.delivered[0].second.line, 2u);  // VL message wins
-  EXPECT_EQ(h.delivered[1].second.line, 1u);
+  EXPECT_EQ(h.delivered[0].second.line.value(), 2u);  // VL message wins
+  EXPECT_EQ(h.delivered[1].second.line.value(), 1u);
 }
 
 TEST(Network, BackpressureDoesNotDropUnderBurst) {
@@ -221,11 +222,11 @@ TEST(Network, BackpressureDoesNotDropUnderBurst) {
   for (unsigned s = 1; s < 16; ++s) {
     for (unsigned i = 0; i < 50; ++i) {
       h.net->inject(make_msg(static_cast<NodeId>(s), 0, MsgType::kData, s * 1000 + i),
-                    kBChannel, 67, h.now);
+                    kBChannel, Bytes{67}, h.now);
       ++sent;
     }
   }
-  h.run_until_quiescent(1000000);
+  h.run_until_quiescent(Cycle{1000000});
   EXPECT_EQ(h.delivered.size(), sent);
 }
 
@@ -234,18 +235,18 @@ TEST(Network, VnetsDoNotBlockEachOther) {
   // Saturate vnet 0 toward node 0, then send one vnet-2 message along the
   // same path; it must not wait for the vnet-0 backlog to drain.
   for (unsigned i = 0; i < 200; ++i)
-    h.net->inject(make_msg(3, 0, MsgType::kGetS, i), kBChannel, 11, h.now);
-  h.net->inject(make_msg(3, 0, MsgType::kInvAck, 9999), kBChannel, 3, h.now);
-  Cycle invack_at = 0;
+    h.net->inject(make_msg(3, 0, MsgType::kGetS, i), kBChannel, Bytes{11}, h.now);
+  h.net->inject(make_msg(3, 0, MsgType::kInvAck, 9999), kBChannel, Bytes{3}, h.now);
+  Cycle invack_at{0};
   h.net->set_deliver([&](NodeId, const CoherenceMsg& msg) {
     if (msg.type == MsgType::kInvAck) invack_at = h.now;
-    h.delivered.push_back({0, msg});
+    h.delivered.push_back({NodeId{0}, msg});
   });
   h.run_until_quiescent();
-  ASSERT_GT(invack_at, 0u);
+  ASSERT_GT(invack_at.value(), 0u);
   // The InvAck (vnet 2) should arrive long before the 200-message backlog
   // drains (~200+ cycles at 1 flit/cycle ejection).
-  EXPECT_LT(invack_at, 80u);
+  EXPECT_LT(invack_at.value(), 80u);
 }
 
 TEST(Network, DeterministicAcrossRuns) {
@@ -256,11 +257,11 @@ TEST(Network, DeterministicAcrossRuns) {
       const auto s = static_cast<NodeId>(rng.next_below(16));
       auto d = static_cast<NodeId>(rng.next_below(16));
       if (d == s) d = static_cast<NodeId>((d + 1) % 16);
-      h.net->inject(make_msg(s, d, MsgType::kGetS, i), kBChannel, 11, h.now);
+      h.net->inject(make_msg(s, d, MsgType::kGetS, i), kBChannel, Bytes{11}, h.now);
       h.net->tick(++h.now);
     }
     h.run_until_quiescent();
-    std::vector<std::pair<NodeId, Addr>> order;
+    std::vector<std::pair<NodeId, LineAddr>> order;
     order.reserve(h.delivered.size());
     for (const auto& [n, m] : h.delivered) order.emplace_back(n, m.line);
     return order;
@@ -286,13 +287,13 @@ TEST_P(NetworkLoad, UniformRandomTrafficAllDelivered) {
         auto d = static_cast<NodeId>(rng.next_below(16));
         if (d == n) continue;
         h.net->inject(make_msg(static_cast<NodeId>(n), d, MsgType::kGetS, sent),
-                      kBChannel, 11, h.now);
+                      kBChannel, Bytes{11}, h.now);
         ++sent;
       }
     }
     h.net->tick(++h.now);
   }
-  h.run_until_quiescent(2000000);
+  h.run_until_quiescent(Cycle{2000000});
   EXPECT_EQ(h.delivered.size(), sent);
   EXPECT_GT(h.stats.histogram("noc.B.latency").scalar().mean(), 0.0);
 }
@@ -314,7 +315,7 @@ struct TreeHarness {
       delivered.push_back({node, msg});
     });
   }
-  Cycle run_until_quiescent(Cycle limit = 200000) {
+  Cycle run_until_quiescent(Cycle limit = Cycle{200000}) {
     const Cycle start = now;
     while (!net->quiescent()) {
       net->tick(++now);
@@ -326,7 +327,7 @@ struct TreeHarness {
   StatRegistry stats;
   std::unique_ptr<Network> net;
   std::vector<std::pair<NodeId, CoherenceMsg>> delivered;
-  Cycle now = 0;
+  Cycle now{0};
 };
 
 TEST(TreeTopology, FiveRoutersAndFullWiring) {
@@ -339,7 +340,7 @@ TEST(TreeTopology, FiveRoutersAndFullWiring) {
 
 TEST(TreeTopology, IntraClusterStaysLocal) {
   TreeHarness h;
-  h.net->inject(make_msg(0, 3), kBChannel, 11, h.now);  // same cluster
+  h.net->inject(make_msg(0, 3), kBChannel, Bytes{11}, h.now);  // same cluster
   h.run_until_quiescent();
   ASSERT_EQ(h.delivered.size(), 1u);
   EXPECT_EQ(h.delivered[0].first, 3);
@@ -348,7 +349,7 @@ TEST(TreeTopology, IntraClusterStaysLocal) {
 
 TEST(TreeTopology, CrossClusterGoesThroughRoot) {
   TreeHarness h;
-  h.net->inject(make_msg(0, 15), kBChannel, 11, h.now);  // cluster 0 -> 3
+  h.net->inject(make_msg(0, 15), kBChannel, Bytes{11}, h.now);  // cluster 0 -> 3
   h.run_until_quiescent();
   ASSERT_EQ(h.delivered.size(), 1u);
   EXPECT_EQ(h.delivered[0].first, 15);
@@ -363,7 +364,7 @@ TEST(TreeTopology, AllPairsDeliver) {
       if (s == d) continue;
       h.net->inject(make_msg(static_cast<NodeId>(s), static_cast<NodeId>(d),
                              MsgType::kGetS, s * 100 + d),
-                    kBChannel, 11, h.now);
+                    kBChannel, Bytes{11}, h.now);
       ++sent;
     }
   }
@@ -375,10 +376,10 @@ TEST(TreeTopology, RootLinksAreLonger) {
   // Cross-cluster latency must exceed intra-cluster latency by the two long
   // root-link traversals.
   TreeHarness near_h;
-  near_h.net->inject(make_msg(0, 1), kBChannel, 11, near_h.now);
+  near_h.net->inject(make_msg(0, 1), kBChannel, Bytes{11}, near_h.now);
   const Cycle t_near = near_h.run_until_quiescent();
   TreeHarness far_h;
-  far_h.net->inject(make_msg(0, 15), kBChannel, 11, far_h.now);
+  far_h.net->inject(make_msg(0, 15), kBChannel, Bytes{11}, far_h.now);
   const Cycle t_far = far_h.run_until_quiescent();
   EXPECT_GE(t_far, t_near + 10);  // 2 x (1 + 6-cycle root link)
 }
@@ -392,12 +393,12 @@ TEST(Network, LatencyGrowsWithLoad) {
         if (rng.chance(rate)) {
           auto d = static_cast<NodeId>(rng.next_below(16));
           if (d == n) continue;
-          h.net->inject(make_msg(static_cast<NodeId>(n), d), kBChannel, 11, h.now);
+          h.net->inject(make_msg(static_cast<NodeId>(n), d), kBChannel, Bytes{11}, h.now);
         }
       }
       h.net->tick(++h.now);
     }
-    h.run_until_quiescent(2000000);
+    h.run_until_quiescent(Cycle{2000000});
     return h.stats.histogram("noc.B.latency").scalar().mean();
   };
   const double low = mean_latency(0.01);

@@ -104,12 +104,12 @@ TEST(TraceWriter, WritesWellFormedDocument) {
   e.cat = "net.req";
   e.ph = 'b';
   e.tid = 3;
-  e.ts = 17;
+  e.ts = Cycle{17};
   e.id = 42;
   e.args = "\"k\":1";
   w.add(e);
   e.ph = 'e';
-  e.ts = 20;
+  e.ts = Cycle{20};
   w.add(e);
 
   std::ostringstream out;
@@ -134,11 +134,11 @@ struct TracedRun {
     cfg = cmp::CmpConfig::heterogeneous(compression::SchemeConfig::dbrc(4, 2));
     obs::ObsConfig ocfg;
     ocfg.level = obs::Level::kTrace;
-    ocfg.sample_interval = 2000;
+    ocfg.sample_interval = Cycle{2000};
     system = std::make_unique<cmp::CmpSystem>(cfg, small_app("FFT", cfg.n_tiles, 0.05));
     observer = std::make_unique<obs::Observer>(ocfg, &system->stats());
     system->attach_observer(observer.get());
-    EXPECT_TRUE(system->run(5'000'000));
+    EXPECT_TRUE(system->run(Cycle{5'000'000}));
     observer->finalize(system->total_cycles());
   }
 };
@@ -285,11 +285,11 @@ TEST(ObserverIntegration, DisabledLevelsEmitNothingExtra) {
       cmp::CmpConfig::heterogeneous(compression::SchemeConfig::dbrc(4, 2));
   obs::ObsConfig ocfg;
   ocfg.level = obs::Level::kTimeseries;
-  ocfg.sample_interval = 2000;
+  ocfg.sample_interval = Cycle{2000};
   cmp::CmpSystem system(cfg, small_app("FFT", cfg.n_tiles, 0.02));
   obs::Observer observer(ocfg, &system.stats());
   system.attach_observer(&observer);
-  ASSERT_TRUE(system.run(5'000'000));
+  ASSERT_TRUE(system.run(Cycle{5'000'000}));
   observer.finalize(system.total_cycles());
   // Timeseries level: windows recorded, but no per-message trace events.
   EXPECT_FALSE(observer.tracing());

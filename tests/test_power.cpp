@@ -13,40 +13,40 @@ namespace {
 
 TEST(EnergyLedger, AccumulatesPerAccount) {
   EnergyLedger ledger;
-  ledger.add(EnergyAccount::kLinkDynamic, 1.5);
-  ledger.add(EnergyAccount::kLinkDynamic, 0.5);
-  ledger.add(EnergyAccount::kCoreDynamic, 3.0);
-  EXPECT_DOUBLE_EQ(ledger.get(EnergyAccount::kLinkDynamic), 2.0);
-  EXPECT_DOUBLE_EQ(ledger.get(EnergyAccount::kCoreDynamic), 3.0);
-  EXPECT_DOUBLE_EQ(ledger.get(EnergyAccount::kL2Dynamic), 0.0);
+  ledger.add(EnergyAccount::kLinkDynamic, units::joules(1.5));
+  ledger.add(EnergyAccount::kLinkDynamic, units::joules(0.5));
+  ledger.add(EnergyAccount::kCoreDynamic, units::joules(3.0));
+  EXPECT_DOUBLE_EQ(ledger.get(EnergyAccount::kLinkDynamic).value(), 2.0);
+  EXPECT_DOUBLE_EQ(ledger.get(EnergyAccount::kCoreDynamic).value(), 3.0);
+  EXPECT_DOUBLE_EQ(ledger.get(EnergyAccount::kL2Dynamic).value(), 0.0);
 }
 
 TEST(EnergyLedger, InterconnectExcludesCoreAndCaches) {
   EnergyLedger ledger;
-  ledger.add(EnergyAccount::kLinkDynamic, 1.0);
-  ledger.add(EnergyAccount::kRouterBuffer, 2.0);
-  ledger.add(EnergyAccount::kCompressionStatic, 4.0);
-  ledger.add(EnergyAccount::kCoreDynamic, 100.0);
-  ledger.add(EnergyAccount::kL1Dynamic, 50.0);
-  EXPECT_DOUBLE_EQ(ledger.interconnect_total(), 7.0);
-  EXPECT_DOUBLE_EQ(ledger.total(), 157.0);
+  ledger.add(EnergyAccount::kLinkDynamic, units::joules(1.0));
+  ledger.add(EnergyAccount::kRouterBuffer, units::joules(2.0));
+  ledger.add(EnergyAccount::kCompressionStatic, units::joules(4.0));
+  ledger.add(EnergyAccount::kCoreDynamic, units::joules(100.0));
+  ledger.add(EnergyAccount::kL1Dynamic, units::joules(50.0));
+  EXPECT_DOUBLE_EQ(ledger.interconnect_total().value(), 7.0);
+  EXPECT_DOUBLE_EQ(ledger.total().value(), 157.0);
 }
 
 TEST(EnergyLedger, PlusEqualsMerges) {
   EnergyLedger a, b;
-  a.add(EnergyAccount::kLinkStatic, 1.0);
-  b.add(EnergyAccount::kLinkStatic, 2.0);
-  b.add(EnergyAccount::kMemoryDynamic, 5.0);
+  a.add(EnergyAccount::kLinkStatic, units::joules(1.0));
+  b.add(EnergyAccount::kLinkStatic, units::joules(2.0));
+  b.add(EnergyAccount::kMemoryDynamic, units::joules(5.0));
   a += b;
-  EXPECT_DOUBLE_EQ(a.get(EnergyAccount::kLinkStatic), 3.0);
-  EXPECT_DOUBLE_EQ(a.get(EnergyAccount::kMemoryDynamic), 5.0);
+  EXPECT_DOUBLE_EQ(a.get(EnergyAccount::kLinkStatic).value(), 3.0);
+  EXPECT_DOUBLE_EQ(a.get(EnergyAccount::kMemoryDynamic).value(), 5.0);
 }
 
 TEST(EnergyLedger, ResetZeroes) {
   EnergyLedger ledger;
-  ledger.add(EnergyAccount::kRouterStatic, 9.0);
+  ledger.add(EnergyAccount::kRouterStatic, units::joules(9.0));
   ledger.reset();
-  EXPECT_DOUBLE_EQ(ledger.total(), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.total().value(), 0.0);
 }
 
 TEST(EnergyLedger, AccountNamesAreUnique) {
@@ -64,79 +64,85 @@ TEST(EnergyLedger, AccountNamesAreUnique) {
 TEST(CactiMini, DbrcFourEntryMatchesTable1) {
   // 34 structures of 4 x 8B per core: Table 1 row 1 = 0.0723 mm^2, 10.78 mW.
   const ArrayCosts c = array_costs({ArrayKind::kCam, 4, 64});
-  EXPECT_NEAR(34 * c.area_mm2, 0.0723, 0.0723 * 0.05);
-  EXPECT_NEAR(34 * c.leakage_w * 1e3, 10.78, 10.78 * 0.05);
-  EXPECT_NEAR(34 * c.access_energy_j * 4e9, 0.1065, 0.1065 * 0.05);
+  EXPECT_NEAR(34 * units::to_mm2(c.area), 0.0723, 0.0723 * 0.05);
+  EXPECT_NEAR(34 * units::to_mw(c.leakage), 10.78, 10.78 * 0.05);
+  EXPECT_NEAR(34 * c.access_energy.value() * 4e9, 0.1065, 0.1065 * 0.05);
 }
 
 TEST(CactiMini, DbrcSixtyFourEntryMatchesTable1) {
   const ArrayCosts c = array_costs({ArrayKind::kCam, 64, 64});
-  EXPECT_NEAR(34 * c.area_mm2, 0.8240, 0.8240 * 0.05);
-  EXPECT_NEAR(34 * c.leakage_w * 1e3, 133.42, 133.42 * 0.05);
-  EXPECT_NEAR(34 * c.access_energy_j * 4e9, 0.7078, 0.7078 * 0.05);
+  EXPECT_NEAR(34 * units::to_mm2(c.area), 0.8240, 0.8240 * 0.05);
+  EXPECT_NEAR(34 * units::to_mw(c.leakage), 133.42, 133.42 * 0.05);
+  EXPECT_NEAR(34 * c.access_energy.value() * 4e9, 0.7078, 0.7078 * 0.05);
 }
 
 TEST(CactiMini, DbrcSixteenEntryWithinModelTolerance) {
   // Mid-point of the fit: expected within ~±35% of Table 1.
   const ArrayCosts c = array_costs({ArrayKind::kCam, 16, 64});
-  EXPECT_NEAR(34 * c.area_mm2, 0.2678, 0.2678 * 0.35);
-  EXPECT_NEAR(34 * c.leakage_w * 1e3, 43.03, 43.03 * 0.35);
-  EXPECT_NEAR(34 * c.access_energy_j * 4e9, 0.3848, 0.3848 * 0.35);
+  EXPECT_NEAR(34 * units::to_mm2(c.area), 0.2678, 0.2678 * 0.35);
+  EXPECT_NEAR(34 * units::to_mw(c.leakage), 43.03, 43.03 * 0.35);
+  EXPECT_NEAR(34 * c.access_energy.value() * 4e9, 0.3848, 0.3848 * 0.35);
 }
 
 TEST(CactiMini, StrideMatchesTable1) {
   const ArrayCosts c = array_costs({ArrayKind::kRegister, 1, 64});
-  EXPECT_NEAR(34 * c.area_mm2, 0.0257, 0.0257 * 0.05);
-  EXPECT_NEAR(34 * c.leakage_w * 1e3, 5.14, 5.14 * 0.05);
-  EXPECT_NEAR(34 * c.access_energy_j * 4e9, 0.0561, 0.0561 * 0.05);
+  EXPECT_NEAR(34 * units::to_mm2(c.area), 0.0257, 0.0257 * 0.05);
+  EXPECT_NEAR(34 * units::to_mw(c.leakage), 5.14, 5.14 * 0.05);
+  EXPECT_NEAR(34 * c.access_energy.value() * 4e9, 0.0561, 0.0561 * 0.05);
 }
 
 TEST(CactiMini, CostsScaleMonotonically) {
   double prev_area = 0.0, prev_energy = 0.0, prev_leak = 0.0;
   for (unsigned entries : {4u, 8u, 16u, 32u, 64u, 128u}) {
     const ArrayCosts c = array_costs({ArrayKind::kCam, entries, 64});
-    EXPECT_GT(c.area_mm2, prev_area);
-    EXPECT_GT(c.access_energy_j, prev_energy);
-    EXPECT_GT(c.leakage_w, prev_leak);
-    prev_area = c.area_mm2;
-    prev_energy = c.access_energy_j;
-    prev_leak = c.leakage_w;
+    EXPECT_GT(c.area.value(), prev_area);
+    EXPECT_GT(c.access_energy.value(), prev_energy);
+    EXPECT_GT(c.leakage.value(), prev_leak);
+    prev_area = c.area.value();
+    prev_energy = c.access_energy.value();
+    prev_leak = c.leakage.value();
   }
 }
 
 TEST(CactiMini, PercentagesOfCoreMatchTable1) {
   // Table 1's parenthesized columns: DBRC-4 area is 0.29% of a 25 mm^2 core.
+  // Same-dimension division collapses to a plain double ratio.
   const ArrayCosts c = array_costs({ArrayKind::kCam, 4, 64});
-  EXPECT_NEAR(34 * c.area_mm2 / kCoreAreaMm2, 0.0029, 0.0004);
+  EXPECT_NEAR(34 * (c.area / kCoreArea), 0.0029, 0.0004);
   const ArrayCosts big = array_costs({ArrayKind::kCam, 64, 64});
-  EXPECT_NEAR(34 * big.area_mm2 / kCoreAreaMm2, 0.0330, 0.003);
+  EXPECT_NEAR(34 * (big.area / kCoreArea), 0.0330, 0.003);
 }
 
 // --- Orion-mini ---
 
 TEST(OrionMini, EventEnergiesScaleWithFlitWidth) {
   const RouterEnergyModel m;
-  EXPECT_DOUBLE_EQ(m.buffer_write_j(2 * 272), 2 * m.buffer_write_j(272));
-  EXPECT_GT(m.traversal_j(272), m.traversal_j(32));
+  EXPECT_DOUBLE_EQ(m.buffer_write_energy(2 * 272).value(),
+                   2 * m.buffer_write_energy(272).value());
+  EXPECT_GT(m.traversal_energy(272).value(), m.traversal_energy(32).value());
   // Arbitration is per-flit, not per-bit.
-  EXPECT_NEAR(m.traversal_j(272) - m.crossbar_j(272) - m.buffer_read_j(272),
-              m.arbitration_j_per_flit, 1e-18);
+  EXPECT_NEAR((m.traversal_energy(272) - m.crossbar_energy(272) -
+               m.buffer_read_energy(272))
+                  .value(),
+              m.arbitration_per_flit.value(), 1e-18);
 }
 
 TEST(OrionMini, LeakageScalesWithStorage) {
   const RouterEnergyModel m;
-  const double small = m.router_leakage_w(5, 3, 4, 32);
-  const double big = m.router_leakage_w(5, 3, 4, 272);
-  EXPECT_GT(big, small);
+  const units::Watts small = m.router_leakage(5, 3, 4, 32);
+  const units::Watts big = m.router_leakage(5, 3, 4, 272);
+  EXPECT_GT(big.value(), small.value());
   // Fixed per-port term dominates tiny-buffer routers.
-  EXPECT_GT(m.router_leakage_w(5, 1, 1, 8), 5 * m.leakage_w_per_port * 0.99);
+  EXPECT_GT(m.router_leakage(5, 1, 1, 8).value(),
+            5 * m.leakage_per_port.value() * 0.99);
 }
 
 TEST(ChipPower, TileLeakageIsSumOfParts) {
   const ChipPowerModel m;
-  EXPECT_DOUBLE_EQ(m.tile_leakage_w(), m.core_leakage_w + m.cache_leakage_w);
-  EXPECT_GT(m.l2_access_j, m.l1_access_j);
-  EXPECT_GT(m.mem_access_j, m.l2_access_j);
+  EXPECT_DOUBLE_EQ(m.tile_leakage().value(),
+                   (m.core_leakage + m.cache_leakage).value());
+  EXPECT_GT(m.l2_access.value(), m.l1_access.value());
+  EXPECT_GT(m.mem_access.value(), m.l2_access.value());
 }
 
 // --- metrics ---
@@ -145,6 +151,11 @@ TEST(Metrics, Ed2pQuadraticInDelay) {
   EXPECT_DOUBLE_EQ(ed2p(2.0, 3.0), 18.0);
   EXPECT_DOUBLE_EQ(ed2p(2.0, 6.0), 4.0 * ed2p(2.0, 3.0));
   EXPECT_DOUBLE_EQ(edp(2.0, 3.0), 6.0);
+}
+
+TEST(Metrics, DimensionCheckedOverloadsMatchRawDoubles) {
+  EXPECT_DOUBLE_EQ(ed2p(units::joules(2.0), units::seconds(3.0)), ed2p(2.0, 3.0));
+  EXPECT_DOUBLE_EQ(edp(units::joules(2.0), units::seconds(3.0)), edp(2.0, 3.0));
 }
 
 TEST(Metrics, NormalizedRatio) {

@@ -15,7 +15,7 @@ namespace {
 
 TEST(Protocol, ColdReadGrantsExclusive) {
   TestFabric f;
-  const Addr line = 0x40;
+  const LineAddr line{0x40};
   f.access(0, line, false);
   f.run_until_quiescent();
   EXPECT_EQ(f.l1(0).state_of(line), L1State::kE);
@@ -25,16 +25,16 @@ TEST(Protocol, ColdReadGrantsExclusive) {
 
 TEST(Protocol, SilentExclusiveToModifiedOnWrite) {
   TestFabric f;
-  const Addr line = 0x41;
+  const LineAddr line{0x41};
   f.access(2, line, false);
   EXPECT_EQ(f.l1(2).state_of(line), L1State::kE);
-  EXPECT_EQ(f.access(2, line, true), 0u);  // hit: silent E->M
+  EXPECT_EQ(f.access(2, line, true), Cycle{0});  // hit: silent E->M
   EXPECT_EQ(f.l1(2).state_of(line), L1State::kM);
 }
 
 TEST(Protocol, SecondReaderTriggersForwardAndSharing) {
   TestFabric f;
-  const Addr line = 0x42;
+  const LineAddr line{0x42};
   f.access(0, line, false);
   f.access(1, line, false);
   f.run_until_quiescent();
@@ -46,7 +46,7 @@ TEST(Protocol, SecondReaderTriggersForwardAndSharing) {
 
 TEST(Protocol, ReadAfterModifiedForwardsDirtyData) {
   TestFabric f;
-  const Addr line = 0x43;
+  const LineAddr line{0x43};
   f.access(0, line, false);
   f.access(0, line, true);  // E -> M
   f.access(5, line, false);
@@ -60,7 +60,7 @@ TEST(Protocol, ReadAfterModifiedForwardsDirtyData) {
 
 TEST(Protocol, WriteInvalidatesSharers) {
   TestFabric f;
-  const Addr line = 0x44;
+  const LineAddr line{0x44};
   f.access(0, line, false);
   f.access(1, line, false);
   f.access(2, line, false);
@@ -77,7 +77,7 @@ TEST(Protocol, WriteInvalidatesSharers) {
 
 TEST(Protocol, UpgradeGrantedToSharer) {
   TestFabric f;
-  const Addr line = 0x45;
+  const LineAddr line{0x45};
   f.access(0, line, false);
   f.access(1, line, false);  // both S now
   f.run_until_quiescent();
@@ -90,7 +90,7 @@ TEST(Protocol, UpgradeGrantedToSharer) {
 
 TEST(Protocol, WriteWriteMigration) {
   TestFabric f;
-  const Addr line = 0x46;
+  const LineAddr line{0x46};
   f.access(0, line, true);
   f.access(1, line, true);
   f.run_until_quiescent();
@@ -105,8 +105,8 @@ TEST(Protocol, L1EvictionWritesBackModified) {
   opt.l1_ways = 1;  // tiny L1: conflict evictions guaranteed
   TestFabric f(opt);
   // Two lines in the same L1 set (set = line & 1).
-  const Addr a = 0x10, b = 0x30;  // both even set? set_of uses low bits
-  ASSERT_EQ(a % 2, b % 2);
+  const LineAddr a{0x10}, b{0x30};  // both even set? set_of uses low bits
+  ASSERT_EQ(a.value() % 2, b.value() % 2);
   f.access(0, a, true);
   f.access(0, b, true);  // evicts a (PutM)
   f.run_until_quiescent();
@@ -121,7 +121,7 @@ TEST(Protocol, CleanExclusiveEvictionSendsHint) {
   opt.l1_sets = 2;
   opt.l1_ways = 1;
   TestFabric f(opt);
-  const Addr a = 0x10, b = 0x30;
+  const LineAddr a{0x10}, b{0x30};
   f.access(0, a, false);  // E, clean
   f.access(0, b, false);  // evicts a (PutE)
   f.run_until_quiescent();
@@ -134,7 +134,7 @@ TEST(Protocol, MissDeferredBehindOwnWriteback) {
   opt.l1_sets = 2;
   opt.l1_ways = 1;
   TestFabric f(opt);
-  const Addr a = 0x10, b = 0x30;
+  const LineAddr a{0x10}, b{0x30};
   f.access(0, a, true);
   f.access(0, b, true);  // a's PutM now in flight
   // Immediately re-request a: must defer until the PutAck drains, then fill.
@@ -152,7 +152,7 @@ TEST(Protocol, L2EvictionRecallsOwner) {
   opt.l1_sets = 64;
   TestFabric f(opt);
   // Two different lines with the same home 0 (line % 2 == 0).
-  const Addr a = 0x10, b = 0x20;
+  const LineAddr a{0x10}, b{0x20};
   ASSERT_EQ(f.home_of(a), f.home_of(b));
   f.access(0, a, true);                 // core 0 owns a (M)
   f.access(1, b, false);                // forces L2 eviction of a -> Recall
@@ -170,7 +170,7 @@ TEST(Protocol, L2EvictionInvalidatesSharers) {
   opt.l2_ways = 1;
   opt.l1_sets = 64;
   TestFabric f(opt);
-  const Addr a = 0x10, b = 0x20;  // homes: 0x10 % 4 = 0 ... need same home
+  const LineAddr a{0x10}, b{0x20};  // homes: 0x10 % 4 = 0 ... need same home
   ASSERT_EQ(f.home_of(a), f.home_of(b));
   f.access(0, a, false);
   f.access(1, a, false);
@@ -210,11 +210,11 @@ TEST_P(ProtocolStress, RandomSharingRemainsCoherent) {
   TestFabric f(opt);
 
   Rng rng(c.seed * 7919 + 1);
-  std::set<Addr> touched;
+  std::set<LineAddr> touched;
   // Interleave: each "round", every core performs one blocking access.
   for (unsigned op = 0; op < c.ops; ++op) {
     for (unsigned core = 0; core < c.nodes; ++core) {
-      const Addr line = 1 + rng.next_below(c.lines);
+      const LineAddr line{1 + rng.next_below(c.lines)};
       const bool write = rng.chance(0.4);
       touched.insert(line);
       f.access(core, line, write);
@@ -227,16 +227,16 @@ TEST_P(ProtocolStress, RandomSharingRemainsCoherent) {
 INSTANTIATE_TEST_SUITE_P(
     Sweep, ProtocolStress,
     ::testing::Values(
-        StressCase{4, 8, 200, 1, 1, 1},     // in-order delivery
-        StressCase{4, 8, 200, 1, 30, 2},    // heavy reordering
-        StressCase{16, 32, 100, 1, 25, 3},  // full CMP, reordering
-        StressCase{16, 6, 150, 1, 40, 4},   // hot contention on 6 lines
-        StressCase{8, 64, 120, 2, 20, 5},   // capacity pressure (L2 recalls)
-        StressCase{16, 128, 80, 1, 15, 6},  // many lines, L1+L2 evictions
-        StressCase{2, 3, 500, 1, 50, 7},    // two cores fighting, max reorder
-        StressCase{16, 200, 100, 1, 60, 9},   // L2 thrashing + extreme reorder
-        StressCase{4, 100, 300, 1, 45, 10},   // few cores, heavy capacity
-        StressCase{16, 32, 100, 1, 25, 42}));
+        StressCase{4, 8, 200, Cycle{1}, Cycle{1}, 1},     // in-order delivery
+        StressCase{4, 8, 200, Cycle{1}, Cycle{30}, 2},    // heavy reordering
+        StressCase{16, 32, 100, Cycle{1}, Cycle{25}, 3},  // full CMP, reordering
+        StressCase{16, 6, 150, Cycle{1}, Cycle{40}, 4},   // hot contention on 6 lines
+        StressCase{8, 64, 120, Cycle{2}, Cycle{20}, 5},   // capacity pressure (L2 recalls)
+        StressCase{16, 128, 80, Cycle{1}, Cycle{15}, 6},  // many lines, L1+L2 evictions
+        StressCase{2, 3, 500, Cycle{1}, Cycle{50}, 7},    // two cores fighting, max reorder
+        StressCase{16, 200, 100, Cycle{1}, Cycle{60}, 9},   // L2 thrashing + extreme reorder
+        StressCase{4, 100, 300, Cycle{1}, Cycle{45}, 10},   // few cores, heavy capacity
+        StressCase{16, 32, 100, Cycle{1}, Cycle{25}, 42}));
 
 // The rare race paths must actually fire under stress — otherwise the stress
 // suite would pass vacuously.
@@ -247,18 +247,18 @@ TEST(ProtocolStress, RacePathsAreExercised) {
   opt.l1_ways = 1;   // constant evictions
   opt.l2_sets = 8;
   opt.l2_ways = 2;   // constant recalls
-  opt.min_delay = 1;
-  opt.max_delay = 50;  // heavy reordering
+  opt.min_delay = Cycle{1};
+  opt.max_delay = Cycle{50};  // heavy reordering
   opt.seed = 1234;
   TestFabric f(opt);
   Rng rng(99);
-  std::set<Addr> touched;
+  std::set<LineAddr> touched;
   for (unsigned op = 0; op < 400; ++op) {
     for (unsigned core = 0; core < opt.nodes; ++core) {
       // Hot contended lines (busy-queueing, forwards) plus a large cold pool
       // (L1 evictions and L2 recalls).
-      const Addr line =
-          rng.chance(0.4) ? 1 + rng.next_below(8) : 16 + rng.next_below(400);
+      const LineAddr line{rng.chance(0.4) ? 1 + rng.next_below(8)
+                                            : 16 + rng.next_below(400)};
       touched.insert(line);
       f.access(core, line, rng.chance(0.5));
     }
@@ -281,21 +281,21 @@ TEST(ProtocolStress, RacePathsAreExercised) {
 // round trips, far below the 400-cycle memory latency.
 TEST(Protocol, AccessLatencyIncludesFabricAndL2) {
   TestFabric f;  // 3-cycle fabric delay each way, 8-cycle L2
-  const Addr line = 0x40;  // home = 0
+  const LineAddr line{0x40};  // home = 0
   f.access(0, line, false);  // cold fill from memory, core 0 gets E
   f.run_until_quiescent();
   // GetS -> home (3) -> L2 (8) -> FwdGetS -> owner (3) -> Data (3).
   const Cycle t = f.access(4, line, false);
-  EXPECT_GE(t, 14u);
-  EXPECT_LE(t, 40u);
+  EXPECT_GE(t.value(), 14u);
+  EXPECT_LE(t.value(), 40u);
 }
 
 TEST(Protocol, MemoryLatencyDominatesColdMiss) {
   TestFabric::Options opt;
   TestFabric f(opt);
-  const Cycle t = f.access(0, 0x1000, false);
-  EXPECT_GE(t, 400u);  // Table 4 memory access time
-  EXPECT_LE(t, 430u);
+  const Cycle t = f.access(0, LineAddr{0x1000}, false);
+  EXPECT_GE(t.value(), 400u);  // Table 4 memory access time
+  EXPECT_LE(t.value(), 430u);
 }
 
 }  // namespace

@@ -29,7 +29,7 @@ TEST(ProtocolRaces, InvOvertakesDataReply) {
   opt.l1_sets = 1;
   opt.l1_ways = 1;  // single-line L1: trivial silent S eviction
   TestFabric f(opt);
-  const Addr x = 0x10, y = 0x14;  // same L1 set (set 0), same home? x%4=0,y%4=0
+  const LineAddr x{0x10}, y{0x14};  // same L1 set (set 0), same home? x%4=0,y%4=0
   ASSERT_EQ(f.home_of(x), f.home_of(y));
 
   f.access(0, x, false);
@@ -44,7 +44,7 @@ TEST(ProtocolRaces, InvOvertakesDataReply) {
 
   // ...then re-fetches x with a slow Data reply, while core 2 writes x,
   // generating a fast Inv to core 0 (still a listed sharer).
-  f.set_delay_fn(slow({MsgType::kData}, 60));
+  f.set_delay_fn(slow({MsgType::kData}, Cycle{60}));
   f.access_async(0, x, false);
   for (int i = 0; i < 12; ++i) f.step();  // GetS reaches home, Data in flight
   f.access_async(2, x, true);
@@ -67,7 +67,7 @@ TEST(ProtocolRaces, ForwardCrossesWriteback) {
   opt.l1_sets = 1;
   opt.l1_ways = 1;
   TestFabric f(opt);
-  const Addr x = 0x10, y = 0x14;
+  const LineAddr x{0x10}, y{0x14};
 
   f.access(0, x, true);  // core 0 owns x in M
   f.run_until_quiescent();
@@ -75,7 +75,7 @@ TEST(ProtocolRaces, ForwardCrossesWriteback) {
   // Core 0 evicts x with a very slow PutM (the eviction happens when y's
   // fill installs, so run the y access to completion); core 1 then reads x,
   // so the home forwards to core 0 long before the PutM arrives.
-  f.set_delay_fn(slow({MsgType::kPutM}, 80));
+  f.set_delay_fn(slow({MsgType::kPutM}, Cycle{80}));
   f.access(0, y, true);  // completes; x's PutM is now in flight
   f.access_async(1, x, false);
   f.run_until_quiescent();
@@ -99,7 +99,7 @@ TEST(ProtocolRaces, WritebackCrossesRecall) {
   opt.l2_sets = 1;
   opt.l2_ways = 1;  // one-line L2 slice: any new line recalls the old one
   TestFabric f(opt);
-  const Addr a = 0x10, b = 0x20, c = 0x31;  // a,b home 0; c home 1
+  const LineAddr a{0x10}, b{0x20}, c{0x31};  // a,b home 0; c home 1
   ASSERT_EQ(f.home_of(a), f.home_of(b));
 
   f.access(0, a, true);  // core 0 owns a (M); home 0's slice holds only a
@@ -109,7 +109,7 @@ TEST(ProtocolRaces, WritebackCrossesRecall) {
   // will evict a and emit a slow PutM. Core 1 fetches b (home 0) slightly
   // later, so home 0's fill-time recall of a reaches core 0 inside the
   // window where a sits in its eviction buffer with the PutM in flight.
-  f.set_delay_fn(slow({MsgType::kPutM}, 80));
+  f.set_delay_fn(slow({MsgType::kPutM}, Cycle{80}));
   f.access_async(0, c, false);
   for (int i = 0; i < 20; ++i) f.step();
   f.access_async(1, b, false);
@@ -132,11 +132,11 @@ TEST(ProtocolRaces, ForwardToPendingOwner) {
   TestFabric::Options opt;
   opt.nodes = 4;
   TestFabric f(opt);
-  const Addr x = 0x10;
+  const LineAddr x{0x10};
 
   // Slow the DataExcl grant so core 1's GetX is processed (and forwarded to
   // core 0) before core 0's fill completes.
-  f.set_delay_fn(slow({MsgType::kDataExcl}, 50));
+  f.set_delay_fn(slow({MsgType::kDataExcl}, Cycle{50}));
   f.access_async(0, x, true);
   for (int i = 0; i < 12; ++i) f.step();  // GetX processed, grant in flight
   f.access_async(1, x, true);
@@ -156,14 +156,14 @@ TEST(ProtocolRaces, UpgradeLosesToCompetingWrite) {
   TestFabric::Options opt;
   opt.nodes = 4;
   TestFabric f(opt);
-  const Addr x = 0x10;
+  const LineAddr x{0x10};
   f.access(0, x, false);
   f.access(1, x, false);  // both S
   f.run_until_quiescent();
 
   // Core 0's Upgrade crawls; core 1's GetX sprints: home processes the GetX
   // first and invalidates core 0 while its Upgrade is still in flight.
-  f.set_delay_fn(slow({MsgType::kUpgrade}, 50));
+  f.set_delay_fn(slow({MsgType::kUpgrade}, Cycle{50}));
   f.access_async(0, x, true);
   f.access_async(1, x, true);
   f.run_until_quiescent();
@@ -187,7 +187,7 @@ TEST(ProtocolRaces, StaleSharerInvalidation) {
   opt.l1_sets = 1;
   opt.l1_ways = 1;
   TestFabric f(opt);
-  const Addr x = 0x10, y = 0x14;
+  const LineAddr x{0x10}, y{0x14};
   f.access(0, x, false);
   f.access(1, x, false);
   f.run_until_quiescent();
@@ -208,11 +208,11 @@ TEST(ProtocolRaces, MissDeferredBehindWritebackSlowAck) {
   opt.l1_sets = 1;
   opt.l1_ways = 1;
   TestFabric f(opt);
-  const Addr x = 0x10, y = 0x14;
+  const LineAddr x{0x10}, y{0x14};
   f.access(0, x, true);
   f.run_until_quiescent();
 
-  f.set_delay_fn(slow({MsgType::kPutAck}, 60));
+  f.set_delay_fn(slow({MsgType::kPutAck}, Cycle{60}));
   f.access(0, y, false);        // installs y, emits x's PutM; slow ack keeps
                                 // the eviction buffer alive
   f.access_async(0, x, false);  // must defer until the PutAck drains
@@ -229,12 +229,12 @@ TEST(ProtocolRaces, RequestsQueueOnBusyLine) {
   TestFabric::Options opt;
   opt.nodes = 4;
   TestFabric f(opt);
-  const Addr x = 0x10;
+  const LineAddr x{0x10};
   f.access(0, x, true);  // core 0 owns x (M)
   f.run_until_quiescent();
 
   // Slow revisions keep the home busy while more requests pile up.
-  f.set_delay_fn(slow({MsgType::kRevision, MsgType::kAckRevision}, 40));
+  f.set_delay_fn(slow({MsgType::kRevision, MsgType::kAckRevision}, Cycle{40}));
   f.access_async(1, x, false);  // FwdGetS -> busyShared (slow revision)
   for (int i = 0; i < 10; ++i) f.step();
   f.access_async(2, x, false);  // must queue at the home
@@ -253,7 +253,7 @@ TEST(ProtocolRaces, RequestsQueueOnBusyLine) {
 // different owners accumulate monotonically through forwards.
 TEST(ProtocolRaces, VersionAccumulatesAcrossMigration) {
   TestFabric f;
-  const Addr x = 0x40;
+  const LineAddr x{0x40};
   f.access(0, x, true);  // v1
   f.access(0, x, true);  // v2 (hit)
   f.access(1, x, true);  // migrate: FwdGetX, then write -> v3
@@ -274,7 +274,7 @@ TEST(ProtocolRaces, VersionSurvivesRecallToMemory) {
   opt.l2_ways = 1;
   opt.l1_sets = 64;
   TestFabric f(opt);
-  const Addr a = 0x10, b = 0x20;
+  const LineAddr a{0x10}, b{0x20};
   f.access(0, a, true);   // v1 at core 0
   f.access(1, a, false);  // FwdGetS: revision carries v1 to the home
   f.run_until_quiescent();

@@ -14,7 +14,7 @@ namespace {
 RunResult run_cfg(CmpConfig cfg, const char* app = "FFT", double scale = 0.1) {
   CmpSystem system(cfg, std::make_shared<workloads::SyntheticApp>(
                             workloads::app(app).scaled(scale), cfg.n_tiles));
-  EXPECT_TRUE(system.run(200'000'000));
+  EXPECT_TRUE(system.run(Cycle{200'000'000}));
   return make_result(system);
 }
 
@@ -22,12 +22,12 @@ TEST(Report, LinkStaticMatchesGeometryFormula) {
   const CmpConfig cfg = CmpConfig::baseline();
   CmpSystem system(cfg, std::make_shared<workloads::SyntheticApp>(
                             workloads::app("FFT").scaled(0.05), 16));
-  ASSERT_TRUE(system.run(200'000'000));
+  ASSERT_TRUE(system.run(Cycle{200'000'000}));
   const RunResult r = make_result(system);
 
   // Recompute by hand: 600 B-wires x 1.0246 W/m x 240 mm of directed links.
-  const double expected = 600.0 * 1.0246 * 0.240 * r.seconds;
-  EXPECT_NEAR(r.energy.get(power::EnergyAccount::kLinkStatic), expected,
+  const double expected = 600.0 * 1.0246 * 0.240 * r.seconds.value();
+  EXPECT_NEAR(r.energy.get(power::EnergyAccount::kLinkStatic).value(), expected,
               expected * 1e-9);
   EXPECT_DOUBLE_EQ(system.network().total_directed_link_mm(0), 240.0);
 }
@@ -36,13 +36,13 @@ TEST(Report, LinkDynamicMatchesBitLengthCounter) {
   const CmpConfig cfg = CmpConfig::baseline();
   CmpSystem system(cfg, std::make_shared<workloads::SyntheticApp>(
                             workloads::app("FFT").scaled(0.05), 16));
-  ASSERT_TRUE(system.run(200'000'000));
+  ASSERT_TRUE(system.run(Cycle{200'000'000}));
   const RunResult r = make_result(system);
 
   const double bit_dmm =
       static_cast<double>(system.stats().counter_value("noc.B.bit_dmm_hops"));
-  const double expected = bit_dmm * 1e-4 * 2.65 / cfg.freq_hz * 0.5;
-  EXPECT_NEAR(r.energy.get(power::EnergyAccount::kLinkDynamic), expected,
+  const double expected = bit_dmm * 1e-4 * 2.65 / cfg.freq.value() * 0.5;
+  EXPECT_NEAR(r.energy.get(power::EnergyAccount::kLinkDynamic).value(), expected,
               expected * 1e-9);
   // On the uniform-length mesh, bit_dmm is exactly bit_hops x 50 dmm.
   EXPECT_EQ(system.stats().counter_value("noc.B.bit_dmm_hops"),
@@ -57,8 +57,10 @@ TEST(Report, TreeAndMeshHaveEqualMetalBudget) {
   tree.topology = noc::Topology::kTree2Level;
   const RunResult rm = run_cfg(mesh);
   const RunResult rt = run_cfg(tree);
-  const double pm = rm.energy.get(power::EnergyAccount::kLinkStatic) / rm.seconds;
-  const double pt = rt.energy.get(power::EnergyAccount::kLinkStatic) / rt.seconds;
+  const double pm =
+      (rm.energy.get(power::EnergyAccount::kLinkStatic) / rm.seconds).value();
+  const double pt =
+      (rt.energy.get(power::EnergyAccount::kLinkStatic) / rt.seconds).value();
   EXPECT_NEAR(pm, pt, pm * 1e-9);
 }
 
@@ -67,7 +69,7 @@ TEST(Report, TreeUsesFiveRoutersPerPlane) {
   tree.topology = noc::Topology::kTree2Level;
   CmpSystem system(tree, std::make_shared<workloads::SyntheticApp>(
                              workloads::app("FFT").scaled(0.05), 16));
-  ASSERT_TRUE(system.run(200'000'000));
+  ASSERT_TRUE(system.run(Cycle{200'000'000}));
   EXPECT_EQ(system.network().router_count(0), 5u);
 }
 
@@ -76,31 +78,35 @@ TEST(Report, HetLinkLeaksLessThanBaseline) {
   const RunResult base = run_cfg(CmpConfig::baseline());
   const RunResult het =
       run_cfg(CmpConfig::heterogeneous(compression::SchemeConfig::dbrc(4, 2)));
-  const double pb = base.energy.get(power::EnergyAccount::kLinkStatic) / base.seconds;
-  const double ph = het.energy.get(power::EnergyAccount::kLinkStatic) / het.seconds;
+  const double pb =
+      (base.energy.get(power::EnergyAccount::kLinkStatic) / base.seconds).value();
+  const double ph =
+      (het.energy.get(power::EnergyAccount::kLinkStatic) / het.seconds).value();
   EXPECT_NEAR(ph / pb, (272.0 * 1.0246 + 40.0 * 0.4395) / (600.0 * 1.0246), 1e-6);
 }
 
 TEST(Report, CompressionHardwareChargedOnlyWhenPresent) {
   const RunResult base = run_cfg(CmpConfig::baseline());
-  EXPECT_EQ(base.energy.get(power::EnergyAccount::kCompressionDynamic), 0.0);
-  EXPECT_EQ(base.energy.get(power::EnergyAccount::kCompressionStatic), 0.0);
+  EXPECT_EQ(base.energy.get(power::EnergyAccount::kCompressionDynamic).value(), 0.0);
+  EXPECT_EQ(base.energy.get(power::EnergyAccount::kCompressionStatic).value(), 0.0);
   const RunResult het =
       run_cfg(CmpConfig::heterogeneous(compression::SchemeConfig::dbrc(16, 2)));
-  EXPECT_GT(het.energy.get(power::EnergyAccount::kCompressionDynamic), 0.0);
-  EXPECT_GT(het.energy.get(power::EnergyAccount::kCompressionStatic), 0.0);
+  EXPECT_GT(het.energy.get(power::EnergyAccount::kCompressionDynamic).value(), 0.0);
+  EXPECT_GT(het.energy.get(power::EnergyAccount::kCompressionStatic).value(), 0.0);
   // 16-entry leaks more than 4-entry.
   const RunResult small =
       run_cfg(CmpConfig::heterogeneous(compression::SchemeConfig::dbrc(4, 2)));
-  EXPECT_GT(het.energy.get(power::EnergyAccount::kCompressionStatic) / het.seconds,
-            small.energy.get(power::EnergyAccount::kCompressionStatic) / small.seconds);
+  EXPECT_GT(
+      (het.energy.get(power::EnergyAccount::kCompressionStatic) / het.seconds).value(),
+      (small.energy.get(power::EnergyAccount::kCompressionStatic) / small.seconds)
+          .value());
 }
 
 TEST(Report, DumpStateIsInformative) {
   CmpConfig cfg = CmpConfig::baseline();
   CmpSystem system(cfg, std::make_shared<workloads::SyntheticApp>(
                             workloads::app("FFT").scaled(0.05), 16));
-  ASSERT_TRUE(system.run(200'000'000));
+  ASSERT_TRUE(system.run(Cycle{200'000'000}));
   std::ostringstream out;
   system.dump_state(out);
   const std::string dump = out.str();
@@ -113,13 +119,13 @@ TEST(Report, MemoryEnergyTracksMemoryEvents) {
   const CmpConfig cfg = CmpConfig::baseline();
   CmpSystem system(cfg, std::make_shared<workloads::SyntheticApp>(
                             workloads::app("Radix").scaled(0.05), 16));
-  ASSERT_TRUE(system.run(200'000'000));
+  ASSERT_TRUE(system.run(Cycle{200'000'000}));
   const RunResult r = make_result(system);
   const double events =
       static_cast<double>(system.stats().counter_value("mem.reads") +
                           system.stats().counter_value("mem.writebacks"));
-  EXPECT_NEAR(r.energy.get(power::EnergyAccount::kMemoryDynamic),
-              events * cfg.chip_power.mem_access_j, 1e-15);
+  EXPECT_NEAR(r.energy.get(power::EnergyAccount::kMemoryDynamic).value(),
+              events * cfg.chip_power.mem_access.value(), 1e-15);
 }
 
 }  // namespace

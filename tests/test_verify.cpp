@@ -207,9 +207,9 @@ std::unique_ptr<cmp::CmpSystem> small_system() {
 TEST(CoherenceLint, CleanRunStaysSilent) {
   auto system = small_system();
   CoherenceLinter linter(system.get());
-  system->set_periodic_check(500,
+  system->set_periodic_check(Cycle{500},
                              [&](Cycle now) { return linter.scan(now).empty(); });
-  EXPECT_TRUE(system->run(50'000'000));
+  EXPECT_TRUE(system->run(Cycle{50'000'000}));
   EXPECT_FALSE(system->aborted());
   EXPECT_GT(linter.scans(), 0u);
   EXPECT_EQ(linter.violations(), 0u);
@@ -222,15 +222,15 @@ TEST(CoherenceLint, InjectedDoubleOwnerAbortsTheRun) {
   // stripe mode; the corrupted line sits on a non-zero stripe, so catching
   // it proves the rotation reaches every stripe.
   system->set_periodic_check(
-      100, [&](Cycle now) { return linter.scan_slice(now).empty(); });
+      Cycle{100}, [&](Cycle now) { return linter.scan_slice(now).empty(); });
   // Let the machine get going, then corrupt it: force the same line into M
   // in two different L1s, bypassing the protocol (debug hook).
   for (int i = 0; i < 150; ++i) system->step();
-  const Addr line = 0x45;  // stripe 5 of CoherenceLinter::kStripes
+  const LineAddr line{0x45};  // stripe 5 of CoherenceLinter::kStripes
   system->l1(1).debug_force_state(line, protocol::L1State::kM);
   system->l1(2).debug_force_state(line, protocol::L1State::kM);
 
-  EXPECT_FALSE(system->run(10'000));
+  EXPECT_FALSE(system->run(Cycle{10'000}));
   EXPECT_TRUE(system->aborted());
   EXPECT_GT(linter.violations(), 0u);
   EXPECT_GE(system->stats().counter("verify.violations"), 1u);
@@ -240,7 +240,7 @@ TEST(CoherenceLint, SliceRotationCoversEveryStripe) {
   auto system = small_system();
   CoherenceLinter linter(system.get());
   for (int i = 0; i < 150; ++i) system->step();
-  system->l1(2).debug_force_state(0x83, protocol::L1State::kM);
+  system->l1(2).debug_force_state(LineAddr{0x83}, protocol::L1State::kM);
   // One full rotation must flag the corrupted line exactly once: in the
   // slice for stripe 0x83 % kStripes and no other.
   unsigned flagged = 0;
@@ -255,7 +255,7 @@ TEST(CoherenceLint, DirectoryDisagreementIsNamed) {
   CoherenceLinter linter(system.get());
   for (int i = 0; i < 150; ++i) system->step();
   // A single stable M copy the home directory knows nothing about: R2.
-  system->l1(3).debug_force_state(0x80, protocol::L1State::kM);
+  system->l1(3).debug_force_state(LineAddr{0x80}, protocol::L1State::kM);
   const auto violations = linter.scan(system->total_cycles());
   ASSERT_FALSE(violations.empty());
   bool saw_r2 = false;

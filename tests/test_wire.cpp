@@ -33,21 +33,21 @@ TEST(RcModel, SpacingReducesCoupling) {
 TEST(RcModel, DelayOptimalBeatsPerturbations) {
   const WireGeometry g{MetalPlane::k8X, 1.0, 1.0};
   const RepeaterDesign opt = delay_optimal_design(tech(), g);
-  const double best = segment_delay_s(tech(), g, opt) / opt.spacing_m;
+  const double best = (segment_delay(tech(), g, opt) / opt.spacing).value();
   for (double fs : {0.5, 0.7, 1.5, 2.0}) {
-    RepeaterDesign cand{opt.size * fs, opt.spacing_m};
-    EXPECT_GE(segment_delay_s(tech(), g, cand) / cand.spacing_m, best * 0.999);
+    RepeaterDesign cand{opt.size * fs, opt.spacing};
+    EXPECT_GE((segment_delay(tech(), g, cand) / cand.spacing).value(), best * 0.999);
   }
   for (double fl : {0.5, 0.7, 1.5, 2.0}) {
-    RepeaterDesign cand{opt.size, opt.spacing_m * fl};
-    EXPECT_GE(segment_delay_s(tech(), g, cand) / cand.spacing_m, best * 0.999);
+    RepeaterDesign cand{opt.size, opt.spacing * fl};
+    EXPECT_GE((segment_delay(tech(), g, cand) / cand.spacing).value(), best * 0.999);
   }
 }
 
 TEST(RcModel, BaselineWireNearAnchorLatency) {
   const WireGeometry g{MetalPlane::k8X, 1.0, 1.0};
   const RepeaterDesign opt = delay_optimal_design(tech(), g);
-  const double ps_per_mm = delay_per_m(tech(), g, opt) * 1e12 * 1e-3;
+  const double ps_per_mm = delay_per_m(tech(), g, opt).value() * 1e12 * 1e-3;
   // The technology calibration targets ~130 ps/mm for the 8X baseline.
   EXPECT_NEAR(ps_per_mm, kBWirePsPerMm, kBWirePsPerMm * 0.25);
 }
@@ -56,19 +56,19 @@ TEST(RcModel, PowerOptimalRespectsDelayBudgetAndSavesPower) {
   const WireGeometry g{MetalPlane::k4X, 1.0, 1.0};
   const RepeaterDesign opt = delay_optimal_design(tech(), g);
   const RepeaterDesign pw = power_optimal_design(tech(), g, 2.0);
-  const double d_opt = segment_delay_s(tech(), g, opt) / opt.spacing_m;
-  const double d_pw = segment_delay_s(tech(), g, pw) / pw.spacing_m;
+  const double d_opt = (segment_delay(tech(), g, opt) / opt.spacing).value();
+  const double d_pw = (segment_delay(tech(), g, pw) / pw.spacing).value();
   EXPECT_LE(d_pw, 2.0 * d_opt * 1.0001);
-  const double p_opt =
+  const units::WattsPerMeter p_opt =
       switching_power_per_m(tech(), g, opt) + leakage_power_per_m(tech(), opt);
-  const double p_pw =
+  const units::WattsPerMeter p_pw =
       switching_power_per_m(tech(), g, pw) + leakage_power_per_m(tech(), pw);
-  EXPECT_LT(p_pw, 0.75 * p_opt);  // Banerjee reports >~40% savings at 2x delay
+  EXPECT_LT(p_pw.value(), 0.75 * p_opt.value());  // Banerjee: >~40% savings at 2x delay
 }
 
 TEST(RcModel, LeakageScalesWithRepeaterSize) {
-  RepeaterDesign small{10.0, 1e-3};
-  RepeaterDesign big{100.0, 1e-3};
+  RepeaterDesign small{10.0, units::Meters{1e-3}};
+  RepeaterDesign big{100.0, units::Meters{1e-3}};
   EXPECT_NEAR(leakage_power_per_m(tech(), big) / leakage_power_per_m(tech(), small),
               10.0, 1e-9);
 }
@@ -99,14 +99,14 @@ INSTANTIATE_TEST_SUITE_P(WireClasses, Table2Repro,
 TEST(WireSpec, PaperTable2Values) {
   const WireSpec b8 = paper_spec(WireClass::kB8X);
   EXPECT_DOUBLE_EQ(b8.rel_latency, 1.0);
-  EXPECT_DOUBLE_EQ(b8.dyn_power_w_per_m, 2.65);
-  EXPECT_DOUBLE_EQ(b8.static_power_w_per_m, 1.0246);
+  EXPECT_DOUBLE_EQ(b8.dyn_power.value(), 2.65);
+  EXPECT_DOUBLE_EQ(b8.static_power.value(), 1.0246);
   const WireSpec l = paper_spec(WireClass::kL8X);
   EXPECT_DOUBLE_EQ(l.rel_latency, 0.5);
   EXPECT_DOUBLE_EQ(l.rel_area, 4.0);
   const WireSpec pw = paper_spec(WireClass::kPW4X);
   EXPECT_DOUBLE_EQ(pw.rel_latency, 3.2);
-  EXPECT_DOUBLE_EQ(pw.dyn_power_w_per_m, 0.87);
+  EXPECT_DOUBLE_EQ(pw.dyn_power.value(), 0.87);
 }
 
 TEST(WireSpec, PaperTable3Values) {
@@ -122,19 +122,19 @@ TEST(WireSpec, PaperTable3Values) {
   // Wider VL bundles are slower and burn more power per wire.
   EXPECT_LT(vl3.rel_latency, vl4.rel_latency);
   EXPECT_LT(vl4.rel_latency, vl5.rel_latency);
-  EXPECT_LT(vl3.dyn_power_w_per_m, vl5.dyn_power_w_per_m);
+  EXPECT_LT(vl3.dyn_power.value(), vl5.dyn_power.value());
 }
 
 TEST(WireSpec, LinkCycleQuantization) {
   // 5 mm at 4 GHz: B-wire 130 ps/mm -> 650 ps -> 2.6 cycles -> 3.
-  EXPECT_EQ(paper_spec(WireClass::kB8X).link_cycles(5.0, 4e9), 3u);
+  EXPECT_EQ(paper_spec(WireClass::kB8X).link_cycles(5.0, units::hertz(4e9)), 3u);
   // VL 3B: 35.1 ps/mm -> 175 ps -> 0.7 cycles -> 1.
-  EXPECT_EQ(paper_spec(WireClass::kVL, 3).link_cycles(5.0, 4e9), 1u);
-  EXPECT_EQ(paper_spec(WireClass::kVL, 5).link_cycles(5.0, 4e9), 1u);
+  EXPECT_EQ(paper_spec(WireClass::kVL, 3).link_cycles(5.0, units::hertz(4e9)), 1u);
+  EXPECT_EQ(paper_spec(WireClass::kVL, 5).link_cycles(5.0, units::hertz(4e9)), 1u);
   // L-wire: 65 ps/mm -> 325 ps -> 1.3 cycles -> 2.
-  EXPECT_EQ(paper_spec(WireClass::kL8X).link_cycles(5.0, 4e9), 2u);
+  EXPECT_EQ(paper_spec(WireClass::kL8X).link_cycles(5.0, units::hertz(4e9)), 2u);
   // PW-wire: 416 ps/mm -> 2080 ps -> 8.3 -> 9.
-  EXPECT_EQ(paper_spec(WireClass::kPW4X).link_cycles(5.0, 4e9), 9u);
+  EXPECT_EQ(paper_spec(WireClass::kPW4X).link_cycles(5.0, units::hertz(4e9)), 9u);
 }
 
 class VlModelRepro : public ::testing::TestWithParam<unsigned> {};
@@ -208,7 +208,7 @@ TEST_P(GeometrySweep, WiderWiresAreNeverSlower) {
   for (double width : {1.0, 2.0, 4.0, 8.0, 14.0}) {
     const WireGeometry g{MetalPlane::k8X, width, spacing};
     const RepeaterDesign d = delay_optimal_design(tech(), g);
-    const double delay = delay_per_m(tech(), g, d);
+    const double delay = delay_per_m(tech(), g, d).value();
     EXPECT_LE(delay, prev * 1.0001) << "width " << width;
     prev = delay;
   }
@@ -220,7 +220,7 @@ TEST_P(GeometrySweep, SparserWiresAreNeverSlower) {
   for (double spacing : {1.0, 2.0, 4.0, 8.0, 16.0}) {
     const WireGeometry g{MetalPlane::k8X, width, spacing};
     const RepeaterDesign d = delay_optimal_design(tech(), g);
-    const double delay = delay_per_m(tech(), g, d);
+    const double delay = delay_per_m(tech(), g, d).value();
     EXPECT_LE(delay, prev * 1.0001) << "spacing " << spacing;
     prev = delay;
   }
@@ -231,14 +231,14 @@ TEST_P(GeometrySweep, PowerOptimalNeverBeatsDelayOptimalOnDelay) {
   const WireGeometry g{MetalPlane::k8X, width, 2.0};
   const RepeaterDesign opt = delay_optimal_design(tech(), g);
   const RepeaterDesign pw = power_optimal_design(tech(), g, 1.5);
-  EXPECT_GE(segment_delay_s(tech(), g, pw) / pw.spacing_m,
-            0.999 * segment_delay_s(tech(), g, opt) / opt.spacing_m);
+  EXPECT_GE((segment_delay(tech(), g, pw) / pw.spacing).value(),
+            0.999 * (segment_delay(tech(), g, opt) / opt.spacing).value());
   // ...and never loses on power.
-  const double p_opt =
+  const units::WattsPerMeter p_opt =
       switching_power_per_m(tech(), g, opt) + leakage_power_per_m(tech(), opt);
-  const double p_pw =
+  const units::WattsPerMeter p_pw =
       switching_power_per_m(tech(), g, pw) + leakage_power_per_m(tech(), pw);
-  EXPECT_LE(p_pw, p_opt * 1.0001);
+  EXPECT_LE(p_pw.value(), p_opt.value() * 1.0001);
 }
 
 INSTANTIATE_TEST_SUITE_P(Factors, GeometrySweep,
@@ -249,7 +249,7 @@ TEST(RcModel, LcFloorBoundsAllDesigns) {
     for (double sp : {1.0, 8.0}) {
       const WireGeometry g{MetalPlane::k8X, w, sp};
       const RepeaterDesign d = delay_optimal_design(tech(), g);
-      EXPECT_GE(delay_per_m(tech(), g, d), tech().lc_floor_s_per_m * 0.9999);
+      EXPECT_GE(delay_per_m(tech(), g, d).value(), tech().lc_floor.value() * 0.9999);
     }
   }
 }

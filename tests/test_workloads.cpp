@@ -146,8 +146,8 @@ TEST(SyntheticApp, ScatteredLayoutSpreadsAddressRegions) {
     AppParams p = params;
     p.warmup_frac = 0.0;
     SyntheticApp a(p, 16);
-    std::set<Addr> regions;
-    for (const auto& op : memory_stream(a, 0, 10000)) regions.insert(op.line >> 16);
+    std::set<std::uint64_t> regions;
+    for (const auto& op : memory_stream(a, 0, 10000)) regions.insert(op.line.value() >> 16);
     return regions.size();
   };
   EXPECT_GT(regions_of(app("Ocean-noncont")), 2 * regions_of(app("Ocean-cont")));
@@ -169,11 +169,11 @@ TEST(SyntheticApp, SharedFractionControlsCrossCoreOverlap) {
     AppParams p = app(name);
     p.warmup_frac = 0.0;
     SyntheticApp a(p, 16);
-    std::set<Addr> c0, c1;
+    std::set<LineAddr> c0, c1;
     for (const auto& op : memory_stream(a, 0, 8000)) c0.insert(op.line);
     for (const auto& op : memory_stream(a, 1, 8000)) c1.insert(op.line);
     std::size_t common = 0;
-    for (Addr l : c0) common += c1.contains(l);
+    for (LineAddr l : c0) common += c1.contains(l);
     return static_cast<double>(common) / static_cast<double>(c0.size());
   };
   EXPECT_GT(overlap("MP3D"), 2.5 * overlap("Water-nsq"));
@@ -193,7 +193,7 @@ TEST_P(EveryApp, StreamIsWellFormed) {
       if (op.kind == OpKind::kDone) break;
       if (op.kind == OpKind::kLoad || op.kind == OpKind::kStore) {
         ++mem;
-        ASSERT_GT(op.line, 0u);
+        ASSERT_GT(op.line.value(), 0u);
       }
       ASSERT_LT(++n, 1000000u);
     }

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Static-analysis gate for CI (and local use): clang-tidy with the repo's
-# .clang-tidy profile over every library source, plus cppcheck on src/.
-# Any finding fails the run.
+# .clang-tidy profile over every library source, cppcheck on src/, and the
+# repo-specific tcmplint rules (strong-type escapes, MsgType table coverage,
+# stat registration, header hygiene). Any finding fails the run.
 #
 #   tools/run_lint.sh [build-dir]
 #
@@ -16,6 +17,10 @@ if [[ ! -f "$build/compile_commands.json" ]]; then
   cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release \
     -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 fi
+
+echo "tcmplint: repo-specific rules"
+cmake --build "$build" --target tcmplint -j "$(nproc)" >/dev/null
+"$build/tools/tcmplint" --root "$repo"
 
 mapfile -t sources < <(find "$repo/src" "$repo/tools" -name '*.cpp' | sort)
 

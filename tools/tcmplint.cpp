@@ -1,0 +1,270 @@
+// tcmplint — repo-specific static analysis for rules generic clang-tidy
+// cannot express. Exits nonzero when any rule fires; every finding is
+// printed as `path:line: [rule] message` so editors can jump to it.
+//
+// Rules (select one with --rule, default all):
+//   raw-unit          raw double/uint64_t declarations in src/ headers whose
+//                     name carries a unit or identity suffix for which a
+//                     strong type exists (units.hpp Quantity / types.hpp
+//                     tags). Escape hatch: a `tcmplint: allow-raw-unit`
+//                     comment on the same line (used at config boundaries
+//                     that deliberately keep the paper's mm/raw units).
+//   msgtype-tables    every MsgType enumerator must appear in the wire
+//                     classification tables (protocol/coherence_msg.cpp) and
+//                     the verifier spec table (verify/wire_check.cpp), and
+//                     kNumMsgTypes must equal the enumerator count.
+//   stat-registration ScalarStat/Histogram constructed as plain members or
+//                     locals bypass StatRegistry and never reach reports.
+//                     Escape hatch: `tcmplint: allow-local-stat`.
+//   self-contained    every header under src/ must compile standalone
+//                     ($CXX -std=c++20 -fsyntax-only -I src).
+//   pragma-once       every header under src/ must contain #pragma once.
+//
+// Usage: tcmplint --root <repo-root> [--rule <name>] [--cxx <compiler>]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  std::string file;
+  long line;
+  std::string rule;
+  std::string message;
+};
+
+std::vector<Finding> g_findings;
+
+void report(const fs::path& file, long line, const std::string& rule,
+            const std::string& message) {
+  g_findings.push_back({file.string(), line, rule, message});
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+std::vector<fs::path> collect(const fs::path& dir, const std::string& ext) {
+  std::vector<fs::path> out;
+  if (!fs::exists(dir)) return out;
+  for (const auto& e : fs::recursive_directory_iterator(dir)) {
+    if (e.is_regular_file() && e.path().extension() == ext)
+      out.push_back(e.path());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// ---- raw-unit ------------------------------------------------------------
+
+void check_raw_unit(const fs::path& root) {
+  // Unit/identity suffixes for which src/common/{types,units}.hpp provides a
+  // strong type. A declaration like `double energy_j` should be
+  // `units::Joules energy`, `std::uint64_t start_cycle` should be `Cycle`.
+  static const std::regex decl(
+      R"((?:double|std::uint64_t|uint64_t)\s+)"
+      R"(([a-z][a-z0-9_]*(?:_j|_pj|_nj|_w|_mw|_s|_ps|_ns|_hz|_m|_mm|_um|_mm2|_um2|_per_m|_cycles?|_addr|_line))\s*[;={,)(])");
+  for (const auto& h : collect(root / "src", ".hpp")) {
+    const std::string rel = fs::relative(h, root).generic_string();
+    // The strong-type layer itself defines the raw-double boundary
+    // (constructors and to_* escape accessors).
+    if (rel == "src/common/units.hpp" || rel == "src/common/types.hpp")
+      continue;
+    const auto lines = split_lines(read_file(h));
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      const std::string& l = lines[i];
+      if (l.find("tcmplint: allow-raw-unit") != std::string::npos) continue;
+      std::smatch m;
+      if (std::regex_search(l, m, decl)) {
+        report(h, static_cast<long>(i + 1), "raw-unit",
+               "raw numeric declaration '" + m[1].str() +
+                   "' carries a unit/identity suffix; use the strong type "
+                   "from common/types.hpp or common/units.hpp (or annotate "
+                   "'tcmplint: allow-raw-unit' with a reason)");
+      }
+    }
+  }
+}
+
+// ---- msgtype-tables ------------------------------------------------------
+
+void check_msgtype_tables(const fs::path& root) {
+  const fs::path enum_hpp = root / "src/protocol/coherence_msg.hpp";
+  const std::string text = read_file(enum_hpp);
+  if (text.empty()) {
+    report(enum_hpp, 0, "msgtype-tables", "cannot read MsgType header");
+    return;
+  }
+  const auto begin = text.find("enum class MsgType");
+  const auto end = text.find("};", begin);
+  if (begin == std::string::npos || end == std::string::npos) {
+    report(enum_hpp, 0, "msgtype-tables", "cannot locate enum class MsgType");
+    return;
+  }
+  std::vector<std::string> enumerators;
+  static const std::regex name(R"(^\s*(k[A-Za-z0-9]+)\s*,?)");
+  for (const auto& l : split_lines(text.substr(begin, end - begin))) {
+    std::smatch m;
+    if (std::regex_search(l, m, name)) enumerators.push_back(m[1].str());
+  }
+  std::smatch count_m;
+  static const std::regex count_re(
+      R"(constexpr\s+unsigned\s+kNumMsgTypes\s*=\s*(\d+))");
+  if (std::regex_search(text, count_m, count_re)) {
+    if (std::stoul(count_m[1].str()) != enumerators.size()) {
+      report(enum_hpp, 0, "msgtype-tables",
+             "kNumMsgTypes = " + count_m[1].str() + " but enum has " +
+                 std::to_string(enumerators.size()) + " enumerators");
+    }
+  } else {
+    report(enum_hpp, 0, "msgtype-tables", "kNumMsgTypes constant not found");
+  }
+  const fs::path tables[] = {root / "src/protocol/coherence_msg.cpp",
+                             root / "src/verify/wire_check.cpp"};
+  for (const auto& table : tables) {
+    const std::string body = read_file(table);
+    for (const auto& e : enumerators) {
+      // Word-boundary match: MsgType::kX not followed by more identifier.
+      const std::regex use("MsgType::" + e + R"(\b)");
+      if (!std::regex_search(body, use)) {
+        report(table, 0, "msgtype-tables",
+               "MsgType::" + e + " missing from this classification table");
+      }
+    }
+  }
+}
+
+// ---- stat-registration ---------------------------------------------------
+
+void check_stat_registration(const fs::path& root) {
+  // A ScalarStat/Histogram constructed directly (member or local) is never
+  // registered with StatRegistry, so it silently vanishes from reports.
+  static const std::regex decl(
+      R"(^\s*(?:tcmp::)?(ScalarStat|Histogram)\s+([a-zA-Z_]\w*)\s*[{;=(])");
+  for (const std::string ext : {".hpp", ".cpp"}) {
+    for (const auto& f : collect(root / "src", ext)) {
+      const std::string rel = fs::relative(f, root).generic_string();
+      if (rel == "src/common/stats.hpp" || rel == "src/common/stats.cpp")
+        continue;  // the registry's own storage
+      const auto lines = split_lines(read_file(f));
+      for (std::size_t i = 0; i < lines.size(); ++i) {
+        const std::string& l = lines[i];
+        if (l.find("tcmplint: allow-local-stat") != std::string::npos) continue;
+        std::smatch m;
+        if (std::regex_search(l, m, decl)) {
+          report(f, static_cast<long>(i + 1), "stat-registration",
+                 m[1].str() + " '" + m[2].str() +
+                     "' constructed outside StatRegistry — it will never "
+                     "appear in reports; register it via StatRegistry (or "
+                     "annotate 'tcmplint: allow-local-stat' with a reason)");
+        }
+      }
+    }
+  }
+}
+
+// ---- self-contained ------------------------------------------------------
+
+void check_self_contained(const fs::path& root, const std::string& cxx) {
+  const fs::path tmp = fs::temp_directory_path() / "tcmplint_sc.cpp";
+  for (const auto& h : collect(root / "src", ".hpp")) {
+    const std::string rel =
+        fs::relative(h, root / "src").generic_string();
+    {
+      std::ofstream out(tmp);
+      out << "#include \"" << rel << "\"\n";
+    }
+    const std::string cmd = cxx + " -std=c++20 -fsyntax-only -I \"" +
+                            (root / "src").string() + "\" \"" + tmp.string() +
+                            "\" 2>/dev/null";
+    if (std::system(cmd.c_str()) != 0) {
+      report(h, 0, "self-contained",
+             "header does not compile standalone (missing includes?); run: " +
+                 cxx + " -std=c++20 -fsyntax-only -I src /tmp/probe.cpp");
+    }
+  }
+  std::error_code ec;
+  fs::remove(tmp, ec);
+}
+
+// ---- pragma-once ---------------------------------------------------------
+
+void check_pragma_once(const fs::path& root) {
+  for (const auto& h : collect(root / "src", ".hpp")) {
+    if (read_file(h).find("#pragma once") == std::string::npos)
+      report(h, 1, "pragma-once", "header is missing #pragma once");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  std::string rule = "all";
+  std::string cxx = std::getenv("CXX") ? std::getenv("CXX") : "c++";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "tcmplint: %s needs an argument\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      root = next();
+    } else if (arg == "--rule") {
+      rule = next();
+    } else if (arg == "--cxx") {
+      cxx = next();
+    } else {
+      std::fprintf(stderr,
+                   "usage: tcmplint --root <dir> [--rule raw-unit|"
+                   "msgtype-tables|stat-registration|self-contained|"
+                   "pragma-once] [--cxx <compiler>]\n");
+      return 2;
+    }
+  }
+  if (!fs::exists(root / "src")) {
+    std::fprintf(stderr, "tcmplint: no src/ under %s\n", root.string().c_str());
+    return 2;
+  }
+
+  const auto want = [&](const char* r) { return rule == "all" || rule == r; };
+  if (want("raw-unit")) check_raw_unit(root);
+  if (want("msgtype-tables")) check_msgtype_tables(root);
+  if (want("stat-registration")) check_stat_registration(root);
+  if (want("pragma-once")) check_pragma_once(root);
+  if (want("self-contained")) check_self_contained(root, cxx);
+
+  for (const auto& f : g_findings) {
+    std::fprintf(stderr, "%s:%ld: [%s] %s\n", f.file.c_str(), f.line,
+                 f.rule.c_str(), f.message.c_str());
+  }
+  if (g_findings.empty()) {
+    std::printf("tcmplint: clean (%s)\n", rule.c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "tcmplint: %zu finding(s)\n", g_findings.size());
+  return 1;
+}

@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Seeded-violation harness for tcmplint (mirrors tcmpcheck --mutate): plant
+# exactly one violation of each rule in a scratch copy of src/ and assert the
+# corresponding rule exits nonzero — proving the lint actually catches what
+# it claims to. Also asserts the pristine copy is clean per rule, so a
+# failure is attributable to the seeded edit alone.
+#
+#   tcmplint_seeded_test.sh <tcmplint-binary> <repo-root>
+set -euo pipefail
+
+lint="$1"
+repo="$2"
+scratch="$(mktemp -d)"
+trap 'rm -rf "$scratch"' EXIT
+
+fresh_tree() {
+  rm -rf "$scratch/tree"
+  mkdir -p "$scratch/tree"
+  cp -r "$repo/src" "$scratch/tree/src"
+}
+
+# expect_catch <rule> — the seeded tree must fail, naming the rule.
+expect_catch() {
+  local rule="$1"
+  if "$lint" --root "$scratch/tree" --rule "$rule" >"$scratch/out" 2>&1; then
+    echo "FAIL: seeded $rule violation was NOT caught"
+    cat "$scratch/out"
+    exit 1
+  fi
+  if ! grep -q "\[$rule\]" "$scratch/out"; then
+    echo "FAIL: $rule finding not attributed to the rule"
+    cat "$scratch/out"
+    exit 1
+  fi
+  echo "ok: $rule catches its seeded violation"
+}
+
+# expect_clean <rule> — the pristine tree must pass the rule.
+expect_clean() {
+  local rule="$1"
+  if ! "$lint" --root "$scratch/tree" --rule "$rule" >"$scratch/out" 2>&1; then
+    echo "FAIL: pristine tree not clean under $rule"
+    cat "$scratch/out"
+    exit 1
+  fi
+}
+
+# --- raw-unit: a double member with a unit suffix and no allow-comment.
+fresh_tree
+expect_clean raw-unit
+cat > "$scratch/tree/src/common/seeded_raw_unit.hpp" <<'EOF'
+#pragma once
+struct SeededRawUnit {
+  double energy_j = 0.0;
+};
+EOF
+expect_catch raw-unit
+
+# --- msgtype-tables: a new enumerator absent from both tables (and from
+# kNumMsgTypes).
+fresh_tree
+expect_clean msgtype-tables
+sed -i 's/^  kPutAck,/  kPutAck,\n  kSeededViolation,/' \
+  "$scratch/tree/src/protocol/coherence_msg.hpp"
+expect_catch msgtype-tables
+
+# --- stat-registration: a Histogram member outside StatRegistry.
+fresh_tree
+expect_clean stat-registration
+cat > "$scratch/tree/src/common/seeded_stat.hpp" <<'EOF'
+#pragma once
+#include "common/stats.hpp"
+struct SeededStat {
+  tcmp::Histogram leaked_{8, 4};
+};
+EOF
+expect_catch stat-registration
+
+# --- pragma-once: a header without the guard.
+fresh_tree
+expect_clean pragma-once
+echo "struct SeededNoGuard {};" > "$scratch/tree/src/common/seeded_guard.hpp"
+expect_catch pragma-once
+
+# --- self-contained: a header using std::vector without including it.
+fresh_tree
+expect_clean self-contained
+cat > "$scratch/tree/src/common/seeded_self_contained.hpp" <<'EOF'
+#pragma once
+inline std::vector<int> seeded_not_self_contained() { return {}; }
+EOF
+expect_catch self-contained
+
+echo "tcmplint seeded-violation harness: all rules catch"

@@ -136,12 +136,12 @@ void emit(const Options& o, const cmp::RunResult& r, bool header) {
     }
     std::printf("%s,\"%s\",%llu,%llu,%llu,%.4f,%.2f,%.6g,%.6g,%.6g,%.6g,%.6g\n",
                 r.workload.c_str(), r.configuration.c_str(),
-                static_cast<unsigned long long>(r.cycles),
+                static_cast<unsigned long long>(r.cycles.value()),
                 static_cast<unsigned long long>(r.instructions),
                 static_cast<unsigned long long>(r.remote_messages),
-                r.compression_coverage, r.avg_critical_latency, r.link_energy(),
-                r.interconnect_energy(), r.total_energy(), r.link_ed2p(),
-                r.full_cmp_ed2p());
+                r.compression_coverage, r.avg_critical_latency,
+                r.link_energy().value(), r.interconnect_energy().value(),
+                r.total_energy().value(), r.link_ed2p(), r.full_cmp_ed2p());
     return;
   }
   if (o.format == "json") {
@@ -151,20 +151,20 @@ void emit(const Options& o, const cmp::RunResult& r, bool header) {
                 "\"link_energy_j\":%.6g,\"interconnect_energy_j\":%.6g,"
                 "\"total_energy_j\":%.6g,\"link_ed2p\":%.6g,\"full_ed2p\":%.6g}\n",
                 r.workload.c_str(), r.configuration.c_str(),
-                static_cast<unsigned long long>(r.cycles),
+                static_cast<unsigned long long>(r.cycles.value()),
                 static_cast<unsigned long long>(r.instructions),
                 static_cast<unsigned long long>(r.remote_messages),
-                r.compression_coverage, r.avg_critical_latency, r.link_energy(),
-                r.interconnect_energy(), r.total_energy(), r.link_ed2p(),
-                r.full_cmp_ed2p());
+                r.compression_coverage, r.avg_critical_latency,
+                r.link_energy().value(), r.interconnect_energy().value(),
+                r.total_energy().value(), r.link_ed2p(), r.full_cmp_ed2p());
     return;
   }
   std::printf("%-14s %-40s cycles=%-9llu coverage=%5.1f%% critlat=%5.1f "
               "icE=%.3gJ linkED2P=%.4g\n",
               r.workload.c_str(), r.configuration.c_str(),
-              static_cast<unsigned long long>(r.cycles),
+              static_cast<unsigned long long>(r.cycles.value()),
               100.0 * r.compression_coverage, r.avg_critical_latency,
-              r.interconnect_energy(), r.link_ed2p());
+              r.interconnect_energy().value(), r.link_ed2p());
 }
 
 /// Text-mode network-latency quantile table (per message class and
@@ -279,14 +279,14 @@ int main(int argc, char** argv) {
       // scan_slice rotates over address stripes: full coverage every
       // CoherenceLinter::kStripes ticks at a fraction of a full scan's cost.
       system.set_periodic_check(
-          static_cast<Cycle>(o.verify_interval), [&linter](Cycle now) {
+          Cycle{static_cast<std::uint64_t>(o.verify_interval)}, [&linter](Cycle now) {
             const auto violations = linter->scan_slice(now);
             for (const auto& v : violations) {
               std::fprintf(stderr,
                            "coherence lint @ cycle %llu: [%s] line 0x%llx %s\n",
-                           static_cast<unsigned long long>(v.cycle),
+                           static_cast<unsigned long long>(v.cycle.value()),
                            v.invariant.c_str(),
-                           static_cast<unsigned long long>(v.line),
+                           static_cast<unsigned long long>(v.line.value()),
                            v.detail.c_str());
             }
             return violations.empty();
