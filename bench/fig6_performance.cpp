@@ -8,16 +8,31 @@
 
 using namespace tcmp;
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned jobs = bench::parse_jobs(argc, argv);
   bench::print_header(
       "Fig. 6: normalized execution time (top) and link ED^2P (bottom)");
 
   const auto schemes = bench::fig6_schemes();
   const auto potentials = bench::potential_schemes();
+  const auto apps = workloads::all_apps();
 
   std::vector<std::string> header{"Application"};
   for (const auto& s : schemes) header.push_back(s.name());
   for (const auto& s : potentials) header.push_back(s.name());
+
+  // Task grid: per application, the baseline run (column 0) then every
+  // scheme/potential run. Results come back indexed by task, so the merged
+  // tables below are identical at any --jobs value.
+  std::vector<cmp::CmpConfig> cfgs{cmp::CmpConfig::baseline()};
+  for (const auto& s : schemes) cfgs.push_back(cmp::CmpConfig::heterogeneous(s));
+  for (const auto& s : potentials)
+    cfgs.push_back(cmp::CmpConfig::heterogeneous(s));
+  const std::size_t n_cfg = cfgs.size();
+  const auto results = bench::parallel_sweep(
+      apps.size() * n_cfg, jobs, [&](std::size_t i) {
+        return bench::run_app(apps[i / n_cfg], cfgs[i % n_cfg]);
+      });
 
   TextTable exec_t(header);
   TextTable ed2p_t(header);
@@ -25,26 +40,22 @@ int main() {
   std::vector<double> ed2p_sum(schemes.size() + potentials.size(), 0.0);
   unsigned napps = 0;
 
-  for (const auto& app : workloads::all_apps()) {
-    const auto base = bench::run_app(app, cmp::CmpConfig::baseline());
-    std::vector<std::string> exec_row{app.name}, ed2p_row{app.name};
-    std::size_t col = 0;
-    auto eval = [&](const compression::SchemeConfig& scheme) {
-      const auto r = bench::run_app(app, cmp::CmpConfig::heterogeneous(scheme));
-      const double nt = static_cast<double>(r.cycles.value()) / static_cast<double>(base.cycles.value());
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    const auto& base = results[a * n_cfg];
+    std::vector<std::string> exec_row{apps[a].name}, ed2p_row{apps[a].name};
+    for (std::size_t col = 0; col + 1 < n_cfg; ++col) {
+      const auto& r = results[a * n_cfg + col + 1];
+      const double nt = static_cast<double>(r.cycles.value()) /
+                        static_cast<double>(base.cycles.value());
       const double ne = r.link_ed2p() / base.link_ed2p();
       exec_row.push_back(TextTable::fmt(nt, 3));
       ed2p_row.push_back(TextTable::fmt(ne, 3));
       exec_sum[col] += nt;
       ed2p_sum[col] += ne;
-      ++col;
-    };
-    for (const auto& s : schemes) eval(s);
-    for (const auto& s : potentials) eval(s);
+    }
     exec_t.add_row(std::move(exec_row));
     ed2p_t.add_row(std::move(ed2p_row));
     ++napps;
-    std::fprintf(stderr, "  %s done\n", app.name.c_str());
   }
 
   std::vector<std::string> exec_avg{"AVERAGE"}, ed2p_avg{"AVERAGE"};

@@ -9,28 +9,39 @@
 
 using namespace tcmp;
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned jobs = bench::parse_jobs(argc, argv);
   bench::print_header("Fig. 7: normalized full-CMP ED^2P");
 
   const auto schemes = bench::fig6_schemes();
+  const auto apps = workloads::all_apps();
   std::vector<std::string> header{"Application"};
   for (const auto& s : schemes) header.push_back(s.name());
   TextTable t(header);
   std::vector<double> sums(schemes.size(), 0.0);
   unsigned napps = 0;
 
-  for (const auto& app : workloads::all_apps()) {
-    const auto base = bench::run_app(app, cmp::CmpConfig::baseline());
-    std::vector<std::string> row{app.name};
+  // Task grid: per application, baseline (column 0) then every scheme; the
+  // ordered merge keeps output identical at any --jobs value.
+  std::vector<cmp::CmpConfig> cfgs{cmp::CmpConfig::baseline()};
+  for (const auto& s : schemes) cfgs.push_back(cmp::CmpConfig::heterogeneous(s));
+  const std::size_t n_cfg = cfgs.size();
+  const auto results = bench::parallel_sweep(
+      apps.size() * n_cfg, jobs, [&](std::size_t i) {
+        return bench::run_app(apps[i / n_cfg], cfgs[i % n_cfg]);
+      });
+
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    const auto& base = results[a * n_cfg];
+    std::vector<std::string> row{apps[a].name};
     for (std::size_t i = 0; i < schemes.size(); ++i) {
-      const auto r = bench::run_app(app, cmp::CmpConfig::heterogeneous(schemes[i]));
+      const auto& r = results[a * n_cfg + i + 1];
       const double ratio = r.full_cmp_ed2p() / base.full_cmp_ed2p();
       sums[i] += ratio;
       row.push_back(TextTable::fmt(ratio, 3));
     }
     t.add_row(std::move(row));
     ++napps;
-    std::fprintf(stderr, "  %s done\n", app.name.c_str());
   }
   std::vector<std::string> avg{"AVERAGE"};
   for (double s : sums) avg.push_back(TextTable::fmt(s / napps, 3));

@@ -1,0 +1,267 @@
+// Simulation-kernel microbenchmark: simulated cycles per wall-clock second
+// for the event-scheduled kernel (dead-cycle skipping) versus the plain
+// per-cycle loop, over three machine phases:
+//
+//   idle         — cores block on very long memory latency; almost every
+//                  cycle is globally dead (the kernel's best case).
+//   memory-bound — 400-cycle memory, blocking in-order cores (MLP 1): the
+//                  paper-relevant regime, most cycles dead.
+//   saturated    — L1-resident compute-heavy phase: every cycle live, so
+//                  this bounds the kernel's bookkeeping overhead (~1x).
+//
+// Both modes run the identical workload and must produce identical cycle
+// and instruction counts (checked here — the bench doubles as a determinism
+// cross-check). The recorded regression metric is the per-phase SPEEDUP
+// (event-kernel cycles/sec divided by per-cycle-loop cycles/sec, measured in
+// the same process on the same machine): absolute cycles/sec depends on the
+// host, but the ratio normalizes that out, so a committed baseline
+// (bench/BENCH_kernel.json) is portable across CI runners.
+//
+// Usage:
+//   micro_kernel [--json out.json] [--baseline BENCH_kernel.json]
+//                [--tolerance 0.2]
+// With --baseline, exits non-zero when any phase's speedup falls more than
+// `tolerance` (relative) below the committed value.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cmp/system.hpp"
+#include "common/check.hpp"
+#include "common/table.hpp"
+#include "workloads/synthetic_app.hpp"
+
+using namespace tcmp;
+
+namespace {
+
+struct PhaseSpec {
+  std::string name;
+  workloads::AppParams params;
+  cmp::CmpConfig cfg;
+  unsigned active_cores = 0;  ///< 0 = all
+};
+
+/// Restricts a workload to its first `n_active` cores (the rest finish
+/// immediately). This is how the idle and memory-bound phases pin the
+/// chip-level MLP: a blocking in-order core has MLP 1, so `n_active` bounds
+/// the number of concurrent misses in the whole machine.
+class ActiveSubsetWorkload final : public core::Workload {
+ public:
+  ActiveSubsetWorkload(std::shared_ptr<core::Workload> inner, unsigned n_active)
+      : inner_(std::move(inner)), n_active_(n_active) {}
+
+  core::Op next(unsigned core) override {
+    return core < n_active_ ? inner_->next(core) : core::Op::done();
+  }
+  [[nodiscard]] std::string name() const override { return inner_->name(); }
+  [[nodiscard]] bool has_warmup() const override { return inner_->has_warmup(); }
+  [[nodiscard]] std::uint64_t code_lines() const override {
+    return inner_->code_lines();
+  }
+
+ private:
+  std::shared_ptr<core::Workload> inner_;
+  unsigned n_active_;
+};
+
+struct PhaseResult {
+  std::string name;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  double event_cps = 0.0;  ///< simulated cycles / wall second, event kernel
+  double loop_cps = 0.0;   ///< same workload, per-cycle loop
+  double speedup = 0.0;    ///< event_cps / loop_cps
+};
+
+workloads::AppParams phase_params(const char* name, std::uint64_t ops,
+                                  double locality, std::uint64_t footprint,
+                                  double compute) {
+  workloads::AppParams p;
+  p.name = name;
+  p.ops_per_core = ops;
+  p.warmup_frac = 0.0;  // no functional warmup: measure one steady phase
+  p.spatial_locality = locality;
+  p.line_dwell = 1.0;
+  p.private_lines = footprint;
+  p.shared_frac = 0.05;
+  p.compute_per_mem = compute;
+  return p;
+}
+
+std::vector<PhaseSpec> phases() {
+  std::vector<PhaseSpec> out;
+  // idle: a single active core missing into a 2000-cycle memory — the
+  // machine spends >99% of its cycles with nothing to do at all.
+  {
+    PhaseSpec s{"idle", phase_params("idle", 2000, 0.1, 1 << 16, 0.0),
+                cmp::CmpConfig::baseline(), /*active_cores=*/1};
+    s.cfg.l2.memory_latency = Cycle{2000};
+    out.push_back(std::move(s));
+  }
+  // memory-bound: Table-4 400-cycle memory, cache-busting footprint, two
+  // active blocking cores (chip MLP 2) — the sync-heavy straggler regime
+  // the paper's barrier-dense applications spend much of their time in.
+  {
+    PhaseSpec s{"memory-bound",
+                phase_params("memory-bound", 4000, 0.1, 1 << 16, 0.0),
+                cmp::CmpConfig::baseline(), /*active_cores=*/2};
+    s.cfg.l2.memory_latency = Cycle{400};
+    out.push_back(std::move(s));
+  }
+  // saturated: all 16 cores on an L1-resident working set with compute
+  // between accesses; cores are runnable virtually every cycle, so nothing
+  // can be skipped — this bounds the kernel's bookkeeping overhead.
+  {
+    PhaseSpec s{"saturated", phase_params("saturated", 20000, 0.98, 256, 4.0),
+                cmp::CmpConfig::baseline(), /*active_cores=*/0};
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+/// One timed run; returns (total cycles, instructions, wall seconds).
+void run_once(const PhaseSpec& spec, bool dead_cycle_skipping,
+              std::uint64_t* cycles, std::uint64_t* instructions,
+              double* seconds) {
+  std::shared_ptr<core::Workload> workload =
+      std::make_shared<workloads::SyntheticApp>(spec.params, spec.cfg.n_tiles);
+  if (spec.active_cores != 0) {
+    workload = std::make_shared<ActiveSubsetWorkload>(std::move(workload),
+                                                      spec.active_cores);
+  }
+  cmp::CmpSystem system(spec.cfg, workload);
+  system.set_dead_cycle_skipping(dead_cycle_skipping);
+  const auto t0 = std::chrono::steady_clock::now();
+  const bool finished = system.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  TCMP_CHECK_MSG(finished, "micro_kernel phase did not finish");
+  *cycles = system.total_cycles().value();
+  *instructions = system.total_instructions();
+  *seconds = std::chrono::duration<double>(t1 - t0).count();
+}
+
+PhaseResult run_phase(const PhaseSpec& spec) {
+  PhaseResult r;
+  r.name = spec.name;
+  std::uint64_t loop_cycles = 0, loop_instr = 0;
+  double event_s = 0.0, loop_s = 0.0;
+  run_once(spec, /*dead_cycle_skipping=*/true, &r.cycles, &r.instructions,
+           &event_s);
+  run_once(spec, /*dead_cycle_skipping=*/false, &loop_cycles, &loop_instr,
+           &loop_s);
+  TCMP_CHECK_MSG(loop_cycles == r.cycles && loop_instr == r.instructions,
+                 "event kernel diverged from the per-cycle loop");
+  r.event_cps = static_cast<double>(r.cycles) / event_s;
+  r.loop_cps = static_cast<double>(loop_cycles) / loop_s;
+  r.speedup = r.event_cps / r.loop_cps;
+  return r;
+}
+
+std::string to_json(const std::vector<PhaseResult>& results) {
+  std::ostringstream out;
+  out << "{\n  \"bench\": \"micro_kernel\",\n  \"phases\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const PhaseResult& r = results[i];
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"name\": \"%s\", \"cycles\": %llu, "
+                  "\"event_cps\": %.0f, \"loop_cps\": %.0f, "
+                  "\"speedup\": %.3f}%s\n",
+                  r.name.c_str(), static_cast<unsigned long long>(r.cycles),
+                  r.event_cps, r.loop_cps, r.speedup,
+                  i + 1 < results.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+/// Pull `"speedup": <num>` for phase `name` out of a baseline JSON written
+/// by to_json (flat, known shape — no general JSON parser needed).
+bool baseline_speedup(const std::string& json, const std::string& name,
+                      double* speedup) {
+  const std::string key = "\"name\": \"" + name + "\"";
+  const auto at = json.find(key);
+  if (at == std::string::npos) return false;
+  const std::string field = "\"speedup\": ";
+  const auto sp = json.find(field, at);
+  if (sp == std::string::npos) return false;
+  *speedup = std::strtod(json.c_str() + sp + field.size(), nullptr);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path, baseline_path;
+  double tolerance = 0.2;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
+      tolerance = std::strtod(argv[++i], nullptr);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--json out.json] [--baseline base.json] "
+                   "[--tolerance 0.2]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("=== micro_kernel: simulated cycles per wall second ===\n\n");
+  std::vector<PhaseResult> results;
+  for (const PhaseSpec& spec : phases()) {
+    std::fprintf(stderr, "  running %s...\n", spec.name.c_str());
+    results.push_back(run_phase(spec));
+  }
+
+  TextTable t({"phase", "sim cycles", "event kernel c/s", "per-cycle loop c/s",
+               "speedup"});
+  for (const PhaseResult& r : results) {
+    t.add_row({r.name, std::to_string(r.cycles), TextTable::fmt(r.event_cps, 0),
+               TextTable::fmt(r.loop_cps, 0), TextTable::fmt(r.speedup, 2)});
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << to_json(results);
+    TCMP_CHECK_MSG(out.good(), "could not write --json output");
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (baseline_path.empty()) return 0;
+
+  std::ifstream in(baseline_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read baseline %s\n", baseline_path.c_str());
+    return 2;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string base = ss.str();
+  int failures = 0;
+  for (const PhaseResult& r : results) {
+    double want = 0.0;
+    if (!baseline_speedup(base, r.name, &want)) {
+      std::fprintf(stderr, "baseline missing phase %s\n", r.name.c_str());
+      ++failures;
+      continue;
+    }
+    const double floor = want * (1.0 - tolerance);
+    const bool ok = r.speedup >= floor;
+    std::printf("%-14s speedup %.2f vs baseline %.2f (floor %.2f): %s\n",
+                r.name.c_str(), r.speedup, want, floor, ok ? "ok" : "REGRESSED");
+    if (!ok) ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}

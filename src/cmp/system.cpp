@@ -1,5 +1,6 @@
 #include "cmp/system.hpp"
 
+#include <algorithm>
 #include <ostream>
 
 #include "common/check.hpp"
@@ -70,6 +71,28 @@ CmpSystem::CmpSystem(const CmpConfig& cfg, std::shared_ptr<core::Workload> workl
         msg, now_, [this, node](const CoherenceMsg& m) { deliver_local(node, m); });
   });
 
+  // Register every component with the event kernel. Registration order is
+  // the next_wake() scan order: cores first (any runnable core makes the
+  // next cycle live and early-exits the scan), then the network, then the
+  // directories (pipeline deadlines), then the driver-level recurring events
+  // (telemetry sampling, periodic checks), then the purely message-driven
+  // components (never wake sources; registered for the quiescence contract).
+  for (auto& t : tiles_) kernel_.add_component(t->core.get());
+  kernel_.add_component(network_.get());
+  for (auto& t : tiles_) kernel_.add_component(t->dir.get());
+  auto obs_next = [this] { return obs_sample_due_; };
+  obs_event_ = std::make_unique<sim::ScheduledEvent<decltype(obs_next)>>(obs_next);
+  kernel_.add_component(obs_event_.get());
+  auto check_next = [this] { return check_due_; };
+  check_event_ =
+      std::make_unique<sim::ScheduledEvent<decltype(check_next)>>(check_next);
+  kernel_.add_component(check_event_.get());
+  for (auto& t : tiles_) {
+    kernel_.add_component(t->l1.get());
+    kernel_.add_component(t->l1i.get());
+    kernel_.add_component(t->nic.get());
+  }
+
   if (workload_->has_warmup()) {
     // Functional warmup: fill caches quickly, then measure the steady
     // parallel phase at the real memory latency.
@@ -80,6 +103,7 @@ CmpSystem::CmpSystem(const CmpConfig& cfg, std::shared_ptr<core::Workload> workl
 }
 
 void CmpSystem::attach_observer(obs::Observer* obs) {
+  if (obs_ != nullptr && obs != obs_) obs_->set_clock(nullptr);
   obs_ = obs;
   network_->set_observer(obs);
   for (auto& t : tiles_) {
@@ -87,7 +111,15 @@ void CmpSystem::attach_observer(obs::Observer* obs) {
     t->l1->set_hooks(obs);
     t->dir->set_hooks(obs);
   }
-  if (obs == nullptr) return;
+  if (obs == nullptr) {
+    obs_sample_due_ = kNeverCycle;
+    return;
+  }
+  // The observer reads the system clock directly: hooks stay timestamped
+  // without a per-cycle tick, and step() only calls into the observer when
+  // a time-series sample is actually due.
+  obs->set_clock(&now_);
+  obs_sample_due_ = obs->timeseries().next_boundary();
   obs->label_tiles(cfg_.n_tiles);
   if (!warmup_done_) obs->set_warmup_pending();
   obs->add_gauge("dir_busy_lines", [this] {
@@ -106,8 +138,12 @@ void CmpSystem::route_outgoing(NodeId tile, CoherenceMsg msg) {
   ++*msg_counters_[static_cast<unsigned>(msg.type)];
   if (msg.dst == tile) {
     // Tile-internal hop (e.g. the local L2 slice is the home): no mesh
-    // traversal, no compression, a fixed short latency.
+    // traversal, no compression, a fixed short latency. The loopback queue
+    // is not a kernel component, so mark its deadline live explicitly (the
+    // pop phase runs before the sinks, so a deadline at or before now_ is
+    // popped next cycle — exactly what the per-cycle loop did).
     tiles_[tile]->loopback.push(now_ + cfg_.local_latency, msg);
+    kernel_.wake(std::max(now_ + cfg_.local_latency, now_ + 1));
     ++*local_count_;
     return;
   }
@@ -171,23 +207,37 @@ void CmpSystem::end_warmup() {
   for (auto& t : tiles_) t->dir->set_memory_latency(cfg_.l2.memory_latency);
   // Flush the warmup telemetry window before the counters it snapshots are
   // zeroed, so measured-phase window deltas sum exactly to the final report.
-  if (obs_ != nullptr) obs_->on_registry_zeroed(now_);
+  if (obs_ != nullptr) {
+    obs_->on_registry_zeroed(now_);
+    // phase_boundary moved the sampling window; refresh the hoisted check.
+    obs_sample_due_ = obs_->timeseries().next_boundary();
+  }
   stats_.zero_all();
 }
 
 void CmpSystem::set_periodic_check(Cycle interval, PeriodicCheck check) {
   if (interval == Cycle{0} || !check) {
     check_interval_ = Cycle{0};
+    check_due_ = kNeverCycle;
     periodic_check_ = nullptr;
     return;
   }
   check_interval_ = interval;
+  // First firing at the next multiple of the interval strictly after now_
+  // (the per-cycle loop fired whenever now_ % interval == 0).
+  check_due_ = Cycle{(now_.value() / interval.value() + 1) * interval.value()};
   periodic_check_ = std::move(check);
 }
 
 void CmpSystem::step() {
   ++now_;
-  if (obs_ != nullptr) [[unlikely]] obs_->tick(now_);
+  // Hoisted from the seed's per-cycle `obs_ != nullptr` branch: the observer
+  // reads the clock through set_clock, so it only needs a call when a
+  // time-series sample is due (obs_sample_due_ is kNeverCycle when detached).
+  if (now_ >= obs_sample_due_) [[unlikely]] {
+    obs_->sample_tick(now_);
+    obs_sample_due_ = obs_->timeseries().next_boundary();
+  }
   network_->tick(now_);
   for (auto& t : tiles_) {
     while (auto msg = t->loopback.pop_ready(now_)) {
@@ -205,8 +255,11 @@ void CmpSystem::step() {
     if (waiting_ + done == cfg_.n_tiles) release_barrier();
   }
 
-  if (check_interval_ != Cycle{0} && now_ % check_interval_ == 0) [[unlikely]] {
+  // Hoisted from the seed's `now_ % check_interval_ == 0` test: check_due_
+  // tracks the next multiple of the interval (kNeverCycle when uninstalled).
+  if (now_ >= check_due_) [[unlikely]] {
     if (!periodic_check_(now_)) aborted_ = true;
+    check_due_ += check_interval_;
   }
 }
 
@@ -222,10 +275,28 @@ bool CmpSystem::finished() const {
   return network_->quiescent();
 }
 
+void CmpSystem::advance_idle(Cycle target) {
+  TCMP_DCHECK(target > now_);
+  const Cycle skipped = target - now_;
+  // The only side effect a dead cycle has in the per-cycle loop is blocked-
+  // core accounting (every other component's tick is a provable no-op, which
+  // is what made the cycles skippable in the first place).
+  for (auto& t : tiles_) t->core->account_idle(skipped);
+  now_ = target;
+}
+
 bool CmpSystem::run(Cycle max_cycles) {
   while (now_ < max_cycles && !aborted_) {
     step();
     if (finished()) return !aborted_;
+    if (!dead_cycle_skipping_) continue;
+    const Cycle nxt = kernel_.next_wake(now_);
+    if (nxt <= now_ + 1) continue;
+    // Every cycle in (now_, nxt) is globally dead: jump to just before the
+    // next live cycle. kNeverCycle (deadlock: nothing will ever act again)
+    // clamps to the horizon, replicating the seed's spin to max_cycles —
+    // including its blocked-core accounting.
+    advance_idle(std::min(Cycle{nxt.value() - 1}, max_cycles));
   }
   return finished() && !aborted_;
 }

@@ -1,7 +1,14 @@
-// Full-CMP assembly and cycle-driven simulation kernel: 16 tiles (core + L1
-// + L2/directory slice + NIC) over the (possibly heterogeneous) mesh, plus a
+// Full-CMP assembly and simulation driver: 16 tiles (core + L1 + L2/
+// directory slice + NIC) over the (possibly heterogeneous) mesh, plus a
 // global barrier controller. Single-threaded and deterministic; parallel
-// parameter sweeps run one CmpSystem per configuration.
+// parameter sweeps run one CmpSystem per configuration (bench/bench_util.hpp
+// provides the sweep driver).
+//
+// Timing is event-scheduled (sim/kernel.hpp): every component implements the
+// Scheduled contract, and run() jumps the clock across globally dead cycles
+// instead of ticking an idle machine. Each *live* cycle still executes the
+// full classic step() in the classic order, so results are bit-identical to
+// the plain per-cycle loop (docs/kernel.md).
 #pragma once
 
 #include <array>
@@ -20,6 +27,7 @@
 #include "protocol/directory.hpp"
 #include "protocol/icache.hpp"
 #include "protocol/l1_cache.hpp"
+#include "sim/kernel.hpp"
 
 namespace tcmp::obs {
 class Observer;
@@ -32,11 +40,21 @@ class CmpSystem {
   CmpSystem(const CmpConfig& cfg, std::shared_ptr<core::Workload> workload);
 
   /// Run until every core finished and the machine drained, or `max_cycles`
-  /// elapsed. Returns true when the workload completed.
+  /// elapsed. Returns true when the workload completed. Skips globally dead
+  /// cycles via the event kernel (see set_dead_cycle_skipping).
   bool run(Cycle max_cycles = Cycle{500'000'000});
 
-  /// Single simulation step (tests).
+  /// Single simulation step (tests). Always advances exactly one cycle.
   void step();
+
+  /// Disable/enable dead-cycle skipping in run(). Results are bit-identical
+  /// either way; the per-cycle loop exists for A/B measurement
+  /// (bench/micro_kernel.cpp) and as a determinism cross-check.
+  void set_dead_cycle_skipping(bool on) { dead_cycle_skipping_ = on; }
+  [[nodiscard]] bool dead_cycle_skipping() const { return dead_cycle_skipping_; }
+
+  /// The event kernel (tests: wake-calendar and next-wake behavior).
+  [[nodiscard]] sim::SimKernel& kernel() { return kernel_; }
 
   /// Measured cycles (excludes the functional-warmup phase, if any).
   [[nodiscard]] Cycle cycles() const { return now_ - measure_start_; }
@@ -109,9 +127,23 @@ class CmpSystem {
   void on_barrier(unsigned core, std::uint32_t id);
   void release_barrier();
   void end_warmup();
+  /// Jump the clock to `target`, bulk-accounting the blocked-core cycles the
+  /// per-cycle loop would have accrued. Only valid when every cycle in
+  /// (now_, target] is globally dead.
+  void advance_idle(Cycle target);
 
   CmpConfig cfg_;
   StatRegistry stats_;
+  sim::SimKernel kernel_;
+  bool dead_cycle_skipping_ = true;
+  /// Hoisted per-cycle conditions: the next cycle at which the time-series
+  /// sampler / the periodic check may fire (kNeverCycle when detached).
+  /// step() compares against these instead of re-testing obs_ != nullptr and
+  /// now_ % check_interval_ every cycle; both are also kernel wake sources.
+  Cycle obs_sample_due_{kNeverCycle};
+  Cycle check_due_{kNeverCycle};
+  std::unique_ptr<sim::Scheduled> obs_event_;
+  std::unique_ptr<sim::Scheduled> check_event_;
   Cycle check_interval_{0};
   PeriodicCheck periodic_check_;
   bool aborted_ = false;

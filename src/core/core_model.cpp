@@ -10,6 +10,14 @@ Core::Core(NodeId id, const Config& cfg, Workload* workload, protocol::L1Cache* 
            StatRegistry* stats)
     : id_(id), cfg_(cfg), workload_(workload), l1_(l1), stats_(stats) {
   TCMP_CHECK(workload_ != nullptr && l1_ != nullptr && stats_ != nullptr);
+  blocked_counter_ = &stats_->counter("core.blocked_cycles");
+}
+
+void Core::account_idle(Cycle n) {
+  TCMP_DCHECK(!runnable());
+  if (done_) return;  // the seed loop's tick() is a pure no-op once done
+  blocked_cycles_ += n;
+  *blocked_counter_ += n.value();
 }
 
 void Core::set_icache(protocol::ICache* icache, std::uint64_t code_lines) {
@@ -62,7 +70,7 @@ void Core::tick(Cycle now) {
   if (done_) return;
   if (wait_fill_ || wait_barrier_ || wait_ifetch_) {
     ++blocked_cycles_;
-    ++stats_->counter("core.blocked_cycles");
+    ++*blocked_counter_;
     return;
   }
   // Front-end: fetch the next instruction line when the previous one is

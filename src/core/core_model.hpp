@@ -13,10 +13,11 @@
 #include "core/workload.hpp"
 #include "protocol/icache.hpp"
 #include "protocol/l1_cache.hpp"
+#include "sim/scheduled.hpp"
 
 namespace tcmp::core {
 
-class Core {
+class Core final : public sim::Scheduled {
  public:
   struct Config {
     unsigned issue_width = 2;
@@ -49,7 +50,22 @@ class Core {
   [[nodiscard]] bool blocked() const {
     return wait_fill_ || wait_barrier_ || wait_ifetch_;
   }
+  [[nodiscard]] bool runnable() const { return !done_ && !blocked(); }
   [[nodiscard]] std::uint64_t instructions() const { return instructions_; }
+
+  /// Scheduled contract: a runnable core issues every cycle; a blocked or
+  /// finished one does nothing until an external fill / barrier release
+  /// arrives (which can only land on a cycle another component keeps live).
+  [[nodiscard]] Cycle next_event() const override {
+    return runnable() ? sim::kEveryCycle : kNeverCycle;
+  }
+  [[nodiscard]] bool quiescent() const override { return done_; }
+
+  /// Bulk equivalent of ticking a blocked core `n` times: accrues the same
+  /// blocked-cycle accounting the per-cycle loop would have, so dead-cycle
+  /// skipping stays bit-identical. Callers must only skip cycles on which
+  /// every core is blocked or done.
+  void account_idle(Cycle n);
 
  private:
   NodeId id_;
@@ -80,6 +96,7 @@ class Core {
   Op op_{};
   std::uint64_t instructions_ = 0;
   Cycle blocked_cycles_{0};
+  std::uint64_t* blocked_counter_ = nullptr;  ///< cached stat slot (hot path)
 };
 
 }  // namespace tcmp::core

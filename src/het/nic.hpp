@@ -27,6 +27,7 @@
 #include "compression/compressor.hpp"
 #include "het/wire_policy.hpp"
 #include "noc/network.hpp"
+#include "sim/scheduled.hpp"
 
 namespace tcmp::obs {
 class Observer;
@@ -34,7 +35,7 @@ class Observer;
 
 namespace tcmp::het {
 
-class TileNic {
+class TileNic final : public sim::Scheduled {
  public:
   using DeliverFn = std::function<void(const protocol::CoherenceMsg&)>;
 
@@ -75,6 +76,19 @@ class TileNic {
   }
   [[nodiscard]] bool reorder_empty(compression::MsgClass c, NodeId src) const {
     return classes_[static_cast<unsigned>(c)].reorder[src].empty();
+  }
+
+  /// Scheduled contract: the NIC acts only when the network hands it a
+  /// message, so it is never a wake source; it holds in-flight work exactly
+  /// while some reorder window has an out-of-order arrival parked.
+  [[nodiscard]] Cycle next_event() const override { return kNeverCycle; }
+  [[nodiscard]] bool quiescent() const override {
+    for (const ClassState& cs : classes_) {
+      for (const auto& window : cs.reorder) {
+        if (!window.empty()) return false;
+      }
+    }
+    return true;
   }
 
  private:

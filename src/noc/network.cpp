@@ -290,6 +290,23 @@ void Network::tick(Cycle now) {
   }
 }
 
+Cycle Network::next_event() const {
+  Cycle nxt = kNeverCycle;
+  for (const auto& plane : planes_) {
+    for (const auto& node_lanes : plane.lanes) {
+      for (const auto& lane : node_lanes) {
+        if (lane.active || !lane.queue.empty()) return now_ + 1;
+      }
+    }
+    for (const auto& r : plane.routers) {
+      const Cycle e = r->next_event(now_);
+      if (e <= now_ + 1) return now_ + 1;
+      nxt = std::min(nxt, e);
+    }
+  }
+  return nxt;
+}
+
 bool Network::quiescent() const {
   for (const auto& plane : planes_) {
     for (const auto& r : plane.routers) {

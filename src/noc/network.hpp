@@ -14,6 +14,7 @@
 #include "common/units.hpp"
 #include "noc/channel.hpp"
 #include "noc/router.hpp"
+#include "sim/scheduled.hpp"
 
 namespace tcmp::obs {
 class Observer;
@@ -43,7 +44,7 @@ struct NocConfig {
   [[nodiscard]] unsigned nodes() const { return width * height; }
 };
 
-class Network {
+class Network final : public sim::Scheduled {
  public:
   using DeliverFn = std::function<void(NodeId, const protocol::CoherenceMsg&)>;
 
@@ -64,7 +65,11 @@ class Network {
 
   void tick(Cycle now);
 
-  [[nodiscard]] bool quiescent() const;
+  [[nodiscard]] bool quiescent() const override;
+  /// Scheduled contract: next cycle while any router buffers flits or any
+  /// injection lane has a packet (both may act every cycle), otherwise the
+  /// earliest in-flight link arrival across every plane.
+  [[nodiscard]] Cycle next_event() const override;
   [[nodiscard]] unsigned num_channels() const {
     return static_cast<unsigned>(cfg_.channels.size());
   }

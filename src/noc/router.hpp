@@ -13,6 +13,7 @@
 // tile at its own port).
 #pragma once
 
+#include <algorithm>
 #include <deque>
 #include <functional>
 #include <optional>
@@ -87,6 +88,23 @@ class Router {
   }
 
   [[nodiscard]] bool quiescent() const;
+
+  /// Earliest cycle after `now` at which any tick phase has work: next cycle
+  /// while flits are buffered (allocation/switching may act every cycle),
+  /// otherwise the earliest link arrival. In-flight credit returns are
+  /// deliberately NOT a wake source: credits are only read during switch
+  /// allocation, which requires buffered flits — and buffered flits keep
+  /// every cycle live, so a credit due at cycle c is always applied (in the
+  /// deliver phase) no later than the first cycle whose switch could read
+  /// it. See docs/kernel.md for the full argument.
+  [[nodiscard]] Cycle next_event(Cycle now) const {
+    if (buffered_ != 0) return now + 1;
+    if (arrivals_pending_ == 0) return kNeverCycle;
+    Cycle nxt = kNeverCycle;
+    for (const auto& q : arrivals_) nxt = std::min(nxt, q.next_ready());
+    return nxt;
+  }
+
   [[nodiscard]] unsigned num_vcs() const { return cfg_.vcs_per_vnet * cfg_.vnets; }
   [[nodiscard]] NodeId id() const { return id_; }
 

@@ -159,7 +159,7 @@ void Observer::nic_send(const protocol::CoherenceMsg& msg, bool compressed,
   e.cat = "nic";
   e.ph = 'i';
   e.tid = msg.src;
-  e.ts = now_;
+  e.ts = now();
   char buf[96];
   std::snprintf(buf, sizeof buf,
                 "\"type\":\"%s\",\"compressed\":%d,\"ch\":%u,\"bytes\":%u",
@@ -193,7 +193,7 @@ void Observer::nic_reorder_hold(const protocol::CoherenceMsg& msg) {
   e.cat = "nic";
   e.ph = 'i';
   e.tid = msg.dst;
-  e.ts = now_;
+  e.ts = now();
   char buf[64];
   std::snprintf(buf, sizeof buf, "\"src\":%u,\"seq\":%u",
                 static_cast<unsigned>(msg.src), msg.seq);
@@ -209,7 +209,7 @@ void Observer::l1_miss_begin(NodeId tile, LineAddr line, bool is_write) {
   e.cat = "l1miss";
   e.ph = 'b';
   e.tid = tile;
-  e.ts = now_;
+  e.ts = now();
   e.id = id;
   e.cname = "rail_load";
   char buf[48];
@@ -228,7 +228,7 @@ void Observer::l1_miss_end(NodeId tile, LineAddr line) {
   e.cat = it->second;
   e.ph = 'e';
   e.tid = tile;
-  e.ts = now_;
+  e.ts = now();
   e.id = id;
   trace_.add(std::move(e), /*force=*/true);
   open_misses_.erase(it);
@@ -241,7 +241,7 @@ void Observer::dir_msg_processed(NodeId tile, const protocol::CoherenceMsg& msg)
   e.cat = "dir";
   e.ph = 'i';
   e.tid = tile;
-  e.ts = now_;
+  e.ts = now();
   char buf[48];
   std::snprintf(buf, sizeof buf, "\"type\":\"%s\",\"src\":%u",
                 protocol::to_string(msg.type), static_cast<unsigned>(msg.src));

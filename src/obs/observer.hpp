@@ -26,6 +26,7 @@
 #include "obs/hooks.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
+#include "sim/scheduled.hpp"
 
 namespace tcmp::obs {
 
@@ -39,19 +40,37 @@ struct ObsConfig {
   std::string timeseries_path;  ///< written by finalize_to_files; empty = skip
 };
 
-class Observer final : public ProtocolHooks {
+class Observer final : public ProtocolHooks, public sim::Scheduled {
  public:
   Observer(const ObsConfig& cfg, const StatRegistry* stats);
 
   [[nodiscard]] bool tracing() const { return cfg_.level >= Level::kTrace; }
-  [[nodiscard]] Cycle now() const { return now_; }
+  [[nodiscard]] Cycle now() const { return clock_ != nullptr ? *clock_ : now_; }
 
-  /// Per-cycle driver hook (CmpSystem::step): advances the observer clock
-  /// and samples the time series at window boundaries.
+  /// Share the driver's cycle counter so hooks stay correctly timestamped
+  /// without a per-cycle tick() call (an event-scheduled driver only calls
+  /// sample_tick() at window boundaries). Null reverts to the internal clock.
+  void set_clock(const Cycle* clock) { clock_ = clock; }
+
+  /// Per-cycle driver hook (bare-Network drivers): advances the internal
+  /// clock and samples the time series at window boundaries.
   void tick(Cycle now) {
     now_ = now;
     ts_.maybe_sample(now);
   }
+
+  /// Event-scheduled driver hook: called only when a sample may be due (the
+  /// driver tracks the boundary via next_event() / TimeSeries::next_boundary).
+  void sample_tick(Cycle now) {
+    now_ = now;
+    ts_.maybe_sample(now);
+  }
+
+  /// Scheduled contract: wake at time-series window boundaries (tick()
+  /// samples at every level, so the boundary is a wake source even at kOff);
+  /// the observer never holds up drain.
+  [[nodiscard]] Cycle next_event() const override { return ts_.next_boundary(); }
+  [[nodiscard]] bool quiescent() const override { return true; }
 
   /// Name the per-tile trace tracks (called once when attached to a system).
   void label_tiles(unsigned n_tiles);
@@ -115,6 +134,7 @@ class Observer final : public ProtocolHooks {
   ObsConfig cfg_;
   const StatRegistry* stats_;
   Cycle now_{0};
+  const Cycle* clock_ = nullptr;  ///< driver clock (see set_clock)
   TimeSeries ts_;
   TraceWriter trace_;
   std::uint32_t next_trace_id_ = 1;

@@ -67,6 +67,8 @@ class TimeSeries {
     return counter_columns_;
   }
   [[nodiscard]] Cycle interval() const { return interval_; }
+  /// Next window boundary: maybe_sample(now) fires iff now >= next_boundary.
+  [[nodiscard]] Cycle next_boundary() const { return next_boundary_; }
 
   void write_csv(std::ostream& out) const;
 

@@ -27,6 +27,7 @@
 #include "protocol/cache_array.hpp"
 #include "protocol/coherence_msg.hpp"
 #include "protocol/delay_queue.hpp"
+#include "sim/scheduled.hpp"
 
 namespace tcmp::protocol {
 
@@ -53,7 +54,7 @@ enum class DirState : std::uint8_t {
   kBusyRecall, ///< eviction in progress, waiting InvAcks / owner response
 };
 
-class Directory {
+class Directory final : public sim::Scheduled {
  public:
   struct Config {
     unsigned sets = 1024;      ///< 256 KB slice, 4-way, 64 B lines
@@ -76,9 +77,9 @@ class Directory {
   void tick(Cycle now);
 
   /// Earliest cycle at which tick() has work to do (for idle fast-forward).
-  [[nodiscard]] Cycle next_event() const;
+  [[nodiscard]] Cycle next_event() const override;
 
-  [[nodiscard]] bool quiescent() const;
+  [[nodiscard]] bool quiescent() const override;
   [[nodiscard]] NodeId id() const { return id_; }
 
   /// Functional warmup support: fills already queued keep their latency.

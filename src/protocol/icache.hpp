@@ -15,10 +15,11 @@
 #include "common/types.hpp"
 #include "protocol/cache_array.hpp"
 #include "protocol/coherence_msg.hpp"
+#include "sim/scheduled.hpp"
 
 namespace tcmp::protocol {
 
-class ICache {
+class ICache final : public sim::Scheduled {
  public:
   struct Config {
     unsigned sets = 128;  ///< 32 KB, 4-way
@@ -40,7 +41,9 @@ class ICache {
   /// Network-side delivery (only kData replies to our GetInstr).
   void deliver(const CoherenceMsg& msg);
 
-  [[nodiscard]] bool quiescent() const { return !miss_outstanding_; }
+  [[nodiscard]] bool quiescent() const override { return !miss_outstanding_; }
+  /// Purely message-driven: no tick, so never a wake source by itself.
+  [[nodiscard]] Cycle next_event() const override { return kNeverCycle; }
 
  private:
   struct Payload {};  // presence only: instruction lines carry no state

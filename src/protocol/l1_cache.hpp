@@ -25,6 +25,7 @@
 #include "obs/hooks.hpp"
 #include "protocol/cache_array.hpp"
 #include "protocol/coherence_msg.hpp"
+#include "sim/scheduled.hpp"
 
 namespace tcmp::protocol {
 
@@ -41,7 +42,7 @@ enum class AccessResult : std::uint8_t {
            ///< the fill callback
 };
 
-class L1Cache {
+class L1Cache final : public sim::Scheduled {
  public:
   struct Config {
     unsigned sets = 128;  ///< 32 KB, 4-way, 64 B lines
@@ -70,9 +71,11 @@ class L1Cache {
   void deliver(const CoherenceMsg& msg);
 
   /// True when no MSHR / eviction-buffer entries are outstanding.
-  [[nodiscard]] bool quiescent() const {
+  [[nodiscard]] bool quiescent() const override {
     return mshrs_.empty() && evict_buf_.empty() && deferred_.empty();
   }
+  /// Purely message-driven: no tick, so never a wake source by itself.
+  [[nodiscard]] Cycle next_event() const override { return kNeverCycle; }
 
   [[nodiscard]] NodeId id() const { return id_; }
   [[nodiscard]] NodeId home_of(LineAddr line) const {

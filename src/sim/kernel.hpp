@@ -1,0 +1,93 @@
+// Event-scheduled simulation kernel: a wake calendar over Scheduled
+// components that lets a cycle-driven driver skip globally dead cycles.
+//
+// The kernel does not call tick() itself — the driver (CmpSystem::run) keeps
+// executing its ordinary full step at every *live* cycle, which is what makes
+// the refactor bit-identical to the seed loop: a live cycle runs exactly the
+// code the per-cycle loop ran, in the same order, and a skipped cycle is one
+// the per-cycle loop would have spent ticking components that provably do
+// nothing. The kernel's only job is answering "what is the next live cycle?"
+// from two sources:
+//
+//   * pull — registered components, scanned in registration order (put the
+//     components most likely to be hot first; the scan early-exits as soon
+//     as anything wants the very next cycle);
+//   * push — explicit one-shot wake(Cycle) requests kept in a min-heap
+//     calendar (used for timed hand-offs that no component surfaces, e.g.
+//     the tile-internal loopback latency), with adjacent duplicates
+//     coalesced at insert and stale entries drained lazily.
+#pragma once
+
+#include <cstddef>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/scheduled.hpp"
+
+namespace tcmp::sim {
+
+class SimKernel {
+ public:
+  /// Register a component. Registration order is the scan order of
+  /// next_wake(); hot components (cores) should come first.
+  void add_component(Scheduled* c) { components_.push_back(c); }
+
+  /// One-shot wake request: guarantees cycle `at` is treated as live.
+  /// Requests at or before the clock handed to the last next_wake() call are
+  /// already satisfied and dropped lazily; duplicates coalesce.
+  void wake(Cycle at) {
+    if (!calendar_.empty() && calendar_.top() == at) return;  // coalesce
+    calendar_.push(at);
+  }
+
+  /// Earliest live cycle strictly after `now`: the minimum over every
+  /// component's next_event() (values <= now clamp to now + 1) and the wake
+  /// calendar. kNeverCycle means the machine is globally dead — no component
+  /// will ever act again without external input.
+  [[nodiscard]] Cycle next_wake(Cycle now) {
+    while (!calendar_.empty() && calendar_.top() <= now) calendar_.pop();
+    const Cycle next_cycle = now + 1;
+    Cycle nxt = calendar_.empty() ? kNeverCycle : calendar_.top();
+    if (nxt <= next_cycle) return next_cycle;
+    for (const Scheduled* c : components_) {
+      const Cycle e = c->next_event();
+      if (e <= next_cycle) return next_cycle;  // hot: no point scanning on
+      if (e < nxt) nxt = e;
+    }
+    return nxt;
+  }
+
+  /// True when every registered component reports quiescent and no wake
+  /// request is outstanding (the machine has fully drained).
+  [[nodiscard]] bool quiescent() const {
+    for (const Scheduled* c : components_) {
+      if (!c->quiescent()) return false;
+    }
+    return calendar_.empty();
+  }
+
+  [[nodiscard]] std::size_t num_components() const { return components_.size(); }
+  /// Pending one-shot wake requests (coalescing/drain tests).
+  [[nodiscard]] std::size_t calendar_size() const { return calendar_.size(); }
+
+ private:
+  std::vector<Scheduled*> components_;
+  std::priority_queue<Cycle, std::vector<Cycle>, std::greater<>> calendar_;
+};
+
+/// Adapter exposing a plain next-event function as a Scheduled component —
+/// for recurring driver events (telemetry window boundaries, periodic
+/// verification sweeps) that live outside any one component.
+template <typename NextFn>
+class ScheduledEvent final : public Scheduled {
+ public:
+  explicit ScheduledEvent(NextFn next) : next_(std::move(next)) {}
+  [[nodiscard]] Cycle next_event() const override { return next_(); }
+  [[nodiscard]] bool quiescent() const override { return true; }
+
+ private:
+  NextFn next_;
+};
+
+}  // namespace tcmp::sim

@@ -1,0 +1,44 @@
+// The component contract of the event-scheduled simulation kernel.
+//
+// Every ticked component tells the kernel when it next has work via
+// next_event(); the kernel (sim/kernel.hpp) takes the minimum over all
+// components plus any explicit wake(Cycle) requests and lets the driver jump
+// the clock across globally dead cycles. The contract is deliberately
+// *conservative*: a component may report an earlier cycle than it strictly
+// needs (the tick at that cycle is then a no-op, exactly as in a plain
+// per-cycle loop), but it must NEVER report a later one — that would skip a
+// state change and break the kernel's bit-identity guarantee against the
+// cycle-driven loop (docs/kernel.md).
+#pragma once
+
+#include "common/types.hpp"
+
+namespace tcmp::sim {
+
+/// next_event() return value meaning "I may act every cycle" (a runnable
+/// core, a router with buffered flits). Any value at or before the kernel's
+/// current cycle is clamped to now + 1.
+inline constexpr Cycle kEveryCycle{0};
+
+class Scheduled {
+ public:
+  virtual ~Scheduled() = default;
+
+  /// Earliest cycle at which this component has (or may have) work to do,
+  /// given its current state:
+  ///   * kEveryCycle (or anything <= the kernel's clock) — act every cycle;
+  ///   * a future cycle — quiescent until then (a delay-queue head deadline,
+  ///     a telemetry window boundary);
+  ///   * kNeverCycle — fully event-driven: nothing happens until an external
+  ///     deliver()/wake() arrives, which can only occur on a cycle some
+  ///     *other* component already marked live.
+  [[nodiscard]] virtual Cycle next_event() const = 0;
+
+  /// True when the component holds no in-flight work (drain detection; the
+  /// system is finished when every component is quiescent and every core is
+  /// done). Unlike next_event() == kNeverCycle this must be exact: a blocked
+  /// core reports next_event() kNeverCycle yet is only quiescent once done.
+  [[nodiscard]] virtual bool quiescent() const = 0;
+};
+
+}  // namespace tcmp::sim

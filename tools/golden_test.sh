@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Golden bit-identity test for the event-scheduled kernel refactor.
+#
+# Dead-cycle skipping is only admissible because skipped cycles are provable
+# no-ops; the strongest end-to-end check of that argument is byte equality of
+# full simulator reports against goldens recorded from the per-cycle seed
+# loop. Four configs cover the space: both interconnects, compression on/off,
+# and the three-stage router pipeline.
+#
+# Usage: golden_test.sh <tcmpsim-binary> <repo-root>
+set -u
+sim="$1"
+root="$2"
+golden="$root/tests/golden"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+declare -A runs=(
+  [MP3D-het]="--app MP3D --config het --scale 0.25"
+  [Barnes-base]="--app Barnes --config baseline --scale 0.25"
+  [Water-cheng]="--app Water-nsq --config cheng --scale 0.25"
+  [FFT-het3s]="--app FFT --config het --three-stage-router --scale 0.25"
+)
+
+fail=0
+for name in MP3D-het Barnes-base Water-cheng FFT-het3s; do
+  # shellcheck disable=SC2086
+  if ! "$sim" ${runs[$name]} > "$tmp/$name.txt"; then
+    echo "FAIL: $name: tcmpsim exited non-zero" >&2
+    fail=1
+    continue
+  fi
+  if ! diff -u "$golden/$name.txt" "$tmp/$name.txt" > "$tmp/$name.diff"; then
+    echo "FAIL: $name: report differs from golden (first lines):" >&2
+    head -n 20 "$tmp/$name.diff" >&2
+    fail=1
+  else
+    echo "ok: $name byte-identical"
+  fi
+done
+exit $fail

@@ -16,6 +16,13 @@
 //   stat-registration ScalarStat/Histogram constructed as plain members or
 //                     locals bypass StatRegistry and never reach reports.
 //                     Escape hatch: `tcmplint: allow-local-stat`.
+//   scheduled-contract a header under src/ declaring a per-cycle `tick(Cycle)`
+//                     entry point must also declare the sim::Scheduled
+//                     contract (`next_event(` and `quiescent(`) — otherwise
+//                     the event kernel cannot see the component's work and
+//                     dead-cycle skipping would silently drop its ticks.
+//                     Escape hatch: `tcmplint: allow-unscheduled-tick` (for
+//                     components ticked outside CmpSystem's kernel loop).
 //   self-contained    every header under src/ must compile standalone
 //                     ($CXX -std=c++20 -fsyntax-only -I src).
 //   pragma-once       every header under src/ must contain #pragma once.
@@ -183,6 +190,38 @@ void check_stat_registration(const fs::path& root) {
   }
 }
 
+// ---- scheduled-contract --------------------------------------------------
+
+void check_scheduled_contract(const fs::path& root) {
+  // A component with a per-cycle tick(Cycle) that does not expose
+  // next_event()/quiescent() is invisible to SimKernel: dead-cycle skipping
+  // would jump over cycles where it had work. The word boundary keeps
+  // tick_deliver / sample_tick and friends out of scope — only the bare
+  // `tick(Cycle` entry point implies kernel-driven stepping.
+  static const std::regex tick_decl(R"(\btick\s*\(\s*(?:tcmp::)?Cycle\b)");
+  for (const auto& h : collect(root / "src", ".hpp")) {
+    const auto lines = split_lines(read_file(h));
+    long tick_line = 0;
+    bool has_next_event = false, has_quiescent = false, allowed = false;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      const std::string& l = lines[i];
+      if (l.find("tcmplint: allow-unscheduled-tick") != std::string::npos)
+        allowed = true;
+      if (tick_line == 0 && std::regex_search(l, tick_decl))
+        tick_line = static_cast<long>(i + 1);
+      if (l.find("next_event(") != std::string::npos) has_next_event = true;
+      if (l.find("quiescent(") != std::string::npos) has_quiescent = true;
+    }
+    if (tick_line != 0 && !allowed && !(has_next_event && has_quiescent)) {
+      report(h, tick_line, "scheduled-contract",
+             "declares tick(Cycle) but not the sim::Scheduled contract "
+             "(next_event() + quiescent()); the event kernel would skip this "
+             "component's work — implement both (see docs/kernel.md) or "
+             "annotate 'tcmplint: allow-unscheduled-tick' with a reason");
+    }
+  }
+}
+
 // ---- self-contained ------------------------------------------------------
 
 void check_self_contained(const fs::path& root, const std::string& cxx) {
@@ -240,8 +279,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: tcmplint --root <dir> [--rule raw-unit|"
-                   "msgtype-tables|stat-registration|self-contained|"
-                   "pragma-once] [--cxx <compiler>]\n");
+                   "msgtype-tables|stat-registration|scheduled-contract|"
+                   "self-contained|pragma-once] [--cxx <compiler>]\n");
       return 2;
     }
   }
@@ -254,6 +293,7 @@ int main(int argc, char** argv) {
   if (want("raw-unit")) check_raw_unit(root);
   if (want("msgtype-tables")) check_msgtype_tables(root);
   if (want("stat-registration")) check_stat_registration(root);
+  if (want("scheduled-contract")) check_scheduled_contract(root);
   if (want("pragma-once")) check_pragma_once(root);
   if (want("self-contained")) check_self_contained(root, cxx);
 

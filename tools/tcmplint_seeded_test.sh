@@ -76,6 +76,19 @@ struct SeededStat {
 EOF
 expect_catch stat-registration
 
+# --- scheduled-contract: a ticked component that hides from the event
+# kernel (no next_event/quiescent, no allow-comment).
+fresh_tree
+expect_clean scheduled-contract
+cat > "$scratch/tree/src/common/seeded_unscheduled.hpp" <<'EOF'
+#pragma once
+#include "common/types.hpp"
+struct SeededUnscheduled {
+  void tick(tcmp::Cycle now);
+};
+EOF
+expect_catch scheduled-contract
+
 # --- pragma-once: a header without the guard.
 fresh_tree
 expect_clean pragma-once
