@@ -1,0 +1,281 @@
+// Hot-path data-plane microbenchmark: guards the cost of the structures
+// every *live* cycle touches (interned stat handles, fixed-capacity router
+// rings, the flat NIC reorder window, the directory's pooled pending queues
+// and FIFO latency pipes — see docs/performance.md).
+//
+// Two phases:
+//
+//   stat-bump         — per-event counter bumps through the string-keyed
+//                       StatRegistry::counter(name) path versus interned
+//                       CounterRef handles, over the simulator's real hot
+//                       counter names. Metric: handle/string speedup (a
+//                       same-process ratio, portable across hosts).
+//   saturated-traffic — a heterogeneous-link configuration driven by a
+//                       low-locality, high-sharing workload: every cycle is
+//                       live and NoC/NIC/directory-bound, so simulated
+//                       cycles per wall second is dominated by the hot-path
+//                       data structures, not the kernel. Metric: cycles per
+//                       wall second normalized by a host-calibration loop
+//                       (pointer-chase + ALU mix) measured in the same
+//                       process, which removes most of the runner-speed
+//                       dependence from the committed baseline.
+//
+// The recorded per-phase "metric" is what --baseline enforces (same >20%
+// policy as BENCH_kernel.json); the other fields are informational from the
+// recording run.
+//
+// Usage:
+//   micro_hotpath [--json out.json] [--baseline BENCH_hotpath.json]
+//                 [--tolerance 0.2]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cmp/system.hpp"
+#include "common/check.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "workloads/synthetic_app.hpp"
+
+using namespace tcmp;
+
+namespace {
+
+struct PhaseResult {
+  std::string name;
+  double metric = 0.0;  ///< the enforced regression metric
+  std::string detail;   ///< informational (printed + recorded)
+};
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// --- host calibration ------------------------------------------------------
+
+/// Fixed-work host-speed proxy: a xorshift-indexed walk over a 4 MB array
+/// with an ALU-heavy accumulate, returning millions of steps per second.
+/// The simulator's live-cycle work is a similar mix of dependent loads and
+/// integer ops, so cps/calib_mops is far more host-invariant than raw cps.
+double calibrate_mops() {
+  constexpr std::size_t kWords = 1u << 19;  // 4 MB of uint64
+  std::vector<std::uint64_t> mem(kWords);
+  std::uint64_t x = 0x9E3779B97F4A7C15ull;
+  for (auto& w : mem) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    w = x;
+  }
+  constexpr std::uint64_t kSteps = 30'000'000;
+  std::uint64_t acc = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < kSteps; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    acc += mem[x & (kWords - 1)] * 0x2545F4914F6CDD1Dull + (acc >> 3);
+  }
+  const double s = seconds_since(t0);
+  // Keep the accumulator observable so the loop cannot be elided.
+  if (acc == 0xDEADBEEF) std::fprintf(stderr, "calibration anchor\n");
+  return static_cast<double>(kSteps) / s / 1e6;
+}
+
+// --- stat-bump -------------------------------------------------------------
+
+/// The simulator's real per-event counters (the L1/directory/NIC bump set).
+const char* const kHotCounters[] = {
+    "l1.accesses",        "l1.read_misses",      "l1.write_misses",
+    "l2.accesses",        "dir.queued_on_busy",  "dir.cache_to_cache",
+    "mem.reads",          "l2.evictions",        "msg_remote.count",
+    "msg_local.count",    "compression.compressed",
+    "het.b_messages",     "het.vl_messages",     "het.reordered_messages",
+    "core.miss_stalls",   "sync.barrier_arrivals",
+};
+constexpr std::size_t kNumHot = sizeof(kHotCounters) / sizeof(kHotCounters[0]);
+
+PhaseResult run_stat_bump() {
+  constexpr std::uint64_t kRounds = 400'000;  // x16 counters per round
+
+  StatRegistry by_string;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t r = 0; r < kRounds; ++r) {
+    for (const char* name : kHotCounters) ++by_string.counter(name);
+  }
+  const double string_s = seconds_since(t0);
+
+  StatRegistry by_handle;
+  CounterRef refs[kNumHot];
+  for (std::size_t i = 0; i < kNumHot; ++i) {
+    refs[i] = by_handle.counter_ref(kHotCounters[i]);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  for (std::uint64_t r = 0; r < kRounds; ++r) {
+    for (auto& ref : refs) ++ref;
+  }
+  const double handle_s = seconds_since(t1);
+
+  // The two paths must land in the identical counter map (the bench doubles
+  // as an equality smoke; tests/test_common.cpp holds the full test).
+  TCMP_CHECK_MSG(by_string.counters() == by_handle.counters(),
+                 "handle and string bump paths diverged");
+
+  const double bumps = static_cast<double>(kRounds) * kNumHot;
+  const double string_mops = bumps / string_s / 1e6;
+  const double handle_mops = bumps / handle_s / 1e6;
+  PhaseResult r;
+  r.name = "stat-bump";
+  r.metric = handle_mops / string_mops;
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "\"string_mops\": %.1f, \"handle_mops\": %.1f", string_mops,
+                handle_mops);
+  r.detail = buf;
+  return r;
+}
+
+// --- saturated-traffic -----------------------------------------------------
+
+PhaseResult run_saturated_traffic(double calib_mops) {
+  workloads::AppParams p;
+  p.name = "hotpath-saturated";
+  p.ops_per_core = 6000;
+  p.warmup_frac = 0.0;
+  p.spatial_locality = 0.2;   // mostly misses: every access talks to a home
+  p.line_dwell = 1.0;
+  p.private_lines = 1 << 14;  // L1-busting, L2-resident footprint
+  p.shared_frac = 0.4;        // heavy cross-tile sharing: forwards + invs
+  p.compute_per_mem = 0.0;
+
+  compression::SchemeConfig scheme;
+  scheme.kind = compression::SchemeKind::kDbrc;
+  scheme.entries = 16;
+  cmp::CmpConfig cfg = cmp::CmpConfig::heterogeneous(scheme);
+  cfg.l2.memory_latency = Cycle{100};  // keep the machine traffic-bound
+
+  cmp::CmpSystem system(cfg,
+                        std::make_shared<workloads::SyntheticApp>(p, cfg.n_tiles));
+  const auto t0 = std::chrono::steady_clock::now();
+  const bool finished = system.run();
+  const double s = seconds_since(t0);
+  TCMP_CHECK_MSG(finished, "saturated-traffic phase did not finish");
+
+  const double cps = static_cast<double>(system.total_cycles().value()) / s;
+  PhaseResult r;
+  r.name = "saturated-traffic";
+  r.metric = cps / calib_mops / 1e3;  // dimensionless; ~O(1) by construction
+  char buf[200];
+  std::snprintf(buf, sizeof buf,
+                "\"cycles\": %llu, \"cps\": %.0f, \"calib_mops\": %.1f",
+                static_cast<unsigned long long>(system.total_cycles().value()),
+                cps, calib_mops);
+  r.detail = buf;
+  return r;
+}
+
+// --- JSON / baseline -------------------------------------------------------
+
+std::string to_json(const std::vector<PhaseResult>& results) {
+  std::ostringstream out;
+  out << "{\n  \"bench\": \"micro_hotpath\",\n  \"phases\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const PhaseResult& r = results[i];
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.3f", r.metric);
+    out << "    {\"name\": \"" << r.name << "\", \"metric\": " << buf << ", "
+        << r.detail << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+/// Pull `"metric": <num>` for phase `name` out of a baseline JSON written by
+/// to_json (flat, known shape — no general JSON parser needed).
+bool baseline_metric(const std::string& json, const std::string& name,
+                     double* metric) {
+  const std::string key = "\"name\": \"" + name + "\"";
+  const auto at = json.find(key);
+  if (at == std::string::npos) return false;
+  const std::string field = "\"metric\": ";
+  const auto sp = json.find(field, at);
+  if (sp == std::string::npos) return false;
+  *metric = std::strtod(json.c_str() + sp + field.size(), nullptr);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path, baseline_path;
+  double tolerance = 0.2;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
+      tolerance = std::strtod(argv[++i], nullptr);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--json out.json] [--baseline base.json] "
+                   "[--tolerance 0.2]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("=== micro_hotpath: hot-path data-plane throughput ===\n\n");
+  std::fprintf(stderr, "  calibrating host...\n");
+  const double calib = calibrate_mops();
+  std::vector<PhaseResult> results;
+  std::fprintf(stderr, "  running stat-bump...\n");
+  results.push_back(run_stat_bump());
+  std::fprintf(stderr, "  running saturated-traffic...\n");
+  results.push_back(run_saturated_traffic(calib));
+
+  TextTable t({"phase", "metric", "detail"});
+  for (const PhaseResult& r : results) {
+    t.add_row({r.name, TextTable::fmt(r.metric, 3), r.detail});
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << to_json(results);
+    TCMP_CHECK_MSG(out.good(), "could not write --json output");
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (baseline_path.empty()) return 0;
+
+  std::ifstream in(baseline_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read baseline %s\n", baseline_path.c_str());
+    return 2;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string base = ss.str();
+  int failures = 0;
+  for (const PhaseResult& r : results) {
+    double want = 0.0;
+    if (!baseline_metric(base, r.name, &want)) {
+      std::fprintf(stderr, "baseline missing phase %s\n", r.name.c_str());
+      ++failures;
+      continue;
+    }
+    const double floor = want * (1.0 - tolerance);
+    const bool ok = r.metric >= floor;
+    std::printf("%-18s metric %.3f vs baseline %.3f (floor %.3f): %s\n",
+                r.name.c_str(), r.metric, want, floor, ok ? "ok" : "REGRESSED");
+    if (!ok) ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}

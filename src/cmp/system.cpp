@@ -32,11 +32,13 @@ CmpSystem::CmpSystem(const CmpConfig& cfg, std::shared_ptr<core::Workload> workl
   for (unsigned i = 0; i < protocol::kNumMsgTypes; ++i) {
     const auto type = static_cast<protocol::MsgType>(i);
     msg_counters_[i] =
-        &stats_.counter("msg." + std::string(protocol::to_string(type)));
+        stats_.counter_ref("msg." + std::string(protocol::to_string(type)));
   }
-  local_count_ = &stats_.counter("msg_local.count");
-  remote_count_ = &stats_.counter("msg_remote.count");
-  remote_bytes_ = &stats_.counter("msg_remote.uncompressed_bytes");
+  local_count_ = stats_.counter_ref("msg_local.count");
+  remote_count_ = stats_.counter_ref("msg_remote.count");
+  remote_bytes_ = stats_.counter_ref("msg_remote.uncompressed_bytes");
+  barrier_arrivals_ = stats_.counter_ref("sync.barrier_arrivals");
+  barriers_completed_ = stats_.counter_ref("sync.barriers_completed");
 
   for (unsigned t = 0; t < cfg_.n_tiles; ++t) {
     auto tile = std::make_unique<Tile>();
@@ -135,7 +137,7 @@ void CmpSystem::attach_observer(obs::Observer* obs) {
 }
 
 void CmpSystem::route_outgoing(NodeId tile, CoherenceMsg msg) {
-  ++*msg_counters_[static_cast<unsigned>(msg.type)];
+  ++msg_counters_[static_cast<unsigned>(msg.type)];
   if (msg.dst == tile) {
     // Tile-internal hop (e.g. the local L2 slice is the home): no mesh
     // traversal, no compression, a fixed short latency. The loopback queue
@@ -144,11 +146,11 @@ void CmpSystem::route_outgoing(NodeId tile, CoherenceMsg msg) {
     // popped next cycle — exactly what the per-cycle loop did).
     tiles_[tile]->loopback.push(now_ + cfg_.local_latency, msg);
     kernel_.wake(std::max(now_ + cfg_.local_latency, now_ + 1));
-    ++*local_count_;
+    ++local_count_;
     return;
   }
-  ++*remote_count_;
-  *remote_bytes_ += protocol::uncompressed_bytes(msg.type);
+  ++remote_count_;
+  remote_bytes_ += protocol::uncompressed_bytes(msg.type);
   if (remote_hook_) remote_hook_(msg);
   tiles_[tile]->nic->send(msg, now_);
 }
@@ -177,7 +179,7 @@ void CmpSystem::on_barrier(unsigned core, std::uint32_t id) {
   at_barrier_[core] = true;
   pending_barrier_id_ = id;
   ++waiting_;
-  ++stats_.counter("sync.barrier_arrivals");
+  ++barrier_arrivals_;
 
   unsigned done = 0;
   for (const auto& t : tiles_)
@@ -195,7 +197,7 @@ void CmpSystem::release_barrier() {
     }
   }
   waiting_ = 0;
-  ++stats_.counter("sync.barriers_completed");
+  ++barriers_completed_;
   if (warmup_boundary) end_warmup();
 }
 

@@ -119,7 +119,9 @@ class CmpSystem {
     std::unique_ptr<core::Core> core;
     std::unique_ptr<het::TileNic> nic;
     /// Tile-internal messages (L1 <-> local L2 slice) bypass the mesh.
-    protocol::DelayQueue<protocol::CoherenceMsg> loopback;
+    /// FIFO pipe: pushed with the constant local latency at non-decreasing
+    /// now_, so deadlines are monotone.
+    protocol::FifoDelayQueue<protocol::CoherenceMsg> loopback;
   };
 
   void route_outgoing(NodeId tile, protocol::CoherenceMsg msg);
@@ -147,10 +149,13 @@ class CmpSystem {
   Cycle check_interval_{0};
   PeriodicCheck periodic_check_;
   bool aborted_ = false;
-  std::array<std::uint64_t*, protocol::kNumMsgTypes> msg_counters_{};
-  std::uint64_t* local_count_ = nullptr;
-  std::uint64_t* remote_count_ = nullptr;
-  std::uint64_t* remote_bytes_ = nullptr;
+  // Interned stat handles (hot path: every routed message / barrier).
+  std::array<CounterRef, protocol::kNumMsgTypes> msg_counters_{};
+  CounterRef local_count_;
+  CounterRef remote_count_;
+  CounterRef remote_bytes_;
+  CounterRef barrier_arrivals_;
+  CounterRef barriers_completed_;
   std::shared_ptr<core::Workload> workload_;
   MsgHook remote_hook_;
   obs::Observer* obs_ = nullptr;

@@ -29,6 +29,8 @@ namespace tcmp::detail {
 // No-eval form: the expression stays type-checked (so it cannot rot and its
 // operands are not "unused") but sizeof guarantees it is never evaluated.
 #define TCMP_DCHECK(expr) ((void)sizeof(static_cast<bool>(expr)))
+#define TCMP_DCHECK_MSG(expr, msg) ((void)sizeof(static_cast<bool>(expr)))
 #else
 #define TCMP_DCHECK(expr) TCMP_CHECK(expr)
+#define TCMP_DCHECK_MSG(expr, msg) TCMP_CHECK_MSG(expr, msg)
 #endif

@@ -81,8 +81,72 @@ class Histogram {
   ScalarStat scalar_;
 };
 
+class StatRegistry;
+
+/// Interned handle to a registry counter: the string lookup happens exactly
+/// once (at construction / init time), after which bumps are a single pointer
+/// chase. Handles stay valid across zero_all() — the registry's maps are
+/// node-based and zero_all() writes values in place — and are invalidated
+/// only by StatRegistry::reset().
+class CounterRef {
+ public:
+  CounterRef() = default;
+  CounterRef& operator++() {
+    ++*slot_;
+    return *this;
+  }
+  CounterRef& operator+=(std::uint64_t delta) {
+    *slot_ += delta;
+    return *this;
+  }
+  [[nodiscard]] std::uint64_t value() const { return *slot_; }
+  [[nodiscard]] bool valid() const { return slot_ != nullptr; }
+
+ private:
+  friend class StatRegistry;
+  explicit CounterRef(std::uint64_t* slot) : slot_(slot) {}
+  std::uint64_t* slot_ = nullptr;
+};
+
+/// Interned handle to a registry scalar (same stability contract as
+/// CounterRef).
+class ScalarRef {
+ public:
+  ScalarRef() = default;
+  void add(double v) { stat_->add(v); }
+  [[nodiscard]] const ScalarStat& get() const { return *stat_; }
+  [[nodiscard]] bool valid() const { return stat_ != nullptr; }
+
+ private:
+  friend class StatRegistry;
+  explicit ScalarRef(ScalarStat* stat) : stat_(stat) {}
+  ScalarStat* stat_ = nullptr;
+};
+
+/// Interned handle to a registry histogram (same stability contract as
+/// CounterRef: clear_values() keeps the bin geometry, so handles survive the
+/// warmup/measurement boundary).
+class HistogramRef {
+ public:
+  HistogramRef() = default;
+  void add(std::uint64_t v) { hist_->add(v); }
+  [[nodiscard]] const Histogram& get() const { return *hist_; }
+  [[nodiscard]] bool valid() const { return hist_ != nullptr; }
+
+ private:
+  friend class StatRegistry;
+  explicit HistogramRef(Histogram* hist) : hist_(hist) {}
+  Histogram* hist_ = nullptr;
+};
+
 /// Named stat registry. Components register plain counters / scalars; the CMP
 /// report walks it. Names are hierarchical ("noc.vl.flit_hops").
+///
+/// Hot-path contract: components resolve their stats ONCE at construction via
+/// the *_ref methods and bump through the returned handles; per-event
+/// string-keyed lookups are banned in hot-path files (tcmplint rule
+/// stat-string-hot-path). Handles remain valid across zero_all() and are
+/// invalidated only by reset().
 class StatRegistry {
  public:
   std::uint64_t& counter(const std::string& name) { return counters_[name]; }
@@ -96,6 +160,30 @@ class StatRegistry {
       it = histograms_.try_emplace(name, Histogram(bins, bin_width)).first;
     }
     return it->second;
+  }
+
+  /// Interned handles: one-time name resolution for per-event bump sites.
+  [[nodiscard]] CounterRef counter_ref(const std::string& name) {
+    return CounterRef(&counter(name));
+  }
+  [[nodiscard]] ScalarRef scalar_ref(const std::string& name) {
+    return ScalarRef(&scalar(name));
+  }
+  [[nodiscard]] HistogramRef histogram_ref(const std::string& name,
+                                           std::size_t bins = 64,
+                                           std::uint64_t bin_width = 1) {
+    return HistogramRef(&histogram(name, bins, bin_width));
+  }
+
+  /// Read-only lookup that never creates the counter: nullptr when no such
+  /// counter exists (yet). Callers that must not perturb the report's counter
+  /// set (e.g. the time-series sampler, whose column list may name counters
+  /// a given configuration never registers) cache the result once it
+  /// resolves; the pointer is stable for the registry's lifetime (reset()
+  /// excepted).
+  [[nodiscard]] const std::uint64_t* find_counter(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? nullptr : &it->second;
   }
 
   [[nodiscard]] std::uint64_t counter_value(const std::string& name) const {

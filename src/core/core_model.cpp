@@ -10,14 +10,17 @@ Core::Core(NodeId id, const Config& cfg, Workload* workload, protocol::L1Cache* 
            StatRegistry* stats)
     : id_(id), cfg_(cfg), workload_(workload), l1_(l1), stats_(stats) {
   TCMP_CHECK(workload_ != nullptr && l1_ != nullptr && stats_ != nullptr);
-  blocked_counter_ = &stats_->counter("core.blocked_cycles");
+  blocked_counter_ = stats_->counter_ref("core.blocked_cycles");
+  ifetch_stalls_ = stats_->counter_ref("core.ifetch_stalls");
+  miss_stalls_ = stats_->counter_ref("core.miss_stalls");
+  finished_ = stats_->counter_ref("core.finished");
 }
 
 void Core::account_idle(Cycle n) {
   TCMP_DCHECK(!runnable());
   if (done_) return;  // the seed loop's tick() is a pure no-op once done
   blocked_cycles_ += n;
-  *blocked_counter_ += n.value();
+  blocked_counter_ += n.value();
 }
 
 void Core::set_icache(protocol::ICache* icache, std::uint64_t code_lines) {
@@ -70,7 +73,7 @@ void Core::tick(Cycle now) {
   if (done_) return;
   if (wait_fill_ || wait_barrier_ || wait_ifetch_) {
     ++blocked_cycles_;
-    ++*blocked_counter_;
+    ++blocked_counter_;
     return;
   }
   // Front-end: fetch the next instruction line when the previous one is
@@ -83,7 +86,7 @@ void Core::tick(Cycle now) {
     }
     if (!icache_->fetch(pending_code_line_)) {
       wait_ifetch_ = true;
-      ++stats_->counter("core.ifetch_stalls");
+      ++ifetch_stalls_;
       return;
     }
     have_pending_line_ = false;
@@ -124,7 +127,7 @@ void Core::tick(Cycle now) {
           // kRetry: keep the op; re-execute the access after the fill.
           fill_retires_instr_ = false;
         }
-        ++stats_->counter("core.miss_stalls");
+        ++miss_stalls_;
         return;
       }
       case OpKind::kBarrier: {
@@ -136,7 +139,7 @@ void Core::tick(Cycle now) {
       }
       case OpKind::kDone:
         done_ = true;
-        ++stats_->counter("core.finished");
+        ++finished_;
         return;
     }
   }

@@ -96,7 +96,11 @@ class Core final : public sim::Scheduled {
   Op op_{};
   std::uint64_t instructions_ = 0;
   Cycle blocked_cycles_{0};
-  std::uint64_t* blocked_counter_ = nullptr;  ///< cached stat slot (hot path)
+  // Interned stat handles (hot path: every ticked cycle).
+  CounterRef blocked_counter_;
+  CounterRef ifetch_stalls_;
+  CounterRef miss_stalls_;
+  CounterRef finished_;
 };
 
 }  // namespace tcmp::core

@@ -14,6 +14,11 @@ TileNic::TileNic(NodeId id, const compression::SchemeConfig& scheme,
     : id_(id), scheme_(scheme), style_(style), net_(net), stats_(stats) {
   TCMP_CHECK(net_ != nullptr && stats_ != nullptr);
   TCMP_CHECK((style == wire::LinkStyle::kBaseline) == (net_->num_channels() == 1));
+  compressed_ = stats_->counter_ref("compression.compressed");
+  uncompressed_ = stats_->counter_ref("compression.uncompressed");
+  b_messages_ = stats_->counter_ref("het.b_messages");
+  vl_messages_ = stats_->counter_ref("het.vl_messages");
+  reordered_ = stats_->counter_ref("het.reordered_messages");
   for (auto& cs : classes_) {
     auto pair = compression::make_compressor(scheme_, n_nodes);
     cs.sender = std::move(pair.sender);
@@ -32,12 +37,10 @@ void TileNic::send(CoherenceMsg msg, Cycle now) {
     msg.enc = cs.sender->compress(msg.dst, msg.line);
     msg.seq = cs.next_send_seq[msg.dst]++;
     compressed = msg.enc.compressed;
-    ++stats_->counter(compressed ? "compression.compressed"
-                                 : "compression.uncompressed");
+    ++(compressed ? compressed_ : uncompressed_);
   }
   const MappingDecision d = map_message(msg.type, compressed, scheme_, style_);
-  ++stats_->counter(d.channel == noc::kBChannel ? "het.b_messages"
-                                                : "het.vl_messages");
+  ++(d.channel == noc::kBChannel ? b_messages_ : vl_messages_);
   if (obs_ != nullptr) [[unlikely]] {
     obs_->nic_send(msg, compressed, d.channel, d.wire_bytes);
   }
@@ -56,8 +59,8 @@ void TileNic::receive(CoherenceMsg msg, Cycle now, const DeliverFn& deliver) {
     // Out of order between the VL and B planes: hold until its turn so
     // compressor state updates apply in send order.
     TCMP_CHECK_MSG(msg.seq > cs.next_recv_seq[src], "duplicate sequence number");
-    cs.reorder[src].emplace(msg.seq, msg);
-    ++stats_->counter("het.reordered_messages");
+    cs.reorder[src].insert(cs.next_recv_seq[src], msg.seq, msg);
+    ++reordered_;
     if (obs_ != nullptr) [[unlikely]] {
       obs_->nic_reorder_hold(msg);
     }
@@ -66,10 +69,8 @@ void TileNic::receive(CoherenceMsg msg, Cycle now, const DeliverFn& deliver) {
   decode_and_release(cs, src, msg, deliver);
   // Drain any consecutive buffered successors.
   auto& window = cs.reorder[src];
-  auto it = window.begin();
-  while (it != window.end() && it->first == cs.next_recv_seq[src]) {
-    decode_and_release(cs, src, it->second, deliver);
-    it = window.erase(it);
+  while (auto next = window.take(cs.next_recv_seq[src])) {
+    decode_and_release(cs, src, *next, deliver);
   }
 }
 

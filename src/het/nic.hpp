@@ -19,10 +19,10 @@
 
 #include <array>
 #include <functional>
-#include <map>
 #include <memory>
 #include <vector>
 
+#include "common/queues.hpp"
 #include "common/stats.hpp"
 #include "compression/compressor.hpp"
 #include "het/wire_policy.hpp"
@@ -97,8 +97,10 @@ class TileNic final : public sim::Scheduled {
     std::unique_ptr<compression::ReceiverDecompressor> receiver;
     std::vector<std::uint32_t> next_send_seq;  ///< per destination
     std::vector<std::uint32_t> next_recv_seq;  ///< per source
-    /// Per source: out-of-order arrivals waiting for their turn.
-    std::vector<std::map<std::uint32_t, protocol::CoherenceMsg>> reorder;
+    /// Per source: out-of-order arrivals waiting for their turn, parked in a
+    /// flat seq-indexed window (the VL/B skew spans a handful of messages,
+    /// so the window stays at its minimum size in practice).
+    std::vector<SeqWindow<protocol::CoherenceMsg>> reorder;
   };
 
   void decode_and_release(ClassState& cs, NodeId src,
@@ -111,6 +113,12 @@ class TileNic final : public sim::Scheduled {
   noc::Network* net_;
   StatRegistry* stats_;
   obs::Observer* obs_ = nullptr;
+  // Interned stat handles (hot path: every send/receive).
+  CounterRef compressed_;
+  CounterRef uncompressed_;
+  CounterRef b_messages_;
+  CounterRef vl_messages_;
+  CounterRef reordered_;
   std::array<ClassState, compression::kNumMsgClasses> classes_;
 };
 

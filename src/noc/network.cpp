@@ -35,23 +35,24 @@ Network::Network(const NocConfig& cfg, StatRegistry* stats)
     }
     plane.lanes.assign(cfg_.nodes(), std::vector<Lane>(protocol::kNumVnets));
     const std::string prefix = "noc." + cfg_.channels[c].name;
-    plane.packets = &stats_->counter(prefix + ".packets");
-    plane.payload_bytes = &stats_->counter(prefix + ".payload_bytes");
-    plane.flits_injected = &stats_->counter(prefix + ".flits_injected");
-    plane.latency = &stats_->histogram(prefix + ".latency", kLatBins, kLatBinWidth);
+    plane.packets = stats_->counter_ref(prefix + ".packets");
+    plane.payload_bytes = stats_->counter_ref(prefix + ".payload_bytes");
+    plane.flits_injected = stats_->counter_ref(prefix + ".flits_injected");
+    plane.latency =
+        stats_->histogram_ref(prefix + ".latency", kLatBins, kLatBinWidth);
   }
   critical_latency_ =
-      &stats_->histogram("noc.critical_latency", kLatBins, kLatBinWidth);
+      stats_->histogram_ref("noc.critical_latency", kLatBins, kLatBinWidth);
   for (unsigned v = 0; v < protocol::kNumVnets; ++v) {
     const std::string base = std::string("noc.lat.") + kVnetName[v];
     vnet_lat_[v].total =
-        &stats_->histogram(base + ".total", kLatBins, kLatBinWidth);
+        stats_->histogram_ref(base + ".total", kLatBins, kLatBinWidth);
     vnet_lat_[v].queue =
-        &stats_->histogram(base + ".queue", kLatBins, kLatBinWidth);
+        stats_->histogram_ref(base + ".queue", kLatBins, kLatBinWidth);
     vnet_lat_[v].router =
-        &stats_->histogram(base + ".router", kLatBins, kLatBinWidth);
+        stats_->histogram_ref(base + ".router", kLatBins, kLatBinWidth);
     vnet_lat_[v].wire =
-        &stats_->histogram(base + ".wire", kLatBins, kLatBinWidth);
+        stats_->histogram_ref(base + ".wire", kLatBins, kLatBinWidth);
   }
 }
 
@@ -193,8 +194,8 @@ void Network::inject(const protocol::CoherenceMsg& msg, unsigned channel,
     lane.queue.back().msg.trace_id =
         obs_->msg_injected(msg, cfg_.channels[channel].name, wire_bytes, now);
   }
-  ++*plane.packets;
-  *plane.payload_bytes += wire_bytes;
+  ++plane.packets;
+  plane.payload_bytes += wire_bytes;
 }
 
 void Network::pump_lane(unsigned ch, NodeId node, unsigned vnet, Cycle now) {
@@ -232,7 +233,7 @@ void Network::pump_lane(unsigned ch, NodeId node, unsigned vnet, Cycle now) {
 
   const bool ok = at.router->try_inject(at.port, lane.vc, std::move(flit), now);
   TCMP_CHECK(ok);
-  ++*planes_[ch].flits_injected;
+  ++planes_[ch].flits_injected;
   if (++lane.flits_emitted == lane.total_flits) {
     lane.queue.pop_front();
     lane.active = false;
@@ -242,9 +243,9 @@ void Network::pump_lane(unsigned ch, NodeId node, unsigned vnet, Cycle now) {
 void Network::on_eject(unsigned ch, NodeId node, Flit&& flit, Cycle now) {
   if (!flit.tail) return;  // only the tail completes the packet
   const Cycle total = now - flit.injected_at;
-  planes_[ch].latency->add(total.value());
+  planes_[ch].latency.add(total.value());
   if (protocol::is_critical(flit.msg.type)) {
-    critical_latency_->add(total.value());
+    critical_latency_.add(total.value());
   }
   // Decompose: queue covers NI lane wait plus serialization (inject ->
   // tail leaves the NI); wire is accumulated link flight; the remainder is
@@ -253,10 +254,10 @@ void Network::on_eject(unsigned ch, NodeId node, Flit&& flit, Cycle now) {
   const Cycle wire{flit.wire_cycles};
   const Cycle router = total - queue - wire;
   VnetLatency& vl = vnet_lat_[flit.vnet];
-  vl.total->add(total.value());
-  vl.queue->add(queue.value());
-  vl.router->add(router.value());
-  vl.wire->add(wire.value());
+  vl.total.add(total.value());
+  vl.queue.add(queue.value());
+  vl.router.add(router.value());
+  vl.wire.add(wire.value());
   if (obs_ != nullptr) [[unlikely]] {
     obs_->msg_ejected(flit.msg, now, total, queue, wire);
   }

@@ -118,11 +118,11 @@ class Network final : public sim::Scheduled {
     std::vector<Attach> attach;            ///< [node]
     std::vector<std::vector<Lane>> lanes;  ///< [node][vnet]
     double total_link_mm = 0.0;  // tcmplint: allow-raw-unit (energy accounting, mm)
-    // Cached stat slots (hot path).
-    std::uint64_t* packets = nullptr;
-    std::uint64_t* payload_bytes = nullptr;
-    std::uint64_t* flits_injected = nullptr;
-    Histogram* latency = nullptr;
+    // Interned stat handles (hot path).
+    CounterRef packets;
+    CounterRef payload_bytes;
+    CounterRef flits_injected;
+    HistogramRef latency;
   };
 
   void build_mesh(unsigned ch);
@@ -136,15 +136,15 @@ class Network final : public sim::Scheduled {
   DeliverFn deliver_;
   obs::Observer* obs_ = nullptr;
   std::vector<ChannelPlane> planes_;
-  Histogram* critical_latency_ = nullptr;
+  HistogramRef critical_latency_;
   /// Per-vnet end-to-end latency decomposition ("noc.lat.<class>.<part>"):
   /// total = queue (NI wait + serialization) + router (pipeline/contention)
   /// + wire (link flight).
   struct VnetLatency {
-    Histogram* total = nullptr;
-    Histogram* queue = nullptr;
-    Histogram* router = nullptr;
-    Histogram* wire = nullptr;
+    HistogramRef total;
+    HistogramRef queue;
+    HistogramRef router;
+    HistogramRef wire;
   };
   VnetLatency vnet_lat_[protocol::kNumVnets];
   std::uint64_t next_packet_id_ = 1;

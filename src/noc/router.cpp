@@ -9,13 +9,15 @@ Router::Router(NodeId id, const Config& cfg, StatRegistry* stats,
                std::string stat_prefix)
     : id_(id), cfg_(cfg), stats_(stats), prefix_(std::move(stat_prefix)) {
   TCMP_CHECK(stats_ != nullptr);
-  traversals_ = &stats_->counter(prefix_ + ".router_traversals");
-  flit_hops_ = &stats_->counter(prefix_ + ".flit_hops");
-  bit_hops_ = &stats_->counter(prefix_ + ".bit_hops");
-  bit_dmm_hops_ = &stats_->counter(prefix_ + ".bit_dmm_hops");
+  traversals_ = stats_->counter_ref(prefix_ + ".router_traversals");
+  flit_hops_ = stats_->counter_ref(prefix_ + ".flit_hops");
+  bit_hops_ = stats_->counter_ref(prefix_ + ".bit_hops");
+  bit_dmm_hops_ = stats_->counter_ref(prefix_ + ".bit_dmm_hops");
   TCMP_CHECK(cfg_.vcs_per_vnet >= 1 && cfg_.vnets >= 1 && cfg_.buffer_flits >= 1);
   route_table_.assign(cfg_.nodes, kPortLocal);
   input_.assign(kNumPorts, std::vector<InputVc>(num_vcs()));
+  for (auto& port : input_)
+    for (InputVc& vc : port) vc.buffer.reset_capacity(cfg_.buffer_flits);
   output_.resize(kNumPorts);
   for (auto& out : output_) out.vcs.resize(num_vcs());
 }
@@ -49,7 +51,7 @@ void Router::connect(unsigned out_port, Router* downstream, unsigned in_port,
 
 bool Router::can_inject(unsigned port, unsigned vc) const {
   TCMP_DCHECK(port < kNumPorts && vc < num_vcs());
-  return input_[port][vc].buffer.size() < cfg_.buffer_flits;
+  return !input_[port][vc].buffer.full();
 }
 
 bool Router::try_inject(unsigned port, unsigned vc, Flit&& flit, Cycle now) {
@@ -64,7 +66,7 @@ void Router::deliver_busy(Cycle now) {
     if (arrivals_[p].next_ready() > now) continue;
     while (auto arr = arrivals_[p].pop_ready(now)) {
       InputVc& vc = input_[p][arr->vc];
-      TCMP_CHECK_MSG(vc.buffer.size() < cfg_.buffer_flits,
+      TCMP_CHECK_MSG(!vc.buffer.full(),
                      "credit protocol violated: buffer overflow");
       vc.buffer.push_back({std::move(arr->flit), now});
       ++buffered_;
@@ -143,7 +145,7 @@ void Router::switch_busy(Cycle now) {
       --buffered_;
       input_used[in_port] = true;
       out.sa_rr = (idx + 1) % slots;
-      ++*traversals_;
+      ++traversals_;
       if (flit.tail) {
         ovc.held = false;
         in.vc_allocated = false;
@@ -159,9 +161,9 @@ void Router::switch_busy(Cycle now) {
       } else {
         TCMP_CHECK_MSG(out.downstream != nullptr, "unwired output port");
         ovc.credits--;
-        ++*flit_hops_;
-        *bit_hops_ += flit.active_bits;
-        *bit_dmm_hops_ +=
+        ++flit_hops_;
+        bit_hops_ += flit.active_bits;
+        bit_dmm_hops_ +=
             flit.active_bits * static_cast<std::uint64_t>(out.link_mm * 10.0 + 0.5);
         if (flit.tail) {
           flit.wire_cycles = static_cast<std::uint16_t>(flit.wire_cycles +

@@ -14,11 +14,11 @@
 #pragma once
 
 #include <algorithm>
-#include <deque>
 #include <functional>
 #include <optional>
 #include <vector>
 
+#include "common/queues.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "noc/flit.hpp"
@@ -115,7 +115,10 @@ class Router {
   };
 
   struct InputVc {
-    std::deque<BufferedFlit> buffer;
+    /// Fixed-capacity ring sized by the credit bound (cfg_.buffer_flits):
+    /// credits guarantee an upstream never sends into a full buffer, so the
+    /// ring can never overflow (checked in deliver_busy / can_inject).
+    RingBuffer<BufferedFlit> buffer;
     bool routed = false;
     unsigned out_port = 0;
     bool vc_allocated = false;
@@ -157,16 +160,22 @@ class Router {
   StatRegistry* stats_;
   std::string prefix_;
   std::vector<std::uint8_t> route_table_;  ///< destination -> output port
-  std::uint64_t* traversals_ = nullptr;  ///< cached stat counters (hot path)
-  std::uint64_t* flit_hops_ = nullptr;
-  std::uint64_t* bit_hops_ = nullptr;
-  std::uint64_t* bit_dmm_hops_ = nullptr;  ///< bits x link length (0.1 mm units)
+  CounterRef traversals_;  ///< interned stat handles (hot path)
+  CounterRef flit_hops_;
+  CounterRef bit_hops_;
+  CounterRef bit_dmm_hops_;  ///< bits x link length (0.1 mm units)
   unsigned buffered_ = 0;  ///< flits currently buffered (idle fast-path)
   unsigned arrivals_pending_ = 0;  ///< flits in flight on any input link
 
   std::vector<std::vector<InputVc>> input_;  ///< [port][vc]
   std::vector<OutputPort> output_;           ///< [port]
-  protocol::DelayQueue<LinkArrival> arrivals_[kNumPorts];
+  /// Each input port has exactly one upstream output port (fixed
+  /// link_cycles, at most one flit per cycle), so per-port link arrivals are
+  /// strictly monotone — a FIFO pipe, not a heap.
+  protocol::FifoDelayQueue<LinkArrival> arrivals_[kNumPorts];
+  /// Deliberately still a heap: one queue collects credits from ALL output
+  /// ports, whose link lengths differ (tree root vs leaf links), so
+  /// deadlines are not monotone.
   protocol::DelayQueue<std::pair<unsigned, unsigned>> credit_returns_;  ///< (port, vc)
   std::vector<Router*> upstream_of_input_ = std::vector<Router*>(kNumPorts, nullptr);
   std::vector<unsigned> upstream_out_port_ = std::vector<unsigned>(kNumPorts, 0);

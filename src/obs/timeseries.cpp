@@ -15,13 +15,17 @@ TimeSeries::TimeSeries(const StatRegistry* stats, Cycle interval)
 void TimeSeries::add_counter(std::string column, std::string counter) {
   TCMP_CHECK_MSG(windows_.empty(), "register columns before sampling starts");
   counter_columns_.push_back(std::move(column));
-  counters_.push_back({std::move(counter), 0});
+  counters_.push_back({{std::move(counter), nullptr}, 0});
 }
 
 void TimeSeries::add_ratio(std::string column, std::vector<std::string> numer,
                            std::vector<std::string> denom) {
   TCMP_CHECK_MSG(windows_.empty(), "register columns before sampling starts");
-  ratios_.push_back({std::move(column), std::move(numer), std::move(denom), 0, 0});
+  TrackedRatio rt;
+  rt.column = std::move(column);
+  for (auto& n : numer) rt.numer.push_back({std::move(n), nullptr});
+  for (auto& d : denom) rt.denom.push_back({std::move(d), nullptr});
+  ratios_.push_back(std::move(rt));
 }
 
 void TimeSeries::add_gauge(std::string column, std::function<double()> fn) {
@@ -49,15 +53,15 @@ void TimeSeries::sample(Cycle now) {
 
   w.counter_deltas.reserve(counters_.size());
   for (auto& c : counters_) {
-    const std::uint64_t cur = stats_->counter_value(c.name);
+    const std::uint64_t cur = read(c.name);
     TCMP_DCHECK(cur >= c.last);
     w.counter_deltas.push_back(cur - c.last);
     c.last = cur;
   }
   for (auto& rt : ratios_) {
     std::uint64_t n = 0, d = 0;
-    for (const auto& c : rt.numer) n += stats_->counter_value(c);
-    for (const auto& c : rt.denom) d += stats_->counter_value(c);
+    for (auto& c : rt.numer) n += read(c);
+    for (auto& c : rt.denom) d += read(c);
     const std::uint64_t dn = n - rt.last_n, dd = d - rt.last_d;
     w.values.push_back(dd != 0 ? static_cast<double>(dn) / static_cast<double>(dd)
                                : 0.0);

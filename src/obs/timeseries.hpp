@@ -75,13 +75,29 @@ class TimeSeries {
  private:
   void sample(Cycle now);
 
-  struct TrackedCounter {
+  /// A sampled counter name plus its lazily-resolved registry slot. The
+  /// column list may name counters a given configuration never registers, so
+  /// resolution goes through StatRegistry::find_counter (which never creates
+  /// — creating would perturb the report's counter set) and retries each
+  /// sample until the counter exists; once resolved the pointer is stable
+  /// (node-based map, zero_all() keeps nodes) and the per-sample string
+  /// lookup disappears.
+  struct TrackedName {
     std::string name;
+    const std::uint64_t* slot = nullptr;
+  };
+  [[nodiscard]] std::uint64_t read(TrackedName& t) const {
+    if (t.slot == nullptr) t.slot = stats_->find_counter(t.name);
+    return t.slot != nullptr ? *t.slot : 0;
+  }
+
+  struct TrackedCounter {
+    TrackedName name;
     std::uint64_t last = 0;
   };
   struct TrackedRatio {
     std::string column;
-    std::vector<std::string> numer, denom;
+    std::vector<TrackedName> numer, denom;
     std::uint64_t last_n = 0, last_d = 0;
   };
   struct TrackedGauge {

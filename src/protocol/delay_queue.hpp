@@ -1,6 +1,19 @@
-// Timed FIFO used to model fixed access latencies inside tiles (L2 tag/data
+// Timed FIFOs used to model fixed access latencies inside tiles (L2 tag/data
 // pipelines, off-chip memory). Items pushed with a ready cycle pop in ready
 // order; ties preserve insertion order, keeping the simulation deterministic.
+//
+// Two implementations with the same API:
+//   DelayQueue      — a heap; accepts deadlines in any order. Needed where a
+//                     single queue mixes latencies (e.g. router credit
+//                     returns across output ports of different lengths).
+//   FifoDelayQueue  — a plain ring; requires monotone (non-decreasing)
+//                     deadlines, which holds for any pipe pushed with a
+//                     per-instance-constant latency at non-decreasing `now`
+//                     (L2 access pipe, memory pipe, tile loopback, per-port
+//                     link arrivals). Ready order then equals insertion
+//                     order, so the heap's O(log n) churn and seq tiebreak
+//                     are pure overhead. The monotonicity contract is
+//                     enforced by a debug check on every push.
 #pragma once
 
 #include <cstdint>
@@ -8,6 +21,8 @@
 #include <queue>
 #include <vector>
 
+#include "common/check.hpp"
+#include "common/queues.hpp"
 #include "common/types.hpp"
 
 namespace tcmp::protocol {
@@ -47,6 +62,43 @@ class DelayQueue {
   };
   std::priority_queue<Node, std::vector<Node>, std::greater<>> heap_;
   std::uint64_t next_seq_ = 0;
+};
+
+/// DelayQueue specialization for pipes whose deadlines arrive in
+/// non-decreasing order (see file comment): a small-buffer ring whose front
+/// carries the earliest deadline by construction.
+template <typename T>
+class FifoDelayQueue {
+ public:
+  void push(Cycle ready_at, T item) {
+    TCMP_DCHECK_MSG(q_.empty() || ready_at >= q_.back().ready_at,
+                    "FifoDelayQueue requires non-decreasing deadlines");
+    q_.push_back(Node{ready_at, std::move(item)});
+  }
+
+  /// Pop the next item whose ready cycle has arrived, if any.
+  [[nodiscard]] std::optional<T> pop_ready(Cycle now) {
+    if (q_.empty() || q_.front().ready_at > now) return std::nullopt;
+    T item = std::move(q_.front().item);
+    q_.pop_front();
+    return item;
+  }
+
+  [[nodiscard]] bool empty() const { return q_.empty(); }
+  [[nodiscard]] std::size_t size() const { return q_.size(); }
+
+  /// Earliest ready cycle of any queued item (kNeverCycle when empty) —
+  /// used by the simulator's idle fast-forwarding.
+  [[nodiscard]] Cycle next_ready() const {
+    return q_.empty() ? kNeverCycle : q_.front().ready_at;
+  }
+
+ private:
+  struct Node {
+    Cycle ready_at{};
+    T item{};
+  };
+  SmallQueue<Node, 4> q_;
 };
 
 }  // namespace tcmp::protocol

@@ -17,6 +17,22 @@ Directory::Directory(NodeId id, const Config& cfg, unsigned n_nodes,
       sink_(std::move(sink)) {
   TCMP_CHECK(stats_ != nullptr && sink_ != nullptr);
   TCMP_CHECK(n_nodes_ <= 32);  // full-map sharer vector is 32 bits
+  l2_accesses_ = stats_->counter_ref("l2.accesses");
+  l2_evictions_ = stats_->counter_ref("l2.evictions");
+  mem_reads_ = stats_->counter_ref("mem.reads");
+  mem_writebacks_ = stats_->counter_ref("mem.writebacks");
+  queued_on_fill_ = stats_->counter_ref("dir.queued_on_fill");
+  queued_on_busy_ = stats_->counter_ref("dir.queued_on_busy");
+  instr_fetches_ = stats_->counter_ref("dir.instr_fetches");
+  invalidations_sent_ = stats_->counter_ref("dir.invalidations_sent");
+  cache_to_cache_ = stats_->counter_ref("dir.cache_to_cache");
+  upgrades_granted_ = stats_->counter_ref("dir.upgrades_granted");
+  stale_puts_ = stats_->counter_ref("dir.stale_puts");
+  puts_accepted_ = stats_->counter_ref("dir.puts_accepted");
+  held_put_acks_ = stats_->counter_ref("dir.held_put_acks");
+  fwd_owner_puts_ = stats_->counter_ref("dir.fwd_owner_puts");
+  dropped_revisions_ = stats_->counter_ref("dir.dropped_revisions");
+  recalls_ = stats_->counter_ref("dir.recalls");
 }
 
 void Directory::send(CoherenceMsg msg) {
@@ -88,7 +104,7 @@ std::uint32_t Directory::version_of(LineAddr line) const {
 }
 
 void Directory::process(const CoherenceMsg& msg) {
-  ++stats_->counter("l2.accesses");
+  ++l2_accesses_;
   if (hooks_ != nullptr) [[unlikely]] {
     hooks_->dir_msg_processed(id_, msg);
   }
@@ -122,7 +138,7 @@ void Directory::handle_request(const CoherenceMsg& msg) {
   if (auto it = mem_txns_.find(line); it != mem_txns_.end()) {
     it->second.pending.push_back(msg);
     ++queued_msgs_;
-    ++stats_->counter("dir.queued_on_fill");
+    ++queued_on_fill_;
     return;
   }
   auto* l = array_.find(key_of(line));
@@ -143,13 +159,13 @@ void Directory::handle_request(const CoherenceMsg& msg) {
     rsp.requester = msg.requester;
     rsp.version = l->payload.version;
     send(rsp);
-    ++stats_->counter("dir.instr_fetches");
+    ++instr_fetches_;
     return;
   }
   if (is_busy(l->payload.state)) {
     l->payload.pending.push_back(msg);
     ++queued_msgs_;
-    ++stats_->counter("dir.queued_on_busy");
+    ++queued_on_busy_;
     return;
   }
   handle_request_hit(msg, *l);
@@ -191,7 +207,7 @@ void Directory::send_invs(LineAddr line, std::uint32_t sharers, NodeId collector
       inv.requester = collector;
       inv.ack_unit = ack_unit;
       send(inv);
-      ++stats_->counter("dir.invalidations_sent");
+      ++invalidations_sent_;
     }
   }
 }
@@ -229,7 +245,7 @@ void Directory::handle_request_hit(const CoherenceMsg& msg, Array::Line& l) {
         e.state = DirState::kBusyShared;
         e.fwd_requester = req;
         ++busy_lines_;
-        ++stats_->counter("dir.cache_to_cache");
+        ++cache_to_cache_;
         break;
       }
       default:
@@ -250,7 +266,7 @@ void Directory::handle_request_hit(const CoherenceMsg& msg, Array::Line& l) {
       const auto acks = static_cast<std::uint16_t>(std::popcount(others));
       if (msg.type == MsgType::kUpgrade && (e.sharers & req_bit) != 0) {
         reply_data(msg, MsgType::kUpgradeAck, acks, e.version);
-        ++stats_->counter("dir.upgrades_granted");
+        ++upgrades_granted_;
       } else {
         // GetX, or a stale Upgrade whose sharer copy was invalidated.
         reply_data(msg, MsgType::kDataExcl, acks, e.version);
@@ -273,7 +289,7 @@ void Directory::handle_request_hit(const CoherenceMsg& msg, Array::Line& l) {
       e.state = DirState::kBusyExcl;
       e.fwd_requester = req;
       ++busy_lines_;
-      ++stats_->counter("dir.cache_to_cache");
+      ++cache_to_cache_;
       break;
     }
     default:
@@ -294,7 +310,7 @@ void Directory::handle_put(const CoherenceMsg& msg) {
   if (l == nullptr) {
     // The line was recalled and evicted while this Put was in flight; the
     // recall response already carried the data.
-    ++stats_->counter("dir.stale_puts");
+    ++stale_puts_;
     send(ack);
     return;
   }
@@ -309,7 +325,7 @@ void Directory::handle_put(const CoherenceMsg& msg) {
     }
     e.state = DirState::kInvalid;
     e.owner = kInvalidNode;
-    ++stats_->counter("dir.puts_accepted");
+    ++puts_accepted_;
     send(ack);
     return;
   }
@@ -326,7 +342,7 @@ void Directory::handle_put(const CoherenceMsg& msg) {
       TCMP_CHECK_MSG(msg.version >= e.version, "crossing writeback lost an update");
       e.version = std::max(e.version, msg.version);
     }
-    ++stats_->counter("dir.held_put_acks");
+    ++held_put_acks_;
     return;
   }
   if (e.state == DirState::kBusyExcl && e.fwd_requester == msg.src) {
@@ -342,14 +358,14 @@ void Directory::handle_put(const CoherenceMsg& msg) {
     e.l2_dirty = true;
     TCMP_CHECK_MSG(msg.version >= e.version, "forward-put lost an update");
     e.version = msg.version;
-    ++stats_->counter("dir.fwd_owner_puts");
+    ++fwd_owner_puts_;
     send(ack);
     return;
   }
   // Stale Put: the owner already yielded through a forward/recall crossing
   // whose resolution raced ahead of this Put. Nothing can be in flight
   // toward the old owner anymore, so acknowledge immediately.
-  ++stats_->counter("dir.stale_puts");
+  ++stale_puts_;
   send(ack);
 }
 
@@ -368,7 +384,7 @@ void Directory::handle_revision(const CoherenceMsg& msg) {
   if (l == nullptr) {
     // Recall completed via a crossing Put; this Revision is the echo.
     TCMP_CHECK(msg.type == MsgType::kRevision);
-    ++stats_->counter("dir.dropped_revisions");
+    ++dropped_revisions_;
     return;
   }
   DirEntry& e = l->payload;
@@ -440,7 +456,7 @@ void Directory::start_fill(LineAddr line, const CoherenceMsg& first) {
   ++queued_msgs_;
   mem_txns_.emplace(line, std::move(txn));
   memory_pipe_.push(now_ + cfg_.memory_latency, line);
-  ++stats_->counter("mem.reads");
+  ++mem_reads_;
 }
 
 void Directory::try_install_fill(LineAddr line) {
@@ -472,11 +488,11 @@ void Directory::try_install_fill(LineAddr line) {
       return;  // retried by retry_blocked_fills after the recall completes
     }
     TCMP_CHECK(ve.state == DirState::kInvalid);
-    if (ve.l2_dirty) ++stats_->counter("mem.writebacks");
+    if (ve.l2_dirty) ++mem_writebacks_;
     memory_versions_[line_of_key(array_.address_of(*victim))] = ve.version;
     TCMP_CHECK_MSG(ve.pending.empty(), "evicting a line with queued requests");
     array_.invalidate(*victim);
-    ++stats_->counter("l2.evictions");
+    ++l2_evictions_;
   }
 
   array_.fill(*victim, key);
@@ -492,7 +508,7 @@ void Directory::start_recall(Array::Line& l) {
   DirEntry& e = l.payload;
   const LineAddr line = line_of_key(array_.address_of(l));
   TCMP_CHECK(e.state == DirState::kShared || e.state == DirState::kExclusive);
-  ++stats_->counter("dir.recalls");
+  ++recalls_;
   if (e.state == DirState::kShared) {
     e.recall_acks_pending = static_cast<std::uint16_t>(std::popcount(e.sharers));
     TCMP_CHECK(e.recall_acks_pending > 0);
@@ -515,11 +531,11 @@ void Directory::finish_recall(Array::Line& l) {
   DirEntry& e = l.payload;
   TCMP_CHECK(e.state == DirState::kBusyRecall);
   --busy_lines_;
-  if (e.l2_dirty) ++stats_->counter("mem.writebacks");
+  if (e.l2_dirty) ++mem_writebacks_;
   memory_versions_[line_of_key(array_.address_of(l))] = e.version;
-  std::deque<CoherenceMsg> pending = std::move(e.pending);
+  PendingQueue pending = std::move(e.pending);
   array_.invalidate(l);
-  ++stats_->counter("l2.evictions");
+  ++l2_evictions_;
   drain_pending(std::move(pending));
   retry_blocked_fills();
 }
@@ -534,10 +550,15 @@ void Directory::retry_blocked_fills() {
   for (LineAddr fill_line : ready) try_install_fill(fill_line);
 }
 
-void Directory::drain_pending(std::deque<CoherenceMsg> msgs) {
+void Directory::drain_pending(PendingQueue msgs) {
   TCMP_CHECK(queued_msgs_ >= msgs.size());
   queued_msgs_ -= static_cast<unsigned>(msgs.size());
-  for (auto& m : msgs) handle_request(m);
+  // `msgs` was moved out of its entry, so handle_request cannot append to it
+  // (re-queued messages land in the entry's fresh pending queue).
+  while (!msgs.empty()) {
+    handle_request(msgs.front());
+    msgs.pop_front();
+  }
 }
 
 }  // namespace tcmp::protocol

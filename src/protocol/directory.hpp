@@ -16,11 +16,11 @@
 // was recalled away entirely) are stale: acknowledged and ignored.
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <optional>
 #include <unordered_map>
 
+#include "common/queues.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "obs/hooks.hpp"
@@ -109,6 +109,11 @@ class Directory final : public sim::Scheduled {
   [[nodiscard]] std::uint32_t version_of(LineAddr line) const;
 
  private:
+  /// Requests parked on a busy line or in-flight fill: almost always empty,
+  /// rarely more than a couple deep, so a small-buffer queue keeps the
+  /// common case allocation-free.
+  using PendingQueue = SmallQueue<CoherenceMsg, 2>;
+
   struct DirEntry {
     DirState state = DirState::kInvalid;
     std::uint32_t sharers = 0;  ///< full-map bit vector (up to 32 tiles)
@@ -122,14 +127,14 @@ class Directory final : public sim::Scheduled {
     bool fwd_put = false;
     std::uint32_t version = 0;  ///< data-flow validation version
     std::uint16_t recall_acks_pending = 0;
-    std::deque<CoherenceMsg> pending;  ///< requests queued while busy
+    PendingQueue pending;  ///< requests queued while busy
   };
   using Array = CacheArray<DirEntry, DirKey>;
 
   /// Off-chip fetch in flight for a line not present in L2.
   struct MemTxn {
     bool fill_arrived = false;
-    std::deque<CoherenceMsg> pending;
+    PendingQueue pending;
   };
 
   void send(CoherenceMsg msg);
@@ -147,7 +152,7 @@ class Directory final : public sim::Scheduled {
   void retry_blocked_fills();
   void start_recall(Array::Line& l);
   void finish_recall(Array::Line& l);
-  void drain_pending(std::deque<CoherenceMsg> msgs);
+  void drain_pending(PendingQueue msgs);
 
   void reply_data(const CoherenceMsg& req, MsgType type, std::uint16_t acks,
                   std::uint32_t version);
@@ -168,14 +173,35 @@ class Directory final : public sim::Scheduled {
   MsgSink sink_;
   obs::ProtocolHooks* hooks_ = nullptr;
 
-  DelayQueue<CoherenceMsg> access_pipe_;  ///< models the L2 access latency
-  DelayQueue<LineAddr> memory_pipe_;          ///< off-chip fills in flight
+  // FIFO pipes, not heaps: each is pushed with a per-instance-constant
+  // latency at non-decreasing `now`, so deadlines are monotone (the memory
+  // latency only ever increases, at the warmup/measurement boundary, which
+  // preserves monotonicity; the push-side debug check enforces it).
+  FifoDelayQueue<CoherenceMsg> access_pipe_;  ///< models the L2 access latency
+  FifoDelayQueue<LineAddr> memory_pipe_;      ///< off-chip fills in flight
   std::unordered_map<LineAddr, MemTxn> mem_txns_;
   /// Validation versions of lines written back to off-chip memory.
   std::unordered_map<LineAddr, std::uint32_t> memory_versions_;
   unsigned busy_lines_ = 0;    ///< dir entries in a Busy* state
   unsigned queued_msgs_ = 0;   ///< requests parked on busy lines / fills
   Cycle now_{0};
+  // Interned stat handles (hot path: every processed message).
+  CounterRef l2_accesses_;
+  CounterRef l2_evictions_;
+  CounterRef mem_reads_;
+  CounterRef mem_writebacks_;
+  CounterRef queued_on_fill_;
+  CounterRef queued_on_busy_;
+  CounterRef instr_fetches_;
+  CounterRef invalidations_sent_;
+  CounterRef cache_to_cache_;
+  CounterRef upgrades_granted_;
+  CounterRef stale_puts_;
+  CounterRef puts_accepted_;
+  CounterRef held_put_acks_;
+  CounterRef fwd_owner_puts_;
+  CounterRef dropped_revisions_;
+  CounterRef recalls_;
 };
 
 }  // namespace tcmp::protocol

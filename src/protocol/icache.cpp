@@ -12,16 +12,18 @@ ICache::ICache(NodeId id, const Config& cfg, unsigned n_nodes, StatRegistry* sta
       stats_(stats),
       sink_(std::move(sink)) {
   TCMP_CHECK(stats_ != nullptr && sink_ != nullptr);
+  fetches_ = stats_->counter_ref("l1i.fetches");
+  misses_ = stats_->counter_ref("l1i.misses");
 }
 
 bool ICache::fetch(LineAddr line) {
-  ++stats_->counter("l1i.fetches");
+  ++fetches_;
   if (auto* l = array_.find(line)) {
     array_.touch(*l);
     return true;
   }
   TCMP_CHECK_MSG(!miss_outstanding_, "in-order front-end: one I-miss at a time");
-  ++stats_->counter("l1i.misses");
+  ++misses_;
   miss_outstanding_ = true;
   miss_line_ = line;
 

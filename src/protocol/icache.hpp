@@ -54,6 +54,9 @@ class ICache final : public sim::Scheduled {
   StatRegistry* stats_;
   MsgSink sink_;
   FillCallback fill_cb_;
+  // Interned stat handles (hot path: every instruction fetch).
+  CounterRef fetches_;
+  CounterRef misses_;
   bool miss_outstanding_ = false;
   LineAddr miss_line_{};
 };

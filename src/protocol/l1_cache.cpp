@@ -15,6 +15,20 @@ L1Cache::L1Cache(NodeId id, const Config& cfg, unsigned n_nodes, StatRegistry* s
       sink_(std::move(sink)) {
   TCMP_CHECK(stats_ != nullptr);
   TCMP_CHECK(sink_ != nullptr);
+  accesses_ = stats_->counter_ref("l1.accesses");
+  read_misses_ = stats_->counter_ref("l1.read_misses");
+  write_misses_ = stats_->counter_ref("l1.write_misses");
+  upgrade_misses_ = stats_->counter_ref("l1.upgrade_misses");
+  retried_accesses_ = stats_->counter_ref("l1.retried_accesses");
+  deferred_misses_ = stats_->counter_ref("l1.deferred_misses");
+  invalidations_ = stats_->counter_ref("l1.invalidations");
+  stale_invs_ = stats_->counter_ref("l1.stale_invs");
+  forwards_serviced_ = stats_->counter_ref("l1.forwards_serviced");
+  forwards_serviced_in_evict_ =
+      stats_->counter_ref("l1.forwards_serviced_in_evict");
+  partial_resumes_ = stats_->counter_ref("l1.partial_resumes");
+  use_once_fills_ = stats_->counter_ref("l1.use_once_fills");
+  silent_s_evictions_ = stats_->counter_ref("l1.silent_s_evictions");
 }
 
 void L1Cache::send(CoherenceMsg msg) {
@@ -53,7 +67,7 @@ void L1Cache::debug_force_state(LineAddr line, L1State st) {
 }
 
 AccessResult L1Cache::access(LineAddr line, bool is_write) {
-  ++stats_->counter("l1.accesses");
+  ++accesses_;
   auto* l = array_.find(line);
   if (l != nullptr && !mshrs_.contains(line)) {
     array_.touch(*l);
@@ -71,7 +85,7 @@ AccessResult L1Cache::access(LineAddr line, bool is_write) {
         if (!is_write) return AccessResult::kHit;
         // Write to Shared: upgrade miss. The line stays in the array (S)
         // while the upgrade is outstanding.
-        ++stats_->counter("l1.upgrade_misses");
+        ++upgrade_misses_;
         issue_miss(line, /*is_write=*/true, /*upgrade=*/true);
         return AccessResult::kMiss;
     }
@@ -81,16 +95,16 @@ AccessResult L1Cache::access(LineAddr line, bool is_write) {
     // back to the line, or a write follows a pending upgrade): block and
     // re-execute after the fill so permissions are re-checked.
     it->second.core_notified = false;  // make install fire the callback
-    ++stats_->counter("l1.retried_accesses");
+    ++retried_accesses_;
     return AccessResult::kRetry;
   }
-  ++stats_->counter(is_write ? "l1.write_misses" : "l1.read_misses");
+  ++(is_write ? write_misses_ : read_misses_);
   if (evict_buf_.contains(line)) {
     // Writeback of this very line still in flight: defer the request until
     // the PutAck drains so the home never sees us as a racing owner.
     TCMP_CHECK_MSG(!deferred_.contains(line), "one outstanding access per line");
     deferred_.emplace(line, is_write);
-    ++stats_->counter("l1.deferred_misses");
+    ++deferred_misses_;
     return AccessResult::kMiss;
   }
   issue_miss(line, is_write, /*upgrade=*/false);
@@ -162,7 +176,7 @@ void L1Cache::on_inv(const CoherenceMsg& msg) {
                      "Inv must only reach shared copies");
       array_.invalidate(*l);
     }
-    ++stats_->counter("l1.invalidations");
+    ++invalidations_;
   } else if (auto it = mshrs_.find(line); it != mshrs_.end()) {
     Mshr& m = it->second;
     if (!m.is_write) {
@@ -172,7 +186,7 @@ void L1Cache::on_inv(const CoherenceMsg& msg) {
     // IM_AD/IM_A: stale Inv for a silently evicted S copy; ack and continue.
   } else {
     // Stale Inv: we silently evicted the shared copy. Still ack.
-    ++stats_->counter("l1.stale_invs");
+    ++stale_invs_;
   }
   send(ack);
 }
@@ -236,7 +250,7 @@ void L1Cache::service_fwd_from_stable(const CoherenceMsg& msg, Array::Line& l) {
     default:
       TCMP_CHECK(false);
   }
-  ++stats_->counter("l1.forwards_serviced");
+  ++forwards_serviced_;
 }
 
 void L1Cache::service_fwd_from_evict(const CoherenceMsg& msg, EvictEntry& entry) {
@@ -299,7 +313,7 @@ void L1Cache::service_fwd_from_evict(const CoherenceMsg& msg, EvictEntry& entry)
       TCMP_CHECK(false);
   }
   entry.state = EvictState::kIIA;
-  ++stats_->counter("l1.forwards_serviced_in_evict");
+  ++forwards_serviced_in_evict_;
 }
 
 void L1Cache::on_fwd(const CoherenceMsg& msg) {
@@ -340,7 +354,7 @@ void L1Cache::on_reply(const CoherenceMsg& msg) {
     // write permission (exclusivity + acks).
     if (!m.is_write && !m.core_notified) {
       m.core_notified = true;
-      ++stats_->counter("l1.partial_resumes");
+      ++partial_resumes_;
       if (fill_cb_) fill_cb_(line);
     }
     return;
@@ -422,7 +436,7 @@ void L1Cache::install_fill(LineAddr line, Mshr& m) {
       slot->payload.version = done.version;
     }
   } else {
-    ++stats_->counter("l1.use_once_fills");
+    ++use_once_fills_;
   }
 
   if (fill_cb_ && !done.core_notified) fill_cb_(line);
@@ -456,7 +470,7 @@ void L1Cache::evict_for(LineAddr incoming_line) {
   switch (v->payload.state) {
     case L1State::kS:
       // Silent: replacement hints are not sent for shared lines (Sec. 4.2).
-      ++stats_->counter("l1.silent_s_evictions");
+      ++silent_s_evictions_;
       break;
     case L1State::kE: {
       CoherenceMsg put;

@@ -155,6 +155,20 @@ class L1Cache final : public sim::Scheduled {
   MsgSink sink_;
   FillCallback fill_cb_;
   obs::ProtocolHooks* hooks_ = nullptr;
+  // Interned stat handles (hot path: every access / protocol message).
+  CounterRef accesses_;
+  CounterRef read_misses_;
+  CounterRef write_misses_;
+  CounterRef upgrade_misses_;
+  CounterRef retried_accesses_;
+  CounterRef deferred_misses_;
+  CounterRef invalidations_;
+  CounterRef stale_invs_;
+  CounterRef forwards_serviced_;
+  CounterRef forwards_serviced_in_evict_;
+  CounterRef partial_resumes_;
+  CounterRef use_once_fills_;
+  CounterRef silent_s_evictions_;
 
   std::unordered_map<LineAddr, Mshr> mshrs_;
   std::unordered_map<LineAddr, EvictEntry> evict_buf_;

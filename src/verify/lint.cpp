@@ -16,11 +16,13 @@ using protocol::L1State;
 CoherenceLinter::CoherenceLinter(cmp::CmpSystem* system, obs::Observer* observer)
     : sys_(system), obs_(observer) {
   TCMP_CHECK(sys_ != nullptr);
+  scans_counter_ = sys_->stats().counter_ref("verify.scans");
+  violations_counter_ = sys_->stats().counter_ref("verify.violations");
 }
 
 void CoherenceLinter::report(const LintViolation& v) {
   ++violations_;
-  ++sys_->stats().counter("verify.violations");
+  ++violations_counter_;
   if (obs_ != nullptr) {
     obs_->lint_violation(v.cycle, v.line, v.invariant, v.detail);
   }
@@ -43,7 +45,7 @@ std::vector<LintViolation> CoherenceLinter::scan_impl(Cycle now,
                                                       std::uint64_t stripe,
                                                       bool with_dbrc) {
   ++scans_;
-  ++sys_->stats().counter("verify.scans");
+  ++scans_counter_;
   std::vector<LintViolation> out;
   coherence_scan(now, stripe_mask, stripe, out);
   if (with_dbrc) dbrc_scan(now, out);

@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "common/types.hpp"
 #include "protocol/l1_cache.hpp"
 
@@ -86,6 +87,10 @@ class CoherenceLinter {
 
   cmp::CmpSystem* sys_;
   obs::Observer* obs_;
+  // Interned stat handles (periodic scans are sized to stay <1% of runtime,
+  // so their bookkeeping must not pay per-event string lookups either).
+  CounterRef scans_counter_;
+  CounterRef violations_counter_;
   std::uint64_t scans_ = 0;
   std::uint64_t violations_ = 0;
   unsigned next_stripe_ = 0;

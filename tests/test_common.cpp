@@ -324,6 +324,76 @@ TEST(StatRegistry, HistogramsRegisterAndSurviveZeroAll) {
   EXPECT_EQ(reg.histograms().size(), 1u);
 }
 
+TEST(StatRegistry, SumPrefixStopsAtFirstNonMatch) {
+  // sum_prefix walks [lower_bound(prefix), first non-prefix key) — keys that
+  // sort before the prefix or after the prefix range must not contribute.
+  StatRegistry reg;
+  reg.counter("a.before") += 100;
+  reg.counter("noc.a") += 1;
+  reg.counter("noc.z") += 2;
+  reg.counter("noc2.other") += 400;  // "noc2" sorts after every "noc." key
+  reg.counter("zz.after") += 800;
+  EXPECT_EQ(reg.sum_prefix("noc."), 3u);
+  EXPECT_EQ(reg.sum_prefix("noc"), 403u);  // bare prefix also matches "noc2"
+  EXPECT_EQ(reg.sum_prefix("zzz"), 0u);    // past the last key
+  EXPECT_EQ(reg.sum_prefix(""), 1303u);    // empty prefix = everything
+}
+
+TEST(StatRegistry, HandlesSurviveZeroAll) {
+  StatRegistry reg;
+  CounterRef c = reg.counter_ref("dir.hits");
+  ScalarRef s = reg.scalar_ref("noc.util");
+  HistogramRef h = reg.histogram_ref("noc.lat", 8, 4);
+  EXPECT_TRUE(c.valid() && s.valid() && h.valid());
+  ++c;
+  c += 4;
+  s.add(0.5);
+  h.add(6);
+  EXPECT_EQ(c.value(), 5u);
+  EXPECT_EQ(reg.counter_value("dir.hits"), 5u);
+
+  reg.zero_all();  // the warmup/measurement boundary
+
+  // Handles still point at live storage: bumps after the boundary land in
+  // the (zeroed) registry slots, not in dead memory.
+  EXPECT_EQ(c.value(), 0u);
+  ++c;
+  s.add(2.0);
+  h.add(9);
+  EXPECT_EQ(reg.counter_value("dir.hits"), 1u);
+  EXPECT_EQ(reg.scalars().at("noc.util").count(), 1u);
+  EXPECT_EQ(reg.histograms().at("noc.lat").scalar().count(), 1u);
+  // Histogram geometry (fixed at first registration) survived too.
+  EXPECT_EQ(h.get().bin_width(), 4u);
+}
+
+TEST(StatRegistry, HandleAndStringBumpsProduceIdenticalCounterMaps) {
+  // The interning sweep must be invisible in the report: drive one registry
+  // through string lookups and another through construction-time handles
+  // with the same bump sequence, and require byte-equal counter maps.
+  const auto bump_strings = [](StatRegistry& reg) {
+    for (int i = 0; i < 10; ++i) {
+      ++reg.counter("l1.accesses");
+      if (i % 3 == 0) ++reg.counter("l1.read_misses");
+      reg.counter("noc.bytes") += 8;
+    }
+  };
+  const auto bump_handles = [](StatRegistry& reg) {
+    CounterRef acc = reg.counter_ref("l1.accesses");
+    CounterRef miss = reg.counter_ref("l1.read_misses");
+    CounterRef bytes = reg.counter_ref("noc.bytes");
+    for (int i = 0; i < 10; ++i) {
+      ++acc;
+      if (i % 3 == 0) ++miss;
+      bytes += 8;
+    }
+  };
+  StatRegistry by_string, by_handle;
+  bump_strings(by_string);
+  bump_handles(by_handle);
+  EXPECT_EQ(by_string.counters(), by_handle.counters());
+}
+
 TEST(TextTable, RendersAlignedRows) {
   TextTable t({"Scheme", "Coverage"});
   t.add_row({"DBRC-4", TextTable::pct(0.981)});

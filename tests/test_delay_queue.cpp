@@ -1,6 +1,9 @@
-// DelayQueue unit tests: readiness ordering, FIFO tie-breaking (determinism),
-// next_ready reporting.
+// DelayQueue / FifoDelayQueue unit tests: readiness ordering, FIFO
+// tie-breaking (determinism), next_ready reporting, and the FIFO
+// specialization's equivalence with the heap under monotone deadlines.
 #include <gtest/gtest.h>
+
+#include <memory>
 
 #include "protocol/delay_queue.hpp"
 
@@ -54,6 +57,87 @@ TEST(DelayQueue, InterleavedPushPop) {
 
 TEST(DelayQueue, MoveOnlyPayload) {
   DelayQueue<std::unique_ptr<int>> q;
+  q.push(Cycle{1}, std::make_unique<int>(7));
+  auto v = q.pop_ready(Cycle{1});
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 7);
+}
+
+TEST(FifoDelayQueue, EmptyBehaviour) {
+  FifoDelayQueue<int> q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.next_ready(), kNeverCycle);
+  EXPECT_FALSE(q.pop_ready(Cycle{100}).has_value());
+}
+
+TEST(FifoDelayQueue, NotReadyUntilCycle) {
+  FifoDelayQueue<int> q;
+  q.push(Cycle{10}, 1);
+  EXPECT_FALSE(q.pop_ready(Cycle{9}).has_value());
+  EXPECT_EQ(q.next_ready(), Cycle{10});
+  auto v = q.pop_ready(Cycle{10});
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 1);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(FifoDelayQueue, FifoOnTies) {
+  FifoDelayQueue<int> q;
+  for (int i = 0; i < 50; ++i) q.push(Cycle{5}, i);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(*q.pop_ready(Cycle{5}), i);
+}
+
+TEST(FifoDelayQueue, MatchesHeapUnderMonotoneDeadlines) {
+  // A fixed-latency pipe pushes with non-decreasing deadlines (now + const);
+  // under that precondition the ring and the heap must pop identically at
+  // every cycle. 200 pushes at "now" advancing by a pseudo-random stride.
+  DelayQueue<int> heap;
+  FifoDelayQueue<int> fifo;
+  Cycle now{0};
+  std::uint64_t s = 12345;
+  for (int i = 0; i < 200; ++i) {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    now = now + Cycle{(s >> 33) % 5};
+    heap.push(now + Cycle{7}, i);
+    fifo.push(now + Cycle{7}, i);
+    // Drain everything ready at `now` from both and compare.
+    for (;;) {
+      auto a = heap.pop_ready(now);
+      auto b = fifo.pop_ready(now);
+      EXPECT_EQ(a.has_value(), b.has_value());
+      if (!a.has_value() || !b.has_value()) break;
+      EXPECT_EQ(*a, *b);
+    }
+    EXPECT_EQ(heap.next_ready(), fifo.next_ready());
+  }
+  EXPECT_EQ(heap.size(), fifo.size());
+  for (;;) {
+    auto a = heap.pop_ready(Cycle{1u << 30});
+    auto b = fifo.pop_ready(Cycle{1u << 30});
+    EXPECT_EQ(a.has_value(), b.has_value());
+    if (!a.has_value()) break;
+    EXPECT_EQ(*a, *b);
+  }
+}
+
+TEST(FifoDelayQueue, InterleavedPushPopSpillsPastInlineStorage) {
+  FifoDelayQueue<int> q;
+  int pushed = 0, popped = 0;
+  for (Cycle now{0}; now < Cycle{40}; now = now + Cycle{1}) {
+    q.push(now + Cycle{3}, pushed++);
+    q.push(now + Cycle{3}, pushed++);  // 2 in, 1 out: queue grows
+    if (auto v = q.pop_ready(now)) {
+      EXPECT_EQ(*v, popped++);
+    }
+  }
+  while (auto v = q.pop_ready(Cycle{1000})) EXPECT_EQ(*v, popped++);
+  EXPECT_EQ(pushed, popped);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(FifoDelayQueue, MoveOnlyPayload) {
+  FifoDelayQueue<std::unique_ptr<int>> q;
   q.push(Cycle{1}, std::make_unique<int>(7));
   auto v = q.pop_ready(Cycle{1});
   ASSERT_TRUE(v.has_value());

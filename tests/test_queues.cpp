@@ -1,0 +1,214 @@
+// Unit tests for the allocation-free hot-path queue primitives
+// (common/queues.hpp): RingBuffer wrap-around and overflow policy, SmallQueue
+// inline-to-heap spill and value semantics, SeqWindow growth/re-indexing and
+// the duplicate-sequence check.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/queues.hpp"
+
+namespace tcmp {
+namespace {
+
+TEST(RingBuffer, FifoWithWrapAround) {
+  RingBuffer<int> rb(3);
+  EXPECT_TRUE(rb.empty());
+  EXPECT_EQ(rb.capacity(), 3u);
+  int next_in = 0, next_out = 0;
+  // Push/pop far more elements than the capacity so head_ wraps repeatedly.
+  for (int round = 0; round < 20; ++round) {
+    while (!rb.full()) rb.push_back(next_in++);
+    EXPECT_EQ(rb.size(), 3u);
+    rb.pop_front();
+    ++next_out;
+    EXPECT_EQ(rb.front(), next_out);
+    rb.push_back(next_in++);
+    while (!rb.empty()) {
+      EXPECT_EQ(rb.front(), next_out++);
+      rb.pop_front();
+    }
+  }
+  EXPECT_EQ(next_in, next_out);
+}
+
+TEST(RingBuffer, ResetCapacityOnlyWhileEmpty) {
+  RingBuffer<int> rb(2);
+  rb.push_back(1);
+  EXPECT_DEATH(rb.reset_capacity(8), "size_ == 0");
+  rb.pop_front();
+  rb.reset_capacity(8);
+  EXPECT_EQ(rb.capacity(), 8u);
+}
+
+TEST(RingBuffer, PopClearsSlot) {
+  RingBuffer<std::shared_ptr<int>> rb(2);
+  auto p = std::make_shared<int>(42);
+  rb.push_back(p);
+  EXPECT_EQ(p.use_count(), 2);
+  rb.pop_front();
+  // The ring must not keep dropped payloads alive in its slot storage.
+  EXPECT_EQ(p.use_count(), 1);
+}
+
+TEST(RingBuffer, MovedFromReadsEmpty) {
+  RingBuffer<int> a(4);
+  a.push_back(1);
+  RingBuffer<int> b = std::move(a);
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_EQ(b.front(), 1);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move): contract under test
+  EXPECT_EQ(a.size(), 0u);
+}
+
+TEST(SmallQueue, StaysInlineBelowThreshold) {
+  SmallQueue<int, 2> q;
+  q.push_back(1);
+  q.push_back(2);
+  EXPECT_FALSE(q.spilled());
+  EXPECT_EQ(q.front(), 1);
+  EXPECT_EQ(q.back(), 2);
+  q.pop_front();
+  q.push_back(3);  // wraps within the inline ring, still no allocation
+  EXPECT_FALSE(q.spilled());
+  EXPECT_EQ(q.front(), 2);
+  EXPECT_EQ(q.back(), 3);
+}
+
+TEST(SmallQueue, SpillsToHeapAndKeepsFifoOrder) {
+  SmallQueue<int, 2> q;
+  for (int i = 0; i < 50; ++i) q.push_back(i);
+  EXPECT_TRUE(q.spilled());
+  EXPECT_EQ(q.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(q.front(), i);
+    q.pop_front();
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SmallQueue, GrowLinearizesWrappedContents) {
+  SmallQueue<int, 2> q;
+  // Rotate the inline ring so head_ != 0, then force a spill: grow() must
+  // re-place the wrapped elements in FIFO order.
+  q.push_back(0);
+  q.push_back(1);
+  q.pop_front();
+  q.push_back(2);  // inline storage now holds [2, 1] with head_ = 1
+  q.push_back(3);  // spill
+  for (int want = 1; want <= 3; ++want) {
+    EXPECT_EQ(q.front(), want);
+    q.pop_front();
+  }
+}
+
+TEST(SmallQueue, CopyIsIndependent) {
+  SmallQueue<std::string, 2> q;
+  for (int i = 0; i < 5; ++i) q.push_back(std::to_string(i));
+  SmallQueue<std::string, 2> copy = q;
+  q.pop_front();
+  q.push_back("x");
+  EXPECT_EQ(copy.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(copy.front(), std::to_string(i));
+    copy.pop_front();
+  }
+}
+
+TEST(SmallQueue, MovedFromReadsEmpty) {
+  SmallQueue<int, 2> spilled;
+  for (int i = 0; i < 6; ++i) spilled.push_back(i);
+  SmallQueue<int, 2> dst = std::move(spilled);
+  EXPECT_EQ(dst.size(), 6u);
+  EXPECT_EQ(dst.front(), 0);
+  // The directory moves a pending queue out of its entry and drains the
+  // copy; the entry's queue must read as empty (and be safely reusable).
+  EXPECT_TRUE(spilled.empty());  // NOLINT(bugprone-use-after-move)
+  EXPECT_FALSE(spilled.spilled());
+  spilled.push_back(99);
+  EXPECT_EQ(spilled.front(), 99);
+  EXPECT_EQ(spilled.size(), 1u);
+}
+
+TEST(SmallQueue, MoveOnlyPayload) {
+  SmallQueue<std::unique_ptr<int>, 2> q;
+  for (int i = 0; i < 4; ++i) q.push_back(std::make_unique<int>(i));
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(*q.front(), i);
+    q.pop_front();
+  }
+}
+
+TEST(SeqWindow, InOrderArrivalNeverOccupiesSlots) {
+  SeqWindow<int> w;
+  EXPECT_TRUE(w.empty());
+  EXPECT_EQ(w.capacity(), 0u);  // storage is lazy: no heap until first park
+  EXPECT_FALSE(w.take(1).has_value());
+}
+
+TEST(SeqWindow, ParkAndDrainOutOfOrder) {
+  SeqWindow<int> w;
+  std::uint32_t base = 0;  // next expected seq
+  w.insert(base, 3, 30);
+  w.insert(base, 1, 10);
+  w.insert(base, 2, 20);
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_FALSE(w.take(0).has_value());  // seq 0 was never parked
+  for (std::uint32_t s = 1; s <= 3; ++s) {
+    auto v = w.take(s);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, static_cast<int>(s * 10));
+  }
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(SeqWindow, GrowsAndReindexesHeldItems) {
+  SeqWindow<int> w;
+  const std::uint32_t base = 100;
+  // Fill a span wider than the initial 4 slots while items are parked:
+  // grow() must re-place each held item at its seq under the new mask.
+  for (std::uint32_t s : {101u, 103u, 106u, 115u, 130u}) {
+    w.insert(base, s, static_cast<int>(s));
+  }
+  EXPECT_GE(w.capacity(), 31u);
+  for (std::uint32_t s : {130u, 101u, 115u, 103u, 106u}) {
+    auto v = w.take(s);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, static_cast<int>(s));
+  }
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(SeqWindow, SlotReuseAcrossAdvancingBase) {
+  // With 4 slots, seq and seq+4 share a slot index; once base advances past
+  // the first, the second may park there. The occupancy flag plus stored seq
+  // must keep the two from being confused.
+  SeqWindow<int> w;
+  w.insert(0, 1, 11);
+  EXPECT_EQ(*w.take(1), 11);
+  w.insert(4, 5, 55);  // same slot index as seq 1 under the 4-slot mask
+  EXPECT_FALSE(w.take(1).has_value());
+  EXPECT_EQ(*w.take(5), 55);
+}
+
+TEST(SeqWindowDeathTest, DuplicateSequenceAborts) {
+  SeqWindow<int> w;
+  w.insert(0, 2, 1);
+  EXPECT_DEATH(w.insert(0, 2, 1), "duplicate sequence");
+}
+
+TEST(SeqWindow, MovedFromReadsEmpty) {
+  SeqWindow<int> w;
+  w.insert(0, 1, 10);
+  SeqWindow<int> dst = std::move(w);
+  EXPECT_EQ(*dst.take(1), 10);
+  EXPECT_TRUE(w.empty());  // NOLINT(bugprone-use-after-move)
+  w.insert(0, 1, 20);      // reusable after move-out
+  EXPECT_EQ(*w.take(1), 20);
+}
+
+}  // namespace
+}  // namespace tcmp

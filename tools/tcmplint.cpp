@@ -16,6 +16,14 @@
 //   stat-registration ScalarStat/Histogram constructed as plain members or
 //                     locals bypass StatRegistry and never reach reports.
 //                     Escape hatch: `tcmplint: allow-local-stat`.
+//   stat-string-hot-path string-keyed StatRegistry lookups (`counter("`,
+//                     `scalar("`, `histogram("`) outside constructors /
+//                     init functions in the hot-path directories
+//                     (protocol, noc, het, core, cmp, obs, verify): stats
+//                     must be resolved once via the *_ref handles at
+//                     construction and bumped through the handle (see the
+//                     hot-path contract in common/stats.hpp). Escape
+//                     hatch: `tcmplint: allow-stat-string`.
 //   scheduled-contract a header under src/ declaring a per-cycle `tick(Cycle)`
 //                     entry point must also declare the sim::Scheduled
 //                     contract (`next_event(` and `quiescent(`) — otherwise
@@ -190,6 +198,68 @@ void check_stat_registration(const fs::path& root) {
   }
 }
 
+// ---- stat-string-hot-path ------------------------------------------------
+
+void check_stat_string_hot_path(const fs::path& root) {
+  // Per-event string-keyed registry lookups are a map walk plus string
+  // compares on every bump; the hot-path contract (common/stats.hpp) is to
+  // resolve once via counter_ref/scalar_ref/histogram_ref at construction.
+  // The regex cannot match the sanctioned calls: counter_ref(, counter_value(,
+  // find_counter( and find_histogram( all put word characters between the
+  // keyword and the paren.
+  static const std::regex bump(R"(\b(counter|scalar|histogram)\s*\(\s*")");
+  // A member function definition: `... ClassName::name(` — the enclosing
+  // context for a .cpp bump site.
+  static const std::regex member_def(R"(\b([A-Za-z_]\w*)::(~?[A-Za-z_]\w*)\s*\()");
+  // An in-class constructor or init method definition: `Name(...)` at
+  // declaration position (checked against `class/struct Name` in the file).
+  static const std::regex inline_def(
+      R"(^\s*(?:explicit\s+)?([A-Za-z_]\w*)\s*\()");
+  static const char* kHotDirs[] = {"protocol", "noc",  "het",   "core",
+                                   "cmp",      "obs",  "verify"};
+  for (const char* dir : kHotDirs) {
+    for (const std::string ext : {".hpp", ".cpp"}) {
+      for (const auto& f : collect(root / "src" / dir, ext)) {
+        const std::string text = read_file(f);
+        const auto lines = split_lines(text);
+        for (std::size_t i = 0; i < lines.size(); ++i) {
+          const std::string& l = lines[i];
+          if (l.find("tcmplint: allow-stat-string") != std::string::npos)
+            continue;
+          std::smatch m;
+          if (!std::regex_search(l, m, bump)) continue;
+          // Walk back to the nearest function definition to decide whether
+          // the call sits in a constructor / init path (one-time resolution
+          // is exactly what the contract asks for).
+          bool allowed = false;
+          for (std::size_t j = i + 1; j-- > 0;) {
+            std::smatch d;
+            if (std::regex_search(lines[j], d, member_def)) {
+              const std::string cls = d[1].str(), fn = d[2].str();
+              allowed = cls == fn || fn.find("init") != std::string::npos;
+              break;
+            }
+            if (std::regex_search(lines[j], d, inline_def) &&
+                (text.find("class " + d[1].str()) != std::string::npos ||
+                 text.find("struct " + d[1].str()) != std::string::npos)) {
+              allowed = true;  // in-class constructor definition
+              break;
+            }
+          }
+          if (!allowed) {
+            report(f, static_cast<long>(i + 1), "stat-string-hot-path",
+                   "string-keyed StatRegistry lookup '" + m[1].str() +
+                       "(\"...\")' on a hot path — resolve a " + m[1].str() +
+                       "_ref handle once at construction and bump through it "
+                       "(see the hot-path contract in common/stats.hpp), or "
+                       "annotate 'tcmplint: allow-stat-string' with a reason");
+          }
+        }
+      }
+    }
+  }
+}
+
 // ---- scheduled-contract --------------------------------------------------
 
 void check_scheduled_contract(const fs::path& root) {
@@ -279,8 +349,9 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: tcmplint --root <dir> [--rule raw-unit|"
-                   "msgtype-tables|stat-registration|scheduled-contract|"
-                   "self-contained|pragma-once] [--cxx <compiler>]\n");
+                   "msgtype-tables|stat-registration|stat-string-hot-path|"
+                   "scheduled-contract|self-contained|pragma-once] "
+                   "[--cxx <compiler>]\n");
       return 2;
     }
   }
@@ -293,6 +364,7 @@ int main(int argc, char** argv) {
   if (want("raw-unit")) check_raw_unit(root);
   if (want("msgtype-tables")) check_msgtype_tables(root);
   if (want("stat-registration")) check_stat_registration(root);
+  if (want("stat-string-hot-path")) check_stat_string_hot_path(root);
   if (want("scheduled-contract")) check_scheduled_contract(root);
   if (want("pragma-once")) check_pragma_once(root);
   if (want("self-contained")) check_self_contained(root, cxx);

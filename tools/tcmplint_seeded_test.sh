@@ -76,6 +76,21 @@ struct SeededStat {
 EOF
 expect_catch stat-registration
 
+# --- stat-string-hot-path: a per-event string-keyed counter lookup in a
+# hot-path directory, outside any constructor/init and without the
+# allow-comment.
+fresh_tree
+expect_clean stat-string-hot-path
+cat > "$scratch/tree/src/protocol/seeded_stat_string.cpp" <<'EOF'
+#include "common/stats.hpp"
+namespace tcmp {
+void seeded_hot_bump(StatRegistry& stats) {
+  ++stats.counter("seeded.hot.lookup");
+}
+}  // namespace tcmp
+EOF
+expect_catch stat-string-hot-path
+
 # --- scheduled-contract: a ticked component that hides from the event
 # kernel (no next_event/quiescent, no allow-comment).
 fresh_tree
