@@ -1,0 +1,154 @@
+#include "cmp/metrics_export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.hpp"
+#include "sim/profiler.hpp"
+
+namespace tcmp::cmp {
+
+namespace {
+
+// Shortest round-trippable-enough representation; JSON has no NaN/Inf, so
+// non-finite values (e.g. ED2P of a zero-cycle run) degrade to 0.
+std::string num(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+std::string quoted(const std::string& s) { return '"' + json::escape(s) + '"'; }
+
+void write_quantiles(std::ostream& out, const Histogram& h) {
+  const ScalarStat& s = h.scalar();
+  out << "{\"count\":" << s.count() << ",\"mean\":" << num(s.mean())
+      << ",\"p50\":" << num(h.quantile(0.50))
+      << ",\"p95\":" << num(h.quantile(0.95))
+      << ",\"p99\":" << num(h.quantile(0.99)) << "}";
+}
+
+void write_run(std::ostream& out, const RunResult& r) {
+  out << "\"run\":{"
+      << "\"workload\":" << quoted(r.workload)
+      << ",\"configuration\":" << quoted(r.configuration)
+      << ",\"cycles\":" << r.cycles.value()
+      << ",\"seconds\":" << num(r.seconds.value())
+      << ",\"instructions\":" << r.instructions
+      << ",\"remote_messages\":" << r.remote_messages
+      << ",\"local_messages\":" << r.local_messages
+      << ",\"coverage\":" << num(r.compression_coverage)
+      << ",\"critical_latency\":" << num(r.avg_critical_latency)
+      << ",\"link_energy_j\":" << num(r.link_energy().value())
+      << ",\"interconnect_energy_j\":" << num(r.interconnect_energy().value())
+      << ",\"total_energy_j\":" << num(r.total_energy().value())
+      << ",\"link_ed2p\":" << num(r.link_ed2p())
+      << ",\"interconnect_ed2p\":" << num(r.interconnect_ed2p())
+      << ",\"full_ed2p\":" << num(r.full_cmp_ed2p()) << "}";
+}
+
+void write_self_profile(std::ostream& out, const sim::SelfProfiler& prof,
+                        const CmpSystem& system) {
+  out << "\"self_profile\":{\"total_nanos\":" << prof.total_nanos()
+      << ",\"attribution\":" << num(prof.attribution_fraction())
+      << ",\"scopes\":[";
+  bool first = true;
+  for (const auto& row : prof.rows()) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":" << quoted(row.name) << ",\"nanos\":" << row.nanos
+        << ",\"laps\":" << row.laps << ",\"share\":" << num(row.share) << "}";
+  }
+  out << "],\"kernel_scan\":[";
+  // Aggregate the kernel's per-registration scan stats by component class.
+  std::vector<std::pair<std::string, std::pair<std::uint64_t, std::uint64_t>>>
+      agg;
+  for (const auto& s : system.kernel().scan_stats()) {
+    bool merged = false;
+    for (auto& a : agg) {
+      if (a.first == s.name) {
+        a.second.first += s.polls;
+        a.second.second += s.hot_exits;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) agg.emplace_back(s.name, std::make_pair(s.polls, s.hot_exits));
+  }
+  first = true;
+  for (const auto& a : agg) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":" << quoted(a.first) << ",\"polls\":" << a.second.first
+        << ",\"hot_exits\":" << a.second.second << "}";
+  }
+  out << "]}";
+}
+
+}  // namespace
+
+void write_metrics_json(std::ostream& out, const RunResult& result,
+                        const CmpSystem& system,
+                        const sim::SelfProfiler* prof) {
+  const StatRegistry& reg = system.stats();
+  out << "{\"schema\":\"tcmp-metrics\",\"version\":" << kMetricsSchemaVersion
+      << ",";
+  write_run(out, result);
+
+  out << ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : reg.counters()) {
+    if (!first) out << ",";
+    first = false;
+    out << quoted(name) << ":" << v;
+  }
+  out << "},\"scalars\":{";
+  first = true;
+  for (const auto& [name, s] : reg.scalars()) {
+    if (!first) out << ",";
+    first = false;
+    out << quoted(name) << ":{\"count\":" << s.count()
+        << ",\"mean\":" << num(s.mean()) << ",\"min\":" << num(s.min())
+        << ",\"max\":" << num(s.max()) << "}";
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : reg.histograms()) {
+    if (!first) out << ",";
+    first = false;
+    out << quoted(name) << ":";
+    write_quantiles(out, h);
+  }
+
+  // The slack telemetry plane, re-grouped from its registry stats: each
+  // "slack.<class>.<wire>" histogram joined with its ".nonblocking" counter.
+  out << "},\"slack\":{";
+  first = true;
+  for (const auto& [name, h] : reg.histograms()) {
+    if (name.rfind("slack.", 0) != 0) continue;
+    if (!first) out << ",";
+    first = false;
+    out << quoted(name.substr(6)) << ":";
+    const ScalarStat& s = h.scalar();
+    out << "{\"count\":" << s.count() << ",\"mean\":" << num(s.mean())
+        << ",\"p50\":" << num(h.quantile(0.50))
+        << ",\"p95\":" << num(h.quantile(0.95))
+        << ",\"p99\":" << num(h.quantile(0.99))
+        << ",\"nonblocking\":" << reg.counter_value(name + ".nonblocking")
+        << "}";
+  }
+  out << "}";
+
+  if (prof != nullptr) {
+    out << ",";
+    write_self_profile(out, *prof, system);
+  }
+  out << "}\n";
+}
+
+}  // namespace tcmp::cmp

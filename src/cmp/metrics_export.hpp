@@ -1,0 +1,35 @@
+// Canonical metrics export: ONE versioned JSON document per run that unifies
+// everything the simulator can report — the paper-level RunResult metrics,
+// every StatRegistry counter/scalar/histogram (slack telemetry included),
+// and, when attached, the kernel self-profile. `tcmpsim --metrics-out` writes
+// it; tools/tcmpstat reads, summarizes and diffs it (CI trend gating).
+//
+// Schema contract (docs/observability.md has the worked example):
+//   { "schema": "tcmp-metrics", "version": kMetricsSchemaVersion,
+//     "run": {...}, "counters": {...}, "scalars": {...},
+//     "histograms": {...}, "slack": {...}, "self_profile": {...}? }
+// The version bumps on any breaking change (renamed/removed keys or meaning
+// changes); adding keys is non-breaking. Consumers must reject documents
+// whose schema/version they do not understand (tcmpstat does).
+#pragma once
+
+#include <iosfwd>
+
+#include "cmp/report.hpp"
+
+namespace tcmp::sim {
+class SelfProfiler;
+}
+
+namespace tcmp::cmp {
+
+inline constexpr int kMetricsSchemaVersion = 1;
+
+/// Write the canonical metrics JSON for a finished run. `prof` (optional)
+/// adds the "self_profile" section. Deterministic: key order is fixed and
+/// registry sections iterate in map (name) order.
+void write_metrics_json(std::ostream& out, const RunResult& result,
+                        const CmpSystem& system,
+                        const sim::SelfProfiler* prof = nullptr);
+
+}  // namespace tcmp::cmp

@@ -3,16 +3,19 @@
 #include <algorithm>
 #include <ostream>
 
+#include "common/abort.hpp"
 #include "common/check.hpp"
 #include "noc/channel.hpp"
 #include "obs/observer.hpp"
+#include "obs/slack.hpp"
+#include "sim/profiler.hpp"
 
 namespace tcmp::cmp {
 
 using protocol::CoherenceMsg;
 
 CmpSystem::CmpSystem(const CmpConfig& cfg, std::shared_ptr<core::Workload> workload)
-    : cfg_(cfg), workload_(std::move(workload)) {
+    : cfg_(cfg), workload_(std::move(workload)), flight_(cfg.n_tiles) {
   TCMP_CHECK(workload_ != nullptr);
   TCMP_CHECK(cfg_.n_tiles == cfg_.mesh_width * cfg_.mesh_height);
 
@@ -62,9 +65,26 @@ CmpSystem::CmpSystem(const CmpConfig& cfg, std::shared_ptr<core::Workload> workl
     tile->core->set_icache(tile->l1i.get(), workload_->code_lines());
     tile->core->set_barrier_handler(
         [this](unsigned c, std::uint32_t b) { on_barrier(c, b); });
+    // Fill callbacks wrap the core notification with the slack-telemetry
+    // unstall probe: when the core was provably stalled on this line, the
+    // fill resolves every delivery parked against the stall (realized slack
+    // = unstall cycle - delivery cycle). slack_ is null unless an observer
+    // with telemetry enabled is attached, so the probe costs one branch.
     tile->l1->set_fill_callback(
-        [core = tile->core.get()](LineAddr line) { core->on_fill(line); });
-    tile->l1i->set_fill_callback([core = tile->core.get()] { core->on_ifill(); });
+        [this, core = tile->core.get(), id](LineAddr line) {
+          const bool was_stalled = core->stalled_on(line);
+          core->on_fill(line);
+          if (was_stalled && slack_ != nullptr) [[unlikely]] {
+            slack_->on_unstall(id, line, now_);
+          }
+        });
+    tile->l1i->set_fill_callback([this, core = tile->core.get(), id] {
+      const bool was_stalled = core->stalled_on_ifetch();
+      core->on_ifill();
+      if (was_stalled && slack_ != nullptr) [[unlikely]] {
+        slack_->on_unstall_ifetch(id, now_);
+      }
+    });
     tiles_.push_back(std::move(tile));
   }
 
@@ -79,20 +99,20 @@ CmpSystem::CmpSystem(const CmpConfig& cfg, std::shared_ptr<core::Workload> workl
   // directories (pipeline deadlines), then the driver-level recurring events
   // (telemetry sampling, periodic checks), then the purely message-driven
   // components (never wake sources; registered for the quiescence contract).
-  for (auto& t : tiles_) kernel_.add_component(t->core.get());
-  kernel_.add_component(network_.get());
-  for (auto& t : tiles_) kernel_.add_component(t->dir.get());
+  for (auto& t : tiles_) kernel_.add_component(t->core.get(), "core");
+  kernel_.add_component(network_.get(), "network");
+  for (auto& t : tiles_) kernel_.add_component(t->dir.get(), "dir");
   auto obs_next = [this] { return obs_sample_due_; };
   obs_event_ = std::make_unique<sim::ScheduledEvent<decltype(obs_next)>>(obs_next);
-  kernel_.add_component(obs_event_.get());
+  kernel_.add_component(obs_event_.get(), "obs.sampler");
   auto check_next = [this] { return check_due_; };
   check_event_ =
       std::make_unique<sim::ScheduledEvent<decltype(check_next)>>(check_next);
-  kernel_.add_component(check_event_.get());
+  kernel_.add_component(check_event_.get(), "periodic.check");
   for (auto& t : tiles_) {
-    kernel_.add_component(t->l1.get());
-    kernel_.add_component(t->l1i.get());
-    kernel_.add_component(t->nic.get());
+    kernel_.add_component(t->l1.get(), "l1");
+    kernel_.add_component(t->l1i.get(), "l1i");
+    kernel_.add_component(t->nic.get(), "nic");
   }
 
   if (workload_->has_warmup()) {
@@ -101,6 +121,72 @@ CmpSystem::CmpSystem(const CmpConfig& cfg, std::shared_ptr<core::Workload> workl
     for (auto& t : tiles_) t->dir->set_memory_latency(cfg_.warmup_memory_latency);
   } else {
     warmup_done_ = true;
+  }
+}
+
+CmpSystem::~CmpSystem() {
+  if (abort_token_ != 0) AbortHooks::remove(abort_token_);
+}
+
+void CmpSystem::set_postmortem_path(std::string path) {
+  if (abort_token_ != 0) {
+    AbortHooks::remove(abort_token_);
+    abort_token_ = 0;
+  }
+  postmortem_path_ = std::move(path);
+  if (!postmortem_path_.empty()) {
+    abort_token_ = AbortHooks::add([this] { dump_postmortem(); });
+  }
+}
+
+bool CmpSystem::dump_postmortem() const {
+  if (postmortem_path_.empty()) return false;
+  return flight_.dump_to_file(postmortem_path_);
+}
+
+void CmpSystem::set_profiler(sim::SelfProfiler* prof) {
+  prof_ = prof;
+  if (prof == nullptr) return;
+  // Scope registration order is presentation order is lap order in step_impl.
+  sc_obs_ = prof->register_scope("obs.sample");
+  sc_net_ = prof->register_scope("network");
+  sc_loopback_ = prof->register_scope("loopback");
+  sc_dirs_ = prof->register_scope("directories");
+  sc_cores_ = prof->register_scope("cores");
+  sc_barrier_ = prof->register_scope("barrier");
+  sc_check_ = prof->register_scope("periodic.check");
+  sc_drain_ = prof->register_scope("drain.check");
+  sc_scan_ = prof->register_scope("kernel.scan");
+  sc_idle_ = prof->register_scope("idle.skip");
+}
+
+void CmpSystem::write_self_profile(std::ostream& out) const {
+  if (prof_ == nullptr) {
+    out << "self-profile: no profiler attached\n";
+    return;
+  }
+  prof_->write_table(out);
+  // Kernel pull-scan attribution: how often next_wake polled each component
+  // class and how often that class terminated the scan early (the hot exit).
+  // Aggregated over registration entries (16 cores -> one "core" row).
+  std::vector<std::pair<std::string, std::pair<std::uint64_t, std::uint64_t>>>
+      agg;
+  for (const auto& s : kernel_.scan_stats()) {
+    auto it = std::find_if(agg.begin(), agg.end(),
+                           [&](const auto& a) { return a.first == s.name; });
+    if (it == agg.end()) {
+      agg.emplace_back(s.name, std::make_pair(s.polls, s.hot_exits));
+    } else {
+      it->second.first += s.polls;
+      it->second.second += s.hot_exits;
+    }
+  }
+  std::uint64_t total_polls = 0;
+  for (const auto& a : agg) total_polls += a.second.first;
+  out << "kernel pull-scan (" << total_polls << " polls):\n";
+  for (const auto& a : agg) {
+    out << "  " << a.first << ": polls=" << a.second.first
+        << " hot_exits=" << a.second.second << "\n";
   }
 }
 
@@ -115,8 +201,21 @@ void CmpSystem::attach_observer(obs::Observer* obs) {
   }
   if (obs == nullptr) {
     obs_sample_due_ = kNeverCycle;
+    slack_ = nullptr;
     return;
   }
+  // Slack telemetry rides every level that samples stats at all. Wire
+  // classes are the network's channel planes plus a "local" pseudo-class for
+  // tile-internal loopback traffic, which never touches a wire.
+  if (!obs->slack().enabled()) {
+    std::vector<std::string> wires;
+    for (unsigned c = 0; c < network_->num_channels(); ++c) {
+      wires.push_back(network_->channel(c).name);
+    }
+    wires.emplace_back("local");
+    obs->slack().init(&stats_, wires);
+  }
+  slack_ = &obs->slack();
   // The observer reads the system clock directly: hooks stay timestamped
   // without a per-cycle tick, and step() only calls into the observer when
   // a time-series sample is actually due.
@@ -138,12 +237,20 @@ void CmpSystem::attach_observer(obs::Observer* obs) {
 
 void CmpSystem::route_outgoing(NodeId tile, CoherenceMsg msg) {
   ++msg_counters_[static_cast<unsigned>(msg.type)];
+  if (slack_ != nullptr) [[unlikely]] {
+    // Tag at injection with the requesting core's state; the tag travels
+    // with the message (telemetry-only field) and is read back at delivery.
+    msg.slack_class = static_cast<std::uint8_t>(
+        obs::classify(msg.type, beneficiary_stalled(msg)));
+  }
   if (msg.dst == tile) {
     // Tile-internal hop (e.g. the local L2 slice is the home): no mesh
     // traversal, no compression, a fixed short latency. The loopback queue
     // is not a kernel component, so mark its deadline live explicitly (the
     // pop phase runs before the sinks, so a deadline at or before now_ is
     // popped next cycle — exactly what the per-cycle loop did).
+    msg.wire_class = static_cast<std::uint8_t>(network_->num_channels());
+    flight_.record(obs::FlightEventKind::kSendLocal, tile, msg, now_);
     tiles_[tile]->loopback.push(now_ + cfg_.local_latency, msg);
     kernel_.wake(std::max(now_ + cfg_.local_latency, now_ + 1));
     ++local_count_;
@@ -151,11 +258,43 @@ void CmpSystem::route_outgoing(NodeId tile, CoherenceMsg msg) {
   }
   ++remote_count_;
   remote_bytes_ += protocol::uncompressed_bytes(msg.type);
+  flight_.record(obs::FlightEventKind::kSendRemote, tile, msg, now_);
   if (remote_hook_) remote_hook_(msg);
   tiles_[tile]->nic->send(msg, now_);
 }
 
+bool CmpSystem::beneficiary_stalled(const CoherenceMsg& msg) const {
+  if (!protocol::is_critical(msg.type)) return false;
+  // The beneficiary is the core whose miss this message serves: the
+  // requester when the protocol stamped one (forwards, acks, most replies),
+  // else the sender for directory-bound requests or the receiver for
+  // L1-bound replies.
+  const NodeId b = msg.requester != kInvalidNode
+                       ? msg.requester
+                       : (msg.dst_unit == protocol::Unit::kDir ? msg.src
+                                                               : msg.dst);
+  if (b >= tiles_.size()) return false;
+  const core::Core& core = *tiles_[b]->core;
+  if (msg.type == protocol::MsgType::kGetInstr ||
+      msg.dst_unit == protocol::Unit::kL1I) {
+    return core.stalled_on_ifetch();
+  }
+  return core.stalled_on(msg.line);
+}
+
 void CmpSystem::deliver_local(NodeId tile, const CoherenceMsg& msg) {
+  flight_.record(obs::FlightEventKind::kDeliver, tile, msg, now_);
+  if (slack_ != nullptr) [[unlikely]] {
+    // Record BEFORE the handler runs: a reply that completes the miss
+    // synchronously fires the fill callback (and the unstall probe) inside
+    // the deliver below, resolving this very delivery with zero slack.
+    const bool parked =
+        obs::can_unstall_dst(msg.type, msg.dst_unit) &&
+        (msg.dst_unit == protocol::Unit::kL1I
+             ? tiles_[tile]->core->stalled_on_ifetch()
+             : tiles_[tile]->core->stalled_on(msg.line));
+    slack_->on_delivered(tile, msg, parked, now_);
+  }
   switch (msg.dst_unit) {
     case protocol::Unit::kDir:
       tiles_[tile]->dir->deliver(msg, now_);
@@ -231,7 +370,10 @@ void CmpSystem::set_periodic_check(Cycle interval, PeriodicCheck check) {
   periodic_check_ = std::move(check);
 }
 
-void CmpSystem::step() {
+void CmpSystem::step() { step_impl<false>(); }
+
+template <bool kProfiled>
+void CmpSystem::step_impl() {
   ++now_;
   // Hoisted from the seed's per-cycle `obs_ != nullptr` branch: the observer
   // reads the clock through set_clock, so it only needs a call when a
@@ -240,14 +382,19 @@ void CmpSystem::step() {
     obs_->sample_tick(now_);
     obs_sample_due_ = obs_->timeseries().next_boundary();
   }
+  if constexpr (kProfiled) prof_->lap(sc_obs_);
   network_->tick(now_);
+  if constexpr (kProfiled) prof_->lap(sc_net_);
   for (auto& t : tiles_) {
     while (auto msg = t->loopback.pop_ready(now_)) {
       deliver_local(msg->dst, *msg);
     }
   }
+  if constexpr (kProfiled) prof_->lap(sc_loopback_);
   for (auto& t : tiles_) t->dir->tick(now_);
+  if constexpr (kProfiled) prof_->lap(sc_dirs_);
   for (auto& t : tiles_) t->core->tick(now_);
+  if constexpr (kProfiled) prof_->lap(sc_cores_);
 
   // A core finishing can release a barrier everyone else is already in.
   if (waiting_ > 0) {
@@ -256,6 +403,7 @@ void CmpSystem::step() {
       if (t->core->done()) ++done;
     if (waiting_ + done == cfg_.n_tiles) release_barrier();
   }
+  if constexpr (kProfiled) prof_->lap(sc_barrier_);
 
   // Hoisted from the seed's `now_ % check_interval_ == 0` test: check_due_
   // tracks the next multiple of the interval (kNeverCycle when uninstalled).
@@ -263,6 +411,7 @@ void CmpSystem::step() {
     if (!periodic_check_(now_)) aborted_ = true;
     check_due_ += check_interval_;
   }
+  if constexpr (kProfiled) prof_->lap(sc_check_);
 }
 
 bool CmpSystem::finished() const {
@@ -288,17 +437,39 @@ void CmpSystem::advance_idle(Cycle target) {
 }
 
 bool CmpSystem::run(Cycle max_cycles) {
+  if (prof_ != nullptr) {
+    // Lap-based attribution: the laps tile the whole loop contiguously, so
+    // the table accounts for (nearly) all of run()'s wall time.
+    prof_->start_run();
+    const bool ok = run_loop<true>(max_cycles);
+    prof_->stop_run();
+    return ok;
+  }
+  return run_loop<false>(max_cycles);
+}
+
+template <bool kProfiled>
+bool CmpSystem::run_loop(Cycle max_cycles) {
   while (now_ < max_cycles && !aborted_) {
-    step();
-    if (finished()) return !aborted_;
+    step_impl<kProfiled>();
+    const bool done = finished();
+    if constexpr (kProfiled) prof_->lap(sc_drain_);
+    if (done) return !aborted_;
     if (!dead_cycle_skipping_) continue;
-    const Cycle nxt = kernel_.next_wake(now_);
+    Cycle nxt{0};
+    if constexpr (kProfiled) {
+      nxt = kernel_.next_wake_counted(now_);
+      prof_->lap(sc_scan_);
+    } else {
+      nxt = kernel_.next_wake(now_);
+    }
     if (nxt <= now_ + 1) continue;
     // Every cycle in (now_, nxt) is globally dead: jump to just before the
     // next live cycle. kNeverCycle (deadlock: nothing will ever act again)
     // clamps to the horizon, replicating the seed's spin to max_cycles —
     // including its blocked-core accounting.
     advance_idle(std::min(Cycle{nxt.value() - 1}, max_cycles));
+    if constexpr (kProfiled) prof_->lap(sc_idle_);
   }
   return finished() && !aborted_;
 }

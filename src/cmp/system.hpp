@@ -17,12 +17,15 @@
 #include <memory>
 #include <vector>
 
+#include <string>
+
 #include "cmp/config.hpp"
 #include "common/stats.hpp"
 #include "core/core_model.hpp"
 #include "core/workload.hpp"
 #include "het/nic.hpp"
 #include "noc/network.hpp"
+#include "obs/flight_recorder.hpp"
 #include "protocol/delay_queue.hpp"
 #include "protocol/directory.hpp"
 #include "protocol/icache.hpp"
@@ -31,6 +34,10 @@
 
 namespace tcmp::obs {
 class Observer;
+class SlackTelemetry;
+}
+namespace tcmp::sim {
+class SelfProfiler;
 }
 
 namespace tcmp::cmp {
@@ -38,6 +45,10 @@ namespace tcmp::cmp {
 class CmpSystem {
  public:
   CmpSystem(const CmpConfig& cfg, std::shared_ptr<core::Workload> workload);
+  /// Unregisters the post-mortem abort hook, if one was installed.
+  ~CmpSystem();
+  CmpSystem(const CmpSystem&) = delete;
+  CmpSystem& operator=(const CmpSystem&) = delete;
 
   /// Run until every core finished and the machine drained, or `max_cycles`
   /// elapsed. Returns true when the workload completed. Skips globally dead
@@ -55,6 +66,7 @@ class CmpSystem {
 
   /// The event kernel (tests: wake-calendar and next-wake behavior).
   [[nodiscard]] sim::SimKernel& kernel() { return kernel_; }
+  [[nodiscard]] const sim::SimKernel& kernel() const { return kernel_; }
 
   /// Measured cycles (excludes the functional-warmup phase, if any).
   [[nodiscard]] Cycle cycles() const { return now_ - measure_start_; }
@@ -108,8 +120,37 @@ class CmpSystem {
   /// Wire a message-lifecycle / telemetry observer into every component
   /// (network, routers, NICs, L1s, directories) and register the directory
   /// occupancy gauges. Null detaches. The observer must outlive the system
-  /// (or be detached first).
+  /// (or be detached first). At levels >= kTimeseries this also enables the
+  /// slack/criticality telemetry (obs/slack.hpp): messages are tagged at
+  /// injection and realized slack is measured at core unstall.
   void attach_observer(obs::Observer* obs);
+
+  /// Attach an opt-in host-time self-profiler (sim/profiler.hpp): run()
+  /// switches to an instrumented loop that attributes wall time per driver
+  /// section and per kernel phase (pull scan / dead-cycle skip). Null
+  /// detaches (the unprofiled loop carries zero instrumentation). Results
+  /// are bit-identical either way.
+  void set_profiler(sim::SelfProfiler* prof);
+  [[nodiscard]] sim::SelfProfiler* profiler() const { return prof_; }
+  /// Profiler table plus the kernel's per-component pull-scan attribution.
+  void write_self_profile(std::ostream& out) const;
+
+  /// The always-on flight recorder: a bounded ring of recent
+  /// message-lifecycle events per tile (obs/flight_recorder.hpp).
+  [[nodiscard]] const obs::FlightRecorder& flight_recorder() const {
+    return flight_;
+  }
+  /// Arm the crash post-mortem: on a TCMP_CHECK/TCMP_DCHECK abort (via the
+  /// common/abort.hpp hooks) or an explicit dump_postmortem() call — e.g.
+  /// after a coherence-lint abort — the flight recorder is dumped to `path`.
+  /// Empty disarms.
+  void set_postmortem_path(std::string path);
+  [[nodiscard]] const std::string& postmortem_path() const {
+    return postmortem_path_;
+  }
+  /// Dump the flight recorder to the armed path now (lint-abort path).
+  /// Returns false when disarmed or the file could not be written.
+  bool dump_postmortem() const;
 
  private:
   struct Tile {
@@ -126,6 +167,17 @@ class CmpSystem {
 
   void route_outgoing(NodeId tile, protocol::CoherenceMsg msg);
   void deliver_local(NodeId tile, const protocol::CoherenceMsg& msg);
+  /// Slack telemetry: is the core that benefits from `msg` (the requester
+  /// whose miss it serves) currently stalled waiting for it?
+  [[nodiscard]] bool beneficiary_stalled(const protocol::CoherenceMsg& msg) const;
+  /// step() body, compiled with or without self-profiler laps.
+  template <bool kProfiled>
+  void step_impl();
+  /// run() body, compiled with or without self-profiler instrumentation
+  /// (the unprofiled variant is instruction-identical to the pre-profiler
+  /// loop; results are bit-identical in both).
+  template <bool kProfiled>
+  bool run_loop(Cycle max_cycles);
   void on_barrier(unsigned core, std::uint32_t id);
   void release_barrier();
   void end_warmup();
@@ -159,6 +211,18 @@ class CmpSystem {
   std::shared_ptr<core::Workload> workload_;
   MsgHook remote_hook_;
   obs::Observer* obs_ = nullptr;
+  /// Non-null iff the attached observer's slack telemetry is enabled; the
+  /// injection/delivery/unstall hot paths test this single pointer.
+  obs::SlackTelemetry* slack_ = nullptr;
+  /// Always-on bounded message-lifecycle history (crash post-mortems).
+  obs::FlightRecorder flight_;
+  std::string postmortem_path_;
+  std::uint64_t abort_token_ = 0;  ///< common/abort.hpp registration
+  /// Opt-in self-profiler and its registered scope ids (set_profiler).
+  sim::SelfProfiler* prof_ = nullptr;
+  unsigned sc_obs_ = 0, sc_net_ = 0, sc_loopback_ = 0, sc_dirs_ = 0,
+           sc_cores_ = 0, sc_barrier_ = 0, sc_check_ = 0, sc_drain_ = 0,
+           sc_scan_ = 0, sc_idle_ = 0;
   std::unique_ptr<noc::Network> network_;
   std::vector<std::unique_ptr<Tile>> tiles_;
   Cycle now_{0};

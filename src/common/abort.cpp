@@ -1,0 +1,78 @@
+#include "common/abort.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace tcmp {
+
+namespace {
+
+struct Entry {
+  AbortHooks::Token token;
+  AbortHooks::Hook hook;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<Entry> entries;
+  AbortHooks::Token next_token = 1;
+};
+
+// Leaked on purpose: hooks may fire during static destruction of other
+// objects, and a function-local leaked singleton can never be destroyed
+// before them.
+Registry& registry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+std::atomic<bool> running{false};
+
+}  // namespace
+
+AbortHooks::Token AbortHooks::add(Hook hook) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  const Token t = r.next_token++;
+  r.entries.push_back({t, std::move(hook)});
+  return t;
+}
+
+void AbortHooks::remove(Token token) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  for (auto it = r.entries.begin(); it != r.entries.end(); ++it) {
+    if (it->token == token) {
+      r.entries.erase(it);
+      return;
+    }
+  }
+}
+
+void AbortHooks::run_all() noexcept {
+  // One shot per process: the first failure dumps; a cascading failure
+  // inside a hook (or a second failing thread) must not re-enter.
+  if (running.exchange(true)) return;
+  Registry& r = registry();
+  // Move the hooks out under the lock, run them outside it: a hook may touch
+  // code that itself registers/removes hooks.
+  std::vector<Entry> entries;
+  {
+    const std::lock_guard<std::mutex> lock(r.mu);
+    entries = std::move(r.entries);
+    r.entries.clear();
+  }
+  for (auto& e : entries) {
+    if (e.hook) e.hook();
+  }
+}
+
+namespace detail {
+// Out-of-line bridge for check.hpp, which must stay dependency-free: the
+// header only declares this symbol.
+void run_abort_hooks() noexcept { AbortHooks::run_all(); }
+}  // namespace detail
+
+}  // namespace tcmp

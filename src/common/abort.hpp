@@ -1,0 +1,46 @@
+// Abort-hook registry: best-effort "last gasp" callbacks that run when the
+// simulator is about to die on an invariant failure (TCMP_CHECK / TCMP_DCHECK
+// via check_failed) or when a driver decides to abort after a runtime
+// coherence-lint violation.
+//
+// Consumers register hooks that dump whatever post-mortem state they own —
+// the per-tile flight recorder, partially written trace / time-series files —
+// so a verify kill leaves a replayable tail of history instead of a one-line
+// abort message.
+//
+// Contract:
+//   * Hooks run in registration order, each at most once per process (a hook
+//     that itself aborts cannot recurse into the registry: run_abort_hooks is
+//     re-entrancy guarded).
+//   * Hooks must be best-effort and exception-free: the process is dying and
+//     nothing can be assumed beyond the objects the hook captured.
+//   * Registration returns a token; owners MUST remove() their hook before
+//     the captured objects are destroyed (the registry is process-global and
+//     outlives any one CmpSystem).
+//   * The registry is mutex-protected: parallel sweeps run one system per
+//     thread and each registers its own hooks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace tcmp {
+
+class AbortHooks {
+ public:
+  using Hook = std::function<void()>;
+  using Token = std::uint64_t;
+
+  /// Register `hook`; returns a token for remove(). Thread-safe.
+  static Token add(Hook hook);
+  /// Unregister a previously added hook. Safe to call with a token that was
+  /// already removed (no-op). Thread-safe.
+  static void remove(Token token);
+  /// Run every registered hook once, in registration order. Re-entrancy
+  /// guarded: a hook that triggers another abort does not re-run the list.
+  /// Called by check_failed() before std::abort(), and by drivers on the
+  /// soft (lint) abort path.
+  static void run_all() noexcept;
+};
+
+}  // namespace tcmp

@@ -7,10 +7,18 @@
 #include <cstdlib>
 
 namespace tcmp::detail {
+/// Runs the process-wide abort hooks (common/abort.hpp): flight-recorder
+/// post-mortem dumps, partial trace/time-series flushes. Declared here so
+/// this header stays dependency-free; defined in common/abort.cpp.
+void run_abort_hooks() noexcept;
+
 [[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
                                       const char* msg) {
   std::fprintf(stderr, "TCMP_CHECK failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
                msg ? msg : "");
+  // Last gasp: give registered observers a chance to dump recent history
+  // (bounded rings, partially written traces) before the process dies.
+  run_abort_hooks();
   std::abort();
 }
 }  // namespace tcmp::detail

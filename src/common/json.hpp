@@ -1,0 +1,54 @@
+// Minimal JSON reader for the tooling layer (tools/tcmpstat): a
+// recursive-descent parser producing an ordered DOM, plus the string-escape
+// helper the writers share. Covers the full JSON grammar the canonical
+// metrics schema uses (objects, arrays, strings, finite numbers, booleans,
+// null); it is NOT a general-purpose library — no \uXXXX surrogate pairs, no
+// streaming, inputs are trusted artifacts the simulator itself wrote.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tcmp::json {
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Value> items;                           ///< kArray
+  std::vector<std::pair<std::string, Value>> members; ///< kObject (ordered)
+
+  [[nodiscard]] bool is_object() const { return type == Type::kObject; }
+  [[nodiscard]] bool is_array() const { return type == Type::kArray; }
+  [[nodiscard]] bool is_number() const { return type == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type == Type::kString; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(const std::string& key) const;
+  /// Dotted-path lookup over nested objects. Segments match the LONGEST
+  /// member name first, so keys that themselves contain dots (counter names
+  /// like "msg_remote.count") resolve: "counters.msg_remote.count" finds
+  /// member "msg_remote.count" of object "counters".
+  [[nodiscard]] const Value* find_path(const std::string& path) const;
+};
+
+struct ParseResult {
+  bool ok = false;
+  Value value;
+  std::string error;  ///< "offset N: message" when !ok
+};
+
+/// Parse a complete JSON document (trailing whitespace allowed, trailing
+/// garbage is an error).
+[[nodiscard]] ParseResult parse(const std::string& text);
+
+/// Escape a string for embedding in a JSON string literal (no quotes added).
+[[nodiscard]] std::string escape(const std::string& s);
+
+}  // namespace tcmp::json

@@ -52,6 +52,15 @@ class Core final : public sim::Scheduled {
   }
   [[nodiscard]] bool runnable() const { return !done_ && !blocked(); }
   [[nodiscard]] std::uint64_t instructions() const { return instructions_; }
+  /// Slack telemetry (obs/slack.hpp): is this core blocked at the head of
+  /// its in-order pipeline waiting for a fill of exactly `line`? The next
+  /// on_fill(line) is guaranteed to unstall it.
+  [[nodiscard]] bool stalled_on(LineAddr line) const {
+    return wait_fill_ && wait_line_ == line;
+  }
+  /// Slack telemetry: blocked on an instruction-fetch miss (the next
+  /// on_ifill() unstalls it).
+  [[nodiscard]] bool stalled_on_ifetch() const { return wait_ifetch_; }
 
   /// Scheduled contract: a runnable core issues every cycle; a blocked or
   /// finished one does nothing until an external fill / barrier release

@@ -40,6 +40,10 @@ void TileNic::send(CoherenceMsg msg, Cycle now) {
     ++(compressed ? compressed_ : uncompressed_);
   }
   const MappingDecision d = map_message(msg.type, compressed, scheme_, style_);
+  // Telemetry mirror of the mapping decision: lets the delivery side (slack
+  // telemetry, flight recorder) attribute the message to its wire class
+  // without re-deriving the mapping.
+  msg.wire_class = static_cast<std::uint8_t>(d.channel);
   ++(d.channel == noc::kBChannel ? b_messages_ : vl_messages_);
   if (obs_ != nullptr) [[unlikely]] {
     obs_->nic_send(msg, compressed, d.channel, d.wire_bytes);

@@ -1,0 +1,102 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+namespace tcmp::obs {
+
+namespace {
+
+const char* unit_name(protocol::Unit u) {
+  switch (u) {
+    case protocol::Unit::kL1: return "l1";
+    case protocol::Unit::kDir: return "dir";
+    case protocol::Unit::kL1I: return "l1i";
+  }
+  return "?";
+}
+
+}  // namespace
+
+const char* to_string(FlightEventKind k) {
+  switch (k) {
+    case FlightEventKind::kSendRemote: return "send";
+    case FlightEventKind::kSendLocal: return "send.local";
+    case FlightEventKind::kDeliver: return "deliver";
+  }
+  return "?";
+}
+
+FlightRecorder::FlightRecorder(unsigned n_tiles, std::size_t depth) {
+  rings_.reserve(n_tiles);
+  for (unsigned t = 0; t < n_tiles; ++t) rings_.emplace_back(depth);
+}
+
+void FlightRecorder::format_event(std::ostream& out, unsigned tile,
+                                  const Event& e) {
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "cycle=%-10" PRIu64 " tile=%-3u %-10s type=%-11s src=%-3u "
+                "dst=%-3u unit=%-3s line=0x%" PRIx64 " seq=%u wire=%u\n",
+                e.cycle.value(), tile, to_string(e.kind),
+                protocol::to_string(e.type), static_cast<unsigned>(e.src),
+                static_cast<unsigned>(e.dst), unit_name(e.dst_unit),
+                e.line.value(), e.seq, e.wire_class);
+  out << buf;
+}
+
+void FlightRecorder::dump(std::ostream& out) const {
+  out << "=== tcmp flight recorder post-mortem ===\n";
+  out << "tiles=" << rings_.size() << " depth="
+      << (rings_.empty() ? 0 : rings_[0].capacity()) << "\n";
+
+  // Rings only expose FIFO access; drain copies (the dump path is cold and
+  // the rings are small).
+  std::vector<std::vector<Event>> per_tile(rings_.size());
+  for (unsigned t = 0; t < rings_.size(); ++t) {
+    Ring copy = rings_[t];
+    while (!copy.empty()) {
+      per_tile[t].push_back(copy.front());
+      copy.pop_front();
+    }
+  }
+
+  for (unsigned t = 0; t < per_tile.size(); ++t) {
+    if (per_tile[t].empty()) continue;
+    out << "--- tile " << t << " (" << per_tile[t].size()
+        << " events, oldest first) ---\n";
+    for (const Event& e : per_tile[t]) format_event(out, t, e);
+  }
+
+  // Chronologically merged tail: what the whole machine did last.
+  struct Tagged {
+    unsigned tile;
+    const Event* ev;
+  };
+  std::vector<Tagged> all;
+  for (unsigned t = 0; t < per_tile.size(); ++t) {
+    for (const Event& e : per_tile[t]) all.push_back({t, &e});
+  }
+  std::stable_sort(all.begin(), all.end(), [](const Tagged& a, const Tagged& b) {
+    return a.ev->cycle < b.ev->cycle;
+  });
+  constexpr std::size_t kTail = 128;
+  const std::size_t start = all.size() > kTail ? all.size() - kTail : 0;
+  out << "--- merged tail (last " << (all.size() - start)
+      << " events across all tiles) ---\n";
+  for (std::size_t i = start; i < all.size(); ++i) {
+    format_event(out, all[i].tile, *all[i].ev);
+  }
+}
+
+bool FlightRecorder::dump_to_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  dump(out);
+  return out.good();
+}
+
+}  // namespace tcmp::obs

@@ -1,0 +1,86 @@
+// Flight recorder: an always-on bounded ring of recent message-lifecycle
+// events per tile (common/queues.hpp RingBuffer, so steady state allocates
+// nothing and the oldest history is overwritten). When the runtime coherence
+// lint or a TCMP_CHECK/TCMP_DCHECK aborts the run, the recorder is dumped to
+// a post-mortem text file, turning a one-line abort into a replayable tail of
+// the protocol traffic that led up to it.
+//
+// Recording is cheap enough to leave on unconditionally (a branch-free struct
+// copy into a preallocated ring per routed message); the cost shows up only
+// on configurations that route messages at all, and the rings are small
+// (kDefaultDepth events per tile).
+//
+// Emit sites pass interned enum kinds, never strings (tcmplint rule
+// obs-emit-interned): the dump side alone pays for formatting.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/queues.hpp"
+#include "common/types.hpp"
+#include "protocol/coherence_msg.hpp"
+
+namespace tcmp::obs {
+
+/// Where in its lifecycle a message was observed.
+enum class FlightEventKind : std::uint8_t {
+  kSendRemote,  ///< handed to the NIC for mesh traversal (recorded at src)
+  kSendLocal,   ///< pushed into the tile-internal loopback (recorded at src)
+  kDeliver,     ///< consumed by the destination protocol handler
+};
+
+[[nodiscard]] const char* to_string(FlightEventKind k);
+
+class FlightRecorder {
+ public:
+  /// Events retained per tile before the oldest is overwritten.
+  static constexpr std::size_t kDefaultDepth = 256;
+
+  explicit FlightRecorder(unsigned n_tiles, std::size_t depth = kDefaultDepth);
+
+  /// Record one lifecycle event for `msg` at `tile`. Always-on hot path:
+  /// struct copy into a fixed ring, overwriting the oldest entry when full.
+  void record(FlightEventKind kind, NodeId tile,
+              const protocol::CoherenceMsg& msg, Cycle now) {
+    Ring& ring = rings_[tile];
+    if (ring.full()) ring.pop_front();
+    ring.push_back(Event{now, msg.line, msg.seq, msg.src, msg.dst, kind,
+                         msg.type, msg.dst_unit, msg.wire_class});
+  }
+
+  /// Write the retained history: a per-tile section (oldest to newest) plus
+  /// a chronologically merged tail across all tiles.
+  void dump(std::ostream& out) const;
+  /// dump() to `path`; returns false when the file could not be written.
+  bool dump_to_file(const std::string& path) const;
+
+  [[nodiscard]] unsigned n_tiles() const {
+    return static_cast<unsigned>(rings_.size());
+  }
+  [[nodiscard]] std::size_t events_retained(unsigned tile) const {
+    return rings_[tile].size();
+  }
+
+ private:
+  struct Event {
+    Cycle cycle{};
+    LineAddr line{};
+    std::uint32_t seq = 0;
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    FlightEventKind kind = FlightEventKind::kSendRemote;
+    protocol::MsgType type = protocol::MsgType::kGetS;
+    protocol::Unit dst_unit = protocol::Unit::kDir;
+    std::uint8_t wire_class = 0;
+  };
+  using Ring = RingBuffer<Event>;
+
+  static void format_event(std::ostream& out, unsigned tile, const Event& e);
+
+  std::vector<Ring> rings_;  ///< [tile]
+};
+
+}  // namespace tcmp::obs

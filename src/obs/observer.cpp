@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "common/abort.hpp"
 #include "common/check.hpp"
 
 namespace tcmp::obs {
@@ -63,6 +64,18 @@ Observer::Observer(const ObsConfig& cfg, const StatRegistry* stats)
                 {"l1.read_misses", "l1.write_misses", "l1.upgrade_misses"},
                 {"l1.accesses"});
   ts_.add_windowed_histogram("net_lat", &window_latency_);
+
+  // Flush-on-abort: if a TCMP_CHECK (or the coherence lint's hard path)
+  // kills the run mid-flight, write out whatever trace/time-series history
+  // was collected instead of leaving the files missing or truncated. The
+  // hook is best-effort by contract and removed in the destructor.
+  if (!cfg_.trace_path.empty() || !cfg_.timeseries_path.empty()) {
+    abort_token_ = AbortHooks::add([this] { finalize_to_files(now()); });
+  }
+}
+
+Observer::~Observer() {
+  if (abort_token_ != 0) AbortHooks::remove(abort_token_);
 }
 
 void Observer::label_tiles(unsigned n_tiles) {
@@ -252,6 +265,7 @@ void Observer::dir_msg_processed(NodeId tile, const protocol::CoherenceMsg& msg)
 void Observer::finalize(Cycle now) {
   if (finalized_) return;
   finalized_ = true;
+  slack_.finalize();
   ts_.finalize(now);
   // Close spans still open at end of simulation so every begin has an end.
   auto close_all = [&](std::unordered_map<std::uint64_t, const char*>& open) {

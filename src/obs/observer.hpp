@@ -24,6 +24,7 @@
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "obs/hooks.hpp"
+#include "obs/slack.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "sim/scheduled.hpp"
@@ -43,6 +44,11 @@ struct ObsConfig {
 class Observer final : public ProtocolHooks, public sim::Scheduled {
  public:
   Observer(const ObsConfig& cfg, const StatRegistry* stats);
+  /// Unregisters the flush-on-abort hook installed for the configured
+  /// output paths (common/abort.hpp).
+  ~Observer();
+  Observer(const Observer&) = delete;
+  Observer& operator=(const Observer&) = delete;
 
   [[nodiscard]] bool tracing() const { return cfg_.level >= Level::kTrace; }
   [[nodiscard]] Cycle now() const { return clock_ != nullptr ? *clock_ : now_; }
@@ -107,6 +113,13 @@ class Observer final : public ProtocolHooks, public sim::Scheduled {
   void l1_miss_end(NodeId tile, LineAddr line) override;
   void dir_msg_processed(NodeId tile, const protocol::CoherenceMsg& msg) override;
 
+  // --- slack telemetry ---
+  /// The slack/criticality telemetry plane. CmpSystem::attach_observer
+  /// init()s it (levels >= kTimeseries) with the attached network's wire
+  /// classes and feeds it from the injection/delivery/unstall paths.
+  [[nodiscard]] SlackTelemetry& slack() { return slack_; }
+  [[nodiscard]] const SlackTelemetry& slack() const { return slack_; }
+
   // --- time-series wiring ---
   [[nodiscard]] TimeSeries& timeseries() { return ts_; }
   void add_gauge(std::string column, std::function<double()> fn);
@@ -133,6 +146,10 @@ class Observer final : public ProtocolHooks, public sim::Scheduled {
 
   ObsConfig cfg_;
   const StatRegistry* stats_;
+  SlackTelemetry slack_;
+  /// Flush-on-abort registration (0 = none): a TCMP_CHECK abort mid-run
+  /// flushes partial trace/time-series output instead of truncating it.
+  std::uint64_t abort_token_ = 0;
   Cycle now_{0};
   const Cycle* clock_ = nullptr;  ///< driver clock (see set_clock)
   TimeSeries ts_;

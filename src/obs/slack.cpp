@@ -1,0 +1,139 @@
+#include "obs/slack.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace tcmp::obs {
+
+const char* to_string(CritClass c) {
+  switch (c) {
+    case CritClass::kBlockingDemand: return "blocking";
+    case CritClass::kOverlapTolerant: return "overlap";
+    case CritClass::kAckWriteback: return "ackwb";
+  }
+  return "?";
+}
+
+bool can_unstall_dst(protocol::MsgType t, protocol::Unit unit) {
+  using protocol::MsgType;
+  if (unit == protocol::Unit::kL1I) {
+    // The only L1I-bound message is the instruction-fetch data reply.
+    return t == MsgType::kData;
+  }
+  if (unit != protocol::Unit::kL1) return false;  // directory-bound
+  switch (t) {
+    case MsgType::kData:
+    case MsgType::kDataExcl:
+    case MsgType::kUpgradeAck:
+    case MsgType::kPartialReply:
+    case MsgType::kInvAck:  // requester-bound ack completing a GetX/Upgrade
+      return true;
+    default:
+      return false;
+  }
+}
+
+void SlackTelemetry::init(StatRegistry* stats,
+                          const std::vector<std::string>& wire_names) {
+  TCMP_CHECK(stats != nullptr && !wire_names.empty());
+  TCMP_CHECK(cells_.empty());  // init-once
+  n_wires_ = static_cast<unsigned>(wire_names.size());
+  cells_.resize(kNumCritClasses * n_wires_);
+  for (unsigned c = 0; c < kNumCritClasses; ++c) {
+    for (unsigned w = 0; w < n_wires_; ++w) {
+      Cell& cl = cells_[c * n_wires_ + w];
+      cl.name = std::string(to_string(static_cast<CritClass>(c))) + "." +
+                wire_names[w];
+      // 64 bins x 4 cycles covers realized slack up to ~256 cycles before
+      // the overflow bin (quantiles stay meaningful at mesh latencies).
+      cl.slack = stats->histogram_ref("slack." + cl.name, 64, 4);
+      cl.nonblocking = stats->counter_ref("slack." + cl.name + ".nonblocking");
+    }
+  }
+  pending_ifetch_.clear();
+}
+
+void SlackTelemetry::on_delivered(NodeId tile, const protocol::CoherenceMsg& msg,
+                                  bool parked, Cycle now) {
+  if (!parked) {
+    ++cell(msg.slack_class, msg.wire_class).nonblocking;
+    return;
+  }
+  Pending p;
+  p.delivered = now;
+  p.cls = msg.slack_class;
+  p.wire = msg.wire_class;
+  if (msg.dst_unit == protocol::Unit::kL1I) {
+    if (pending_ifetch_.size() <= tile) pending_ifetch_.resize(tile + 1);
+    pending_ifetch_[tile].push_back(p);
+  } else {
+    pending_[key(tile, msg.line)].push_back(p);
+  }
+}
+
+void SlackTelemetry::on_unstall(NodeId tile, LineAddr line, Cycle now) {
+  auto it = pending_.find(key(tile, line));
+  if (it == pending_.end()) return;
+  for (const Pending& p : it->second) {
+    cell(p.cls, p.wire).slack.add((now - p.delivered).value());
+  }
+  pending_.erase(it);
+}
+
+void SlackTelemetry::on_unstall_ifetch(NodeId tile, Cycle now) {
+  if (pending_ifetch_.size() <= tile) return;
+  for (const Pending& p : pending_ifetch_[tile]) {
+    cell(p.cls, p.wire).slack.add((now - p.delivered).value());
+  }
+  pending_ifetch_[tile].clear();
+}
+
+void SlackTelemetry::finalize() {
+  if (!enabled()) return;
+  for (const auto& [k, vec] : pending_) {
+    (void)k;
+    for (const Pending& p : vec) ++cell(p.cls, p.wire).nonblocking;
+  }
+  pending_.clear();
+  for (auto& vec : pending_ifetch_) {
+    for (const Pending& p : vec) ++cell(p.cls, p.wire).nonblocking;
+    vec.clear();
+  }
+}
+
+std::uint64_t SlackTelemetry::resolved(CritClass c, unsigned wire) const {
+  if (!enabled()) return 0;
+  return cell(static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(wire))
+      .slack.get()
+      .scalar()
+      .count();
+}
+
+std::uint64_t SlackTelemetry::nonblocking(CritClass c, unsigned wire) const {
+  if (!enabled()) return 0;
+  return cell(static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(wire))
+      .nonblocking.value();
+}
+
+void SlackTelemetry::write_table(std::ostream& out) const {
+  if (!enabled()) return;
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "  %-16s %10s %8s %8s %8s %10s %12s\n",
+                "slack [cycles]", "mean", "p50", "p95", "p99", "count",
+                "nonblocking");
+  out << buf;
+  for (const Cell& c : cells_) {
+    const Histogram& h = c.slack.get();
+    std::snprintf(buf, sizeof buf,
+                  "  %-16s %10.2f %8.1f %8.1f %8.1f %10llu %12llu\n",
+                  c.name.c_str(), h.scalar().mean(), h.quantile(0.50),
+                  h.quantile(0.95), h.quantile(0.99),
+                  static_cast<unsigned long long>(h.scalar().count()),
+                  static_cast<unsigned long long>(c.nonblocking.value()));
+    out << buf;
+  }
+}
+
+}  // namespace tcmp::obs

@@ -114,6 +114,15 @@ struct CoherenceMsg {
   /// Lifecycle-trace span id assigned at network injection when an observer
   /// is tracing; 0 = untraced. Not modelled on the wire.
   std::uint32_t trace_id = 0;
+  /// Slack-telemetry tag stamped at injection when slack telemetry is
+  /// enabled (obs/slack.hpp CritClass: was the requesting core blocked at
+  /// ROB head, overlap-tolerant, or is this an ack/writeback?). Not
+  /// modelled on the wire.
+  std::uint8_t slack_class = 0;
+  /// Channel plane the sending NIC mapped the message onto (noc channel
+  /// index; 0 on the homogeneous baseline). Telemetry-only mirror of the
+  /// het::MappingDecision — not itself modelled on the wire.
+  std::uint8_t wire_class = 0;
 };
 
 }  // namespace tcmp::protocol

@@ -30,8 +30,13 @@ namespace tcmp::sim {
 class SimKernel {
  public:
   /// Register a component. Registration order is the scan order of
-  /// next_wake(); hot components (cores) should come first.
-  void add_component(Scheduled* c) { components_.push_back(c); }
+  /// next_wake(); hot components (cores) should come first. `name` labels
+  /// the component in the self-profiler's pull-scan attribution (a static
+  /// string; same-named components aggregate into one row).
+  void add_component(Scheduled* c, const char* name = "component") {
+    components_.push_back(c);
+    scan_stats_.push_back(ScanStat{name, 0, 0});
+  }
 
   /// One-shot wake request: guarantees cycle `at` is treated as live.
   /// Requests at or before the clock handed to the last next_wake() call are
@@ -58,6 +63,39 @@ class SimKernel {
     return nxt;
   }
 
+  /// Per-component pull-scan attribution (filled by next_wake_counted):
+  /// how often each registered component was polled, and how often its
+  /// next_event() ended the scan by demanding the very next cycle.
+  struct ScanStat {
+    const char* name;
+    std::uint64_t polls;
+    std::uint64_t hot_exits;
+  };
+
+  /// next_wake() with per-component scan accounting — bit-identical result,
+  /// used by the self-profiled run loop (sim/profiler.hpp) so "who keeps
+  /// cycles live" is attributable per registered Scheduled component.
+  [[nodiscard]] Cycle next_wake_counted(Cycle now) {
+    while (!calendar_.empty() && calendar_.top() <= now) calendar_.pop();
+    const Cycle next_cycle = now + 1;
+    Cycle nxt = calendar_.empty() ? kNeverCycle : calendar_.top();
+    if (nxt <= next_cycle) return next_cycle;
+    for (std::size_t i = 0; i < components_.size(); ++i) {
+      const Cycle e = components_[i]->next_event();
+      ++scan_stats_[i].polls;
+      if (e <= next_cycle) {
+        ++scan_stats_[i].hot_exits;
+        return next_cycle;
+      }
+      if (e < nxt) nxt = e;
+    }
+    return nxt;
+  }
+
+  [[nodiscard]] const std::vector<ScanStat>& scan_stats() const {
+    return scan_stats_;
+  }
+
   /// True when every registered component reports quiescent and no wake
   /// request is outstanding (the machine has fully drained).
   [[nodiscard]] bool quiescent() const {
@@ -73,6 +111,7 @@ class SimKernel {
 
  private:
   std::vector<Scheduled*> components_;
+  std::vector<ScanStat> scan_stats_;  ///< parallel to components_
   std::priority_queue<Cycle, std::vector<Cycle>, std::greater<>> calendar_;
 };
 

@@ -1,0 +1,85 @@
+#include "sim/profiler.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace tcmp::sim {
+
+namespace {
+
+std::uint64_t to_nanos(SelfProfiler::Clock::duration d) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(d).count());
+}
+
+}  // namespace
+
+unsigned SelfProfiler::register_scope(std::string name) {
+  scopes_.push_back(Scope{std::move(name), {}, 0});
+  return static_cast<unsigned>(scopes_.size() - 1);
+}
+
+std::uint64_t SelfProfiler::total_nanos() const {
+  if (run_end_ <= run_begin_) return 0;
+  return to_nanos(run_end_ - run_begin_);
+}
+
+std::uint64_t SelfProfiler::attributed_nanos() const {
+  Clock::duration sum{};
+  for (const Scope& s : scopes_) sum += s.spent;
+  return to_nanos(sum);
+}
+
+double SelfProfiler::attribution_fraction() const {
+  const std::uint64_t total = total_nanos();
+  if (total == 0) return 0.0;
+  return static_cast<double>(attributed_nanos()) / static_cast<double>(total);
+}
+
+std::vector<SelfProfiler::Row> SelfProfiler::rows() const {
+  const std::uint64_t total = total_nanos();
+  std::vector<Row> out;
+  for (const Scope& s : scopes_) {
+    Row r;
+    r.name = s.name;
+    r.nanos = to_nanos(s.spent);
+    r.laps = s.laps;
+    r.share = total ? static_cast<double>(r.nanos) / static_cast<double>(total)
+                    : 0.0;
+    out.push_back(std::move(r));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Row& a, const Row& b) { return a.nanos > b.nanos; });
+  const std::uint64_t attributed = attributed_nanos();
+  if (total > attributed) {
+    Row r;
+    r.name = "(unattributed)";
+    r.nanos = total - attributed;
+    r.laps = 0;
+    r.share = static_cast<double>(r.nanos) / static_cast<double>(total);
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+void SelfProfiler::write_table(std::ostream& out) const {
+  const std::uint64_t total = total_nanos();
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "  self-profile: wall=%.3f ms attributed=%.1f%%\n",
+                static_cast<double>(total) / 1e6,
+                100.0 * attribution_fraction());
+  out << buf;
+  std::snprintf(buf, sizeof buf, "  %-22s %12s %8s %12s\n", "scope",
+                "wall [ms]", "share", "laps");
+  out << buf;
+  for (const Row& r : rows()) {
+    std::snprintf(buf, sizeof buf, "  %-22s %12.3f %7.1f%% %12llu\n",
+                  r.name.c_str(), static_cast<double>(r.nanos) / 1e6,
+                  100.0 * r.share, static_cast<unsigned long long>(r.laps));
+    out << buf;
+  }
+}
+
+}  // namespace tcmp::sim

@@ -1,0 +1,139 @@
+// Flight recorder and crash post-mortems: bounded-ring retention semantics,
+// dump formatting, and the end-to-end path — a seeded coherence violation
+// aborts the run through the periodic lint and the armed post-mortem file
+// contains the violating line's message-lifecycle tail.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "cmp/system.hpp"
+#include "obs/flight_recorder.hpp"
+#include "verify/lint.hpp"
+#include "workloads/synthetic_app.hpp"
+
+using namespace tcmp;
+
+namespace {
+
+protocol::CoherenceMsg mk_msg(LineAddr line, std::uint32_t seq) {
+  protocol::CoherenceMsg msg;
+  msg.type = protocol::MsgType::kGetS;
+  msg.src = NodeId{0};
+  msg.dst = NodeId{1};
+  msg.dst_unit = protocol::Unit::kDir;
+  msg.line = line;
+  msg.seq = seq;
+  return msg;
+}
+
+TEST(FlightRecorder, RetainsNewestAtFixedDepth) {
+  obs::FlightRecorder rec(/*n_tiles=*/2, /*depth=*/4);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    rec.record(obs::FlightEventKind::kSendRemote, NodeId{0},
+               mk_msg(LineAddr{0x1000}, i), Cycle{i});
+  }
+  EXPECT_EQ(rec.events_retained(0), 4u);
+  EXPECT_EQ(rec.events_retained(1), 0u);
+
+  std::ostringstream out;
+  rec.dump(out);
+  const std::string dump = out.str();
+  // Oldest history was overwritten; the newest four survive.
+  EXPECT_EQ(dump.find("seq=5"), std::string::npos);
+  for (std::uint32_t i = 6; i < 10; ++i) {
+    EXPECT_NE(dump.find("seq=" + std::to_string(i)), std::string::npos);
+  }
+}
+
+TEST(FlightRecorder, DumpCarriesHeaderPerTileSectionsAndMergedTail) {
+  obs::FlightRecorder rec(/*n_tiles=*/3, /*depth=*/8);
+  rec.record(obs::FlightEventKind::kSendLocal, NodeId{2},
+             mk_msg(LineAddr{0xABC0}, 7), Cycle{42});
+  rec.record(obs::FlightEventKind::kDeliver, NodeId{0},
+             mk_msg(LineAddr{0xABC0}, 7), Cycle{50});
+
+  std::ostringstream out;
+  rec.dump(out);
+  const std::string dump = out.str();
+  EXPECT_NE(dump.find("flight recorder post-mortem"), std::string::npos);
+  EXPECT_NE(dump.find("tiles=3 depth=8"), std::string::npos);
+  EXPECT_NE(dump.find("--- tile 2 "), std::string::npos);
+  EXPECT_NE(dump.find("--- merged tail"), std::string::npos);
+  EXPECT_NE(dump.find("send.local"), std::string::npos);
+  EXPECT_NE(dump.find("deliver"), std::string::npos);
+  EXPECT_NE(dump.find("line=0xabc0"), std::string::npos);
+  // Tile 1 recorded nothing: no empty section for it.
+  EXPECT_EQ(dump.find("--- tile 1 "), std::string::npos);
+}
+
+TEST(FlightRecorder, DisarmedPostmortemDumpsNothing) {
+  const auto cfg =
+      cmp::CmpConfig::heterogeneous(compression::SchemeConfig::dbrc(4, 2));
+  cmp::CmpSystem system(
+      cfg, std::make_shared<workloads::SyntheticApp>(
+               workloads::app("MP3D").scaled(0.02), cfg.n_tiles));
+  EXPECT_FALSE(system.dump_postmortem());
+}
+
+TEST(FlightRecorder, LintAbortProducesPostMortemWithViolatingTail) {
+  const auto cfg =
+      cmp::CmpConfig::heterogeneous(compression::SchemeConfig::dbrc(4, 2));
+  auto system = std::make_unique<cmp::CmpSystem>(
+      cfg, std::make_shared<workloads::SyntheticApp>(
+               workloads::app("MP3D").scaled(0.05), cfg.n_tiles));
+
+  // Let the machine route real traffic, then pick the most recently recorded
+  // line address out of the recorder itself — corrupting a line with live
+  // lifecycle history guarantees the post-mortem shows the violating
+  // message's tail.
+  for (int i = 0; i < 3000; ++i) system->step();
+  std::ostringstream pre;
+  system->flight_recorder().dump(pre);
+  const std::string history = pre.str();
+  const auto pos = history.rfind("line=0x");
+  ASSERT_NE(pos, std::string::npos);
+  const auto end = history.find(' ', pos);
+  const std::string token = history.substr(pos + 5, end - (pos + 5));
+  const LineAddr victim{std::strtoull(token.c_str(), nullptr, 16)};
+
+  const std::string path =
+      ::testing::TempDir() + "tcmp_postmortem_test.txt";
+  std::remove(path.c_str());
+  system->set_postmortem_path(path);
+  EXPECT_EQ(system->postmortem_path(), path);
+
+  verify::CoherenceLinter linter(system.get());
+  // The tcmpsim wiring: a failing lint scan dumps the post-mortem and
+  // aborts the run.
+  system->set_periodic_check(Cycle{100}, [&](Cycle now) {
+    if (linter.scan(now).empty()) return true;
+    system->dump_postmortem();
+    return false;
+  });
+
+  // Seed the violation: the same line stable-M in two L1s (R1-SWMR).
+  system->l1(1).debug_force_state(victim, protocol::L1State::kM);
+  system->l1(2).debug_force_state(victim, protocol::L1State::kM);
+
+  EXPECT_FALSE(system->run(Cycle{1'000'000}));
+  EXPECT_TRUE(system->aborted());
+  EXPECT_GT(linter.violations(), 0u);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string dump = buf.str();
+  EXPECT_NE(dump.find("flight recorder post-mortem"), std::string::npos);
+  EXPECT_NE(dump.find("--- merged tail"), std::string::npos);
+  // The violating line's lifecycle events survived into the post-mortem.
+  EXPECT_NE(dump.find("line=" + token), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace

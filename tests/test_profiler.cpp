@@ -1,0 +1,113 @@
+// Kernel self-profiling: lap attribution semantics in isolation, the
+// acceptance bar (>= 95% of the run's wall clock attributed to named scopes)
+// on a live profiled run, and bit-identity between the profiled and
+// unprofiled loops.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "cmp/system.hpp"
+#include "sim/profiler.hpp"
+#include "workloads/synthetic_app.hpp"
+
+using namespace tcmp;
+
+namespace {
+
+std::unique_ptr<cmp::CmpSystem> mp3d_system(double scale) {
+  const auto cfg =
+      cmp::CmpConfig::heterogeneous(compression::SchemeConfig::dbrc(4, 2));
+  return std::make_unique<cmp::CmpSystem>(
+      cfg, std::make_shared<workloads::SyntheticApp>(
+               workloads::app("MP3D").scaled(scale), cfg.n_tiles));
+}
+
+volatile std::uint64_t burn_sink = 0;
+void burn() {
+  for (std::uint64_t i = 0; i < 200'000; ++i) burn_sink = burn_sink + i;
+}
+
+TEST(SelfProfiler, LapsTileTheRunContiguously) {
+  sim::SelfProfiler prof;
+  const unsigned a = prof.register_scope("alpha");
+  const unsigned b = prof.register_scope("beta");
+  prof.start_run();
+  burn();
+  prof.lap(a);
+  burn();
+  prof.lap(b);
+  burn();
+  prof.lap(a);
+  prof.stop_run();
+
+  EXPECT_GT(prof.total_nanos(), 0u);
+  // Laps cover start_run..last-lap contiguously; only the tail after the
+  // final lap is unattributed.
+  EXPECT_GE(prof.attribution_fraction(), 0.95);
+  EXPECT_LE(prof.attributed_nanos(), prof.total_nanos());
+
+  const auto rows = prof.rows();
+  ASSERT_GE(rows.size(), 2u);
+  // Rows are sorted by attributed time descending; alpha got two laps.
+  EXPECT_GE(rows[0].nanos, rows[1].nanos);
+  std::uint64_t alpha_laps = 0;
+  for (const auto& r : rows) {
+    if (r.name == "alpha") alpha_laps = r.laps;
+  }
+  EXPECT_EQ(alpha_laps, 2u);
+}
+
+TEST(SelfProfiler, TableNamesEveryScope) {
+  sim::SelfProfiler prof;
+  prof.register_scope("network");
+  prof.register_scope("cores");
+  prof.start_run();
+  burn();
+  prof.lap(0);
+  burn();
+  prof.lap(1);
+  prof.stop_run();
+
+  std::ostringstream out;
+  prof.write_table(out);
+  EXPECT_NE(out.str().find("network"), std::string::npos);
+  EXPECT_NE(out.str().find("cores"), std::string::npos);
+}
+
+TEST(SelfProfiler, ProfiledSystemRunMeetsAttributionBar) {
+  auto system = mp3d_system(0.05);
+  sim::SelfProfiler prof;
+  system->set_profiler(&prof);
+  ASSERT_EQ(system->profiler(), &prof);
+  ASSERT_TRUE(system->run(Cycle{50'000'000}));
+
+  EXPECT_GT(prof.total_nanos(), 0u);
+  EXPECT_GE(prof.attribution_fraction(), 0.95);
+
+  // The "where the wall-clock went" table names the driver sections and the
+  // kernel's pull-scan attribution.
+  std::ostringstream out;
+  system->write_self_profile(out);
+  const std::string table = out.str();
+  EXPECT_NE(table.find("network"), std::string::npos);
+  EXPECT_NE(table.find("cores"), std::string::npos);
+  EXPECT_NE(table.find("pull-scan"), std::string::npos);
+}
+
+TEST(SelfProfiler, ProfiledAndUnprofiledRunsAreBitIdentical) {
+  auto plain = mp3d_system(0.02);
+  auto profiled = mp3d_system(0.02);
+  sim::SelfProfiler prof;
+  profiled->set_profiler(&prof);
+
+  ASSERT_TRUE(plain->run(Cycle{50'000'000}));
+  ASSERT_TRUE(profiled->run(Cycle{50'000'000}));
+
+  EXPECT_EQ(plain->total_cycles().value(), profiled->total_cycles().value());
+  EXPECT_EQ(plain->total_instructions(), profiled->total_instructions());
+  EXPECT_EQ(plain->stats().counters(), profiled->stats().counters());
+}
+
+}  // namespace

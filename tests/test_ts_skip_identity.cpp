@@ -1,0 +1,64 @@
+// Dead-cycle skipping vs. the dense per-cycle loop: the event kernel jumps
+// the clock over globally dead regions, and a time-series sample boundary can
+// land inside such a region. The observer is a kernel wake source precisely
+// so that boundary still fires at the right cycle — the emitted CSV must be
+// byte-identical to the dense loop's, not merely statistically equal.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "cmp/system.hpp"
+#include "obs/observer.hpp"
+#include "workloads/synthetic_app.hpp"
+
+using namespace tcmp;
+
+namespace {
+
+std::string timeseries_csv(const std::string& app, bool skipping,
+                           Cycle sample_interval) {
+  const auto cfg =
+      cmp::CmpConfig::heterogeneous(compression::SchemeConfig::dbrc(4, 2));
+  obs::ObsConfig ocfg;
+  ocfg.level = obs::Level::kTimeseries;
+  ocfg.sample_interval = sample_interval;
+  cmp::CmpSystem system(
+      cfg, std::make_shared<workloads::SyntheticApp>(
+               workloads::app(app).scaled(0.02), cfg.n_tiles));
+  system.set_dead_cycle_skipping(skipping);
+  obs::Observer observer(ocfg, &system.stats());
+  system.attach_observer(&observer);
+  EXPECT_TRUE(system.run(Cycle{50'000'000}));
+  observer.finalize(system.total_cycles());
+  std::ostringstream out;
+  observer.write_timeseries(out);
+  return out.str();
+}
+
+TEST(DeadCycleSkipTimeseries, CsvBitIdenticalAcrossSampleBoundaries) {
+  // A short sample interval relative to the app's barrier/drain phases puts
+  // many window boundaries inside otherwise-dead regions — exactly the case
+  // where a skipping kernel that failed to honor the sampler as a wake
+  // source would emit different windows.
+  const Cycle interval{512};
+  const std::string dense = timeseries_csv("MP3D", /*skipping=*/false, interval);
+  const std::string skipped = timeseries_csv("MP3D", /*skipping=*/true, interval);
+
+  ASSERT_FALSE(dense.empty());
+  // Several windows actually sampled (header + rows).
+  EXPECT_GT(std::count(dense.begin(), dense.end(), '\n'), 5);
+  EXPECT_EQ(dense, skipped);
+}
+
+TEST(DeadCycleSkipTimeseries, CsvBitIdenticalOnSecondWorkload) {
+  const Cycle interval{1024};
+  const std::string dense = timeseries_csv("FFT", /*skipping=*/false, interval);
+  const std::string skipped = timeseries_csv("FFT", /*skipping=*/true, interval);
+  ASSERT_FALSE(dense.empty());
+  EXPECT_EQ(dense, skipped);
+}
+
+}  // namespace

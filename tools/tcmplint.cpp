@@ -24,6 +24,14 @@
 //                     construction and bumped through the handle (see the
 //                     hot-path contract in common/stats.hpp). Escape
 //                     hatch: `tcmplint: allow-stat-string`.
+//   obs-emit-interned per-event telemetry emit sites in the hot-path
+//                     directories must bump through handles interned at init
+//                     time: a `counter_ref("`, `scalar_ref("` or
+//                     `histogram_ref("` call with an inline string literal
+//                     outside constructors / init functions re-resolves the
+//                     name on every event — exactly the map walk the _ref
+//                     API exists to avoid. Escape hatch:
+//                     `tcmplint: allow-string-emit`.
 //   scheduled-contract a header under src/ declaring a per-cycle `tick(Cycle)`
 //                     entry point must also declare the sim::Scheduled
 //                     contract (`next_event(` and `quiescent(`) — otherwise
@@ -260,6 +268,65 @@ void check_stat_string_hot_path(const fs::path& root) {
   }
 }
 
+// ---- obs-emit-interned ---------------------------------------------------
+
+void check_obs_emit_interned(const fs::path& root) {
+  // The stat-string-hot-path rule bans `counter("...")` bumps, but a
+  // `counter_ref("...")` resolved at the emit site is the same map walk in a
+  // handle costume. Interning is only an optimization when it happens once:
+  // _ref calls with inline string literals are confined to constructors and
+  // init functions, where the handle is cached for the run.
+  static const std::regex emit(
+      R"(\b(counter_ref|scalar_ref|histogram_ref)\s*\(\s*")");
+  // Anchored at column 0: out-of-class definitions start unindented in this
+  // codebase, while qualified *calls* (std::move(, protocol::to_string() sit
+  // inside indented statements — the anchor keeps them out of the walk.
+  static const std::regex member_def(
+      R"(^(?=[^\s/]).*?\b([A-Za-z_]\w*)::(~?[A-Za-z_]\w*)\s*\()");
+  static const std::regex inline_def(
+      R"(^\s*(?:explicit\s+)?([A-Za-z_]\w*)\s*\()");
+  static const char* kHotDirs[] = {"protocol", "noc",  "het",   "core",
+                                   "cmp",      "obs",  "verify"};
+  for (const char* dir : kHotDirs) {
+    for (const std::string ext : {".hpp", ".cpp"}) {
+      for (const auto& f : collect(root / "src" / dir, ext)) {
+        const std::string text = read_file(f);
+        const auto lines = split_lines(text);
+        for (std::size_t i = 0; i < lines.size(); ++i) {
+          const std::string& l = lines[i];
+          if (l.find("tcmplint: allow-string-emit") != std::string::npos)
+            continue;
+          std::smatch m;
+          if (!std::regex_search(l, m, emit)) continue;
+          bool allowed = false;
+          for (std::size_t j = i + 1; j-- > 0;) {
+            std::smatch d;
+            if (std::regex_search(lines[j], d, member_def)) {
+              const std::string cls = d[1].str(), fn = d[2].str();
+              allowed = cls == fn || fn.find("init") != std::string::npos;
+              break;
+            }
+            if (std::regex_search(lines[j], d, inline_def) &&
+                (text.find("class " + d[1].str()) != std::string::npos ||
+                 text.find("struct " + d[1].str()) != std::string::npos)) {
+              allowed = true;  // in-class constructor definition
+              break;
+            }
+          }
+          if (!allowed) {
+            report(f, static_cast<long>(i + 1), "obs-emit-interned",
+                   "emit-site handle resolution '" + m[1].str() +
+                       "(\"...\")' outside init — intern the handle once at "
+                       "construction/init and emit through it (hot-path "
+                       "contract, common/stats.hpp), or annotate "
+                       "'tcmplint: allow-string-emit' with a reason");
+          }
+        }
+      }
+    }
+  }
+}
+
 // ---- scheduled-contract --------------------------------------------------
 
 void check_scheduled_contract(const fs::path& root) {
@@ -350,8 +417,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: tcmplint --root <dir> [--rule raw-unit|"
                    "msgtype-tables|stat-registration|stat-string-hot-path|"
-                   "scheduled-contract|self-contained|pragma-once] "
-                   "[--cxx <compiler>]\n");
+                   "obs-emit-interned|scheduled-contract|self-contained|"
+                   "pragma-once] [--cxx <compiler>]\n");
       return 2;
     }
   }
@@ -365,6 +432,7 @@ int main(int argc, char** argv) {
   if (want("msgtype-tables")) check_msgtype_tables(root);
   if (want("stat-registration")) check_stat_registration(root);
   if (want("stat-string-hot-path")) check_stat_string_hot_path(root);
+  if (want("obs-emit-interned")) check_obs_emit_interned(root);
   if (want("scheduled-contract")) check_scheduled_contract(root);
   if (want("pragma-once")) check_pragma_once(root);
   if (want("self-contained")) check_self_contained(root, cxx);

@@ -91,6 +91,20 @@ void seeded_hot_bump(StatRegistry& stats) {
 EOF
 expect_catch stat-string-hot-path
 
+# --- obs-emit-interned: a per-event emit site resolving its handle from a
+# string literal (the interning is supposed to happen once, at init).
+fresh_tree
+expect_clean obs-emit-interned
+cat > "$scratch/tree/src/obs/seeded_emit.cpp" <<'EOF'
+#include "common/stats.hpp"
+namespace tcmp {
+void seeded_emit_site(StatRegistry& stats) {
+  stats.histogram_ref("seeded.slack.emit").add(1);
+}
+}  // namespace tcmp
+EOF
+expect_catch obs-emit-interned
+
 # --- scheduled-contract: a ticked component that hides from the event
 # kernel (no next_event/quiescent, no allow-comment).
 fresh_tree

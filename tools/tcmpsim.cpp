@@ -22,9 +22,18 @@
 // Observability (docs/observability.md):
 //   --trace-out FILE      write a Chrome trace-event JSON (load in Perfetto)
 //   --timeseries-out FILE write per-window telemetry CSV
+//   --metrics-out FILE    write the canonical versioned metrics JSON
+//                         (cmp/metrics_export.hpp; tools/tcmpstat reads it)
 //   --obs-level N         0=off 1=timeseries 2=trace (default: inferred from
 //                         the output options above)
 //   --sample-interval N   telemetry window length in cycles (default 10000)
+//   --slack-report        print the slack/criticality distribution table
+//                         (class x wire realized-slack; implies telemetry)
+//   --self-profile        attribute host wall-time per driver section and
+//                         kernel phase; prints the table, lands in metrics
+//   --postmortem-out FILE arm the crash flight recorder: on a coherence-lint
+//                         abort or a TCMP_CHECK failure, dump the recent
+//                         per-tile message-lifecycle history to FILE
 //
 // Verification (docs/verification.md):
 //   --verify-interval N   run the coherence lint every N cycles (each tick
@@ -39,10 +48,15 @@
 #include <string>
 #include <vector>
 
+#include <fstream>
+#include <iostream>
+
+#include "cmp/metrics_export.hpp"
 #include "cmp/report.hpp"
 #include "cmp/system.hpp"
 #include "common/args.hpp"
 #include "obs/observer.hpp"
+#include "sim/profiler.hpp"
 #include "verify/lint.hpp"
 #include "workloads/synthetic_app.hpp"
 #include "workloads/trace_workload.hpp"
@@ -66,6 +80,10 @@ struct Options {
   std::string format = "text";
   std::string trace_out;
   std::string timeseries_out;
+  std::string metrics_out;
+  std::string postmortem_out;
+  bool slack_report = false;
+  bool self_profile = false;
   long obs_level = -1;  ///< -1 = infer from the output options
   long sample_interval = 10'000;
   long verify_interval = 0;  ///< 0 = coherence lint off
@@ -193,7 +211,8 @@ int main(int argc, char** argv) {
       "low",   "vl",    "tiles",              "scale",              "format",
       "help",  "reply-partitioning",          "three-stage-router",
       "trace-out", "timeseries-out", "obs-level", "sample-interval",
-      "verify-interval"};
+      "verify-interval", "metrics-out", "postmortem-out", "slack-report",
+      "self-profile"};
   for (const auto& k : args.unknown_keys(known)) {
     std::fprintf(stderr, "unknown option --%s (see the header of tools/tcmpsim.cpp)\n",
                  k.c_str());
@@ -219,6 +238,10 @@ int main(int argc, char** argv) {
   o.format = args.get("format", o.format);
   o.trace_out = args.get("trace-out", o.trace_out);
   o.timeseries_out = args.get("timeseries-out", o.timeseries_out);
+  o.metrics_out = args.get("metrics-out", o.metrics_out);
+  o.postmortem_out = args.get("postmortem-out", o.postmortem_out);
+  o.slack_report = args.get_flag("slack-report");
+  o.self_profile = args.get_flag("self-profile");
   o.obs_level = args.get_long("obs-level", o.obs_level);
   o.sample_interval = args.get_long("sample-interval", o.sample_interval);
   o.verify_interval = args.get_long("verify-interval", o.verify_interval);
@@ -253,8 +276,12 @@ int main(int argc, char** argv) {
     apps.push_back(o.app);
   }
 
+  if (o.slack_report && o.obs_level == 0) {
+    std::fprintf(stderr, "--slack-report requires --obs-level >= 1\n");
+    return 2;
+  }
   const bool want_obs = !o.trace_out.empty() || !o.timeseries_out.empty() ||
-                        o.obs_level > 0;
+                        o.obs_level > 0 || o.slack_report;
   bool first = true;
   for (const auto& name : apps) {
     std::shared_ptr<core::Workload> workload;
@@ -271,6 +298,15 @@ int main(int argc, char** argv) {
       observer = std::make_unique<obs::Observer>(
           make_obs_config(o, name, apps.size() > 1), &system.stats());
       system.attach_observer(observer.get());
+    }
+    if (!o.postmortem_out.empty()) {
+      system.set_postmortem_path(
+          suffixed(o.postmortem_out, name, apps.size() > 1));
+    }
+    std::unique_ptr<sim::SelfProfiler> profiler;
+    if (o.self_profile) {
+      profiler = std::make_unique<sim::SelfProfiler>();
+      system.set_profiler(profiler.get());
     }
     std::unique_ptr<verify::CoherenceLinter> linter;
     if (o.verify_interval > 0) {
@@ -303,6 +339,14 @@ int main(int argc, char** argv) {
       } else {
         std::fprintf(stderr, "%s: simulation did not finish\n", name.c_str());
       }
+      // Crash-path observability: the lint abort is a clean return (not a
+      // TCMP_CHECK), so the abort hooks never fire — flush the partial
+      // trace/time-series output and the flight-recorder post-mortem here.
+      if (observer) observer->finalize_to_files(system.total_cycles());
+      if (system.dump_postmortem()) {
+        std::fprintf(stderr, "%s: flight-recorder post-mortem written to %s\n",
+                     name.c_str(), system.postmortem_path().c_str());
+      }
       return 1;
     }
     if (observer && !observer->finalize_to_files(system.total_cycles())) {
@@ -314,6 +358,22 @@ int main(int argc, char** argv) {
     r.workload = name;
     emit(o, r, first);
     if (o.format == "text") emit_latency_table(r);
+    if (o.slack_report && observer) {
+      observer->slack().write_table(std::cout);
+    }
+    if (o.self_profile) {
+      system.write_self_profile(std::cout);
+    }
+    if (!o.metrics_out.empty()) {
+      const std::string path = suffixed(o.metrics_out, name, apps.size() > 1);
+      std::ofstream out(path);
+      if (out) cmp::write_metrics_json(out, r, system, profiler.get());
+      if (!out || !out.good()) {
+        std::fprintf(stderr, "%s: could not write metrics to %s\n",
+                     name.c_str(), path.c_str());
+        return 1;
+      }
+    }
     first = false;
   }
   return 0;

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Canonical-metrics round-trip test:
+#   1. tcmpsim --metrics-out writes a schema-versioned JSON document
+#      (with slack telemetry and a self-profile section).
+#   2. tcmpstat summarizes it and a self-compare exits 0.
+#   3. An injected +50% cycles regression makes the gate exit nonzero.
+#   4. A corrupted schema version is rejected (exit 2).
+set -u
+
+TCMPSIM=$1
+TCMPSTAT=$2
+WORKDIR=$3
+
+mkdir -p "$WORKDIR"
+cd "$WORKDIR" || exit 1
+
+fail() { echo "tcmpstat_test: $*" >&2; exit 1; }
+
+"$TCMPSIM" --app MP3D --config het --scale 0.05 --obs-level 1 \
+    --self-profile --metrics-out base.json > /dev/null \
+  || fail "tcmpsim --metrics-out failed"
+[ -s base.json ] || fail "metrics file missing or empty"
+
+grep -q '"schema":"tcmp-metrics"' base.json || fail "schema tag missing"
+grep -q '"version":1' base.json || fail "schema version missing"
+grep -q '"slack"' base.json || fail "slack section missing"
+grep -q '"self_profile"' base.json || fail "self_profile section missing"
+
+"$TCMPSTAT" base.json > /dev/null || fail "summary mode failed"
+
+"$TCMPSTAT" --compare base.json base.json --tolerance 0 > /dev/null \
+  || fail "self-compare regressed"
+
+# Inject a +50% cycles regression: scale run.cycles up and confirm the gate
+# trips at the default 20% tolerance.
+CYCLES=$(sed -n 's/.*"cycles":\([0-9]*\).*/\1/p' base.json | head -1)
+[ -n "$CYCLES" ] || fail "could not extract cycles"
+WORSE=$((CYCLES + CYCLES / 2))
+sed "s/\"cycles\":$CYCLES/\"cycles\":$WORSE/" base.json > worse.json
+"$TCMPSTAT" --compare base.json worse.json > /dev/null \
+  && fail "injected regression was not detected"
+
+# Unsupported schema version must be rejected, not silently compared.
+sed 's/"version":1/"version":999/' base.json > future.json
+"$TCMPSTAT" future.json > /dev/null 2>&1
+[ $? -eq 2 ] || fail "future schema version was not rejected"
+
+echo "tcmpstat_test: OK"
