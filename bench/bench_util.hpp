@@ -5,19 +5,18 @@
 // smaller values give quick smoke runs).
 #pragma once
 
-#include <algorithm>
-#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
-#include <thread>
+#include <utility>
 #include <vector>
 
 #include "cmp/report.hpp"
 #include "cmp/system.hpp"
 #include "common/env.hpp"
+#include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "compression/scheme.hpp"
 #include "workloads/app_params.hpp"
@@ -43,40 +42,17 @@ namespace tcmp::bench {
   return jobs < 1 ? 1u : static_cast<unsigned>(jobs);
 }
 
-/// Deterministic parallel sweep driver: runs `task(i)` for every i in
-/// [0, n) across `jobs` worker threads and returns the results indexed by
-/// task, so callers print a merged table whose content is identical at any
-/// job count. Each task must be self-contained — build its own CmpSystem
-/// (one StatRegistry per run, nothing shared) — which is what makes every
-/// interleaving safe without a single lock. Worker progress goes to stderr;
-/// nothing is written to stdout here.
+/// Deterministic parallel sweep driver (common/parallel.hpp): runs `task(i)`
+/// for every i in [0, n) across `jobs` worker threads and returns the
+/// results indexed by task, so callers print a merged table whose content is
+/// identical at any job count. Each task must be self-contained — build its
+/// own CmpSystem (one StatRegistry per run, nothing shared) — which is what
+/// makes every interleaving safe without a single lock. Worker progress goes
+/// to stderr; nothing is written to stdout here.
 template <typename Task>
 [[nodiscard]] auto parallel_sweep(std::size_t n, unsigned jobs, Task task)
     -> std::vector<decltype(task(std::size_t{0}))> {
-  std::vector<decltype(task(std::size_t{0}))> results(n);
-  if (jobs <= 1 || n <= 1) {
-    for (std::size_t i = 0; i < n; ++i) {
-      results[i] = task(i);
-      std::fprintf(stderr, "  [%zu/%zu] runs done\n", i + 1, n);
-    }
-    return results;
-  }
-  std::atomic<std::size_t> next{0};
-  std::atomic<std::size_t> completed{0};
-  auto worker = [&] {
-    for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-      results[i] = task(i);
-      std::fprintf(stderr, "  [%zu/%zu] runs done\n",
-                   completed.fetch_add(1) + 1, n);
-    }
-  };
-  const auto n_workers = static_cast<unsigned>(
-      std::min<std::size_t>(jobs, n));
-  std::vector<std::thread> pool;
-  pool.reserve(n_workers);
-  for (unsigned w = 0; w < n_workers; ++w) pool.emplace_back(worker);
-  for (auto& t : pool) t.join();
-  return results;
+  return tcmp::parallel_sweep(n, jobs, std::move(task), /*progress=*/true);
 }
 
 /// Run one application under one configuration to completion.

@@ -71,6 +71,7 @@ CmpSystem::CmpSystem(const CmpConfig& cfg, std::shared_ptr<core::Workload> workl
     // = unstall cycle - delivery cycle). slack_ is null unless an observer
     // with telemetry enabled is attached, so the probe costs one branch.
     tile->l1->set_fill_callback(
+        // tcmplint: tile-seam (same-tile fill callback wired at construction; never crosses a partition)
         [this, core = tile->core.get(), id](LineAddr line) {
           const bool was_stalled = core->stalled_on(line);
           core->on_fill(line);
@@ -78,6 +79,7 @@ CmpSystem::CmpSystem(const CmpConfig& cfg, std::shared_ptr<core::Workload> workl
             slack_->on_unstall(id, line, now_);
           }
         });
+    // tcmplint: tile-seam (same-tile fill callback wired at construction; never crosses a partition)
     tile->l1i->set_fill_callback([this, core = tile->core.get(), id] {
       const bool was_stalled = core->stalled_on_ifetch();
       core->on_ifill();
@@ -225,11 +227,13 @@ void CmpSystem::attach_observer(obs::Observer* obs) {
   if (!warmup_done_) obs->set_warmup_pending();
   obs->add_gauge("dir_busy_lines", [this] {
     double total = 0;
+    // tcmplint: tile-seam (report-time gauge aggregation; becomes a per-partition shard merge)
     for (const auto& t : tiles_) total += t->dir->busy_lines();
     return total;
   });
   obs->add_gauge("dir_queued_msgs", [this] {
     double total = 0;
+    // tcmplint: tile-seam (report-time gauge aggregation; becomes a per-partition shard merge)
     for (const auto& t : tiles_) total += t->dir->queued_msgs();
     return total;
   });
@@ -274,6 +278,7 @@ bool CmpSystem::beneficiary_stalled(const CoherenceMsg& msg) const {
                        : (msg.dst_unit == protocol::Unit::kDir ? msg.src
                                                                : msg.dst);
   if (b >= tiles_.size()) return false;
+  // tcmplint: tile-seam (slack probe reads the beneficiary core's stall state; cross-partition it must ride the message)
   const core::Core& core = *tiles_[b]->core;
   if (msg.type == protocol::MsgType::kGetInstr ||
       msg.dst_unit == protocol::Unit::kL1I) {
@@ -493,12 +498,14 @@ void CmpSystem::dump_state(std::ostream& out) const {
 
 std::uint64_t CmpSystem::total_instructions() const {
   std::uint64_t total = 0;
+  // tcmplint: tile-seam (report-time counter aggregation; becomes a per-partition shard merge)
   for (const auto& t : tiles_) total += t->core->instructions();
   return total;
 }
 
 std::uint64_t CmpSystem::compression_accesses() const {
   std::uint64_t total = 0;
+  // tcmplint: tile-seam (report-time counter aggregation; becomes a per-partition shard merge)
   for (const auto& t : tiles_) total += t->nic->compression_accesses();
   return total;
 }

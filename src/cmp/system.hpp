@@ -88,12 +88,20 @@ class CmpSystem {
   [[nodiscard]] StatRegistry& stats() { return stats_; }
   [[nodiscard]] core::Workload& workload() { return *workload_; }
 
-  // Component access for tests and examples.
+  // Component access for tests and examples. These hand out references into
+  // tile-owned state, which is exactly what the tile-escape lint polices:
+  // they are sanctioned for single-threaded drivers (tests, examples,
+  // verify scans) only and must never be called from sweep worker threads
+  // or, later, across partition boundaries (docs/static-analysis.md).
+  // tcmplint: tile-seam (single-threaded test/verify access)
   [[nodiscard]] protocol::L1Cache& l1(unsigned tile) { return *tiles_[tile]->l1; }
+  // tcmplint: tile-seam (single-threaded test/verify access)
   [[nodiscard]] protocol::Directory& directory(unsigned tile) {
     return *tiles_[tile]->dir;
   }
+  // tcmplint: tile-seam (single-threaded test/verify access)
   [[nodiscard]] core::Core& core(unsigned tile) { return *tiles_[tile]->core; }
+  // tcmplint: tile-seam (single-threaded test/verify access)
   [[nodiscard]] het::TileNic& nic(unsigned tile) { return *tiles_[tile]->nic; }
   [[nodiscard]] noc::Network& network() { return *network_; }
   [[nodiscard]] const noc::Network& network() const { return *network_; }

@@ -1,9 +1,10 @@
 #include "common/abort.hpp"
 
 #include <atomic>
-#include <mutex>
 #include <utility>
 #include <vector>
+
+#include "common/sync.hpp"
 
 namespace tcmp {
 
@@ -14,17 +15,21 @@ struct Entry {
   AbortHooks::Hook hook;
 };
 
+// The one process-global piece of mutable state in the tree that is shared
+// across sweep worker threads (every CmpSystem registers its post-mortem
+// hook here), so its discipline is spelled out in types: every field is
+// guarded by `mu` and -Wthread-safety rejects an unlocked touch.
 struct Registry {
-  std::mutex mu;
-  std::vector<Entry> entries;
-  AbortHooks::Token next_token = 1;
+  Mutex mu;
+  std::vector<Entry> entries TCMP_GUARDED_BY(mu);
+  AbortHooks::Token next_token TCMP_GUARDED_BY(mu) = 1;
 };
 
 // Leaked on purpose: hooks may fire during static destruction of other
 // objects, and a function-local leaked singleton can never be destroyed
-// before them.
+// before them. Mutable by design, mutex-guarded above.
 Registry& registry() {
-  static Registry* r = new Registry();
+  static Registry* r = new Registry();  // tcmplint: allow-mutable-static (mutex-guarded leaked singleton; see comment)
   return *r;
 }
 
@@ -34,7 +39,7 @@ std::atomic<bool> running{false};
 
 AbortHooks::Token AbortHooks::add(Hook hook) {
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mu);
+  const LockGuard lock(r.mu);
   const Token t = r.next_token++;
   r.entries.push_back({t, std::move(hook)});
   return t;
@@ -42,7 +47,7 @@ AbortHooks::Token AbortHooks::add(Hook hook) {
 
 void AbortHooks::remove(Token token) {
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mu);
+  const LockGuard lock(r.mu);
   for (auto it = r.entries.begin(); it != r.entries.end(); ++it) {
     if (it->token == token) {
       r.entries.erase(it);
@@ -60,7 +65,7 @@ void AbortHooks::run_all() noexcept {
   // code that itself registers/removes hooks.
   std::vector<Entry> entries;
   {
-    const std::lock_guard<std::mutex> lock(r.mu);
+    const LockGuard lock(r.mu);
     entries = std::move(r.entries);
     r.entries.clear();
   }

@@ -17,8 +17,10 @@
 //   * Registration returns a token; owners MUST remove() their hook before
 //     the captured objects are destroyed (the registry is process-global and
 //     outlives any one CmpSystem).
-//   * The registry is mutex-protected: parallel sweeps run one system per
-//     thread and each registers its own hooks.
+//   * The registry is mutex-protected (common/sync.hpp: the locking
+//     discipline is spelled out in TCMP_GUARDED_BY annotations that Clang's
+//     -Wthread-safety verifies): parallel sweeps run one system per thread
+//     and each registers its own hooks.
 #pragma once
 
 #include <cstdint>

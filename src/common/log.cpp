@@ -1,5 +1,6 @@
 #include "common/log.hpp"
 
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 
@@ -16,8 +17,11 @@ LogLevel initial_level() {
   return LogLevel::kInfo;
 }
 
-LogLevel& level_ref() {
-  static LogLevel lvl = initial_level();
+// Atomic so concurrent sweep workers can read (and tests can set) the level
+// without a data race; relaxed ordering suffices — the level is a filter,
+// not a synchronization point.
+std::atomic<LogLevel>& level_ref() {
+  static std::atomic<LogLevel> lvl{initial_level()};
   return lvl;
 }
 
@@ -25,8 +29,10 @@ constexpr const char* kNames[] = {"TRACE", "DEBUG", "INFO", "WARN", "ERROR"};
 
 }  // namespace
 
-LogLevel Log::level() { return level_ref(); }
-void Log::set_level(LogLevel lvl) { level_ref() = lvl; }
+LogLevel Log::level() { return level_ref().load(std::memory_order_relaxed); }
+void Log::set_level(LogLevel lvl) {
+  level_ref().store(lvl, std::memory_order_relaxed);
+}
 
 void Log::write(LogLevel lvl, const char* fmt, ...) {
   if (!enabled(lvl)) return;

@@ -1,0 +1,75 @@
+// Thread-safety-annotated synchronization primitives.
+//
+// The simulator core is single-threaded by design (one CmpSystem per sweep
+// task, nothing shared — see docs/kernel.md); the few places that genuinely
+// share mutable state across threads (the process-global abort-hook registry,
+// the parallel_sweep driver) must make that sharing *provable*. These
+// wrappers carry Clang's thread-safety attributes so `-Wthread-safety`
+// (enabled for Clang builds in the top-level CMakeLists, an error under
+// TCMP_WERROR) statically checks that every TCMP_GUARDED_BY field is only
+// touched with its mutex held. On GCC the attributes expand to nothing and
+// the wrappers are exactly std::mutex / std::lock_guard.
+//
+// Conventions (enforced by tcmplint):
+//   * guarded-field: in any class holding a Mutex, every sibling data member
+//     is either TCMP_GUARDED_BY(that mutex) or explicitly annotated
+//     `tcmplint: allow-unguarded-field (reason)`.
+//   * mutable-static: non-const static-duration locals are banned outside an
+//     annotated allowlist; shared mutable singletons must be mutex-guarded
+//     (this header) or atomic.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__)
+#define TCMP_TSA(x) __attribute__((x))
+#else
+#define TCMP_TSA(x)  // GCC: thread-safety attributes are Clang-only
+#endif
+
+#define TCMP_CAPABILITY(x) TCMP_TSA(capability(x))
+#define TCMP_SCOPED_CAPABILITY TCMP_TSA(scoped_lockable)
+#define TCMP_GUARDED_BY(x) TCMP_TSA(guarded_by(x))
+#define TCMP_PT_GUARDED_BY(x) TCMP_TSA(pt_guarded_by(x))
+#define TCMP_ACQUIRE(...) TCMP_TSA(acquire_capability(__VA_ARGS__))
+#define TCMP_RELEASE(...) TCMP_TSA(release_capability(__VA_ARGS__))
+#define TCMP_TRY_ACQUIRE(...) TCMP_TSA(try_acquire_capability(__VA_ARGS__))
+#define TCMP_REQUIRES(...) TCMP_TSA(requires_capability(__VA_ARGS__))
+#define TCMP_EXCLUDES(...) TCMP_TSA(locks_excluded(__VA_ARGS__))
+#define TCMP_RETURN_CAPABILITY(x) TCMP_TSA(lock_returned(x))
+#define TCMP_NO_THREAD_SAFETY_ANALYSIS TCMP_TSA(no_thread_safety_analysis)
+
+namespace tcmp {
+
+/// std::mutex as a Clang thread-safety *capability*: fields declared
+/// TCMP_GUARDED_BY(mu) may only be read or written while `mu` is held, and
+/// the analysis rejects any code path that forgets the lock.
+class TCMP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() TCMP_ACQUIRE() { mu_.lock(); }
+  void unlock() TCMP_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() TCMP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::lock_guard over Mutex, visible to the analysis as a scoped
+/// capability: the guarded fields are accessible exactly for the guard's
+/// lifetime.
+class TCMP_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) TCMP_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~LockGuard() TCMP_RELEASE() { mu_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace tcmp

@@ -3,6 +3,11 @@
 // the L1 blocks the pipeline until the fill returns (loads and stores both
 // block: in-order issue with no store buffer, the conservative model also
 // used by RSIM's simple-core mode).
+//
+// Thread compatibility: tile-owned, no internal locking. The core holds raw
+// pointers to its *own tile's* L1/L1I (a sanctioned same-tile edge of the
+// tile-escape lint, docs/static-analysis.md); it never touches another
+// tile's state directly.
 #pragma once
 
 #include <functional>

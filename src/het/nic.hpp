@@ -15,6 +15,12 @@
 // The simulator carries the true address in every message; the NIC asserts
 // that the decompressed address matches it, so any sender/receiver state
 // divergence aborts the run instead of silently skewing results.
+//
+// Thread compatibility: the NIC is the sanctioned message seam between a
+// tile and the rest of the machine (tile-escape lint,
+// docs/static-analysis.md): under Graphite-style partitioning (ROADMAP
+// item 1) send()/receive() become the cross-partition hand-off points, so
+// everything behind them stays single-owner.
 #pragma once
 
 #include <array>

@@ -2,6 +2,12 @@
 // interfaces (packetization, injection lanes per virtual network, ejection
 // reassembly). The caller's mapping policy decides which channel and how many
 // wire bytes each message uses; the network handles everything below that.
+//
+// Thread compatibility: single-owner, no internal locking. The router-to-
+// router links inside a plane are direct pointers; when the mesh is
+// partitioned across threads (ROADMAP item 1) the cut happens at link
+// boundaries inside this layer, below the NIC seam the tile-escape lint
+// polices (docs/static-analysis.md).
 #pragma once
 
 #include <deque>

@@ -11,6 +11,10 @@
 // forwards, responses) cannot block each other. Any port may be an ejection
 // port (meshes eject at kPortLocal; tree cluster routers eject each leaf
 // tile at its own port).
+//
+// Thread compatibility: single-owner, no internal locking; downstream/
+// upstream router pointers are intra-plane wiring that a partitioned mesh
+// (ROADMAP item 1) will cut at link boundaries (see noc/network.hpp).
 #pragma once
 
 #include <algorithm>

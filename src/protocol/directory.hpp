@@ -14,6 +14,10 @@
 // eviction buffer at the L1 — a PutAck can never overtake the forward and
 // tear the buffer down. Puts that arrive after resolution (or after the line
 // was recalled away entirely) are stale: acknowledged and ignored.
+//
+// Thread compatibility: tile-owned, no internal locking; mutated only from
+// its tile's simulation thread through the message seam (tile-escape lint,
+// docs/static-analysis.md).
 #pragma once
 
 #include <functional>

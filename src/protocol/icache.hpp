@@ -7,6 +7,9 @@
 // directory state, and no invalidations are ever delivered here. I-misses
 // still travel the real network (short critical requests, compressible like
 // any other) and occupy real L2 bandwidth.
+//
+// Thread compatibility: tile-owned, no internal locking; mutated only from
+// its tile's simulation thread (tile-escape lint, docs/static-analysis.md).
 #pragma once
 
 #include <functional>

@@ -13,6 +13,11 @@
 //     eviction buffer, which then waits for the stale PutAck (II_A);
 //   * a new miss to a line with an in-flight writeback is deferred until the
 //     PutAck drains.
+//
+// Thread compatibility: tile-owned, no internal locking. All mutation is
+// driven from its tile's single simulation thread; the only cross-tile entry
+// point is deliver() via the NIC/message seam (the tile-escape lint,
+// docs/static-analysis.md, keeps it that way).
 #pragma once
 
 #include <functional>

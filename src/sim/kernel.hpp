@@ -16,6 +16,13 @@
 //     calendar (used for timed hand-offs that no component surfaces, e.g.
 //     the tile-internal loopback latency), with adjacent duplicates
 //     coalesced at insert and stale entries drained lazily.
+//
+// Thread compatibility: single-owner. add_component() is the one sanctioned
+// path that hands component pointers out of their owning tile (the
+// tile-escape lint allowlists it, docs/static-analysis.md); the kernel only
+// ever *reads* next_event()/quiescent() through them. A partitioned mesh
+// (ROADMAP item 1) runs one kernel per partition over that partition's
+// components.
 #pragma once
 
 #include <cstddef>

@@ -5,6 +5,9 @@ namespace tcmp::wire {
 namespace u = units;
 
 const TechParams& TechParams::itrs65() {
+  // const once-init: C++ magic-static initialization is thread-safe, and the
+  // table is immutable afterwards, so concurrent sweep workers may share it
+  // (the mutable-static lint allows exactly this form).
   static const TechParams tech = [] {
     TechParams t{};
     t.resistivity = u::OhmMeters{2.2e-8};  // Cu with barrier at 65 nm

@@ -16,6 +16,9 @@
 namespace tcmp::workloads {
 
 const std::vector<AppParams>& all_apps() {
+  // const once-init (thread-safe magic static, immutable afterwards):
+  // concurrent sweep workers share this table safely; the mutable-static
+  // lint allows exactly this form.
   static const std::vector<AppParams> apps = [] {
     std::vector<AppParams> v;
 

@@ -20,7 +20,26 @@ fi
 
 echo "tcmplint: repo-specific rules"
 cmake --build "$build" --target tcmplint -j "$(nproc)" >/dev/null
-"$build/tools/tcmplint" --root "$repo"
+# Enumerate the rule set from the linter itself (never hard-code rule names
+# here: a rule missing from this loop would be silently skipped by CI).
+# Running per-rule also makes the failing rule obvious in the CI log.
+mapfile -t rules < <("$build/tools/tcmplint" --list-rules)
+for rule in "${rules[@]}"; do
+  "$build/tools/tcmplint" --root "$repo" --rule "$rule"
+done
+
+# Clang's thread-safety analysis checks the TCMP_GUARDED_BY/TCMP_REQUIRES
+# annotations from common/sync.hpp (a no-op under GCC, so the lint job is
+# where they are actually enforced).
+if command -v clang++ >/dev/null 2>&1; then
+  echo "clang -Wthread-safety: src/"
+  find "$repo/src" -name '*.cpp' | sort | while read -r f; do
+    clang++ -std=c++20 -fsyntax-only -I "$repo/src" \
+      -Wthread-safety -Werror=thread-safety-analysis "$f"
+  done
+else
+  echo "clang++ not found; skipping -Wthread-safety pass"
+fi
 
 mapfile -t sources < <(find "$repo/src" "$repo/tools" -name '*.cpp' | sort)
 

@@ -39,11 +39,38 @@
 //                     dead-cycle skipping would silently drop its ticks.
 //                     Escape hatch: `tcmplint: allow-unscheduled-tick` (for
 //                     components ticked outside CmpSystem's kernel loop).
+//   mutable-static    no non-const static-duration locals / class statics in
+//                     src/: a mutable static is shared state every sweep
+//                     worker thread can reach, invisible to the per-tile
+//                     ownership story partitioning depends on. `static
+//                     const`/`static constexpr` (immutable after once-init)
+//                     and `static std::atomic<...>` are allowed. Escape
+//                     hatch: `tcmplint: allow-mutable-static` (reserved for
+//                     mutex-guarded singletons such as the abort-hook
+//                     registry).
+//   guarded-field     in any class holding a Mutex/std::mutex member, every
+//                     sibling data member must carry TCMP_GUARDED_BY(<mu>)
+//                     (common/sync.hpp) so Clang's -Wthread-safety can prove
+//                     the locking discipline. Escape hatch:
+//                     `tcmplint: allow-unguarded-field`.
+//   tile-escape       raw pointers/references to tile-owned component types
+//                     (L1Cache, ICache, Directory, Core, TileNic) must not
+//                     escape outside the sanctioned seams: a type's own
+//                     translation unit, the same-tile collaborator edges
+//                     (core/ -> L1Cache/ICache), SimKernel registration
+//                     (`add_component(`), and constructor wiring. This is
+//                     the invariant Graphite-style mesh partitioning
+//                     (ROADMAP item 1) depends on: cross-tile interaction
+//                     flows through the NIC/message seam, never through a
+//                     cached raw pointer. Escape hatch:
+//                     `tcmplint: tile-seam` (each use documents a partition
+//                     boundary the multi-threaded kernel must cut).
 //   self-contained    every header under src/ must compile standalone
 //                     ($CXX -std=c++20 -fsyntax-only -I src).
 //   pragma-once       every header under src/ must contain #pragma once.
 //
 // Usage: tcmplint --root <repo-root> [--rule <name>] [--cxx <compiler>]
+//        tcmplint --list-rules
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -359,6 +386,240 @@ void check_scheduled_contract(const fs::path& root) {
   }
 }
 
+// ---- mutable-static ------------------------------------------------------
+
+void check_mutable_static(const fs::path& root) {
+  // A non-const static-duration object is mutable state shared by every
+  // sweep worker thread — exactly what the tile-ownership story (and TSan)
+  // must not find. `static const`/`static constexpr` are immutable after a
+  // thread-safe once-init; `static std::atomic<...>` is race-free by type.
+  // Everything else needs the allow-comment and a mutex-guarded design.
+  static const std::regex decl(
+      R"(^\s*(?:inline\s+)?static\s+([A-Za-z_][\w:<>,&*\s]*?)\s+\**)"
+      R"(([A-Za-z_]\w*)\s*(?:\[[^\]]*\]\s*)?(=|\{|;))");
+  static const std::regex immutable(R"(\b(const|constexpr)\b)");
+  for (const std::string ext : {".hpp", ".cpp"}) {
+    for (const auto& f : collect(root / "src", ext)) {
+      const auto lines = split_lines(read_file(f));
+      for (std::size_t i = 0; i < lines.size(); ++i) {
+        const std::string& l = lines[i];
+        if (l.find("tcmplint: allow-mutable-static") != std::string::npos)
+          continue;
+        std::smatch m;
+        if (!std::regex_search(l, m, decl)) continue;
+        const std::string type = m[1].str();
+        if (std::regex_search(type, immutable)) continue;
+        if (type.find("std::atomic") != std::string::npos) continue;
+        report(f, static_cast<long>(i + 1), "mutable-static",
+               "mutable static '" + m[2].str() +
+                   "' is shared state every sweep thread can reach — make it "
+                   "const/constexpr, std::atomic, or a mutex-guarded "
+                   "singleton annotated 'tcmplint: allow-mutable-static' "
+                   "with a reason");
+      }
+    }
+  }
+}
+
+// ---- guarded-field -------------------------------------------------------
+
+// Locate the class body enclosing line `idx` (brace counting, backward for
+// the opening '{', forward for the close). Returns false when `idx` is not
+// inside braces opened by a struct/class head.
+bool enclosing_class_body(const std::vector<std::string>& lines,
+                          std::size_t idx, std::size_t& body_begin,
+                          std::size_t& body_end) {
+  long depth = 0;
+  std::size_t open_line = lines.size();
+  for (std::size_t j = idx + 1; j-- > 0;) {
+    const std::string& l = lines[j];
+    for (std::size_t k = l.size(); k-- > 0;) {
+      if (l[k] == '}') ++depth;
+      if (l[k] == '{') {
+        if (depth == 0) {
+          open_line = j;
+          break;
+        }
+        --depth;
+      }
+    }
+    if (open_line != lines.size()) break;
+  }
+  if (open_line == lines.size()) return false;
+  // The '{' must belong to a struct/class head (possibly on the line above,
+  // for wrapped declarations).
+  static const std::regex head(R"(\b(struct|class)\s+[A-Za-z_]\w*)");
+  bool is_class = false;
+  for (std::size_t j = open_line + 1; j-- > 0 && j + 3 > open_line;) {
+    if (std::regex_search(lines[j], head)) {
+      is_class = true;
+      break;
+    }
+  }
+  if (!is_class) return false;
+  body_begin = open_line + 1;
+  depth = 1;
+  for (std::size_t j = body_begin; j < lines.size(); ++j) {
+    // Depth at the *start* of line j decides whether it is a direct member.
+    for (const char c : lines[j]) {
+      if (c == '{') ++depth;
+      if (c == '}') --depth;
+    }
+    if (depth <= 0) {
+      body_end = j;
+      return true;
+    }
+  }
+  return false;
+}
+
+void check_guarded_field(const fs::path& root) {
+  // A class that owns a Mutex has declared "my fields are shared"; every
+  // sibling data member must then say which lock protects it, so Clang's
+  // -Wthread-safety can reject unlocked access paths. The scan is line-
+  // oriented: a member line is one ending in ';' with no '(' (functions and
+  // macros excluded) inside the mutex's class body.
+  static const std::regex mutex_decl(
+      R"(^\s*(?:tcmp::)?(?:Mutex|std::mutex)\s+([A-Za-z_]\w*)\s*(;|\{))");
+  static const std::regex member_like(
+      R"(^\s*[A-Za-z_][\w:<>,*&\s]*[\s*&]([A-Za-z_]\w*)\s*(\[[^\]]*\]\s*)?(=[^=]|\{|;))");
+  static const std::regex skip_kw(
+      R"(^\s*(using|typedef|friend|static|public:|private:|protected:|struct|class|enum|//|#))");
+  for (const std::string ext : {".hpp", ".cpp"}) {
+    for (const auto& f : collect(root / "src", ext)) {
+      const std::string rel = fs::relative(f, root).generic_string();
+      if (rel == "src/common/sync.hpp") continue;  // the wrappers themselves
+      const auto lines = split_lines(read_file(f));
+      for (std::size_t i = 0; i < lines.size(); ++i) {
+        std::smatch m;
+        if (!std::regex_search(lines[i], m, mutex_decl)) continue;
+        std::size_t begin = 0, end = 0;
+        if (!enclosing_class_body(lines, i, begin, end)) continue;
+        long depth = 0;
+        for (std::size_t j = begin; j < end; ++j) {
+          const std::string& l = lines[j];
+          const long line_depth = depth;
+          for (const char c : l) {
+            if (c == '{') ++depth;
+            if (c == '}') --depth;
+          }
+          if (line_depth != 0 || j == i) continue;  // nested scope / the mutex
+          if (l.find("TCMP_GUARDED_BY") != std::string::npos) continue;
+          if (l.find("tcmplint: allow-unguarded-field") != std::string::npos)
+            continue;
+          if (std::regex_search(l, skip_kw)) continue;
+          if (l.find('(') != std::string::npos) continue;  // function-ish
+          std::smatch fm;
+          if (!std::regex_search(l, fm, member_like)) continue;
+          report(f, static_cast<long>(j + 1), "guarded-field",
+                 "field '" + fm[1].str() + "' shares a class with mutex '" +
+                     m[1].str() +
+                     "' but carries no TCMP_GUARDED_BY annotation "
+                     "(common/sync.hpp) — annotate the lock that protects "
+                     "it, or 'tcmplint: allow-unguarded-field' with a "
+                     "reason");
+        }
+      }
+    }
+  }
+}
+
+// ---- tile-escape ---------------------------------------------------------
+
+void check_tile_escape(const fs::path& root) {
+  // The invariant Graphite-style partitioning (ROADMAP item 1) will cut
+  // along: a tile's components (L1, L1I, directory slice, core, NIC) are
+  // owned by that tile, and nothing outside the sanctioned seams may hold a
+  // raw pointer/reference into them — cross-tile interaction flows through
+  // the NIC/message seam or the SimKernel registration path, both of which
+  // become partition boundaries. Two per-TU passes:
+  //   (a) declarations of `TileType*` / `TileType&` anywhere in src/;
+  //   (b) bindings that materialize a component handle from the tile table
+  //       (`= *tiles_[..]->comp`, `x = t->comp.get()` captures).
+  // Allowed without annotation: the type's own translation unit, the
+  // documented same-tile collaborator edges (core/ -> L1Cache/ICache),
+  // `add_component(` registration lines, and constructor wiring (walk-back
+  // finds a constructor definition). Everything else must carry
+  // `tcmplint: tile-seam (reason)` — the annotated sites are the complete
+  // inventory of places the multi-threaded kernel must turn into messages.
+  static const std::regex raw_handle(
+      R"(\b(L1Cache|ICache|Directory|Core|TileNic)\s*(?:const\s*)?[*&])");
+  static const std::regex tile_bind(
+      R"(=\s*\*?\s*(?:&\s*)?[A-Za-z_]\w*(?:\[[^\]]*\])?\s*->\s*(l1i?|dir|core|nic)\b\s*(\.get\(\))?\s*[,;)\]}]?)");
+  static const std::regex member_def(
+      R"(\b([A-Za-z_]\w*)::(~?[A-Za-z_]\w*)\s*\()");
+  struct Edge {
+    const char* file_substr;  // TU allowed to hold the handle
+    const char* type;         // "" = any tile-owned type
+  };
+  static const Edge kAllowedEdges[] = {
+      // A type's own TU.
+      {"protocol/l1_cache.", "L1Cache"},
+      {"protocol/icache.", "ICache"},
+      {"protocol/directory.", "Directory"},
+      {"core/core_model.", "Core"},
+      {"het/nic.", "TileNic"},
+      // Same-tile collaborators, wired once at construction: the core
+      // drives its own tile's L1/L1I directly (that pair never crosses a
+      // partition boundary).
+      {"core/core_model.", "L1Cache"},
+      {"core/core_model.", "ICache"},
+  };
+  for (const std::string ext : {".hpp", ".cpp"}) {
+    for (const auto& f : collect(root / "src", ext)) {
+      const std::string rel = fs::relative(f, root).generic_string();
+      const auto lines = split_lines(read_file(f));
+      for (std::size_t i = 0; i < lines.size(); ++i) {
+        const std::string& l = lines[i];
+        // The seam annotation may sit on the line itself or the line above
+        // (bind sites inside wrapped expressions get long).
+        if (l.find("tcmplint: tile-seam") != std::string::npos) continue;
+        if (i > 0 &&
+            lines[i - 1].find("tcmplint: tile-seam") != std::string::npos)
+          continue;
+        if (l.find("add_component(") != std::string::npos) continue;
+        std::smatch m;
+        std::string what;
+        if (std::regex_search(l, m, raw_handle)) {
+          bool edge_ok = false;
+          for (const Edge& e : kAllowedEdges) {
+            if (rel.find(e.file_substr) != std::string::npos &&
+                m[1].str() == e.type) {
+              edge_ok = true;
+              break;
+            }
+          }
+          if (edge_ok) continue;
+          what = "raw handle to tile-owned type '" + m[1].str() + "'";
+        } else if (std::regex_search(l, m, tile_bind)) {
+          what = "binding of per-tile component handle '" + m[1].str() + "'";
+        } else {
+          continue;
+        }
+        // Constructor wiring is single-threaded and happens-before the
+        // simulation: walk back to the enclosing member definition and
+        // allow `X::X(`.
+        bool in_ctor = false;
+        for (std::size_t j = i + 1; j-- > 0;) {
+          std::smatch d;
+          if (std::regex_search(lines[j], d, member_def)) {
+            in_ctor = d[1].str() == d[2].str();
+            break;
+          }
+        }
+        if (in_ctor) continue;
+        report(f, static_cast<long>(i + 1), "tile-escape",
+               what +
+                   " escapes the tile-ownership seams (NIC/message path, "
+                   "SimKernel registration, constructor wiring) — route the "
+                   "interaction through a message, or annotate "
+                   "'tcmplint: tile-seam' with the partition-boundary "
+                   "reason (docs/static-analysis.md)");
+      }
+    }
+  }
+}
+
 // ---- self-contained ------------------------------------------------------
 
 void check_self_contained(const fs::path& root, const std::string& cxx) {
@@ -392,6 +653,39 @@ void check_pragma_once(const fs::path& root) {
   }
 }
 
+// Single source of truth for the rule set: --list-rules prints exactly this
+// table, and tools/run_lint.sh enumerates it — a new rule registered here
+// can never be silently skipped by the CI lint job or the seeded harness
+// (which cross-checks its coverage against this list).
+struct RuleEntry {
+  const char* name;
+  void (*run)(const fs::path& root, const std::string& cxx);
+};
+
+const RuleEntry kRules[] = {
+    {"raw-unit", [](const fs::path& r, const std::string&) { check_raw_unit(r); }},
+    {"msgtype-tables",
+     [](const fs::path& r, const std::string&) { check_msgtype_tables(r); }},
+    {"stat-registration",
+     [](const fs::path& r, const std::string&) { check_stat_registration(r); }},
+    {"stat-string-hot-path",
+     [](const fs::path& r, const std::string&) { check_stat_string_hot_path(r); }},
+    {"obs-emit-interned",
+     [](const fs::path& r, const std::string&) { check_obs_emit_interned(r); }},
+    {"scheduled-contract",
+     [](const fs::path& r, const std::string&) { check_scheduled_contract(r); }},
+    {"mutable-static",
+     [](const fs::path& r, const std::string&) { check_mutable_static(r); }},
+    {"guarded-field",
+     [](const fs::path& r, const std::string&) { check_guarded_field(r); }},
+    {"tile-escape",
+     [](const fs::path& r, const std::string&) { check_tile_escape(r); }},
+    {"pragma-once",
+     [](const fs::path& r, const std::string&) { check_pragma_once(r); }},
+    {"self-contained",
+     [](const fs::path& r, const std::string& cxx) { check_self_contained(r, cxx); }},
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -413,12 +707,13 @@ int main(int argc, char** argv) {
       rule = next();
     } else if (arg == "--cxx") {
       cxx = next();
+    } else if (arg == "--list-rules") {
+      for (const RuleEntry& r : kRules) std::printf("%s\n", r.name);
+      return 0;
     } else {
       std::fprintf(stderr,
-                   "usage: tcmplint --root <dir> [--rule raw-unit|"
-                   "msgtype-tables|stat-registration|stat-string-hot-path|"
-                   "obs-emit-interned|scheduled-contract|self-contained|"
-                   "pragma-once] [--cxx <compiler>]\n");
+                   "usage: tcmplint --root <dir> [--rule <name>] "
+                   "[--cxx <compiler>] | tcmplint --list-rules\n");
       return 2;
     }
   }
@@ -427,15 +722,18 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const auto want = [&](const char* r) { return rule == "all" || rule == r; };
-  if (want("raw-unit")) check_raw_unit(root);
-  if (want("msgtype-tables")) check_msgtype_tables(root);
-  if (want("stat-registration")) check_stat_registration(root);
-  if (want("stat-string-hot-path")) check_stat_string_hot_path(root);
-  if (want("obs-emit-interned")) check_obs_emit_interned(root);
-  if (want("scheduled-contract")) check_scheduled_contract(root);
-  if (want("pragma-once")) check_pragma_once(root);
-  if (want("self-contained")) check_self_contained(root, cxx);
+  bool known = rule == "all";
+  for (const RuleEntry& r : kRules) {
+    if (rule == "all" || rule == r.name) {
+      r.run(root, cxx);
+      known = true;
+    }
+  }
+  if (!known) {
+    std::fprintf(stderr, "tcmplint: unknown rule '%s' (see --list-rules)\n",
+                 rule.c_str());
+    return 2;
+  }
 
   for (const auto& f : g_findings) {
     std::fprintf(stderr, "%s:%ld: [%s] %s\n", f.file.c_str(), f.line,

@@ -19,9 +19,12 @@ fresh_tree() {
   cp -r "$repo/src" "$scratch/tree/src"
 }
 
+exercised=()
+
 # expect_catch <rule> — the seeded tree must fail, naming the rule.
 expect_catch() {
   local rule="$1"
+  exercised+=("$rule")
   if "$lint" --root "$scratch/tree" --rule "$rule" >"$scratch/out" 2>&1; then
     echo "FAIL: seeded $rule violation was NOT caught"
     cat "$scratch/out"
@@ -118,6 +121,50 @@ struct SeededUnscheduled {
 EOF
 expect_catch scheduled-contract
 
+# --- mutable-static: a non-const function-local static (shared mutable
+# state every sweep worker thread can reach).
+fresh_tree
+expect_clean mutable-static
+cat > "$scratch/tree/src/common/seeded_mutable_static.cpp" <<'EOF'
+namespace tcmp {
+int seeded_count_calls() {
+  static int hits = 0;
+  return ++hits;
+}
+}  // namespace tcmp
+EOF
+expect_catch mutable-static
+
+# --- guarded-field: a class holding a Mutex whose sibling field carries no
+# TCMP_GUARDED_BY annotation.
+fresh_tree
+expect_clean guarded-field
+cat > "$scratch/tree/src/common/seeded_guarded_field.hpp" <<'EOF'
+#pragma once
+#include "common/sync.hpp"
+struct SeededGuardedField {
+  tcmp::Mutex mu;
+  int unguarded = 0;
+};
+EOF
+expect_catch guarded-field
+
+# --- tile-escape: a protocol-side struct caching a raw pointer to another
+# tile's core (a direct cross-tile call path, exactly what Graphite-style
+# partitioning must not find).
+fresh_tree
+expect_clean tile-escape
+cat > "$scratch/tree/src/protocol/seeded_tile_escape.hpp" <<'EOF'
+#pragma once
+namespace tcmp::core {
+class Core;
+}
+struct SeededTileEscape {
+  tcmp::core::Core* victim_core = nullptr;
+};
+EOF
+expect_catch tile-escape
+
 # --- pragma-once: a header without the guard.
 fresh_tree
 expect_clean pragma-once
@@ -132,5 +179,18 @@ cat > "$scratch/tree/src/common/seeded_self_contained.hpp" <<'EOF'
 inline std::vector<int> seeded_not_self_contained() { return {}; }
 EOF
 expect_catch self-contained
+
+# --- completeness: every rule tcmplint advertises must have been exercised
+# above — a rule added to the linter without a seeded violation fails here.
+while IFS= read -r rule; do
+  found=0
+  for e in "${exercised[@]}"; do
+    [[ "$e" == "$rule" ]] && found=1
+  done
+  if [[ "$found" == 0 ]]; then
+    echo "FAIL: rule '$rule' (from --list-rules) has no seeded violation"
+    exit 1
+  fi
+done < <("$lint" --list-rules)
 
 echo "tcmplint seeded-violation harness: all rules catch"
