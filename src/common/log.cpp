@@ -1,19 +1,19 @@
 #include "common/log.hpp"
 
 #include <atomic>
-#include <cstdlib>
-#include <cstring>
+#include <string>
+
+#include "common/env.hpp"
 
 namespace tcmp {
 namespace {
 
 LogLevel initial_level() {
-  const char* env = std::getenv("TCMP_LOG");
-  if (env == nullptr) return LogLevel::kInfo;
-  if (std::strcmp(env, "trace") == 0) return LogLevel::kTrace;
-  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
-  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
-  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  const std::string env = env_string("TCMP_LOG", "");
+  if (env == "trace") return LogLevel::kTrace;
+  if (env == "debug") return LogLevel::kDebug;
+  if (env == "warn") return LogLevel::kWarn;
+  if (env == "error") return LogLevel::kError;
   return LogLevel::kInfo;
 }
 

@@ -79,6 +79,9 @@ class Histogram {
 
  private:
   std::vector<std::uint64_t> bins_;
+  // clear_values() deliberately keeps the bin geometry so the histogram
+  // shape (and cached Histogram pointers) stay valid across resets.
+  // tcmplint: reset-exempt (bin geometry survives clear_values by design)
   std::uint64_t bin_width_;
   ScalarStat scalar_;
 };

@@ -28,7 +28,7 @@ class StrideSender final : public SenderCompressor {
  private:
   std::vector<LineAddr> base_;
   std::vector<bool> valid_;
-  unsigned low_bytes_;
+  unsigned low_bytes_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
 };
@@ -41,7 +41,7 @@ class StrideReceiver final : public ReceiverDecompressor {
 
  private:
   std::vector<LineAddr> base_;
-  unsigned low_bytes_;
+  unsigned low_bytes_ = 0;
 };
 
 }  // namespace tcmp::compression

@@ -148,7 +148,7 @@ class Router {
   };
 
   struct LinkArrival {
-    unsigned vc;
+    unsigned vc = 0;
     Flit flit;
   };
 

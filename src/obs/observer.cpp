@@ -1,8 +1,11 @@
 #include "obs/observer.hpp"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <fstream>
+#include <utility>
+#include <vector>
 
 #include "common/abort.hpp"
 #include "common/check.hpp"
@@ -269,7 +272,13 @@ void Observer::finalize(Cycle now) {
   ts_.finalize(now);
   // Close spans still open at end of simulation so every begin has an end.
   auto close_all = [&](std::unordered_map<std::uint64_t, const char*>& open) {
-    for (const auto& [id, cat] : open) {
+    // Emit in id order so the trace does not depend on hash-bucket layout.
+    // tcmplint: order-insensitive (snapshot is sorted by id before emission)
+    std::vector<std::pair<std::uint64_t, const char*>> spans(open.begin(),
+                                                             open.end());
+    std::sort(spans.begin(), spans.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [id, cat] : spans) {
       TraceEvent e;
       e.name = "unterminated";
       e.cat = cat;

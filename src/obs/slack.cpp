@@ -92,6 +92,7 @@ void SlackTelemetry::on_unstall_ifetch(NodeId tile, Cycle now) {
 
 void SlackTelemetry::finalize() {
   if (!enabled()) return;
+  // tcmplint: order-insensitive (pure counter increments; addition commutes)
   for (const auto& [k, vec] : pending_) {
     (void)k;
     for (const Pending& p : vec) ++cell(p.cls, p.wire).nonblocking;

@@ -106,7 +106,7 @@ class TimeSeries {
   };
   struct TrackedHist {
     std::string prefix;
-    Histogram* hist;
+    Histogram* hist = nullptr;
   };
 
   const StatRegistry* stats_;

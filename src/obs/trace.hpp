@@ -57,8 +57,9 @@ class TraceWriter {
 
  private:
   struct TrackName {
-    std::uint32_t pid, tid;
-    bool is_process;
+    std::uint32_t pid = 0;
+    std::uint32_t tid = 0;
+    bool is_process = false;
     std::string name;
   };
 

@@ -54,7 +54,7 @@ class DelayQueue {
  private:
   struct Node {
     Cycle ready_at;
-    std::uint64_t seq;
+    std::uint64_t seq = 0;
     T item;
     bool operator>(const Node& o) const {
       return ready_at != o.ready_at ? ready_at > o.ready_at : seq > o.seq;

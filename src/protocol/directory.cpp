@@ -1,5 +1,6 @@
 #include "protocol/directory.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <vector>
 
@@ -545,8 +546,12 @@ void Directory::retry_blocked_fills() {
   // insert into) mem_txns_.
   std::vector<LineAddr> ready;
   ready.reserve(mem_txns_.size());
+  // tcmplint: order-insensitive (collect-only; the snapshot is sorted below)
   for (const auto& [fill_line, txn] : mem_txns_)
     if (txn.fill_arrived) ready.push_back(fill_line);
+  // Replay in address order so the install sequence does not depend on the
+  // hash table's bucket layout (installs can evict, so order is visible).
+  std::sort(ready.begin(), ready.end());
   for (LineAddr fill_line : ready) try_install_fill(fill_line);
 }
 

@@ -95,7 +95,7 @@ class L1Cache final : public sim::Scheduled {
   /// One resident stable line, as reported to the verify lint.
   struct StableLine {
     LineAddr line;
-    L1State state;
+    L1State state = L1State::kS;
     NodeId tile;
   };
   /// Invariant-scan hook (verify lint): append every resident stable line
@@ -134,8 +134,8 @@ class L1Cache final : public sim::Scheduled {
   /// only the stale PutAck is still due.
   enum class EvictState : std::uint8_t { kMIA, kEIA, kIIA };
   struct EvictEntry {
-    EvictState state;
-    std::uint32_t version;
+    EvictState state = EvictState::kMIA;
+    std::uint32_t version = 0;
   };
 
   void send(CoherenceMsg msg);

@@ -74,9 +74,9 @@ class SimKernel {
   /// how often each registered component was polled, and how often its
   /// next_event() ended the scan by demanding the very next cycle.
   struct ScanStat {
-    const char* name;
-    std::uint64_t polls;
-    std::uint64_t hot_exits;
+    const char* name = nullptr;
+    std::uint64_t polls = 0;
+    std::uint64_t hot_exits = 0;
   };
 
   /// next_wake() with per-component scan accounting — bit-identical result,

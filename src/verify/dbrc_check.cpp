@@ -19,7 +19,7 @@ struct World {
 };
 
 struct Step {
-  unsigned dst;
+  unsigned dst = 0;
   LineAddr line;
 };
 

@@ -34,10 +34,10 @@ enum class MutationId : std::uint8_t {
 enum class MutationTarget : std::uint8_t { kModel, kDbrc, kWire };
 
 struct MutationInfo {
-  MutationId id;
-  const char* name;         ///< stable CLI name (tcmpcheck --mutate <name>)
-  MutationTarget target;
-  const char* description;  ///< the bug the mutation plants
+  MutationId id{};
+  const char* name = nullptr;  ///< stable CLI name (tcmpcheck --mutate <name>)
+  MutationTarget target{};
+  const char* description = nullptr;  ///< the bug the mutation plants
 };
 
 /// All mutations, in id order (kNone excluded).

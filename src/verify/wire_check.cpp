@@ -21,13 +21,13 @@ using wire::LinkStyle;
 /// One row of the independent specification, transcribed from the paper
 /// (NOT derived from the protocol:: helpers it checks).
 struct SpecRow {
-  MsgType type;
-  unsigned bytes;     ///< uncompressed wire size
-  bool data;          ///< carries a 64 B line
-  bool address;       ///< carries the 8 B block address (compressible)
-  bool critical;      ///< on the L1-miss critical path (Fig. 4)
-  unsigned vnet;      ///< 0 requests/replacements, 1 commands, 2 responses
-  MsgClass cls;       ///< compression structure (address carriers only)
+  MsgType type{};
+  unsigned bytes = 0;  ///< uncompressed wire size
+  bool data = false;   ///< carries a 64 B line
+  bool address = false;   ///< carries the 8 B block address (compressible)
+  bool critical = false;  ///< on the L1-miss critical path (Fig. 4)
+  unsigned vnet = 0;  ///< 0 requests/replacements, 1 commands, 2 responses
+  MsgClass cls{};     ///< compression structure (address carriers only)
 };
 
 constexpr std::array<SpecRow, protocol::kNumMsgTypes> kSpec = {{

@@ -50,12 +50,12 @@ struct TechParams {
   /// factor, input-slope degradation, via/jog resistance and process
   /// guard-banding. Calibrated so a delay-optimal 8X B-wire comes out near
   /// 130 ps/mm at 65 nm.
-  double delay_derating;
+  double delay_derating = 1.0;
 
   /// Multiplies Eq. (3) switching power to account for repeater
   /// short-circuit current and clock distribution overheads. Calibrated so a
   /// B-Wire dissipates ~2.65 W/m at alpha = 1 (Table 2).
-  double short_circuit_factor;
+  double short_circuit_factor = 1.0;
 
   /// Signal propagation floor for very wide wires (LC / transmission-line
   /// regime): below this nothing helps. Includes driver overhead. Very wide

@@ -65,21 +65,56 @@
 //                     cached raw pointer. Escape hatch:
 //                     `tcmplint: tile-seam` (each use documents a partition
 //                     boundary the multi-threaded kernel must cut).
+//   nondet-iteration  range-for / iterator loops over unordered_map /
+//                     unordered_set anywhere in src/ (the container may be
+//                     a class member declared in another TU — resolved via
+//                     the cross-TU class model): hash-table iteration order
+//                     is not pinned by the language, so such loops must use
+//                     an ordered container, sort a snapshot first, or carry
+//                     `tcmplint: order-insensitive` with a commutativity
+//                     argument.
+//   uninit-member     every scalar/pointer/enum data member of a class in
+//                     src/ must have a default member initializer or be
+//                     covered by every constructor's mem-init list
+//                     (constructors defined out-of-line in .cpp included).
+//                     Escape hatch: `tcmplint: allow-uninit`.
+//   reset-coverage    a class exposing a reset()/zero_all()/clear_values()/
+//                     clear_stats() lifecycle method must mention every
+//                     data member in that method's body (wherever the body
+//                     is defined), reassign `*this`, or annotate the member
+//                     `tcmplint: reset-exempt` — the audited inventory a
+//                     future snapshot/restore serializer will walk.
+//   ambient-nondeterminism rand/time/random_device/system_clock/getenv and
+//                     friends are banned outside common/rng.hpp,
+//                     common/env.hpp and the self-profiler: all randomness
+//                     flows through the seeded Rng, all environment reads
+//                     through env.hpp. Escape hatch:
+//                     `tcmplint: allow-ambient`.
 //   self-contained    every header under src/ must compile standalone
 //                     ($CXX -std=c++20 -fsyntax-only -I src).
 //   pragma-once       every header under src/ must contain #pragma once.
 //
+// The four determinism/state-integrity rules share a cross-TU class/field
+// model (tools/tcmplint_model.hpp): one pass over src/ extracting every
+// class/struct with its members (type + initializer), constructor mem-init
+// lists and method bodies — including definitions that live in a different
+// translation unit than the declaration.
+//
 // Usage: tcmplint --root <repo-root> [--rule <name>] [--cxx <compiler>]
-//        tcmplint --list-rules
+//        tcmplint --list-rules | tcmplint --dump-model --root <repo-root>
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <regex>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "tcmplint_model.hpp"
 
 namespace fs = std::filesystem;
 
@@ -620,6 +655,320 @@ void check_tile_escape(const fs::path& root) {
   }
 }
 
+// ---- cross-TU class/field model (tcmplint_model.hpp) ---------------------
+//
+// The four determinism / state-integrity rules below share one parse of
+// src/ into a class model: fields with types and initializers, constructor
+// mem-init lists (including out-of-line definitions in .cpp — the cross-TU
+// part), and method bodies. Built lazily, once per process.
+
+const tcmplint::Model& class_model(const fs::path& root) {
+  static std::map<std::string, tcmplint::Model> cache;
+  const std::string key = (root / "src").string();
+  auto it = cache.find(key);
+  if (it == cache.end())
+    it = cache.emplace(key, tcmplint::build_model_from_dir(root / "src"))
+             .first;
+  return it->second;
+}
+
+std::string path_stem(const std::string& p) {
+  const std::size_t dot = p.rfind('.');
+  return dot == std::string::npos ? p : p.substr(0, dot);
+}
+
+/// `// tcmplint: <tag>` on the 1-based line or the line above it.
+bool annotated_at(const std::vector<std::string>& raw_lines, long line,
+                  const std::string& tag) {
+  const std::string needle = "tcmplint: " + tag;
+  auto has = [&](long l) {
+    return l >= 1 && l <= static_cast<long>(raw_lines.size()) &&
+           raw_lines[static_cast<std::size_t>(l - 1)].find(needle) !=
+               std::string::npos;
+  };
+  return has(line) || has(line - 1);
+}
+
+std::vector<std::string> raw_lines_of(const fs::path& p) {
+  return split_lines(read_file(p));
+}
+
+// ---- nondet-iteration ----------------------------------------------------
+
+void check_nondet_iteration(const fs::path& root) {
+  // Iterating an unordered_map/unordered_set visits elements in hash-table
+  // order — a function of libstdc++ internals, insertion history and the
+  // hash seed, none of which the golden reports or a future partitioned
+  // kernel can pin down. Any loop over an unordered container in src/ must
+  // either switch to an ordered container, sort a snapshot before acting on
+  // it, or prove the body commutative with an inline
+  // `tcmplint: order-insensitive (reason)` annotation. The container may be
+  // declared in another TU (a class member in the header, iterated in the
+  // .cpp) — that resolution is what the class model is for.
+  const tcmplint::Model& model = class_model(root);
+  static const std::regex local_decl(
+      R"(\bunordered_(?:map|set)\s*<.*>\s*[&*]?\s*([A-Za-z_]\w*)\s*[;,)=({])");
+  static const std::regex begin_call(
+      R"(([A-Za-z_]\w*)\s*\.\s*c?begin\s*\()");
+  static const std::regex ident(R"([A-Za-z_]\w*)");
+  for (const std::string ext : {".hpp", ".cpp"}) {
+    for (const auto& f : collect(root / "src", ext)) {
+      const std::string fname = f.generic_string();
+      const std::string stem = path_stem(fname);
+      // Names of unordered-typed variables visible in this file: members of
+      // classes defined here or in the stem-paired header/source, members
+      // of any class with an out-of-line method body in this file, plus
+      // local/parameter declarations matched textually below.
+      std::set<std::string> unordered_names;
+      for (const auto& c : model.classes) {
+        bool related = c.file == fname || path_stem(c.file) == stem;
+        if (!related)
+          for (const auto& b : c.bodies)
+            if (b.file == fname) {
+              related = true;
+              break;
+            }
+        if (!related) continue;
+        for (const auto& fd : c.fields)
+          if (fd.type.find("unordered_map") != std::string::npos ||
+              fd.type.find("unordered_set") != std::string::npos)
+            unordered_names.insert(fd.name);
+      }
+      const std::string raw = read_file(f);
+      const auto raw_lines = split_lines(raw);
+      const auto code_lines = split_lines(tcmplint::strip_code(raw));
+      for (const auto& l : code_lines) {
+        std::smatch m;
+        std::string rest = l;
+        while (std::regex_search(rest, m, local_decl)) {
+          unordered_names.insert(m[1].str());
+          rest = m.suffix().str();
+        }
+      }
+      if (unordered_names.empty()) continue;
+      for (std::size_t i = 0; i < code_lines.size(); ++i) {
+        const long line = static_cast<long>(i + 1);
+        if (annotated_at(raw_lines, line, "order-insensitive")) continue;
+        // Join a wrapped `for (...)` head (up to 4 continuation lines).
+        std::string stmt = code_lines[i];
+        const std::size_t for_pos = stmt.find("for");
+        for (std::size_t j = i + 1;
+             j < code_lines.size() && j < i + 4 &&
+             for_pos != std::string::npos &&
+             std::count(stmt.begin(), stmt.end(), '(') >
+                 std::count(stmt.begin(), stmt.end(), ')');
+             ++j)
+          stmt += " " + code_lines[j];
+        std::smatch m;
+        static const std::regex range_for(
+            R"(\bfor\s*\(([^;)]*[^:)]):([^:][^)]*)\))");
+        if (std::regex_search(stmt, m, range_for)) {
+          const std::string range_expr = m[2].str();
+          for (auto it = std::sregex_iterator(range_expr.begin(),
+                                              range_expr.end(), ident);
+               it != std::sregex_iterator(); ++it) {
+            if (unordered_names.count(it->str()) != 0U) {
+              report(f, line, "nondet-iteration",
+                     "range-for over unordered container '" + it->str() +
+                         "' — iteration order is not deterministic across "
+                         "stdlib implementations; use an ordered container, "
+                         "sort a snapshot first, or annotate "
+                         "'tcmplint: order-insensitive' with a proof the "
+                         "body is commutative");
+              break;
+            }
+          }
+        }
+        std::string rest = code_lines[i];
+        while (std::regex_search(rest, m, begin_call)) {
+          if (unordered_names.count(m[1].str()) != 0U) {
+            report(f, line, "nondet-iteration",
+                   "iterator walk over unordered container '" + m[1].str() +
+                       "' — iteration order is not deterministic; use an "
+                       "ordered container, sort a snapshot first, or "
+                       "annotate 'tcmplint: order-insensitive' with a proof "
+                       "the body is commutative");
+            break;
+          }
+          rest = m.suffix().str();
+        }
+      }
+    }
+  }
+}
+
+// ---- uninit-member -------------------------------------------------------
+
+bool scalar_like_type(const std::string& type,
+                      const std::set<std::string>& enum_types) {
+  static const std::set<std::string> kScalars = {
+      "bool",           "char",          "signed char",  "unsigned char",
+      "short",          "unsigned short", "int",          "unsigned",
+      "unsigned int",   "long",          "unsigned long", "long long",
+      "unsigned long long", "float",     "double",       "long double",
+      "size_t",         "std::size_t",   "ptrdiff_t",    "std::ptrdiff_t",
+      "std::byte",      "char32_t",      "char16_t",     "wchar_t",
+      "int8_t",         "int16_t",       "int32_t",      "int64_t",
+      "uint8_t",        "uint16_t",      "uint32_t",     "uint64_t",
+      "std::int8_t",    "std::int16_t",  "std::int32_t", "std::int64_t",
+      "std::uint8_t",   "std::uint16_t", "std::uint32_t", "std::uint64_t",
+      "std::uintptr_t", "std::intptr_t",
+  };
+  std::string t = type;
+  // Qualifiers don't change initialization semantics.
+  t = std::regex_replace(t, std::regex(R"(\b(const|mutable|volatile)\b)"), "");
+  t = std::regex_replace(t, std::regex(R"(\s+)"), " ");
+  while (!t.empty() && (t.front() == ' ')) t.erase(t.begin());
+  while (!t.empty() && (t.back() == ' ')) t.pop_back();
+  if (!t.empty() && t.back() == '*') return true;  // raw pointer
+  if (kScalars.count(t) != 0U) return true;
+  if (enum_types.count(t) != 0U) return true;
+  // Namespace-qualified enum (`protocol::L1State`).
+  const std::size_t sep = t.rfind("::");
+  if (sep != std::string::npos &&
+      enum_types.count(t.substr(sep + 2)) != 0U &&
+      t.compare(0, 5, "std::") != 0)
+    return true;
+  return false;
+}
+
+void check_uninit_member(const fs::path& root) {
+  // A scalar/pointer/enum member with neither a default member initializer
+  // nor coverage in every constructor's mem-init list is indeterminate
+  // until first assignment — reads before that are UB and, worse for this
+  // repo, *nondeterministic*: the goldens cannot localize a stack-residue
+  // value that happens to differ between hosts. Class-typed members
+  // default-construct and are exempt; the strong types (Cycle, LineAddr,
+  // Quantity, CounterRef, ...) all zero-initialize themselves.
+  const tcmplint::Model& model = class_model(root);
+  std::map<std::string, std::vector<std::string>> raw_cache;
+  for (const auto& c : model.classes) {
+    // Non-deleted constructors; delegating ctors inherit the target's
+    // coverage and don't count against a member.
+    std::vector<const tcmplint::Ctor*> ctors;
+    for (const auto& ct : c.ctors)
+      if (!ct.deleted && !ct.delegating) ctors.push_back(&ct);
+    for (const auto& fd : c.fields) {
+      if (fd.is_static || fd.is_reference || fd.has_init) continue;
+      if (!scalar_like_type(fd.type, model.enum_types)) continue;
+      bool covered = !ctors.empty();
+      for (const auto* ct : ctors)
+        if (std::find(ct->inits.begin(), ct->inits.end(), fd.name) ==
+            ct->inits.end())
+          covered = false;
+      if (covered) continue;
+      auto rit = raw_cache.find(fd.file);
+      if (rit == raw_cache.end())
+        rit = raw_cache.emplace(fd.file, raw_lines_of(fd.file)).first;
+      if (annotated_at(rit->second, fd.line, "allow-uninit")) continue;
+      report(fd.file, fd.line, "uninit-member",
+             "member '" + fd.name + "' of " + c.qual + " (type '" + fd.type +
+                 "') has no default member initializer and is not covered "
+                 "by every constructor's init list — an uninitialized read "
+                 "is UB and nondeterministic; add '= ...' / '{}' (or "
+                 "annotate 'tcmplint: allow-uninit' with a reason)");
+    }
+  }
+}
+
+// ---- reset-coverage ------------------------------------------------------
+
+void check_reset_coverage(const fs::path& root) {
+  // A reset()/zero_all()-style lifecycle method that silently skips a data
+  // member leaks state across what callers believe is a clean boundary —
+  // and the same member inventory is exactly what a checkpoint/restore
+  // serializer (ROADMAP item 4) must walk. Every data member must be
+  // mentioned in the method body (the body may live in another TU), be
+  // covered by a whole-object `*this = ...;` reassignment, or carry a
+  // `tcmplint: reset-exempt (reason)` annotation at its declaration.
+  const tcmplint::Model& model = class_model(root);
+  static const char* kLifecycle[] = {"reset", "zero_all", "clear_values",
+                                     "clear_stats"};
+  std::map<std::string, std::vector<std::string>> raw_cache;
+  static const std::regex whole_object(R"(\*\s*this\s*=)");
+  for (const auto& c : model.classes) {
+    for (const char* method : kLifecycle) {
+      const auto bodies = c.bodies_of(method);
+      if (bodies.empty()) continue;
+      bool whole = false;
+      for (const auto* b : bodies)
+        if (std::regex_search(b->body, whole_object)) whole = true;
+      if (whole) continue;
+      for (const auto& fd : c.fields) {
+        if (fd.is_static) continue;
+        const std::regex mention("\\b" + fd.name + "\\b");
+        bool mentioned = false;
+        for (const auto* b : bodies)
+          if (std::regex_search(b->body, mention)) mentioned = true;
+        if (mentioned) continue;
+        auto rit = raw_cache.find(fd.file);
+        if (rit == raw_cache.end())
+          rit = raw_cache.emplace(fd.file, raw_lines_of(fd.file)).first;
+        if (annotated_at(rit->second, fd.line, "reset-exempt")) continue;
+        report(bodies.front()->file, bodies.front()->line, "reset-coverage",
+               c.qual + "::" + method + "() does not mention member '" +
+                   fd.name + "' (" + fd.file + ":" +
+                   std::to_string(fd.line) +
+                   ") — reset it, or annotate the member "
+                   "'tcmplint: reset-exempt' with the reason it survives");
+      }
+    }
+  }
+}
+
+// ---- ambient-nondeterminism ----------------------------------------------
+
+void check_ambient_nondet(const fs::path& root) {
+  // The simulator's reproducibility contract: all randomness flows through
+  // the seeded tcmp::Rng (common/rng.hpp) and all host-environment reads
+  // through common/env.hpp, so a (binary, flags, seed) triple fully
+  // determines every report byte. Wall-clock time is allowed only in the
+  // self-profiler (sim/profiler.hpp, steady_clock — measurement, never
+  // simulation input). Everything else in src/ must not touch ambient
+  // entropy: C rand/time, std::random_device, the std engines, system
+  // clocks, getenv.
+  static const char* kAllowedFiles[] = {
+      "src/common/rng.hpp",   // the seeded PRNG itself
+      "src/common/env.hpp",   // the sanctioned getenv wrapper
+      "src/sim/profiler.hpp", // wall-clock self-profiling (output-only)
+  };
+  static const std::regex call(
+      R"(\b(?:std\s*::\s*)?(rand|srand|rand_r|getenv|time|gettimeofday|clock_gettime|timespec_get)\s*\()");
+  static const std::regex type_use(
+      R"(\b(random_device|mt19937|mt19937_64|minstd_rand0?|ranlux\w*|system_clock|high_resolution_clock)\b)");
+  for (const std::string ext : {".hpp", ".cpp"}) {
+    for (const auto& f : collect(root / "src", ext)) {
+      const std::string rel = fs::relative(f, root).generic_string();
+      if (std::find_if(std::begin(kAllowedFiles), std::end(kAllowedFiles),
+                       [&](const char* a) { return rel == a; }) !=
+          std::end(kAllowedFiles))
+        continue;
+      const std::string raw = read_file(f);
+      const auto raw_lines = split_lines(raw);
+      const auto code_lines = split_lines(tcmplint::strip_code(raw));
+      for (std::size_t i = 0; i < code_lines.size(); ++i) {
+        const long line = static_cast<long>(i + 1);
+        if (annotated_at(raw_lines, line, "allow-ambient")) continue;
+        std::smatch m;
+        std::string what;
+        if (std::regex_search(code_lines[i], m, call))
+          what = m[1].str() + "()";
+        else if (std::regex_search(code_lines[i], m, type_use))
+          what = m[1].str();
+        else
+          continue;
+        report(f, line, "ambient-nondeterminism",
+               "ambient entropy source '" + what +
+                   "' outside common/rng.hpp / common/env.hpp / the "
+                   "profiler — route randomness through the seeded "
+                   "tcmp::Rng and environment reads through common/env.hpp "
+                   "so runs stay bit-reproducible (or annotate "
+                   "'tcmplint: allow-ambient' with a reason)");
+      }
+    }
+  }
+}
+
 // ---- self-contained ------------------------------------------------------
 
 void check_self_contained(const fs::path& root, const std::string& cxx) {
@@ -680,6 +1029,14 @@ const RuleEntry kRules[] = {
      [](const fs::path& r, const std::string&) { check_guarded_field(r); }},
     {"tile-escape",
      [](const fs::path& r, const std::string&) { check_tile_escape(r); }},
+    {"nondet-iteration",
+     [](const fs::path& r, const std::string&) { check_nondet_iteration(r); }},
+    {"uninit-member",
+     [](const fs::path& r, const std::string&) { check_uninit_member(r); }},
+    {"reset-coverage",
+     [](const fs::path& r, const std::string&) { check_reset_coverage(r); }},
+    {"ambient-nondeterminism",
+     [](const fs::path& r, const std::string&) { check_ambient_nondet(r); }},
     {"pragma-once",
      [](const fs::path& r, const std::string&) { check_pragma_once(r); }},
     {"self-contained",
@@ -691,6 +1048,7 @@ const RuleEntry kRules[] = {
 int main(int argc, char** argv) {
   fs::path root = ".";
   std::string rule = "all";
+  bool dump_model = false;
   std::string cxx = std::getenv("CXX") ? std::getenv("CXX") : "c++";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -710,16 +1068,38 @@ int main(int argc, char** argv) {
     } else if (arg == "--list-rules") {
       for (const RuleEntry& r : kRules) std::printf("%s\n", r.name);
       return 0;
+    } else if (arg == "--dump-model") {
+      dump_model = true;
     } else {
       std::fprintf(stderr,
                    "usage: tcmplint --root <dir> [--rule <name>] "
-                   "[--cxx <compiler>] | tcmplint --list-rules\n");
+                   "[--cxx <compiler>] [--dump-model] | "
+                   "tcmplint --list-rules\n");
       return 2;
     }
   }
   if (!fs::exists(root / "src")) {
     std::fprintf(stderr, "tcmplint: no src/ under %s\n", root.string().c_str());
     return 2;
+  }
+  if (dump_model) {
+    // Debug view of the cross-TU class model the determinism rules share.
+    for (const auto& c : class_model(root).classes) {
+      std::printf("%s (%s:%ld) dir=%s base=%s\n", c.qual.c_str(),
+                  c.file.c_str(), c.line, c.dir.c_str(), c.base.c_str());
+      for (const auto& f : c.fields)
+        std::printf("  field %s : %s%s%s\n", f.name.c_str(), f.type.c_str(),
+                    f.has_init ? " [init]" : "", f.is_static ? " [static]" : "");
+      for (const auto& ct : c.ctors) {
+        std::printf("  ctor %s:%ld inits:", ct.file.c_str(), ct.line);
+        for (const auto& n : ct.inits) std::printf(" %s", n.c_str());
+        std::printf("%s\n", ct.deleted ? " [deleted]" : "");
+      }
+      for (const auto& b : c.bodies)
+        std::printf("  body %s (%s:%ld)\n", b.name.c_str(), b.file.c_str(),
+                    b.line);
+    }
+    return 0;
   }
 
   bool known = rule == "all";

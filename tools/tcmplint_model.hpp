@@ -1,0 +1,694 @@
+// tcmplint_model — a lightweight cross-translation-unit class/field model
+// shared by the determinism and state-integrity rules in tcmplint.
+//
+// One pass over a set of C++ sources produces, per class/struct definition:
+//   - the simple and nesting-qualified name, the first base class, the
+//     defining file and the owning directory under src/;
+//   - every data member with its textual type, declaration line, and whether
+//     it carries a default member initializer (`= x` or `{x}`);
+//   - every constructor with the set of member names its mem-init list
+//     covers — including constructors defined out of line in a .cpp, which
+//     is the cross-TU part that line-regex rules cannot see;
+//   - the body text of every method, whether defined in-class or out of
+//     line (`void Directory::reset() { ... }` in directory.cpp attaches to
+//     the Directory parsed from directory.hpp).
+//
+// The parser is deliberately *not* a C++ front end: it strips comments,
+// strings and preprocessor lines, then walks braces with a scope stack and
+// classifies each statement with anchored regexes. That is enough for this
+// codebase's style (one declarator per line, no macros generating members),
+// and every rule built on the model has an inline-annotation escape hatch
+// for the residue. It must stay dependency-free: tcmplint lints the library
+// and therefore cannot link against it.
+#pragma once
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <regex>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tcmplint {
+
+struct Field {
+  std::string name;
+  std::string type;       ///< textual type as declared (annotations stripped)
+  bool has_init = false;  ///< default member initializer present
+  bool is_static = false;
+  bool is_reference = false;
+  std::string file;
+  long line = 0;  ///< 1-based declaration line
+};
+
+struct Ctor {
+  std::vector<std::string> inits;  ///< member names covered by the init list
+  bool delegating = false;         ///< X(...) : X(...) — covered by target
+  bool deleted = false;
+  std::string file;
+  long line = 0;
+};
+
+struct MethodBody {
+  std::string name;
+  std::string body;  ///< brace contents, comments stripped
+  std::string file;
+  long line = 0;
+};
+
+struct ClassInfo {
+  std::string name;  ///< simple name (innermost)
+  std::string qual;  ///< nesting-qualified: Outer::Inner (namespaces omitted)
+  std::string base;  ///< first base class, "" if none
+  std::string dir;   ///< first path component under src/ ("protocol", ...)
+  std::string file;
+  long line = 0;
+  std::vector<Field> fields;
+  std::vector<Ctor> ctors;
+  std::vector<std::string> declared_methods;  ///< names declared in-class
+  std::vector<MethodBody> bodies;             ///< in-class + out-of-line
+
+  [[nodiscard]] const Field* field(const std::string& n) const {
+    for (const Field& f : fields)
+      if (f.name == n) return &f;
+    return nullptr;
+  }
+  [[nodiscard]] std::vector<const MethodBody*> bodies_of(
+      const std::string& n) const {
+    std::vector<const MethodBody*> out;
+    for (const MethodBody& b : bodies)
+      if (b.name == n) out.push_back(&b);
+    return out;
+  }
+};
+
+struct Model {
+  std::vector<ClassInfo> classes;
+  std::set<std::string> enum_types;  ///< names of enum / enum class types
+
+  [[nodiscard]] const ClassInfo* find(const std::string& simple_name) const {
+    for (const ClassInfo& c : classes)
+      if (c.name == simple_name || c.qual == simple_name) return &c;
+    return nullptr;
+  }
+  [[nodiscard]] std::vector<const ClassInfo*> all(
+      const std::string& simple_name) const {
+    std::vector<const ClassInfo*> out;
+    for (const ClassInfo& c : classes)
+      if (c.name == simple_name) out.push_back(&c);
+    return out;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Pass 1: turn raw source text into structure-only text. Comments, string
+// and character literal *contents*, and preprocessor lines (including their
+// backslash continuations — the TCMP_CHECK macro family has unbalanced
+// braces across continued lines) are replaced by spaces; newlines survive so
+// offsets keep mapping to the original line numbers.
+inline std::string strip_code(const std::string& text) {
+  std::string out(text.size(), ' ');
+  enum class St {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+    kPreproc
+  };
+  St st = St::kCode;
+  std::string raw_delim;     // for R"delim( ... )delim"
+  bool line_start = true;    // only whitespace seen on this line so far
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char n = i + 1 < text.size() ? text[i + 1] : '\0';
+    if (c == '\n') {
+      out[i] = '\n';
+      if (st == St::kLineComment) st = St::kCode;
+      if (st == St::kPreproc && (i == 0 || text[i - 1] != '\\'))
+        st = St::kCode;
+      line_start = true;
+      continue;
+    }
+    switch (st) {
+      case St::kCode:
+        if (line_start && c == '#') {
+          st = St::kPreproc;
+          break;
+        }
+        if (c == '/' && n == '/') {
+          st = St::kLineComment;
+          ++i;
+        } else if (c == '/' && n == '*') {
+          st = St::kBlockComment;
+          ++i;
+        } else if (c == 'R' && n == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   text[i - 1])) &&
+                               text[i - 1] != '_'))) {
+          // R"delim( — capture the delimiter up to the '('.
+          std::size_t j = i + 2;
+          raw_delim.clear();
+          while (j < text.size() && text[j] != '(') raw_delim += text[j++];
+          st = St::kRawString;
+          i = j;  // at '(' (or end)
+        } else if (c == '"') {
+          st = St::kString;
+          out[i] = '"';
+        } else if (c == '\'') {
+          st = St::kChar;
+        } else {
+          out[i] = c;
+        }
+        break;
+      case St::kString:
+        if (c == '\\') {
+          ++i;
+          if (i < text.size() && text[i] == '\n') out[i] = '\n';
+        } else if (c == '"') {
+          st = St::kCode;
+          out[i] = '"';
+        }
+        break;
+      case St::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          st = St::kCode;
+        }
+        break;
+      case St::kRawString: {
+        // Looking for )delim"
+        if (c == ')' &&
+            text.compare(i + 1, raw_delim.size(), raw_delim) == 0 &&
+            i + 1 + raw_delim.size() < text.size() &&
+            text[i + 1 + raw_delim.size()] == '"') {
+          i += raw_delim.size() + 1;
+          st = St::kCode;
+        }
+        break;
+      }
+      case St::kLineComment:
+      case St::kBlockComment:
+        if (st == St::kBlockComment && c == '*' && n == '/') {
+          st = St::kCode;
+          ++i;
+        }
+        break;
+      case St::kPreproc:
+        break;
+    }
+    if (!std::isspace(static_cast<unsigned char>(c))) line_start = false;
+  }
+  return out;
+}
+
+namespace detail {
+
+inline std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\n");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\n");
+  return s.substr(b, e - b + 1);
+}
+
+inline std::string collapse_ws(const std::string& s) {
+  std::string out;
+  bool ws = false;
+  for (char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ws = true;
+      continue;
+    }
+    if (ws && !out.empty()) out += ' ';
+    ws = false;
+    out += c;
+  }
+  return out;
+}
+
+/// Owning directory under src/: "src/protocol/l1_cache.hpp" -> "protocol".
+/// Files not under a src/ prefix yield their first path component.
+inline std::string dir_of(const std::string& file) {
+  std::string f = file;
+  std::replace(f.begin(), f.end(), '\\', '/');
+  const std::size_t src = f.rfind("src/");
+  std::string tail = src == std::string::npos ? f : f.substr(src + 4);
+  const std::size_t slash = tail.find('/');
+  return slash == std::string::npos ? std::string() : tail.substr(0, slash);
+}
+
+/// Member names mentioned in a constructor mem-init list ": a_(0), b_{1}".
+/// Paren/brace depth tracking keeps nested calls (`a_(f(x, {1, 2}))`) from
+/// re-matching inner identifiers as init items.
+// True when `head` is a constructor-ish signature whose mem-init list is
+// still open, so a following '{' is a braced member initializer
+// (`: width_(w), count_{0}`) rather than the function body: the body's '{'
+// follows ')' or '}', never the bare member identifier.
+inline bool opens_init_brace(const std::string& head) {
+  const std::size_t open = head.find('(');
+  if (open == std::string::npos) return false;
+  long depth = 0;
+  std::size_t close = std::string::npos;
+  for (std::size_t i = open; i < head.size(); ++i) {
+    if (head[i] == '(') ++depth;
+    if (head[i] == ')' && --depth == 0) {
+      close = i;
+      break;
+    }
+  }
+  if (close == std::string::npos) return false;
+  // Top-level ':' (not '::') after the parameter list opens an init list.
+  std::size_t colon = std::string::npos;
+  long pd = 0;
+  for (std::size_t i = close + 1; i < head.size(); ++i) {
+    const char ch = head[i];
+    if (ch == '(' || ch == '{') ++pd;
+    if (ch == ')' || ch == '}') --pd;
+    if (pd == 0 && ch == ':' && (i + 1 >= head.size() || head[i + 1] != ':') &&
+        head[i - 1] != ':') {
+      colon = i;
+      break;
+    }
+  }
+  if (colon == std::string::npos) return false;
+  for (std::size_t i = head.size(); i-- > colon;) {
+    const unsigned char ch = static_cast<unsigned char>(head[i]);
+    if (std::isspace(ch)) continue;
+    return std::isalnum(ch) != 0 || ch == '_';
+  }
+  return false;
+}
+
+inline std::vector<std::string> parse_init_list(const std::string& list) {
+  std::vector<std::string> out;
+  long depth = 0;
+  std::size_t i = 0;
+  while (i < list.size()) {
+    const char c = list[i];
+    if (c == '(' || c == '{') ++depth;
+    if (c == ')' || c == '}') --depth;
+    if (depth == 0 &&
+        (std::isalpha(static_cast<unsigned char>(c)) || c == '_')) {
+      std::size_t j = i;
+      while (j < list.size() &&
+             (std::isalnum(static_cast<unsigned char>(list[j])) ||
+              list[j] == '_'))
+        ++j;
+      std::size_t k = j;
+      while (k < list.size() &&
+             std::isspace(static_cast<unsigned char>(list[k])))
+        ++k;
+      if (k < list.size() && (list[k] == '(' || list[k] == '{'))
+        out.push_back(list.substr(i, j - i));
+      i = j;
+      continue;
+    }
+    ++i;
+  }
+  return out;
+}
+
+struct Scope {
+  enum class Kind { kNamespace, kClass, kEnum, kBlock } kind;
+  long class_index = -1;       ///< into Model::classes when kind == kClass
+  bool capture_body = false;   ///< kBlock capturing a method body
+  std::size_t body_begin = 0;  ///< offset of first char after '{'
+  std::string method_name;     ///< when capture_body
+  std::string method_class;    ///< "" = attach to enclosing class scope
+  long method_line = 0;
+};
+
+struct OutOfLineBody {
+  std::string cls;  ///< simple class name
+  MethodBody body;
+};
+
+struct OutOfLineCtor {
+  std::string cls;
+  Ctor ctor;
+};
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Pass 2: scope-stack walk. `sources` are (display-name, text) pairs; order
+// does not matter — out-of-line bodies are resolved against the class index
+// after every file has been parsed.
+inline Model build_model(
+    const std::vector<std::pair<std::string, std::string>>& sources) {
+  using detail::Scope;
+  Model model;
+  std::vector<detail::OutOfLineBody> pending;
+  std::vector<detail::OutOfLineCtor> pending_ctors;
+
+  // Head regexes, anchored so variable declarations ("struct Pending p")
+  // and enum heads ("enum class DirState") cannot masquerade as classes.
+  static const std::regex class_head(
+      R"(^(?:template\s*<.*>\s*)?(class|struct)\s+(?:alignas\s*\([^)]*\)\s*)?)"
+      R"(((?:[A-Za-z_]\w*\s*::\s*)*[A-Za-z_]\w*)\s*(?:<[^;{]*>)?\s*)"
+      R"((final\s*)?(?::\s*(.*))?$)");
+  static const std::regex enum_head(
+      R"(^enum\s+(?:class\s+|struct\s+)?([A-Za-z_]\w*)\s*(?::[^{]*)?$)");
+  static const std::regex ns_head(R"(^(inline\s+)?namespace\b)");
+  static const std::regex qualified_def(
+      R"(([A-Za-z_]\w*(?:\s*<[^<>]*>)?)\s*::\s*(~?[A-Za-z_]\w*)\s*\()");
+  static const std::regex first_base(R"(^(?:virtual\s+)?(?:public\s+|protected\s+|private\s+)?([A-Za-z_][\w:]*))");
+
+  for (const auto& [file, raw] : sources) {
+    const std::string text = strip_code(raw);
+    const std::string dir = detail::dir_of(file);
+    std::vector<Scope> stack;
+    std::string head;           // statement text since last ; { }
+    std::size_t head_begin = 0; // offset where `head` started
+    long line = 1;
+    long head_line = 1;
+    long init_brace = 0;  // depth of braced member initializers in an open
+                          // mem-init list (`: count_{0}`)
+
+    auto top_class = [&]() -> ClassInfo* {
+      if (stack.empty() || stack.back().kind != Scope::Kind::kClass)
+        return nullptr;
+      return &model.classes[static_cast<std::size_t>(
+          stack.back().class_index)];
+    };
+
+    auto qual_prefix = [&]() {
+      std::string q;
+      for (const Scope& s : stack)
+        if (s.kind == Scope::Kind::kClass)
+          q += model.classes[static_cast<std::size_t>(s.class_index)].name +
+               "::";
+      return q;
+    };
+
+    // Parse one class-scope statement (no braces, ended by ';').
+    auto parse_member_stmt = [&](std::string stmt, long at_line,
+                                 bool brace_init) {
+      ClassInfo* cls = top_class();
+      if (cls == nullptr) return;
+      stmt = detail::collapse_ws(detail::trim(stmt));
+      // Peel leading access specifiers swallowed into the statement head.
+      static const std::regex access(R"(^(public|private|protected)\s*:\s*)");
+      std::smatch am;
+      while (std::regex_search(stmt, am, access)) stmt = am.suffix().str();
+      if (stmt.empty()) return;
+      static const std::regex skip(
+          R"(^(using\b|typedef\b|friend\b|static_assert\b|template\b|operator\b))");
+      if (std::regex_search(stmt, skip)) return;
+      bool is_static = false;
+      static const std::regex static_kw(R"(^(inline\s+)?static\s+)");
+      std::smatch sm;
+      if (std::regex_search(stmt, sm, static_kw)) {
+        is_static = true;
+        stmt = sm.suffix().str();
+      }
+      // Thread-safety annotations and attributes sit between the name and
+      // the initializer; remove them before shape analysis.
+      stmt = std::regex_replace(stmt, std::regex(R"(TCMP_\w+\s*\([^()]*\))"),
+                                "");
+      stmt = std::regex_replace(stmt, std::regex(R"(\[\[[^\]]*\]\])"), "");
+      stmt = detail::trim(stmt);
+      if (stmt.empty()) return;
+
+      if (stmt.find('(') != std::string::npos && !brace_init) {
+        // Method / constructor declaration (members use `=` or `{}` init
+        // only, so any paren at class scope is function-shaped).
+        static const std::regex fn_name(R"((~?[A-Za-z_]\w*)\s*\()");
+        std::smatch fm;
+        if (!std::regex_search(stmt, fm, fn_name)) return;
+        const std::string name = fm[1].str();
+        if (name == cls->name) {
+          // Only `= default` / `= delete` are constructors in their own
+          // right here: a plain declaration's mem-init list lives with its
+          // out-of-line definition, which is captured separately — pushing
+          // an empty-init ctor for the declaration would double-count it.
+          const bool defaulted = stmt.find("= default") != std::string::npos;
+          const bool deleted = stmt.find("= delete") != std::string::npos;
+          if (defaulted || deleted) {
+            Ctor ct;
+            ct.file = file;
+            ct.line = at_line;
+            ct.deleted = deleted;
+            cls->ctors.push_back(std::move(ct));
+          }
+        } else {
+          cls->declared_methods.push_back(name);
+        }
+        return;
+      }
+      // Data member: TYPE NAME [array] [bitfield] [= init]?
+      static const std::regex member(
+          R"(^(.+?[\s&*>])([A-Za-z_]\w*)\s*(\[[^\]]*\])?\s*(:\s*\d+\s*)?(=.*|\{.*\})?$)");
+      std::smatch mm;
+      std::string body = stmt;
+      if (!body.empty() && body.back() == ';') body.pop_back();
+      body = detail::trim(body);
+      if (!std::regex_match(body, mm, member)) return;
+      Field f;
+      f.type = detail::trim(mm[1].str());
+      f.name = mm[2].str();
+      f.has_init = brace_init || mm[5].matched;
+      f.is_static = is_static;
+      f.is_reference = f.type.find('&') != std::string::npos;
+      f.file = file;
+      f.line = at_line;
+      cls->fields.push_back(std::move(f));
+    };
+
+    for (std::size_t i = 0; i < text.size(); ++i) {
+      const char c = text[i];
+      if (c == '\n') {
+        ++line;
+        continue;
+      }
+      const bool in_capture =
+          !stack.empty() && stack.back().kind == Scope::Kind::kBlock;
+      if (c == '{') {
+        // A '{' directly after an identifier in an open mem-init list is a
+        // braced member initializer, not a scope: keep it in the head so the
+        // init-list parse sees `count_{0}` whole.
+        if (init_brace > 0 ||
+            (!in_capture && detail::opens_init_brace(head))) {
+          ++init_brace;
+          head += c;
+          continue;
+        }
+        std::string h = detail::collapse_ws(detail::trim(head));
+        head.clear();
+        // Access specifiers end in ':' (not ';'), so they accumulate into
+        // the next statement's head — peel them before classifying.
+        static const std::regex access_prefix(
+            R"(^(public|private|protected)\s*:\s*)");
+        std::smatch pm;
+        while (std::regex_search(h, pm, access_prefix)) h = pm.suffix().str();
+        std::smatch m;
+        Scope s;
+        s.kind = Scope::Kind::kBlock;
+        const bool at_class = top_class() != nullptr;
+        if (!in_capture && std::regex_match(h, m, class_head)) {
+          ClassInfo ci;
+          ci.name = m[2].str();
+          // Qualified heads (`struct std::hash<...>`) keep the last
+          // component as the class name.
+          if (const std::size_t sep = ci.name.rfind("::");
+              sep != std::string::npos)
+            ci.name = detail::trim(ci.name.substr(sep + 2));
+          ci.qual = qual_prefix() + ci.name;
+          ci.dir = dir;
+          ci.file = file;
+          ci.line = head_line;
+          if (m[4].matched) {
+            std::smatch bm;
+            const std::string bases = m[4].str();
+            if (std::regex_search(bases, bm, first_base))
+              ci.base = bm[1].str();
+          }
+          model.classes.push_back(std::move(ci));
+          s.kind = Scope::Kind::kClass;
+          s.class_index = static_cast<long>(model.classes.size()) - 1;
+        } else if (!in_capture && std::regex_match(h, m, enum_head)) {
+          model.enum_types.insert(m[1].str());
+          s.kind = Scope::Kind::kEnum;
+        } else if (!in_capture && std::regex_search(h, ns_head)) {
+          s.kind = Scope::Kind::kNamespace;
+        } else if (!in_capture && at_class && h.find('(') == std::string::npos &&
+                   !h.empty()) {
+          // Brace initializer of a data member: `Histogram slack{…};`
+          parse_member_stmt(h + "{}", head_line, /*brace_init=*/true);
+        } else if (!in_capture && !h.empty() &&
+                   h.find('(') != std::string::npos) {
+          // Function-shaped head: in-class method, out-of-line qualified
+          // method, or free function. Record the body for the first two.
+          std::string cls_name, fn_name;
+          std::size_t params_open = std::string::npos;
+          std::smatch qm;
+          if (std::regex_search(h, qm, qualified_def)) {
+            cls_name = qm[1].str();
+            const std::size_t lt = cls_name.find('<');
+            if (lt != std::string::npos)
+              cls_name = detail::trim(cls_name.substr(0, lt));
+            fn_name = qm[2].str();
+            params_open = static_cast<std::size_t>(qm.position(0)) +
+                          qm[0].str().size() - 1;
+          } else if (at_class) {
+            static const std::regex fn(R"((~?[A-Za-z_]\w*)\s*\()");
+            std::smatch fm;
+            if (std::regex_search(h, fm, fn)) {
+              cls_name = "";  // attach to enclosing class
+              fn_name = fm[1].str();
+              params_open = static_cast<std::size_t>(fm.position(0)) +
+                            fm[0].str().size() - 1;
+            }
+          }
+          if (!fn_name.empty()) {
+            s.capture_body = true;
+            s.body_begin = i + 1;
+            s.method_name = fn_name;
+            s.method_class = cls_name;
+            s.method_line = head_line;
+            // Constructor? Parse the mem-init list between ')' and '{'.
+            const std::string owner =
+                !cls_name.empty() ? cls_name
+                                  : (at_class ? top_class()->name : "");
+            if (fn_name == owner && !owner.empty()) {
+              Ctor ct;
+              ct.file = file;
+              ct.line = head_line;
+              // Balance parens from the parameter list's '(' to find ITS
+              // ')' — rfind would land on the last init item's paren.
+              std::size_t close = std::string::npos;
+              if (params_open != std::string::npos) {
+                long pd = 0;
+                for (std::size_t k = params_open; k < h.size(); ++k) {
+                  if (h[k] == '(') ++pd;
+                  if (h[k] == ')' && --pd == 0) {
+                    close = k;
+                    break;
+                  }
+                }
+              }
+              std::size_t colon = std::string::npos;
+              if (close != std::string::npos) {
+                // First top-level ':' after the parameter list (skip '::').
+                for (std::size_t k = close + 1; k < h.size(); ++k) {
+                  if (h[k] == ':' &&
+                      (k + 1 >= h.size() || h[k + 1] != ':') &&
+                      (k == 0 || h[k - 1] != ':')) {
+                    colon = k;
+                    break;
+                  }
+                }
+              }
+              if (colon != std::string::npos) {
+                ct.inits = detail::parse_init_list(h.substr(colon + 1));
+                ct.delegating = ct.inits.size() == 1 && ct.inits[0] == owner;
+              }
+              if (!cls_name.empty()) {
+                // Out-of-line ctor: the defining .cpp may be parsed before
+                // the header that declares the class (".cpp" sorts before
+                // ".hpp"), so resolution is deferred like method bodies.
+                pending_ctors.push_back({cls_name, std::move(ct)});
+              } else if (ClassInfo* cc = top_class()) {
+                cc->ctors.push_back(ct);
+              }
+            }
+          }
+        }
+        stack.push_back(s);
+        head_begin = i + 1;
+        head_line = line;
+        continue;
+      }
+      if (c == '}') {
+        if (init_brace > 0) {
+          --init_brace;
+          head += c;
+          continue;
+        }
+        if (!stack.empty()) {
+          Scope s = stack.back();
+          stack.pop_back();
+          if (s.capture_body) {
+            MethodBody mb;
+            mb.name = s.method_name;
+            mb.body = text.substr(s.body_begin, i - s.body_begin);
+            mb.file = file;
+            mb.line = s.method_line;
+            if (s.method_class.empty()) {
+              if (ClassInfo* cc = top_class()) cc->bodies.push_back(mb);
+            } else {
+              pending.push_back({s.method_class, std::move(mb)});
+            }
+          }
+        }
+        head.clear();
+        head_begin = i + 1;
+        head_line = line;
+        continue;
+      }
+      if (c == ';') {
+        const bool at_class =
+            !stack.empty() && stack.back().kind == Scope::Kind::kClass;
+        if (at_class)
+          parse_member_stmt(head, head_line, /*brace_init=*/false);
+        head.clear();
+        head_begin = i + 1;
+        head_line = line;
+        continue;
+      }
+      // Accumulate statement head only where it can matter (outside
+      // captured bodies we still track braces but skip the text). Leading
+      // whitespace is not buffered so head_line lands on the first token.
+      if (head.empty()) {
+        if (std::isspace(static_cast<unsigned char>(c))) continue;
+        head_line = line;
+      }
+      head += c;
+      (void)head_begin;
+    }
+  }
+
+  for (detail::OutOfLineBody& p : pending)
+    for (ClassInfo& c : model.classes)
+      if (c.name == p.cls) c.bodies.push_back(p.body);
+  for (detail::OutOfLineCtor& p : pending_ctors)
+    for (ClassInfo& c : model.classes)
+      if (c.name == p.cls) c.ctors.push_back(p.ctor);
+
+  return model;
+}
+
+/// Convenience: build the model from every .hpp/.cpp under `src_root`
+/// (sorted for deterministic class order). `read` is injectable for tests.
+inline Model build_model_from_dir(const std::filesystem::path& src_root) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  if (fs::exists(src_root))
+    for (const auto& e : fs::recursive_directory_iterator(src_root))
+      if (e.is_regular_file() && (e.path().extension() == ".hpp" ||
+                                  e.path().extension() == ".cpp"))
+        files.push_back(e.path());
+  std::sort(files.begin(), files.end());
+  std::vector<std::pair<std::string, std::string>> sources;
+  sources.reserve(files.size());
+  for (const auto& p : files) {
+    std::string text;
+    if (std::FILE* f = std::fopen(p.string().c_str(), "rb")) {
+      char buf[1 << 15];
+      std::size_t n;
+      while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+      std::fclose(f);
+    }
+    sources.emplace_back(p.generic_string(), std::move(text));
+  }
+  return build_model(sources);
+}
+
+}  // namespace tcmplint

@@ -165,6 +165,77 @@ struct SeededTileEscape {
 EOF
 expect_catch tile-escape
 
+# --- nondet-iteration: a cross-TU pair — the header declares an
+# unordered_map member, the .cpp iterates it without an annotation. Exercises
+# the class model's member-to-defining-TU resolution, not just same-file
+# matching.
+fresh_tree
+expect_clean nondet-iteration
+cat > "$scratch/tree/src/protocol/seeded_nondet.hpp" <<'EOF'
+#pragma once
+#include <unordered_map>
+namespace tcmp::protocol {
+class SeededNondet {
+ public:
+  int sum();
+
+ private:
+  std::unordered_map<int, int> table_;
+};
+}  // namespace tcmp::protocol
+EOF
+cat > "$scratch/tree/src/protocol/seeded_nondet.cpp" <<'EOF'
+#include "protocol/seeded_nondet.hpp"
+namespace tcmp::protocol {
+int SeededNondet::sum() {
+  int s = 0;
+  for (const auto& [k, v] : table_) s += v * k;
+  return s;
+}
+}  // namespace tcmp::protocol
+EOF
+expect_catch nondet-iteration
+
+# --- uninit-member: a scalar member with no default initializer and no
+# constructor covering it.
+fresh_tree
+expect_clean uninit-member
+cat > "$scratch/tree/src/protocol/seeded_uninit.hpp" <<'EOF'
+#pragma once
+namespace tcmp::protocol {
+struct SeededUninit {
+  int counter_;
+};
+}  // namespace tcmp::protocol
+EOF
+expect_catch uninit-member
+
+# --- reset-coverage: a lifecycle reset() that silently skips a member.
+fresh_tree
+expect_clean reset-coverage
+cat > "$scratch/tree/src/protocol/seeded_reset.hpp" <<'EOF'
+#pragma once
+namespace tcmp::protocol {
+struct SeededReset {
+  void reset() { a_ = 0; }
+  int a_ = 0;
+  int b_ = 0;
+};
+}  // namespace tcmp::protocol
+EOF
+expect_catch reset-coverage
+
+# --- ambient-nondeterminism: wall-clock time outside the sanctioned TUs.
+fresh_tree
+expect_clean ambient-nondeterminism
+cat > "$scratch/tree/src/common/seeded_ambient.cpp" <<'EOF'
+#include <ctime>
+namespace tcmp {
+long seeded_wall_clock() { return static_cast<long>(std::time(nullptr)); }
+}  // namespace tcmp
+EOF
+expect_catch ambient-nondeterminism
+
 # --- pragma-once: a header without the guard.
 fresh_tree
 expect_clean pragma-once
