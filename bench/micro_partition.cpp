@@ -1,0 +1,226 @@
+// Partitioned-driver microbenchmark: simulated cycles per wall second on a
+// saturated 256-tile (16x16) mesh at --threads 8 versus --threads 1
+// (docs/partitioning.md). Saturated means every core is runnable virtually
+// every cycle, so nothing can be dead-cycle-skipped and the measurement is
+// pure per-cycle throughput — the regime where partitioning the mesh across
+// host threads is supposed to pay.
+//
+// Both runs execute the identical workload and must produce identical cycle
+// and instruction counts (checked on every run — the bench doubles as a
+// determinism cross-check of the partition seam).
+//
+// The recorded metric is the SPEEDUP (threads-8 cycles/sec divided by
+// threads-1 cycles/sec, same process, same machine) plus the host's core
+// count, because the ratio is only meaningful relative to available
+// parallelism: cycle-lockstep threading cannot speed anything up on a host
+// that runs the 8 partitions on fewer than 8 cores — there it measures pure
+// barrier/boundary overhead instead. The --baseline gate is therefore
+// host-aware:
+//
+//   host cores >= 8  -> enforce the >= 2x speedup target directly
+//                       (tolerance-scaled), regardless of where the
+//                       committed baseline was recorded;
+//   host cores <  8  -> enforce the overhead bound: speedup must not fall
+//                       more than `tolerance` below the committed value,
+//                       provided the baseline came from a comparably
+//                       oversubscribed host (its recorded host_cores < 8) —
+//                       otherwise the throughput gate is skipped with a
+//                       notice and only the identity cross-check gates.
+//
+// Usage:
+//   micro_partition [--json out.json] [--baseline BENCH_partition.json]
+//                   [--tolerance 0.2]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "cmp/system.hpp"
+#include "common/check.hpp"
+#include "common/table.hpp"
+#include "workloads/synthetic_app.hpp"
+
+using namespace tcmp;
+
+namespace {
+
+constexpr unsigned kTiles = 256;
+constexpr unsigned kThreads = 8;
+constexpr double kSpeedupTarget = 2.0;  ///< acceptance bar on >= 8-core hosts
+
+cmp::CmpConfig mesh_config(unsigned threads) {
+  auto cfg = cmp::CmpConfig::baseline();
+  cfg.with_tiles(kTiles);
+  cfg.threads = threads;
+  return cfg;
+}
+
+/// Saturated phase: L1-resident working set, compute between accesses —
+/// cores runnable virtually every cycle (same shape as micro_kernel's
+/// "saturated" phase, scaled to keep the 256-tile run CI-sized).
+workloads::AppParams saturated_params() {
+  workloads::AppParams p;
+  p.name = "saturated-256";
+  p.ops_per_core = 3000;
+  p.warmup_frac = 0.0;
+  p.spatial_locality = 0.98;
+  p.line_dwell = 1.0;
+  p.private_lines = 256;
+  p.shared_frac = 0.05;
+  p.compute_per_mem = 4.0;
+  return p;
+}
+
+struct RunSample {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  double cps = 0.0;  ///< simulated cycles per wall second
+};
+
+RunSample run_once(unsigned threads) {
+  const auto cfg = mesh_config(threads);
+  cmp::CmpSystem system(cfg, std::make_shared<workloads::SyntheticApp>(
+                                 saturated_params(), cfg.n_tiles));
+  const auto t0 = std::chrono::steady_clock::now();
+  const bool finished = system.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  TCMP_CHECK_MSG(finished, "micro_partition run did not finish");
+  RunSample s;
+  s.cycles = system.total_cycles().value();
+  s.instructions = system.total_instructions();
+  s.cps = static_cast<double>(s.cycles) /
+          std::chrono::duration<double>(t1 - t0).count();
+  return s;
+}
+
+std::string to_json(const RunSample& one, const RunSample& eight,
+                    double speedup, unsigned host_cores) {
+  std::ostringstream out;
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "{\n"
+                "  \"bench\": \"micro_partition\",\n"
+                "  \"tiles\": %u,\n"
+                "  \"threads\": %u,\n"
+                "  \"host_cores\": %u,\n"
+                "  \"cycles\": %llu,\n"
+                "  \"threads1_cps\": %.0f,\n"
+                "  \"threads8_cps\": %.0f,\n"
+                "  \"speedup\": %.3f\n"
+                "}\n",
+                kTiles, kThreads, host_cores,
+                static_cast<unsigned long long>(one.cycles), one.cps,
+                eight.cps, speedup);
+  out << buf;
+  return out.str();
+}
+
+/// Pull `"key": <num>` out of a baseline JSON written by to_json (flat,
+/// known shape — no general JSON parser needed).
+bool json_number(const std::string& json, const std::string& key, double* out) {
+  const std::string field = "\"" + key + "\": ";
+  const auto at = json.find(field);
+  if (at == std::string::npos) return false;
+  *out = std::strtod(json.c_str() + at + field.size(), nullptr);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path, baseline_path;
+  double tolerance = 0.2;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
+      tolerance = std::strtod(argv[++i], nullptr);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--json out.json] [--baseline base.json] "
+                   "[--tolerance 0.2]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const unsigned host_cores = std::thread::hardware_concurrency();
+  std::printf("=== micro_partition: saturated %u-tile mesh, --threads %u vs 1 "
+              "(host cores: %u) ===\n\n",
+              kTiles, kThreads, host_cores);
+
+  std::fprintf(stderr, "  running --threads 1...\n");
+  const RunSample one = run_once(1);
+  std::fprintf(stderr, "  running --threads %u...\n", kThreads);
+  const RunSample eight = run_once(kThreads);
+
+  TCMP_CHECK_MSG(
+      one.cycles == eight.cycles && one.instructions == eight.instructions,
+      "partitioned run diverged from the single-threaded run");
+  const double speedup = eight.cps / one.cps;
+
+  TextTable t({"threads", "sim cycles", "cycles/sec"});
+  t.add_row({"1", std::to_string(one.cycles), TextTable::fmt(one.cps, 0)});
+  t.add_row({std::to_string(kThreads), std::to_string(eight.cycles),
+             TextTable::fmt(eight.cps, 0)});
+  std::printf("%s\nspeedup: %.3fx (identical cycle/instruction counts "
+              "verified)\n",
+              t.str().c_str(), speedup);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << to_json(one, eight, speedup, host_cores);
+    TCMP_CHECK_MSG(out.good(), "could not write --json output");
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (baseline_path.empty()) return 0;
+
+  std::ifstream in(baseline_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read baseline %s\n", baseline_path.c_str());
+    return 2;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string base = ss.str();
+
+  double base_speedup = 0.0, base_cores = 0.0;
+  if (!json_number(base, "speedup", &base_speedup) ||
+      !json_number(base, "host_cores", &base_cores)) {
+    std::fprintf(stderr, "baseline missing speedup/host_cores fields\n");
+    return 2;
+  }
+
+  double floor = 0.0;
+  const char* gate = nullptr;
+  if (host_cores >= kThreads) {
+    floor = kSpeedupTarget * (1.0 - tolerance);
+    gate = "parallel-speedup target";
+  } else if (base_cores < static_cast<double>(kThreads)) {
+    floor = base_speedup * (1.0 - tolerance);
+    gate = "oversubscribed-host overhead bound";
+  } else {
+    std::printf("gate skipped: host has %u cores but baseline was recorded "
+                "on a %.0f-core host — no comparable throughput bound "
+                "(identity cross-check still enforced above)\n",
+                host_cores, base_cores);
+    return 0;
+  }
+
+  if (speedup < floor) {
+    std::fprintf(stderr,
+                 "FAIL [%s]: speedup %.3f below floor %.3f "
+                 "(baseline %.3f at %.0f host cores, tolerance %.2f)\n",
+                 gate, speedup, floor, base_speedup, base_cores, tolerance);
+    return 1;
+  }
+  std::printf("ok [%s]: speedup %.3f >= floor %.3f\n", gate, speedup, floor);
+  return 0;
+}

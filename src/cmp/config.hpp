@@ -21,6 +21,11 @@ struct CmpConfig {
   unsigned mesh_width = 4;
   unsigned mesh_height = 4;
 
+  /// Worker threads for the partitioned driver (docs/partitioning.md).
+  /// 1 = the seed's single-threaded loop, byte-identical output; K > 1
+  /// splits the mesh into K row-blocks, each on its own thread.
+  unsigned threads = 1;
+
   protocol::L1Cache::Config l1{128, 4};  ///< 32 KB, 4-way
   /// 256 KB/core, 6+2 cycles, 400-cycle memory.
   protocol::Directory::Config l2{1024, 4, Cycle{8}, Cycle{400}};
@@ -58,6 +63,21 @@ struct CmpConfig {
   /// Cheng et al. [6]'s three-subnet interconnect (L + B + PW), the related
   /// work the paper compares against; no address compression.
   static CmpConfig cheng3way();
+
+  /// Canonical mesh shape for a tile count: 16 -> 4x4, 32 -> 8x4 (the
+  /// paper-era sizes), 64 -> 8x8, 256 -> 16x16. Power-of-two counts above 16
+  /// get the squarest factorization with width >= height.
+  CmpConfig& with_tiles(unsigned tiles) {
+    n_tiles = tiles;
+    mesh_height = 4;
+    while (mesh_height * mesh_height * 4 <= tiles) mesh_height *= 2;
+    mesh_width = (tiles + mesh_height - 1) / mesh_height;
+    if (tiles <= 16) {
+      mesh_width = 4;
+      mesh_height = 4;
+    }
+    return *this;
+  }
 };
 
 }  // namespace tcmp::cmp

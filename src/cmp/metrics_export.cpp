@@ -95,7 +95,7 @@ void write_self_profile(std::ostream& out, const sim::SelfProfiler& prof,
 void write_metrics_json(std::ostream& out, const RunResult& result,
                         const CmpSystem& system,
                         const sim::SelfProfiler* prof) {
-  const StatRegistry& reg = system.stats();
+  const StatRegistry& reg = system.merged_stats();
   out << "{\"schema\":\"tcmp-metrics\",\"version\":" << kMetricsSchemaVersion
       << ",";
   write_run(out, result);

@@ -22,7 +22,7 @@ double RunResult::full_cmp_ed2p() const { return power::ed2p(total_energy(), sec
 
 RunResult make_result(const CmpSystem& system) {
   const CmpConfig& cfg = system.config();
-  const StatRegistry& stats = system.stats();
+  const StatRegistry& stats = system.merged_stats();
   RunResult r;
   r.configuration = cfg.name();
   r.cycles = system.cycles();

@@ -1,7 +1,9 @@
 #include "cmp/system.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <ostream>
+#include <thread>
 
 #include "common/abort.hpp"
 #include "common/check.hpp"
@@ -15,9 +17,45 @@ namespace tcmp::cmp {
 using protocol::CoherenceMsg;
 
 CmpSystem::CmpSystem(const CmpConfig& cfg, std::shared_ptr<core::Workload> workload)
-    : cfg_(cfg), workload_(std::move(workload)), flight_(cfg.n_tiles) {
+    : cfg_(cfg),
+      plan_(cfg.mesh_width, cfg.mesh_height, cfg.threads),
+      workload_(std::move(workload)),
+      flight_(cfg.n_tiles) {
   TCMP_CHECK(workload_ != nullptr);
   TCMP_CHECK(cfg_.n_tiles == cfg_.mesh_width * cfg_.mesh_height);
+  TCMP_CHECK(cfg_.threads >= 1);
+  n_parts_ = plan_.num_partitions();
+  barrier_mode_ = n_parts_ > 1 ? BarrierMode::kRecord : BarrierMode::kSerial;
+  part_of_.resize(cfg_.n_tiles);
+  for (unsigned t = 0; t < cfg_.n_tiles; ++t) part_of_[t] = plan_.part_of(t);
+
+  // Partition shards. Partition 0 aliases stats_, so the K = 1 machine is
+  // exactly the seed's single-kernel, single-registry driver; every shard
+  // registers the same stat names, and merged_stats() folds them back.
+  std::vector<StatRegistry*> shards;
+  for (unsigned p = 0; p < n_parts_; ++p) {
+    auto part = std::make_unique<Partition>();
+    if (p == 0) {
+      part->shard = &stats_;
+    } else {
+      part->owned_shard = std::make_unique<StatRegistry>();
+      part->shard = part->owned_shard.get();
+    }
+    for (unsigned i = 0; i < protocol::kNumMsgTypes; ++i) {
+      const auto type = static_cast<protocol::MsgType>(i);
+      part->msg_counters[i] = part->shard->counter_ref(
+          "msg." + std::string(protocol::to_string(type)));
+    }
+    part->local_count = part->shard->counter_ref("msg_local.count");
+    part->remote_count = part->shard->counter_ref("msg_remote.count");
+    part->remote_bytes =
+        part->shard->counter_ref("msg_remote.uncompressed_bytes");
+    shards.push_back(part->shard);
+    parts_.push_back(std::move(part));
+  }
+  // The barrier controller always runs serially; its counters live on shard 0.
+  barrier_arrivals_ = stats_.counter_ref("sync.barrier_arrivals");
+  barriers_completed_ = stats_.counter_ref("sync.barriers_completed");
 
   noc::NocConfig ncfg;
   ncfg.width = cfg_.mesh_width;
@@ -29,39 +67,30 @@ CmpSystem::CmpSystem(const CmpConfig& cfg, std::shared_ptr<core::Workload> workl
   ncfg.single_cycle_router = cfg_.single_cycle_router;
   ncfg.link_length_mm = cfg_.link_length_mm;
   ncfg.freq = cfg_.freq;
-  network_ = std::make_unique<noc::Network>(ncfg, &stats_);
+  network_ = std::make_unique<noc::Network>(ncfg, plan_, shards);
 
   at_barrier_.assign(cfg_.n_tiles, false);
-  for (unsigned i = 0; i < protocol::kNumMsgTypes; ++i) {
-    const auto type = static_cast<protocol::MsgType>(i);
-    msg_counters_[i] =
-        stats_.counter_ref("msg." + std::string(protocol::to_string(type)));
-  }
-  local_count_ = stats_.counter_ref("msg_local.count");
-  remote_count_ = stats_.counter_ref("msg_remote.count");
-  remote_bytes_ = stats_.counter_ref("msg_remote.uncompressed_bytes");
-  barrier_arrivals_ = stats_.counter_ref("sync.barrier_arrivals");
-  barriers_completed_ = stats_.counter_ref("sync.barriers_completed");
 
   for (unsigned t = 0; t < cfg_.n_tiles; ++t) {
     auto tile = std::make_unique<Tile>();
     const auto id = static_cast<NodeId>(t);
+    StatRegistry* const shard = shards[part_of_[t]];
     auto sink = [this, id](CoherenceMsg msg) { route_outgoing(id, msg); };
     protocol::L1Cache::Config l1cfg = cfg_.l1;
     protocol::Directory::Config l2cfg = cfg_.l2;
     l1cfg.reply_partitioning = l2cfg.reply_partitioning = cfg_.reply_partitioning;
     tile->l1 = std::make_unique<protocol::L1Cache>(id, l1cfg, cfg_.n_tiles,
-                                                   &stats_, sink);
+                                                   shard, sink);
     tile->dir = std::make_unique<protocol::Directory>(id, l2cfg, cfg_.n_tiles,
-                                                      &stats_, sink);
+                                                      shard, sink);
     tile->nic = std::make_unique<het::TileNic>(id, cfg_.scheme, cfg_.link.style,
                                                cfg_.n_tiles, network_.get(),
-                                               &stats_);
+                                               shard);
     tile->l1i = std::make_unique<protocol::ICache>(id, protocol::ICache::Config{},
-                                                   cfg_.n_tiles, &stats_, sink);
+                                                   cfg_.n_tiles, shard, sink);
     tile->core = std::make_unique<core::Core>(id, core::Core::Config{},
                                               workload_.get(), tile->l1.get(),
-                                              &stats_);
+                                              shard);
     tile->core->set_icache(tile->l1i.get(), workload_->code_lines());
     tile->core->set_barrier_handler(
         [this](unsigned c, std::uint32_t b) { on_barrier(c, b); });
@@ -75,16 +104,18 @@ CmpSystem::CmpSystem(const CmpConfig& cfg, std::shared_ptr<core::Workload> workl
         [this, core = tile->core.get(), id](LineAddr line) {
           const bool was_stalled = core->stalled_on(line);
           core->on_fill(line);
-          if (was_stalled && slack_ != nullptr) [[unlikely]] {
-            slack_->on_unstall(id, line, now_);
+          obs::SlackTelemetry* const sl = slack_for(id);
+          if (was_stalled && sl != nullptr) [[unlikely]] {
+            sl->on_unstall(id, line, now_);
           }
         });
     // tcmplint: tile-seam (same-tile fill callback wired at construction; never crosses a partition)
     tile->l1i->set_fill_callback([this, core = tile->core.get(), id] {
       const bool was_stalled = core->stalled_on_ifetch();
       core->on_ifill();
-      if (was_stalled && slack_ != nullptr) [[unlikely]] {
-        slack_->on_unstall_ifetch(id, now_);
+      obs::SlackTelemetry* const sl = slack_for(id);
+      if (was_stalled && sl != nullptr) [[unlikely]] {
+        sl->on_unstall_ifetch(id, now_);
       }
     });
     tiles_.push_back(std::move(tile));
@@ -95,26 +126,41 @@ CmpSystem::CmpSystem(const CmpConfig& cfg, std::shared_ptr<core::Workload> workl
         msg, now_, [this, node](const CoherenceMsg& m) { deliver_local(node, m); });
   });
 
-  // Register every component with the event kernel. Registration order is
-  // the next_wake() scan order: cores first (any runnable core makes the
-  // next cycle live and early-exits the scan), then the network, then the
-  // directories (pipeline deadlines), then the driver-level recurring events
-  // (telemetry sampling, periodic checks), then the purely message-driven
-  // components (never wake sources; registered for the quiescence contract).
-  for (auto& t : tiles_) kernel_.add_component(t->core.get(), "core");
-  kernel_.add_component(network_.get(), "network");
-  for (auto& t : tiles_) kernel_.add_component(t->dir.get(), "dir");
+  // Register every component with its partition's event kernel (at K = 1
+  // that is the single kernel, in exactly the seed's order). Registration
+  // order is the next_wake() scan order: cores first (any runnable core
+  // makes the next cycle live and early-exits the scan), then the network,
+  // then the directories (pipeline deadlines), then the driver-level
+  // recurring events (telemetry sampling, periodic checks; partition 0),
+  // then the purely message-driven components (never wake sources;
+  // registered for the quiescence contract).
   auto obs_next = [this] { return obs_sample_due_; };
   obs_event_ = std::make_unique<sim::ScheduledEvent<decltype(obs_next)>>(obs_next);
-  kernel_.add_component(obs_event_.get(), "obs.sampler");
   auto check_next = [this] { return check_due_; };
   check_event_ =
       std::make_unique<sim::ScheduledEvent<decltype(check_next)>>(check_next);
-  kernel_.add_component(check_event_.get(), "periodic.check");
-  for (auto& t : tiles_) {
-    kernel_.add_component(t->l1.get(), "l1");
-    kernel_.add_component(t->l1i.get(), "l1i");
-    kernel_.add_component(t->nic.get(), "nic");
+  for (unsigned p = 0; p < n_parts_; ++p) {
+    sim::SimKernel& k = parts_[p]->kernel;
+    const unsigned lo = plan_.first(p), hi = plan_.first(p + 1);
+    for (unsigned t = lo; t < hi; ++t) k.add_component(tiles_[t]->core.get(), "core");
+    if (n_parts_ == 1) {
+      k.add_component(network_.get(), "network");
+    } else {
+      auto net_next = [this, p] { return network_->next_event_partition(p); };
+      parts_[p]->net_event =
+          std::make_unique<sim::ScheduledEvent<decltype(net_next)>>(net_next);
+      k.add_component(parts_[p]->net_event.get(), "network");
+    }
+    for (unsigned t = lo; t < hi; ++t) k.add_component(tiles_[t]->dir.get(), "dir");
+    if (p == 0) {
+      k.add_component(obs_event_.get(), "obs.sampler");
+      k.add_component(check_event_.get(), "periodic.check");
+    }
+    for (unsigned t = lo; t < hi; ++t) {
+      k.add_component(tiles_[t]->l1.get(), "l1");
+      k.add_component(tiles_[t]->l1i.get(), "l1i");
+      k.add_component(tiles_[t]->nic.get(), "nic");
+    }
   }
 
   if (workload_->has_warmup()) {
@@ -147,6 +193,9 @@ bool CmpSystem::dump_postmortem() const {
 }
 
 void CmpSystem::set_profiler(sim::SelfProfiler* prof) {
+  TCMP_CHECK_MSG(prof == nullptr || n_parts_ == 1,
+                 "the self-profiler instruments the single-kernel loop "
+                 "(threads == 1)");
   prof_ = prof;
   if (prof == nullptr) return;
   // Scope registration order is presentation order is lap order in step_impl.
@@ -173,7 +222,7 @@ void CmpSystem::write_self_profile(std::ostream& out) const {
   // Aggregated over registration entries (16 cores -> one "core" row).
   std::vector<std::pair<std::string, std::pair<std::uint64_t, std::uint64_t>>>
       agg;
-  for (const auto& s : kernel_.scan_stats()) {
+  for (const auto& s : parts_[0]->kernel.scan_stats()) {
     auto it = std::find_if(agg.begin(), agg.end(),
                            [&](const auto& a) { return a.first == s.name; });
     if (it == agg.end()) {
@@ -193,6 +242,9 @@ void CmpSystem::write_self_profile(std::ostream& out) const {
 }
 
 void CmpSystem::attach_observer(obs::Observer* obs) {
+  TCMP_CHECK_MSG(obs == nullptr || n_parts_ == 1,
+                 "observers are single-threaded (threads == 1); at K > 1 the "
+                 "only supported telemetry is enable_slack_telemetry()");
   if (obs_ != nullptr && obs != obs_) obs_->set_clock(nullptr);
   obs_ = obs;
   network_->set_observer(obs);
@@ -210,12 +262,7 @@ void CmpSystem::attach_observer(obs::Observer* obs) {
   // classes are the network's channel planes plus a "local" pseudo-class for
   // tile-internal loopback traffic, which never touches a wire.
   if (!obs->slack().enabled()) {
-    std::vector<std::string> wires;
-    for (unsigned c = 0; c < network_->num_channels(); ++c) {
-      wires.push_back(network_->channel(c).name);
-    }
-    wires.emplace_back("local");
-    obs->slack().init(&stats_, wires);
+    obs->slack().init(&stats_, wire_class_names());
   }
   slack_ = &obs->slack();
   // The observer reads the system clock directly: hooks stay timestamped
@@ -227,21 +274,20 @@ void CmpSystem::attach_observer(obs::Observer* obs) {
   if (!warmup_done_) obs->set_warmup_pending();
   obs->add_gauge("dir_busy_lines", [this] {
     double total = 0;
-    // tcmplint: tile-seam (report-time gauge aggregation; becomes a per-partition shard merge)
-    for (const auto& t : tiles_) total += t->dir->busy_lines();
+    for (unsigned t = 0; t < cfg_.n_tiles; ++t) total += directory(t).busy_lines();
     return total;
   });
   obs->add_gauge("dir_queued_msgs", [this] {
     double total = 0;
-    // tcmplint: tile-seam (report-time gauge aggregation; becomes a per-partition shard merge)
-    for (const auto& t : tiles_) total += t->dir->queued_msgs();
+    for (unsigned t = 0; t < cfg_.n_tiles; ++t) total += directory(t).queued_msgs();
     return total;
   });
 }
 
 void CmpSystem::route_outgoing(NodeId tile, CoherenceMsg msg) {
-  ++msg_counters_[static_cast<unsigned>(msg.type)];
-  if (slack_ != nullptr) [[unlikely]] {
+  Partition& P = *parts_[part_of_[tile]];
+  ++P.msg_counters[static_cast<unsigned>(msg.type)];
+  if (slack_for(tile) != nullptr) [[unlikely]] {
     // Tag at injection with the requesting core's state; the tag travels
     // with the message (telemetry-only field) and is read back at delivery.
     msg.slack_class = static_cast<std::uint8_t>(
@@ -256,12 +302,12 @@ void CmpSystem::route_outgoing(NodeId tile, CoherenceMsg msg) {
     msg.wire_class = static_cast<std::uint8_t>(network_->num_channels());
     flight_.record(obs::FlightEventKind::kSendLocal, tile, msg, now_);
     tiles_[tile]->loopback.push(now_ + cfg_.local_latency, msg);
-    kernel_.wake(std::max(now_ + cfg_.local_latency, now_ + 1));
-    ++local_count_;
+    P.kernel.wake(std::max(now_ + cfg_.local_latency, now_ + 1));
+    ++P.local_count;
     return;
   }
-  ++remote_count_;
-  remote_bytes_ += protocol::uncompressed_bytes(msg.type);
+  ++P.remote_count;
+  P.remote_bytes += protocol::uncompressed_bytes(msg.type);
   flight_.record(obs::FlightEventKind::kSendRemote, tile, msg, now_);
   if (remote_hook_) remote_hook_(msg);
   tiles_[tile]->nic->send(msg, now_);
@@ -278,18 +324,25 @@ bool CmpSystem::beneficiary_stalled(const CoherenceMsg& msg) const {
                        : (msg.dst_unit == protocol::Unit::kDir ? msg.src
                                                                : msg.dst);
   if (b >= tiles_.size()) return false;
-  // tcmplint: tile-seam (slack probe reads the beneficiary core's stall state; cross-partition it must ride the message)
-  const core::Core& core = *tiles_[b]->core;
-  if (msg.type == protocol::MsgType::kGetInstr ||
-      msg.dst_unit == protocol::Unit::kL1I) {
-    return core.stalled_on_ifetch();
+  const bool want_ifetch = msg.type == protocol::MsgType::kGetInstr ||
+                           msg.dst_unit == protocol::Unit::kL1I;
+  if (n_parts_ > 1) {
+    // Cross-partition form of the probe: the beneficiary may live in another
+    // partition, so read the previous cycle's published stall snapshot
+    // instead of the live core. Used for every beneficiary at K > 1 so the
+    // classification does not depend on the partition count — the one
+    // documented divergence from K = 1 (docs/partitioning.md).
+    const core::StallSnapshot& snap = stall_published_[b];
+    return want_ifetch ? snap.ifetch : (snap.mem && snap.line == msg.line);
   }
-  return core.stalled_on(msg.line);
+  if (want_ifetch) return tiles_[b]->core->stalled_on_ifetch();
+  return tiles_[b]->core->stalled_on(msg.line);
 }
 
 void CmpSystem::deliver_local(NodeId tile, const CoherenceMsg& msg) {
   flight_.record(obs::FlightEventKind::kDeliver, tile, msg, now_);
-  if (slack_ != nullptr) [[unlikely]] {
+  obs::SlackTelemetry* const sl = slack_for(tile);
+  if (sl != nullptr) [[unlikely]] {
     // Record BEFORE the handler runs: a reply that completes the miss
     // synchronously fires the fill callback (and the unstall probe) inside
     // the deliver below, resolving this very delivery with zero slack.
@@ -298,7 +351,7 @@ void CmpSystem::deliver_local(NodeId tile, const CoherenceMsg& msg) {
         (msg.dst_unit == protocol::Unit::kL1I
              ? tiles_[tile]->core->stalled_on_ifetch()
              : tiles_[tile]->core->stalled_on(msg.line));
-    slack_->on_delivered(tile, msg, parked, now_);
+    sl->on_delivered(tile, msg, parked, now_);
   }
   switch (msg.dst_unit) {
     case protocol::Unit::kDir:
@@ -319,6 +372,16 @@ void CmpSystem::deliver_local(NodeId tile, const CoherenceMsg& msg) {
 }
 
 void CmpSystem::on_barrier(unsigned core, std::uint32_t id) {
+  if (barrier_mode_ == BarrierMode::kRecord) {
+    // Parallel phase: queue the arrival; the serial epilogue replays the
+    // per-partition lists in global tile order (docs/partitioning.md).
+    parts_[part_of_[core]]->events.push_back(BarrierEvent{core, id, false});
+    return;
+  }
+  if (barrier_mode_ == BarrierMode::kReplay) {
+    replay_arrival(core, id);
+    return;
+  }
   TCMP_CHECK(!at_barrier_[core]);
   at_barrier_[core] = true;
   pending_barrier_id_ = id;
@@ -358,7 +421,7 @@ void CmpSystem::end_warmup() {
     // phase_boundary moved the sampling window; refresh the hoisted check.
     obs_sample_due_ = obs_->timeseries().next_boundary();
   }
-  stats_.zero_all();
+  for (auto& part : parts_) part->shard->zero_all();
 }
 
 void CmpSystem::set_periodic_check(Cycle interval, PeriodicCheck check) {
@@ -375,7 +438,13 @@ void CmpSystem::set_periodic_check(Cycle interval, PeriodicCheck check) {
   periodic_check_ = std::move(check);
 }
 
-void CmpSystem::step() { step_impl<false>(); }
+void CmpSystem::step() {
+  if (n_parts_ > 1) {
+    step_partitioned();
+    return;
+  }
+  step_impl<false>();
+}
 
 template <bool kProfiled>
 void CmpSystem::step_impl() {
@@ -428,7 +497,7 @@ bool CmpSystem::finished() const {
         !t->loopback.empty())
       return false;
   }
-  return network_->quiescent();
+  return network_->quiescent() && network_->boundaries_empty();
 }
 
 void CmpSystem::advance_idle(Cycle target) {
@@ -442,6 +511,7 @@ void CmpSystem::advance_idle(Cycle target) {
 }
 
 bool CmpSystem::run(Cycle max_cycles) {
+  if (n_parts_ > 1) return run_partitioned(max_cycles);
   if (prof_ != nullptr) {
     // Lap-based attribution: the laps tile the whole loop contiguously, so
     // the table accounts for (nearly) all of run()'s wall time.
@@ -463,10 +533,10 @@ bool CmpSystem::run_loop(Cycle max_cycles) {
     if (!dead_cycle_skipping_) continue;
     Cycle nxt{0};
     if constexpr (kProfiled) {
-      nxt = kernel_.next_wake_counted(now_);
+      nxt = parts_[0]->kernel.next_wake_counted(now_);
       prof_->lap(sc_scan_);
     } else {
-      nxt = kernel_.next_wake(now_);
+      nxt = parts_[0]->kernel.next_wake(now_);
     }
     if (nxt <= now_ + 1) continue;
     // Every cycle in (now_, nxt) is globally dead: jump to just before the
@@ -477,6 +547,259 @@ bool CmpSystem::run_loop(Cycle max_cycles) {
     if constexpr (kProfiled) prof_->lap(sc_idle_);
   }
   return finished() && !aborted_;
+}
+
+// --- Partitioned driver (K > 1; docs/partitioning.md) -----------------------
+
+bool CmpSystem::partition_finished(unsigned p) const {
+  const unsigned lo = plan_.first(p), hi = plan_.first(p + 1);
+  for (unsigned t = lo; t < hi; ++t) {
+    if (!tiles_[t]->core->done()) return false;
+  }
+  for (unsigned t = lo; t < hi; ++t) {
+    if (!tiles_[t]->l1->quiescent() || !tiles_[t]->l1i->quiescent() ||
+        !tiles_[t]->dir->quiescent() || !tiles_[t]->loopback.empty()) {
+      return false;
+    }
+  }
+  return network_->quiescent_partition(p);
+}
+
+void CmpSystem::parallel_phase(unsigned p) {
+  Partition& P = *parts_[p];
+  const unsigned lo = plan_.first(p), hi = plan_.first(p + 1);
+  // Apply the boundary events the last serial epilogue published for this
+  // partition, then run the exact component sequence step_impl runs, cut to
+  // this partition's tiles and routers.
+  network_->drain_boundary(p);
+  network_->tick_partition(p, now_);
+  for (unsigned t = lo; t < hi; ++t) {
+    while (auto msg = tiles_[t]->loopback.pop_ready(now_)) {
+      deliver_local(msg->dst, *msg);
+    }
+  }
+  for (unsigned t = lo; t < hi; ++t) tiles_[t]->dir->tick(now_);
+  for (unsigned t = lo; t < hi; ++t) {
+    // Ticking a done core is a no-op, so skipping it is free — and it lets
+    // the tick below detect the run->done transition, which the barrier
+    // replay needs at this core's position in serial tile order.
+    if (tiles_[t]->core->done()) continue;
+    tiles_[t]->core->tick(now_);
+    if (tiles_[t]->core->done()) {
+      P.events.push_back(BarrierEvent{t, 0, true});
+    }
+  }
+  if (P.slack != nullptr) {
+    for (unsigned t = lo; t < hi; ++t) {
+      tiles_[t]->core->snapshot_stall(stall_next_[t]);
+    }
+  }
+  P.finished = partition_finished(p);
+  P.next_wake = P.kernel.next_wake(now_);
+}
+
+void CmpSystem::replay_arrival(unsigned core, std::uint32_t id) {
+  TCMP_CHECK(!at_barrier_[core]);
+  at_barrier_[core] = true;
+  pending_barrier_id_ = id;
+  ++waiting_;
+  ++barrier_arrivals_;
+  if (waiting_ + replay_done_count_ == cfg_.n_tiles) {
+    // This arrival completes the barrier. Cores after `core` in tile order
+    // that were already waiting ticked blocked in the parallel phase, but
+    // the serial driver would have released them before their tick: undo the
+    // provisional blocked tick and re-tick them at their replay position.
+    for (unsigned w = core + 1; w < cfg_.n_tiles; ++w) {
+      if (at_barrier_[w]) {
+        tiles_[w]->core->undo_blocked_tick();
+        replay_retick_[w] = true;
+      }
+    }
+    release_barrier();
+    replay_any_action_ = true;
+  }
+}
+
+bool CmpSystem::replay_barrier_events() {
+  // Cores done *before this cycle*: total done now minus the run->done
+  // transitions the parallel phases recorded. The serial driver's arrival
+  // check counts a core as done only once serial order has passed its
+  // transition; the cursor walk below adds them back one by one.
+  unsigned done_now = 0;
+  for (const auto& t : tiles_)
+    if (t->core->done()) ++done_now;
+  unsigned done_events = 0;
+  bool any_events = false;
+  for (const auto& part : parts_) {
+    if (!part->events.empty()) any_events = true;
+    for (const BarrierEvent& e : part->events)
+      if (e.done) ++done_events;
+  }
+  replay_done_count_ = done_now - done_events;
+  replay_any_action_ = false;
+  if (any_events) {
+    // Concatenating the per-partition lists yields global tile order:
+    // partitions own contiguous tile ranges and record in tile order.
+    std::vector<BarrierEvent> ev;
+    for (auto& part : parts_) {
+      ev.insert(ev.end(), part->events.begin(), part->events.end());
+      part->events.clear();
+    }
+    replay_retick_.assign(cfg_.n_tiles, false);
+    barrier_mode_ = BarrierMode::kReplay;
+    std::size_t cursor = 0;
+    for (unsigned t = 0; t < cfg_.n_tiles; ++t) {
+      if (replay_retick_[t]) {
+        // Released by an earlier arrival this cycle: this is the core's real
+        // tick for the cycle (its provisional blocked tick was undone). It
+        // can arrive at the next barrier or finish right here; both route
+        // back through the replay bookkeeping.
+        tiles_[t]->core->tick(now_);
+        if (tiles_[t]->core->done()) ++replay_done_count_;
+        replay_any_action_ = true;
+      }
+      while (cursor < ev.size() && ev[cursor].core == t) {
+        if (ev[cursor].done) {
+          ++replay_done_count_;
+        } else {
+          replay_arrival(t, ev[cursor].id);
+        }
+        ++cursor;
+      }
+    }
+    barrier_mode_ = BarrierMode::kRecord;
+  }
+  // The serial driver's post-tick check: a core finishing can release a
+  // barrier every other core is already in.
+  if (waiting_ > 0 && waiting_ + replay_done_count_ == cfg_.n_tiles) {
+    release_barrier();
+    replay_any_action_ = true;
+  }
+  return replay_any_action_;
+}
+
+Cycle CmpSystem::serial_epilogue() {
+  const bool action = replay_barrier_events();
+  // Publish this cycle's stall snapshots for the next cycle's slack probes.
+  if (!stall_next_.empty()) stall_published_.swap(stall_next_);
+  if (now_ >= check_due_) [[unlikely]] {
+    if (!periodic_check_(now_)) aborted_ = true;
+    check_due_ += check_interval_;
+  }
+  const Cycle boundary_next = network_->exchange_boundaries();
+  if (action) {
+    // Barrier releases / re-ticks may have produced new work anywhere; the
+    // partitions' cached wake calendars are stale. Run the next cycle live.
+    epilogue_finished_ = finished();
+    return now_ + 1;
+  }
+  bool fin = boundary_next == kNeverCycle;
+  for (unsigned p = 0; fin && p < n_parts_; ++p) fin = parts_[p]->finished;
+  epilogue_finished_ = fin;
+  Cycle nxt = boundary_next;
+  for (const auto& part : parts_) nxt = std::min(nxt, part->next_wake);
+  return nxt;
+}
+
+void CmpSystem::step_partitioned() {
+  ++now_;
+  network_->begin_cycle(now_);
+  // Sequential execution of the parallel phases is equivalent to the
+  // threaded run: the phases only exchange state through the double-buffered
+  // boundary channels and stall snapshots, both swapped by the epilogue.
+  for (unsigned p = 0; p < n_parts_; ++p) parallel_phase(p);
+  serial_epilogue();
+}
+
+bool CmpSystem::run_partitioned(Cycle max_cycles) {
+  TCMP_CHECK(n_parts_ > 1);
+  sim::SpinBarrier barrier(n_parts_);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  workers.reserve(n_parts_ - 1);
+  for (unsigned p = 1; p < n_parts_; ++p) {
+    workers.emplace_back([this, p, &barrier, &stop] {
+      for (;;) {
+        barrier.arrive_and_wait();  // cycle start: prologue published
+        if (stop.load(std::memory_order_acquire)) return;
+        parallel_phase(p);
+        barrier.arrive_and_wait();  // cycle end: hand over to the epilogue
+      }
+    });
+  }
+  bool completed = false;
+  while (now_ < max_cycles && !aborted_) {
+    ++now_;
+    network_->begin_cycle(now_);
+    barrier.arrive_and_wait();
+    parallel_phase(0);
+    barrier.arrive_and_wait();
+    const Cycle nxt = serial_epilogue();
+    if (epilogue_finished_) {
+      completed = true;
+      break;
+    }
+    if (!dead_cycle_skipping_) continue;
+    if (nxt <= now_ + 1) continue;
+    // Same dead-cycle rule as run_loop, with the boundary-channel deadlines
+    // folded in (exchange_boundaries returned them in nxt).
+    advance_idle(std::min(Cycle{nxt.value() - 1}, max_cycles));
+  }
+  stop.store(true, std::memory_order_release);
+  barrier.arrive_and_wait();
+  for (auto& w : workers) w.join();
+  return (completed || finished()) && !aborted_;
+}
+
+const StatRegistry& CmpSystem::merged_stats() const {
+  if (n_parts_ == 1) return stats_;
+  merged_ = StatRegistry{};
+  for (const auto& part : parts_) merged_.merge_from(*part->shard);
+  return merged_;
+}
+
+std::vector<std::string> CmpSystem::wire_class_names() const {
+  // The network's channel planes plus a "local" pseudo-class for
+  // tile-internal loopback traffic, which never touches a wire.
+  std::vector<std::string> wires;
+  for (unsigned c = 0; c < network_->num_channels(); ++c) {
+    wires.push_back(network_->channel(c).name);
+  }
+  wires.emplace_back("local");
+  return wires;
+}
+
+void CmpSystem::enable_slack_telemetry() {
+  TCMP_CHECK_MSG(n_parts_ > 1,
+                 "at threads == 1 slack telemetry rides the observer "
+                 "(attach_observer)");
+  if (parts_[0]->slack != nullptr) return;
+  const std::vector<std::string> wires = wire_class_names();
+  for (auto& part : parts_) {
+    part->slack = std::make_unique<obs::SlackTelemetry>();
+    part->slack->init(part->shard, wires);
+  }
+  stall_published_.assign(cfg_.n_tiles, core::StallSnapshot{});
+  stall_next_.assign(cfg_.n_tiles, core::StallSnapshot{});
+}
+
+void CmpSystem::write_slack_table(std::ostream& out) {
+  if (n_parts_ == 1) {
+    if (slack_ == nullptr) return;
+    slack_->finalize();
+    slack_->write_table(out);
+    return;
+  }
+  if (parts_[0]->slack == nullptr) return;
+  for (auto& part : parts_) part->slack->finalize();
+  // Fold the shards and read the table through a throwaway telemetry bound
+  // to the merged registry: init() re-interns the same stat names, so the
+  // view sees the reassembled distributions.
+  StatRegistry folded;
+  for (const auto& part : parts_) folded.merge_from(*part->shard);
+  obs::SlackTelemetry view;
+  view.init(&folded, wire_class_names());
+  view.write_table(out);
 }
 
 void CmpSystem::dump_state(std::ostream& out) const {
@@ -498,14 +821,14 @@ void CmpSystem::dump_state(std::ostream& out) const {
 
 std::uint64_t CmpSystem::total_instructions() const {
   std::uint64_t total = 0;
-  // tcmplint: tile-seam (report-time counter aggregation; becomes a per-partition shard merge)
+  // tcmplint: tile-seam (single-threaded aggregation at report/warmup boundaries, between partition phases)
   for (const auto& t : tiles_) total += t->core->instructions();
   return total;
 }
 
 std::uint64_t CmpSystem::compression_accesses() const {
   std::uint64_t total = 0;
-  // tcmplint: tile-seam (report-time counter aggregation; becomes a per-partition shard merge)
+  // tcmplint: tile-seam (single-threaded aggregation at report/warmup boundaries, between partition phases)
   for (const auto& t : tiles_) total += t->nic->compression_accesses();
   return total;
 }

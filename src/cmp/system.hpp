@@ -1,14 +1,27 @@
-// Full-CMP assembly and simulation driver: 16 tiles (core + L1 + L2/
-// directory slice + NIC) over the (possibly heterogeneous) mesh, plus a
-// global barrier controller. Single-threaded and deterministic; parallel
-// parameter sweeps run one CmpSystem per configuration (bench/bench_util.hpp
-// provides the sweep driver).
+// Full-CMP assembly and simulation driver: n_tiles tiles (core + L1 + L2/
+// directory slice + NIC, 16 up to 256+ via CmpConfig::with_tiles) over the
+// (possibly heterogeneous) mesh, plus a global barrier controller. Parallel
+// parameter sweeps still run one CmpSystem per configuration
+// (bench/bench_util.hpp provides the sweep driver).
 //
 // Timing is event-scheduled (sim/kernel.hpp): every component implements the
 // Scheduled contract, and run() jumps the clock across globally dead cycles
 // instead of ticking an idle machine. Each *live* cycle still executes the
 // full classic step() in the classic order, so results are bit-identical to
 // the plain per-cycle loop (docs/kernel.md).
+//
+// With CmpConfig::threads = K > 1 the tile array is split into K contiguous
+// row-block partitions (sim/partition.hpp), each with its own SimKernel wake
+// calendar and StatRegistry shard, executed in cycle lockstep on K threads.
+// Cross-partition interaction is message-only: NoC flits/credits ride
+// boundary channels swapped once per cycle under the >= 1-cycle link
+// synchronization horizon, barrier arrivals are recorded as events and
+// replayed serially in tile order, and the slack beneficiary probe reads a
+// double-buffered stall snapshot. Simulation results are deterministic and
+// independent of K — byte-identical to the seed's single-threaded driver at
+// K = 1, equal counter maps at any K (docs/partitioning.md; the one
+// documented exception is slack *classification*, which at K > 1 reads the
+// previous cycle's stall snapshot instead of live core state).
 #pragma once
 
 #include <array>
@@ -31,6 +44,7 @@
 #include "protocol/icache.hpp"
 #include "protocol/l1_cache.hpp"
 #include "sim/kernel.hpp"
+#include "sim/partition.hpp"
 
 namespace tcmp::obs {
 class Observer;
@@ -64,9 +78,12 @@ class CmpSystem {
   void set_dead_cycle_skipping(bool on) { dead_cycle_skipping_ = on; }
   [[nodiscard]] bool dead_cycle_skipping() const { return dead_cycle_skipping_; }
 
-  /// The event kernel (tests: wake-calendar and next-wake behavior).
-  [[nodiscard]] sim::SimKernel& kernel() { return kernel_; }
-  [[nodiscard]] const sim::SimKernel& kernel() const { return kernel_; }
+  /// The event kernel (tests: wake-calendar and next-wake behavior). At
+  /// K > 1 this is partition 0's kernel; each partition owns its own.
+  [[nodiscard]] sim::SimKernel& kernel() { return parts_[0]->kernel; }
+  [[nodiscard]] const sim::SimKernel& kernel() const { return parts_[0]->kernel; }
+  /// Partitions the tile array is split into (1 == the seed's driver).
+  [[nodiscard]] unsigned num_partitions() const { return n_parts_; }
 
   /// Measured cycles (excludes the functional-warmup phase, if any).
   [[nodiscard]] Cycle cycles() const { return now_ - measure_start_; }
@@ -86,6 +103,12 @@ class CmpSystem {
   [[nodiscard]] const CmpConfig& config() const { return cfg_; }
   [[nodiscard]] const StatRegistry& stats() const { return stats_; }
   [[nodiscard]] StatRegistry& stats() { return stats_; }
+  /// Registry view for reports and exports: at K = 1 the registry itself; at
+  /// K > 1 the partition shards folded together in partition-index order
+  /// (StatRegistry::merge_from). The merge is recomputed on every call —
+  /// references into a previous return value do not survive the next one —
+  /// so call it at report time, not per cycle.
+  [[nodiscard]] const StatRegistry& merged_stats() const;
   [[nodiscard]] core::Workload& workload() { return *workload_; }
 
   // Component access for tests and examples. These hand out references into
@@ -130,8 +153,21 @@ class CmpSystem {
   /// occupancy gauges. Null detaches. The observer must outlive the system
   /// (or be detached first). At levels >= kTimeseries this also enables the
   /// slack/criticality telemetry (obs/slack.hpp): messages are tagged at
-  /// injection and realized slack is measured at core unstall.
+  /// injection and realized slack is measured at core unstall. Observers are
+  /// a single-threaded feature: attaching one requires threads == 1 (their
+  /// trace/window state is shared across tiles). At K > 1 the only supported
+  /// telemetry is the sharded slack path below.
   void attach_observer(obs::Observer* obs);
+
+  /// K > 1 replacement for observer-carried slack telemetry: one
+  /// SlackTelemetry shard per partition, registered on that partition's
+  /// registry shard under the same stat names, so the report-time merge
+  /// reassembles the single-threaded distributions. Call before run().
+  void enable_slack_telemetry();
+  /// Write the slack class x wire table (tcmpsim --slack-report): finalizes
+  /// and reads the attached observer's telemetry at K = 1, the merged
+  /// partition shards at K > 1. No-op when slack telemetry is off.
+  void write_slack_table(std::ostream& out);
 
   /// Attach an opt-in host-time self-profiler (sim/profiler.hpp): run()
   /// switches to an instrumented loop that attributes wall time per driver
@@ -173,11 +209,59 @@ class CmpSystem {
     protocol::FifoDelayQueue<protocol::CoherenceMsg> loopback;
   };
 
+  /// A core's barrier arrival or done transition observed during the
+  /// parallel phase; replayed serially in tile order.
+  struct BarrierEvent {
+    unsigned core = 0;
+    std::uint32_t id = 0;   ///< barrier id (arrivals only)
+    bool done = false;      ///< true: done transition, false: barrier arrival
+  };
+
+  /// One partition's private simulation state (docs/partitioning.md). At
+  /// K = 1 there is exactly one, whose shard aliases stats_ — the seed's
+  /// single-kernel, single-registry driver.
+  struct Partition {
+    sim::SimKernel kernel;
+    std::unique_ptr<StatRegistry> owned_shard;  ///< null for partition 0
+    StatRegistry* shard = nullptr;              ///< == &stats_ for partition 0
+    /// Interned per-shard handles for the driver-level message counters
+    /// (route_outgoing runs on the owning partition's thread).
+    std::array<CounterRef, protocol::kNumMsgTypes> msg_counters{};
+    CounterRef local_count;
+    CounterRef remote_count;
+    CounterRef remote_bytes;
+    /// K > 1: adapter exposing Network::next_event_partition to the kernel.
+    std::unique_ptr<sim::Scheduled> net_event;
+    /// Barrier arrivals / done transitions recorded (tile-ordered) during
+    /// the parallel phase, replayed serially (replay_barrier_events).
+    std::vector<BarrierEvent> events;
+    /// K > 1 slack shard (enable_slack_telemetry); null when slack is off.
+    std::unique_ptr<obs::SlackTelemetry> slack;
+    // Epilogue inputs, written by the owning thread at the end of its
+    // parallel phase and read serially between the barriers.
+    bool finished = false;
+    Cycle next_wake{0};
+  };
+
+  /// How on_barrier reacts: the seed's immediate serial handling (K = 1),
+  /// event recording (K > 1 parallel phase), or direct replay handling
+  /// (re-ticked cores inside replay_barrier_events). Written only between
+  /// the cycle barriers, so parallel-phase reads are race-free.
+  enum class BarrierMode : std::uint8_t { kSerial, kRecord, kReplay };
+
   void route_outgoing(NodeId tile, protocol::CoherenceMsg msg);
   void deliver_local(NodeId tile, const protocol::CoherenceMsg& msg);
   /// Slack telemetry: is the core that benefits from `msg` (the requester
-  /// whose miss it serves) currently stalled waiting for it?
+  /// whose miss it serves) currently stalled waiting for it? At K > 1 this
+  /// reads the previous cycle's published stall snapshot — the cross-
+  /// partition form of the probe (docs/partitioning.md).
   [[nodiscard]] bool beneficiary_stalled(const protocol::CoherenceMsg& msg) const;
+  /// The slack telemetry sink for events on `tile`: the observer's (K = 1)
+  /// or the owning partition's shard (K > 1); null when slack is off.
+  [[nodiscard]] obs::SlackTelemetry* slack_for(unsigned tile) const {
+    return n_parts_ == 1 ? slack_ : parts_[part_of_[tile]]->slack.get();
+  }
+  [[nodiscard]] std::vector<std::string> wire_class_names() const;
   /// step() body, compiled with or without self-profiler laps.
   template <bool kProfiled>
   void step_impl();
@@ -186,6 +270,32 @@ class CmpSystem {
   /// loop; results are bit-identical in both).
   template <bool kProfiled>
   bool run_loop(Cycle max_cycles);
+  // --- Partitioned driver (K > 1; see docs/partitioning.md) ---------------
+  /// Cycle-lockstep loop: K - 1 worker threads plus this thread as the
+  /// partition-0 worker and coordinator, two spin-barrier waits per live
+  /// cycle, serial epilogue in between iterations.
+  bool run_partitioned(Cycle max_cycles);
+  /// step() at K > 1: the same cycle, with the partition phases executed
+  /// sequentially on the calling thread (boundary double-buffering makes
+  /// sequential and parallel execution identical).
+  void step_partitioned();
+  /// Partition p's share of one live cycle: drain boundary events, tick the
+  /// partition's routers/lanes, pop loopbacks, tick directories and cores
+  /// (recording barrier events), publish the stall snapshot, compute the
+  /// partition's finished flag and next wake.
+  void parallel_phase(unsigned p);
+  /// Between the cycle's barriers: barrier-event replay, periodic check,
+  /// boundary exchange. Returns the earliest next live cycle (kNeverCycle
+  /// when nothing is pending) and sets epilogue_finished_.
+  Cycle serial_epilogue();
+  /// Replay the parallel phase's barrier arrivals / done transitions in tile
+  /// order, reproducing the serial driver's mid-cycle releases (undo the
+  /// provisionally blocked ticks, release, re-tick). Returns true when any
+  /// release happened.
+  bool replay_barrier_events();
+  /// Serial-order handling of one barrier arrival during replay.
+  void replay_arrival(unsigned core, std::uint32_t id);
+  [[nodiscard]] bool partition_finished(unsigned p) const;
   void on_barrier(unsigned core, std::uint32_t id);
   void release_barrier();
   void end_warmup();
@@ -196,7 +306,12 @@ class CmpSystem {
 
   CmpConfig cfg_;
   StatRegistry stats_;
-  sim::SimKernel kernel_;
+  sim::PartitionPlan plan_;
+  unsigned n_parts_ = 1;
+  std::vector<unsigned> part_of_;  ///< [tile] owning partition
+  std::vector<std::unique_ptr<Partition>> parts_;
+  /// Merge cache behind merged_stats() (K > 1 report path).
+  mutable StatRegistry merged_;
   bool dead_cycle_skipping_ = true;
   /// Hoisted per-cycle conditions: the next cycle at which the time-series
   /// sampler / the periodic check may fire (kNeverCycle when detached).
@@ -209,11 +324,8 @@ class CmpSystem {
   Cycle check_interval_{0};
   PeriodicCheck periodic_check_;
   bool aborted_ = false;
-  // Interned stat handles (hot path: every routed message / barrier).
-  std::array<CounterRef, protocol::kNumMsgTypes> msg_counters_{};
-  CounterRef local_count_;
-  CounterRef remote_count_;
-  CounterRef remote_bytes_;
+  // Interned stat handles for the serially-handled barrier controller
+  // (shard 0; the per-message counters live in Partition::msg_counters).
   CounterRef barrier_arrivals_;
   CounterRef barriers_completed_;
   std::shared_ptr<core::Workload> workload_;
@@ -235,10 +347,23 @@ class CmpSystem {
   std::vector<std::unique_ptr<Tile>> tiles_;
   Cycle now_{0};
 
-  // Barrier controller.
+  // Barrier controller. At K > 1 this state is touched only serially (the
+  // parallel phase records events; replay_barrier_events applies them).
   std::vector<bool> at_barrier_;
   unsigned waiting_ = 0;
   std::uint32_t pending_barrier_id_ = 0;
+  BarrierMode barrier_mode_ = BarrierMode::kSerial;
+  // replay_barrier_events working state (serial epilogue only).
+  unsigned replay_done_count_ = 0;
+  std::vector<bool> replay_retick_;
+  bool replay_any_action_ = false;
+  bool epilogue_finished_ = false;
+  /// Double-buffered per-tile stall snapshots for the K > 1 slack probe:
+  /// the parallel phase writes next (own tiles only), the serial epilogue
+  /// swaps, beneficiary_stalled reads published. Sized only when slack
+  /// telemetry is enabled at K > 1.
+  std::vector<core::StallSnapshot> stall_published_;
+  std::vector<core::StallSnapshot> stall_next_;
 
   // Warmup/measurement boundary.
   Cycle measure_start_{0};

@@ -41,4 +41,17 @@ void StatRegistry::zero_all() {
   for (auto& [name, hist] : histograms_) hist.clear_values();
 }
 
+void StatRegistry::merge_from(const StatRegistry& shard) {
+  for (const auto& [name, value] : shard.counters_) counters_[name] += value;
+  for (const auto& [name, stat] : shard.scalars_) scalars_[name].merge(stat);
+  for (const auto& [name, hist] : shard.histograms_) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.try_emplace(name, hist);
+    } else {
+      it->second.merge(hist);
+    }
+  }
+}
+
 }  // namespace tcmp

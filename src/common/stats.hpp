@@ -39,6 +39,18 @@ class ScalarStat {
   }
   void reset() { *this = ScalarStat{}; }
 
+  /// Fold another sample stream into this one (partition-shard merge): the
+  /// result is what one stat fed both streams would hold, up to FP addition
+  /// order in sum/sum_sq.
+  void merge(const ScalarStat& o) {
+    if (o.count_ == 0) return;
+    min_ = count_ == 0 ? o.min_ : std::min(min_, o.min_);
+    max_ = count_ == 0 ? o.max_ : std::max(max_, o.max_);
+    sum_ += o.sum_;
+    sum_sq_ += o.sum_sq_;
+    count_ += o.count_;
+  }
+
  private:
   double sum_ = 0.0;
   double sum_sq_ = 0.0;
@@ -69,6 +81,14 @@ class Histogram {
 
   /// Value below which `q` (0..1) of the samples fall, estimated from bins.
   [[nodiscard]] double quantile(double q) const;
+
+  /// Fold another histogram with identical bin geometry into this one
+  /// (partition-shard merge).
+  void merge(const Histogram& o) {
+    TCMP_CHECK(bins_.size() == o.bins_.size() && bin_width_ == o.bin_width_);
+    for (std::size_t i = 0; i < bins_.size(); ++i) bins_[i] += o.bins_[i];
+    scalar_.merge(o.scalar_);
+  }
 
   /// Zero every bin and the running moments, keeping the bin geometry (and
   /// therefore any cached pointers to this histogram) intact.
@@ -102,6 +122,13 @@ class CounterRef {
   }
   CounterRef& operator+=(std::uint64_t delta) {
     *slot_ += delta;
+    return *this;
+  }
+  /// Undo of a prior increment (the barrier-replay driver rolls back a
+  /// provisional blocked tick; see docs/partitioning.md).
+  CounterRef& operator--() {
+    TCMP_DCHECK(*slot_ > 0);
+    --*slot_;
     return *this;
   }
   [[nodiscard]] std::uint64_t value() const { return *slot_; }
@@ -217,6 +244,13 @@ class StatRegistry {
   /// pointers into the registry) valid. Used at the warmup/measurement
   /// boundary.
   void zero_all();
+
+  /// Fold a partition shard into this registry, name-keyed: counters add,
+  /// scalars merge their moments, histograms (same geometry) add per bin.
+  /// Stats the shard has and this registry lacks are created. Shards are
+  /// merged in partition-index order so FP accumulation order — the only
+  /// order-sensitive part — is deterministic for a given K.
+  void merge_from(const StatRegistry& shard);
 
  private:
   std::map<std::string, std::uint64_t> counters_;

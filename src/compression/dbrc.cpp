@@ -14,13 +14,12 @@ DbrcSender::DbrcSender(unsigned entries, unsigned low_bytes, unsigned n_nodes,
       idealized_mirrors_(idealized_mirrors) {
   TCMP_CHECK(entries >= 1 && entries <= 256);
   TCMP_CHECK(low_bytes == 1 || low_bytes == 2);
-  TCMP_CHECK(n_nodes >= 2 && n_nodes <= 32);
+  TCMP_CHECK(n_nodes >= 2 && n_nodes <= NodeSet::kMaxNodes);
 }
 
 Encoding DbrcSender::compress(NodeId dst, LineAddr line) {
   TCMP_DCHECK(dst < n_nodes_);
   const std::uint64_t hi = hi_of(line);
-  const std::uint32_t dst_bit = 1u << dst;
   ++clock_;
   ++accesses_.lookups;
 
@@ -31,7 +30,7 @@ Encoding DbrcSender::compress(NodeId dst, LineAddr line) {
     e.lru_stamp = clock_;
     Encoding enc;
     enc.index = static_cast<std::uint8_t>(i);
-    if (idealized_mirrors_ || (e.dest_valid & dst_bit) != 0) {
+    if (idealized_mirrors_ || e.dest_valid.test(dst)) {
       ++hits_;
       enc.compressed = true;
       enc.low_bits = lo_of(line);
@@ -39,7 +38,7 @@ Encoding DbrcSender::compress(NodeId dst, LineAddr line) {
       // The entry exists but this destination has never seen it: send the
       // full address once and mark the mirror as installed.
       ++misses_;
-      e.dest_valid |= dst_bit;
+      e.dest_valid.set(dst);
       enc.install = true;
       ++accesses_.updates;
     }
@@ -55,7 +54,8 @@ Encoding DbrcSender::compress(NodeId dst, LineAddr line) {
                                  });
   victim->valid = true;
   victim->hi_tag = hi;
-  victim->dest_valid = dst_bit;
+  victim->dest_valid.clear();
+  victim->dest_valid.set(dst);
   victim->lru_stamp = clock_;
   ++accesses_.updates;
 

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/node_set.hpp"
 #include "compression/compressor.hpp"
 
 namespace tcmp::compression {
@@ -37,7 +38,7 @@ class DbrcSender final : public SenderCompressor {
   /// full LineAddr — hence the plain representation type.
   struct EntrySnapshot {
     std::uint64_t hi_tag = 0;
-    std::uint32_t dest_valid = 0;
+    NodeSet dest_valid;
     bool valid = false;
   };
   [[nodiscard]] unsigned num_entries() const {
@@ -52,7 +53,7 @@ class DbrcSender final : public SenderCompressor {
  private:
   struct Entry {
     std::uint64_t hi_tag = 0;
-    std::uint32_t dest_valid = 0;  ///< bit i: receiver i's mirror holds this entry
+    NodeSet dest_valid;  ///< bit i: receiver i's mirror holds this entry
     std::uint64_t lru_stamp = 0;
     bool valid = false;
   };

@@ -22,6 +22,16 @@
 
 namespace tcmp::core {
 
+/// One core's stall state at the end of a simulated cycle, published into
+/// the partitioned driver's double-buffered snapshot (docs/partitioning.md):
+/// the cross-partition slack beneficiary probe reads this instead of the
+/// live core.
+struct StallSnapshot {
+  LineAddr line{};      ///< meaningful only while `mem` is set
+  bool mem = false;     ///< blocked on a data fill of `line`
+  bool ifetch = false;  ///< blocked on an instruction fetch
+};
+
 class Core final : public sim::Scheduled {
  public:
   struct Config {
@@ -67,6 +77,16 @@ class Core final : public sim::Scheduled {
   /// on_ifill() unstalls it).
   [[nodiscard]] bool stalled_on_ifetch() const { return wait_ifetch_; }
 
+  /// Write this core's stall state into the partitioned driver's
+  /// double-buffered snapshot: the cross-partition slack beneficiary probe
+  /// reads last cycle's published snapshot instead of this core's live state
+  /// (docs/partitioning.md).
+  void snapshot_stall(StallSnapshot& out) const {
+    out.line = wait_line_;
+    out.mem = wait_fill_;
+    out.ifetch = wait_ifetch_;
+  }
+
   /// Scheduled contract: a runnable core issues every cycle; a blocked or
   /// finished one does nothing until an external fill / barrier release
   /// arrives (which can only land on a cycle another component keeps live).
@@ -80,6 +100,17 @@ class Core final : public sim::Scheduled {
   /// skipping stays bit-identical. Callers must only skip cycles on which
   /// every core is blocked or done.
   void account_idle(Cycle n);
+
+  /// Roll back the accounting of one blocked tick. The partitioned driver's
+  /// barrier replay (docs/partitioning.md) provisionally ticks every core in
+  /// the parallel phase; when a barrier release within the same cycle would
+  /// have unblocked this core before its serial turn, the blocked tick is
+  /// undone here and the core re-ticked after the release.
+  void undo_blocked_tick() {
+    TCMP_DCHECK(blocked_cycles_ > Cycle{0});
+    blocked_cycles_ = blocked_cycles_ - Cycle{1};
+    --blocked_counter_;
+  }
 
  private:
   NodeId id_;

@@ -17,10 +17,30 @@ constexpr const char* kVnetName[protocol::kNumVnets] = {"req", "fwd", "resp"};
 }  // namespace
 
 Network::Network(const NocConfig& cfg, StatRegistry* stats)
-    : cfg_(cfg), stats_(stats) {
-  TCMP_CHECK(stats_ != nullptr);
+    : Network(cfg, sim::PartitionPlan(cfg.width, cfg.height, 1), {stats}) {}
+
+Network::Network(const NocConfig& cfg, const sim::PartitionPlan& plan,
+                 const std::vector<StatRegistry*>& shards)
+    : cfg_(cfg), plan_(plan), shards_(shards) {
+  const unsigned k = plan_.num_partitions();
+  TCMP_CHECK(shards_.size() == k);
+  for (StatRegistry* s : shards_) TCMP_CHECK(s != nullptr);
   TCMP_CHECK(!cfg_.channels.empty());
   TCMP_CHECK(cfg_.width >= 2 && cfg_.height >= 1);
+  if (k > 1) {
+    TCMP_CHECK_MSG(cfg_.topology == Topology::kMesh2D,
+                   "only the 2D mesh can be partitioned");
+    // The synchronization horizon (docs/partitioning.md): every boundary
+    // event deadline must be at least one cycle out.
+    for (const ChannelSpec& ch : cfg_.channels) {
+      TCMP_CHECK_MSG(ch.link_cycles >= 1,
+                     "partitioning requires >= 1-cycle links");
+    }
+  }
+  part_of_.resize(cfg_.nodes());
+  for (unsigned n = 0; n < cfg_.nodes(); ++n) part_of_[n] = plan_.part_of(n);
+  boundary_index_.assign(static_cast<std::size_t>(k) * k, ~0u);
+  inbound_.resize(k);
 
   planes_.resize(cfg_.channels.size());
   for (unsigned c = 0; c < cfg_.channels.size(); ++c) {
@@ -35,25 +55,44 @@ Network::Network(const NocConfig& cfg, StatRegistry* stats)
     }
     plane.lanes.assign(cfg_.nodes(), std::vector<Lane>(protocol::kNumVnets));
     const std::string prefix = "noc." + cfg_.channels[c].name;
-    plane.packets = stats_->counter_ref(prefix + ".packets");
-    plane.payload_bytes = stats_->counter_ref(prefix + ".payload_bytes");
-    plane.flits_injected = stats_->counter_ref(prefix + ".flits_injected");
-    plane.latency =
-        stats_->histogram_ref(prefix + ".latency", kLatBins, kLatBinWidth);
+    plane.pstats.resize(k);
+    for (unsigned p = 0; p < k; ++p) {
+      PlaneStats& ps = plane.pstats[p];
+      ps.packets = shards_[p]->counter_ref(prefix + ".packets");
+      ps.payload_bytes = shards_[p]->counter_ref(prefix + ".payload_bytes");
+      ps.flits_injected = shards_[p]->counter_ref(prefix + ".flits_injected");
+      ps.latency =
+          shards_[p]->histogram_ref(prefix + ".latency", kLatBins, kLatBinWidth);
+    }
   }
-  critical_latency_ =
-      stats_->histogram_ref("noc.critical_latency", kLatBins, kLatBinWidth);
-  for (unsigned v = 0; v < protocol::kNumVnets; ++v) {
-    const std::string base = std::string("noc.lat.") + kVnetName[v];
-    vnet_lat_[v].total =
-        stats_->histogram_ref(base + ".total", kLatBins, kLatBinWidth);
-    vnet_lat_[v].queue =
-        stats_->histogram_ref(base + ".queue", kLatBins, kLatBinWidth);
-    vnet_lat_[v].router =
-        stats_->histogram_ref(base + ".router", kLatBins, kLatBinWidth);
-    vnet_lat_[v].wire =
-        stats_->histogram_ref(base + ".wire", kLatBins, kLatBinWidth);
+  critical_latency_.resize(k);
+  vnet_lat_.resize(k);
+  for (unsigned p = 0; p < k; ++p) {
+    critical_latency_[p] =
+        shards_[p]->histogram_ref("noc.critical_latency", kLatBins, kLatBinWidth);
+    for (unsigned v = 0; v < protocol::kNumVnets; ++v) {
+      const std::string base = std::string("noc.lat.") + kVnetName[v];
+      vnet_lat_[p][v].total =
+          shards_[p]->histogram_ref(base + ".total", kLatBins, kLatBinWidth);
+      vnet_lat_[p][v].queue =
+          shards_[p]->histogram_ref(base + ".queue", kLatBins, kLatBinWidth);
+      vnet_lat_[p][v].router =
+          shards_[p]->histogram_ref(base + ".router", kLatBins, kLatBinWidth);
+      vnet_lat_[p][v].wire =
+          shards_[p]->histogram_ref(base + ".wire", kLatBins, kLatBinWidth);
+    }
   }
+}
+
+BoundaryChannel* Network::channel_between(unsigned from, unsigned to) {
+  const unsigned k = plan_.num_partitions();
+  unsigned& idx = boundary_index_[static_cast<std::size_t>(from) * k + to];
+  if (idx == ~0u) {
+    idx = static_cast<unsigned>(boundaries_.size());
+    boundaries_.push_back(std::make_unique<BoundaryChannel>());
+    inbound_[to].push_back(boundaries_.back().get());
+  }
+  return boundaries_[idx].get();
 }
 
 void Network::set_observer(obs::Observer* obs) {
@@ -75,27 +114,38 @@ void Network::build_mesh(unsigned ch) {
 
   const std::string prefix = "noc." + spec.name;
   for (unsigned n = 0; n < cfg_.nodes(); ++n) {
-    plane.routers.push_back(
-        std::make_unique<Router>(static_cast<NodeId>(n), rcfg, stats_, prefix));
+    // Each router's stat handles live on its owning partition's shard.
+    plane.routers.push_back(std::make_unique<Router>(
+        static_cast<NodeId>(n), rcfg, shards_[part_of_[n]], prefix));
   }
 
   const unsigned w = cfg_.width;
   const unsigned link_cycles = spec.link_cycles;
   const double mm = cfg_.link_length_mm;
+  // Directed link `from` -> `to`; when it crosses a partition boundary, both
+  // writes it makes (flit downstream, credit upstream) go via boundary
+  // channels. Row-block partitions only ever cut vertical (N/S) links.
+  const auto wire = [&](unsigned from, unsigned out_port, unsigned to,
+                        unsigned in_port) {
+    plane.routers[from]->connect(out_port, plane.routers[to].get(), in_port,
+                                 link_cycles, mm);
+    if (part_of_[from] != part_of_[to]) {
+      plane.routers[from]->set_cross_downstream(
+          out_port, channel_between(part_of_[from], part_of_[to]));
+      plane.routers[to]->set_cross_upstream(
+          in_port, channel_between(part_of_[to], part_of_[from]));
+    }
+  };
   for (unsigned n = 0; n < cfg_.nodes(); ++n) {
     const unsigned x = n % w, y = n / w;
     if (x + 1 < w) {
-      plane.routers[n]->connect(kPortE, plane.routers[n + 1].get(), kPortW,
-                                link_cycles, mm);
-      plane.routers[n + 1]->connect(kPortW, plane.routers[n].get(), kPortE,
-                                    link_cycles, mm);
+      wire(n, kPortE, n + 1, kPortW);
+      wire(n + 1, kPortW, n, kPortE);
       plane.total_link_mm += 2 * mm;
     }
     if (y + 1 < cfg_.height) {
-      plane.routers[n]->connect(kPortS, plane.routers[n + w].get(), kPortN,
-                                link_cycles, mm);
-      plane.routers[n + w]->connect(kPortN, plane.routers[n].get(), kPortS,
-                                    link_cycles, mm);
+      wire(n, kPortS, n + w, kPortN);
+      wire(n + w, kPortN, n, kPortS);
       plane.total_link_mm += 2 * mm;
     }
   }
@@ -148,7 +198,7 @@ void Network::build_tree(unsigned ch) {
   const std::string prefix = "noc." + spec.name;
   for (unsigned r = 0; r < n_clusters + 1; ++r) {
     plane.routers.push_back(
-        std::make_unique<Router>(static_cast<NodeId>(r), rcfg, stats_, prefix));
+        std::make_unique<Router>(static_cast<NodeId>(r), rcfg, shards_[0], prefix));
   }
   Router& root = *plane.routers[n_clusters];
 
@@ -194,8 +244,9 @@ void Network::inject(const protocol::CoherenceMsg& msg, unsigned channel,
     lane.queue.back().msg.trace_id =
         obs_->msg_injected(msg, cfg_.channels[channel].name, wire_bytes, now);
   }
-  ++plane.packets;
-  plane.payload_bytes += wire_bytes;
+  PlaneStats& ps = plane.pstats[part_of_[msg.src]];
+  ++ps.packets;
+  ps.payload_bytes += wire_bytes;
 }
 
 void Network::pump_lane(unsigned ch, NodeId node, unsigned vnet, Cycle now) {
@@ -206,7 +257,7 @@ void Network::pump_lane(unsigned ch, NodeId node, unsigned vnet, Cycle now) {
     lane.flits_emitted = 0;
     lane.total_flits = flits_for(ch, lane.queue.front().wire_bytes);
     lane.vc = vnet * cfg_.vcs_per_vnet;  // single-VC lanes use the first VC
-    lane.packet_id = next_packet_id_++;
+    lane.packet_id = lane.next_packet_id++;
   }
   const Attach& at = planes_[ch].attach[node];
   if (!at.router->can_inject(at.port, lane.vc)) return;
@@ -233,7 +284,7 @@ void Network::pump_lane(unsigned ch, NodeId node, unsigned vnet, Cycle now) {
 
   const bool ok = at.router->try_inject(at.port, lane.vc, std::move(flit), now);
   TCMP_CHECK(ok);
-  ++planes_[ch].flits_injected;
+  ++planes_[ch].pstats[part_of_[node]].flits_injected;
   if (++lane.flits_emitted == lane.total_flits) {
     lane.queue.pop_front();
     lane.active = false;
@@ -242,10 +293,11 @@ void Network::pump_lane(unsigned ch, NodeId node, unsigned vnet, Cycle now) {
 
 void Network::on_eject(unsigned ch, NodeId node, Flit&& flit, Cycle now) {
   if (!flit.tail) return;  // only the tail completes the packet
+  const unsigned part = part_of_[node];
   const Cycle total = now - flit.injected_at;
-  planes_[ch].latency.add(total.value());
+  planes_[ch].pstats[part].latency.add(total.value());
   if (protocol::is_critical(flit.msg.type)) {
-    critical_latency_.add(total.value());
+    critical_latency_[part].add(total.value());
   }
   // Decompose: queue covers NI lane wait plus serialization (inject ->
   // tail leaves the NI); wire is accumulated link flight; the remainder is
@@ -253,7 +305,7 @@ void Network::on_eject(unsigned ch, NodeId node, Flit&& flit, Cycle now) {
   const Cycle queue{flit.queue_cycles};
   const Cycle wire{flit.wire_cycles};
   const Cycle router = total - queue - wire;
-  VnetLatency& vl = vnet_lat_[flit.vnet];
+  VnetLatency& vl = vnet_lat_[part][flit.vnet];
   vl.total.add(total.value());
   vl.queue.add(queue.value());
   vl.router.add(router.value());
@@ -289,6 +341,58 @@ void Network::tick(Cycle now) {
       }
     }
   }
+}
+
+void Network::tick_partition(unsigned p, Cycle now) {
+  const unsigned lo = plan_.first(p), hi = plan_.first(p + 1);
+  for (auto& plane : planes_) {
+    for (unsigned n = lo; n < hi; ++n) plane.routers[n]->tick_deliver(now);
+  }
+  for (auto& plane : planes_) {
+    for (unsigned n = lo; n < hi; ++n) plane.routers[n]->tick_allocate(now);
+  }
+  for (auto& plane : planes_) {
+    for (unsigned n = lo; n < hi; ++n) plane.routers[n]->tick_switch(now);
+  }
+  for (unsigned c = 0; c < planes_.size(); ++c) {
+    auto& lanes = planes_[c].lanes;
+    for (unsigned n = lo; n < hi; ++n) {
+      for (unsigned v = 0; v < protocol::kNumVnets; ++v) {
+        Lane& lane = lanes[n][v];
+        if (!lane.active && lane.queue.empty()) continue;
+        pump_lane(c, static_cast<NodeId>(n), v, now);
+      }
+    }
+  }
+}
+
+Cycle Network::next_event_partition(unsigned p) const {
+  const unsigned lo = plan_.first(p), hi = plan_.first(p + 1);
+  Cycle nxt = kNeverCycle;
+  for (const auto& plane : planes_) {
+    for (unsigned n = lo; n < hi; ++n) {
+      for (const auto& lane : plane.lanes[n]) {
+        if (lane.active || !lane.queue.empty()) return now_ + 1;
+      }
+      const Cycle e = plane.routers[n]->next_event(now_);
+      if (e <= now_ + 1) return now_ + 1;
+      nxt = std::min(nxt, e);
+    }
+  }
+  return nxt;
+}
+
+bool Network::quiescent_partition(unsigned p) const {
+  const unsigned lo = plan_.first(p), hi = plan_.first(p + 1);
+  for (const auto& plane : planes_) {
+    for (unsigned n = lo; n < hi; ++n) {
+      if (!plane.routers[n]->quiescent()) return false;
+      for (const auto& lane : plane.lanes[n]) {
+        if (!lane.queue.empty()) return false;
+      }
+    }
+  }
+  return true;
 }
 
 Cycle Network::next_event() const {

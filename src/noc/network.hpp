@@ -3,13 +3,19 @@
 // reassembly). The caller's mapping policy decides which channel and how many
 // wire bytes each message uses; the network handles everything below that.
 //
-// Thread compatibility: single-owner, no internal locking. The router-to-
-// router links inside a plane are direct pointers; when the mesh is
-// partitioned across threads (ROADMAP item 1) the cut happens at link
-// boundaries inside this layer, below the NIC seam the tile-escape lint
-// polices (docs/static-analysis.md).
+// Thread compatibility: single-owner at K = 1 (the whole network ticks as
+// one Scheduled component, exactly the seed behavior). Under a partition
+// plan (docs/partitioning.md) every router, injection lane and stat handle
+// belongs to the partition of its node; the partition phases (drain_boundary
+// / tick_partition / next_event_partition / quiescent_partition) touch only
+// that partition's state, and the two direct writes a cross-partition link
+// would make are rerouted onto BoundaryChannels, swapped by the serial
+// epilogue (exchange_boundaries). The cut happens at link boundaries inside
+// this layer, below the NIC seam the tile-escape lint polices
+// (docs/static-analysis.md).
 #pragma once
 
+#include <array>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -18,8 +24,10 @@
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "common/units.hpp"
+#include "noc/boundary.hpp"
 #include "noc/channel.hpp"
 #include "noc/router.hpp"
+#include "sim/partition.hpp"
 #include "sim/scheduled.hpp"
 
 namespace tcmp::obs {
@@ -54,7 +62,15 @@ class Network final : public sim::Scheduled {
  public:
   using DeliverFn = std::function<void(NodeId, const protocol::CoherenceMsg&)>;
 
+  /// Single-partition network (the seed's shape): one registry, no boundary
+  /// channels, tick() drives everything.
   Network(const NocConfig& cfg, StatRegistry* stats);
+
+  /// Partitioned network: routers, lanes and stat handles of node n live on
+  /// shards[plan.part_of(n)]. Requires the 2D mesh topology and — the
+  /// synchronization horizon — every channel's link_cycles >= 1.
+  Network(const NocConfig& cfg, const sim::PartitionPlan& plan,
+          const std::vector<StatRegistry*>& shards);
 
   void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
 
@@ -70,6 +86,34 @@ class Network final : public sim::Scheduled {
               Bytes wire_bytes, Cycle now);
 
   void tick(Cycle now);
+
+  // --- Partition phases (K > 1; see docs/partitioning.md) -----------------
+  /// Serial prologue: publish the cycle clock (the eject callbacks read it).
+  void begin_cycle(Cycle now) { now_ = now; }
+  /// Parallel, start of partition p's phase: apply the boundary events the
+  /// last serial epilogue published for p.
+  void drain_boundary(unsigned p) {
+    for (BoundaryChannel* ch : inbound_[p]) ch->drain();
+  }
+  /// Parallel: the three router phases plus lane pumping, restricted to
+  /// partition p's routers and nodes.
+  void tick_partition(unsigned p, Cycle now);
+  /// Serial epilogue (between the cycle's barriers): publish every pending
+  /// boundary event; returns the earliest published deadline (kNeverCycle
+  /// when nothing crossed) — a wake bound no partition calendar knows about.
+  Cycle exchange_boundaries() {
+    Cycle nxt = kNeverCycle;
+    for (auto& ch : boundaries_) nxt = std::min(nxt, ch->exchange());
+    return nxt;
+  }
+  [[nodiscard]] bool boundaries_empty() const {
+    for (const auto& ch : boundaries_)
+      if (!ch->empty()) return false;
+    return true;
+  }
+  [[nodiscard]] Cycle next_event_partition(unsigned p) const;
+  [[nodiscard]] bool quiescent_partition(unsigned p) const;
+  [[nodiscard]] unsigned num_partitions() const { return plan_.num_partitions(); }
 
   [[nodiscard]] bool quiescent() const override;
   /// Scheduled contract: next cycle while any router buffers flits or any
@@ -104,12 +148,15 @@ class Network final : public sim::Scheduled {
 
   /// One injection lane per (node, channel, vnet): serializes packets into
   /// flits, one flit per cycle, holding a single VC until the tail is in.
+  /// Packet ids are lane-local (id x lane is unique) so id assignment needs
+  /// no cross-partition counter.
   struct Lane {
     std::deque<Packet> queue;
     unsigned flits_emitted = 0;
     unsigned total_flits = 0;
     unsigned vc = 0;
     std::uint64_t packet_id = 0;
+    std::uint64_t next_packet_id = 1;
     bool active = false;
   };
 
@@ -119,16 +166,22 @@ class Network final : public sim::Scheduled {
     unsigned port = 0;
   };
 
+  /// Per-plane stat handles, one set per partition shard (index 0 is the
+  /// whole registry at K = 1). Every shard registers the same names, so the
+  /// report-time merge sums them back into the seed's single counters.
+  struct PlaneStats {
+    CounterRef packets;
+    CounterRef payload_bytes;
+    CounterRef flits_injected;
+    HistogramRef latency;
+  };
+
   struct ChannelPlane {
     std::vector<std::unique_ptr<Router>> routers;
     std::vector<Attach> attach;            ///< [node]
     std::vector<std::vector<Lane>> lanes;  ///< [node][vnet]
     double total_link_mm = 0.0;  // tcmplint: allow-raw-unit (energy accounting, mm)
-    // Interned stat handles (hot path).
-    CounterRef packets;
-    CounterRef payload_bytes;
-    CounterRef flits_injected;
-    HistogramRef latency;
+    std::vector<PlaneStats> pstats;        ///< [partition]
   };
 
   void build_mesh(unsigned ch);
@@ -137,12 +190,18 @@ class Network final : public sim::Scheduled {
   void pump_lane(unsigned ch, NodeId node, unsigned vnet, Cycle now);
   void on_eject(unsigned ch, NodeId node, Flit&& flit, Cycle now);
 
+  /// The boundary channel carrying events produced by partition `from` for
+  /// partition `to`, created on first use during topology build.
+  [[nodiscard]] BoundaryChannel* channel_between(unsigned from, unsigned to);
+
   NocConfig cfg_;
-  StatRegistry* stats_;
+  sim::PartitionPlan plan_;
+  std::vector<StatRegistry*> shards_;   ///< [partition]
+  std::vector<unsigned> part_of_;       ///< [node] owning partition
   DeliverFn deliver_;
   obs::Observer* obs_ = nullptr;
   std::vector<ChannelPlane> planes_;
-  HistogramRef critical_latency_;
+  std::vector<HistogramRef> critical_latency_;  ///< [partition]
   /// Per-vnet end-to-end latency decomposition ("noc.lat.<class>.<part>"):
   /// total = queue (NI wait + serialization) + router (pipeline/contention)
   /// + wire (link flight).
@@ -152,8 +211,12 @@ class Network final : public sim::Scheduled {
     HistogramRef router;
     HistogramRef wire;
   };
-  VnetLatency vnet_lat_[protocol::kNumVnets];
-  std::uint64_t next_packet_id_ = 1;
+  std::vector<std::array<VnetLatency, protocol::kNumVnets>> vnet_lat_;  ///< [partition]
+  std::vector<std::unique_ptr<BoundaryChannel>> boundaries_;
+  /// boundaries_ entry index for the (from, to) directed pair, dense K x K;
+  /// ~0u where absent. Indexed from * K + to.
+  std::vector<unsigned> boundary_index_;
+  std::vector<std::vector<BoundaryChannel*>> inbound_;  ///< [partition] consumers
   Cycle now_{0};
 };
 

@@ -1,6 +1,7 @@
 #include "noc/router.hpp"
 
 #include "common/check.hpp"
+#include "noc/boundary.hpp"
 #include "obs/observer.hpp"
 
 namespace tcmp::noc {
@@ -112,8 +113,14 @@ void Router::send_credit(unsigned in_port, unsigned vc, Cycle now) {
   Router* up = upstream_of_input_[in_port];
   if (up == nullptr) return;  // Local port: the NI checks occupancy directly
   const unsigned up_out = upstream_out_port_[in_port];
-  up->credit_returns_.push(now + up->output_[up_out].link_cycles,
-                           {up_out, vc});
+  // link_cycles is immutable after construction, so this read is safe even
+  // when the upstream router belongs to another partition.
+  const Cycle deadline = now + up->output_[up_out].link_cycles;
+  if (upstream_cross_[in_port] != nullptr) {
+    upstream_cross_[in_port]->push_credit(up, up_out, vc, deadline);
+  } else {
+    up->credit_returns_.push(deadline, {up_out, vc});
+  }
 }
 
 void Router::switch_busy(Cycle now) {
@@ -169,9 +176,15 @@ void Router::switch_busy(Cycle now) {
           flit.wire_cycles = static_cast<std::uint16_t>(flit.wire_cycles +
                                                         out.link_cycles);
         }
-        out.downstream->arrivals_[out.downstream_port].push(
-            now + 1 + out.link_cycles, {out_vc, std::move(flit)});
-        ++out.downstream->arrivals_pending_;
+        const Cycle deadline = now + 1 + out.link_cycles;
+        if (out.cross != nullptr) {
+          out.cross->push_flit(out.downstream, out.downstream_port, out_vc,
+                               deadline, std::move(flit));
+        } else {
+          out.downstream->arrivals_[out.downstream_port].push(
+              deadline, {out_vc, std::move(flit)});
+          ++out.downstream->arrivals_pending_;
+        }
       }
       break;  // one flit per output port per cycle
     }

@@ -12,9 +12,13 @@
 // port (meshes eject at kPortLocal; tree cluster routers eject each leaf
 // tile at its own port).
 //
-// Thread compatibility: single-owner, no internal locking; downstream/
-// upstream router pointers are intra-plane wiring that a partitioned mesh
-// (ROADMAP item 1) will cut at link boundaries (see noc/network.hpp).
+// Thread compatibility: single-owner, no internal locking. Downstream/
+// upstream router pointers are intra-plane wiring; when a link crosses a
+// partition boundary the two writes it makes through them (flit into the
+// downstream arrival queue, credit into the upstream return heap) are
+// rerouted onto a BoundaryChannel (noc/boundary.hpp) and applied by the
+// owning partition — the only cross-partition *reads* left are of
+// construction-time-immutable link configuration (docs/partitioning.md).
 #pragma once
 
 #include <algorithm>
@@ -33,6 +37,8 @@ class Observer;
 }
 
 namespace tcmp::noc {
+
+class BoundaryChannel;
 
 inline constexpr unsigned kPortE = 0;
 inline constexpr unsigned kPortW = 1;
@@ -69,6 +75,30 @@ class Router {
 
   /// Attach a lifecycle observer (per-hop trace events); null detaches.
   void set_observer(obs::Observer* obs) { obs_ = obs; }
+
+  /// Mark output `out_port` (already connect()ed) as crossing a partition
+  /// boundary: switched flits go to `ch` instead of directly into the
+  /// downstream router's arrival queue.
+  void set_cross_downstream(unsigned out_port, BoundaryChannel* ch) {
+    TCMP_CHECK(out_port < kNumPorts && output_[out_port].downstream != nullptr);
+    output_[out_port].cross = ch;
+  }
+  /// Mark input `in_port`'s upstream as cross-partition: credit returns go
+  /// to `ch` instead of directly into the upstream router's credit heap.
+  void set_cross_upstream(unsigned in_port, BoundaryChannel* ch) {
+    TCMP_CHECK(in_port < kNumPorts && upstream_of_input_[in_port] != nullptr);
+    upstream_cross_[in_port] = ch;
+  }
+
+  /// Boundary-channel drain hooks: exactly the writes the direct-link path
+  /// makes, executed by this router's owning partition. See noc/boundary.hpp.
+  void external_arrival(unsigned port, unsigned vc, Cycle deadline, Flit&& flit) {
+    arrivals_[port].push(deadline, {vc, std::move(flit)});
+    ++arrivals_pending_;
+  }
+  void external_credit(unsigned out_port, unsigned vc, Cycle deadline) {
+    credit_returns_.push(deadline, {out_port, vc});
+  }
 
   /// Network-interface injection into input port `port`. Returns false when
   /// the chosen VC has no buffer space (retry next cycle).
@@ -143,6 +173,7 @@ class Router {
     unsigned link_cycles = 0;
     double link_mm = 0.0;  // tcmplint: allow-raw-unit (energy accounting, mm)
     EjectFn eject;  ///< set on ejection ports instead of a downstream
+    BoundaryChannel* cross = nullptr;  ///< non-null: link crosses a partition
     std::vector<OutputVc> vcs;
     unsigned sa_rr = 0;  ///< round-robin pointer over (in_port, in_vc)
   };
@@ -183,6 +214,10 @@ class Router {
   protocol::DelayQueue<std::pair<unsigned, unsigned>> credit_returns_;  ///< (port, vc)
   std::vector<Router*> upstream_of_input_ = std::vector<Router*>(kNumPorts, nullptr);
   std::vector<unsigned> upstream_out_port_ = std::vector<unsigned>(kNumPorts, 0);
+  /// Non-null where the upstream of an input port is in another partition:
+  /// the reverse-direction boundary channel carrying this port's credits.
+  std::vector<BoundaryChannel*> upstream_cross_ =
+      std::vector<BoundaryChannel*>(kNumPorts, nullptr);
   // Cold: only read on tail-flit switch traversals. Kept last so the hot
   // members above stay in the same cache lines as without observability.
   obs::Observer* obs_ = nullptr;

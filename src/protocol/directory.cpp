@@ -17,7 +17,7 @@ Directory::Directory(NodeId id, const Config& cfg, unsigned n_nodes,
       stats_(stats),
       sink_(std::move(sink)) {
   TCMP_CHECK(stats_ != nullptr && sink_ != nullptr);
-  TCMP_CHECK(n_nodes_ <= 32);  // full-map sharer vector is 32 bits
+  TCMP_CHECK(n_nodes_ <= SharerMask::kMaxNodes);  // full-map sharer width
   l2_accesses_ = stats_->counter_ref("l2.accesses");
   l2_evictions_ = stats_->counter_ref("l2.evictions");
   mem_reads_ = stats_->counter_ref("mem.reads");
@@ -89,9 +89,9 @@ std::optional<DirState> Directory::dir_state_of(LineAddr line) const {
   return l->payload.state;
 }
 
-std::uint32_t Directory::sharers_of(LineAddr line) const {
+SharerMask Directory::sharers_of(LineAddr line) const {
   const auto* l = array_.find(key_of(line));
-  return l != nullptr ? l->payload.sharers : 0;
+  return l != nullptr ? l->payload.sharers : SharerMask{};
 }
 
 NodeId Directory::owner_of(LineAddr line) const {
@@ -196,10 +196,10 @@ void Directory::reply_data(const CoherenceMsg& req, MsgType type, std::uint16_t 
   send(rsp);
 }
 
-void Directory::send_invs(LineAddr line, std::uint32_t sharers, NodeId collector,
-                          Unit ack_unit) {
+void Directory::send_invs(LineAddr line, const SharerMask& sharers,
+                          NodeId collector, Unit ack_unit) {
   for (unsigned n = 0; n < n_nodes_; ++n) {
-    if ((sharers >> n) & 1) {
+    if (sharers.test(n)) {
       CoherenceMsg inv;
       inv.type = MsgType::kInv;
       inv.dst = static_cast<NodeId>(n);
@@ -218,7 +218,6 @@ void Directory::handle_request_hit(const CoherenceMsg& msg, Array::Line& l) {
   DirEntry& e = l.payload;
   const LineAddr line = msg.line;
   const NodeId req = msg.requester;
-  const std::uint32_t req_bit = 1u << req;
 
   if (msg.type == MsgType::kGetS) {
     switch (e.state) {
@@ -232,7 +231,7 @@ void Directory::handle_request_hit(const CoherenceMsg& msg, Array::Line& l) {
       case DirState::kShared:
         send_partial_reply(req, line);
         reply_data(msg, MsgType::kData, 0, e.version);
-        e.sharers |= req_bit;
+        e.sharers.set(req);
         break;
       case DirState::kExclusive: {
         TCMP_CHECK_MSG(e.owner != req, "owner re-requesting its own line");
@@ -263,9 +262,9 @@ void Directory::handle_request_hit(const CoherenceMsg& msg, Array::Line& l) {
       e.owner = req;
       break;
     case DirState::kShared: {
-      const std::uint32_t others = e.sharers & ~req_bit;
-      const auto acks = static_cast<std::uint16_t>(std::popcount(others));
-      if (msg.type == MsgType::kUpgrade && (e.sharers & req_bit) != 0) {
+      const SharerMask others = e.sharers.without(req);
+      const auto acks = static_cast<std::uint16_t>(others.count());
+      if (msg.type == MsgType::kUpgrade && e.sharers.test(req)) {
         reply_data(msg, MsgType::kUpgradeAck, acks, e.version);
         ++upgrades_granted_;
       } else {
@@ -275,7 +274,7 @@ void Directory::handle_request_hit(const CoherenceMsg& msg, Array::Line& l) {
       send_invs(line, others, req, Unit::kL1);
       e.state = DirState::kExclusive;
       e.owner = req;
-      e.sharers = 0;
+      e.sharers.clear();
       break;
     }
     case DirState::kExclusive: {
@@ -401,7 +400,7 @@ void Directory::handle_revision(const CoherenceMsg& msg) {
       --busy_lines_;
       // The old owner stays listed; if it yielded from its eviction buffer
       // the entry is merely a stale sharer (tolerated by the protocol).
-      e.sharers = (1u << e.owner) | (1u << e.fwd_requester);
+      e.sharers = SharerMask::of(e.owner, e.fwd_requester);
       e.owner = kInvalidNode;
       e.held_put_ack = false;
       if (release_ack) release_put_ack(line, old_owner);
@@ -511,10 +510,10 @@ void Directory::start_recall(Array::Line& l) {
   TCMP_CHECK(e.state == DirState::kShared || e.state == DirState::kExclusive);
   ++recalls_;
   if (e.state == DirState::kShared) {
-    e.recall_acks_pending = static_cast<std::uint16_t>(std::popcount(e.sharers));
+    e.recall_acks_pending = static_cast<std::uint16_t>(e.sharers.count());
     TCMP_CHECK(e.recall_acks_pending > 0);
     send_invs(line, e.sharers, /*collector=*/id_, Unit::kDir);
-    e.sharers = 0;
+    e.sharers.clear();
   } else {
     CoherenceMsg recall;
     recall.type = MsgType::kRecall;

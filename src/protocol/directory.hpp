@@ -31,6 +31,7 @@
 #include "protocol/cache_array.hpp"
 #include "protocol/coherence_msg.hpp"
 #include "protocol/delay_queue.hpp"
+#include "protocol/sharer_mask.hpp"
 #include "sim/scheduled.hpp"
 
 namespace tcmp::protocol {
@@ -99,7 +100,7 @@ class Directory final : public sim::Scheduled {
   /// Read-only directory-entry snapshot for invariant scans (verify lint).
   struct EntryView {
     DirState state = DirState::kInvalid;
-    std::uint32_t sharers = 0;
+    SharerMask sharers;
     NodeId owner = kInvalidNode;
     NodeId fwd_requester = kInvalidNode;
   };
@@ -107,7 +108,7 @@ class Directory final : public sim::Scheduled {
 
   /// Test hooks.
   [[nodiscard]] std::optional<DirState> dir_state_of(LineAddr line) const;
-  [[nodiscard]] std::uint32_t sharers_of(LineAddr line) const;
+  [[nodiscard]] SharerMask sharers_of(LineAddr line) const;
   [[nodiscard]] NodeId owner_of(LineAddr line) const;
   /// Test hook: validation version of the L2 copy (0 if absent).
   [[nodiscard]] std::uint32_t version_of(LineAddr line) const;
@@ -120,7 +121,7 @@ class Directory final : public sim::Scheduled {
 
   struct DirEntry {
     DirState state = DirState::kInvalid;
-    std::uint32_t sharers = 0;  ///< full-map bit vector (up to 32 tiles)
+    SharerMask sharers;  ///< full-map bit vector (up to SharerMask::kMaxNodes)
     NodeId owner = kInvalidNode;
     NodeId fwd_requester = kInvalidNode;  ///< requester of an in-flight forward
     bool l2_dirty = false;      ///< line dirty w.r.t. off-chip memory
@@ -162,7 +163,8 @@ class Directory final : public sim::Scheduled {
                   std::uint32_t version);
   void send_partial_reply(NodeId requester, LineAddr line);
   void release_put_ack(LineAddr line, NodeId owner);
-  void send_invs(LineAddr line, std::uint32_t sharers, NodeId collector, Unit ack_unit);
+  void send_invs(LineAddr line, const SharerMask& sharers, NodeId collector,
+                 Unit ack_unit);
 
   [[nodiscard]] static bool is_busy(DirState s) {
     return s == DirState::kBusyShared || s == DirState::kBusyExcl ||

@@ -1,0 +1,13 @@
+// Full-map sharer vector for the in-tags directory (Sec. 4.1): a fixed
+// 256-node bit set (common/node_set.hpp). The protocol-local name keeps
+// directory code reading as the paper does ("the sharer mask") while the
+// representation is shared with the DBRC destination-valid map.
+#pragma once
+
+#include "common/node_set.hpp"
+
+namespace tcmp::protocol {
+
+using SharerMask = ::tcmp::NodeSet;
+
+}  // namespace tcmp::protocol

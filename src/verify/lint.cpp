@@ -135,7 +135,7 @@ void CoherenceLinter::coherence_scan(Cycle now, std::uint64_t stripe_mask,
     // R3: directory well-formedness for the entries backing held lines (the
     // busy-entry bookkeeping is already covered by TCMP_CHECKs inline).
     if (e.has_value()) {
-      if (e->state == DirState::kShared && e->sharers == 0) {
+      if (e->state == DirState::kShared && e->sharers.none()) {
         out.push_back(LintViolation{now, "R3-DIR-WELLFORMED", line,
                                     "Shared entry with an empty sharer set"});
       }
@@ -179,7 +179,7 @@ void CoherenceLinter::dbrc_scan(Cycle now, std::vector<LintViolation>& out) {
         if (receiver == nullptr) continue;
         for (unsigned i = 0; i < sender->num_entries(); ++i) {
           const auto e = sender->entry_snapshot(i);
-          if (!e.valid || ((e.dest_valid >> dst) & 1u) == 0) continue;
+          if (!e.valid || !e.dest_valid.test(dst)) continue;
           const std::uint64_t mirrored =
               receiver->mirror_tag(static_cast<NodeId>(src), i);
           if (mirrored != e.hi_tag) {

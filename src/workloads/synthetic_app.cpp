@@ -104,7 +104,9 @@ LineAddr SyntheticApp::shared_line(unsigned core, CoreState& st) {
       // row of a mesh neighbour.
       unsigned target = core;
       if (st.rng.chance(0.25)) {
-        const unsigned w = n_cores_ <= 16 ? 4 : 8;  // mesh aspect assumption
+        // Mesh aspect assumption, matching CmpConfig::with_tiles: 4 wide up
+        // to 16 cores, 8 up to 64, 16 beyond.
+        const unsigned w = n_cores_ <= 16 ? 4 : (n_cores_ <= 64 ? 8 : 16);
         const unsigned x = core % w, y = core / w;
         unsigned nbr[4];
         unsigned n = 0;

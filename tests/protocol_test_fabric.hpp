@@ -148,8 +148,8 @@ class TestFabric {
           break;
         case DirState::kShared: {
           ASSERT_TRUE(m_or_e.empty());
-          const std::uint32_t sharers = home.sharers_of(line);
-          for (unsigned n : s_holders) ASSERT_TRUE((sharers >> n) & 1);
+          const SharerMask sharers = home.sharers_of(line);
+          for (unsigned n : s_holders) ASSERT_TRUE(sharers.test(n));
           for (unsigned n : s_holders) {
             ASSERT_EQ(l1s_[n]->version_of(line), home.version_of(line))
                 << "stale shared copy of line " << line.value() << " at L1 " << n;

@@ -5,7 +5,9 @@
 # no-ops; the strongest end-to-end check of that argument is byte equality of
 # full simulator reports against goldens recorded from the per-cycle seed
 # loop. Four configs cover the space: both interconnects, compression on/off,
-# and the three-stage router pipeline.
+# and the three-stage router pipeline. `--threads 1` is passed explicitly:
+# the partitioned driver (docs/partitioning.md) must keep the K = 1 path
+# byte-identical to these goldens.
 #
 # Usage: golden_test.sh <tcmpsim-binary> <repo-root>
 set -u
@@ -25,7 +27,7 @@ declare -A runs=(
 fail=0
 for name in MP3D-het Barnes-base Water-cheng FFT-het3s; do
   # shellcheck disable=SC2086
-  if ! "$sim" ${runs[$name]} > "$tmp/$name.txt"; then
+  if ! "$sim" ${runs[$name]} --threads 1 > "$tmp/$name.txt"; then
     echo "FAIL: $name: tcmpsim exited non-zero" >&2
     fail=1
     continue

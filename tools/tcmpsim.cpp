@@ -13,7 +13,9 @@
 //   --entries N           DBRC entries (4/16/64, default 4)
 //   --low N               low-order bytes (1/2, default 2)
 //   --vl N                perfect-compression VL width (3/4/5, default 3)
-//   --tiles N             16 or 32 (default 16)
+//   --tiles N             16, 32, 64 or 256 (default 16)
+//   --threads N           worker threads for the partitioned driver
+//                         (default 1; see docs/partitioning.md)
 //   --scale F             workload scale (default 1.0)
 //   --reply-partitioning  enable the Reply Partitioning extension
 //   --three-stage-router  use the 3-stage router pipeline
@@ -74,6 +76,7 @@ struct Options {
   unsigned low = 2;
   unsigned vl = 3;
   unsigned tiles = 16;
+  unsigned threads = 1;
   double scale = 1.0;
   bool reply_partitioning = false;
   bool three_stage_router = false;
@@ -137,9 +140,8 @@ cmp::CmpConfig make_config(const Options& o) {
     std::fprintf(stderr, "unknown --config '%s'\n", o.config.c_str());
     std::exit(2);
   }
-  cfg.n_tiles = o.tiles;
-  cfg.mesh_width = o.tiles <= 16 ? 4 : 8;
-  cfg.mesh_height = 4;
+  cfg.with_tiles(o.tiles);
+  cfg.threads = o.threads;
   cfg.reply_partitioning = o.reply_partitioning;
   cfg.single_cycle_router = !o.three_stage_router;
   return cfg;
@@ -208,7 +210,7 @@ int main(int argc, char** argv) {
   }
   const std::set<std::string> known{
       "app",   "trace", "config",             "scheme",             "entries",
-      "low",   "vl",    "tiles",              "scale",              "format",
+      "low",   "vl",    "tiles",  "threads",  "scale",              "format",
       "help",  "reply-partitioning",          "three-stage-router",
       "trace-out", "timeseries-out", "obs-level", "sample-interval",
       "verify-interval", "metrics-out", "postmortem-out", "slack-report",
@@ -232,7 +234,12 @@ int main(int argc, char** argv) {
   o.low = static_cast<unsigned>(args.get_long("low", o.low));
   o.vl = static_cast<unsigned>(args.get_long("vl", o.vl));
   o.tiles = static_cast<unsigned>(args.get_long("tiles", o.tiles));
+  o.threads = static_cast<unsigned>(args.get_long("threads", o.threads));
   o.scale = args.get_double("scale", o.scale);
+  if (o.threads < 1) {
+    std::fprintf(stderr, "--threads must be >= 1\n");
+    return 2;
+  }
   o.reply_partitioning = args.get_flag("reply-partitioning");
   o.three_stage_router = args.get_flag("three-stage-router");
   o.format = args.get("format", o.format);
@@ -276,12 +283,23 @@ int main(int argc, char** argv) {
     apps.push_back(o.app);
   }
 
-  if (o.slack_report && o.obs_level == 0) {
+  if (o.slack_report && o.obs_level == 0 && o.threads == 1) {
     std::fprintf(stderr, "--slack-report requires --obs-level >= 1\n");
     return 2;
   }
-  const bool want_obs = !o.trace_out.empty() || !o.timeseries_out.empty() ||
-                        o.obs_level > 0 || o.slack_report;
+  // Observers (tracing, time series) are a single-threaded feature; the
+  // partitioned driver supports only the sharded slack telemetry and the
+  // coherence lint (docs/partitioning.md).
+  if (o.threads > 1 && (!o.trace_out.empty() || !o.timeseries_out.empty() ||
+                        o.obs_level > 0 || o.self_profile)) {
+    std::fprintf(stderr,
+                 "--trace-out/--timeseries-out/--obs-level/--self-profile "
+                 "require --threads 1\n");
+    return 2;
+  }
+  const bool want_obs = o.threads == 1 &&
+                        (!o.trace_out.empty() || !o.timeseries_out.empty() ||
+                         o.obs_level > 0 || o.slack_report);
   bool first = true;
   for (const auto& name : apps) {
     std::shared_ptr<core::Workload> workload;
@@ -299,6 +317,7 @@ int main(int argc, char** argv) {
           make_obs_config(o, name, apps.size() > 1), &system.stats());
       system.attach_observer(observer.get());
     }
+    if (o.slack_report && o.threads > 1) system.enable_slack_telemetry();
     if (!o.postmortem_out.empty()) {
       system.set_postmortem_path(
           suffixed(o.postmortem_out, name, apps.size() > 1));
@@ -358,8 +377,8 @@ int main(int argc, char** argv) {
     r.workload = name;
     emit(o, r, first);
     if (o.format == "text") emit_latency_table(r);
-    if (o.slack_report && observer) {
-      observer->slack().write_table(std::cout);
+    if (o.slack_report) {
+      system.write_slack_table(std::cout);
     }
     if (o.self_profile) {
       system.write_self_profile(std::cout);
