@@ -1,0 +1,258 @@
+// Interval-sampling throughput/accuracy microbenchmark (docs/checkpointing.md):
+// one long synthetic workload run twice on the same machine — full detail,
+// then SMARTS-sampled (functional fast-forward between short detailed
+// windows) — comparing wall time and the extrapolated cycle estimate.
+//
+// Two gates:
+//   * throughput: the sampled run must be >= 10x faster in wall time
+//     (tolerance-scaled). Both runs execute in the same process on the same
+//     host, so the ratio normalizes out runner speed and the committed
+//     baseline is portable.
+//   * accuracy: the extrapolated cycle estimate's relative error against the
+//     full-detail truth. The simulator is deterministic, so at the default
+//     scale this error is a *fixed property of the tree* — the gate allows
+//     the committed value plus tolerance headroom and a small absolute
+//     cushion, so only a genuine sampling-quality regression trips it.
+//
+// The instruction-stream conservation law (sampled total == full measured
+// instructions) is CHECKed on every run — the bench doubles as an end-to-end
+// cross-check of the functional/detailed handoff.
+//
+// Usage:
+//   micro_sampling [--json out.json] [--baseline BENCH_sampling.json]
+//                  [--tolerance 0.2]
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "cmp/sampling.hpp"
+#include "cmp/system.hpp"
+#include "common/check.hpp"
+#include "common/table.hpp"
+#include "workloads/synthetic_app.hpp"
+
+using namespace tcmp;
+
+namespace {
+
+constexpr double kSpeedupTarget = 10.0;  ///< acceptance bar (ISSUE 10)
+
+/// Long-workload stand-in, CI-sized: a large per-core op budget with mild
+/// sharing, the regime interval sampling exists for. TCMP_SCALE scales it
+/// like every other bench workload.
+workloads::AppParams long_params() {
+  workloads::AppParams p;
+  p.name = "sampling-long";
+  p.ops_per_core = static_cast<std::uint64_t>(120'000 * bench::workload_scale());
+  p.warmup_frac = 0.02;
+  p.spatial_locality = 0.9;
+  p.line_dwell = 2.0;
+  p.private_lines = 512;
+  p.shared_frac = 0.15;
+  p.compute_per_mem = 2.0;
+  return p;
+}
+
+cmp::SamplingConfig sampling_spec() {
+  // ~5% of the stream in detailed windows (detail is instructions per core).
+  // Short windows at a high count beat long sparse ones here: the workload's
+  // phase structure makes per-window CPI variance grow with window length
+  // (CI95 is the tuning signal), while the per-window handoff bias is held
+  // symmetric by measuring at the fence point. warmup=1000 covers the
+  // post-fast-forward transient (I-cache refill + MSHR/network re-train).
+  cmp::SamplingConfig s;
+  s.warmup = Cycle{1'000};
+  s.detail = 1'000;
+  s.period = 19'000;
+  return s;
+}
+
+struct Outcome {
+  double full_seconds = 0.0;
+  double sampled_seconds = 0.0;
+  double speedup = 0.0;
+  std::uint64_t full_cycles = 0;
+  std::uint64_t estimated_cycles = 0;
+  double cycle_error = 0.0;  ///< |estimate - truth| / truth
+  std::uint64_t windows = 0;
+  double cpi_ci95 = 0.0;
+};
+
+Outcome run_pair() {
+  const auto cfg = cmp::CmpConfig::cheng3way();
+  const auto params = long_params();
+  Outcome o;
+
+  std::fprintf(stderr, "  running full detail...\n");
+  std::uint64_t full_instructions = 0;
+  {
+    cmp::CmpSystem system(cfg, std::make_shared<workloads::SyntheticApp>(
+                                   params, cfg.n_tiles));
+    const auto t0 = std::chrono::steady_clock::now();
+    const bool finished = system.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    TCMP_CHECK_MSG(finished, "micro_sampling full run did not finish");
+    o.full_seconds = std::chrono::duration<double>(t1 - t0).count();
+    o.full_cycles = system.cycles().value();
+    full_instructions = system.measured_instructions();
+  }
+
+  std::fprintf(stderr, "  running sampled...\n");
+  {
+    cmp::CmpSystem system(cfg, std::make_shared<workloads::SyntheticApp>(
+                                   params, cfg.n_tiles));
+    cmp::SampledRun sampled(system, sampling_spec());
+    const auto t0 = std::chrono::steady_clock::now();
+    const bool finished = sampled.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    TCMP_CHECK_MSG(finished, "micro_sampling sampled run did not finish");
+    o.sampled_seconds = std::chrono::duration<double>(t1 - t0).count();
+    const cmp::SamplingResult& r = sampled.result();
+    TCMP_CHECK_MSG(r.total_instructions == full_instructions,
+                   "sampled run lost instructions against the full run "
+                   "(functional/detailed handoff bug)");
+    o.estimated_cycles = r.estimated_cycles.value();
+    o.windows = r.windows;
+    o.cpi_ci95 = r.cpi_ci95;
+  }
+
+  o.speedup = o.full_seconds / o.sampled_seconds;
+  o.cycle_error = std::abs(static_cast<double>(o.estimated_cycles) -
+                           static_cast<double>(o.full_cycles)) /
+                  static_cast<double>(o.full_cycles);
+  return o;
+}
+
+std::string to_json(const Outcome& o, unsigned host_cores) {
+  std::ostringstream out;
+  char buf[640];
+  std::snprintf(buf, sizeof buf,
+                "{\n"
+                "  \"bench\": \"micro_sampling\",\n"
+                "  \"host_cores\": %u,\n"
+                "  \"full_seconds\": %.3f,\n"
+                "  \"sampled_seconds\": %.3f,\n"
+                "  \"speedup\": %.3f,\n"
+                "  \"full_cycles\": %llu,\n"
+                "  \"estimated_cycles\": %llu,\n"
+                "  \"cycle_error\": %.5f,\n"
+                "  \"windows\": %llu,\n"
+                "  \"cpi_ci95\": %.5f\n"
+                "}\n",
+                host_cores, o.full_seconds, o.sampled_seconds, o.speedup,
+                static_cast<unsigned long long>(o.full_cycles),
+                static_cast<unsigned long long>(o.estimated_cycles),
+                o.cycle_error, static_cast<unsigned long long>(o.windows),
+                o.cpi_ci95);
+  out << buf;
+  return out.str();
+}
+
+/// Pull `"key": <num>` out of a baseline JSON written by to_json (flat,
+/// known shape — no general JSON parser needed).
+bool json_number(const std::string& json, const std::string& key, double* out) {
+  const std::string field = "\"" + key + "\": ";
+  const auto at = json.find(field);
+  if (at == std::string::npos) return false;
+  *out = std::strtod(json.c_str() + at + field.size(), nullptr);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path, baseline_path;
+  double tolerance = 0.2;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
+      tolerance = std::strtod(argv[++i], nullptr);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--json out.json] [--baseline base.json] "
+                   "[--tolerance 0.2]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const unsigned host_cores = std::thread::hardware_concurrency();
+  std::printf("=== micro_sampling: full detail vs SMARTS interval sampling "
+              "(host cores: %u, workload scale %.2f) ===\n\n",
+              host_cores, bench::workload_scale());
+
+  const Outcome o = run_pair();
+
+  TextTable t({"mode", "wall sec", "cycles"});
+  t.add_row({"full detail", TextTable::fmt(o.full_seconds, 2),
+             std::to_string(o.full_cycles)});
+  t.add_row({"sampled", TextTable::fmt(o.sampled_seconds, 2),
+             std::to_string(o.estimated_cycles) + " (est)"});
+  std::printf("%s\nspeedup: %.2fx   cycle error: %.2f%%   windows: %llu   "
+              "CPI CI95: %.4f\n(instruction-stream conservation verified)\n",
+              t.str().c_str(), o.speedup, o.cycle_error * 100.0,
+              static_cast<unsigned long long>(o.windows), o.cpi_ci95);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << to_json(o, host_cores);
+    TCMP_CHECK_MSG(out.good(), "could not write --json output");
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (baseline_path.empty()) return 0;
+
+  std::ifstream in(baseline_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read baseline %s\n", baseline_path.c_str());
+    return 2;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string base = ss.str();
+
+  double base_error = 0.0;
+  if (!json_number(base, "cycle_error", &base_error)) {
+    std::fprintf(stderr, "baseline missing cycle_error field\n");
+    return 2;
+  }
+
+  int rc = 0;
+  const double speedup_floor = kSpeedupTarget * (1.0 - tolerance);
+  if (o.speedup < speedup_floor) {
+    std::fprintf(stderr,
+                 "FAIL [sampling-speedup]: %.2fx below floor %.2fx "
+                 "(target %.0fx, tolerance %.2f)\n",
+                 o.speedup, speedup_floor, kSpeedupTarget, tolerance);
+    rc = 1;
+  } else {
+    std::printf("ok [sampling-speedup]: %.2fx >= floor %.2fx\n", o.speedup,
+                speedup_floor);
+  }
+
+  // Deterministic at fixed scale, so the committed error reproduces exactly;
+  // the headroom only keeps legitimate timing-model changes from needing a
+  // same-commit baseline refresh.
+  const double error_ceiling = base_error * (1.0 + tolerance) + 0.01;
+  if (o.cycle_error > error_ceiling) {
+    std::fprintf(stderr,
+                 "FAIL [sampling-accuracy]: cycle error %.4f above ceiling "
+                 "%.4f (baseline %.4f, tolerance %.2f)\n",
+                 o.cycle_error, error_ceiling, base_error, tolerance);
+    rc = 1;
+  } else {
+    std::printf("ok [sampling-accuracy]: cycle error %.4f <= ceiling %.4f\n",
+                o.cycle_error, error_ceiling);
+  }
+  return rc;
+}

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "cmp/sampling.hpp"
 #include "common/json.hpp"
 #include "sim/profiler.hpp"
 
@@ -93,9 +94,10 @@ void write_self_profile(std::ostream& out, const sim::SelfProfiler& prof,
 }  // namespace
 
 void write_metrics_json(std::ostream& out, const RunResult& result,
-                        const CmpSystem& system,
-                        const sim::SelfProfiler* prof) {
-  const StatRegistry& reg = system.merged_stats();
+                        const CmpSystem& system, const sim::SelfProfiler* prof,
+                        const SamplingResult* sampling,
+                        const StatRegistry* stats) {
+  const StatRegistry& reg = stats != nullptr ? *stats : system.merged_stats();
   out << "{\"schema\":\"tcmp-metrics\",\"version\":" << kMetricsSchemaVersion
       << ",";
   write_run(out, result);
@@ -143,6 +145,20 @@ void write_metrics_json(std::ostream& out, const RunResult& result,
         << "}";
   }
   out << "}";
+
+  if (sampling != nullptr) {
+    const SamplingResult& s = *sampling;
+    out << ",\"sampling\":{\"windows\":" << s.windows
+        << ",\"detailed_cycles\":" << s.detailed_cycles.value()
+        << ",\"detailed_instructions\":" << s.detailed_instructions
+        << ",\"functional_instructions\":" << s.functional_instructions
+        << ",\"total_instructions\":" << s.total_instructions
+        << ",\"cpi\":" << num(s.cpi)
+        << ",\"cpi_window_mean\":" << num(s.cpi_window_mean)
+        << ",\"cpi_ci95\":" << num(s.cpi_ci95)
+        << ",\"extrapolation\":" << num(s.extrapolation)
+        << ",\"estimated_cycles\":" << s.estimated_cycles.value() << "}";
+  }
 
   if (prof != nullptr) {
     out << ",";

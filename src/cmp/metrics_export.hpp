@@ -7,7 +7,8 @@
 // Schema contract (docs/observability.md has the worked example):
 //   { "schema": "tcmp-metrics", "version": kMetricsSchemaVersion,
 //     "run": {...}, "counters": {...}, "scalars": {...},
-//     "histograms": {...}, "slack": {...}, "self_profile": {...}? }
+//     "histograms": {...}, "slack": {...}, "sampling": {...}?,
+//     "self_profile": {...}? }
 // The version bumps on any breaking change (renamed/removed keys or meaning
 // changes); adding keys is non-breaking. Consumers must reject documents
 // whose schema/version they do not understand (tcmpstat does).
@@ -23,13 +24,20 @@ class SelfProfiler;
 
 namespace tcmp::cmp {
 
+struct SamplingResult;
+
 inline constexpr int kMetricsSchemaVersion = 1;
 
 /// Write the canonical metrics JSON for a finished run. `prof` (optional)
-/// adds the "self_profile" section. Deterministic: key order is fixed and
-/// registry sections iterate in map (name) order.
+/// adds the "self_profile" section; `sampling` (optional) adds the
+/// "sampling" section, with `stats` overriding the registry the counter /
+/// scalar / histogram sections are harvested from (a sampled run exports
+/// its extrapolated registry instead of the live one). Deterministic: key
+/// order is fixed and registry sections iterate in map (name) order.
 void write_metrics_json(std::ostream& out, const RunResult& result,
                         const CmpSystem& system,
-                        const sim::SelfProfiler* prof = nullptr);
+                        const sim::SelfProfiler* prof = nullptr,
+                        const SamplingResult* sampling = nullptr,
+                        const StatRegistry* stats = nullptr);
 
 }  // namespace tcmp::cmp

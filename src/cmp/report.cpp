@@ -21,13 +21,20 @@ double RunResult::interconnect_ed2p() const {
 double RunResult::full_cmp_ed2p() const { return power::ed2p(total_energy(), seconds); }
 
 RunResult make_result(const CmpSystem& system) {
+  return make_result(system, system.merged_stats(), system.cycles(),
+                     system.measured_instructions(),
+                     system.measured_compression_accesses());
+}
+
+RunResult make_result(const CmpSystem& system, const StatRegistry& stats,
+                      Cycle cycles, std::uint64_t instructions,
+                      std::uint64_t compression_accesses) {
   const CmpConfig& cfg = system.config();
-  const StatRegistry& stats = system.merged_stats();
   RunResult r;
   r.configuration = cfg.name();
-  r.cycles = system.cycles();
+  r.cycles = cycles;
   r.seconds = static_cast<double>(r.cycles.value()) / cfg.freq;
-  r.instructions = system.measured_instructions();
+  r.instructions = instructions;
 
   // --- links: dynamic from toggled wire-length, static from geometry x time.
   // Wire lengths and router counts come from the network itself so both the
@@ -73,8 +80,7 @@ RunResult make_result(const CmpSystem& system) {
   // --- compression hardware ---
   const auto hw = compression::scheme_hw_cost(cfg.scheme, cfg.n_tiles, cfg.freq);
   r.energy.add(EnergyAccount::kCompressionDynamic,
-               static_cast<double>(system.measured_compression_accesses()) *
-                   hw.access_energy);
+               static_cast<double>(compression_accesses) * hw.access_energy);
   r.energy.add(EnergyAccount::kCompressionStatic,
                hw.leakage_per_core * cfg.n_tiles * r.seconds);
 

@@ -57,4 +57,13 @@ struct RunResult {
 /// Harvest a finished system.
 [[nodiscard]] RunResult make_result(const CmpSystem& system);
 
+/// Harvest core with explicit inputs: `stats` supplies the event counters
+/// and distributions, the scalars the measured totals. make_result(system)
+/// forwards the full-run values; the sampling driver (cmp/sampling.hpp)
+/// passes its extrapolated registry and estimates instead.
+[[nodiscard]] RunResult make_result(const CmpSystem& system,
+                                    const StatRegistry& stats, Cycle cycles,
+                                    std::uint64_t instructions,
+                                    std::uint64_t compression_accesses);
+
 }  // namespace tcmp::cmp

@@ -196,7 +196,28 @@ class CmpSystem {
   /// Returns false when disarmed or the file could not be written.
   bool dump_postmortem() const;
 
+  // --- Checkpoint/restore (docs/checkpointing.md) --------------------------
+  // A checkpoint is taken between cycles and captures every bit of
+  // simulation-visible state: cores, caches, directories, NIC compressor /
+  // sequence state, routers, wake calendars, stat shards, RNGs, barrier
+  // controller, and the workload's cursors (the workload must report
+  // can_snapshot()). A restored run continues byte-identically to the
+  // uninterrupted one at the same --threads K; the fingerprint refuses a
+  // snapshot taken under a different config, workload, or K. Runtime
+  // attachments (observer, periodic check, profiler, postmortem path) are
+  // deliberately NOT captured — they are re-made by the driver.
+  void save_checkpoint(std::ostream& out);
+  void load_checkpoint(std::istream& in);
+  /// Config/workload identity baked into the snapshot header.
+  [[nodiscard]] std::string snapshot_fingerprint() const;
+
  private:
+  /// One body for both archive directions (save/load_checkpoint dispatch).
+  template <typename Ar>
+  void snapshot_io(Ar& ar);
+
+  friend class SampledRun;  // the sampling driver (cmp/sampling.cpp) drives
+                            // fence/drain/warm phases through private state
   struct Tile {
     std::unique_ptr<protocol::L1Cache> l1;
     std::unique_ptr<protocol::ICache> l1i;
@@ -305,41 +326,60 @@ class CmpSystem {
   void advance_idle(Cycle target);
 
   CmpConfig cfg_;
+  // Serialized through the per-partition shard pointers in the checkpoint's
+  // stats section, which alias this registry.
+  // tcmplint: snapshot-exempt (saved via the aliasing per-partition shards)
   StatRegistry stats_;
+  // tcmplint: snapshot-exempt (config-derived; rebuilt by the constructor)
   sim::PartitionPlan plan_;
   unsigned n_parts_ = 1;
+  // tcmplint: snapshot-exempt (derived from plan_; rebuilt by the ctor)
   std::vector<unsigned> part_of_;  ///< [tile] owning partition
   std::vector<std::unique_ptr<Partition>> parts_;
   /// Merge cache behind merged_stats() (K > 1 report path).
+  // tcmplint: snapshot-exempt (cache; recomputed on demand after restore)
   mutable StatRegistry merged_;
+  // tcmplint: snapshot-exempt (config toggle, not simulation state)
   bool dead_cycle_skipping_ = true;
   /// Hoisted per-cycle conditions: the next cycle at which the time-series
   /// sampler / the periodic check may fire (kNeverCycle when detached).
   /// step() compares against these instead of re-testing obs_ != nullptr and
   /// now_ % check_interval_ every cycle; both are also kernel wake sources.
+  // tcmplint: snapshot-exempt (re-derived by attach_observer after restore)
   Cycle obs_sample_due_{kNeverCycle};
+  // tcmplint: snapshot-exempt (re-anchored by load_checkpoint)
   Cycle check_due_{kNeverCycle};
+  // tcmplint: snapshot-exempt (kernel wake registration; attach re-creates)
   std::unique_ptr<sim::Scheduled> obs_event_;
+  // tcmplint: snapshot-exempt (kernel wake registration; attach re-creates)
   std::unique_ptr<sim::Scheduled> check_event_;
+  // tcmplint: snapshot-exempt (runtime attachment; set_periodic_check)
   Cycle check_interval_{0};
+  // tcmplint: snapshot-exempt (runtime attachment; set_periodic_check)
   PeriodicCheck periodic_check_;
+  // tcmplint: snapshot-exempt (save_checkpoint refuses aborted runs)
   bool aborted_ = false;
   // Interned stat handles for the serially-handled barrier controller
   // (shard 0; the per-message counters live in Partition::msg_counters).
   CounterRef barrier_arrivals_;
   CounterRef barriers_completed_;
   std::shared_ptr<core::Workload> workload_;
+  // tcmplint: snapshot-exempt (runtime attachment, re-installed after restore)
   MsgHook remote_hook_;
   obs::Observer* obs_ = nullptr;
   /// Non-null iff the attached observer's slack telemetry is enabled; the
   /// injection/delivery/unstall hot paths test this single pointer.
   obs::SlackTelemetry* slack_ = nullptr;
   /// Always-on bounded message-lifecycle history (crash post-mortems).
+  // tcmplint: snapshot-exempt (host-side debugging ring, never sim input)
   obs::FlightRecorder flight_;
+  // tcmplint: snapshot-exempt (host-side crash plumbing, never sim input)
   std::string postmortem_path_;
+  // tcmplint: snapshot-exempt (process-local abort registration)
   std::uint64_t abort_token_ = 0;  ///< common/abort.hpp registration
   /// Opt-in self-profiler and its registered scope ids (set_profiler).
   sim::SelfProfiler* prof_ = nullptr;
+  // tcmplint: snapshot-exempt (profiler scope ids; set_profiler re-registers)
   unsigned sc_obs_ = 0, sc_net_ = 0, sc_loopback_ = 0, sc_dirs_ = 0,
            sc_cores_ = 0, sc_barrier_ = 0, sc_check_ = 0, sc_drain_ = 0,
            sc_scan_ = 0, sc_idle_ = 0;
@@ -352,11 +392,17 @@ class CmpSystem {
   std::vector<bool> at_barrier_;
   unsigned waiting_ = 0;
   std::uint32_t pending_barrier_id_ = 0;
+  // tcmplint: snapshot-exempt (derived from cfg_.threads by the constructor)
   BarrierMode barrier_mode_ = BarrierMode::kSerial;
-  // replay_barrier_events working state (serial epilogue only).
+  // replay_barrier_events working state (serial epilogue only): scratch that
+  // is always consumed before the between-cycles checkpoint boundary.
+  // tcmplint: snapshot-exempt (epilogue scratch, idle between cycles)
   unsigned replay_done_count_ = 0;
+  // tcmplint: snapshot-exempt (epilogue scratch, idle between cycles)
   std::vector<bool> replay_retick_;
+  // tcmplint: snapshot-exempt (epilogue scratch, idle between cycles)
   bool replay_any_action_ = false;
+  // tcmplint: snapshot-exempt (epilogue scratch, recomputed every cycle)
   bool epilogue_finished_ = false;
   /// Double-buffered per-tile stall snapshots for the K > 1 slack probe:
   /// the parallel phase writes next (own tiles only), the serial epilogue

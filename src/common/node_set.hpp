@@ -58,6 +58,12 @@ class NodeSet {
 
   friend constexpr bool operator==(const NodeSet&, const NodeSet&) = default;
 
+  /// Checkpoint serialization (common/snapshot.hpp).
+  template <typename Ar>
+  void snapshot_io(Ar& ar) {
+    ar.field(words_);
+  }
+
  private:
   [[nodiscard]] static constexpr std::uint64_t word_bit(unsigned n) {
     return std::uint64_t{1} << (n % 64);

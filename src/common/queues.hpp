@@ -77,6 +77,14 @@ class RingBuffer {
   [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
 
+  /// Exact-image checkpoint serialization (common/snapshot.hpp).
+  template <typename Ar>
+  void snapshot_io(Ar& ar) {
+    ar.field(slots_);
+    ar.field(head_);
+    ar.field(size_);
+  }
+
  private:
   std::vector<T> slots_;
   std::size_t head_ = 0;
@@ -147,6 +155,17 @@ class SmallQueue {
   [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] std::size_t capacity() const { return cap_; }
   [[nodiscard]] bool spilled() const { return !heap_.empty(); }
+
+  /// Exact-image checkpoint serialization (common/snapshot.hpp): inline and
+  /// heap storage both travel, so a spilled queue restores spilled.
+  template <typename Ar>
+  void snapshot_io(Ar& ar) {
+    ar.field(inline_);
+    ar.field(heap_);
+    ar.field(cap_);
+    ar.field(head_);
+    ar.field(size_);
+  }
 
  private:
   [[nodiscard]] T* data() {
@@ -230,6 +249,13 @@ class SeqWindow {
   [[nodiscard]] std::size_t size() const { return count_; }
   [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
 
+  /// Exact-image checkpoint serialization (common/snapshot.hpp).
+  template <typename Ar>
+  void snapshot_io(Ar& ar) {
+    ar.field(slots_);
+    ar.field(count_);
+  }
+
  private:
   static constexpr std::size_t kInitialSlots = 4;  // power of two
 
@@ -237,6 +263,13 @@ class SeqWindow {
     T item{};
     std::uint32_t seq = 0;
     bool occupied = false;
+
+    template <typename Ar>
+    void snapshot_io(Ar& ar) {
+      ar.field(item);
+      ar.field(seq);
+      ar.field(occupied);
+    }
   };
 
   [[nodiscard]] std::size_t index(std::uint32_t seq) const {

@@ -70,6 +70,14 @@ class Rng {
     return n;
   }
 
+  /// Checkpoint serialization (common/snapshot.hpp): the 256-bit state is
+  /// the whole of an Rng, so a restored generator continues the exact
+  /// sequence the saved one would have produced.
+  template <typename Ar>
+  void snapshot_io(Ar& ar) {
+    for (auto& word : state_) ar.field(word);
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

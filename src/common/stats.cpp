@@ -1,5 +1,7 @@
 #include "common/stats.hpp"
 
+#include "common/snapshot.hpp"
+
 namespace tcmp {
 
 double Histogram::quantile(double q) const {
@@ -39,6 +41,49 @@ void StatRegistry::zero_all() {
   for (auto& [name, value] : counters_) value = 0;
   for (auto& [name, stat] : scalars_) stat.reset();
   for (auto& [name, hist] : histograms_) hist.clear_values();
+}
+
+void StatRegistry::save(SnapshotWriter& w) const {
+  w.section("stats.counters");
+  w.field(counters_);
+  w.section("stats.scalars");
+  w.raw_u64(scalars_.size());
+  for (const auto& [name, stat] : scalars_) {
+    w.field(name);
+    w.field(stat);
+  }
+  w.section("stats.histograms");
+  w.raw_u64(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    w.field(name);
+    w.field(hist);
+  }
+}
+
+void StatRegistry::load(SnapshotReader& r) {
+  // In-place application: zero everything registered, then assign the saved
+  // values node-by-node. Plain map deserialization would clear() the maps
+  // and invalidate every interned handle resolved at construction.
+  zero_all();
+  r.section("stats.counters");
+  std::map<std::string, std::uint64_t> saved_counters;
+  r.field(saved_counters);
+  for (const auto& [name, value] : saved_counters) counters_[name] = value;
+  r.section("stats.scalars");
+  for (std::uint64_t n = r.raw_u64(); n > 0; --n) {
+    std::string name;
+    r.field(name);
+    r.field(scalars_[name]);
+  }
+  r.section("stats.histograms");
+  for (std::uint64_t n = r.raw_u64(); n > 0; --n) {
+    std::string name;
+    r.field(name);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end())
+      it = histograms_.try_emplace(name, Histogram()).first;
+    r.field(it->second);
+  }
 }
 
 void StatRegistry::merge_from(const StatRegistry& shard) {

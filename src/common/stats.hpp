@@ -17,6 +17,9 @@
 
 namespace tcmp {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /// Running mean/min/max/count of a scalar sample stream.
 class ScalarStat {
  public:
@@ -49,6 +52,17 @@ class ScalarStat {
     sum_ += o.sum_;
     sum_sq_ += o.sum_sq_;
     count_ += o.count_;
+  }
+
+  /// Checkpoint serialization (common/snapshot.hpp): raw double bits travel,
+  /// so restored sums continue accumulating byte-identically.
+  template <typename Ar>
+  void snapshot_io(Ar& ar) {
+    ar.field(sum_);
+    ar.field(sum_sq_);
+    ar.field(min_);
+    ar.field(max_);
+    ar.field(count_);
   }
 
  private:
@@ -95,6 +109,17 @@ class Histogram {
   void clear_values() {
     std::fill(bins_.begin(), bins_.end(), 0);
     scalar_.reset();
+  }
+
+  /// Checkpoint serialization (common/snapshot.hpp). Assigns in place, so a
+  /// registry node (and any interned HistogramRef) survives a load; geometry
+  /// is overwritten with the saved values, which a same-config restore
+  /// registered identically anyway.
+  template <typename Ar>
+  void snapshot_io(Ar& ar) {
+    ar.field(bins_);
+    ar.field(bin_width_);
+    ar.field(scalar_);
   }
 
  private:
@@ -251,6 +276,15 @@ class StatRegistry {
   /// merged in partition-index order so FP accumulation order — the only
   /// order-sensitive part — is deterministic for a given K.
   void merge_from(const StatRegistry& shard);
+
+  /// Checkpoint save/load (common/snapshot.hpp). load() applies values IN
+  /// PLACE, zero_all-style: existing map nodes are kept so every interned
+  /// CounterRef/ScalarRef/HistogramRef resolved at construction stays valid
+  /// across a restore; names the snapshot has and this registry lacks are
+  /// created (both runs register the same set at construction, so in a
+  /// same-config restore this path is idle).
+  void save(SnapshotWriter& w) const;
+  void load(SnapshotReader& r);
 
  private:
   std::map<std::string, std::uint64_t> counters_;

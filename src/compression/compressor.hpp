@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "common/snapshot.hpp"
 #include "common/types.hpp"
 #include "compression/scheme.hpp"
 
@@ -29,6 +30,15 @@ struct Encoding {
   bool install = false;
   /// The uncompressed low-order bytes of the line address (compressed sends).
   std::uint64_t low_bits = 0;
+
+  /// Checkpoint serialization (common/snapshot.hpp).
+  template <typename Ar>
+  void snapshot_io(Ar& ar) {
+    ar.field(compressed);
+    ar.field(index);
+    ar.field(install);
+    ar.field(low_bits);
+  }
 };
 
 /// Access counters for energy accounting: each table lookup/update costs one
@@ -37,6 +47,14 @@ struct AccessCounters {
   std::uint64_t lookups = 0;
   std::uint64_t updates = 0;
   [[nodiscard]] std::uint64_t total() const { return lookups + updates; }
+
+  /// Checkpoint serialization (common/snapshot.hpp): the counters feed the
+  /// energy report, so they restore exactly.
+  template <typename Ar>
+  void snapshot_io(Ar& ar) {
+    ar.field(lookups);
+    ar.field(updates);
+  }
 };
 
 class SenderCompressor {
@@ -46,6 +64,13 @@ class SenderCompressor {
   /// Encode `line` (a line address) for destination `dst`, updating sender
   /// state.
   virtual Encoding compress(NodeId dst, LineAddr line) = 0;
+
+  /// Checkpoint save/load (common/snapshot.hpp): stateful schemes override,
+  /// chain to the base for the energy counters, and serialize their tables;
+  /// the compressor state restores exactly so a resumed run encodes the
+  /// identical hit/miss sequence. The stateless schemes inherit this as-is.
+  virtual void save(SnapshotWriter& w) const { w.field(accesses_); }
+  virtual void load(SnapshotReader& r) { r.field(accesses_); }
 
   [[nodiscard]] const AccessCounters& accesses() const { return accesses_; }
 
@@ -61,6 +86,10 @@ class ReceiverDecompressor {
   /// messages `full_line` is the address carried on the wire; for compressed
   /// messages it is ignored and the address is reconstructed from state.
   virtual LineAddr decode(NodeId src, const Encoding& enc, LineAddr full_line) = 0;
+
+  /// Checkpoint save/load — same contract as SenderCompressor::save.
+  virtual void save(SnapshotWriter& w) const { w.field(accesses_); }
+  virtual void load(SnapshotReader& r) { r.field(accesses_); }
 
   [[nodiscard]] const AccessCounters& accesses() const { return accesses_; }
 

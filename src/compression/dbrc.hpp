@@ -50,13 +50,43 @@ class DbrcSender final : public SenderCompressor {
   }
   [[nodiscard]] bool idealized_mirrors() const { return idealized_mirrors_; }
 
+  /// Checkpoint save/load: compression-cache entries, LRU clock and hit
+  /// counters restore exactly (docs/checkpointing.md).
+  void save(SnapshotWriter& w) const override {
+    SenderCompressor::save(w);
+    const_cast<DbrcSender*>(this)->snapshot_io(w);
+  }
+  void load(SnapshotReader& r) override {
+    SenderCompressor::load(r);
+    snapshot_io(r);
+  }
+
  private:
   struct Entry {
     std::uint64_t hi_tag = 0;
     NodeSet dest_valid;  ///< bit i: receiver i's mirror holds this entry
     std::uint64_t lru_stamp = 0;
     bool valid = false;
+
+    template <typename Ar>
+    void snapshot_io(Ar& ar) {
+      ar.field(hi_tag);
+      ar.field(dest_valid);
+      ar.field(lru_stamp);
+      ar.field(valid);
+    }
   };
+
+  template <typename Ar>
+  void snapshot_io(Ar& ar) {
+    ar.field(entries_);
+    ar.verify(low_bytes_);
+    ar.verify(n_nodes_);
+    ar.verify(idealized_mirrors_);
+    ar.field(clock_);
+    ar.field(hits_);
+    ar.field(misses_);
+  }
 
   [[nodiscard]] std::uint64_t hi_of(LineAddr line) const {
     return line.value() >> (8 * low_bytes_);
@@ -85,7 +115,24 @@ class DbrcReceiver final : public ReceiverDecompressor {
     return mirror_[src][index];
   }
 
+  /// Checkpoint save/load: the per-sender mirror tags restore exactly so a
+  /// resumed run decodes the identical address sequence.
+  void save(SnapshotWriter& w) const override {
+    ReceiverDecompressor::save(w);
+    const_cast<DbrcReceiver*>(this)->snapshot_io(w);
+  }
+  void load(SnapshotReader& r) override {
+    ReceiverDecompressor::load(r);
+    snapshot_io(r);
+  }
+
  private:
+  template <typename Ar>
+  void snapshot_io(Ar& ar) {
+    ar.field(mirror_);
+    ar.verify(low_bytes_);
+  }
+
   // mirror_[src][index] = high-order tag of sender src's entry.
   std::vector<std::vector<std::uint64_t>> mirror_;
   unsigned low_bytes_;

@@ -25,7 +25,27 @@ class StrideSender final : public SenderCompressor {
   /// True iff `delta` is representable in `low_bytes` signed bytes.
   static bool fits(std::int64_t delta, unsigned low_bytes);
 
+  /// Checkpoint save/load: per-destination base registers restore exactly
+  /// (docs/checkpointing.md).
+  void save(SnapshotWriter& w) const override {
+    SenderCompressor::save(w);
+    const_cast<StrideSender*>(this)->snapshot_io(w);
+  }
+  void load(SnapshotReader& r) override {
+    SenderCompressor::load(r);
+    snapshot_io(r);
+  }
+
  private:
+  template <typename Ar>
+  void snapshot_io(Ar& ar) {
+    ar.field(base_);
+    ar.field(valid_);
+    ar.verify(low_bytes_);
+    ar.field(hits_);
+    ar.field(misses_);
+  }
+
   std::vector<LineAddr> base_;
   std::vector<bool> valid_;
   unsigned low_bytes_ = 0;
@@ -39,7 +59,23 @@ class StrideReceiver final : public ReceiverDecompressor {
 
   LineAddr decode(NodeId src, const Encoding& enc, LineAddr full_line) override;
 
+  /// Checkpoint save/load — mirrors StrideSender::save.
+  void save(SnapshotWriter& w) const override {
+    ReceiverDecompressor::save(w);
+    const_cast<StrideReceiver*>(this)->snapshot_io(w);
+  }
+  void load(SnapshotReader& r) override {
+    ReceiverDecompressor::load(r);
+    snapshot_io(r);
+  }
+
  private:
+  template <typename Ar>
+  void snapshot_io(Ar& ar) {
+    ar.field(base_);
+    ar.verify(low_bytes_);
+  }
+
   std::vector<LineAddr> base_;
   unsigned low_bytes_ = 0;
 };

@@ -17,8 +17,9 @@ Core::Core(NodeId id, const Config& cfg, Workload* workload, protocol::L1Cache* 
 }
 
 void Core::account_idle(Cycle n) {
-  TCMP_DCHECK(!runnable());
-  if (done_) return;  // the seed loop's tick() is a pure no-op once done
+  TCMP_DCHECK(!runnable() || drained());
+  // tick() is a pure no-op for a done or fence-parked core: no accounting.
+  if (drained()) return;
   blocked_cycles_ += n;
   blocked_counter_ += n.value();
 }
@@ -46,6 +47,23 @@ LineAddr Core::next_code_line() {
     code_cursor_ = pc_rng_.next_below(code_lines_);
   }
   return LineAddr{core::kCodeBaseLine.value() + code_cursor_};
+}
+
+void Core::warm_advance_istream(std::uint64_t n) {
+  if (icache_ == nullptr) return;
+  while (n > 0) {
+    if (ifetch_budget_ == 0) {
+      // Mirrors tick()'s front-end, including the re-fetch-same-line rule:
+      // a line rolled before a stall is kept, not re-rolled.
+      if (!have_pending_line_) pending_code_line_ = next_code_line();
+      have_pending_line_ = false;
+      icache_->warm_install(pending_code_line_);
+      ifetch_budget_ = cfg_.ifetch_interval;
+    }
+    const auto step = std::min<std::uint64_t>(n, ifetch_budget_);
+    ifetch_budget_ -= static_cast<unsigned>(step);
+    n -= step;
+  }
 }
 
 void Core::on_ifill() {
@@ -101,6 +119,7 @@ void Core::tick(Cycle now) {
       continue;
     }
     if (!has_op_) {
+      if (fenced_) return;  // park at the op boundary (sampling fence)
       op_ = workload_->next(id_);
       has_op_ = true;
     }

@@ -30,6 +30,13 @@ struct StallSnapshot {
   LineAddr line{};      ///< meaningful only while `mem` is set
   bool mem = false;     ///< blocked on a data fill of `line`
   bool ifetch = false;  ///< blocked on an instruction fetch
+
+  template <typename Ar>
+  void snapshot_io(Ar& ar) {
+    ar.field(line);
+    ar.field(mem);
+    ar.field(ifetch);
+  }
 };
 
 class Core final : public sim::Scheduled {
@@ -87,11 +94,46 @@ class Core final : public sim::Scheduled {
     out.ifetch = wait_ifetch_;
   }
 
+  /// Sampling fence (cmp/sampling.hpp): a fenced core finishes the
+  /// operation it is executing (including any outstanding miss) but does
+  /// not fetch the next one from the workload, parking at an op boundary
+  /// where the functional fast-forward can take over the stream.
+  void set_fenced(bool f) { fenced_ = f; }
+  [[nodiscard]] bool fenced() const { return fenced_; }
+  /// Fenced and parked at an op boundary (or finished). Cores waiting at a
+  /// barrier are NOT drained — the sampling driver treats them as
+  /// handoff-ready and completes the barrier functionally when their peers'
+  /// streams reach it (docs/checkpointing.md).
+  [[nodiscard]] bool drained() const {
+    return done_ || (fenced_ && !has_op_ && compute_left_ == 0 && !blocked());
+  }
+  /// Functional fast-forward: this core's kDone was consumed outside the
+  /// detailed model; mark it finished exactly as tick() would have.
+  void warm_mark_done() {
+    done_ = true;
+    ++finished_;
+  }
+  /// Functional fast-forward: this core's stream reached a barrier op.
+  /// Enter the same wait state tick() would have; the barrier controller's
+  /// release_barrier() clears it via barrier_release().
+  void warm_arrive_barrier() {
+    TCMP_DCHECK(!wait_barrier_ && !has_op_);
+    wait_barrier_ = true;
+  }
+  /// Functional fast-forward: advance the instruction-fetch walk as if `n`
+  /// instructions retired. The walk is deterministic in instruction count
+  /// (budget countdown + pc_rng_ draws), so this reproduces the exact
+  /// line sequence the detailed front-end would have fetched, warming the
+  /// I-cache silently along the way — the cursor, RNG, and I-cache contents
+  /// all re-enter detailed mode consistent with the stream position.
+  void warm_advance_istream(std::uint64_t n);
+
   /// Scheduled contract: a runnable core issues every cycle; a blocked or
   /// finished one does nothing until an external fill / barrier release
   /// arrives (which can only land on a cycle another component keeps live).
+  /// A drained (fence-parked) core is likewise event-free until unfenced.
   [[nodiscard]] Cycle next_event() const override {
-    return runnable() ? sim::kEveryCycle : kNeverCycle;
+    return runnable() && !drained() ? sim::kEveryCycle : kNeverCycle;
   }
   [[nodiscard]] bool quiescent() const override { return done_; }
 
@@ -112,12 +154,41 @@ class Core final : public sim::Scheduled {
     --blocked_counter_;
   }
 
+  /// Checkpoint serialization (common/snapshot.hpp): the full execution
+  /// cursor — front-end state, in-progress op, wait flags, instruction and
+  /// blocked-cycle totals, and the PC random stream.
+  template <typename Ar>
+  void snapshot_io(Ar& ar) {
+    ar.section("core");
+    ar.verify(id_);
+    ar.verify(code_lines_);
+    ar.field(pc_rng_);
+    ar.field(code_cursor_);
+    ar.field(ifetch_budget_);
+    ar.field(pending_code_line_);
+    ar.field(have_pending_line_);
+    ar.field(wait_ifetch_);
+    ar.field(done_);
+    ar.field(wait_fill_);
+    ar.field(wait_barrier_);
+    ar.field(wait_line_);
+    ar.field(fill_retires_instr_);
+    ar.field(compute_left_);
+    ar.field(has_op_);
+    ar.field(op_);
+    ar.field(instructions_);
+    ar.field(blocked_cycles_);
+    ar.field(fenced_);
+  }
+
  private:
   NodeId id_;
+  // tcmplint: snapshot-exempt (construction parameter, never mutates)
   Config cfg_;
   Workload* workload_;
   protocol::L1Cache* l1_;
   StatRegistry* stats_;
+  // tcmplint: snapshot-exempt (callback wired by the system constructor)
   BarrierFn on_barrier_;
 
   [[nodiscard]] LineAddr next_code_line();
@@ -141,6 +212,7 @@ class Core final : public sim::Scheduled {
   Op op_{};
   std::uint64_t instructions_ = 0;
   Cycle blocked_cycles_{0};
+  bool fenced_ = false;  ///< sampling fence: park at the next op boundary
   // Interned stat handles (hot path: every ticked cycle).
   CounterRef blocked_counter_;
   CounterRef ifetch_stalls_;

@@ -7,7 +7,13 @@
 #include <cstdint>
 #include <string>
 
+#include "common/check.hpp"
 #include "common/types.hpp"
+
+namespace tcmp {
+class SnapshotWriter;
+class SnapshotReader;
+}
 
 namespace tcmp::core {
 
@@ -35,6 +41,14 @@ struct Op {
   static Op store(LineAddr line) { return {OpKind::kStore, line, 0}; }
   static Op barrier(std::uint32_t id) { return {OpKind::kBarrier, LineAddr{}, id}; }
   static Op done() { return {OpKind::kDone, LineAddr{}, 0}; }
+
+  /// Checkpoint serialization (common/snapshot.hpp).
+  template <typename Ar>
+  void snapshot_io(Ar& ar) {
+    ar.field(kind);
+    ar.field(line);
+    ar.field(count);
+  }
 };
 
 class Workload {
@@ -54,6 +68,18 @@ class Workload {
   /// Size of the program text in cache lines (shared read-only by all cores,
   /// SPMD-style). Drives the instruction-fetch model.
   [[nodiscard]] virtual std::uint64_t code_lines() const { return 512; }
+
+  /// Checkpoint support (common/snapshot.hpp): workloads whose per-core
+  /// cursors can be serialized and restored override all three. A workload
+  /// identity string is part of the snapshot fingerprint, so a snapshot can
+  /// only restore onto the same workload configuration.
+  [[nodiscard]] virtual bool can_snapshot() const { return false; }
+  virtual void save(SnapshotWriter&) const {
+    TCMP_CHECK_MSG(false, "this workload does not support checkpointing");
+  }
+  virtual void load(SnapshotReader&) {
+    TCMP_CHECK_MSG(false, "this workload does not support checkpointing");
+  }
 };
 
 /// Line address where the (shared) program text is laid out.

@@ -97,6 +97,26 @@ class TileNic final : public sim::Scheduled {
     return true;
   }
 
+  /// Checkpoint serialization (common/snapshot.hpp): per-class compressor
+  /// state (via the virtual save/load seam), sequence counters and reorder
+  /// windows, so a restored NIC decodes exactly where it left off.
+  template <typename Ar>
+  void snapshot_io(Ar& ar) {
+    ar.section("nic");
+    for (ClassState& cs : classes_) {
+      if constexpr (Ar::kIsWriter) {
+        cs.sender->save(ar);
+        cs.receiver->save(ar);
+      } else {
+        cs.sender->load(ar);
+        cs.receiver->load(ar);
+      }
+      ar.field(cs.next_send_seq);
+      ar.field(cs.next_recv_seq);
+      ar.field(cs.reorder);
+    }
+  }
+
  private:
   struct ClassState {
     std::unique_ptr<compression::SenderCompressor> sender;
@@ -113,8 +133,11 @@ class TileNic final : public sim::Scheduled {
                           const protocol::CoherenceMsg& msg,
                           const DeliverFn& deliver);
 
+  // tcmplint: snapshot-exempt (construction parameter, never mutates)
   NodeId id_;
+  // tcmplint: snapshot-exempt (construction parameter, never mutates)
   compression::SchemeConfig scheme_;
+  // tcmplint: snapshot-exempt (construction parameter, never mutates)
   wire::LinkStyle style_;
   noc::Network* net_;
   StatRegistry* stats_;

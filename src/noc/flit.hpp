@@ -31,6 +31,23 @@ struct Flit {
   std::uint16_t wire_cycles = 0;   ///< tail: accumulated link-traversal cycles
   Cycle injected_at{0};          ///< head: packet injection time (latency stats)
   protocol::CoherenceMsg msg{};   ///< valid on tail flits only
+
+  /// Checkpoint serialization (common/snapshot.hpp): in-flight flits travel
+  /// whole, bookkeeping included.
+  template <typename Ar>
+  void snapshot_io(Ar& ar) {
+    ar.field(packet_id);
+    ar.field(src);
+    ar.field(dst);
+    ar.field(vnet);
+    ar.field(head);
+    ar.field(tail);
+    ar.field(active_bits);
+    ar.field(queue_cycles);
+    ar.field(wire_cycles);
+    ar.field(injected_at);
+    ar.field(msg);
+  }
 };
 
 }  // namespace tcmp::noc

@@ -142,10 +142,33 @@ class Router {
   [[nodiscard]] unsigned num_vcs() const { return cfg_.vcs_per_vnet * cfg_.vnets; }
   [[nodiscard]] NodeId id() const { return id_; }
 
+  /// Checkpoint serialization (common/snapshot.hpp): every input VC buffer,
+  /// output VC allocation/credit state, in-flight link arrivals and credit
+  /// returns. Wiring (downstream pointers, routes, eject fns) is rebuilt by
+  /// construction and not serialized.
+  template <typename Ar>
+  void snapshot_io(Ar& ar) {
+    ar.field(buffered_);
+    ar.field(arrivals_pending_);
+    ar.field(input_);
+    for (OutputPort& p : output_) {
+      ar.field(p.vcs);
+      ar.field(p.sa_rr);
+    }
+    for (auto& q : arrivals_) ar.field(q);
+    ar.field(credit_returns_);
+  }
+
  private:
   struct BufferedFlit {
     Flit flit;
     Cycle buffered_at{0};
+
+    template <typename Ar>
+    void snapshot_io(Ar& ar) {
+      ar.field(flit);
+      ar.field(buffered_at);
+    }
   };
 
   struct InputVc {
@@ -158,6 +181,16 @@ class Router {
     bool vc_allocated = false;
     unsigned out_vc = 0;
     Cycle allocated_at{0};
+
+    template <typename Ar>
+    void snapshot_io(Ar& ar) {
+      ar.field(buffer);
+      ar.field(routed);
+      ar.field(out_port);
+      ar.field(vc_allocated);
+      ar.field(out_vc);
+      ar.field(allocated_at);
+    }
   };
 
   struct OutputVc {
@@ -165,6 +198,14 @@ class Router {
     unsigned holder_port = 0;
     unsigned holder_vc = 0;
     unsigned credits = 0;
+
+    template <typename Ar>
+    void snapshot_io(Ar& ar) {
+      ar.field(held);
+      ar.field(holder_port);
+      ar.field(holder_vc);
+      ar.field(credits);
+    }
   };
 
   struct OutputPort {
@@ -181,6 +222,12 @@ class Router {
   struct LinkArrival {
     unsigned vc = 0;
     Flit flit;
+
+    template <typename Ar>
+    void snapshot_io(Ar& ar) {
+      ar.field(vc);
+      ar.field(flit);
+    }
   };
 
   void send_credit(unsigned in_port, unsigned vc, Cycle now);
@@ -190,10 +237,14 @@ class Router {
   void allocate_busy(Cycle now);
   void switch_busy(Cycle now);
 
+  // tcmplint: snapshot-exempt (construction parameter, never mutates)
   NodeId id_;
+  // tcmplint: snapshot-exempt (construction parameter, never mutates)
   Config cfg_;
   StatRegistry* stats_;
+  // tcmplint: snapshot-exempt (stat-name prefix derived at construction)
   std::string prefix_;
+  // tcmplint: snapshot-exempt (topology-derived at construction)
   std::vector<std::uint8_t> route_table_;  ///< destination -> output port
   CounterRef traversals_;  ///< interned stat handles (hot path)
   CounterRef flit_hops_;

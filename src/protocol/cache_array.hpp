@@ -32,6 +32,14 @@ class CacheArray {
     std::uint64_t lru_stamp = 0;
     bool valid = false;
     Payload payload{};
+
+    template <typename Ar>
+    void snapshot_io(Ar& ar) {
+      ar.field(tag);
+      ar.field(lru_stamp);
+      ar.field(valid);
+      ar.field(payload);
+    }
   };
 
   CacheArray(unsigned sets, unsigned ways) : sets_(sets), ways_(ways), lines_(sets * ways) {
@@ -118,6 +126,16 @@ class CacheArray {
     return static_cast<unsigned>(key.value() & (sets_ - 1));
   }
   [[nodiscard]] std::uint64_t tag_of(Key key) const { return key.value() / sets_; }
+
+  /// Checkpoint serialization (common/snapshot.hpp): geometry is verified
+  /// (construction-time shape), lines and the LRU clock restore exactly.
+  template <typename Ar>
+  void snapshot_io(Ar& ar) {
+    ar.verify(sets_);
+    ar.verify(ways_);
+    ar.field(lines_);
+    ar.field(clock_);
+  }
 
  private:
   unsigned sets_;

@@ -123,6 +123,28 @@ struct CoherenceMsg {
   /// index; 0 on the homogeneous baseline). Telemetry-only mirror of the
   /// het::MappingDecision — not itself modelled on the wire.
   std::uint8_t wire_class = 0;
+
+  /// Checkpoint serialization (common/snapshot.hpp): in-flight messages
+  /// travel whole, including the validation/telemetry tags, so a restored
+  /// run replays the identical delivery sequence.
+  template <typename Ar>
+  void snapshot_io(Ar& ar) {
+    ar.field(type);
+    ar.field(src);
+    ar.field(dst);
+    ar.field(dst_unit);
+    ar.field(ack_unit);
+    ar.field(line);
+    ar.field(requester);
+    ar.field(ack_count);
+    ar.field(dirty_data);
+    ar.field(version);
+    ar.field(enc);
+    ar.field(seq);
+    ar.field(trace_id);
+    ar.field(slack_class);
+    ar.field(wire_class);
+  }
 };
 
 }  // namespace tcmp::protocol

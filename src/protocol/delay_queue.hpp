@@ -51,6 +51,35 @@ class DelayQueue {
     return heap_.empty() ? kNeverCycle : heap_.top().ready_at;
   }
 
+  /// Checkpoint serialization (common/snapshot.hpp). The heap is drained
+  /// from a copy in pop order — (ready_at, seq) is a total order, so the
+  /// serialized sequence (and the rebuilt heap's pop order) is independent
+  /// of the internal array layout.
+  template <typename Ar>
+  void snapshot_io(Ar& ar) {
+    ar.field(next_seq_);
+    if constexpr (Ar::kIsWriter) {
+      ar.raw_u64(heap_.size());
+      auto copy = heap_;
+      while (!copy.empty()) {
+        Node n = copy.top();
+        copy.pop();
+        ar.field(n.ready_at);
+        ar.field(n.seq);
+        ar.field(n.item);
+      }
+    } else {
+      heap_ = {};
+      for (std::uint64_t n = ar.raw_u64(); n > 0; --n) {
+        Node node{};
+        ar.field(node.ready_at);
+        ar.field(node.seq);
+        ar.field(node.item);
+        heap_.push(std::move(node));
+      }
+    }
+  }
+
  private:
   struct Node {
     Cycle ready_at;
@@ -93,10 +122,22 @@ class FifoDelayQueue {
     return q_.empty() ? kNeverCycle : q_.front().ready_at;
   }
 
+  /// Checkpoint serialization (common/snapshot.hpp).
+  template <typename Ar>
+  void snapshot_io(Ar& ar) {
+    ar.field(q_);
+  }
+
  private:
   struct Node {
     Cycle ready_at{};
     T item{};
+
+    template <typename Ar>
+    void snapshot_io(Ar& ar) {
+      ar.field(ready_at);
+      ar.field(item);
+    }
   };
   SmallQueue<Node, 4> q_;
 };

@@ -527,6 +527,114 @@ void Directory::start_recall(Array::Line& l) {
   ++busy_lines_;
 }
 
+Directory::WarmGrant Directory::warm_access(LineAddr line, NodeId core,
+                                            bool is_write,
+                                            const WarmVersionFn& l1_version,
+                                            const WarmDropFn& l1_drop,
+                                            const WarmDowngradeFn& l1_downgrade) {
+  TCMP_DCHECK(line.value() % n_nodes_ == id_);
+  const DirKey key = key_of(line);
+  TCMP_DCHECK(mem_txns_.find(line) == mem_txns_.end());
+  Array::Line* l = array_.find(key);
+  if (l == nullptr) {
+    // Functional L2 fill. The eviction path mirrors try_install_fill +
+    // recall, collapsed to its end state: drop (and for an owner, harvest
+    // the version of) every L1 copy, record the memory writeback version,
+    // install the new line at the version memory last saw.
+    Array::Line* victim = array_.victim(key);
+    if (victim->valid) {
+      DirEntry& ve = victim->payload;
+      TCMP_CHECK_MSG(!is_busy(ve.state) && ve.pending.empty(),
+                     "warm L2 eviction hit an in-flight transaction (the "
+                     "machine was not drained)");
+      const LineAddr vline = line_of_key(array_.address_of(*victim));
+      std::uint32_t v = ve.version;
+      if (ve.state == DirState::kShared) {
+        for (unsigned n = 0; n < n_nodes_; ++n)
+          if (ve.sharers.test(n)) l1_drop(NodeId{n}, vline);
+      } else if (ve.state == DirState::kExclusive) {
+        v = std::max(v, l1_version(ve.owner, vline));
+        l1_drop(ve.owner, vline);
+      }
+      memory_versions_[vline] = v;
+      array_.invalidate(*victim);
+    }
+    array_.fill(*victim, key);
+    if (auto mv = memory_versions_.find(line); mv != memory_versions_.end()) {
+      victim->payload.version = mv->second;
+    }
+    l = victim;
+  }
+  array_.touch(*l);
+  DirEntry& e = l->payload;
+  TCMP_CHECK_MSG(!is_busy(e.state),
+                 "warm access hit a busy line (the machine was not drained)");
+
+  if (!is_write) {
+    switch (e.state) {
+      case DirState::kInvalid:
+        // MESI: grant Exclusive when nobody else holds the line.
+        e.state = DirState::kExclusive;
+        e.owner = core;
+        return WarmGrant{L1State::kE, e.version};
+      case DirState::kShared:
+        e.sharers.set(core);
+        return WarmGrant{L1State::kS, e.version};
+      case DirState::kExclusive: {
+        // Functional FwdGetS + Revision: the owner downgrades to S and its
+        // (possibly newer) version becomes the L2 copy's.
+        TCMP_CHECK(e.owner != core);
+        const std::uint32_t v = std::max(e.version, l1_version(e.owner, line));
+        l1_downgrade(e.owner, line);
+        e.version = v;
+        e.l2_dirty = true;
+        e.state = DirState::kShared;
+        e.sharers.clear();
+        e.sharers.set(e.owner);
+        e.sharers.set(core);
+        e.owner = kInvalidNode;
+        return WarmGrant{L1State::kS, v};
+      }
+      default:
+        TCMP_CHECK(false);
+        return WarmGrant{};
+    }
+  }
+
+  // Warm store: every other copy is dropped and `core` becomes the owner.
+  std::uint32_t v = e.version;
+  if (e.state == DirState::kShared) {
+    for (unsigned n = 0; n < n_nodes_; ++n)
+      if (e.sharers.test(n) && NodeId{n} != core) l1_drop(NodeId{n}, line);
+  } else if (e.state == DirState::kExclusive) {
+    TCMP_CHECK(e.owner != core);
+    v = std::max(v, l1_version(e.owner, line));
+    l1_drop(e.owner, line);
+    e.version = v;
+    e.l2_dirty = true;
+  }
+  e.state = DirState::kExclusive;
+  e.owner = core;
+  e.sharers.clear();
+  // The store bumps the new holder's version past everything seen so far.
+  return WarmGrant{L1State::kM, v + 1};
+}
+
+void Directory::warm_writeback(LineAddr line, NodeId owner, bool was_modified,
+                               std::uint32_t version) {
+  Array::Line* l = array_.find(key_of(line));
+  TCMP_CHECK_MSG(l != nullptr, "warm writeback of a line not resident in L2 "
+                               "(inclusivity violated)");
+  DirEntry& e = l->payload;
+  TCMP_CHECK(e.state == DirState::kExclusive && e.owner == owner);
+  e.state = DirState::kInvalid;
+  e.owner = kInvalidNode;
+  if (was_modified) {
+    e.version = version;
+    e.l2_dirty = true;
+  }
+}
+
 void Directory::finish_recall(Array::Line& l) {
   DirEntry& e = l.payload;
   TCMP_CHECK(e.state == DirState::kBusyRecall);

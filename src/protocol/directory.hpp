@@ -31,6 +31,7 @@
 #include "protocol/cache_array.hpp"
 #include "protocol/coherence_msg.hpp"
 #include "protocol/delay_queue.hpp"
+#include "protocol/l1_cache.hpp"
 #include "protocol/sharer_mask.hpp"
 #include "sim/scheduled.hpp"
 
@@ -113,6 +114,56 @@ class Directory final : public sim::Scheduled {
   /// Test hook: validation version of the L2 copy (0 if absent).
   [[nodiscard]] std::uint32_t version_of(LineAddr line) const;
 
+  // --- Functional warm-up (SMARTS fast-forward; cmp/sampling.cpp) ----------
+  // Directory-side effect of one load/store applied instantly: no messages,
+  // no latency, no stat bumps. Only legal while the machine is drained (no
+  // in-flight transactions anywhere), so no Busy*/MemTxn state can exist on
+  // the touched lines. Effects on other tiles' L1 copies are delegated to
+  // the caller-supplied callbacks (the directory cannot reach them).
+
+  /// L1-side install the caller must apply for the accessing core.
+  struct WarmGrant {
+    L1State l1_state = L1State::kS;
+    std::uint32_t version = 0;
+  };
+  // Callbacks name the line explicitly: the functional L2-eviction path
+  // recalls copies of the *victim* line, not the accessed one.
+  using WarmVersionFn = std::function<std::uint32_t(NodeId, LineAddr)>;
+  using WarmDropFn = std::function<void(NodeId, LineAddr)>;
+  using WarmDowngradeFn = std::function<void(NodeId, LineAddr)>;
+  /// Apply the protocol's end state for a warm load/store by `core` (which
+  /// must not already hold sufficient permission). Maintains inclusivity and
+  /// version monotonicity: functional L2 evictions recall L1 copies via
+  /// `l1_drop`, reading the owner's version via `l1_version`; warm loads on
+  /// an Exclusive line downgrade the owner via `l1_downgrade`.
+  WarmGrant warm_access(LineAddr line, NodeId core, bool is_write,
+                        const WarmVersionFn& l1_version,
+                        const WarmDropFn& l1_drop,
+                        const WarmDowngradeFn& l1_downgrade);
+  /// Functional writeback of a warm L1 eviction (M or E line): clears the
+  /// owner exactly as the PutM/PutE exchange would have.
+  void warm_writeback(LineAddr line, NodeId owner, bool was_modified,
+                      std::uint32_t version);
+
+  /// Checkpoint serialization (common/snapshot.hpp): the directory array
+  /// (entries with their pending queues), both latency pipes, in-flight
+  /// memory transactions, the off-chip version map and occupancy gauges.
+  template <typename Ar>
+  void snapshot_io(Ar& ar) {
+    ar.section("dir");
+    ar.verify(id_);
+    ar.verify(n_nodes_);
+    ar.field(cfg_.memory_latency);  // warmup/measured boundary state
+    ar.field(array_);
+    ar.field(access_pipe_);
+    ar.field(memory_pipe_);
+    ar.field(mem_txns_);
+    ar.field(memory_versions_);
+    ar.field(busy_lines_);
+    ar.field(queued_msgs_);
+    ar.field(now_);
+  }
+
  private:
   /// Requests parked on a busy line or in-flight fill: almost always empty,
   /// rarely more than a couple deep, so a small-buffer queue keeps the
@@ -133,6 +184,20 @@ class Directory final : public sim::Scheduled {
     std::uint32_t version = 0;  ///< data-flow validation version
     std::uint16_t recall_acks_pending = 0;
     PendingQueue pending;  ///< requests queued while busy
+
+    template <typename Ar>
+    void snapshot_io(Ar& ar) {
+      ar.field(state);
+      ar.field(sharers);
+      ar.field(owner);
+      ar.field(fwd_requester);
+      ar.field(l2_dirty);
+      ar.field(held_put_ack);
+      ar.field(fwd_put);
+      ar.field(version);
+      ar.field(recall_acks_pending);
+      ar.field(pending);
+    }
   };
   using Array = CacheArray<DirEntry, DirKey>;
 
@@ -140,6 +205,12 @@ class Directory final : public sim::Scheduled {
   struct MemTxn {
     bool fill_arrived = false;
     PendingQueue pending;
+
+    template <typename Ar>
+    void snapshot_io(Ar& ar) {
+      ar.field(fill_arrived);
+      ar.field(pending);
+    }
   };
 
   void send(CoherenceMsg msg);
@@ -176,6 +247,7 @@ class Directory final : public sim::Scheduled {
   Config cfg_;
   Array array_;
   StatRegistry* stats_;
+  // tcmplint: snapshot-exempt (send callback wired by the system constructor)
   MsgSink sink_;
   obs::ProtocolHooks* hooks_ = nullptr;
 

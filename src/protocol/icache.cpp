@@ -47,4 +47,14 @@ void ICache::deliver(const CoherenceMsg& msg) {
   if (fill_cb_) fill_cb_();
 }
 
+void ICache::warm_install(LineAddr line) {
+  if (auto* l = array_.find(line)) {
+    array_.touch(*l);
+    return;
+  }
+  auto* slot = array_.victim(line);
+  if (slot->valid) array_.invalidate(*slot);  // read-only: silent eviction
+  array_.fill(*slot, line);
+}
+
 }  // namespace tcmp::protocol

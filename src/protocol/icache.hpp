@@ -39,6 +39,12 @@ class ICache final : public sim::Scheduled {
   /// false blocks the core front-end until the fill callback fires.
   bool fetch(LineAddr line);
 
+  /// Functional warming (cmp/sampling.cpp): end state of a fetch with no
+  /// timing and no messages. Instruction lines are read-only and outside
+  /// the coherence domain, so a silent install is exact — the array ends in
+  /// the same state the detailed fetch path would leave it in.
+  void warm_install(LineAddr line);
+
   void set_fill_callback(FillCallback cb) { fill_cb_ = std::move(cb); }
 
   /// Network-side delivery (only kData replies to our GetInstr).
@@ -48,14 +54,31 @@ class ICache final : public sim::Scheduled {
   /// Purely message-driven: no tick, so never a wake source by itself.
   [[nodiscard]] Cycle next_event() const override { return kNeverCycle; }
 
+  /// Checkpoint serialization (common/snapshot.hpp).
+  template <typename Ar>
+  void snapshot_io(Ar& ar) {
+    ar.section("l1i");
+    ar.verify(id_);
+    ar.field(array_);
+    ar.field(miss_outstanding_);
+    ar.field(miss_line_);
+  }
+
  private:
-  struct Payload {};  // presence only: instruction lines carry no state
+  struct Payload {
+    // presence only: instruction lines carry no state
+    template <typename Ar>
+    void snapshot_io(Ar&) {}
+  };
 
   NodeId id_;
+  // tcmplint: snapshot-exempt (construction parameter, never mutates)
   unsigned n_nodes_;
   CacheArray<Payload> array_;
   StatRegistry* stats_;
+  // tcmplint: snapshot-exempt (send callback wired by the system constructor)
   MsgSink sink_;
+  // tcmplint: snapshot-exempt (fill callback wired by the system constructor)
   FillCallback fill_cb_;
   // Interned stat handles (hot path: every instruction fetch).
   CounterRef fetches_;

@@ -66,6 +66,42 @@ void L1Cache::debug_force_state(LineAddr line, L1State st) {
   l->payload.state = st;
 }
 
+void L1Cache::warm_touch(LineAddr line) {
+  auto* l = array_.find(line);
+  TCMP_DCHECK(l != nullptr);
+  array_.touch(*l);
+}
+
+void L1Cache::warm_set_state(LineAddr line, L1State st, std::uint32_t version) {
+  auto* l = array_.find(line);
+  TCMP_CHECK(l != nullptr);
+  array_.touch(*l);
+  l->payload.state = st;
+  l->payload.version = version;
+}
+
+void L1Cache::warm_drop(LineAddr line) {
+  if (auto* l = array_.find(line)) array_.invalidate(*l);
+}
+
+std::optional<L1Cache::WarmEvicted> L1Cache::warm_install(LineAddr line,
+                                                          L1State st,
+                                                          std::uint32_t version) {
+  TCMP_DCHECK(array_.find(line) == nullptr);
+  TCMP_DCHECK(quiescent());
+  std::optional<WarmEvicted> evicted;
+  Array::Line* v = array_.victim(line);
+  if (v->valid) {
+    evicted = WarmEvicted{array_.address_of(*v), v->payload.state,
+                          v->payload.version};
+    array_.invalidate(*v);
+  }
+  array_.fill(*v, line);
+  v->payload.state = st;
+  v->payload.version = version;
+  return evicted;
+}
+
 AccessResult L1Cache::access(LineAddr line, bool is_write) {
   ++accesses_;
   auto* l = array_.find(line);

@@ -110,10 +110,51 @@ class L1Cache final : public sim::Scheduled {
   /// installing it if absent. Deliberately bypasses the protocol.
   void debug_force_state(LineAddr line, L1State st);
 
+  // --- Functional warm-up (SMARTS fast-forward; cmp/sampling.cpp) ----------
+  // Direct state edits with no messages / stats, legal only while this L1 is
+  // quiescent. The directory-side bookkeeping is the caller's job.
+
+  /// LRU-touch a resident line (warm hit).
+  void warm_touch(LineAddr line);
+  /// Set a resident line's state/version in place (downgrade, store upgrade).
+  void warm_set_state(LineAddr line, L1State st, std::uint32_t version);
+  /// Silently drop a copy if resident (functional invalidation).
+  void warm_drop(LineAddr line);
+  /// A stable line displaced by warm_install, for the caller's functional
+  /// writeback (S lines evict silently, exactly like the detailed protocol).
+  struct WarmEvicted {
+    LineAddr line;
+    L1State state = L1State::kS;
+    std::uint32_t version = 0;
+  };
+  /// Install `line` (must not be resident), evicting if the set is full.
+  std::optional<WarmEvicted> warm_install(LineAddr line, L1State st,
+                                          std::uint32_t version);
+
+  /// Checkpoint serialization (common/snapshot.hpp): the array plus every
+  /// transient-state table, so a restored L1 resumes mid-transaction.
+  template <typename Ar>
+  void snapshot_io(Ar& ar) {
+    ar.section("l1");
+    ar.verify(id_);
+    ar.verify(n_nodes_);
+    ar.verify(reply_partitioning_);
+    ar.field(array_);
+    ar.field(mshrs_);
+    ar.field(evict_buf_);
+    ar.field(deferred_);
+  }
+
  private:
   struct LinePayload {
     L1State state = L1State::kS;
     std::uint32_t version = 0;  ///< bumped on every store (validation)
+
+    template <typename Ar>
+    void snapshot_io(Ar& ar) {
+      ar.field(state);
+      ar.field(version);
+    }
   };
   using Array = CacheArray<LinePayload>;
 
@@ -128,6 +169,20 @@ class L1Cache final : public sim::Scheduled {
     int acks_received = 0;
     std::uint32_t version = 0;     ///< version carried by the data reply
     std::optional<CoherenceMsg> parked_fwd;  ///< forward to service post-fill
+
+    template <typename Ar>
+    void snapshot_io(Ar& ar) {
+      ar.field(is_write);
+      ar.field(upgrade);
+      ar.field(data_received);
+      ar.field(core_notified);
+      ar.field(grant_exclusive);
+      ar.field(drop_after_fill);
+      ar.field(acks_expected);
+      ar.field(acks_received);
+      ar.field(version);
+      ar.field(parked_fwd);
+    }
   };
 
   /// Writeback in flight. kIIA = ownership already yielded to a forward;
@@ -136,6 +191,12 @@ class L1Cache final : public sim::Scheduled {
   struct EvictEntry {
     EvictState state = EvictState::kMIA;
     std::uint32_t version = 0;
+
+    template <typename Ar>
+    void snapshot_io(Ar& ar) {
+      ar.field(state);
+      ar.field(version);
+    }
   };
 
   void send(CoherenceMsg msg);
@@ -157,7 +218,9 @@ class L1Cache final : public sim::Scheduled {
   bool reply_partitioning_;
   Array array_;
   StatRegistry* stats_;
+  // tcmplint: snapshot-exempt (send callback wired by the system constructor)
   MsgSink sink_;
+  // tcmplint: snapshot-exempt (fill callback wired by the system constructor)
   FillCallback fill_cb_;
   obs::ProtocolHooks* hooks_ = nullptr;
   // Interned stat handles (hot path: every access / protocol message).

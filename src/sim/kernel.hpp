@@ -116,8 +116,33 @@ class SimKernel {
   /// Pending one-shot wake requests (coalescing/drain tests).
   [[nodiscard]] std::size_t calendar_size() const { return calendar_.size(); }
 
+  /// Checkpoint serialization (common/snapshot.hpp): only the wake calendar
+  /// is state — components re-register at construction, and the scan stats
+  /// are host-side attribution, not simulation state. The heap is drained
+  /// from a copy in pop order (a total order on Cycle values).
+  template <typename Ar>
+  void snapshot_io(Ar& ar) {
+    if constexpr (Ar::kIsWriter) {
+      ar.raw_u64(calendar_.size());
+      auto copy = calendar_;
+      while (!copy.empty()) {
+        ar.field(copy.top());
+        copy.pop();
+      }
+    } else {
+      calendar_ = {};
+      for (std::uint64_t n = ar.raw_u64(); n > 0; --n) {
+        Cycle c{};
+        ar.field(c);
+        calendar_.push(c);
+      }
+    }
+  }
+
  private:
+  // tcmplint: snapshot-exempt (component pointers re-registered at ctor)
   std::vector<Scheduled*> components_;
+  // tcmplint: snapshot-exempt (host-side self-profiling, not machine state)
   std::vector<ScanStat> scan_stats_;  ///< parallel to components_
   std::priority_queue<Cycle, std::vector<Cycle>, std::greater<>> calendar_;
 };

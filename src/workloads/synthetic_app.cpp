@@ -1,6 +1,7 @@
 #include "workloads/synthetic_app.hpp"
 
 #include "common/check.hpp"
+#include "common/snapshot.hpp"
 
 namespace tcmp::workloads {
 namespace {
@@ -35,6 +36,12 @@ SyntheticApp::SyntheticApp(const AppParams& params, unsigned n_cores)
   shared_base_ = LineAddr{params_.base_line +
                           n_cores_ * params_.num_streams * kStreamGapLines};
 }
+
+void SyntheticApp::save(SnapshotWriter& w) const {
+  const_cast<SyntheticApp*>(this)->snapshot_io(w);
+}
+
+void SyntheticApp::load(SnapshotReader& r) { snapshot_io(r); }
 
 LineAddr SyntheticApp::apply_layout(LineAddr region_base, std::uint64_t offset,
                                 std::uint64_t salt) const {

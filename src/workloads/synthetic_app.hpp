@@ -20,6 +20,11 @@ class SyntheticApp final : public core::Workload {
   [[nodiscard]] bool has_warmup() const override { return params_.warmup_ops() != 0; }
   [[nodiscard]] std::uint64_t code_lines() const override { return params_.code_lines; }
 
+  /// Checkpointable: per-core cursors plus their RNGs are the whole state.
+  [[nodiscard]] bool can_snapshot() const override { return true; }
+  void save(SnapshotWriter& w) const override;
+  void load(SnapshotReader& r) override;
+
   [[nodiscard]] const AppParams& params() const { return params_; }
 
  private:
@@ -40,6 +45,26 @@ class SyntheticApp final : public core::Workload {
     bool emit_compute = false;        ///< interleave compute after each mem op
     bool warmup_barrier_emitted = false;
     bool finished = false;
+
+    template <typename Ar>
+    void snapshot_io(Ar& ar) {
+      ar.field(rng);
+      ar.field(ops_done);
+      ar.field(stream_cursor);
+      ar.field(next_stream);
+      ar.field(chase_cursor);
+      ar.field(barriers_hit);
+      ar.field(pending_store);
+      ar.field(pending_store_line);
+      ar.field(last_line);
+      ar.field(dwell_left);
+      ar.field(shared_cursor);
+      ar.field(shared_cursor_valid);
+      ar.field(shared_epoch);
+      ar.field(emit_compute);
+      ar.field(warmup_barrier_emitted);
+      ar.field(finished);
+    }
   };
 
   [[nodiscard]] LineAddr private_line(unsigned core, CoreState& st);
@@ -48,9 +73,19 @@ class SyntheticApp final : public core::Workload {
                                   std::uint64_t salt) const;
   core::Op memory_op(unsigned core, CoreState& st);
 
+  /// One body for both archive directions (save() and load() dispatch here).
+  template <typename Ar>
+  void snapshot_io(Ar& ar) {
+    ar.section("synthetic-app");
+    ar.verify(n_cores_);
+    ar.verify(params_.seed);
+    ar.field(cores_);
+  }
+
   AppParams params_;
   unsigned n_cores_;
   std::vector<CoreState> cores_;
+  // tcmplint: snapshot-exempt (config-derived constant, set at construction)
   LineAddr shared_base_;
 };
 

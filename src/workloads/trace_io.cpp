@@ -1,0 +1,307 @@
+#include "workloads/trace_io.hpp"
+
+#include <algorithm>
+#include <ios>
+
+#include "common/check.hpp"
+#include "common/snapshot.hpp"
+
+namespace tcmp::workloads {
+namespace {
+
+constexpr std::uint32_t kFlagHasWarmup = 1u << 0;
+
+void put_u32(std::ostream& o, std::uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  o.write(b, 4);
+}
+
+void put_u64(std::ostream& o, std::uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  o.write(b, 8);
+}
+
+std::uint32_t get_u32(std::istream& in) {
+  char b[4];
+  in.read(b, 4);
+  TCMP_CHECK_MSG(in.good(), "tct: truncated file");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(b[i])) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(std::istream& in) {
+  char b[8];
+  in.read(b, 8);
+  TCMP_CHECK_MSG(in.good(), "tct: truncated file");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(b[i])) << (8 * i);
+  return v;
+}
+
+[[nodiscard]] std::uint64_t zigzag(std::int64_t d) {
+  return (static_cast<std::uint64_t>(d) << 1) ^
+         static_cast<std::uint64_t>(d >> 63);
+}
+
+[[nodiscard]] std::int64_t unzigzag(std::uint64_t z) {
+  return static_cast<std::int64_t>(z >> 1) ^
+         -static_cast<std::int64_t>(z & 1);
+}
+
+void encode_varint(std::vector<std::uint8_t>& buf, std::uint64_t v) {
+  while (v >= 0x80) {
+    buf.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf.push_back(static_cast<std::uint8_t>(v));
+}
+
+/// Event-kind codes in the opcode byte's top 2 bits.
+enum : std::uint8_t { kOpLoad = 0, kOpStore = 1, kOpCompute = 2, kOpBarrier = 3 };
+
+/// Header offset of the per-core first-block table.
+[[nodiscard]] std::uint64_t first_block_table_at() { return 24; }
+[[nodiscard]] std::uint64_t event_count_table_at(unsigned n_cores) {
+  return 24 + 8ull * n_cores;
+}
+
+}  // namespace
+
+// --- TraceRecorder ---------------------------------------------------------
+
+TraceRecorder::TraceRecorder(const std::string& path, unsigned n_cores,
+                             bool has_warmup, std::uint64_t code_lines)
+    : out_(path, std::ios::in | std::ios::out | std::ios::trunc |
+                     std::ios::binary),
+      path_(path),
+      cores_(n_cores) {
+  TCMP_CHECK_MSG(out_.good(), "tct: cannot open output file");
+  out_.write(kTraceMagic, sizeof kTraceMagic);
+  put_u32(out_, kTraceFormatVersion);
+  put_u32(out_, n_cores);
+  put_u32(out_, has_warmup ? kFlagHasWarmup : 0);
+  put_u64(out_, code_lines);
+  // First-block and event-count tables, back-patched by close().
+  for (unsigned c = 0; c < 2 * n_cores; ++c) put_u64(out_, 0);
+  for (unsigned c = 0; c < n_cores; ++c)
+    cores_[c].patch_at = first_block_table_at() + 8ull * c;
+}
+
+TraceRecorder::~TraceRecorder() { close(); }
+
+void TraceRecorder::record(unsigned core, const core::Op& op) {
+  TCMP_CHECK(core < cores_.size());
+  TCMP_CHECK_MSG(!closed_, "tct: record after close");
+  CoreStream& cs = cores_[core];
+  auto& buf = cs.buf;
+  switch (op.kind) {
+    case core::OpKind::kLoad:
+    case core::OpKind::kStore: {
+      const std::uint8_t kind =
+          op.kind == core::OpKind::kLoad ? kOpLoad : kOpStore;
+      // Stride-style base+delta (see header): zigzag of the signed step
+      // from this core's previous address, minimal-length little-endian.
+      const std::uint64_t z =
+          zigzag(static_cast<std::int64_t>(op.line.value() - cs.prev_line));
+      std::uint8_t n = 0;
+      for (std::uint64_t rest = z; rest != 0; rest >>= 8) ++n;
+      buf.push_back(static_cast<std::uint8_t>(kind << 6 | n));
+      for (std::uint8_t i = 0; i < n; ++i)
+        buf.push_back(static_cast<std::uint8_t>((z >> (8 * i)) & 0xFF));
+      cs.prev_line = op.line.value();
+      break;
+    }
+    case core::OpKind::kCompute:
+    case core::OpKind::kBarrier: {
+      const std::uint8_t kind =
+          op.kind == core::OpKind::kCompute ? kOpCompute : kOpBarrier;
+      if (op.count < 63) {
+        buf.push_back(static_cast<std::uint8_t>(kind << 6 | op.count));
+      } else {
+        buf.push_back(static_cast<std::uint8_t>(kind << 6 | 63));
+        encode_varint(buf, op.count);
+      }
+      break;
+    }
+    case core::OpKind::kDone:
+      return;  // end-of-stream is implicit
+  }
+  ++cs.events;
+  ++total_events_;
+  if (buf.size() >= kTraceBlockBytes) flush(core);
+}
+
+void TraceRecorder::flush(unsigned core) {
+  CoreStream& cs = cores_[core];
+  if (cs.buf.empty()) return;
+  out_.seekp(0, std::ios::end);
+  const std::uint64_t offset = static_cast<std::uint64_t>(out_.tellp());
+  put_u64(out_, 0);  // next_block_offset, patched when the next block lands
+  put_u32(out_, static_cast<std::uint32_t>(cs.buf.size()));
+  out_.write(reinterpret_cast<const char*>(cs.buf.data()),
+             static_cast<std::streamsize>(cs.buf.size()));
+  // Link this block into the core's chain.
+  out_.seekp(static_cast<std::streamoff>(cs.patch_at));
+  put_u64(out_, offset);
+  cs.patch_at = offset;  // the new block's next_block_offset field
+  cs.buf.clear();
+}
+
+void TraceRecorder::close() {
+  if (closed_) return;
+  closed_ = true;
+  for (unsigned c = 0; c < cores_.size(); ++c) flush(c);
+  out_.seekp(
+      static_cast<std::streamoff>(event_count_table_at(
+          static_cast<unsigned>(cores_.size()))));
+  for (const CoreStream& cs : cores_) put_u64(out_, cs.events);
+  out_.flush();
+  TCMP_CHECK_MSG(out_.good(), "tct: write failed");
+}
+
+// --- BinaryTraceWorkload ---------------------------------------------------
+
+BinaryTraceWorkload::BinaryTraceWorkload(const std::string& path)
+    : path_(path) {
+  std::ifstream header(path, std::ios::binary);
+  TCMP_CHECK_MSG(header.good(), "tct: cannot open file");
+  char magic[sizeof kTraceMagic];
+  header.read(magic, sizeof magic);
+  TCMP_CHECK_MSG(header.good() && std::equal(std::begin(magic), std::end(magic),
+                                             std::begin(kTraceMagic)),
+                 "tct: not a binary trace (bad magic)");
+  const std::uint32_t version = get_u32(header);
+  TCMP_CHECK_MSG(version >= 1 && version <= kTraceFormatVersion,
+                 "tct: format version not supported by this build");
+  n_cores_ = get_u32(header);
+  TCMP_CHECK_MSG(n_cores_ >= 1 && n_cores_ <= 4096, "tct: bad core count");
+  const std::uint32_t flags = get_u32(header);
+  has_warmup_ = (flags & kFlagHasWarmup) != 0;
+  code_lines_ = get_u64(header);
+  first_block_.resize(n_cores_);
+  for (auto& off : first_block_) off = get_u64(header);
+  for (unsigned c = 0; c < n_cores_; ++c) total_events_ += get_u64(header);
+  cursors_.resize(n_cores_);
+  for (Cursor& c : cursors_) {
+    c.in = std::make_unique<std::ifstream>(path, std::ios::binary);
+    TCMP_CHECK_MSG(c.in->good(), "tct: cannot open file");
+  }
+}
+
+void BinaryTraceWorkload::load_block(Cursor& c, std::uint64_t offset) {
+  c.in->seekg(static_cast<std::streamoff>(offset));
+  c.next_block = get_u64(*c.in);
+  const std::uint32_t bytes = get_u32(*c.in);
+  c.payload.resize(bytes);
+  c.in->read(reinterpret_cast<char*>(c.payload.data()), bytes);
+  TCMP_CHECK_MSG(c.in->good(), "tct: truncated block");
+  c.block_offset = offset;
+  c.pos = 0;
+}
+
+core::Op BinaryTraceWorkload::decode(Cursor& c) {
+  TCMP_DCHECK(c.pos < c.payload.size());
+  const std::uint8_t op = c.payload[c.pos++];
+  const std::uint8_t kind = op >> 6;
+  const std::uint8_t n = op & 63;
+  if (kind == kOpLoad || kind == kOpStore) {
+    TCMP_CHECK_MSG(c.pos + n <= c.payload.size(), "tct: corrupt event");
+    std::uint64_t z = 0;
+    for (std::uint8_t i = 0; i < n; ++i)
+      z |= static_cast<std::uint64_t>(c.payload[c.pos++]) << (8 * i);
+    c.prev_line += static_cast<std::uint64_t>(unzigzag(z));
+    const LineAddr line{c.prev_line};
+    return kind == kOpLoad ? core::Op::load(line) : core::Op::store(line);
+  }
+  std::uint64_t v = n;
+  if (n == 63) {
+    v = 0;
+    unsigned shift = 0;
+    while (true) {
+      TCMP_CHECK_MSG(c.pos < c.payload.size(), "tct: corrupt event");
+      const std::uint8_t byte = c.payload[c.pos++];
+      v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) break;
+      shift += 7;
+    }
+  }
+  const auto count = static_cast<std::uint32_t>(v);
+  return kind == kOpCompute ? core::Op::compute(count)
+                            : core::Op::barrier(count);
+}
+
+core::Op BinaryTraceWorkload::next(unsigned core) {
+  TCMP_CHECK(core < cursors_.size());
+  Cursor& c = cursors_[core];
+  if (c.done) return core::Op::done();
+  if (c.block_offset == 0) {
+    if (first_block_[core] == 0) {
+      c.done = true;
+      return core::Op::done();
+    }
+    load_block(c, first_block_[core]);
+  }
+  while (c.pos >= c.payload.size()) {
+    if (c.next_block == 0) {
+      c.done = true;
+      c.payload.clear();
+      c.payload.shrink_to_fit();
+      return core::Op::done();
+    }
+    load_block(c, c.next_block);
+  }
+  return decode(c);
+}
+
+void BinaryTraceWorkload::save(SnapshotWriter& w) const {
+  w.section("tct");
+  w.verify(n_cores_);
+  for (const Cursor& c : cursors_) {
+    w.field(c.block_offset);
+    w.field(c.pos);
+    w.field(c.prev_line);
+    w.field(c.done);
+  }
+}
+
+void BinaryTraceWorkload::load(SnapshotReader& r) {
+  r.section("tct");
+  r.verify(n_cores_);
+  for (Cursor& c : cursors_) {
+    std::uint64_t block_offset = 0;
+    std::uint64_t pos = 0;
+    r.field(block_offset);
+    r.field(pos);
+    r.field(c.prev_line);
+    r.field(c.done);
+    c.payload.clear();
+    c.block_offset = 0;
+    c.next_block = 0;
+    c.pos = 0;
+    if (!c.done && block_offset != 0) {
+      load_block(c, block_offset);
+      TCMP_CHECK_MSG(pos <= c.payload.size(), "tct: snapshot cursor corrupt");
+      c.pos = pos;
+    }
+  }
+}
+
+// --- RecordingWorkload -----------------------------------------------------
+
+RecordingWorkload::RecordingWorkload(std::shared_ptr<core::Workload> inner,
+                                     const std::string& path, unsigned n_cores)
+    : inner_(std::move(inner)),
+      recorder_(path, n_cores, inner_->has_warmup(), inner_->code_lines()) {}
+
+core::Op RecordingWorkload::next(unsigned core) {
+  const core::Op op = inner_->next(core);
+  if (op.kind != core::OpKind::kDone) recorder_.record(core, op);
+  return op;
+}
+
+}  // namespace tcmp::workloads

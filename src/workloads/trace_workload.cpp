@@ -1,5 +1,6 @@
 #include "workloads/trace_workload.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -7,20 +8,35 @@
 
 namespace tcmp::workloads {
 
-TraceWorkload::TraceWorkload(std::istream& in, unsigned n_cores, std::string name)
-    : streams_(n_cores), name_(std::move(name)) {
+TraceWorkload::TraceWorkload(std::istream& in, unsigned n_cores,
+                             std::string name)
+    : name_(std::move(name)), in_(&in), buffers_(n_cores) {}
+
+std::shared_ptr<TraceWorkload> TraceWorkload::from_file(const std::string& path,
+                                                        unsigned n_cores) {
+  auto file = std::make_shared<std::ifstream>(path);
+  TCMP_CHECK_MSG(file->good(), "trace: cannot open file");
+  auto w = std::make_shared<TraceWorkload>(*file, n_cores, path);
+  w->owned_ = std::move(file);
+  return w;
+}
+
+void TraceWorkload::refill(unsigned core) {
   std::string line;
-  std::size_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
+  while (buffers_[core].empty() && !exhausted_) {
+    if (!std::getline(*in_, line)) {
+      exhausted_ = true;
+      break;
+    }
+    ++line_no_;
     const auto hash = line.find('#');
     if (hash != std::string::npos) line.resize(hash);
     std::istringstream ls(line);
-    unsigned core;
+    unsigned c = 0;
     std::string op;
-    if (!(ls >> core >> op)) continue;  // blank/comment line
-    TCMP_CHECK_MSG(core < n_cores, "trace: core id out of range");
-    auto& stream = streams_[core];
+    if (!(ls >> c >> op)) continue;  // blank/comment line
+    TCMP_CHECK_MSG(c < buffers_.size(), "trace: core id out of range");
+    auto& stream = buffers_[c];
     if (op == "L" || op == "S") {
       std::uint64_t addr = 0;
       ls >> std::hex >> addr;
@@ -41,36 +57,50 @@ TraceWorkload::TraceWorkload(std::istream& in, unsigned n_cores, std::string nam
     } else {
       TCMP_CHECK_MSG(false, "trace: unknown op");
     }
+    max_buffered_ = std::max(max_buffered_, stream.size());
   }
 }
 
-TraceWorkload TraceWorkload::from_file(const std::string& path, unsigned n_cores) {
-  std::ifstream in(path);
-  TCMP_CHECK_MSG(in.good(), "trace: cannot open file");
-  return TraceWorkload(in, n_cores, path);
-}
-
 core::Op TraceWorkload::next(unsigned core) {
-  TCMP_CHECK(core < streams_.size());
-  auto& stream = streams_[core];
+  LockGuard lock(mu_);
+  TCMP_CHECK(core < buffers_.size());
+  auto& stream = buffers_[core];
+  if (stream.empty()) refill(core);
   if (stream.empty()) return core::Op::done();
   core::Op op = stream.front();
   stream.pop_front();
+  ++consumed_;
   return op;
 }
 
-std::size_t TraceWorkload::total_events() const {
-  std::size_t n = 0;
-  for (const auto& s : streams_) n += s.size();
-  return n;
+std::size_t TraceWorkload::events_consumed() const {
+  LockGuard lock(mu_);
+  return consumed_;
+}
+
+std::size_t TraceWorkload::max_buffered() const {
+  LockGuard lock(mu_);
+  return max_buffered_;
 }
 
 void write_trace(std::ostream& out, core::Workload& workload, unsigned n_cores,
                  std::size_t max_events_per_core) {
   out << "# tcmpsim trace: " << workload.name() << "\n";
-  for (unsigned c = 0; c < n_cores; ++c) {
-    for (std::size_t i = 0; i < max_events_per_core; ++i) {
+  std::vector<bool> active(n_cores, true);
+  std::vector<std::size_t> emitted(n_cores, 0);
+  bool any = true;
+  // Round-robin across cores: the streaming reader's per-core buffers then
+  // never hold more than one event.
+  while (any) {
+    any = false;
+    for (unsigned c = 0; c < n_cores; ++c) {
+      if (!active[c]) continue;
+      if (emitted[c] >= max_events_per_core) {
+        active[c] = false;
+        continue;
+      }
       const core::Op op = workload.next(c);
+      ++emitted[c];
       switch (op.kind) {
         case core::OpKind::kLoad:
           out << c << " L 0x" << std::hex << op.line.value() << std::dec << "\n";
@@ -85,9 +115,10 @@ void write_trace(std::ostream& out, core::Workload& workload, unsigned n_cores,
           out << c << " B " << op.count << "\n";
           break;
         case core::OpKind::kDone:
-          i = max_events_per_core;  // stop this core
+          active[c] = false;
           break;
       }
+      any = any || active[c];
     }
   }
 }

@@ -8,36 +8,71 @@
 //   4 C 12              12 compute instructions
 //   4 B 1               barrier 1 (all cores must emit the same barriers)
 // Events for a core are consumed in file order; cores interleave freely.
+//
+// The reader is streaming: lines are parsed on demand into small per-core
+// buffers, so a multi-gigabyte trace runs in memory proportional to the
+// trace's interleaving skew (how far ahead of the slowest core any other
+// core's events appear in the file), not to its length. write_trace emits
+// round-robin interleaved streams, for which the skew is one event per core.
+// The binary .tct format (workloads/trace_io.hpp) is the preferred container
+// for long traces; this text form stays as the human-readable interchange.
 #pragma once
 
 #include <deque>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "core/workload.hpp"
 
 namespace tcmp::workloads {
 
 class TraceWorkload final : public core::Workload {
  public:
-  /// Parse a trace from a stream. Aborts (TCMP_CHECK) on malformed lines.
+  /// Stream events from `in`, which must outlive this workload. Aborts
+  /// (TCMP_CHECK) on malformed lines — at parse time, i.e. from next().
   TraceWorkload(std::istream& in, unsigned n_cores, std::string name = "trace");
-  /// Convenience: parse from a file path.
-  static TraceWorkload from_file(const std::string& path, unsigned n_cores);
+  /// Convenience: stream from a file path (the file handle is owned).
+  static std::shared_ptr<TraceWorkload> from_file(const std::string& path,
+                                                  unsigned n_cores);
 
   core::Op next(unsigned core) override;
   [[nodiscard]] std::string name() const override { return name_; }
 
-  [[nodiscard]] std::size_t total_events() const;
+  /// Events handed out so far (kDone excluded). With a streaming reader the
+  /// total is unknowable until the stream ends; after every core has drained
+  /// this equals the trace's event count.
+  [[nodiscard]] std::size_t events_consumed() const;
+  /// Largest number of events any single per-core buffer ever held — the
+  /// observable memory bound, equal to the trace's interleaving skew.
+  [[nodiscard]] std::size_t max_buffered() const;
 
  private:
-  std::vector<std::deque<core::Op>> streams_;
-  std::string name_;
+  /// Parse forward until `core` has a buffered event or the stream ends.
+  /// Events for other cores encountered on the way are buffered for them.
+  void refill(unsigned core) TCMP_REQUIRES(mu_);
+
+  std::string name_;  // tcmplint: allow-unguarded-field (immutable after construction)
+  /// from_file keeps the underlying stream alive here.
+  std::shared_ptr<std::istream> owned_;  // tcmplint: allow-unguarded-field (immutable after construction)
+
+  /// next() is called from per-tile simulation threads under a partition
+  /// plan; the shared stream cursor and buffers need the lock.
+  mutable Mutex mu_;
+  std::istream* in_ TCMP_GUARDED_BY(mu_);
+  std::vector<std::deque<core::Op>> buffers_ TCMP_GUARDED_BY(mu_);
+  std::size_t line_no_ TCMP_GUARDED_BY(mu_) = 0;
+  std::size_t consumed_ TCMP_GUARDED_BY(mu_) = 0;
+  std::size_t max_buffered_ TCMP_GUARDED_BY(mu_) = 0;
+  bool exhausted_ TCMP_GUARDED_BY(mu_) = false;
 };
 
-/// Dump `ops` events per core of any workload to the trace format (testing,
-/// interchange, replaying synthetic apps elsewhere).
+/// Dump up to `max_events_per_core` events per core of any workload to the
+/// trace format (testing, interchange, replaying synthetic apps elsewhere).
+/// Streams are interleaved round-robin so the streaming reader's per-core
+/// buffers stay at one event deep.
 void write_trace(std::ostream& out, core::Workload& workload, unsigned n_cores,
                  std::size_t max_events_per_core);
 

@@ -89,6 +89,14 @@
 //                     is defined), reassign `*this`, or annotate the member
 //                     `tcmplint: reset-exempt` — the audited inventory a
 //                     future snapshot/restore serializer will walk.
+//   snapshot-coverage a class participating in checkpoint/restore — one that
+//                     defines snapshot_io() or a save()/load() pair — must
+//                     mention every data member in those bodies or annotate
+//                     the member `tcmplint: snapshot-exempt` with the reason
+//                     it is rebuilt rather than serialized. Runtime
+//                     attachments (pointers, references, std::function,
+//                     stat handles) are skipped automatically: they are
+//                     re-wired by the constructor, never serialized.
 //   ambient-nondeterminism rand/time/random_device/system_clock/getenv and
 //                     friends are banned outside common/rng.hpp,
 //                     common/env.hpp and the self-profiler: all randomness
@@ -954,6 +962,57 @@ void check_reset_coverage(const fs::path& root) {
   }
 }
 
+// ---- snapshot-coverage ---------------------------------------------------
+
+void check_snapshot_coverage(const fs::path& root) {
+  // The checkpoint/restore mirror of reset-coverage: a class that takes part
+  // in snapshotting — it defines snapshot_io() (the archive walker,
+  // common/snapshot.hpp) or a save()/load() serializer pair — must account
+  // for every data member in those bodies. A member silently skipped by the
+  // serializer restores to its constructed value, which desynchronizes the
+  // restored run from the uninterrupted one in a way the byte-identity
+  // goldens can only localize to "somewhere". Members that are runtime
+  // attachments rather than simulation state (raw pointers, references,
+  // std::function callbacks, and the StatRegistry handle types, all re-wired
+  // by the constructor) are skipped automatically; anything else that
+  // legitimately survives restore without serialization must carry a
+  // `tcmplint: snapshot-exempt (reason)` annotation at its declaration.
+  const tcmplint::Model& model = class_model(root);
+  std::map<std::string, std::vector<std::string>> raw_cache;
+  static const std::regex attachment_type(
+      R"(\*\s*$|std::function|CounterRef|ScalarRef|HistogramRef)");
+  for (const auto& c : model.classes) {
+    std::vector<const tcmplint::MethodBody*> bodies;
+    for (const auto* b : c.bodies_of("snapshot_io")) bodies.push_back(b);
+    if (bodies.empty()) {
+      const auto saves = c.bodies_of("save");
+      const auto loads = c.bodies_of("load");
+      if (saves.empty() || loads.empty()) continue;  // not a serializer pair
+      bodies.insert(bodies.end(), saves.begin(), saves.end());
+      bodies.insert(bodies.end(), loads.begin(), loads.end());
+    }
+    for (const auto& fd : c.fields) {
+      if (fd.is_static || fd.is_reference) continue;
+      if (std::regex_search(fd.type, attachment_type)) continue;
+      const std::regex mention("\\b" + fd.name + "\\b");
+      bool mentioned = false;
+      for (const auto* b : bodies)
+        if (std::regex_search(b->body, mention)) mentioned = true;
+      if (mentioned) continue;
+      auto rit = raw_cache.find(fd.file);
+      if (rit == raw_cache.end())
+        rit = raw_cache.emplace(fd.file, raw_lines_of(fd.file)).first;
+      if (annotated_at(rit->second, fd.line, "snapshot-exempt")) continue;
+      report(bodies.front()->file, bodies.front()->line, "snapshot-coverage",
+             c.qual + "'s snapshot serializer does not mention member '" +
+                 fd.name + "' (" + fd.file + ":" + std::to_string(fd.line) +
+                 ") — serialize it, or annotate the member "
+                 "'tcmplint: snapshot-exempt' with the reason it is rebuilt "
+                 "on restore instead");
+    }
+  }
+}
+
 // ---- ambient-nondeterminism ----------------------------------------------
 
 void check_ambient_nondet(const fs::path& root) {
@@ -1073,6 +1132,8 @@ const RuleEntry kRules[] = {
      [](const fs::path& r, const std::string&) { check_uninit_member(r); }},
     {"reset-coverage",
      [](const fs::path& r, const std::string&) { check_reset_coverage(r); }},
+    {"snapshot-coverage",
+     [](const fs::path& r, const std::string&) { check_snapshot_coverage(r); }},
     {"ambient-nondeterminism",
      [](const fs::path& r, const std::string&) { check_ambient_nondet(r); }},
     {"pragma-once",

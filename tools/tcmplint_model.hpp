@@ -643,6 +643,20 @@ inline Model build_model(
         head_line = line;
         continue;
       }
+      // A bare access specifier ends at ':' (not ';'), so without this it
+      // would linger in the head and the *next* member statement would
+      // inherit the specifier's head_line — which breaks the line-anchored
+      // annotation escape hatches for the first member after `private:`.
+      if (c == ':' && (i + 1 >= text.size() || text[i + 1] != ':') &&
+          (i == 0 || text[i - 1] != ':')) {
+        const std::string h = detail::collapse_ws(detail::trim(head));
+        if (h == "public" || h == "private" || h == "protected") {
+          head.clear();
+          head_begin = i + 1;
+          head_line = line;
+          continue;
+        }
+      }
       // Accumulate statement head only where it can matter (outside
       // captured bodies we still track braces but skip the text). Leading
       // whitespace is not buffered so head_line lands on the first token.

@@ -225,6 +225,26 @@ struct SeededReset {
 EOF
 expect_catch reset-coverage
 
+# --- snapshot-coverage: a snapshot_io() serializer that silently skips a
+# member (it would restore to its constructed value and desynchronize the
+# restored run).
+fresh_tree
+expect_clean snapshot-coverage
+cat > "$scratch/tree/src/protocol/seeded_snapshot.hpp" <<'EOF'
+#pragma once
+namespace tcmp::protocol {
+struct SeededSnapshot {
+  template <class Ar>
+  void snapshot_io(Ar& ar) {
+    ar.value(a_);
+  }
+  int a_ = 0;
+  int b_ = 0;
+};
+}  // namespace tcmp::protocol
+EOF
+expect_catch snapshot-coverage
+
 # --- ambient-nondeterminism: wall-clock time outside the sanctioned TUs.
 fresh_tree
 expect_clean ambient-nondeterminism

@@ -21,6 +21,25 @@
 //   --three-stage-router  use the 3-stage router pipeline
 //   --format F            text | csv | json (default text)
 //
+// Long-workload throughput (docs/checkpointing.md):
+//   --record FILE         capture the workload's op stream to a compact
+//                         binary trace (.tct) as the run consumes it
+//                         (requires --threads 1)
+//   --replay FILE         run a recorded trace; binary .tct files are
+//                         detected by magic, anything else is parsed as the
+//                         text trace format (--trace is the text-only alias)
+//   --checkpoint-out FILE with --checkpoint-at N: run to cycle N, write a
+//                         snapshot, then continue to completion
+//   --checkpoint-at N     cycle at which --checkpoint-out snapshots
+//   --checkpoint-in FILE  restore a snapshot (same config/workload/threads)
+//                         and continue to completion
+//   --sample SPEC         SMARTS interval sampling (requires --threads 1, no
+//                         observer): SPEC = mode=interval,warmup=W,detail=D,
+//                         period=P — detailed windows of D cycles after W
+//                         warm cycles, separated by P functionally
+//                         fast-forwarded instructions per core; metrics are
+//                         extrapolated with a confidence bound
+//
 // Observability (docs/observability.md):
 //   --trace-out FILE      write a Chrome trace-event JSON (load in Perfetto)
 //   --timeseries-out FILE write per-window telemetry CSV
@@ -55,12 +74,14 @@
 
 #include "cmp/metrics_export.hpp"
 #include "cmp/report.hpp"
+#include "cmp/sampling.hpp"
 #include "cmp/system.hpp"
 #include "common/args.hpp"
 #include "obs/observer.hpp"
 #include "sim/profiler.hpp"
 #include "verify/lint.hpp"
 #include "workloads/synthetic_app.hpp"
+#include "workloads/trace_io.hpp"
 #include "workloads/trace_workload.hpp"
 
 using namespace tcmp;
@@ -81,6 +102,12 @@ struct Options {
   bool reply_partitioning = false;
   bool three_stage_router = false;
   std::string format = "text";
+  std::string record;
+  std::string replay;
+  std::string checkpoint_out;
+  std::string checkpoint_in;
+  long checkpoint_at = 0;
+  std::string sample;
   std::string trace_out;
   std::string timeseries_out;
   std::string metrics_out;
@@ -200,6 +227,16 @@ void emit_latency_table(const cmp::RunResult& r) {
   }
 }
 
+/// A .tct file is recognized by magic, not extension, so replaying a
+/// renamed trace still works.
+bool is_binary_trace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  char magic[sizeof workloads::kTraceMagic] = {};
+  in.read(magic, sizeof magic);
+  return in.good() && std::equal(std::begin(magic), std::end(magic),
+                                 std::begin(workloads::kTraceMagic));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -214,7 +251,8 @@ int main(int argc, char** argv) {
       "help",  "reply-partitioning",          "three-stage-router",
       "trace-out", "timeseries-out", "obs-level", "sample-interval",
       "verify-interval", "metrics-out", "postmortem-out", "slack-report",
-      "self-profile"};
+      "self-profile", "record", "replay", "checkpoint-out", "checkpoint-at",
+      "checkpoint-in", "sample"};
   for (const auto& k : args.unknown_keys(known)) {
     std::fprintf(stderr, "unknown option --%s (see the header of tools/tcmpsim.cpp)\n",
                  k.c_str());
@@ -243,6 +281,12 @@ int main(int argc, char** argv) {
   o.reply_partitioning = args.get_flag("reply-partitioning");
   o.three_stage_router = args.get_flag("three-stage-router");
   o.format = args.get("format", o.format);
+  o.record = args.get("record", o.record);
+  o.replay = args.get("replay", o.replay);
+  o.checkpoint_out = args.get("checkpoint-out", o.checkpoint_out);
+  o.checkpoint_in = args.get("checkpoint-in", o.checkpoint_in);
+  o.checkpoint_at = args.get_long("checkpoint-at", o.checkpoint_at);
+  o.sample = args.get("sample", o.sample);
   o.trace_out = args.get("trace-out", o.trace_out);
   o.timeseries_out = args.get("timeseries-out", o.timeseries_out);
   o.metrics_out = args.get("metrics-out", o.metrics_out);
@@ -272,10 +316,50 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (!o.record.empty() && o.threads != 1) {
+    std::fprintf(stderr, "--record requires --threads 1\n");
+    return 2;
+  }
+  if (!o.trace.empty() && !o.replay.empty()) {
+    std::fprintf(stderr, "--trace and --replay are mutually exclusive\n");
+    return 2;
+  }
+  if (!o.checkpoint_out.empty() && o.checkpoint_at <= 0) {
+    std::fprintf(stderr, "--checkpoint-out requires --checkpoint-at N (> 0)\n");
+    return 2;
+  }
+  if (!o.record.empty() &&
+      (!o.checkpoint_out.empty() || !o.checkpoint_in.empty())) {
+    std::fprintf(stderr,
+                 "--record does not compose with checkpointing (the recorder "
+                 "has no snapshot of its output file)\n");
+    return 2;
+  }
+  if (!o.sample.empty()) {
+    if (o.threads != 1) {
+      std::fprintf(stderr, "--sample requires --threads 1\n");
+      return 2;
+    }
+    if (!o.trace_out.empty() || !o.timeseries_out.empty() || o.obs_level > 0 ||
+        o.slack_report || o.self_profile) {
+      std::fprintf(stderr,
+                   "--sample does not support observers "
+                   "(--trace-out/--timeseries-out/--obs-level/--slack-report/"
+                   "--self-profile)\n");
+      return 2;
+    }
+    if (!o.checkpoint_out.empty()) {
+      std::fprintf(stderr, "--sample cannot write checkpoints\n");
+      return 2;
+    }
+  }
+
   const cmp::CmpConfig cfg = make_config(o);
 
   std::vector<std::string> apps;
-  if (!o.trace.empty()) {
+  if (!o.replay.empty()) {
+    apps.push_back(o.replay);
+  } else if (!o.trace.empty()) {
     apps.push_back(o.trace);
   } else if (o.app == "all") {
     for (const auto& a : workloads::all_apps()) apps.push_back(a.name);
@@ -303,14 +387,37 @@ int main(int argc, char** argv) {
   bool first = true;
   for (const auto& name : apps) {
     std::shared_ptr<core::Workload> workload;
-    if (!o.trace.empty()) {
-      workload = std::make_shared<workloads::TraceWorkload>(
-          workloads::TraceWorkload::from_file(name, cfg.n_tiles));
+    if (!o.replay.empty() && is_binary_trace(name)) {
+      auto bin = std::make_shared<workloads::BinaryTraceWorkload>(name);
+      if (bin->n_cores() != cfg.n_tiles) {
+        std::fprintf(stderr, "%s: trace was recorded for %u cores, not %u\n",
+                     name.c_str(), bin->n_cores(), cfg.n_tiles);
+        return 2;
+      }
+      workload = std::move(bin);
+    } else if (!o.trace.empty() || !o.replay.empty()) {
+      workload = workloads::TraceWorkload::from_file(name, cfg.n_tiles);
     } else {
       workload = std::make_shared<workloads::SyntheticApp>(
           workloads::app(name).scaled(o.scale), cfg.n_tiles);
     }
+    std::shared_ptr<workloads::RecordingWorkload> recorder;
+    if (!o.record.empty()) {
+      recorder = std::make_shared<workloads::RecordingWorkload>(
+          std::move(workload), suffixed(o.record, name, apps.size() > 1),
+          cfg.n_tiles);
+      workload = recorder;
+    }
     cmp::CmpSystem system(cfg, std::move(workload));
+    if (!o.checkpoint_in.empty()) {
+      std::ifstream cp(o.checkpoint_in, std::ios::binary);
+      if (!cp) {
+        std::fprintf(stderr, "cannot open checkpoint %s\n",
+                     o.checkpoint_in.c_str());
+        return 1;
+      }
+      system.load_checkpoint(cp);
+    }
     std::unique_ptr<obs::Observer> observer;
     if (want_obs) {
       observer = std::make_unique<obs::Observer>(
@@ -347,7 +454,36 @@ int main(int argc, char** argv) {
             return violations.empty();
           });
     }
-    if (!system.run()) {
+    std::unique_ptr<cmp::SampledRun> sampled;
+    bool completed;
+    if (!o.sample.empty()) {
+      sampled = std::make_unique<cmp::SampledRun>(
+          system, cmp::SamplingConfig::parse(o.sample));
+      completed = sampled->run();
+    } else {
+      if (!o.checkpoint_out.empty()) {
+        system.run(Cycle{static_cast<std::uint64_t>(o.checkpoint_at)});
+        if (!system.aborted()) {
+          const std::string path =
+              suffixed(o.checkpoint_out, name, apps.size() > 1);
+          std::ofstream cp(path, std::ios::binary);
+          if (cp) system.save_checkpoint(cp);
+          if (!cp || !cp.good()) {
+            std::fprintf(stderr, "%s: could not write checkpoint to %s\n",
+                         name.c_str(), path.c_str());
+            return 1;
+          }
+          std::fprintf(stderr, "%s: checkpoint at cycle %llu written to %s\n",
+                       name.c_str(),
+                       static_cast<unsigned long long>(
+                           system.total_cycles().value()),
+                       path.c_str());
+        }
+      }
+      completed = system.run();
+    }
+    if (recorder) recorder->finish();
+    if (!completed) {
       if (system.aborted()) {
         std::fprintf(stderr,
                      "%s: aborted by the coherence lint (%llu violations in "
@@ -373,10 +509,27 @@ int main(int argc, char** argv) {
                    name.c_str());
       return 1;
     }
-    cmp::RunResult r = cmp::make_result(system);
+    if (recorder) {
+      std::fprintf(stderr, "%s: recorded %llu events to %s\n", name.c_str(),
+                   static_cast<unsigned long long>(recorder->events_recorded()),
+                   suffixed(o.record, name, apps.size() > 1).c_str());
+    }
+    cmp::RunResult r =
+        sampled ? cmp::make_sampled_result(system, *sampled)
+                : cmp::make_result(system);
     r.workload = name;
     emit(o, r, first);
     if (o.format == "text") emit_latency_table(r);
+    if (sampled && o.format == "text") {
+      const cmp::SamplingResult& s = sampled->result();
+      std::printf("  sampled: %llu windows, %llu detailed cycles, CPI %.4f "
+                  "(window mean %.4f +/- %.4f @95%%), extrapolation x%.1f, "
+                  "estimated cycles %llu\n",
+                  static_cast<unsigned long long>(s.windows),
+                  static_cast<unsigned long long>(s.detailed_cycles.value()),
+                  s.cpi, s.cpi_window_mean, s.cpi_ci95, s.extrapolation,
+                  static_cast<unsigned long long>(s.estimated_cycles.value()));
+    }
     if (o.slack_report) {
       system.write_slack_table(std::cout);
     }
@@ -386,7 +539,13 @@ int main(int argc, char** argv) {
     if (!o.metrics_out.empty()) {
       const std::string path = suffixed(o.metrics_out, name, apps.size() > 1);
       std::ofstream out(path);
-      if (out) cmp::write_metrics_json(out, r, system, profiler.get());
+      StatRegistry scaled;
+      if (sampled) scaled = sampled->scaled_stats();
+      if (out) {
+        cmp::write_metrics_json(out, r, system, profiler.get(),
+                                sampled ? &sampled->result() : nullptr,
+                                sampled ? &scaled : nullptr);
+      }
       if (!out || !out.good()) {
         std::fprintf(stderr, "%s: could not write metrics to %s\n",
                      name.c_str(), path.c_str());
